@@ -1,0 +1,93 @@
+// Shared scaffolding for the figure/experiment harnesses: every binary
+// accepts --scale (fraction of the paper's full experiment size; 1.0
+// reproduces the Apr'07 crawl volume and needs several GB of RAM),
+// --seed, and --csv (append machine-readable rows to stdout).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "src/trace/content_model.hpp"
+#include "src/trace/gnutella.hpp"
+#include "src/trace/itunes.hpp"
+#include "src/trace/query_trace.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace qcp2p::bench {
+
+struct BenchEnv {
+  double scale = 0.125;
+  std::uint64_t seed = 42;
+  bool csv = false;
+
+  static BenchEnv from_cli(const util::Cli& cli, double default_scale = 0.125) {
+    BenchEnv env;
+    env.scale = cli.get_double("scale", default_scale);
+    if (env.scale <= 0.0) {
+      std::cerr << "--scale must be positive\n";
+      std::exit(2);
+    }
+    env.seed = cli.get_uint("seed", 42);
+    env.csv = cli.get_bool("csv");
+    return env;
+  }
+
+  /// Content universe scaled in lockstep with the crawl so per-object
+  /// replica counts stay comparable to the paper's.
+  [[nodiscard]] trace::ContentModelParams model_params() const {
+    trace::ContentModelParams p;
+    auto scaled = [this](double full, double floor) {
+      return static_cast<std::uint32_t>(std::max(floor, full * scale));
+    };
+    p.core_lexicon_size = scaled(60'000, 2'000);
+    p.tail_lexicon_size = scaled(4'000'000, 50'000);
+    p.catalog_songs = scaled(2'500'000, 25'000);
+    p.artists = scaled(400'000, 5'000);
+    p.seed = seed;
+    return p;
+  }
+
+  [[nodiscard]] trace::GnutellaCrawlParams crawl_params() const {
+    trace::GnutellaCrawlParams p = trace::GnutellaCrawlParams{}.scaled(scale);
+    p.seed = seed;
+    return p;
+  }
+
+  [[nodiscard]] trace::ItunesCrawlParams itunes_params() const {
+    // The iTunes trace is small (239 clients); run it full-size by
+    // default and only shrink below scale 1/4.
+    trace::ItunesCrawlParams p =
+        trace::ItunesCrawlParams{}.scaled(std::min(1.0, scale * 4.0));
+    p.seed = seed + 1;
+    return p;
+  }
+
+  [[nodiscard]] trace::QueryTraceParams query_params() const {
+    trace::QueryTraceParams p = trace::QueryTraceParams{}.scaled(scale);
+    p.seed = seed + 2;
+    return p;
+  }
+};
+
+inline void emit(const util::Table& table, const BenchEnv& env,
+                 const std::string& title) {
+  util::print_banner(std::cout, title);
+  table.print(std::cout);
+  if (env.csv) {
+    std::cout << "\n--- csv ---\n";
+    table.write_csv(std::cout);
+  }
+  std::cout.flush();
+}
+
+inline void print_header(const std::string& name, const BenchEnv& env,
+                         const std::string& paper_context) {
+  std::cout << "# " << name << "  (scale=" << env.scale
+            << ", seed=" << env.seed << ")\n"
+            << "# paper: " << paper_context << "\n";
+}
+
+}  // namespace qcp2p::bench

@@ -1,0 +1,53 @@
+// Structured-substrate comparison: Chord's finger routing vs Pastry's
+// prefix routing across ring sizes. The paper's Section V argument
+// (hybrid flooding loses to "a DHT") is substrate-agnostic; this bench
+// shows both DHTs route in a handful of hops at 40k nodes, i.e. the
+// conclusion does not hinge on the choice of Chord in exp_hybrid_vs_dht.
+#include "bench/bench_common.hpp"
+
+#include <cmath>
+
+#include "src/sim/dht.hpp"
+#include "src/sim/pastry.hpp"
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+using overlay::NodeId;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 1.0);
+  const auto trials = cli.get_uint("trials", 2'000);
+  bench::print_header("exp_dht_compare", env,
+                      "Chord (finger) vs Pastry (prefix, b=4) routing cost");
+
+  util::Table t({"nodes", "chord mean hops", "chord p99", "pastry mean hops",
+                 "pastry p99", "log2(N)"});
+  for (const std::size_t n : {1'000ULL, 10'000ULL, 40'000ULL, 100'000ULL}) {
+    const sim::ChordDht chord(n, env.seed);
+    const sim::PastryDht pastry(n, env.seed);
+    util::Rng rng(env.seed + 2);
+    std::vector<double> chord_hops, pastry_hops;
+    chord_hops.reserve(trials);
+    pastry_hops.reserve(trials);
+    for (std::uint64_t i = 0; i < trials; ++i) {
+      const std::uint64_t key = rng();
+      const auto from = static_cast<NodeId>(rng.bounded(n));
+      chord_hops.push_back(static_cast<double>(chord.lookup(key, from).hops));
+      pastry_hops.push_back(
+          static_cast<double>(pastry.lookup(key, from).hops));
+    }
+    util::RunningStats cs, ps;
+    for (double h : chord_hops) cs.add(h);
+    for (double h : pastry_hops) ps.add(h);
+    t.add_row();
+    t.cell(static_cast<std::uint64_t>(n))
+        .cell(cs.mean(), 2)
+        .cell(util::quantile(chord_hops, 0.99), 1)
+        .cell(ps.mean(), 2)
+        .cell(util::quantile(pastry_hops, 0.99), 1)
+        .cell(std::log2(static_cast<double>(n)), 1);
+  }
+  bench::emit(t, env, "Routing hops vs ring size (both O(log N))");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Section V/VII experiment: hybrid flood-then-DHT vs pure DHT under the
+// measured content distribution.
+//
+// Paper claim: "a hybrid P2P system that used this observed object
+// distribution would perform worse than a DHT-based search because few
+// objects are replicated enough to make the unstructured search
+// component efficient" — the flood phase almost always comes back with
+// fewer than the rare-query cutoff (Loo et al.: 20 results), so the
+// hybrid pays flood AND DHT messages on nearly every query.
+//
+// --rare-cutoff ablates Loo et al.'s threshold (DESIGN.md section 5).
+#include "bench/bench_common.hpp"
+
+#include "src/overlay/topology.hpp"
+#include "src/sim/hybrid.hpp"
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+using overlay::NodeId;
+
+namespace {
+
+/// Query workload: object-derived conjunctive queries (1-3 terms of a
+/// real object), so every query has at least one satisfying object.
+std::vector<std::vector<sim::TermId>> make_queries(const sim::PeerStore& store,
+                                                   std::size_t count,
+                                                   util::Rng& rng) {
+  std::vector<std::vector<sim::TermId>> queries;
+  std::size_t guard = 0;
+  while (queries.size() < count && guard++ < 50 * count) {
+    const auto peer = static_cast<NodeId>(rng.bounded(store.num_peers()));
+    if (store.objects(peer).empty()) continue;
+    const auto& obj =
+        store.objects(peer)[rng.bounded(store.objects(peer).size())];
+    if (obj.terms.empty()) continue;
+    std::vector<sim::TermId> q;
+    const std::size_t n = 1 + rng.bounded(std::min<std::size_t>(3, obj.terms.size()));
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push_back(obj.terms[rng.bounded(obj.terms.size())]);
+    }
+    std::sort(q.begin(), q.end());
+    q.erase(std::unique(q.begin(), q.end()), q.end());
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 0.02);
+  const auto nodes = cli.get_uint("nodes", 2'000);
+  const auto num_queries = cli.get_uint("queries", 400);
+  const auto flood_ttl = static_cast<std::uint32_t>(cli.get_uint("ttl", 3));
+  bench::print_header(
+      "exp_hybrid_vs_dht", env,
+      "Sec V/VII: hybrid flood-then-DHT pays for failed floods; DHT-only "
+      "is cheaper at equal-or-better success under Zipf content");
+
+  const trace::ContentModel model(env.model_params());
+  const trace::CrawlSnapshot crawl =
+      generate_gnutella_crawl(model, env.crawl_params());
+  const sim::PeerStore store = sim::peer_store_from_crawl(crawl, nodes);
+
+  util::Rng rng(env.seed);
+  const overlay::Graph graph = overlay::random_regular(nodes, 8, rng);
+  sim::ChordDht dht(nodes, env.seed + 4);
+  const std::uint64_t publish_messages = dht.publish_store(store);
+  std::cout << "# network: " << nodes << " nodes, " << store.total_objects()
+            << " objects; one-time DHT publish cost: " << publish_messages
+            << " messages\n";
+
+  util::Rng qrng(env.seed + 7);
+  const auto queries = make_queries(store, num_queries, qrng);
+
+  util::Table t({"rare cutoff", "strategy", "success", "msgs/query",
+                 "flood msgs", "dht msgs", "floods that fell back"});
+  for (const std::size_t cutoff : {1ULL, 5ULL, 20ULL, 50ULL}) {
+    sim::HybridParams hp;
+    hp.flood_ttl = flood_ttl;
+    hp.rare_cutoff = cutoff;
+
+    util::RunningStats hybrid_msgs, dht_msgs, flood_part, dht_part;
+    std::size_t hybrid_ok = 0, dht_ok = 0, fallbacks = 0;
+    util::Rng srng(env.seed + 11);
+    for (const auto& q : queries) {
+      const auto src = static_cast<NodeId>(srng.bounded(nodes));
+      const auto hr = sim::hybrid_search(graph, store, dht, src, q, hp);
+      const auto dr = sim::dht_only_search(dht, src, q);
+      hybrid_ok += hr.success();
+      dht_ok += dr.success();
+      hybrid_msgs.add(static_cast<double>(hr.total_messages()));
+      flood_part.add(static_cast<double>(hr.flood_messages));
+      dht_part.add(static_cast<double>(hr.dht_messages));
+      dht_msgs.add(static_cast<double>(dr.total_messages()));
+      fallbacks += hr.used_dht;
+    }
+    const double n = static_cast<double>(queries.size());
+    t.add_row();
+    t.cell(static_cast<std::uint64_t>(cutoff))
+        .cell("hybrid")
+        .percent(static_cast<double>(hybrid_ok) / n, 1)
+        .cell(hybrid_msgs.mean(), 1)
+        .cell(flood_part.mean(), 1)
+        .cell(dht_part.mean(), 1)
+        .percent(static_cast<double>(fallbacks) / n, 1);
+    t.add_row();
+    t.cell(static_cast<std::uint64_t>(cutoff))
+        .cell("dht-only")
+        .percent(static_cast<double>(dht_ok) / n, 1)
+        .cell(dht_msgs.mean(), 1)
+        .cell(0.0, 1)
+        .cell(dht_msgs.mean(), 1)
+        .cell("-");
+  }
+  bench::emit(t, env,
+              "Hybrid vs DHT-only (paper: hybrid worse under Zipf content)");
+  return 0;
+}

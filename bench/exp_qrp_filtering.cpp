@@ -1,0 +1,113 @@
+// QRP experiment: Gnutella's deployed content-centric synopsis (the
+// Query Routing Protocol) on the measured content distribution.
+//
+// Two findings frame the paper's argument:
+//   1. QRP is excellent at what it was built for — suppressing useless
+//      last-hop deliveries to leaves (large message savings);
+//   2. QRP does nothing for the paper's problem — it cannot make rare
+//      or mismatched content findable; the ultrapeer-tier flood still
+//      pays full cost and still fails on the Zipf tail. A synopsis that
+//      describes what peers HAVE is not a synopsis of what users ASK.
+#include "bench/bench_common.hpp"
+
+#include "src/overlay/topology.hpp"
+#include "src/sim/qrp.hpp"
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+using overlay::NodeId;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 0.02);
+  const auto nodes = cli.get_uint("nodes", 4'000);
+  const auto num_queries = cli.get_uint("queries", 250);
+  const auto ttl = static_cast<std::uint32_t>(cli.get_uint("ttl", 3));
+  bench::print_header(
+      "exp_qrp_filtering", env,
+      "QRP saves leaf deliveries but cannot fix the query/annotation "
+      "mismatch (content-centric baseline for Sec VII)");
+
+  const trace::ContentModel model(env.model_params());
+  const trace::CrawlSnapshot crawl =
+      generate_gnutella_crawl(model, env.crawl_params());
+  const sim::PeerStore store = sim::peer_store_from_crawl(crawl, nodes);
+
+  overlay::TwoTierParams tp;
+  tp.num_nodes = nodes;
+  util::Rng rng(env.seed);
+  const overlay::TwoTierTopology topo = overlay::gnutella_two_tier(tp, rng);
+  sim::QrpNetwork qrp(topo, store);
+  std::cout << "# leaf QRP tables: 64Ki slots, mean fill "
+            << util::Table::format(qrp.mean_fill() * 100, 2) << "%\n";
+
+  // Two workloads: queries for content peers actually hold (answerable),
+  // and queries with one term absent from every annotation (the
+  // mismatch case: users asking in words files don't carry).
+  util::Rng qrng(env.seed + 3);
+  auto object_query = [&]() -> std::vector<sim::TermId> {
+    for (;;) {
+      const auto peer = static_cast<NodeId>(qrng.bounded(nodes));
+      if (store.objects(peer).empty()) continue;
+      const auto& obj =
+          store.objects(peer)[qrng.bounded(store.objects(peer).size())];
+      if (obj.terms.empty()) continue;
+      return {obj.terms[qrng.bounded(obj.terms.size())]};
+    }
+  };
+
+  struct Row {
+    const char* name;
+    util::RunningStats up, leaf, suppressed;
+    std::size_t ok = 0, total = 0;
+  };
+  Row answerable{"answerable (annotation term)", {}, {}, {}, 0, 0};
+  Row mismatch{"mismatched (query-only term)", {}, {}, {}, 0, 0};
+
+  for (std::uint64_t q = 0; q < num_queries; ++q) {
+    const auto src = static_cast<NodeId>(qrng.bounded(nodes));
+    {
+      const auto r = qrp.search(src, object_query(), ttl);
+      answerable.up.add(static_cast<double>(r.up_messages));
+      answerable.leaf.add(static_cast<double>(r.leaf_messages));
+      answerable.suppressed.add(static_cast<double>(r.leaf_suppressed));
+      answerable.ok += !r.results.empty();
+      ++answerable.total;
+    }
+    {
+      // A term no file annotation can contain: ids beyond the whole
+      // core + tail lexicon are query-only by construction.
+      const std::vector<sim::TermId> missing{
+          model.core_lexicon_size() + model.params().tail_lexicon_size +
+          static_cast<sim::TermId>(q)};
+      const auto r = qrp.search(src, missing, ttl);
+      mismatch.up.add(static_cast<double>(r.up_messages));
+      mismatch.leaf.add(static_cast<double>(r.leaf_messages));
+      mismatch.suppressed.add(static_cast<double>(r.leaf_suppressed));
+      mismatch.ok += !r.results.empty();
+      ++mismatch.total;
+    }
+  }
+
+  util::Table t({"workload", "success", "UP msgs", "leaf msgs",
+                 "suppressed deliveries", "leaf savings"});
+  for (const Row* row : {&answerable, &mismatch}) {
+    const double candidates = row->leaf.mean() + row->suppressed.mean();
+    t.add_row();
+    t.cell(row->name)
+        .percent(static_cast<double>(row->ok) /
+                     static_cast<double>(row->total),
+                 1)
+        .cell(row->up.mean(), 0)
+        .cell(row->leaf.mean(), 0)
+        .cell(row->suppressed.mean(), 0)
+        .percent(candidates > 0 ? row->suppressed.mean() / candidates : 0.0,
+                 1);
+  }
+  bench::emit(t, env, "QRP filtering: savings without findability");
+  std::cout << "\nReading: QRP suppresses the vast majority of leaf\n"
+               "deliveries on BOTH workloads, but the mismatched workload\n"
+               "still pays the full ultrapeer flood and finds nothing — the\n"
+               "synopsis describes content, not queries.\n";
+  return 0;
+}

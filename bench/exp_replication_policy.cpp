@@ -1,0 +1,110 @@
+// Replication-policy experiment: what WOULD fix the paper's problem?
+//
+// Given the measured query-rate skew, compare the organic replica
+// allocation the crawl actually shows against the three engineered
+// policies (uniform / proportional / square-root) at the SAME total copy
+// budget, measuring the expected random-probe search size and the
+// simulated random-walk cost. Cohen & Shenker's square-root allocation
+// is the analytical optimum; the measured allocation is dramatically
+// worse because organic replication ignores demand entirely — which is
+// the storage-side mirror of the paper's query/annotation mismatch.
+#include "bench/bench_common.hpp"
+
+#include <numeric>
+
+#include "src/overlay/topology.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/random_walk.hpp"
+#include "src/sim/replication.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/zipf.hpp"
+
+using namespace qcp2p;
+using overlay::NodeId;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 0.05);
+  const auto nodes = cli.get_uint("nodes", 10'000);
+  const auto num_objects = cli.get_uint("objects", 2'000);
+  const auto trials = cli.get_uint("trials", 1'500);
+  bench::print_header(
+      "exp_replication_policy", env,
+      "Cohen-Shenker framing: the measured organic allocation vs "
+      "engineered allocations at equal storage budget");
+
+  // Query rates over objects: Zipf, as the paper's query head implies.
+  const auto rates = util::zipf_pmf(num_objects, 1.0);
+
+  // The organic allocation: replica counts sampled from the crawl.
+  const trace::ContentModel model(env.model_params());
+  const trace::CrawlSnapshot crawl =
+      generate_gnutella_crawl(model, env.crawl_params());
+  util::Rng rng(env.seed);
+  std::vector<std::uint64_t> organic = sim::sample_replica_counts(
+      crawl.object_replica_counts(), num_objects, rng);
+  // CRITICAL: organic replication is demand-blind — shuffle so counts are
+  // uncorrelated with query rates (as the paper's mismatch result shows).
+  for (std::size_t i = organic.size(); i > 1; --i) {
+    std::swap(organic[i - 1], organic[rng.bounded(i)]);
+  }
+  const std::uint64_t budget = std::max<std::uint64_t>(
+      num_objects, std::accumulate(organic.begin(), organic.end(),
+                                   std::uint64_t{0}));
+  std::cout << "# total copy budget (from the organic allocation): "
+            << budget << " copies over " << num_objects << " objects\n";
+
+  const overlay::Graph graph = overlay::random_regular(nodes, 8, rng);
+  sim::RandomWalkParams wp;
+  wp.walkers = 8;
+  wp.max_steps = 512;
+
+  auto simulate = [&](const std::vector<std::uint64_t>& allocation,
+                      std::uint64_t seed) {
+    util::Rng prng(seed);
+    const sim::Placement placement =
+        sim::place_by_counts(allocation, nodes, prng);
+    const util::DiscreteSampler query_sampler{std::span<const double>(rates)};
+    std::size_t ok = 0;
+    util::RunningStats msgs;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      const std::size_t obj = query_sampler(prng);
+      const auto src = static_cast<NodeId>(prng.bounded(nodes));
+      const auto r = sim::random_walk_locate(graph, src,
+                                             placement.holders[obj], wp, prng);
+      ok += r.success;
+      msgs.add(static_cast<double>(r.messages));
+    }
+    return std::pair<double, double>{
+        static_cast<double>(ok) / static_cast<double>(trials), msgs.mean()};
+  };
+
+  util::Table t({"allocation", "E[probes] (analytical)",
+                 "walk success", "walk msgs/query"});
+  auto row = [&](const char* name, const std::vector<std::uint64_t>& alloc,
+                 std::uint64_t seed) {
+    const auto [ok, msgs] = simulate(alloc, seed);
+    t.add_row();
+    t.cell(name)
+        .cell(sim::expected_search_size(rates, alloc, nodes), 0)
+        .percent(ok, 1)
+        .cell(msgs, 0);
+  };
+  row("organic (measured, demand-blind)", organic, env.seed + 1);
+  row("uniform",
+      sim::allocate_replicas(rates, budget, sim::ReplicationPolicy::kUniform,
+                             nodes),
+      env.seed + 2);
+  row("proportional",
+      sim::allocate_replicas(rates, budget,
+                             sim::ReplicationPolicy::kProportional, nodes),
+      env.seed + 3);
+  row("square-root (optimal)",
+      sim::allocate_replicas(rates, budget,
+                             sim::ReplicationPolicy::kSquareRoot, nodes),
+      env.seed + 4);
+  bench::emit(t, env,
+              "Same storage, different allocation: demand-aware replication "
+              "is the storage-side fix the paper's position implies");
+  return 0;
+}

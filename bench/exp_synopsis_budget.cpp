@@ -1,0 +1,97 @@
+// Synopsis-budget ablation (DESIGN.md section 5): sweep the term budget
+// and compare content-centric vs query-centric selection at each point.
+//
+// Expected shape: with an unlimited budget the policies converge (every
+// term fits); the tighter the budget, the more the query-centric policy
+// wins, because it spends scarce advertising slots on terms queries
+// actually contain. Advertising bytes are reported for fairness.
+#include "bench/bench_common.hpp"
+
+#include "src/core/query_centric.hpp"
+#include "src/overlay/topology.hpp"
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+using overlay::NodeId;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 0.02);
+  const auto nodes = cli.get_uint("nodes", 2'000);
+  const auto num_queries = cli.get_uint("queries", 250);
+  bench::print_header("exp_synopsis_budget", env,
+                      "Sec VII ablation: term-budget sweep, content- vs "
+                      "query-centric selection");
+
+  const trace::ContentModel model(env.model_params());
+  const trace::CrawlSnapshot crawl =
+      generate_gnutella_crawl(model, env.crawl_params());
+  const sim::PeerStore store = sim::peer_store_from_crawl(crawl, nodes);
+
+  util::Rng rng(env.seed);
+  const overlay::Graph graph = overlay::random_regular(nodes, 8, rng);
+
+  // Workload: niche single-term queries (the tail-most term of real
+  // objects) — the regime where selection matters.
+  util::Rng wrng(env.seed + 1);
+  std::vector<std::vector<sim::TermId>> queries;
+  while (queries.size() < num_queries) {
+    const auto peer = static_cast<NodeId>(wrng.bounded(nodes));
+    if (store.objects(peer).empty()) continue;
+    const auto& obj =
+        store.objects(peer)[wrng.bounded(store.objects(peer).size())];
+    if (obj.terms.empty()) continue;
+    queries.push_back({obj.terms.back()});
+  }
+  core::TermPopularityTracker tracker;
+  for (const auto& q : queries) tracker.observe_query(q);
+
+  core::GuidedSearchParams gp;
+  gp.ttl = 8;
+  gp.match_fanout = 4;
+  gp.fallback_fanout = 2;
+  gp.message_budget = 400;
+
+  auto run = [&](const core::QueryCentricOverlay& overlay,
+                 std::uint64_t seed) {
+    util::Rng prng(seed);
+    std::size_t ok = 0;
+    util::RunningStats msgs;
+    for (const auto& q : queries) {
+      const auto src = static_cast<NodeId>(prng.bounded(nodes));
+      const auto r = overlay.search(src, q, gp, prng);
+      ok += r.success;
+      msgs.add(static_cast<double>(r.messages));
+    }
+    return std::pair<double, double>{
+        static_cast<double>(ok) / static_cast<double>(queries.size()),
+        msgs.mean()};
+  };
+
+  util::Table t({"term budget", "content success", "query-centric success",
+                 "content msgs", "query-centric msgs", "ad KiB/peer"});
+  for (const std::size_t budget : {8ULL, 16ULL, 32ULL, 64ULL, 256ULL}) {
+    core::SynopsisParams sp;
+    sp.term_budget = budget;
+    core::QueryCentricOverlay content(graph, store, sp,
+                                      core::SynopsisPolicy::kContentCentric);
+    core::QueryCentricOverlay query_centric(
+        graph, store, sp, core::SynopsisPolicy::kQueryCentric);
+    query_centric.rebuild_synopses(&tracker);
+
+    const auto [cs, cm] = run(content, env.seed + 21);
+    const auto [qs, qm] = run(query_centric, env.seed + 21);
+    t.add_row();
+    t.cell(static_cast<std::uint64_t>(budget))
+        .percent(cs, 1)
+        .percent(qs, 1)
+        .cell(cm, 0)
+        .cell(qm, 0)
+        .cell(static_cast<double>(query_centric.advertisement_bytes()) /
+                  1024.0 / static_cast<double>(nodes),
+              2);
+  }
+  bench::emit(t, env, "Budget sweep: the tighter the budget, the bigger the "
+                      "query-centric advantage");
+  return 0;
+}

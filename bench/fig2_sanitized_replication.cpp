@@ -1,0 +1,57 @@
+// Figure 2: object replication after sanitizing names (lowercase, strip
+// special characters). Paper: uniques drop 8.1M -> 7.9M, singletons
+// 70.5% -> 69.8%, still 99.4% under the 0.1% replication cut — i.e.
+// sanitization barely helps.
+#include "bench/bench_common.hpp"
+
+#include "src/analysis/replication.hpp"
+#include "src/text/tokenizer.hpp"
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli);
+  bench::print_header(
+      "fig2_sanitized_replication", env,
+      "Fig 2: sanitized names merge 8.1M -> 7.9M uniques; 69.8% singleton; "
+      "99.4% on <= 37 peers");
+
+  const trace::ContentModel model(env.model_params());
+  const trace::CrawlSnapshot snap =
+      generate_gnutella_crawl(model, env.crawl_params());
+
+  analysis::NameReplicaCounter raw, sanitized;
+  for (std::uint32_t p = 0; p < snap.num_peers(); ++p) {
+    for (trace::ObjectKey k : snap.peer_objects(p)) {
+      const std::string name = snap.object_name(k);
+      raw.add(p, name);
+      sanitized.add(p, text::sanitize_filename(name));
+    }
+  }
+  const auto raw_counts = raw.counts();
+  const auto san_counts = sanitized.counts();
+  const auto s = analysis::summarize_replication(san_counts, snap.num_peers());
+
+  const double merge = 1.0 - static_cast<double>(san_counts.size()) /
+                                 static_cast<double>(raw_counts.size());
+  util::Table t({"metric", "paper (full scale)", "measured"});
+  t.add_row();
+  t.cell("unique raw names").cell("8.1M").cell(
+      static_cast<std::uint64_t>(raw_counts.size()));
+  t.add_row();
+  t.cell("unique sanitized names").cell("7.9M").cell(s.unique_items);
+  t.add_row();
+  t.cell("merged by sanitization").cell("~2.5%").percent(merge);
+  t.add_row();
+  t.cell("singleton (sanitized)").cell("69.8%").percent(s.singleton_fraction);
+  t.add_row();
+  t.cell("on <= 37 peers (sanitized)").cell("99.4%").percent(
+      util::fraction_at_or_below(san_counts, 37));
+  t.add_row();
+  t.cell("singleton (raw, Fig 1)").cell("70.5%").percent(
+      util::singleton_fraction(raw_counts));
+  bench::emit(t, env, "Fig 2 — sanitized-name replication");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 3: "Number of Gnutella clients with term". Object names are
+// split with the Gnutella tokenization; the paper reports 1.22M unique
+// terms, 71.3% on a single peer, 98.3% on <= 37 peers (0.1%).
+#include "bench/bench_common.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/analysis/replication.hpp"
+#include "src/text/tokenizer.hpp"
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli);
+  bench::print_header(
+      "fig3_term_replication", env,
+      "Fig 3: 1.22M unique terms; 71.3% singleton; 98.3% on <= 37 peers");
+
+  const trace::ContentModel model(env.model_params());
+  const trace::CrawlSnapshot snap =
+      generate_gnutella_crawl(model, env.crawl_params());
+
+  // String pipeline: tokenize realized names per peer, dedupe per peer,
+  // count peers per term. Numeric tokens (track numbers, rip tags) carry
+  // no content signal and are skipped, as QRP keyword tables do.
+  text::TokenizerOptions opts;
+  opts.drop_numeric = true;
+  analysis::NameReplicaCounter term_counter;
+  std::unordered_set<std::string> peer_terms;
+  for (std::uint32_t p = 0; p < snap.num_peers(); ++p) {
+    peer_terms.clear();
+    for (trace::ObjectKey k : snap.peer_objects(p)) {
+      for (std::string& term : text::tokenize(snap.object_name(k), opts)) {
+        peer_terms.insert(std::move(term));
+      }
+    }
+    for (const std::string& term : peer_terms) term_counter.add(p, term);
+  }
+  const auto counts = term_counter.counts();
+  const auto s = analysis::summarize_replication(counts, snap.num_peers());
+
+  util::Table t({"metric", "paper (full scale)", "measured"});
+  t.add_row();
+  t.cell("unique terms").cell("1.22M").cell(s.unique_items);
+  t.add_row();
+  t.cell("singleton terms").cell("71.3%").percent(s.singleton_fraction);
+  t.add_row();
+  t.cell("terms on <= 37 peers").cell("98.3%").percent(
+      util::fraction_at_or_below(counts, 37));
+  t.add_row();
+  t.cell("max peers with a term").cell("-").cell(s.max_replicas, 0);
+  t.add_row();
+  t.cell("zipf exponent (head fit)").cell("zipf-like").cell(s.zipf.exponent, 2);
+  bench::emit(t, env, "Fig 3 — term replication");
+
+  const auto curve = analysis::replication_rank_curve(counts);
+  util::Table plot({"rank", "clients_with_term"});
+  for (double r = 1.0; r < static_cast<double>(curve.size()); r *= 4.0) {
+    const auto idx = static_cast<std::size_t>(r) - 1;
+    plot.add_row();
+    plot.cell(curve[idx].x, 0).cell(curve[idx].y, 0);
+  }
+  bench::emit(plot, env, "Fig 3 — rank plot (log-spaced sample)");
+  return 0;
+}

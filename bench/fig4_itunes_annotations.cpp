@@ -1,0 +1,68 @@
+// Figure 4(a-d): iTunes annotation popularity across 239 campus clients:
+// song names, genres, albums and artists all follow Zipf-like long
+// tails. Paper: 533,768 tracks / 117,068 unique; 64% singleton songs;
+// 1,452 genres (8.7% of songs without one); 32,353 albums (8.1%
+// missing, 65.7% singleton); 25,309 artists (65% singleton).
+#include "bench/bench_common.hpp"
+
+#include "src/analysis/replication.hpp"
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+
+namespace {
+
+void panel(const char* title, const char* paper_unique,
+           const char* paper_singleton,
+           const std::vector<std::uint64_t>& counts,
+           const bench::BenchEnv& env) {
+  util::Table t({"metric", "paper (full scale)", "measured"});
+  t.add_row();
+  t.cell("unique values").cell(paper_unique).cell(
+      static_cast<std::uint64_t>(counts.size()));
+  t.add_row();
+  t.cell("singleton values").cell(paper_singleton).percent(
+      util::singleton_fraction(counts));
+  const auto curve = util::rank_frequency(counts);
+  const auto fit = util::fit_zipf(
+      curve, std::max<std::size_t>(50, curve.size() / 100));
+  t.add_row();
+  t.cell("zipf exponent (head fit)").cell("zipf-like").cell(fit.exponent, 2);
+  bench::emit(t, env, title);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 0.25);
+  bench::print_header("fig4_itunes_annotations", env,
+                      "Fig 4(a-d): iTunes song/genre/album/artist long tails");
+
+  const trace::ContentModel model(env.model_params());
+  const trace::ItunesSnapshot snap =
+      generate_itunes_crawl(model, env.itunes_params());
+
+  util::Table overview({"metric", "paper (full scale)", "measured"});
+  overview.add_row();
+  overview.cell("clients").cell(std::uint64_t{239}).cell(
+      static_cast<std::uint64_t>(snap.num_clients()));
+  overview.add_row();
+  overview.cell("tracks shared").cell("533,768").cell(snap.total_tracks());
+  overview.add_row();
+  overview.cell("tracks without genre").cell("8.7%").percent(
+      snap.missing_genre_fraction());
+  overview.add_row();
+  overview.cell("tracks without album").cell("8.1%").percent(
+      snap.missing_album_fraction());
+  bench::emit(overview, env, "Fig 4 — trace overview");
+
+  panel("Fig 4(a) — songs", "117,068 (64% singleton)", "64%",
+        snap.song_client_counts(), env);
+  panel("Fig 4(b) — genres", "1,452", "56%", snap.genre_client_counts(), env);
+  panel("Fig 4(c) — albums", "32,353", "65.7%", snap.album_client_counts(),
+        env);
+  panel("Fig 4(d) — artists", "25,309", "65%", snap.artist_client_counts(),
+        env);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 5: number of transiently popular query terms per evaluation
+// interval, for several interval lengths. Paper: the overall mean is low
+// (single digits) but the variance across intervals is significant.
+#include "bench/bench_common.hpp"
+
+#include "src/analysis/query_analysis.hpp"
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 1.0);
+  bench::print_header(
+      "fig5_transient_terms", env,
+      "Fig 5: transiently popular terms per interval; low mean, high "
+      "variance across evaluation intervals");
+
+  const trace::ContentModel model(env.model_params());
+  const trace::QueryTrace trace =
+      generate_query_trace(model, env.query_params());
+  std::cout << "# queries: " << trace.queries().size()
+            << ", ground-truth flash events: " << trace.events().size()
+            << "\n";
+
+  const analysis::TransientPolicy policy;
+  util::Table t({"interval (min)", "eval intervals", "mean transients",
+                 "stddev", "max"});
+  for (const double minutes : {15.0, 30.0, 60.0, 120.0}) {
+    const analysis::QueryTermAnalyzer analyzer(
+        trace.queries(), trace.duration_s(), minutes * 60.0, 0.10);
+    const auto series = analyzer.transient_count_series(policy);
+    util::RunningStats stats;
+    for (auto c : series) stats.add(c);
+    t.add_row();
+    t.cell(minutes, 0)
+        .cell(static_cast<std::uint64_t>(series.size()))
+        .cell(stats.mean(), 2)
+        .cell(stats.stddev(), 2)
+        .cell(stats.max(), 0);
+  }
+  bench::emit(t, env, "Fig 5 — transient term counts by interval length");
+
+  // One full series (60-minute intervals) for plotting.
+  const analysis::QueryTermAnalyzer analyzer(
+      trace.queries(), trace.duration_s(), 3600.0, 0.10);
+  const auto series = analyzer.transient_count_series(policy);
+  util::Table plot({"interval", "transient_terms"});
+  for (std::size_t i = 0; i < series.size();
+       i += std::max<std::size_t>(1, series.size() / 24)) {
+    plot.add_row();
+    plot.cell(static_cast<std::uint64_t>(i)).cell(
+        static_cast<std::uint64_t>(series[i]));
+  }
+  bench::emit(plot, env, "Fig 5 — 60-minute series (sampled)");
+  return 0;
+}

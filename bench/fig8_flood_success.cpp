@@ -1,0 +1,198 @@
+// Figure 8 + Section V: flood success vs TTL on a 40,000-node Gnutella
+// network, with objects placed either uniformly at random (2, 5, 10, 20,
+// 40 copies = 0.005%..0.1% replication) or with replica counts drawn
+// from the measured Zipf distribution.
+//
+// Paper findings this must reproduce (shape, not absolute numbers):
+//   * uniform curves order by replication ratio and rise with TTL;
+//   * the Zipf curve hugs the WORST uniform curve (0.005%);
+//   * at the hybrid-P2P operating point (TTL 3, ~1000+ peers reached)
+//     Zipf success is a few percent while the uniform-0.1% model
+//     predicts ~62% — the flooding phase of hybrid search is broken.
+#include "bench/bench_common.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "src/analysis/rare_queries.hpp"
+#include "src/analysis/replication.hpp"
+#include "src/overlay/topology.hpp"
+#include "src/sim/flood.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/thread_pool.hpp"
+
+using namespace qcp2p;
+using overlay::NodeId;
+
+namespace {
+
+struct SuccessResult {
+  double rate = 0.0;
+  double mean_messages = 0.0;
+};
+
+SuccessResult success_rate(const overlay::TwoTierTopology& topo,
+                           const sim::Placement& placement, std::uint32_t ttl,
+                           std::size_t trials, std::uint64_t seed,
+                           std::size_t threads) {
+  std::atomic<std::size_t> successes{0};
+  std::atomic<std::uint64_t> messages{0};
+  util::parallel_for_blocks(
+      trials, threads, [&](std::size_t begin, std::size_t end) {
+        sim::FloodEngine engine(topo.graph);
+        util::Rng rng(util::mix64(seed ^ (0xF1u + begin)));
+        std::size_t local_ok = 0;
+        std::uint64_t local_msgs = 0;
+        for (std::size_t t = begin; t < end; ++t) {
+          const auto src =
+              static_cast<NodeId>(rng.bounded(topo.graph.num_nodes()));
+          const auto obj = rng.bounded(placement.num_objects());
+          std::uint64_t m = 0;
+          local_ok += engine.reaches_any(src, ttl, placement.holders[obj],
+                                         &topo.is_ultrapeer, &m);
+          local_msgs += m;
+        }
+        successes += local_ok;
+        messages += local_msgs;
+      });
+  return {static_cast<double>(successes.load()) / static_cast<double>(trials),
+          static_cast<double>(messages.load()) / static_cast<double>(trials)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 1.0);
+  const auto nodes = cli.get_uint("nodes", 40'000);
+  const auto trials = cli.get_uint("trials", 2'000);
+  const auto crawl_scale = cli.get_double("crawl-scale", 0.05);
+  const std::string topology = cli.get("topology", "two-tier");
+  bench::print_header(
+      "fig8_flood_success", env,
+      "Fig 8: 40,000-node network; uniform {2,5,10,20,40} copies vs Zipf; "
+      "Zipf tracks the 0.005% uniform curve");
+
+  // Topology. Default: modern two-tier Gnutella. --topology flat|ba for
+  // the DESIGN.md ablation.
+  util::Rng topo_rng(env.seed);
+  overlay::TwoTierTopology topo{overlay::Graph(0), {}};
+  if (topology == "two-tier") {
+    overlay::TwoTierParams tp;
+    tp.num_nodes = nodes;
+    topo = overlay::gnutella_two_tier(tp, topo_rng);
+  } else if (topology == "flat") {
+    topo.graph = overlay::random_regular(nodes, 9, topo_rng);
+    topo.is_ultrapeer.assign(nodes, true);
+  } else if (topology == "ba") {
+    topo.graph = overlay::barabasi_albert(nodes, 5, topo_rng);
+    topo.is_ultrapeer.assign(nodes, true);
+  } else {
+    std::cerr << "unknown --topology (two-tier|flat|ba)\n";
+    return 2;
+  }
+
+  // Reach table (Section V in-text): average fraction of peers reached
+  // per TTL. Paper: 0.05%, ~1%, ~5% (over a thousand nodes), 26.25%,
+  // 82.95% for TTL 1..5.
+  {
+    util::Table reach({"TTL", "paper reach", "measured reach",
+                       "peers reached", "messages"});
+    const char* paper_reach[] = {"0.05%", "~1%", "2.5-5%", "26.25%", "82.95%"};
+    sim::FloodEngine engine(topo.graph);
+    util::Rng rng(env.seed + 9);
+    for (std::uint32_t ttl = 1; ttl <= 5; ++ttl) {
+      util::RunningStats coverage, msgs;
+      for (int i = 0; i < 200; ++i) {
+        const auto src =
+            static_cast<NodeId>(rng.bounded(topo.graph.num_nodes()));
+        const sim::FloodResult r = engine.run(src, ttl, &topo.is_ultrapeer);
+        coverage.add(r.coverage(topo.graph.num_nodes()));
+        msgs.add(static_cast<double>(r.messages));
+      }
+      reach.add_row();
+      reach.cell(static_cast<std::uint64_t>(ttl))
+          .cell(paper_reach[ttl - 1])
+          .percent(coverage.mean())
+          .cell(coverage.mean() * static_cast<double>(nodes), 0)
+          .cell(msgs.mean(), 0);
+    }
+    bench::emit(reach, env, "Sec V — flood reach per TTL");
+  }
+
+  // Placements: uniform copies and crawl-derived Zipf counts.
+  const trace::ContentModel model([&] {
+    bench::BenchEnv crawl_env = env;
+    crawl_env.scale = crawl_scale;
+    return crawl_env.model_params();
+  }());
+  bench::BenchEnv crawl_env = env;
+  crawl_env.scale = crawl_scale;
+  const trace::CrawlSnapshot crawl =
+      generate_gnutella_crawl(model, crawl_env.crawl_params());
+  const auto crawl_counts = crawl.object_replica_counts();
+
+  util::Rng place_rng(env.seed + 1);
+  constexpr std::size_t kObjects = 3'000;
+  const sim::Placement zipf_placement = sim::place_by_counts(
+      sim::sample_replica_counts(crawl_counts, kObjects, place_rng), nodes,
+      place_rng);
+
+  const std::size_t copy_levels[] = {2, 5, 10, 20, 40};
+  std::vector<sim::Placement> uniform_placements;
+  for (std::size_t copies : copy_levels) {
+    uniform_placements.push_back(
+        sim::place_uniform(kObjects / 4, copies, nodes, place_rng));
+  }
+
+  util::Table t({"TTL", "uni 0.005%", "uni 0.0125%", "uni 0.025%",
+                 "uni 0.05%", "uni 0.1%", "zipf (measured dist)"});
+  std::vector<double> zipf_at_ttl, uni40_at_ttl;
+  for (std::uint32_t ttl = 1; ttl <= 5; ++ttl) {
+    t.add_row();
+    t.cell(static_cast<std::uint64_t>(ttl));
+    for (std::size_t i = 0; i < uniform_placements.size(); ++i) {
+      const auto r = success_rate(topo, uniform_placements[i], ttl, trials,
+                                  env.seed + ttl * 10 + i, 0);
+      t.percent(r.rate, 1);
+      if (i + 1 == uniform_placements.size()) uni40_at_ttl.push_back(r.rate);
+    }
+    const auto z =
+        success_rate(topo, zipf_placement, ttl, trials, env.seed + ttl, 0);
+    t.percent(z.rate, 1);
+    zipf_at_ttl.push_back(z.rate);
+  }
+  bench::emit(t, env, "Fig 8 — flood success rate vs TTL");
+
+  // Mean TTL-3 reach for the analytical model column.
+  double reach3 = 0.0;
+  {
+    sim::FloodEngine engine(topo.graph);
+    util::Rng rng(env.seed + 77);
+    for (int i = 0; i < 100; ++i) {
+      const auto src = static_cast<NodeId>(rng.bounded(nodes));
+      reach3 += static_cast<double>(
+          engine.run(src, 3, &topo.is_ultrapeer).reached.size());
+    }
+    reach3 /= 100.0;
+  }
+  util::Table headline({"claim", "paper", "measured"});
+  headline.add_row();
+  headline.cell("TTL-3 success, uniform 0.1%").cell("62%").percent(
+      uni40_at_ttl[2], 1);
+  headline.add_row();
+  headline.cell("  analytical model at measured reach")
+      .cell("62% (predicted)")
+      .percent(analysis::analytical_flood_success(
+                   40, static_cast<std::uint64_t>(reach3), nodes),
+               1);
+  headline.add_row();
+  headline.cell("TTL-3 success, Zipf placement").cell("~5%").percent(
+      zipf_at_ttl[2], 1);
+  headline.add_row();
+  headline.cell("Zipf ~ worst uniform curve").cell("0.005% curve").cell(
+      zipf_at_ttl[4] < uni40_at_ttl[4] ? "below 0.1% curve" : "NOT below");
+  bench::emit(headline, env, "Sec V — headline comparison at the hybrid "
+                             "operating point");
+  return 0;
+}

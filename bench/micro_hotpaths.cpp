@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks for the hot paths every experiment
+// leans on: Zipf sampling, tokenization, Bloom probes, flood BFS, Chord
+// lookups and Jaccard over interned term sets.
+#include <benchmark/benchmark.h>
+
+#include "src/core/bloom.hpp"
+#include "src/overlay/topology.hpp"
+#include "src/sim/dht.hpp"
+#include "src/sim/flood.hpp"
+#include "src/text/tokenizer.hpp"
+#include "src/util/jaccard.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/zipf.hpp"
+
+namespace {
+
+using namespace qcp2p;
+
+void BM_ZipfSample(benchmark::State& state) {
+  const util::ZipfSampler zipf(static_cast<std::uint64_t>(state.range(0)),
+                               1.0);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1'000)->Arg(1'000'000);
+
+void BM_DiscreteSample(benchmark::State& state) {
+  const auto weights = util::zipf_pmf(static_cast<std::size_t>(state.range(0)),
+                                      1.0);
+  const util::DiscreteSampler sampler{std::span<const double>(weights)};
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler(rng));
+  }
+}
+BENCHMARK(BM_DiscreteSample)->Arg(1'000)->Arg(100'000);
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string name =
+      "Aaron Neville ft. Linda Ronstadt - I Don't Know Much (Live).mp3";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::tokenize(name));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_SanitizeFilename(benchmark::State& state) {
+  const std::string name =
+      "AARON_NEVILLE__ft__LINDA-RONSTADT---I-DON'T-KNOW-MUCH.MP3";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::sanitize_filename(name));
+  }
+}
+BENCHMARK(BM_SanitizeFilename);
+
+void BM_BloomProbe(benchmark::State& state) {
+  core::BloomFilter bf(static_cast<std::size_t>(state.range(0)), 6);
+  util::Rng rng(3);
+  for (int i = 0; i < 96; ++i) bf.insert(rng());
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.maybe_contains(key++));
+  }
+}
+BENCHMARK(BM_BloomProbe)->Arg(1'024)->Arg(16'384);
+
+void BM_FloodTtl(benchmark::State& state) {
+  util::Rng rng(4);
+  overlay::TwoTierParams params;
+  params.num_nodes = 40'000;
+  const overlay::TwoTierTopology topo = overlay::gnutella_two_tier(params, rng);
+  sim::FloodEngine engine(topo.graph);
+  std::uint64_t src = 0;
+  const auto ttl = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const auto r = engine.run(
+        static_cast<overlay::NodeId>(src++ % params.num_nodes), ttl,
+        &topo.is_ultrapeer);
+    benchmark::DoNotOptimize(r.reached.size());
+  }
+}
+BENCHMARK(BM_FloodTtl)->Arg(2)->Arg(3)->Arg(5)->Unit(benchmark::kMicrosecond);
+
+void BM_ChordLookup(benchmark::State& state) {
+  const sim::ChordDht dht(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dht.lookup(rng(), static_cast<overlay::NodeId>(
+                              rng.bounded(dht.num_nodes()))));
+  }
+}
+BENCHMARK(BM_ChordLookup)->Arg(1'024)->Arg(40'000);
+
+void BM_JaccardSorted(benchmark::State& state) {
+  util::Rng rng(6);
+  std::vector<std::uint32_t> a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(static_cast<std::uint32_t>(rng.bounded(1u << 20)));
+    b.push_back(static_cast<std::uint32_t>(rng.bounded(1u << 20)));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::jaccard_sorted(a, b));
+  }
+}
+BENCHMARK(BM_JaccardSorted)->Arg(200)->Arg(5'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Table T1 (the paper's in-text statistics, both traces side by side):
+// peers/clients, object totals and uniques, singleton fractions, the
+// 0.1%-replication cut, the Loo et al. >= 20-peers cut, and the Zipf
+// exponents — the numbers every other experiment builds on.
+#include "bench/bench_common.hpp"
+
+#include "src/analysis/replication.hpp"
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli);
+  bench::print_header("tab1_trace_summary", env,
+                      "Sec II-III in-text statistics for both traces");
+
+  const trace::ContentModel model(env.model_params());
+
+  {
+    const trace::CrawlSnapshot snap =
+        generate_gnutella_crawl(model, env.crawl_params());
+    const auto counts = snap.object_replica_counts();
+    const auto s = analysis::summarize_replication(counts, snap.num_peers());
+    const auto terms = snap.term_peer_counts();
+
+    util::Table t({"Gnutella (Apr'07)", "paper", "measured"});
+    t.add_row();
+    t.cell("peers").cell("37,572").cell(
+        static_cast<std::uint64_t>(snap.num_peers()));
+    t.add_row();
+    t.cell("objects").cell("12.1M").cell(snap.total_objects());
+    t.add_row();
+    t.cell("unique objects").cell("8.1M").cell(s.unique_items);
+    t.add_row();
+    t.cell("singleton objects").cell("70.5%").percent(s.singleton_fraction);
+    t.add_row();
+    t.cell("objects on <= 37 peers").cell("99.5%").percent(
+        util::fraction_at_or_below(counts, 37));
+    t.add_row();
+    t.cell("objects on >= 20 peers (Loo rare cut)").cell("< 4%").percent(
+        s.fraction_20_or_more);
+    t.add_row();
+    t.cell("unique terms").cell("1.22M").cell(
+        static_cast<std::uint64_t>(terms.size()));
+    t.add_row();
+    t.cell("singleton terms").cell("71.3%").percent(
+        util::singleton_fraction(terms));
+    t.add_row();
+    t.cell("terms on <= 37 peers").cell("98.3%").percent(
+        util::fraction_at_or_below(terms, 37));
+    bench::emit(t, env, "T1a — Gnutella crawl summary");
+  }
+
+  {
+    const trace::ItunesSnapshot snap =
+        generate_itunes_crawl(model, env.itunes_params());
+    const auto songs = snap.song_client_counts();
+    util::Table t({"iTunes (campus)", "paper", "measured"});
+    t.add_row();
+    t.cell("clients").cell("239").cell(
+        static_cast<std::uint64_t>(snap.num_clients()));
+    t.add_row();
+    t.cell("tracks").cell("533,768").cell(snap.total_tracks());
+    t.add_row();
+    t.cell("unique songs").cell("117,068").cell(
+        static_cast<std::uint64_t>(songs.size()));
+    t.add_row();
+    t.cell("singleton songs").cell("64%").percent(
+        util::singleton_fraction(songs));
+    t.add_row();
+    t.cell("genres").cell("1,452").cell(
+        static_cast<std::uint64_t>(snap.genre_client_counts().size()));
+    t.add_row();
+    t.cell("albums").cell("32,353").cell(
+        static_cast<std::uint64_t>(snap.album_client_counts().size()));
+    t.add_row();
+    t.cell("artists").cell("25,309").cell(
+        static_cast<std::uint64_t>(snap.artist_client_counts().size()));
+    bench::emit(t, env, "T1b — iTunes trace summary");
+  }
+  return 0;
+}

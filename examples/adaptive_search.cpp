@@ -1,0 +1,104 @@
+// Flash-crowd demo of the query-centric overlay (Section VII): a term
+// nobody queried yesterday suddenly dominates the workload; the adaptive
+// synopsis overlay notices through its popularity tracker, re-advertises,
+// and search success recovers within one adaptation epoch — while a
+// static content-centric overlay keeps missing.
+//
+// Usage: ./build/examples/adaptive_search [--nodes 1200] [--epochs 6]
+#include <iomanip>
+#include <iostream>
+
+#include "src/core/query_centric.hpp"
+#include "src/overlay/topology.hpp"
+#include "src/trace/gnutella.hpp"
+#include "src/util/cli.hpp"
+
+using namespace qcp2p;
+using overlay::NodeId;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto nodes = static_cast<std::size_t>(cli.get_uint("nodes", 1'200));
+  const auto epochs = cli.get_uint("epochs", 6);
+  const auto queries_per_epoch = cli.get_uint("queries", 150);
+
+  trace::ContentModelParams mp;
+  mp.core_lexicon_size = 2'500;
+  mp.catalog_songs = 30'000;
+  mp.artists = 6'000;
+  mp.tail_lexicon_size = 60'000;
+  const trace::ContentModel model(mp);
+  const trace::CrawlSnapshot crawl = generate_gnutella_crawl(
+      model, trace::GnutellaCrawlParams{}.scaled(
+                 static_cast<double>(nodes) / 37'572.0));
+  const sim::PeerStore store = sim::peer_store_from_crawl(crawl, nodes);
+
+  util::Rng rng(9);
+  const overlay::Graph graph = overlay::random_regular(nodes, 8, rng);
+
+  core::SynopsisParams sp;
+  sp.term_budget = 24;  // tight: selection policy matters
+  core::TermPopularityTracker tracker;
+  core::QueryCentricOverlay adaptive(graph, store, sp,
+                                     core::SynopsisPolicy::kQueryCentric);
+  core::QueryCentricOverlay static_overlay(
+      graph, store, sp, core::SynopsisPolicy::kContentCentric);
+
+  // The "hot" term: a rare annotation that will flash-crowd at epoch 3.
+  sim::TermId hot = 0;
+  for (overlay::NodeId p = 0; p < nodes && hot == 0; ++p) {
+    for (const auto& o : store.objects(p)) {
+      if (!o.terms.empty()) hot = o.terms.back();
+    }
+  }
+  // Background workload: whatever peers actually query day to day.
+  auto background_query = [&](util::Rng& r) -> std::vector<sim::TermId> {
+    for (;;) {
+      const auto peer = static_cast<NodeId>(r.bounded(nodes));
+      if (store.objects(peer).empty()) continue;
+      const auto& obj = store.objects(peer)[r.bounded(store.objects(peer).size())];
+      if (!obj.terms.empty()) return {obj.terms.front()};
+    }
+  };
+
+  core::GuidedSearchParams gp;
+  gp.ttl = 8;
+  gp.fallback_fanout = 2;
+  gp.message_budget = 300;
+
+  std::cout << "epoch  workload        adaptive  static   (success over "
+            << queries_per_epoch << " queries)\n";
+  util::Rng wrng(21);
+  for (std::uint64_t epoch = 0; epoch < epochs; ++epoch) {
+    const bool crowd = epoch >= 3;
+    std::size_t ok_adaptive = 0, ok_static = 0;
+    for (std::uint64_t q = 0; q < queries_per_epoch; ++q) {
+      std::vector<sim::TermId> query =
+          crowd && wrng.chance(0.8) ? std::vector<sim::TermId>{hot}
+                                    : background_query(wrng);
+      tracker.observe_query(query);
+      const auto src = static_cast<NodeId>(wrng.bounded(nodes));
+      ok_adaptive += adaptive.search(src, query, gp, wrng).success;
+      ok_static += static_overlay.search(src, query, gp, wrng).success;
+    }
+    // End-of-epoch adaptation: the query-centric overlay re-advertises;
+    // transiently popular terms propagate immediately.
+    adaptive.rebuild_synopses(&tracker);
+    adaptive.adapt_to_transients(tracker);
+
+    std::cout << std::setw(5) << epoch << "  "
+              << (crowd ? "FLASH CROWD   " : "background    ") << "  "
+              << std::setw(6) << std::fixed << std::setprecision(1)
+              << 100.0 * static_cast<double>(ok_adaptive) / static_cast<double>(queries_per_epoch)
+              << "%   " << std::setw(6)
+              << 100.0 * static_cast<double>(ok_static) / static_cast<double>(queries_per_epoch)
+              << "%" << (crowd && tracker.is_transient(hot)
+                             ? "   <- tracker flags the hot term as transient"
+                             : "")
+              << "\n";
+  }
+  std::cout << "\nThe adaptive overlay converges on the flash crowd within "
+               "one epoch;\nthe content-centric overlay never re-advertises "
+               "and stays blind to it.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The paper's Section II methodology, end to end: stand up a live
+// Gnutella network (protocol-level servents over an overlay), discover
+// its peers with PING/PONG sweeps, crawl the discovered peers' file
+// lists with realistic failure modes, and run the Fig 1-3 analysis on
+// the *observed* sample — then compare against ground truth, which the
+// real researchers never had.
+//
+// Usage: ./build/examples/crawl_and_analyze [--peers 1000]
+#include <iostream>
+
+#include "src/analysis/replication.hpp"
+#include "src/crawler/crawler.hpp"
+#include "src/gnutella/network.hpp"
+#include "src/overlay/topology.hpp"
+#include "src/sim/network.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto peers = static_cast<std::size_t>(cli.get_uint("peers", 1'000));
+
+  // Ground truth: the network as it really is.
+  trace::ContentModelParams mp;
+  mp.core_lexicon_size = 3'000;
+  mp.catalog_songs = 60'000;
+  mp.artists = 10'000;
+  mp.tail_lexicon_size = 120'000;
+  const trace::ContentModel model(mp);
+  trace::GnutellaCrawlParams cp;
+  cp.num_peers = static_cast<std::uint32_t>(peers);
+  cp.mean_objects_per_peer = 80;
+  const trace::CrawlSnapshot truth = generate_gnutella_crawl(model, cp);
+
+  util::Rng rng(13);
+  const overlay::Graph graph = overlay::random_regular(peers, 6, rng);
+  const sim::PeerStore store = sim::peer_store_from_crawl(truth, peers);
+
+  // 1. A protocol-level ping sweep from one vantage point: how much of
+  // the network does a single monitoring servent even see?
+  gnutella::GnutellaNetwork net(graph, store);
+  const gnutella::PingOutcome sweep = net.ping(0, 5);
+  std::cout << "ping sweep (TTL 5): heard " << sweep.pongs.size() << " of "
+            << peers << " peers, " << sweep.messages << " messages\n";
+
+  // 2. Cruiser-style iterative topology + file crawl with failures.
+  const crawler::Crawler crawler;  // default: ~35% combined loss
+  const crawler::TopologyCrawl topo = crawler.crawl_topology(graph, {0, 1, 2});
+  const crawler::FileCrawl observed =
+      crawler.crawl_files(truth, topo.discovered);
+  std::cout << "topology crawl: discovered " << topo.discovered.size()
+            << " peers (" << topo.responsive.size() << " responsive)\n"
+            << "file crawl: " << observed.succeeded << " listings, "
+            << observed.unreachable << " unreachable, " << observed.refused
+            << " protected, " << observed.busy_failed << " busy\n\n";
+
+  // 3. The paper's analysis on the observed sample vs the ground truth.
+  auto report = [](const char* label, const trace::CrawlSnapshot& snap) {
+    const auto counts = snap.object_replica_counts();
+    const auto s = analysis::summarize_replication(counts, snap.num_peers());
+    std::cout << label << ": " << snap.num_peers() << " peers, "
+              << s.unique_items << " unique objects, singleton "
+              << util::Table::format(s.singleton_fraction * 100, 1)
+              << "%, on <= 37 peers "
+              << util::Table::format(
+                     util::fraction_at_or_below(counts, 37) * 100, 1)
+              << "%\n";
+  };
+  report("observed    ", observed.observed);
+  report("ground truth", truth);
+  std::cout << "\nThe lossy crawl reproduces the long-tail conclusion the\n"
+               "paper drew from its own (equally lossy) crawls.\n";
+  return 0;
+}

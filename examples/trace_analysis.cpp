@@ -1,0 +1,95 @@
+// Trace-analysis walkthrough: the measurement half of the paper as a
+// library client would use it.
+//
+//   * generate a Gnutella crawl and a one-week query trace;
+//   * persist and reload them through trace_io (the formats external
+//     traces can be converted into);
+//   * compute the replication summary (Fig 1-3), the transient-term
+//     series (Fig 5) and the stability/disconnect contrast (Fig 6/7).
+//
+// Usage: ./build/examples/trace_analysis [--scale 0.05] [--dir /tmp]
+#include <filesystem>
+#include <iostream>
+
+#include "src/analysis/query_analysis.hpp"
+#include "src/analysis/replication.hpp"
+#include "src/trace/trace_io.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.05);
+  const std::string dir = cli.get("dir", std::filesystem::temp_directory_path());
+
+  trace::ContentModelParams mp;
+  mp.core_lexicon_size = static_cast<std::uint32_t>(60'000 * scale) + 1'000;
+  mp.catalog_songs = static_cast<std::uint32_t>(2'500'000 * scale) + 5'000;
+  mp.artists = static_cast<std::uint32_t>(400'000 * scale) + 2'000;
+  mp.tail_lexicon_size = static_cast<std::uint32_t>(4'000'000 * scale) + 20'000;
+  const trace::ContentModel model(mp);
+
+  // --- crawl -------------------------------------------------------------
+  const trace::CrawlSnapshot crawl = generate_gnutella_crawl(
+      model, trace::GnutellaCrawlParams{}.scaled(scale));
+  const auto counts = crawl.object_replica_counts();
+  const auto summary =
+      analysis::summarize_replication(counts, crawl.num_peers());
+  std::cout << "crawl: " << crawl.num_peers() << " peers, "
+            << crawl.total_objects() << " objects, " << summary.unique_items
+            << " unique\n"
+            << "  singleton objects        : "
+            << summary.singleton_fraction * 100 << "%\n"
+            << "  on <= 37 peers           : "
+            << util::fraction_at_or_below(counts, 37) * 100 << "%\n"
+            << "  zipf exponent (head fit) : " << summary.zipf.exponent
+            << " (r^2 " << summary.zipf.r_squared << ")\n";
+
+  // --- round-trip through the on-disk format ------------------------------
+  const std::string crawl_path = dir + "/qcp2p_crawl.txt";
+  save_crawl(crawl_path, crawl);
+  const trace::CrawlSnapshot reloaded = load_crawl(crawl_path, model);
+  std::cout << "round-trip through " << crawl_path << ": "
+            << reloaded.total_objects() << " objects ("
+            << (reloaded.total_objects() == crawl.total_objects() ? "match"
+                                                                  : "MISMATCH")
+            << ")\n\n";
+
+  // --- query trace ---------------------------------------------------------
+  trace::QueryTraceParams qp = trace::QueryTraceParams{}.scaled(scale);
+  const trace::QueryTrace queries = generate_query_trace(model, qp);
+  std::cout << "query trace: " << queries.queries().size() << " queries over "
+            << qp.duration_hours << "h, " << queries.events().size()
+            << " flash-crowd events\n";
+
+  const analysis::QueryTermAnalyzer analyzer(
+      queries.queries(), queries.duration_s(), 3'600.0, 0.10);
+
+  const auto transients =
+      analyzer.transient_count_series(analysis::TransientPolicy{});
+  util::RunningStats tstats;
+  for (auto c : transients) tstats.add(c);
+  std::cout << "  transient terms/interval : mean " << tstats.mean()
+            << ", max " << tstats.max() << "\n";
+
+  analysis::PopularPolicy policy;
+  policy.top_k = 50;
+  util::RunningStats stability;
+  for (double j : analyzer.stability_series(policy)) stability.add(j);
+  util::RunningStats disconnect;
+  const auto file_terms = crawl.popular_file_terms(50);
+  for (double j : analyzer.disconnect_series(file_terms, policy)) {
+    disconnect.add(j);
+  }
+  std::cout << "  popular-set stability    : " << stability.mean()
+            << " (paper: > 0.9 at full query density; reduced --scale\n"
+            << "                             thins per-interval counts and "
+               "lowers this)\n"
+            << "  query/file overlap       : " << disconnect.mean()
+            << " (paper: < 0.2)\n"
+            << "=> stable queries, mismatched annotations — the paper's "
+               "case for query-centric overlays.\n";
+  return 0;
+}

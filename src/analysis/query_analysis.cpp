@@ -1,0 +1,235 @@
+#include "src/analysis/query_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/jaccard.hpp"
+
+namespace qcp2p::analysis {
+
+QueryTermAnalyzer::QueryTermAnalyzer(std::span<const Query> queries,
+                                     double duration_s, double interval_s,
+                                     double train_fraction)
+    : interval_s_(interval_s) {
+  if (interval_s <= 0.0) {
+    throw std::invalid_argument("QueryTermAnalyzer: interval_s must be > 0");
+  }
+  if (train_fraction < 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "QueryTermAnalyzer: train_fraction must be in [0, 1)");
+  }
+  const auto num_intervals = static_cast<std::size_t>(
+      std::ceil(duration_s / interval_s));
+  intervals_.resize(std::max<std::size_t>(1, num_intervals));
+
+  for (const Query& q : queries) {
+    auto t = static_cast<std::size_t>(q.time_s / interval_s);
+    if (t >= intervals_.size()) t = intervals_.size() - 1;
+    for (TermId term : q.terms) ++intervals_[t][term];
+  }
+
+  first_eval_ = static_cast<std::size_t>(
+      std::ceil(duration_s * train_fraction / interval_s));
+  first_eval_ = std::min(first_eval_, intervals_.size());
+
+  // Sparse cumulative counts: for each term, running totals at the
+  // intervals where it occurred.
+  for (std::uint32_t t = 0; t < intervals_.size(); ++t) {
+    for (const auto& [term, count] : intervals_[t]) {
+      auto& entries = cumulative_[term];
+      const std::uint32_t prev = entries.empty() ? 0 : entries.back().second;
+      entries.emplace_back(t, prev + count);
+    }
+  }
+}
+
+double QueryTermAnalyzer::history_rate(TermId term, std::size_t t) const {
+  if (t == 0) return 0.0;
+  const auto it = cumulative_.find(term);
+  if (it == cumulative_.end()) return 0.0;
+  const auto& entries = it->second;
+  // Running total over intervals [0, t): last entry with interval < t.
+  const auto pos = std::lower_bound(
+      entries.begin(), entries.end(), t,
+      [](const auto& e, std::size_t value) { return e.first < value; });
+  const std::uint32_t total = pos == entries.begin() ? 0 : std::prev(pos)->second;
+  return static_cast<double>(total) / static_cast<double>(t);
+}
+
+std::unordered_set<TermId> QueryTermAnalyzer::popular_terms(
+    std::size_t t, const PopularPolicy& policy) const {
+  const auto& counts = intervals_.at(t);
+  std::vector<std::pair<std::uint32_t, TermId>> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [term, count] : counts) {
+    if (count >= policy.min_count) ranked.emplace_back(count, term);
+  }
+  const std::size_t k = std::min(policy.top_k, ranked.size());
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<std::ptrdiff_t>(k),
+                    ranked.end(), std::greater<>());
+  std::unordered_set<TermId> popular;
+  popular.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) popular.insert(ranked[i].second);
+  return popular;
+}
+
+std::vector<TermId> QueryTermAnalyzer::transient_terms(
+    std::size_t t, const TransientPolicy& policy) const {
+  std::vector<TermId> out;
+  for (const auto& [term, count] : intervals_.at(t)) {
+    if (count < policy.min_count) continue;
+    const double mean = history_rate(term, t);
+    const double poisson_bound =
+        mean + policy.z_score * std::sqrt(std::max(mean, 1.0));
+    const double ratio_bound = policy.min_ratio * std::max(mean, 0.5);
+    if (static_cast<double>(count) > poisson_bound &&
+        static_cast<double>(count) >= ratio_bound) {
+      out.push_back(term);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> QueryTermAnalyzer::transient_count_series(
+    const TransientPolicy& policy) const {
+  std::vector<std::uint32_t> series;
+  series.reserve(intervals_.size() - first_eval_);
+  for (std::size_t t = first_eval_; t < intervals_.size(); ++t) {
+    series.push_back(
+        static_cast<std::uint32_t>(transient_terms(t, policy).size()));
+  }
+  return series;
+}
+
+std::vector<double> QueryTermAnalyzer::stability_series(
+    const PopularPolicy& policy) const {
+  std::vector<double> series;
+  if (intervals_.size() < 2) return series;
+  std::unordered_set<TermId> prev = popular_terms(first_eval_, policy);
+  for (std::size_t t = first_eval_ + 1; t < intervals_.size(); ++t) {
+    std::unordered_set<TermId> cur = popular_terms(t, policy);
+    // Q**_t = Q*_t ∩ Q*_{t-1}; Jaccard(Q*_t, Q**_t) = |Q**_t| / |Q*_t|.
+    const std::size_t inter = util::intersection_size(cur, prev);
+    series.push_back(cur.empty()
+                         ? 1.0
+                         : static_cast<double>(inter) /
+                               static_cast<double>(cur.size()));
+    prev = std::move(cur);
+  }
+  return series;
+}
+
+std::vector<double> QueryTermAnalyzer::rank_correlation_series(
+    const PopularPolicy& policy) const {
+  std::vector<double> series;
+  if (intervals_.size() < 2) return series;
+
+  auto count_in = [this](std::size_t t, TermId term) -> std::uint32_t {
+    const auto& counts = intervals_[t];
+    const auto it = counts.find(term);
+    return it == counts.end() ? 0 : it->second;
+  };
+
+  std::unordered_set<TermId> prev = popular_terms(first_eval_, policy);
+  for (std::size_t t = first_eval_ + 1; t < intervals_.size(); ++t) {
+    std::unordered_set<TermId> cur = popular_terms(t, policy);
+    std::vector<TermId> universe(prev.begin(), prev.end());
+    for (TermId term : cur) {
+      if (!prev.count(term)) universe.push_back(term);
+    }
+    // Kendall tau-b over (count_{t-1}, count_t) pairs; O(u^2) on the
+    // small popular-set union.
+    std::int64_t concordant = 0, discordant = 0;
+    std::int64_t ties_a = 0, ties_b = 0;
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      for (std::size_t j = i + 1; j < universe.size(); ++j) {
+        const auto a1 = count_in(t - 1, universe[i]);
+        const auto a2 = count_in(t - 1, universe[j]);
+        const auto b1 = count_in(t, universe[i]);
+        const auto b2 = count_in(t, universe[j]);
+        const int da = a1 < a2 ? -1 : (a1 > a2 ? 1 : 0);
+        const int db = b1 < b2 ? -1 : (b1 > b2 ? 1 : 0);
+        if (da == 0 && db == 0) {
+          ++ties_a;
+          ++ties_b;
+        } else if (da == 0) {
+          ++ties_a;
+        } else if (db == 0) {
+          ++ties_b;
+        } else if (da == db) {
+          ++concordant;
+        } else {
+          ++discordant;
+        }
+      }
+    }
+    const double n0 = static_cast<double>(universe.size()) *
+                      (static_cast<double>(universe.size()) - 1.0) / 2.0;
+    const double denom = std::sqrt((n0 - static_cast<double>(ties_a)) *
+                                   (n0 - static_cast<double>(ties_b)));
+    series.push_back(denom > 0.0
+                         ? static_cast<double>(concordant - discordant) / denom
+                         : 1.0);
+    prev = std::move(cur);
+  }
+  return series;
+}
+
+std::vector<double> QueryTermAnalyzer::disconnect_series(
+    std::span<const TermId> file_popular, const PopularPolicy& policy) const {
+  const std::unordered_set<TermId> file_set(file_popular.begin(),
+                                            file_popular.end());
+  std::vector<double> series;
+  series.reserve(intervals_.size() - first_eval_);
+  for (std::size_t t = first_eval_; t < intervals_.size(); ++t) {
+    series.push_back(util::jaccard(popular_terms(t, policy), file_set));
+  }
+  return series;
+}
+
+std::vector<double> QueryTermAnalyzer::disconnect_series_all_terms(
+    std::span<const TermId> file_popular) const {
+  const std::unordered_set<TermId> file_set(file_popular.begin(),
+                                            file_popular.end());
+  std::vector<double> series;
+  series.reserve(intervals_.size() - first_eval_);
+  for (std::size_t t = first_eval_; t < intervals_.size(); ++t) {
+    std::unordered_set<TermId> all;
+    all.reserve(intervals_[t].size());
+    for (const auto& [term, count] : intervals_[t]) all.insert(term);
+    series.push_back(util::jaccard(all, file_set));
+  }
+  return series;
+}
+
+std::vector<double> QueryTermAnalyzer::volume_series() const {
+  std::vector<double> series;
+  series.reserve(intervals_.size());
+  for (const auto& counts : intervals_) {
+    double total = 0.0;
+    for (const auto& [term, count] : counts) total += count;
+    series.push_back(total);
+  }
+  return series;
+}
+
+double autocorrelation(std::span<const double> series, std::size_t lag) {
+  if (lag >= series.size()) return 0.0;
+  const std::size_t n = series.size();
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double x : series) var += (x - mean) * (x - mean);
+  if (var <= 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    cov += (series[i] - mean) * (series[i + lag] - mean);
+  }
+  return cov / var;
+}
+
+}  // namespace qcp2p::analysis

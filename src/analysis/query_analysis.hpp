@@ -1,0 +1,130 @@
+// Interval-based analysis of query workloads: term popularity per
+// evaluation interval, transient-popularity detection (Fig 5), stability
+// of the popular set (Fig 6), and the query-vs-file-term disconnect
+// (Fig 7). Mirrors Section IV of the paper:
+//
+//   * a training prefix (10% of queries) establishes each term's
+//     historical occurrence rate;
+//   * at each evaluation interval, a term is *transiently popular* when
+//     its occurrence count deviates significantly from its historical
+//     average (we use a Poisson-style z-score plus a multiplicative
+//     ratio, both configurable);
+//   * the *popular* set Q*_t is the top-k terms of the interval;
+//   * Q**_t = Q*_t intersected with Q*_{t-1} (persistently popular), and
+//     Fig 6 plots Jaccard(Q*_t, Q**_t);
+//   * Fig 7 plots Jaccard(Q*_t, F*) against the popular file terms F*.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/trace/query_trace.hpp"
+
+namespace qcp2p::analysis {
+
+using trace::Query;
+using trace::TermId;
+
+/// How the per-interval popular set Q*_t is chosen.
+struct PopularPolicy {
+  /// Keep the top_k most frequent terms of the interval...
+  std::size_t top_k = 200;
+  /// ...that occur at least min_count times.
+  std::uint32_t min_count = 2;
+};
+
+/// How transient popularity is detected.
+struct TransientPolicy {
+  /// Flag a term when interval_count > history_mean + z * sqrt(mean)
+  /// (Poisson deviation)...
+  double z_score = 6.0;
+  /// ...and interval_count >= ratio * history_mean...
+  double min_ratio = 8.0;
+  /// ...and interval_count is at least this large (kills one-off noise).
+  std::uint32_t min_count = 10;
+};
+
+/// Bins a query stream into fixed evaluation intervals and answers the
+/// paper's Section IV questions about it.
+class QueryTermAnalyzer {
+ public:
+  /// @param interval_s      evaluation interval length in seconds.
+  /// @param train_fraction  leading fraction of queries used only to
+  ///                        establish historical rates (paper: 10%).
+  QueryTermAnalyzer(std::span<const Query> queries, double duration_s,
+                    double interval_s, double train_fraction = 0.10);
+
+  [[nodiscard]] std::size_t num_intervals() const noexcept {
+    return intervals_.size();
+  }
+  /// First interval at or after the end of the training prefix.
+  [[nodiscard]] std::size_t first_eval_interval() const noexcept {
+    return first_eval_;
+  }
+  [[nodiscard]] double interval_s() const noexcept { return interval_s_; }
+
+  /// Term -> count within interval t.
+  [[nodiscard]] const std::unordered_map<TermId, std::uint32_t>&
+  interval_counts(std::size_t t) const {
+    return intervals_.at(t);
+  }
+
+  /// Q*_t under the given policy (unsorted set).
+  [[nodiscard]] std::unordered_set<TermId> popular_terms(
+      std::size_t t, const PopularPolicy& policy) const;
+
+  /// Terms transiently popular in interval t. History = training counts
+  /// plus all full intervals before t (cumulative, as in the paper).
+  [[nodiscard]] std::vector<TermId> transient_terms(
+      std::size_t t, const TransientPolicy& policy) const;
+
+  /// Fig 5 series: number of transient terms per evaluation interval.
+  [[nodiscard]] std::vector<std::uint32_t> transient_count_series(
+      const TransientPolicy& policy) const;
+
+  /// Fig 6 series: Jaccard(Q*_t, Q*_t ∩ Q*_{t-1}) for each evaluation
+  /// interval t >= first_eval_interval() + 1.
+  [[nodiscard]] std::vector<double> stability_series(
+      const PopularPolicy& policy) const;
+
+  /// Fig 7 series: Jaccard(Q*_t, file_popular) per evaluation interval.
+  [[nodiscard]] std::vector<double> disconnect_series(
+      std::span<const TermId> file_popular, const PopularPolicy& policy) const;
+
+  /// Variant of Fig 7 using ALL query terms of the interval (Q_t).
+  [[nodiscard]] std::vector<double> disconnect_series_all_terms(
+      std::span<const TermId> file_popular) const;
+
+  /// Rank-level stability: Kendall tau-b between consecutive intervals'
+  /// counts, computed over the union of the two popular sets. A finer
+  /// companion to Fig 6's set-level Jaccard — the set can be stable while
+  /// the ranking inside it churns.
+  [[nodiscard]] std::vector<double> rank_correlation_series(
+      const PopularPolicy& policy) const;
+
+  /// Query arrivals per interval (all intervals, including training).
+  [[nodiscard]] std::vector<double> volume_series() const;
+
+ private:
+  /// Historical per-interval rate of a term before interval t.
+  [[nodiscard]] double history_rate(TermId term, std::size_t t) const;
+
+  double interval_s_;
+  std::size_t first_eval_ = 0;
+  std::vector<std::unordered_map<TermId, std::uint32_t>> intervals_;
+  // Cumulative counts over intervals [0, t): prefix_counts_[t].
+  // Stored sparsely: per-term vector of (interval, running total).
+  std::unordered_map<TermId, std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      cumulative_;
+};
+
+/// Pearson autocorrelation of a series at a given lag; used to confirm
+/// the diurnal (24-hour) periodicity of query arrivals the generator
+/// models (a peak at lag = 24h / interval).
+[[nodiscard]] double autocorrelation(std::span<const double> series,
+                                     std::size_t lag);
+
+}  // namespace qcp2p::analysis

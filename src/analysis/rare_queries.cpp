@@ -1,0 +1,94 @@
+#include "src/analysis/rare_queries.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::analysis {
+
+GlobalResultIndex::GlobalResultIndex(const trace::CrawlSnapshot& snapshot) {
+  // Pass 1: replica counts per unique object.
+  for (std::size_t p = 0; p < snapshot.num_peers(); ++p) {
+    for (trace::ObjectKey key : snapshot.peer_objects(p)) {
+      ++object_replicas_[key.bits];
+    }
+  }
+  // Pass 2: term postings over unique objects.
+  for (const auto& [bits, replicas] : object_replicas_) {
+    const trace::ObjectKey key{bits};
+    for (trace::TermId t : snapshot.object_terms(key)) {
+      term_objects_[t].push_back(bits);
+    }
+  }
+  for (auto& [term, objects] : term_objects_) {
+    std::sort(objects.begin(), objects.end());
+    objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
+  }
+}
+
+std::uint64_t GlobalResultIndex::result_count(
+    std::span<const trace::TermId> query) const {
+  if (query.empty()) return 0;
+
+  // Gather postings; a missing term means zero conjunctive results.
+  std::vector<const std::vector<std::uint64_t>*> postings;
+  postings.reserve(query.size());
+  for (trace::TermId t : query) {
+    const auto it = term_objects_.find(t);
+    if (it == term_objects_.end()) return 0;
+    postings.push_back(&it->second);
+  }
+  // Intersect starting from the shortest posting list.
+  std::sort(postings.begin(), postings.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+
+  std::uint64_t results = 0;
+  for (std::uint64_t object : *postings.front()) {
+    bool in_all = true;
+    for (std::size_t i = 1; i < postings.size() && in_all; ++i) {
+      in_all = std::binary_search(postings[i]->begin(), postings[i]->end(),
+                                  object);
+    }
+    if (in_all) results += object_replicas_.at(object);
+  }
+  return results;
+}
+
+RareQueryStats rare_query_stats(const GlobalResultIndex& index,
+                                std::span<const trace::Query> queries,
+                                std::uint64_t cutoff,
+                                std::size_t sample_every) {
+  RareQueryStats stats;
+  if (sample_every == 0) sample_every = 1;
+  std::vector<double> counts;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < queries.size(); i += sample_every) {
+    const std::uint64_t results = index.result_count(queries[i].terms);
+    ++stats.queries;
+    stats.zero_results += (results == 0);
+    stats.rare += (results < cutoff);
+    counts.push_back(static_cast<double>(results));
+    sum += static_cast<double>(results);
+  }
+  if (!counts.empty()) {
+    stats.mean_results = sum / static_cast<double>(counts.size());
+    std::nth_element(counts.begin(), counts.begin() + static_cast<std::ptrdiff_t>(counts.size() / 2),
+                     counts.end());
+    stats.median_results = counts[counts.size() / 2];
+  }
+  return stats;
+}
+
+double analytical_flood_success(std::uint64_t copies, std::uint64_t reached,
+                                std::uint64_t n) noexcept {
+  if (n == 0 || copies == 0) return 0.0;
+  if (copies >= n || reached >= n) return 1.0;
+  // P(miss) = prod_{i=0}^{reached-1} (n - copies - i) / (n - i).
+  double miss = 1.0;
+  for (std::uint64_t i = 0; i < reached; ++i) {
+    const double numer = static_cast<double>(n - copies - i);
+    if (numer <= 0.0) return 1.0;
+    miss *= numer / static_cast<double>(n - i);
+  }
+  return 1.0 - miss;
+}
+
+}  // namespace qcp2p::analysis

@@ -1,0 +1,82 @@
+// Global result-count analysis: how many results would a query get if it
+// reached the WHOLE network? Loo et al. (IPTPS'04) call a query "rare"
+// when it returns fewer than 20 results; the paper's Section VI argues
+// that under the measured distribution almost every query is rare (fewer
+// than 4% of objects sit on >= 20 peers), which breaks hybrid search's
+// premise that common queries are satisfied by the flood phase.
+//
+// Also provides the analytical uniform-replication flood-success model
+// the paper compares against ("a random distribution model ... would
+// have predicted a success rate of 62%").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/gnutella.hpp"
+#include "src/trace/query_trace.hpp"
+
+namespace qcp2p::analysis {
+
+/// Inverted index over an entire crawl: term -> number of object
+/// *replicas* (peer-held instances) whose annotations contain the term.
+/// Result counts for single-term queries are exact; multi-term
+/// (conjunctive) counts are computed by intersecting per-term object
+/// sets and summing replica counts.
+class GlobalResultIndex {
+ public:
+  explicit GlobalResultIndex(const trace::CrawlSnapshot& snapshot);
+
+  /// Number of results (matching replicas network-wide) for a
+  /// conjunctive query.
+  [[nodiscard]] std::uint64_t result_count(
+      std::span<const trace::TermId> query) const;
+
+  [[nodiscard]] std::size_t indexed_terms() const noexcept {
+    return term_objects_.size();
+  }
+
+ private:
+  // term -> sorted unique object keys containing it.
+  std::unordered_map<trace::TermId, std::vector<std::uint64_t>> term_objects_;
+  // object key -> replica count.
+  std::unordered_map<std::uint64_t, std::uint32_t> object_replicas_;
+};
+
+struct RareQueryStats {
+  std::uint64_t queries = 0;
+  std::uint64_t zero_results = 0;        // nothing matches anywhere
+  std::uint64_t rare = 0;                // < cutoff results (incl. zero)
+  double mean_results = 0.0;
+  double median_results = 0.0;
+
+  [[nodiscard]] double rare_fraction() const noexcept {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(rare) /
+                              static_cast<double>(queries);
+  }
+  [[nodiscard]] double zero_fraction() const noexcept {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(zero_results) /
+                              static_cast<double>(queries);
+  }
+};
+
+/// Evaluates a query workload against the whole-network index.
+/// @param cutoff  Loo et al.'s rare-query threshold (default 20).
+/// @param sample_every  evaluate every k-th query (1 = all).
+[[nodiscard]] RareQueryStats rare_query_stats(
+    const GlobalResultIndex& index, std::span<const trace::Query> queries,
+    std::uint64_t cutoff = 20, std::size_t sample_every = 1);
+
+/// Exact probability that a TTL-limited flood reaching `reached` peers
+/// (uniformly random, without the source) sees at least one of `copies`
+/// uniformly placed replicas in an `n`-peer network: the model prior
+/// analyses used, which the paper shows overestimates real performance.
+[[nodiscard]] double analytical_flood_success(std::uint64_t copies,
+                                              std::uint64_t reached,
+                                              std::uint64_t n) noexcept;
+
+}  // namespace qcp2p::analysis

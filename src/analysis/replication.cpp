@@ -1,0 +1,59 @@
+#include "src/analysis/replication.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::analysis {
+
+ReplicationSummary summarize_replication(std::span<const std::uint64_t> counts,
+                                         std::uint64_t population) {
+  ReplicationSummary s;
+  s.unique_items = counts.size();
+  if (counts.empty()) return s;
+
+  s.milli_threshold = std::max<std::uint64_t>(1, population / 1000);
+  std::uint64_t singletons = 0, under = 0, over20 = 0, max = 0;
+  for (std::uint64_t c : counts) {
+    s.total_instances += c;
+    singletons += (c == 1);
+    under += (c <= s.milli_threshold);
+    over20 += (c >= 20);
+    max = std::max(max, c);
+  }
+  const double n = static_cast<double>(counts.size());
+  s.mean_replicas = static_cast<double>(s.total_instances) / n;
+  s.max_replicas = static_cast<double>(max);
+  s.singleton_fraction = static_cast<double>(singletons) / n;
+  s.fraction_under_milli = static_cast<double>(under) / n;
+  s.fraction_20_or_more = static_cast<double>(over20) / n;
+
+  // Fit the Zipf exponent on the head (top 1% of ranks, at least 100),
+  // where the power law lives; the singleton plateau is excluded.
+  const auto curve = replication_rank_curve(counts);
+  const std::size_t head =
+      std::max<std::size_t>(100, counts.size() / 100);
+  s.zipf = util::fit_zipf(curve, head);
+  return s;
+}
+
+std::vector<util::CurvePoint> replication_rank_curve(
+    std::span<const std::uint64_t> counts) {
+  return util::rank_frequency(counts);
+}
+
+void NameReplicaCounter::add(std::uint32_t peer, std::string_view name) {
+  auto [it, fresh] = counts_.try_emplace(std::string(name));
+  Entry& e = it->second;
+  if (fresh || e.last_peer != peer + 1) {
+    ++e.count;
+    e.last_peer = peer + 1;
+  }
+}
+
+std::vector<std::uint64_t> NameReplicaCounter::counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(counts_.size());
+  for (const auto& [name, e] : counts_) out.push_back(e.count);
+  return out;
+}
+
+}  // namespace qcp2p::analysis

@@ -1,0 +1,64 @@
+// Replica-distribution analysis (Figs 1-4 and the in-text statistics):
+// given per-item replica counts (how many peers hold each unique object /
+// term / annotation value), compute the summary numbers the paper reports
+// and the rank plots it draws.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/stats.hpp"
+
+namespace qcp2p::analysis {
+
+struct ReplicationSummary {
+  std::uint64_t unique_items = 0;
+  std::uint64_t total_instances = 0;  // sum of counts
+  double mean_replicas = 0.0;
+  double max_replicas = 0.0;
+  /// Fraction of unique items held by exactly one peer.
+  double singleton_fraction = 0.0;
+  /// Fraction of unique items held by <= threshold peers, where the
+  /// threshold is 0.1% of the population (the paper's headline cut).
+  double fraction_under_milli = 0.0;
+  std::uint64_t milli_threshold = 0;  // the "0.1% of peers" peer count
+  /// Fraction of unique items on >= 20 peers (Loo et al.'s rare cutoff).
+  double fraction_20_or_more = 0.0;
+  /// Zipf exponent fitted to the head of the rank-frequency curve.
+  util::ZipfFit zipf;
+};
+
+/// @param population  number of peers/clients in the system (defines the
+///                    0.1% threshold, rounded down but at least 1).
+[[nodiscard]] ReplicationSummary summarize_replication(
+    std::span<const std::uint64_t> counts, std::uint64_t population);
+
+/// Rank plot (log-log axes): x = item rank by replica count, y = count.
+[[nodiscard]] std::vector<util::CurvePoint> replication_rank_curve(
+    std::span<const std::uint64_t> counts);
+
+/// String-pipeline replica counter: feed (peer, name) pairs exactly as a
+/// crawler would observe them; duplicate names within one peer count once.
+/// Peers must be fed in nondecreasing peer order.
+class NameReplicaCounter {
+ public:
+  void add(std::uint32_t peer, std::string_view name);
+
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::size_t unique_names() const noexcept {
+    return counts_.size();
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t count = 0;
+    std::uint32_t last_peer = 0;  // peer id + 1; 0 = none
+  };
+  std::unordered_map<std::string, Entry> counts_;
+};
+
+}  // namespace qcp2p::analysis

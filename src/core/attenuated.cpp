@@ -1,0 +1,158 @@
+#include "src/core/attenuated.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace qcp2p::core {
+
+AttenuatedOverlay::AttenuatedOverlay(const Graph& graph,
+                                     const PeerStore& store,
+                                     const AttenuatedParams& params,
+                                     SynopsisPolicy policy,
+                                     const TermPopularityTracker* tracker)
+    : graph_(&graph), store_(&store), params_(params) {
+  const std::size_t n = graph.num_nodes();
+
+  // 1. Per-peer advertised term sets under the selection policy.
+  const TermPopularityTracker empty_tracker{};
+  const TermPopularityTracker* effective =
+      policy == SynopsisPolicy::kQueryCentric
+          ? (tracker != nullptr ? tracker : &empty_tracker)
+          : nullptr;
+  advertised_.resize(n);
+  std::vector<BloomFilter> own;
+  own.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::vector<TermId>& terms = store.peer_terms(v);
+    std::unordered_map<TermId, std::uint32_t> freq;
+    for (const PeerStore::Object& o : store.objects(v)) {
+      for (TermId t : o.terms) ++freq[t];
+    }
+    std::vector<std::uint32_t> frequency(terms.size());
+    for (std::size_t i = 0; i < terms.size(); ++i) frequency[i] = freq[terms[i]];
+    advertised_[v] = select_terms(
+        terms, frequency, params.term_budget,
+        effective != nullptr ? SynopsisPolicy::kQueryCentric
+                             : SynopsisPolicy::kContentCentric,
+        effective);
+    BloomFilter f(params.bloom_bits, params.bloom_hashes);
+    for (TermId t : advertised_[v]) f.insert(t);
+    own.push_back(std::move(f));
+  }
+
+  // 2. Iterative per-link aggregation. Level 0 of link (v -> u) is u's
+  // own advertisement; level d adds everything u's links reach at d-1.
+  // Levels are cumulative, so match_level is monotone in d.
+  filters_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = graph.neighbors(v);
+    filters_[v].resize(nbrs.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      filters_[v][i].assign(params.depth, own[nbrs[i]]);
+    }
+  }
+  for (std::size_t d = 1; d < params.depth; ++d) {
+    for (NodeId v = 0; v < n; ++v) {
+      const auto nbrs = graph.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId u = nbrs[i];
+        // F_d(v->u) = F_{d-1}(v->u) ∪ ⋃_w F_{d-1}(u->w).
+        BloomFilter merged = filters_[v][i][d - 1];
+        const auto u_nbrs = graph.neighbors(u);
+        for (std::size_t j = 0; j < u_nbrs.size(); ++j) {
+          merged.merge(filters_[u][j][d - 1]);
+        }
+        filters_[v][i][d] = std::move(merged);
+      }
+    }
+  }
+}
+
+std::optional<std::size_t> AttenuatedOverlay::match_level(
+    NodeId peer, std::size_t neighbor_index,
+    std::span<const TermId> query) const {
+  const auto& stack = filters_[peer][neighbor_index];
+  for (std::size_t d = 0; d < stack.size(); ++d) {
+    bool all = true;
+    for (TermId t : query) {
+      if (!stack[d].maybe_contains(t)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return d;
+  }
+  return std::nullopt;
+}
+
+AttenuatedSearchResult AttenuatedOverlay::search(
+    NodeId source, std::span<const TermId> query,
+    const AttenuatedSearchParams& params, util::Rng& rng) const {
+  AttenuatedSearchResult out;
+  if (query.empty() || graph_->num_nodes() == 0) return out;
+  std::vector<bool> visited(graph_->num_nodes(), false);
+
+  auto probe = [&](NodeId peer) {
+    ++out.peers_probed;
+    for (std::uint64_t id : store_->match(peer, query)) {
+      out.results.push_back(id);
+    }
+  };
+  auto done = [&] {
+    return params.stop_after_results != 0 &&
+           out.results.size() >= params.stop_after_results;
+  };
+
+  NodeId at = source;
+  visited[at] = true;
+  probe(at);
+  for (std::uint32_t hop = 0; hop < params.max_hops && !done(); ++hop) {
+    const auto nbrs = graph_->neighbors(at);
+    if (nbrs.empty()) break;
+
+    // Rank links by matching level (lower is closer), unmatched last.
+    std::vector<std::pair<std::size_t, std::size_t>> ranked;  // (level, idx)
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const auto level = match_level(at, i, query);
+      ranked.emplace_back(level.value_or(params_.depth + 1), i);
+    }
+    // Shuffle before the stable ordering so ties break randomly.
+    for (std::size_t i = ranked.size(); i > 1; --i) {
+      std::swap(ranked[i - 1], ranked[rng.bounded(i)]);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+
+    // Follow the best non-visited link among the top alternates; if all
+    // loop, take a uniform random neighbor (keeps rare queries moving).
+    NodeId next = nbrs[rng.bounded(nbrs.size())];
+    std::size_t tried = 0;
+    for (const auto& [level, idx] : ranked) {
+      if (tried++ >= params.alternates + 1) break;
+      if (!visited[nbrs[idx]]) {
+        next = nbrs[idx];
+        break;
+      }
+    }
+    ++out.messages;
+    at = next;
+    if (!visited[at]) {
+      visited[at] = true;
+      probe(at);
+    }
+  }
+  out.success = !out.results.empty() &&
+                (params.stop_after_results == 0 ||
+                 out.results.size() >= params.stop_after_results);
+  return out;
+}
+
+std::uint64_t AttenuatedOverlay::advertisement_bytes() const noexcept {
+  // Each directed link carries a depth-deep stack of filters.
+  return static_cast<std::uint64_t>(2 * graph_->num_edges()) *
+         params_.depth * (params_.bloom_bits / 8);
+}
+
+}  // namespace qcp2p::core

@@ -1,0 +1,149 @@
+#include "src/core/bloom.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace qcp2p::core {
+
+BloomFilter::BloomFilter(std::size_t bits, std::uint32_t hashes)
+    : words_((std::max<std::size_t>(bits, 64) + 63) / 64, 0),
+      hashes_(std::max<std::uint32_t>(hashes, 1)) {}
+
+std::pair<std::uint64_t, std::uint64_t> BloomFilter::hash_pair(
+    std::uint64_t key) const noexcept {
+  const std::uint64_t h1 = util::mix64(key ^ 0x9E3779B97F4A7C15ULL);
+  const std::uint64_t h2 = util::mix64(key ^ 0xC2B2AE3D27D4EB4FULL) | 1ULL;
+  return {h1, h2};
+}
+
+void BloomFilter::insert(std::uint64_t key) noexcept {
+  const auto [h1, h2] = hash_pair(key);
+  const std::size_t m = bit_count();
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    const std::size_t bit = (h1 + i * h2) % m;
+    words_[bit / 64] |= (1ULL << (bit % 64));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t key) const noexcept {
+  const auto [h1, h2] = hash_pair(key);
+  const std::size_t m = bit_count();
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    const std::size_t bit = (h1 + i * h2) % m;
+    if (!(words_[bit / 64] & (1ULL << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() noexcept {
+  std::fill(words_.begin(), words_.end(), 0);
+  inserted_ = 0;
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+  if (other.words_.size() != words_.size() || other.hashes_ != hashes_) {
+    throw std::invalid_argument("BloomFilter::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  inserted_ += other.inserted_;
+}
+
+double BloomFilter::fill_ratio() const noexcept {
+  std::size_t set = 0;
+  for (std::uint64_t w : words_) set += static_cast<std::size_t>(std::popcount(w));
+  return static_cast<double>(set) / static_cast<double>(bit_count());
+}
+
+double BloomFilter::estimated_fpr() const noexcept {
+  const double m = static_cast<double>(bit_count());
+  const double n = static_cast<double>(inserted_);
+  const double k = static_cast<double>(hashes_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+std::uint32_t BloomFilter::optimal_hashes(std::size_t bits,
+                                          std::size_t elements) noexcept {
+  if (elements == 0) return 1;
+  const double k = static_cast<double>(bits) /
+                   static_cast<double>(elements) * 0.6931471805599453;
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(k)));
+}
+
+BloomFilter BloomFilter::from_raw(std::vector<std::uint64_t> words,
+                                  std::uint32_t hashes, std::size_t inserted) {
+  if (words.empty()) throw std::invalid_argument("BloomFilter::from_raw");
+  BloomFilter out(words.size() * 64, hashes);
+  out.words_ = std::move(words);
+  out.inserted_ = inserted;
+  return out;
+}
+
+CountingBloomFilter::CountingBloomFilter(std::size_t cells,
+                                         std::uint32_t hashes)
+    // Rounded up to whole 64-cell blocks so the hash mapping (mod cell
+    // count) is identical to the BloomFilter exported by to_bloom().
+    : counters_((std::max<std::size_t>(cells, 1) + 63) / 64 * 64, 0),
+      hashes_(std::max<std::uint32_t>(hashes, 1)) {}
+
+std::pair<std::uint64_t, std::uint64_t> CountingBloomFilter::hash_pair(
+    std::uint64_t key) const noexcept {
+  const std::uint64_t h1 = util::mix64(key ^ 0x9E3779B97F4A7C15ULL);
+  const std::uint64_t h2 = util::mix64(key ^ 0xC2B2AE3D27D4EB4FULL) | 1ULL;
+  return {h1, h2};
+}
+
+void CountingBloomFilter::insert(std::uint64_t key) noexcept {
+  const auto [h1, h2] = hash_pair(key);
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    std::uint8_t& cell = counters_[(h1 + i * h2) % counters_.size()];
+    if (cell != 0xFF) ++cell;  // saturate
+  }
+  ++size_;
+}
+
+void CountingBloomFilter::remove(std::uint64_t key) noexcept {
+  const auto [h1, h2] = hash_pair(key);
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    std::uint8_t& cell = counters_[(h1 + i * h2) % counters_.size()];
+    if (cell != 0 && cell != 0xFF) --cell;  // saturated cells stay set
+  }
+  if (size_ > 0) --size_;
+}
+
+bool CountingBloomFilter::maybe_contains(std::uint64_t key) const noexcept {
+  const auto [h1, h2] = hash_pair(key);
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    if (counters_[(h1 + i * h2) % counters_.size()] == 0) return false;
+  }
+  return true;
+}
+
+void CountingBloomFilter::clear() noexcept {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  size_ = 0;
+}
+
+double CountingBloomFilter::fill_ratio() const noexcept {
+  std::size_t nonzero = 0;
+  for (std::uint8_t c : counters_) nonzero += (c != 0);
+  return static_cast<double>(nonzero) / static_cast<double>(counters_.size());
+}
+
+BloomFilter CountingBloomFilter::to_bloom() const {
+  // Identical cell geometry (both padded to whole 64-cell blocks) and
+  // hash family, so membership answers agree exactly: bit i of the
+  // exported filter is (counter i != 0).
+  const std::size_t words = (counters_.size() + 63) / 64;
+  std::vector<std::uint64_t> bits(words, 0);
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] != 0) bits[i / 64] |= (1ULL << (i % 64));
+  }
+  return BloomFilter::from_raw(std::move(bits), hashes_, size_);
+}
+
+}  // namespace qcp2p::core

@@ -1,0 +1,99 @@
+// Bloom filter over 64-bit keys (term ids), the wire format of a peer's
+// content synopsis. Uses double hashing (Kirsch-Mitzenmacher): two
+// independent 64-bit hashes combine into k index functions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qcp2p::core {
+
+class BloomFilter {
+ public:
+  /// @param bits    filter size in bits (rounded up to a multiple of 64).
+  /// @param hashes  number of index functions k (>= 1).
+  BloomFilter(std::size_t bits, std::uint32_t hashes);
+
+  void insert(std::uint64_t key) noexcept;
+  [[nodiscard]] bool maybe_contains(std::uint64_t key) const noexcept;
+
+  void clear() noexcept;
+
+  /// Bitwise union with a same-shaped filter (synopsis aggregation).
+  void merge(const BloomFilter& other);
+
+  [[nodiscard]] std::size_t bit_count() const noexcept {
+    return words_.size() * 64;
+  }
+  [[nodiscard]] std::uint32_t num_hashes() const noexcept { return hashes_; }
+  [[nodiscard]] std::size_t inserted() const noexcept { return inserted_; }
+
+  /// Fraction of set bits (load factor).
+  [[nodiscard]] double fill_ratio() const noexcept;
+
+  /// Analytical false-positive probability at the current load:
+  /// (1 - e^{-kn/m})^k.
+  [[nodiscard]] double estimated_fpr() const noexcept;
+
+  /// Optimal k for a given bits-per-element ratio: k = (m/n) ln 2.
+  [[nodiscard]] static std::uint32_t optimal_hashes(std::size_t bits,
+                                                    std::size_t elements) noexcept;
+
+  /// Wire decode: reconstructs a filter from its raw bit words (as
+  /// received from a peer, or projected from a CountingBloomFilter).
+  [[nodiscard]] static BloomFilter from_raw(std::vector<std::uint64_t> words,
+                                            std::uint32_t hashes,
+                                            std::size_t inserted);
+  /// Wire encode: the raw bit words.
+  [[nodiscard]] const std::vector<std::uint64_t>& raw_words() const noexcept {
+    return words_;
+  }
+
+ private:
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> hash_pair(
+      std::uint64_t key) const noexcept;
+
+  std::vector<std::uint64_t> words_;
+  std::uint32_t hashes_;
+  std::size_t inserted_ = 0;
+};
+
+/// Counting Bloom filter: supports removal, so an adaptive synopsis can
+/// swap terms in and out incrementally instead of rebuilding from
+/// scratch. 8-bit saturating counters per cell (saturated cells never
+/// decrement, preserving the no-false-negative guarantee).
+class CountingBloomFilter {
+ public:
+  CountingBloomFilter(std::size_t cells, std::uint32_t hashes);
+
+  void insert(std::uint64_t key) noexcept;
+  /// Removes one prior insertion of `key`. Removing a key that was never
+  /// inserted is undefined for membership of OTHER keys (as in any
+  /// counting Bloom filter) — callers must pair inserts and removes.
+  void remove(std::uint64_t key) noexcept;
+  [[nodiscard]] bool maybe_contains(std::uint64_t key) const noexcept;
+
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return counters_.size();
+  }
+  [[nodiscard]] std::uint32_t num_hashes() const noexcept { return hashes_; }
+  /// Net insertions (inserts minus removes), clamped at zero.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Fraction of nonzero cells.
+  [[nodiscard]] double fill_ratio() const noexcept;
+
+  /// Exports a plain BloomFilter (1 bit per cell) for the wire.
+  [[nodiscard]] BloomFilter to_bloom() const;
+
+ private:
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> hash_pair(
+      std::uint64_t key) const noexcept;
+
+  std::vector<std::uint8_t> counters_;
+  std::uint32_t hashes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace qcp2p::core

@@ -1,0 +1,80 @@
+#include "src/core/dynamic_synopsis.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::core {
+
+DynamicSynopsis::DynamicSynopsis(const SynopsisParams& params,
+                                 SynopsisPolicy policy)
+    : params_(params),
+      policy_(policy),
+      filter_(params.bloom_bits, params.bloom_hashes) {}
+
+void DynamicSynopsis::add_object(std::span<const TermId> terms) {
+  for (TermId t : terms) {
+    if (++frequency_[t] == 1) dirty_ = true;  // new distinct term
+  }
+}
+
+void DynamicSynopsis::remove_object(std::span<const TermId> terms) {
+  for (TermId t : terms) {
+    const auto it = frequency_.find(t);
+    if (it == frequency_.end()) continue;  // unmatched remove: ignore
+    if (--it->second == 0) {
+      frequency_.erase(it);
+      dirty_ = true;  // a distinct term vanished
+    }
+  }
+}
+
+bool DynamicSynopsis::refresh(const TermPopularityTracker* tracker) {
+  // Query-centric selections depend on the (moving) tracker scores, so
+  // they must be re-evaluated even when the content is unchanged;
+  // content-centric selections only change when content does.
+  if (!dirty_ && policy_ == SynopsisPolicy::kContentCentric) return false;
+
+  std::vector<TermId> terms;
+  std::vector<std::uint32_t> freq;
+  terms.reserve(frequency_.size());
+  freq.reserve(frequency_.size());
+  for (const auto& [term, count] : frequency_) {
+    terms.push_back(term);
+    freq.push_back(count);
+  }
+  const TermPopularityTracker empty{};
+  std::vector<TermId> selected = select_terms(
+      terms, freq, params_.term_budget,
+      policy_ == SynopsisPolicy::kQueryCentric
+          ? SynopsisPolicy::kQueryCentric
+          : SynopsisPolicy::kContentCentric,
+      policy_ == SynopsisPolicy::kQueryCentric
+          ? (tracker != nullptr ? tracker : &empty)
+          : nullptr);
+  std::sort(selected.begin(), selected.end());
+
+  dirty_ = false;
+  if (selected == advertised_) return false;
+
+  // Incremental filter update: remove departures, insert arrivals.
+  std::vector<TermId> removed, added;
+  std::set_difference(advertised_.begin(), advertised_.end(),
+                      selected.begin(), selected.end(),
+                      std::back_inserter(removed));
+  std::set_difference(selected.begin(), selected.end(), advertised_.begin(),
+                      advertised_.end(), std::back_inserter(added));
+  for (TermId t : removed) filter_.remove(t);
+  for (TermId t : added) filter_.insert(t);
+  advertised_ = std::move(selected);
+  ++readvertisements_;
+  return true;
+}
+
+bool DynamicSynopsis::maybe_contains_all(
+    std::span<const TermId> query) const noexcept {
+  for (TermId t : query) {
+    if (!filter_.maybe_contains(t)) return false;
+  }
+  return true;
+}
+
+}  // namespace qcp2p::core

@@ -1,0 +1,69 @@
+// Incrementally maintained synopsis for a LIVE peer: content changes
+// (downloads, deletions) and query-popularity shifts update the
+// advertised term set without rebuilding from scratch.
+//
+// The counting Bloom filter gives O(k) add/remove per term; the selector
+// re-evaluates lazily and reports whether the advertised set actually
+// changed, so the peer only re-pushes its synopsis to neighbors when the
+// wire bits differ — the maintenance discipline a deployed query-centric
+// servent needs (DESIGN.md section 5's "adaptive vs static" choice made
+// concrete at the data-structure level).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/bloom.hpp"
+#include "src/core/synopsis.hpp"
+#include "src/core/term_tracker.hpp"
+
+namespace qcp2p::core {
+
+class DynamicSynopsis {
+ public:
+  DynamicSynopsis(const SynopsisParams& params, SynopsisPolicy policy);
+
+  /// Registers a newly shared object's terms.
+  void add_object(std::span<const TermId> terms);
+  /// Unregisters a deleted object's terms (must mirror a prior add).
+  void remove_object(std::span<const TermId> terms);
+
+  /// Re-runs term selection against the tracker (required for the
+  /// query-centric policy; ignored for content-centric). Returns true
+  /// when the advertised set changed — i.e. the peer must re-advertise.
+  bool refresh(const TermPopularityTracker* tracker);
+
+  /// Current advertisement (valid after the latest refresh()).
+  [[nodiscard]] bool maybe_contains(TermId term) const noexcept {
+    return filter_.maybe_contains(term);
+  }
+  [[nodiscard]] bool maybe_contains_all(
+      std::span<const TermId> query) const noexcept;
+
+  /// Wire export of the current advertisement.
+  [[nodiscard]] BloomFilter wire_filter() const { return filter_.to_bloom(); }
+
+  [[nodiscard]] std::size_t distinct_terms() const noexcept {
+    return frequency_.size();
+  }
+  [[nodiscard]] const std::vector<TermId>& advertised() const noexcept {
+    return advertised_;
+  }
+  [[nodiscard]] std::uint64_t readvertisements() const noexcept {
+    return readvertisements_;
+  }
+
+ private:
+  SynopsisParams params_;
+  SynopsisPolicy policy_;
+  // term -> number of local objects containing it.
+  std::unordered_map<TermId, std::uint32_t> frequency_;
+  std::vector<TermId> advertised_;  // sorted
+  CountingBloomFilter filter_;
+  bool dirty_ = true;
+  std::uint64_t readvertisements_ = 0;
+};
+
+}  // namespace qcp2p::core

@@ -1,0 +1,146 @@
+#include "src/core/query_centric.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::core {
+
+QueryCentricOverlay::QueryCentricOverlay(const Graph& graph,
+                                         const PeerStore& store,
+                                         SynopsisParams params,
+                                         SynopsisPolicy policy)
+    : graph_(&graph), store_(&store), params_(params), policy_(policy) {
+  rebuild_synopses(nullptr);
+}
+
+void QueryCentricOverlay::rebuild_synopses(const TermPopularityTracker* tracker) {
+  synopses_.clear();
+  synopses_.reserve(graph_->num_nodes());
+  // Content-centric selection never consults the tracker; a fresh
+  // query-centric overlay with no tracker yet behaves content-centric.
+  const TermPopularityTracker empty_tracker{};
+  const TermPopularityTracker* effective =
+      policy_ == SynopsisPolicy::kQueryCentric
+          ? (tracker != nullptr ? tracker : &empty_tracker)
+          : nullptr;
+  const SynopsisPolicy effective_policy =
+      effective != nullptr ? SynopsisPolicy::kQueryCentric
+                           : SynopsisPolicy::kContentCentric;
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    synopses_.push_back(
+        build_synopsis(*store_, v, params_, effective_policy, effective));
+    charge_advertisement(v);
+  }
+}
+
+std::size_t QueryCentricOverlay::adapt_to_transients(
+    const TermPopularityTracker& tracker) {
+  if (policy_ != SynopsisPolicy::kQueryCentric) return 0;
+  const std::vector<TermId> hot = tracker.transient_terms();
+  if (hot.empty()) return 0;
+  std::size_t readvertised = 0;
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    const std::vector<TermId>& terms = store_->peer_terms(v);
+    const bool holds_hot = std::any_of(hot.begin(), hot.end(), [&](TermId t) {
+      return std::binary_search(terms.begin(), terms.end(), t);
+    });
+    if (holds_hot) {
+      synopses_[v] = build_synopsis(*store_, v, params_,
+                                    SynopsisPolicy::kQueryCentric, &tracker);
+      charge_advertisement(v);
+      ++readvertised;
+    }
+  }
+  return readvertised;
+}
+
+void QueryCentricOverlay::charge_advertisement(NodeId peer) noexcept {
+  ++synopses_built_;
+  advertisement_bytes_ +=
+      static_cast<std::uint64_t>(graph_->degree(peer)) * (params_.bloom_bits / 8);
+}
+
+GuidedSearchResult QueryCentricOverlay::search(NodeId source,
+                                               std::span<const TermId> query,
+                                               const GuidedSearchParams& params,
+                                               util::Rng& rng) const {
+  GuidedSearchResult out;
+  if (query.empty() || graph_->num_nodes() == 0) return out;
+
+  std::vector<bool> visited(graph_->num_nodes(), false);
+  visited[source] = true;
+
+  auto probe = [&](NodeId peer) {
+    ++out.peers_probed;
+    for (std::uint64_t id : store_->match(peer, query)) {
+      out.results.push_back(id);
+    }
+  };
+  auto done = [&] {
+    if (params.stop_after_results != 0 &&
+        out.results.size() >= params.stop_after_results) {
+      return true;
+    }
+    return params.message_budget != 0 && out.messages >= params.message_budget;
+  };
+
+  probe(source);
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  std::vector<NodeId> matching;
+
+  for (std::uint32_t hop = 0; hop < params.ttl && !frontier.empty(); ++hop) {
+    if (done()) break;
+    next.clear();
+    for (NodeId u : frontier) {
+      if (done()) break;
+      const auto nbrs = graph_->neighbors(u);
+      matching.clear();
+      for (NodeId v : nbrs) {
+        if (!visited[v] && synopses_[v].maybe_contains_all(query)) {
+          matching.push_back(v);
+        }
+      }
+      auto forward = [&](NodeId v) {
+        ++out.messages;
+        if (visited[v]) return;
+        visited[v] = true;
+        probe(v);
+        next.push_back(v);
+      };
+      if (!matching.empty()) {
+        // Forward to up to match_fanout synopsis matches (random subset
+        // for load spreading).
+        for (std::size_t i = matching.size(); i > 1; --i) {
+          std::swap(matching[i - 1], matching[rng.bounded(i)]);
+        }
+        const std::size_t k = std::min(params.match_fanout, matching.size());
+        for (std::size_t i = 0; i < k && !done(); ++i) forward(matching[i]);
+      } else {
+        // Blind fallback keeps rare queries moving.
+        for (std::size_t i = 0; i < params.fallback_fanout && !nbrs.empty() &&
+                                !done();
+             ++i) {
+          forward(nbrs[rng.bounded(nbrs.size())]);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+
+  std::sort(out.results.begin(), out.results.end());
+  out.results.erase(std::unique(out.results.begin(), out.results.end()),
+                    out.results.end());
+  out.success = !out.results.empty() &&
+                (params.stop_after_results == 0 ||
+                 out.results.size() >= params.stop_after_results);
+  return out;
+}
+
+double QueryCentricOverlay::mean_synopsis_fpr() const {
+  if (synopses_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const ContentSynopsis& s : synopses_) sum += s.estimated_fpr();
+  return sum / static_cast<double>(synopses_.size());
+}
+
+}  // namespace qcp2p::core

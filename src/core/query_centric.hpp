@@ -1,0 +1,106 @@
+// Query-centric unstructured overlay: the system the paper argues for.
+//
+// Every peer advertises a budgeted synopsis to its neighbors; queries are
+// routed as a synopsis-guided bounded flood — a node forwards a query to
+// neighbors whose synopsis may match all query terms, falling back to a
+// small random fanout when no synopsis matches (keeps rare queries
+// alive). Peers observe the query stream through a shared
+// TermPopularityTracker and periodically rebuild their synopses, so
+// transiently popular terms start steering queries within one
+// adaptation epoch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/core/synopsis.hpp"
+#include "src/overlay/graph.hpp"
+#include "src/sim/network.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::core {
+
+using overlay::Graph;
+using sim::NodeId;
+using sim::PeerStore;
+
+struct GuidedSearchParams {
+  std::uint32_t ttl = 5;
+  /// Max synopsis-matching neighbors a node forwards to per hop.
+  std::size_t match_fanout = 4;
+  /// Random neighbors tried when no synopsis matches.
+  std::size_t fallback_fanout = 1;
+  /// Stop once this many distinct results are found (0 = exhaust TTL).
+  std::size_t stop_after_results = 1;
+  /// Hard message budget (0 = unlimited); comparisons against flooding
+  /// are made at equal budgets.
+  std::uint64_t message_budget = 0;
+};
+
+struct GuidedSearchResult {
+  std::vector<std::uint64_t> results;
+  std::uint64_t messages = 0;
+  std::size_t peers_probed = 0;
+  bool success = false;
+};
+
+class QueryCentricOverlay {
+ public:
+  /// The overlay references (not owns) the graph and store, which must
+  /// outlive it.
+  QueryCentricOverlay(const Graph& graph, const PeerStore& store,
+                      SynopsisParams params, SynopsisPolicy policy);
+
+  /// (Re)builds every peer's synopsis; pass the tracker for the
+  /// query-centric policy (ignored for content-centric).
+  void rebuild_synopses(const TermPopularityTracker* tracker);
+
+  /// Incremental adaptation: rebuilds only peers holding at least one
+  /// currently-transient term (cheap epoch step between full rebuilds).
+  /// Returns the number of peers that re-advertised.
+  std::size_t adapt_to_transients(const TermPopularityTracker& tracker);
+
+  // --- advertising cost accounting ---------------------------------------
+  // Every (re)built synopsis is pushed to all of the peer's neighbors;
+  // the wire cost per push is bloom_bits / 8 bytes. These counters let
+  // the benches compare adaptation traffic against search savings.
+
+  /// Per-peer synopsis (re)builds since construction.
+  [[nodiscard]] std::uint64_t synopses_built() const noexcept {
+    return synopses_built_;
+  }
+  /// Total advertisement bytes pushed to neighbors so far.
+  [[nodiscard]] std::uint64_t advertisement_bytes() const noexcept {
+    return advertisement_bytes_;
+  }
+
+  [[nodiscard]] const ContentSynopsis& synopsis(NodeId peer) const {
+    return synopses_.at(peer);
+  }
+  [[nodiscard]] SynopsisPolicy policy() const noexcept { return policy_; }
+
+  /// Synopsis-guided search (see file comment).
+  [[nodiscard]] GuidedSearchResult search(NodeId source,
+                                          std::span<const TermId> query,
+                                          const GuidedSearchParams& params,
+                                          util::Rng& rng) const;
+
+  /// Mean advertised false-positive rate across peers (diagnostics).
+  [[nodiscard]] double mean_synopsis_fpr() const;
+
+ private:
+  /// Charges one synopsis push to every neighbor of `peer`.
+  void charge_advertisement(NodeId peer) noexcept;
+
+  const Graph* graph_;
+  const PeerStore* store_;
+  SynopsisParams params_;
+  SynopsisPolicy policy_;
+  std::vector<ContentSynopsis> synopses_;
+  std::uint64_t synopses_built_ = 0;
+  std::uint64_t advertisement_bytes_ = 0;
+};
+
+}  // namespace qcp2p::core

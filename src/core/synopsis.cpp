@@ -1,0 +1,85 @@
+#include "src/core/synopsis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qcp2p::core {
+
+ContentSynopsis::ContentSynopsis(std::span<const TermId> terms,
+                                 const SynopsisParams& params)
+    : filter_(params.bloom_bits, params.bloom_hashes) {
+  for (TermId t : terms) filter_.insert(t);
+}
+
+bool ContentSynopsis::maybe_contains_all(
+    std::span<const TermId> query) const noexcept {
+  for (TermId t : query) {
+    if (!filter_.maybe_contains(t)) return false;
+  }
+  return true;
+}
+
+std::vector<TermId> select_terms(std::span<const TermId> peer_terms,
+                                 std::span<const std::uint32_t> local_frequency,
+                                 std::size_t budget, SynopsisPolicy policy,
+                                 const TermPopularityTracker* tracker) {
+  if (local_frequency.size() != peer_terms.size()) {
+    throw std::invalid_argument("select_terms: frequency size mismatch");
+  }
+  if (policy == SynopsisPolicy::kQueryCentric && tracker == nullptr) {
+    throw std::invalid_argument("select_terms: query-centric needs a tracker");
+  }
+  std::vector<std::size_t> order(peer_terms.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  auto content_key = [&](std::size_t i) {
+    return static_cast<double>(local_frequency[i]);
+  };
+  auto query_key = [&](std::size_t i) {
+    // Primary: how much queries want this term (bursts surface via the
+    // max with the fast counter); content frequency only tie-breaks.
+    const TermId t = peer_terms[i];
+    return std::max(tracker->score(t), tracker->burst_score(t)) * 1e6 +
+           static_cast<double>(local_frequency[i]);
+  };
+
+  const std::size_t k = std::min(budget, order.size());
+  if (policy == SynopsisPolicy::kContentCentric) {
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(k),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return content_key(a) > content_key(b);
+                      });
+  } else {
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(k),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return query_key(a) > query_key(b);
+                      });
+  }
+  std::vector<TermId> selected;
+  selected.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) selected.push_back(peer_terms[order[i]]);
+  return selected;
+}
+
+ContentSynopsis build_synopsis(const sim::PeerStore& store, sim::NodeId peer,
+                               const SynopsisParams& params,
+                               SynopsisPolicy policy,
+                               const TermPopularityTracker* tracker) {
+  const std::vector<TermId>& terms = store.peer_terms(peer);
+  // Local frequency: number of the peer's objects containing each term.
+  std::unordered_map<TermId, std::uint32_t> freq;
+  for (const sim::PeerStore::Object& o : store.objects(peer)) {
+    for (TermId t : o.terms) ++freq[t];
+  }
+  std::vector<std::uint32_t> frequency(terms.size());
+  for (std::size_t i = 0; i < terms.size(); ++i) frequency[i] = freq[terms[i]];
+
+  const std::vector<TermId> selected = select_terms(
+      terms, frequency, params.term_budget, policy, tracker);
+  return ContentSynopsis(selected, params);
+}
+
+}  // namespace qcp2p::core

@@ -1,0 +1,76 @@
+// Per-peer content synopses under an advertising budget.
+//
+// A synopsis is a Bloom filter over a *selected subset* of the peer's
+// annotation terms; peers exchange synopses with neighbors and use them
+// to steer queries. The budget (how many terms fit before the filter's
+// false-positive rate explodes) forces a selection policy — and the
+// paper's whole point is that the right selection is query-centric:
+//
+//   * kContentCentric: advertise the terms most frequent in the peer's
+//     own library (the classic QRP-style approach). Under the measured
+//     query/annotation mismatch these terms are rarely queried.
+//   * kQueryCentric: advertise the peer's terms ranked by *observed
+//     query popularity* (from a TermPopularityTracker), so the budget is
+//     spent on terms queries actually contain — including transiently
+//     popular terms, which the tracker surfaces quickly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/bloom.hpp"
+#include "src/core/term_tracker.hpp"
+#include "src/sim/network.hpp"
+
+namespace qcp2p::core {
+
+enum class SynopsisPolicy : std::uint8_t { kContentCentric, kQueryCentric };
+
+struct SynopsisParams {
+  /// Maximum number of terms a peer may advertise.
+  std::size_t term_budget = 96;
+  /// Bloom filter size in bits (wire cost of one synopsis).
+  std::size_t bloom_bits = 1024;
+  std::uint32_t bloom_hashes = 6;
+};
+
+/// One peer's advertised synopsis.
+class ContentSynopsis {
+ public:
+  ContentSynopsis(std::span<const TermId> terms, const SynopsisParams& params);
+
+  [[nodiscard]] bool maybe_contains(TermId term) const noexcept {
+    return filter_.maybe_contains(term);
+  }
+  /// True when every query term may be present.
+  [[nodiscard]] bool maybe_contains_all(
+      std::span<const TermId> query) const noexcept;
+
+  [[nodiscard]] std::size_t advertised_terms() const noexcept {
+    return filter_.inserted();
+  }
+  [[nodiscard]] double estimated_fpr() const noexcept {
+    return filter_.estimated_fpr();
+  }
+
+ private:
+  BloomFilter filter_;
+};
+
+/// Selects which of `peer_terms` to advertise under `budget`.
+/// @param local_frequency  per-term number of local objects containing it
+///                         (parallel to peer_terms).
+/// @param tracker          required for kQueryCentric; may be null for
+///                         kContentCentric.
+[[nodiscard]] std::vector<TermId> select_terms(
+    std::span<const TermId> peer_terms,
+    std::span<const std::uint32_t> local_frequency, std::size_t budget,
+    SynopsisPolicy policy, const TermPopularityTracker* tracker);
+
+/// Convenience: builds the synopsis of a PeerStore peer under a policy.
+[[nodiscard]] ContentSynopsis build_synopsis(
+    const sim::PeerStore& store, sim::NodeId peer, const SynopsisParams& params,
+    SynopsisPolicy policy, const TermPopularityTracker* tracker);
+
+}  // namespace qcp2p::core

@@ -1,0 +1,139 @@
+#include "src/core/term_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace qcp2p::core {
+
+TermPopularityTracker::TermPopularityTracker(const TrackerParams& params)
+    : params_(params),
+      slow_lambda_(std::pow(0.5, 1.0 / params.slow_halflife)),
+      fast_lambda_(std::pow(0.5, 1.0 / params.fast_halflife)) {}
+
+TermPopularityTracker::Entry TermPopularityTracker::decayed(
+    const Entry& e) const noexcept {
+  const double dt = clock_ - e.updated_at;
+  Entry out = e;
+  if (dt > 0.0) {
+    out.slow *= std::pow(slow_lambda_, dt);
+    out.fast *= std::pow(fast_lambda_, dt);
+    out.updated_at = clock_;
+  }
+  return out;
+}
+
+void TermPopularityTracker::refresh(Entry& e) const noexcept { e = decayed(e); }
+
+void TermPopularityTracker::observe_term(TermId term) {
+  Entry& e = entries_[term];
+  refresh(e);
+  e.slow += 1.0;
+  e.fast += 1.0;
+}
+
+void TermPopularityTracker::observe_query(const std::vector<TermId>& terms) {
+  for (TermId t : terms) observe_term(t);
+  tick(1.0);
+}
+
+void TermPopularityTracker::tick(double n) { clock_ += n; }
+
+double TermPopularityTracker::score(TermId term) const {
+  const auto it = entries_.find(term);
+  return it == entries_.end() ? 0.0 : decayed(it->second).slow;
+}
+
+double TermPopularityTracker::burst_score(TermId term) const {
+  const auto it = entries_.find(term);
+  return it == entries_.end() ? 0.0 : decayed(it->second).fast;
+}
+
+bool TermPopularityTracker::is_transient(TermId term) const {
+  const auto it = entries_.find(term);
+  if (it == entries_.end()) return false;
+  const Entry e = decayed(it->second);
+  if (e.fast < params_.burst_floor) return false;
+  // The fast counter approximates the term's mass inside the recent
+  // window; everything beyond that is history. A fresh burst has all its
+  // mass recent (history ~ 0), while a steady term has history >> fast.
+  // Using slow-minus-fast as the history estimate makes the detector
+  // self-calibrating even before the slow window has filled.
+  const double fast_window =
+      std::min(1.0 / (1.0 - fast_lambda_), std::max(clock_, 1.0));
+  const double history = std::max(0.0, e.slow - e.fast);
+  // When the clock has not yet outrun the fast window, history mass is
+  // tiny and its span ill-defined; flooring the span at one window keeps
+  // the estimate finite and unbiased for steady terms.
+  const double history_span = std::max(clock_ - fast_window, fast_window);
+  const double expected_fast = history / history_span * fast_window;
+  return e.fast >= params_.burst_ratio * std::max(expected_fast, 0.5);
+}
+
+std::vector<TermId> TermPopularityTracker::top_terms(std::size_t k) const {
+  std::vector<std::pair<double, TermId>> ranked;
+  ranked.reserve(entries_.size());
+  for (const auto& [term, e] : entries_) {
+    const Entry d = decayed(e);
+    ranked.emplace_back(std::max(d.slow, d.fast), term);
+  }
+  const std::size_t n = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<std::ptrdiff_t>(n),
+                    ranked.end(), std::greater<>());
+  std::vector<TermId> top;
+  top.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) top.push_back(ranked[i].second);
+  return top;
+}
+
+std::vector<TermId> TermPopularityTracker::transient_terms() const {
+  std::vector<TermId> out;
+  for (const auto& [term, e] : entries_) {
+    if (is_transient(term)) out.push_back(term);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void TermPopularityTracker::compact(double epsilon) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry d = decayed(it->second);
+    if (d.slow < epsilon && d.fast < epsilon) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TermPopularityTracker::save(std::ostream& os) const {
+  os.precision(17);
+  os << "tracker v1\n" << clock_ << "\n";
+  for (const auto& [term, e] : entries_) {
+    os << term << ' ' << e.slow << ' ' << e.fast << ' ' << e.updated_at
+       << "\n";
+  }
+}
+
+TermPopularityTracker TermPopularityTracker::load(std::istream& is,
+                                                  const TrackerParams& params) {
+  std::string header;
+  if (!std::getline(is, header) || header != "tracker v1") {
+    throw std::runtime_error("TermPopularityTracker::load: bad header");
+  }
+  TermPopularityTracker tracker(params);
+  if (!(is >> tracker.clock_)) {
+    throw std::runtime_error("TermPopularityTracker::load: missing clock");
+  }
+  TermId term;
+  Entry e;
+  while (is >> term >> e.slow >> e.fast >> e.updated_at) {
+    tracker.entries_[term] = e;
+  }
+  return tracker;
+}
+
+}  // namespace qcp2p::core

@@ -1,0 +1,95 @@
+// Online query-term popularity tracking with transient detection — the
+// runtime component behind query-centric synopsis adaptation (the
+// paper's Section VII position and its follow-on system [9]).
+//
+// Two exponentially-decayed counters per term:
+//   * a slow EWMA capturing persistent popularity, and
+//   * a fast EWMA capturing the current burst level.
+// A term is *transiently popular* when its fast estimate exceeds both an
+// absolute floor and a multiple of its slow estimate — the online analog
+// of the offline detector in src/analysis/query_analysis.hpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "src/text/vocabulary.hpp"
+
+namespace qcp2p::core {
+
+using text::TermId;
+
+struct TrackerParams {
+  /// Decay half-life of the slow counter, in observed queries.
+  double slow_halflife = 50'000.0;
+  /// Decay half-life of the fast counter, in observed queries.
+  double fast_halflife = 2'000.0;
+  /// Transient test: fast >= burst_ratio * max(slow, floor).
+  double burst_ratio = 6.0;
+  double burst_floor = 3.0;
+};
+
+class TermPopularityTracker {
+ public:
+  explicit TermPopularityTracker(const TrackerParams& params = {});
+
+  /// Observes one query (its terms); advances the decay clock by 1.
+  void observe_query(const std::vector<TermId>& terms);
+
+  /// Observes a single term occurrence without advancing the clock.
+  void observe_term(TermId term);
+  /// Advances the decay clock by `n` queries.
+  void tick(double n = 1.0);
+
+  /// Persistent-popularity score (slow EWMA, decayed to now).
+  [[nodiscard]] double score(TermId term) const;
+  /// Burst score (fast EWMA, decayed to now).
+  [[nodiscard]] double burst_score(TermId term) const;
+  /// True when the term is currently transiently popular.
+  [[nodiscard]] bool is_transient(TermId term) const;
+
+  /// Top-k terms by combined score (max of slow and fast estimates, so
+  /// fresh bursts surface immediately).
+  [[nodiscard]] std::vector<TermId> top_terms(std::size_t k) const;
+
+  /// All currently-transient terms.
+  [[nodiscard]] std::vector<TermId> transient_terms() const;
+
+  [[nodiscard]] std::size_t tracked_terms() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] double clock() const noexcept { return clock_; }
+
+  /// Drops terms whose decayed scores fell below `epsilon` (memory bound
+  /// for long-running peers).
+  void compact(double epsilon = 1e-3);
+
+  /// Persists the tracker state (a restarting peer keeps its learned
+  /// popularity instead of re-warming from zero). Text format: a header
+  /// line, the clock, then one "term slow fast updated_at" line per term.
+  void save(std::ostream& os) const;
+  /// Throws std::runtime_error on malformed input.
+  [[nodiscard]] static TermPopularityTracker load(std::istream& is,
+                                                  const TrackerParams& params = {});
+
+ private:
+  struct Entry {
+    double slow = 0.0;
+    double fast = 0.0;
+    double updated_at = 0.0;  // clock of last update
+  };
+
+  /// Decays an entry's counters to the current clock.
+  void refresh(Entry& e) const noexcept;
+  [[nodiscard]] Entry decayed(const Entry& e) const noexcept;
+
+  TrackerParams params_;
+  double slow_lambda_;  // per-query decay factors: 0.5^(1/halflife)
+  double fast_lambda_;
+  double clock_ = 0.0;
+  std::unordered_map<TermId, Entry> entries_;
+};
+
+}  // namespace qcp2p::core

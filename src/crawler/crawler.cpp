@@ -1,0 +1,99 @@
+#include "src/crawler/crawler.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace qcp2p::crawler {
+
+Crawler::Crawler(const CrawlerParams& params) : params_(params) {}
+
+double Crawler::fate(NodeId peer, std::uint64_t salt) const noexcept {
+  const std::uint64_t h = util::mix64(params_.seed ^ (salt << 40) ^ peer);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+TopologyCrawl Crawler::crawl_topology(const overlay::Graph& graph,
+                                      std::vector<NodeId> seeds) const {
+  TopologyCrawl result;
+  std::vector<bool> contacted(graph.num_nodes(), false);
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::deque<NodeId> frontier;
+  for (NodeId s : seeds) {
+    if (s < graph.num_nodes() && !seen[s]) {
+      seen[s] = true;
+      frontier.push_back(s);
+    }
+  }
+
+  while (!frontier.empty()) {
+    const NodeId peer = frontier.front();
+    frontier.pop_front();
+    if (contacted[peer]) continue;
+    contacted[peer] = true;
+    ++result.contact_attempts;
+
+    // Unreachable peers are known addresses but yield no neighbor list.
+    if (fate(peer, 1) < params_.p_unreachable) continue;
+    result.responsive.push_back(peer);
+    for (NodeId nbr : graph.neighbors(peer)) {
+      if (!seen[nbr]) {
+        seen[nbr] = true;
+        frontier.push_back(nbr);
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (seen[v]) result.discovered.push_back(v);
+  }
+  return result;
+}
+
+FileCrawl Crawler::crawl_files(const trace::CrawlSnapshot& truth,
+                               std::vector<NodeId> peers) const {
+  std::vector<std::vector<trace::ObjectKey>> observed_libs;
+  FileCrawl out{trace::CrawlSnapshot(&truth.model(), {},
+                                     truth.personal_tail_term()),
+                0, 0, 0, 0, 0};
+
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+
+  for (NodeId peer : peers) {
+    if (peer >= truth.num_peers()) continue;
+    ++out.attempted;
+    if (fate(peer, 1) < params_.p_unreachable) {
+      ++out.unreachable;
+      continue;
+    }
+    if (fate(peer, 2) < params_.p_protected) {
+      ++out.refused;
+      continue;
+    }
+    if (fate(peer, 3) < params_.p_busy) {
+      bool recovered = false;
+      for (std::uint32_t r = 0; r < params_.busy_retries && !recovered; ++r) {
+        recovered = fate(peer, 16 + r) < params_.p_busy_retry_success;
+      }
+      if (!recovered) {
+        ++out.busy_failed;
+        continue;
+      }
+    }
+    ++out.succeeded;
+    observed_libs.push_back(truth.peer_objects(peer));
+  }
+
+  out.observed = trace::CrawlSnapshot(&truth.model(), std::move(observed_libs),
+                                      truth.personal_tail_term());
+  return out;
+}
+
+FileCrawl Crawler::crawl(const overlay::Graph& graph,
+                         const trace::CrawlSnapshot& truth,
+                         std::vector<NodeId> seeds) const {
+  const TopologyCrawl topo = crawl_topology(graph, std::move(seeds));
+  return crawl_files(truth, topo.discovered);
+}
+
+}  // namespace qcp2p::crawler

@@ -1,0 +1,83 @@
+// Cruiser-style Gnutella crawler (paper Section II.A): a topology crawl
+// discovers peers by walking neighbor lists, then a file crawl asks each
+// discovered peer for its shared-file list. Real crawls are lossy — the
+// paper's own iTunes sweep reached only 239 of 620 shares (password-
+// protected, busy, firewalled) — so the crawler models per-peer failure
+// modes, and bench/exp_crawl_bias checks that the paper's conclusions
+// survive that sampling bias.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/overlay/graph.hpp"
+#include "src/trace/gnutella.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::crawler {
+
+using overlay::NodeId;
+
+struct CrawlerParams {
+  /// Peer never answers (firewalled/NAT/departed).
+  double p_unreachable = 0.20;
+  /// Peer answers the handshake but refuses the file listing.
+  double p_protected = 0.07;
+  /// Peer is busy; each retry succeeds independently.
+  double p_busy = 0.15;
+  std::uint32_t busy_retries = 2;
+  double p_busy_retry_success = 0.5;
+  std::uint64_t seed = 77;
+};
+
+struct TopologyCrawl {
+  /// Peers that answered the topology crawl (their links are known).
+  std::vector<NodeId> responsive;
+  /// All peer addresses ever observed (responsive + mentioned-by-others).
+  std::vector<NodeId> discovered;
+  std::uint64_t contact_attempts = 0;
+};
+
+struct FileCrawl {
+  /// The observed snapshot: libraries of peers that served their list.
+  trace::CrawlSnapshot observed;
+  std::size_t attempted = 0;
+  std::size_t unreachable = 0;
+  std::size_t refused = 0;   // password-protected
+  std::size_t busy_failed = 0;
+  std::size_t succeeded = 0;
+};
+
+class Crawler {
+ public:
+  explicit Crawler(const CrawlerParams& params = {});
+
+  /// BFS peer discovery from `seeds` over the true overlay graph.
+  /// Unresponsive peers are discovered (their addresses appear in
+  /// others' neighbor lists) but contribute no links of their own.
+  [[nodiscard]] TopologyCrawl crawl_topology(
+      const overlay::Graph& graph, std::vector<NodeId> seeds) const;
+
+  /// Requests file listings from `peers` against the ground-truth
+  /// snapshot; per-peer failures per CrawlerParams. The observed
+  /// snapshot contains one entry per *successful* peer, preserving
+  /// library contents exactly (crawlers see names verbatim).
+  [[nodiscard]] FileCrawl crawl_files(const trace::CrawlSnapshot& truth,
+                                      std::vector<NodeId> peers) const;
+
+  /// Convenience: full pipeline over a ground-truth snapshot whose peers
+  /// are wired by `graph` (node i <-> snapshot peer i). Real crawlers
+  /// bootstrap from many seed addresses; a single dead seed must not
+  /// kill the crawl.
+  [[nodiscard]] FileCrawl crawl(const overlay::Graph& graph,
+                                const trace::CrawlSnapshot& truth,
+                                std::vector<NodeId> seeds = {0}) const;
+
+ private:
+  /// Deterministic per-peer fate in [0,1): one roll reused across calls.
+  [[nodiscard]] double fate(NodeId peer, std::uint64_t salt) const noexcept;
+
+  CrawlerParams params_;
+};
+
+}  // namespace qcp2p::crawler

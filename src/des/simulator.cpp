@@ -1,0 +1,46 @@
+#include "src/des/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace qcp2p::des {
+
+void Simulator::schedule(Time delay, std::function<void()> fn) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator: negative delay");
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Copy out before pop: the handler may schedule more events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++n;
+  }
+  executed_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time t_end) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= t_end) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++n;
+  }
+  now_ = std::max(now_, t_end);
+  executed_ += n;
+  return n;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace qcp2p::des

@@ -1,0 +1,62 @@
+// Minimal discrete-event simulation kernel.
+//
+// The sim/ module's searches are synchronous-round abstractions (hop =
+// round); the des/ + gnutella/ layers re-run the same protocols with
+// per-link latencies and faithful message semantics, so experiments can
+// report time-to-first-result rather than just message counts.
+//
+// Determinism: events at equal timestamps fire in schedule order (a
+// monotone sequence number breaks ties), so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace qcp2p::des {
+
+using Time = double;  // seconds
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Schedules `fn` to run at now() + delay (delay >= 0).
+  void schedule(Time delay, std::function<void()> fn);
+
+  /// Runs events until the queue empties; returns events executed.
+  std::uint64_t run();
+
+  /// Runs events with timestamp <= t_end; the clock ends at t_end.
+  std::uint64_t run_until(Time t_end);
+
+  /// Drops all pending events (e.g. between independent experiments).
+  void clear();
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace qcp2p::des

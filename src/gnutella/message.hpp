@@ -1,0 +1,80 @@
+// Gnutella 0.6 protocol descriptors (the wire model behind the paper's
+// measurements: their query trace is captured Phex QUERY descriptors).
+//
+// Faithful to the spec where it matters for simulation semantics:
+//   * every descriptor carries a 16-byte GUID; servents drop duplicates
+//     and remember which neighbor a GUID arrived from;
+//   * TTL decrements per forward, hops increments; TTL 0 stops;
+//   * QUERY_HIT descriptors are routed BACK along the reverse query path
+//     (not flooded), using the remembered GUID origin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/text/vocabulary.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::gnutella {
+
+using NodeId = std::uint32_t;
+using text::TermId;
+
+/// 16-byte globally unique descriptor id.
+struct Guid {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] static Guid make(util::Rng& rng) noexcept {
+    return Guid{rng(), rng()};
+  }
+  friend bool operator==(const Guid&, const Guid&) = default;
+};
+
+struct GuidHash {
+  [[nodiscard]] std::size_t operator()(const Guid& g) const noexcept {
+    return static_cast<std::size_t>(util::mix64(g.hi ^ (g.lo * 0x9E3779B97F4A7C15ULL)));
+  }
+};
+
+enum class DescriptorType : std::uint8_t {
+  kPing = 0x00,
+  kPong = 0x01,
+  kQuery = 0x80,
+  kQueryHit = 0x81,
+};
+
+struct Header {
+  Guid guid;
+  DescriptorType type = DescriptorType::kPing;
+  std::uint8_t ttl = 7;
+  std::uint8_t hops = 0;
+};
+
+/// QUERY payload: conjunctive search terms (Gnutella sends the raw
+/// string; servents tokenize — we carry interned term ids).
+struct QueryPayload {
+  std::vector<TermId> terms;
+};
+
+/// QUERY_HIT payload: responding servent and its matching objects.
+struct QueryHitPayload {
+  NodeId responder = 0;
+  std::vector<std::uint64_t> object_ids;
+};
+
+/// PONG payload: the responding servent and its library size (crawlers
+/// use these to enumerate the network).
+struct PongPayload {
+  NodeId responder = 0;
+  std::uint32_t shared_files = 0;
+};
+
+struct Descriptor {
+  Header header;
+  QueryPayload query;        // valid when type == kQuery
+  QueryHitPayload hit;       // valid when type == kQueryHit
+  PongPayload pong;          // valid when type == kPong
+};
+
+}  // namespace qcp2p::gnutella

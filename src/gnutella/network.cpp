@@ -1,0 +1,99 @@
+#include "src/gnutella/network.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::gnutella {
+
+GnutellaNetwork::GnutellaNetwork(const overlay::Graph& graph,
+                                 const sim::PeerStore& store,
+                                 const NetworkParams& params)
+    : graph_(&graph), params_(params), rng_(util::mix64(params.seed)) {
+  servents_.reserve(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto nbrs = graph.neighbors(v);
+    servents_.emplace_back(v, &store,
+                           std::vector<NodeId>(nbrs.begin(), nbrs.end()));
+  }
+}
+
+double GnutellaNetwork::link_latency(NodeId u, NodeId v) const noexcept {
+  // Deterministic symmetric latency: hash the unordered edge.
+  const std::uint64_t a = std::min(u, v);
+  const std::uint64_t b = std::max(u, v);
+  const std::uint64_t h = util::mix64(params_.seed ^ (a << 32) ^ b);
+  const double frac =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0,1)
+  return params_.min_link_latency_s +
+         frac * (params_.max_link_latency_s - params_.min_link_latency_s);
+}
+
+void GnutellaNetwork::deliver(NodeId from, NodeId to,
+                              const Descriptor& descriptor) {
+  ++messages_;
+  sim_.schedule(link_latency(from, to), [this, from, to, descriptor] {
+    const Servent::SendFn send = [this, to](NodeId next,
+                                            const Descriptor& d) {
+      deliver(to, next, d);
+    };
+    const Servent::HitFn on_hit = [this](const Descriptor& d) {
+      if (d.header.type == DescriptorType::kQueryHit &&
+          active_query_ != nullptr) {
+        active_query_->hits.push_back(QueryOutcome::Hit{
+            sim_.now(), d.hit.responder, d.hit.object_ids.size()});
+      } else if (d.header.type == DescriptorType::kPong &&
+                 active_ping_ != nullptr) {
+        active_ping_->pongs.push_back(d.pong);
+      }
+    };
+    servents_[to].handle(from, descriptor, send, on_hit);
+  });
+}
+
+QueryOutcome GnutellaNetwork::query(NodeId source, std::vector<TermId> terms,
+                                    std::uint8_t ttl) {
+  QueryOutcome outcome;
+  active_query_ = &outcome;
+  messages_ = 0;
+
+  const Servent::SendFn send = [this, source](NodeId next,
+                                              const Descriptor& d) {
+    deliver(source, next, d);
+  };
+  outcome.guid = servents_[source].originate_query(std::move(terms), ttl,
+                                                   rng_, send);
+  sim_.run();
+  outcome.messages = messages_;
+  active_query_ = nullptr;
+  return outcome;
+}
+
+PingOutcome GnutellaNetwork::ping(NodeId source, std::uint8_t ttl) {
+  PingOutcome outcome;
+  active_ping_ = &outcome;
+  messages_ = 0;
+
+  const Servent::SendFn send = [this, source](NodeId next,
+                                              const Descriptor& d) {
+    deliver(source, next, d);
+  };
+  outcome.guid = servents_[source].originate_ping(ttl, rng_, send);
+  sim_.run();
+  outcome.messages = messages_;
+  active_ping_ = nullptr;
+
+  // Distinct responders only (multiple PONG copies can arrive when the
+  // pong is generated before the duplicate-suppressed query copies die).
+  std::sort(outcome.pongs.begin(), outcome.pongs.end(),
+            [](const PongPayload& a, const PongPayload& b) {
+              return a.responder < b.responder;
+            });
+  outcome.pongs.erase(
+      std::unique(outcome.pongs.begin(), outcome.pongs.end(),
+                  [](const PongPayload& a, const PongPayload& b) {
+                    return a.responder == b.responder;
+                  }),
+      outcome.pongs.end());
+  return outcome;
+}
+
+}  // namespace qcp2p::gnutella

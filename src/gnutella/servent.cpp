@@ -1,0 +1,150 @@
+#include "src/gnutella/servent.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::gnutella {
+
+Servent::Servent(NodeId self, const sim::PeerStore* store,
+                 std::vector<NodeId> neighbors)
+    : self_(self), store_(store), neighbors_(std::move(neighbors)) {}
+
+bool Servent::add_neighbor(NodeId peer) {
+  if (peer == self_ ||
+      std::find(neighbors_.begin(), neighbors_.end(), peer) !=
+          neighbors_.end()) {
+    return false;
+  }
+  neighbors_.push_back(peer);
+  return true;
+}
+
+bool Servent::remove_neighbor(NodeId peer) {
+  const auto it = std::find(neighbors_.begin(), neighbors_.end(), peer);
+  if (it == neighbors_.end()) return false;
+  neighbors_.erase(it);
+  return true;
+}
+
+void Servent::expire_routes(std::size_t max_entries) {
+  while (route_table_.size() > max_entries &&
+         route_order_head_ < route_order_.size()) {
+    route_table_.erase(route_order_[route_order_head_++]);
+  }
+  // Compact the order log when the dead prefix dominates.
+  if (route_order_head_ > route_order_.size() / 2) {
+    route_order_.erase(route_order_.begin(),
+                       route_order_.begin() +
+                           static_cast<std::ptrdiff_t>(route_order_head_));
+    route_order_head_ = 0;
+  }
+}
+
+Guid Servent::originate_query(std::vector<TermId> terms, std::uint8_t ttl,
+                              util::Rng& rng, const SendFn& send) {
+  Descriptor d;
+  d.header.guid = Guid::make(rng);
+  d.header.type = DescriptorType::kQuery;
+  d.header.ttl = ttl;
+  d.header.hops = 0;
+  d.query.terms = std::move(terms);
+  route_table_.emplace(d.header.guid, kSelf);  // hits come home to us
+  route_order_.push_back(d.header.guid);
+  if (ttl > 0) forward(d, kSelf, send);
+  return d.header.guid;
+}
+
+Guid Servent::originate_ping(std::uint8_t ttl, util::Rng& rng,
+                             const SendFn& send) {
+  Descriptor d;
+  d.header.guid = Guid::make(rng);
+  d.header.type = DescriptorType::kPing;
+  d.header.ttl = ttl;
+  d.header.hops = 0;
+  route_table_.emplace(d.header.guid, kSelf);
+  route_order_.push_back(d.header.guid);
+  if (ttl > 0) forward(d, kSelf, send);
+  return d.header.guid;
+}
+
+void Servent::forward(const Descriptor& descriptor, NodeId except,
+                      const SendFn& send) {
+  for (NodeId nbr : neighbors_) {
+    if (nbr == except) continue;
+    send(nbr, descriptor);
+  }
+}
+
+void Servent::route_back(const Descriptor& descriptor, const SendFn& send,
+                         const HitFn& on_hit) {
+  const auto it = route_table_.find(descriptor.header.guid);
+  if (it == route_table_.end()) return;  // route expired/unknown: drop
+  if (it->second == kSelf) {
+    on_hit(descriptor);  // we originated the request
+    return;
+  }
+  send(it->second, descriptor);
+}
+
+void Servent::handle(NodeId from, const Descriptor& descriptor,
+                     const SendFn& send, const HitFn& on_hit) {
+  ++seen_count_;
+  const Header& h = descriptor.header;
+
+  switch (h.type) {
+    case DescriptorType::kPing:
+    case DescriptorType::kQuery: {
+      // Duplicate suppression by GUID (spec: drop, do not re-forward).
+      if (route_table_.count(h.guid)) {
+        ++duplicates_;
+        return;
+      }
+      route_table_.emplace(h.guid, from);
+      route_order_.push_back(h.guid);
+
+      if (h.type == DescriptorType::kQuery) {
+        // Local match -> QUERY_HIT routed back toward the originator.
+        const auto matches = store_->match(self_, descriptor.query.terms);
+        if (!matches.empty()) {
+          Descriptor hit;
+          hit.header.guid = h.guid;  // hits reuse the query GUID for routing
+          hit.header.type = DescriptorType::kQueryHit;
+          hit.header.ttl = static_cast<std::uint8_t>(h.hops + 1);
+          hit.header.hops = 0;
+          hit.hit.responder = self_;
+          hit.hit.object_ids = matches;
+          send(from, hit);
+        }
+      } else {
+        // PONG back toward the pinger with our library size.
+        Descriptor pong;
+        pong.header.guid = h.guid;
+        pong.header.type = DescriptorType::kPong;
+        pong.header.ttl = static_cast<std::uint8_t>(h.hops + 1);
+        pong.header.hops = 0;
+        pong.pong.responder = self_;
+        pong.pong.shared_files =
+            static_cast<std::uint32_t>(store_->objects(self_).size());
+        send(from, pong);
+      }
+
+      // Forward with decremented TTL.
+      if (h.ttl > 1) {
+        Descriptor relay = descriptor;
+        --relay.header.ttl;
+        ++relay.header.hops;
+        forward(relay, from, send);
+      }
+      return;
+    }
+
+    case DescriptorType::kQueryHit:
+    case DescriptorType::kPong: {
+      Descriptor relay = descriptor;
+      ++relay.header.hops;
+      route_back(relay, send, on_hit);
+      return;
+    }
+  }
+}
+
+}  // namespace qcp2p::gnutella

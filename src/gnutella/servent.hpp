@@ -1,0 +1,92 @@
+// A Gnutella servent (peer) state machine: GUID duplicate suppression,
+// reverse-path routing state, local content matching, and the standard
+// PING/PONG/QUERY/QUERY_HIT handling rules.
+//
+// The servent is transport-agnostic: it receives descriptors through
+// handle() and emits sends through a caller-provided sink, so the same
+// logic runs under the synchronous tests and the latency-aware
+// GnutellaNetwork simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/gnutella/message.hpp"
+#include "src/sim/network.hpp"
+
+namespace qcp2p::gnutella {
+
+class Servent {
+ public:
+  /// Sink invoked for each outgoing descriptor: (to, descriptor).
+  using SendFn = std::function<void(NodeId, const Descriptor&)>;
+  /// Callback when a QUERY_HIT reaches the query's originator.
+  using HitFn = std::function<void(const Descriptor&)>;
+
+  /// @param store  shared content store; `self` indexes into it.
+  Servent(NodeId self, const sim::PeerStore* store,
+          std::vector<NodeId> neighbors);
+
+  [[nodiscard]] NodeId id() const noexcept { return self_; }
+  [[nodiscard]] const std::vector<NodeId>& neighbors() const noexcept {
+    return neighbors_;
+  }
+
+  /// Connection management (protocol-level churn): descriptors are only
+  /// exchanged with current neighbors.
+  bool add_neighbor(NodeId peer);
+  bool remove_neighbor(NodeId peer);
+
+  /// Drops routing entries beyond `max_entries`, oldest first — the
+  /// bounded route table every long-running servent needs. Routes for
+  /// dropped GUIDs make late hits undeliverable, exactly as in the
+  /// protocol.
+  void expire_routes(std::size_t max_entries);
+  [[nodiscard]] std::size_t route_table_size() const noexcept {
+    return route_table_.size();
+  }
+
+  /// Originates a query: floods to all neighbors with the given TTL.
+  /// Returns the query's GUID (hits for it arrive via `on_hit`).
+  Guid originate_query(std::vector<TermId> terms, std::uint8_t ttl,
+                       util::Rng& rng, const SendFn& send);
+
+  /// Originates a ping (crawler-style network discovery).
+  Guid originate_ping(std::uint8_t ttl, util::Rng& rng, const SendFn& send);
+
+  /// Handles a descriptor arriving from neighbor `from`.
+  void handle(NodeId from, const Descriptor& descriptor, const SendFn& send,
+              const HitFn& on_hit);
+
+  // Statistics.
+  [[nodiscard]] std::uint64_t descriptors_seen() const noexcept {
+    return seen_count_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
+    return duplicates_;
+  }
+
+ private:
+  void forward(const Descriptor& descriptor, NodeId except,
+               const SendFn& send);
+  /// Routes a hit/pong one step back toward the originator.
+  void route_back(const Descriptor& descriptor, const SendFn& send,
+                  const HitFn& on_hit);
+
+  NodeId self_;
+  const sim::PeerStore* store_;
+  std::vector<NodeId> neighbors_;
+  // GUID -> neighbor it first arrived from (kSelf for own descriptors).
+  std::unordered_map<Guid, NodeId, GuidHash> route_table_;
+  // Insertion order of GUIDs, for expiry (oldest first).
+  std::vector<Guid> route_order_;
+  std::size_t route_order_head_ = 0;
+  std::uint64_t seen_count_ = 0;
+  std::uint64_t duplicates_ = 0;
+
+  static constexpr NodeId kSelf = ~NodeId{0};
+};
+
+}  // namespace qcp2p::gnutella

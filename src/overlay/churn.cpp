@@ -1,0 +1,51 @@
+#include "src/overlay/churn.hpp"
+
+#include <cmath>
+
+namespace qcp2p::overlay {
+
+ChurnProcess::ChurnProcess(std::size_t num_nodes, const ChurnParams& params)
+    : params_(params),
+      online_(num_nodes, false),
+      next_toggle_(num_nodes, 0.0) {
+  rngs_.reserve(num_nodes);
+  const double p_online = params.mean_online_s /
+                          (params.mean_online_s + params.mean_offline_s);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    rngs_.emplace_back(util::mix64(params.seed ^ (0xC4u + v)));
+    util::Rng& rng = rngs_.back();
+    online_[v] = rng.chance(p_online);  // steady-state initialization
+    next_toggle_[v] = draw_session(online_[v], rng);
+  }
+}
+
+double ChurnProcess::draw_session(bool for_online, util::Rng& rng) const {
+  const double mean = for_online ? params_.mean_online_s : params_.mean_offline_s;
+  return -std::log(1.0 - rng.uniform()) * mean;
+}
+
+void ChurnProcess::advance(double dt) {
+  now_ += dt;
+  for (std::size_t v = 0; v < online_.size(); ++v) {
+    while (next_toggle_[v] <= now_) {
+      online_[v] = !online_[v];
+      next_toggle_[v] += draw_session(online_[v], rngs_[v]);
+    }
+  }
+}
+
+double ChurnProcess::online_fraction() const noexcept {
+  if (online_.empty()) return 0.0;
+  std::size_t up = 0;
+  for (bool b : online_) up += b;
+  return static_cast<double>(up) / static_cast<double>(online_.size());
+}
+
+std::vector<bool> sample_online(std::size_t num_nodes, double p,
+                                util::Rng& rng) {
+  std::vector<bool> online(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) online[v] = rng.chance(p);
+  return online;
+}
+
+}  // namespace qcp2p::overlay

@@ -1,0 +1,53 @@
+// Session-based churn: each peer alternates between online and offline
+// sessions with exponentially distributed lengths. Used by the
+// failure-injection tests and the churn ablation bench: the paper's
+// replication problem only worsens when singleton holders go offline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/overlay/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::overlay {
+
+struct ChurnParams {
+  double mean_online_s = 3600.0;   // Gnutella median session ~ 1 hour
+  double mean_offline_s = 7200.0;
+  std::uint64_t seed = 99;
+};
+
+class ChurnProcess {
+ public:
+  ChurnProcess(std::size_t num_nodes, const ChurnParams& params);
+
+  /// Advances simulated time by dt seconds, toggling node states.
+  void advance(double dt);
+
+  [[nodiscard]] bool is_online(NodeId node) const noexcept {
+    return online_[node];
+  }
+  [[nodiscard]] const std::vector<bool>& online() const noexcept {
+    return online_;
+  }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  /// Fraction of nodes currently online.
+  [[nodiscard]] double online_fraction() const noexcept;
+
+ private:
+  [[nodiscard]] double draw_session(bool for_online, util::Rng& rng) const;
+
+  ChurnParams params_;
+  double now_ = 0.0;
+  std::vector<bool> online_;
+  std::vector<double> next_toggle_;
+  std::vector<util::Rng> rngs_;
+};
+
+/// One-shot helper: marks each node online independently with probability
+/// p (the steady-state of the session process); for quick failure tests.
+[[nodiscard]] std::vector<bool> sample_online(std::size_t num_nodes, double p,
+                                              util::Rng& rng);
+
+}  // namespace qcp2p::overlay

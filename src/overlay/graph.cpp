@@ -1,0 +1,61 @@
+#include "src/overlay/graph.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::overlay {
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  if (u == v || u >= adjacency_.size() || v >= adjacency_.size()) return false;
+  if (has_edge(u, v)) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) return false;
+  auto& au = adjacency_[u];
+  const auto it = std::find(au.begin(), au.end(), v);
+  if (it == au.end()) return false;
+  au.erase(it);
+  auto& av = adjacency_[v];
+  av.erase(std::find(av.begin(), av.end(), u));
+  --num_edges_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u >= adjacency_.size()) return false;
+  const auto& smaller = adjacency_[u].size() <= adjacency_[v].size()
+                            ? adjacency_[u]
+                            : adjacency_[v];
+  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+std::vector<NodeId> Graph::component_of(NodeId start) const {
+  std::vector<NodeId> frontier{start};
+  std::vector<bool> seen(adjacency_.size(), false);
+  seen[start] = true;
+  std::vector<NodeId> component{start};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    for (NodeId v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        component.push_back(v);
+        frontier.push_back(v);
+      }
+    }
+  }
+  return component;
+}
+
+bool Graph::is_connected() const {
+  if (adjacency_.empty()) return true;
+  return component_of(0).size() == adjacency_.size();
+}
+
+}  // namespace qcp2p::overlay

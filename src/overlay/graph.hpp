@@ -1,0 +1,59 @@
+// Undirected overlay graph with adjacency-list storage.
+//
+// Node ids are dense [0, n). The graph is built once by a topology
+// generator and then read concurrently by search simulations, so the
+// mutation API is minimal and the read API is span-based.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qcp2p::overlay {
+
+using NodeId = std::uint32_t;
+
+class Graph {
+ public:
+  explicit Graph(std::size_t num_nodes) : adjacency_(num_nodes) {}
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return adjacency_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}. Self-loops and duplicates are
+  /// rejected (returns false) to keep degree semantics exact.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes the undirected edge {u, v} if present.
+  bool remove_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
+    return adjacency_[u];
+  }
+  [[nodiscard]] std::size_t degree(NodeId u) const noexcept {
+    return adjacency_[u].size();
+  }
+
+  [[nodiscard]] double mean_degree() const noexcept {
+    return num_nodes() == 0 ? 0.0
+                            : 2.0 * static_cast<double>(num_edges_) /
+                                  static_cast<double>(num_nodes());
+  }
+
+  /// Nodes reachable from `start` (BFS over all nodes); used by topology
+  /// generators to patch connectivity and by tests.
+  [[nodiscard]] std::vector<NodeId> component_of(NodeId start) const;
+
+  /// True when every node is reachable from node 0 (or the graph is empty).
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace qcp2p::overlay

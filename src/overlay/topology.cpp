@@ -1,0 +1,240 @@
+#include "src/overlay/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/util/zipf.hpp"
+
+namespace qcp2p::overlay {
+namespace {
+
+/// Union-find over node ids, for connectivity patching.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+  NodeId find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(NodeId a, NodeId b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+void patch_connectivity(Graph& graph, util::Rng& rng) {
+  const std::size_t n = graph.num_nodes();
+  if (n <= 1) return;
+  UnionFind uf(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph.neighbors(u)) {
+      if (u < v) uf.unite(u, v);
+    }
+  }
+  // Attach every non-root component representative to a random node of
+  // the component containing node 0.
+  const NodeId root = uf.find(0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (uf.find(u) != root) {
+      NodeId anchor;
+      do {
+        anchor = static_cast<NodeId>(rng.bounded(n));
+      } while (uf.find(anchor) != root || anchor == u);
+      if (graph.add_edge(u, anchor)) uf.unite(u, root);
+    }
+  }
+}
+
+Graph random_graph(std::size_t n, double mean_degree, util::Rng& rng) {
+  Graph g(n);
+  if (n < 2) return g;
+  const auto target_edges = static_cast<std::size_t>(
+      static_cast<double>(n) * mean_degree / 2.0);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_edges * 20 + 100;
+  while (g.num_edges() < target_edges && attempts++ < max_attempts) {
+    const auto u = static_cast<NodeId>(rng.bounded(n));
+    const auto v = static_cast<NodeId>(rng.bounded(n));
+    g.add_edge(u, v);
+  }
+  patch_connectivity(g, rng);
+  return g;
+}
+
+Graph random_regular(std::size_t n, std::size_t degree, util::Rng& rng) {
+  Graph g(n);
+  if (n < 2 || degree == 0) return g;
+  if (degree >= n) throw std::invalid_argument("random_regular: degree >= n");
+  // Configuration model: n*degree stubs, shuffled, paired. Self-loops and
+  // duplicate edges are simply dropped, leaving a near-regular graph.
+  std::vector<NodeId> stubs;
+  stubs.reserve(n * degree);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t k = 0; k < degree; ++k) stubs.push_back(u);
+  }
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.bounded(i)]);
+  }
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    g.add_edge(stubs[i], stubs[i + 1]);
+  }
+  patch_connectivity(g, rng);
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng) {
+  if (m == 0) throw std::invalid_argument("barabasi_albert: m must be >= 1");
+  Graph g(n);
+  if (n < 2) return g;
+  const std::size_t seed_nodes = std::min(n, m + 1);
+  // Seed clique over the first m+1 nodes.
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_nodes; ++v) g.add_edge(u, v);
+  }
+  // Endpoint list: each edge contributes both endpoints, so sampling a
+  // uniform element is degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * n * m);
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      (void)v;
+      endpoints.push_back(u);
+    }
+  }
+  for (NodeId u = static_cast<NodeId>(seed_nodes); u < n; ++u) {
+    std::size_t added = 0;
+    std::size_t guard = 0;
+    while (added < m && guard++ < 50 * m) {
+      const NodeId target = endpoints[rng.bounded(endpoints.size())];
+      if (g.add_edge(u, target)) {
+        endpoints.push_back(u);
+        endpoints.push_back(target);
+        ++added;
+      }
+    }
+  }
+  patch_connectivity(g, rng);
+  return g;
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                     util::Rng& rng) {
+  if (k % 2 != 0) throw std::invalid_argument("watts_strogatz: k must be even");
+  if (k >= n && n > 1) throw std::invalid_argument("watts_strogatz: k >= n");
+  Graph g(n);
+  if (n < 2 || k == 0) return g;
+  // Ring lattice: node v links to v+1 .. v+k/2 (mod n).
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      const auto u = static_cast<NodeId>((v + j) % n);
+      // Rewire the far endpoint with probability beta.
+      if (rng.chance(beta)) {
+        NodeId w;
+        std::size_t guard = 0;
+        do {
+          w = static_cast<NodeId>(rng.bounded(n));
+        } while ((w == v || g.has_edge(v, w)) && guard++ < 32);
+        if (w != v && g.add_edge(v, w)) continue;
+      }
+      g.add_edge(v, u);
+    }
+  }
+  patch_connectivity(g, rng);
+  return g;
+}
+
+TwoTierTopology gnutella_two_tier(const TwoTierParams& params, util::Rng& rng) {
+  const std::size_t n = params.num_nodes;
+  TwoTierTopology topo{Graph(n), std::vector<bool>(n, false)};
+  if (n < 2) return topo;
+
+  auto num_ups = static_cast<std::size_t>(
+      static_cast<double>(n) * params.ultrapeer_fraction);
+  num_ups = std::clamp<std::size_t>(num_ups, 1, n);
+
+  // Promote a random subset to ultrapeers.
+  std::vector<NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.bounded(i)]);
+  }
+  std::vector<NodeId> ups(ids.begin(),
+                          ids.begin() + static_cast<std::ptrdiff_t>(num_ups));
+  for (NodeId u : ups) topo.is_ultrapeer[u] = true;
+
+  // Ultrapeer mesh: near-regular random graph among ultrapeers.
+  if (ups.size() >= 2) {
+    const std::size_t mesh_degree =
+        std::min(params.up_up_degree, ups.size() - 1);
+    std::vector<NodeId> stubs;
+    stubs.reserve(ups.size() * mesh_degree);
+    for (NodeId u : ups) {
+      for (std::size_t k = 0; k < mesh_degree; ++k) stubs.push_back(u);
+    }
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      std::swap(stubs[i - 1], stubs[rng.bounded(i)]);
+    }
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      topo.graph.add_edge(stubs[i], stubs[i + 1]);
+    }
+  }
+
+  // Each leaf attaches to leaf_up_count distinct ultrapeers.
+  for (NodeId v = 0; v < n; ++v) {
+    if (topo.is_ultrapeer[v]) continue;
+    std::size_t attached = 0;
+    std::size_t guard = 0;
+    const std::size_t want = std::min(params.leaf_up_count, ups.size());
+    while (attached < want && guard++ < 50 * want) {
+      const NodeId up = ups[rng.bounded(ups.size())];
+      if (topo.graph.add_edge(v, up)) ++attached;
+    }
+  }
+
+  patch_connectivity(topo.graph, rng);
+  return topo;
+}
+
+GiaTopology gia_topology(const GiaParams& params, util::Rng& rng) {
+  if (params.capacity_levels.empty() ||
+      params.capacity_levels.size() != params.capacity_weights.size()) {
+    throw std::invalid_argument("gia_topology: bad capacity spec");
+  }
+  const std::size_t n = params.num_nodes;
+  GiaTopology topo{Graph(n), std::vector<double>(n, 1.0)};
+  const util::DiscreteSampler level_sampler(params.capacity_weights);
+
+  std::vector<std::size_t> target_degree(n);
+  for (NodeId u = 0; u < n; ++u) {
+    topo.capacity[u] = params.capacity_levels[level_sampler(rng)];
+    const double d =
+        params.base_degree * std::pow(topo.capacity[u], params.degree_alpha);
+    target_degree[u] = std::min<std::size_t>(
+        params.max_degree,
+        std::max<std::size_t>(1, static_cast<std::size_t>(d)));
+  }
+
+  // Configuration model over capacity-derived degrees.
+  std::vector<NodeId> stubs;
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t k = 0; k < target_degree[u]; ++k) stubs.push_back(u);
+  }
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.bounded(i)]);
+  }
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    topo.graph.add_edge(stubs[i], stubs[i + 1]);
+  }
+  patch_connectivity(topo.graph, rng);
+  return topo;
+}
+
+}  // namespace qcp2p::overlay

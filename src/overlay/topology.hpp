@@ -1,0 +1,83 @@
+// Overlay topology generators.
+//
+// Fig 8 simulates "a 40,000 node Gnutella network"; modern (post-2005)
+// Gnutella is a two-tier ultrapeer/leaf overlay, which is the default
+// topology for that bench. Flat random and preferential-attachment
+// topologies are provided for the ablation in DESIGN.md section 5, and a
+// Gia-style capacity-driven topology backs the Gia baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/overlay/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::overlay {
+
+/// Erdos-Renyi G(n, M) with M = n * mean_degree / 2; connectivity patched.
+[[nodiscard]] Graph random_graph(std::size_t n, double mean_degree,
+                                 util::Rng& rng);
+
+/// Near-d-regular random graph via the configuration model (bad stubs
+/// dropped, connectivity patched).
+[[nodiscard]] Graph random_regular(std::size_t n, std::size_t degree,
+                                   util::Rng& rng);
+
+/// Barabasi-Albert preferential attachment: each new node links to m
+/// existing nodes chosen proportionally to degree.
+[[nodiscard]] Graph barabasi_albert(std::size_t n, std::size_t m,
+                                    util::Rng& rng);
+
+/// Watts-Strogatz small world: a ring lattice where every node links to
+/// its k nearest neighbors (k even), each edge rewired with probability
+/// beta. beta = 0 is a high-diameter lattice; beta ~ 0.1 keeps high
+/// clustering with short paths — the classic small-world regime some
+/// unstructured overlays approximate.
+[[nodiscard]] Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                                   util::Rng& rng);
+
+struct TwoTierParams {
+  std::size_t num_nodes = 40'000;
+  /// Fraction of nodes promoted to ultrapeers (Gnutella ~15%).
+  double ultrapeer_fraction = 0.15;
+  /// Degree of the ultrapeer-ultrapeer mesh.
+  std::size_t up_up_degree = 10;
+  /// Number of ultrapeers each leaf attaches to (Gnutella: 3).
+  std::size_t leaf_up_count = 3;
+};
+
+struct TwoTierTopology {
+  Graph graph;
+  /// is_ultrapeer[v] — leaves never forward queries (sim honors this).
+  std::vector<bool> is_ultrapeer;
+};
+
+[[nodiscard]] TwoTierTopology gnutella_two_tier(const TwoTierParams& params,
+                                                util::Rng& rng);
+
+struct GiaParams {
+  std::size_t num_nodes = 10'000;
+  /// Node capacities are drawn Zipf-like over these levels (Gia paper's
+  /// 1x/10x/100x/1000x mix).
+  std::vector<double> capacity_levels = {1.0, 10.0, 100.0, 1000.0};
+  std::vector<double> capacity_weights = {0.2, 0.45, 0.3, 0.05};
+  /// Degree scales with capacity: degree ~ clamp(base * capacity^alpha).
+  double base_degree = 3.0;
+  double degree_alpha = 0.35;
+  std::size_t max_degree = 128;
+};
+
+struct GiaTopology {
+  Graph graph;
+  std::vector<double> capacity;  // per node
+};
+
+/// Capacity-driven topology: high-capacity nodes get proportionally more
+/// neighbors (Gia's "topology adaptation" steady state).
+[[nodiscard]] GiaTopology gia_topology(const GiaParams& params, util::Rng& rng);
+
+/// Links all connected components to the largest one with random edges.
+void patch_connectivity(Graph& graph, util::Rng& rng);
+
+}  // namespace qcp2p::overlay

@@ -1,0 +1,151 @@
+#include "src/sim/dht.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qcp2p::sim {
+
+ChordDht::ChordDht(std::size_t num_nodes, std::uint64_t seed) : seed_(seed) {
+  if (num_nodes == 0) throw std::invalid_argument("ChordDht: no nodes");
+  ring_.reserve(num_nodes);
+  node_ids_.resize(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    // Salted hash; collisions are vanishingly unlikely in 64 bits but we
+    // keep ids unique anyway by re-salting.
+    std::uint64_t id = util::mix64(seed ^ (0x1D00ULL + v));
+    node_ids_[v] = id;
+    ring_.emplace_back(id, v);
+  }
+  std::sort(ring_.begin(), ring_.end());
+  for (std::size_t i = 1; i < ring_.size(); ++i) {
+    if (ring_[i].first == ring_[i - 1].first) {
+      throw std::runtime_error("ChordDht: ring id collision (change seed)");
+    }
+  }
+
+  successor_.resize(num_nodes);
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    successor_[ring_[i].second] = ring_[(i + 1) % ring_.size()].second;
+  }
+
+  // Finger tables: finger j of node v = successor(id(v) + 2^j).
+  fingers_.resize(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    fingers_[v].resize(64);
+    for (std::uint32_t j = 0; j < 64; ++j) {
+      const std::uint64_t target = node_ids_[v] + (1ULL << j);  // wraps mod 2^64
+      fingers_[v][j] = successor_of(target);
+    }
+  }
+}
+
+NodeId ChordDht::successor_of(std::uint64_t key) const {
+  // First ring entry with id >= key, wrapping to the start.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+  return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+bool ChordDht::in_open_closed(std::uint64_t a, std::uint64_t b,
+                              std::uint64_t x) noexcept {
+  // x in (a, b] on the ring; when a == b the interval is the whole ring.
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;
+}
+
+NodeId ChordDht::closest_preceding(NodeId node, std::uint64_t key) const noexcept {
+  const auto& f = fingers_[node];
+  const std::uint64_t nid = node_ids_[node];
+  for (std::size_t j = f.size(); j > 0; --j) {
+    const NodeId cand = f[j - 1];
+    const std::uint64_t cid = node_ids_[cand];
+    // cand strictly inside (node, key) moves the query forward.
+    if (cand != node && in_open_closed(nid, key, cid) && cid != key) {
+      return cand;
+    }
+  }
+  return successor_[node];
+}
+
+ChordDht::LookupResult ChordDht::lookup(std::uint64_t key, NodeId from) const {
+  if (from >= node_ids_.size()) throw std::out_of_range("ChordDht::lookup");
+  LookupResult result;
+  NodeId cur = from;
+  // Bounded by ring size; greedy halving makes it O(log N) in practice.
+  for (std::size_t guard = 0; guard <= ring_.size(); ++guard) {
+    if (node_ids_[cur] == key) {  // exact hit: cur owns the key
+      result.node = cur;
+      return result;
+    }
+    const NodeId succ = successor_[cur];
+    if (in_open_closed(node_ids_[cur], node_ids_[succ], key)) {
+      ++result.hops;  // final forward to the responsible node
+      result.node = succ;
+      return result;
+    }
+    cur = closest_preceding(cur, key);
+    ++result.hops;
+  }
+  throw std::runtime_error("ChordDht::lookup failed to converge");
+}
+
+std::uint64_t ChordDht::term_key(TermId term) const noexcept {
+  return util::mix64(seed_ ^ 0x7E57ULL ^ (static_cast<std::uint64_t>(term) << 16));
+}
+
+std::uint64_t ChordDht::object_key(std::uint64_t object_id) const noexcept {
+  return util::mix64(seed_ ^ 0x0B7EC7ULL ^ object_id);
+}
+
+std::uint32_t ChordDht::publish_term(TermId term, std::uint64_t object_id,
+                                     NodeId holder, NodeId from) {
+  const LookupResult r = lookup(term_key(term), from);
+  term_index_[term].push_back(Posting{object_id, holder});
+  return r.hops;
+}
+
+std::uint32_t ChordDht::publish_object(std::uint64_t object_id, NodeId holder,
+                                       NodeId from) {
+  const LookupResult r = lookup(object_key(object_id), from);
+  auto& holders = object_index_[object_id];
+  if (std::find(holders.begin(), holders.end(), holder) == holders.end()) {
+    holders.push_back(holder);
+  }
+  return r.hops;
+}
+
+std::uint64_t ChordDht::publish_store(const PeerStore& store) {
+  std::uint64_t messages = 0;
+  const std::size_t n = std::min(store.num_peers(), num_nodes());
+  for (NodeId peer = 0; peer < n; ++peer) {
+    for (const PeerStore::Object& o : store.objects(peer)) {
+      messages += publish_object(o.id, peer, peer);
+      for (TermId t : o.terms) {
+        messages += publish_term(t, o.id, peer, peer);
+      }
+    }
+  }
+  return messages;
+}
+
+ChordDht::TermSearch ChordDht::search_term(TermId term, NodeId from) const {
+  TermSearch out;
+  const LookupResult r = lookup(term_key(term), from);
+  out.hops = r.hops;
+  const auto it = term_index_.find(term);
+  if (it != term_index_.end()) out.postings = it->second;
+  return out;
+}
+
+ChordDht::ObjectSearch ChordDht::search_object(std::uint64_t object_id,
+                                               NodeId from) const {
+  ObjectSearch out;
+  const LookupResult r = lookup(object_key(object_id), from);
+  out.hops = r.hops;
+  const auto it = object_index_.find(object_id);
+  if (it != object_index_.end()) out.holders = it->second;
+  return out;
+}
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,101 @@
+// Chord distributed hash table (Stoica et al.), the structured-lookup
+// substrate used by the hybrid-search baseline (Loo et al., IPTPS'04)
+// and by the Section V/VII "hybrid vs DHT" comparison.
+//
+// This is a simulation-grade Chord: the whole ring is materialized at
+// once (no join/stabilize protocol), but routing is faithful — greedy
+// finger-table forwarding with O(log N) hops — and hop counts are the
+// message cost reported by the benches. A keyword layer maps terms to
+// postings stored at the term's successor node, which is how keyword
+// search is layered over exact-match DHTs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/network.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+class ChordDht {
+ public:
+  /// Builds a ring of `num_nodes` with ids drawn from a keyed hash.
+  ChordDht(std::size_t num_nodes, std::uint64_t seed = 0xC0DEULL);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return ring_.size(); }
+
+  /// Ring identifier of a node.
+  [[nodiscard]] std::uint64_t node_id(NodeId node) const {
+    return node_ids_.at(node);
+  }
+
+  /// Node responsible for `key` (its successor on the ring) — ground
+  /// truth, O(log N) binary search, no routing.
+  [[nodiscard]] NodeId successor_of(std::uint64_t key) const;
+
+  struct LookupResult {
+    NodeId node = 0;       // responsible node
+    std::uint32_t hops = 0;  // routing messages spent
+  };
+
+  /// Greedy finger routing from `from` to the node responsible for key.
+  [[nodiscard]] LookupResult lookup(std::uint64_t key, NodeId from) const;
+
+  // --- keyword / object layer -------------------------------------------
+
+  struct Posting {
+    std::uint64_t object_id = 0;
+    NodeId holder = 0;
+  };
+
+  /// Hash of a term into ring-key space.
+  [[nodiscard]] std::uint64_t term_key(TermId term) const noexcept;
+  /// Hash of an object id into ring-key space.
+  [[nodiscard]] std::uint64_t object_key(std::uint64_t object_id) const noexcept;
+
+  /// Publishes a (term -> object@holder) posting; returns publish hops.
+  std::uint32_t publish_term(TermId term, std::uint64_t object_id,
+                             NodeId holder, NodeId from);
+
+  /// Publishes an object's location; returns publish hops.
+  std::uint32_t publish_object(std::uint64_t object_id, NodeId holder,
+                               NodeId from);
+
+  /// Publishes every object of a PeerStore under all its terms, routing
+  /// each publication from its holder. Returns total publish messages.
+  std::uint64_t publish_store(const PeerStore& store);
+
+  struct TermSearch {
+    std::vector<Posting> postings;
+    std::uint32_t hops = 0;
+  };
+  /// Routes to the term's index node and returns its postings.
+  [[nodiscard]] TermSearch search_term(TermId term, NodeId from) const;
+
+  struct ObjectSearch {
+    std::vector<NodeId> holders;
+    std::uint32_t hops = 0;
+  };
+  [[nodiscard]] ObjectSearch search_object(std::uint64_t object_id,
+                                           NodeId from) const;
+
+ private:
+  [[nodiscard]] static bool in_open_closed(std::uint64_t a, std::uint64_t b,
+                                           std::uint64_t x) noexcept;
+  /// Closest finger of `node` strictly preceding `key`.
+  [[nodiscard]] NodeId closest_preceding(NodeId node,
+                                         std::uint64_t key) const noexcept;
+
+  std::uint64_t seed_;
+  std::vector<std::pair<std::uint64_t, NodeId>> ring_;  // sorted by id
+  std::vector<std::uint64_t> node_ids_;                 // node -> ring id
+  std::vector<NodeId> successor_;                       // node -> next node
+  std::vector<std::vector<NodeId>> fingers_;            // node -> 64 fingers
+  std::unordered_map<TermId, std::vector<Posting>> term_index_;
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> object_index_;
+};
+
+}  // namespace qcp2p::sim

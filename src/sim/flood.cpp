@@ -1,0 +1,96 @@
+#include "src/sim/flood.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::sim {
+
+FloodResult flood(const Graph& graph, NodeId source, std::uint32_t ttl,
+                  const std::vector<bool>* forwards,
+                  const std::vector<bool>* online) {
+  FloodEngine engine(graph);
+  return engine.run(source, ttl, forwards, online);
+}
+
+FloodEngine::FloodEngine(const Graph& graph)
+    : graph_(&graph), visit_mark_(graph.num_nodes(), 0) {}
+
+FloodResult FloodEngine::run(NodeId source, std::uint32_t ttl,
+                             const std::vector<bool>* forwards,
+                             const std::vector<bool>* online) {
+  FloodResult result;
+  if (ttl == 0 || graph_->num_nodes() == 0) return result;
+  if (online != nullptr && !(*online)[source]) return result;
+
+  ++epoch_;
+  visit_mark_[source] = epoch_;
+  frontier_.clear();
+  frontier_.push_back(source);
+
+  for (std::uint32_t hop = 1; hop <= ttl && !frontier_.empty(); ++hop) {
+    next_.clear();
+    std::uint64_t newly = 0;
+    for (NodeId u : frontier_) {
+      // The source always transmits; relays only if allowed to forward.
+      if (u != source && forwards != nullptr && !(*forwards)[u]) continue;
+      for (NodeId v : graph_->neighbors(u)) {
+        ++result.messages;  // duplicates and dead peers still cost a send
+        if (online != nullptr && !(*online)[v]) continue;
+        if (visit_mark_[v] != epoch_) {
+          visit_mark_[v] = epoch_;
+          result.reached.push_back(v);
+          next_.push_back(v);
+          ++newly;
+        }
+      }
+    }
+    result.per_hop.push_back(newly);
+    frontier_.swap(next_);
+  }
+  return result;
+}
+
+bool FloodEngine::reaches_any(NodeId source, std::uint32_t ttl,
+                              std::span<const NodeId> holders,
+                              const std::vector<bool>* forwards,
+                              std::uint64_t* messages_out,
+                              const std::vector<bool>* online) {
+  const auto holder_alive = [&](NodeId v) {
+    return online == nullptr || (*online)[v];
+  };
+  // A node already holding the object needs no search at all.
+  if (std::binary_search(holders.begin(), holders.end(), source) &&
+      holder_alive(source)) {
+    if (messages_out) *messages_out = 0;
+    return true;
+  }
+  const FloodResult r = run(source, ttl, forwards, online);
+  if (messages_out) *messages_out = r.messages;
+  for (NodeId v : r.reached) {
+    if (std::binary_search(holders.begin(), holders.end(), v)) return true;
+  }
+  return false;
+}
+
+FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
+                               NodeId source, std::span<const TermId> query,
+                               std::uint32_t ttl,
+                               const std::vector<bool>* forwards) {
+  FloodSearchResult out;
+  FloodEngine engine(graph);
+  const FloodResult r = engine.run(source, ttl, forwards);
+  out.messages = r.messages;
+
+  auto probe = [&](NodeId peer) {
+    ++out.peers_probed;
+    for (std::uint64_t id : store.match(peer, query)) out.results.push_back(id);
+  };
+  probe(source);  // local check first, as real servents do
+  for (NodeId v : r.reached) probe(v);
+
+  std::sort(out.results.begin(), out.results.end());
+  out.results.erase(std::unique(out.results.begin(), out.results.end()),
+                    out.results.end());
+  return out;
+}
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,89 @@
+// TTL-limited flooding, the unstructured search primitive of Gnutella and
+// of the first phase of hybrid P2P systems (Fig 8, Section V).
+//
+// Semantics follow the Gnutella 0.6 protocol: the source sends the query
+// to every neighbor with the given TTL; each *forwarding* node decrements
+// the TTL and relays to all neighbors except the one it came from;
+// duplicate receptions are dropped but still cost a message. In two-tier
+// mode, leaves receive queries but never forward them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/overlay/graph.hpp"
+#include "src/sim/network.hpp"
+
+namespace qcp2p::sim {
+
+struct FloodResult {
+  /// Nodes that received the query (excluding the source).
+  std::vector<NodeId> reached;
+  /// Total query transmissions (including duplicate deliveries).
+  std::uint64_t messages = 0;
+  /// reached-per-hop histogram: per_hop[h] = nodes first reached at hop h+1.
+  std::vector<std::uint64_t> per_hop;
+
+  [[nodiscard]] double coverage(std::size_t num_nodes) const noexcept {
+    return num_nodes == 0 ? 0.0
+                          : static_cast<double>(reached.size()) /
+                                static_cast<double>(num_nodes);
+  }
+};
+
+/// Pure coverage flood (no content): BFS to `ttl` hops.
+/// @param forwards  optional predicate "node may forward" (two-tier
+///                  leaves return false); the source always sends.
+/// @param online    optional liveness mask (churn): offline nodes
+///                  neither receive nor relay; messages sent to them are
+///                  still charged (the sender cannot know).
+[[nodiscard]] FloodResult flood(const Graph& graph, NodeId source,
+                                std::uint32_t ttl,
+                                const std::vector<bool>* forwards = nullptr,
+                                const std::vector<bool>* online = nullptr);
+
+/// Scratch buffers for repeated floods over one graph (avoids an O(n)
+/// allocation per query in the Monte-Carlo benches).
+class FloodEngine {
+ public:
+  explicit FloodEngine(const Graph& graph);
+
+  [[nodiscard]] FloodResult run(NodeId source, std::uint32_t ttl,
+                                const std::vector<bool>* forwards = nullptr,
+                                const std::vector<bool>* online = nullptr);
+
+  /// Success check against a placement: does the flood from `source`
+  /// reach any holder of `object`? The source's own copy counts, as a
+  /// node trivially "finds" content it already stores. With an `online`
+  /// mask, only online holders satisfy the query.
+  [[nodiscard]] bool reaches_any(NodeId source, std::uint32_t ttl,
+                                 std::span<const NodeId> holders,
+                                 const std::vector<bool>* forwards,
+                                 std::uint64_t* messages_out = nullptr,
+                                 const std::vector<bool>* online = nullptr);
+
+ private:
+  const Graph* graph_;
+  std::vector<std::uint32_t> visit_mark_;
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> frontier_;
+  std::vector<NodeId> next_;
+};
+
+/// Content search by flooding over a PeerStore: every reached peer
+/// evaluates the query; returns matching object ids (deduplicated)
+/// plus the transport cost.
+struct FloodSearchResult {
+  std::vector<std::uint64_t> results;
+  std::uint64_t messages = 0;
+  std::size_t peers_probed = 0;
+};
+
+[[nodiscard]] FloodSearchResult flood_search(
+    const Graph& graph, const PeerStore& store, NodeId source,
+    std::span<const TermId> query, std::uint32_t ttl,
+    const std::vector<bool>* forwards = nullptr);
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,97 @@
+#include "src/sim/gia.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::sim {
+
+GiaNetwork::GiaNetwork(overlay::GiaTopology topology, PeerStore store)
+    : topology_(std::move(topology)), store_(std::move(store)) {}
+
+std::vector<std::uint64_t> GiaNetwork::match_with_one_hop(
+    NodeId peer, std::span<const TermId> query) const {
+  std::vector<std::uint64_t> hits = store_.match(peer, query);
+  for (NodeId nbr : topology_.graph.neighbors(peer)) {
+    const auto more = store_.match(nbr, query);
+    hits.insert(hits.end(), more.begin(), more.end());
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return hits;
+}
+
+NodeId GiaNetwork::biased_step(NodeId at, double bias, util::Rng& rng) const {
+  const auto nbrs = topology_.graph.neighbors(at);
+  const NodeId uniform = nbrs[rng.bounded(nbrs.size())];
+  if (!rng.chance(bias)) return uniform;
+  // Pick the highest-capacity of a small sample (cheap argmax surrogate
+  // over large adjacency lists).
+  NodeId best = uniform;
+  for (int trial = 0; trial < 3; ++trial) {
+    const NodeId cand = nbrs[rng.bounded(nbrs.size())];
+    if (topology_.capacity[cand] > topology_.capacity[best]) best = cand;
+  }
+  return best;
+}
+
+GiaSearchResult GiaNetwork::search(NodeId source,
+                                   std::span<const TermId> query,
+                                   const GiaSearchParams& params,
+                                   util::Rng& rng) const {
+  GiaSearchResult out;
+  auto probe = [&](NodeId at) {
+    ++out.peers_probed;
+    for (std::uint64_t id : match_with_one_hop(at, query)) {
+      out.results.push_back(id);
+    }
+  };
+  probe(source);
+  NodeId at = source;
+  while (out.messages < params.max_steps &&
+         (params.stop_after_results == 0 ||
+          out.results.size() < params.stop_after_results)) {
+    if (topology_.graph.degree(at) == 0) break;
+    at = biased_step(at, params.capacity_bias, rng);
+    ++out.messages;
+    probe(at);
+  }
+  std::sort(out.results.begin(), out.results.end());
+  out.results.erase(std::unique(out.results.begin(), out.results.end()),
+                    out.results.end());
+  out.success = out.results.size() >= std::max<std::size_t>(
+                                          1, params.stop_after_results);
+  return out;
+}
+
+GiaSearchResult GiaNetwork::locate(NodeId source,
+                                   std::span<const NodeId> holders,
+                                   const GiaSearchParams& params,
+                                   util::Rng& rng) const {
+  GiaSearchResult out;
+  auto covered = [&](NodeId at) {
+    // One-hop replication: a node also indexes its neighbors' content.
+    if (std::binary_search(holders.begin(), holders.end(), at)) return true;
+    for (NodeId nbr : topology_.graph.neighbors(at)) {
+      if (std::binary_search(holders.begin(), holders.end(), nbr)) return true;
+    }
+    return false;
+  };
+  ++out.peers_probed;
+  if (covered(source)) {
+    out.success = true;
+    return out;
+  }
+  NodeId at = source;
+  while (out.messages < params.max_steps) {
+    if (topology_.graph.degree(at) == 0) break;
+    at = biased_step(at, params.capacity_bias, rng);
+    ++out.messages;
+    ++out.peers_probed;
+    if (covered(at)) {
+      out.success = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace qcp2p::sim

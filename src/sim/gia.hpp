@@ -1,0 +1,75 @@
+// Gia baseline (Chawathe et al., SIGCOMM'03): capacity-aware topology,
+// one-hop (pointer) replication of indices to neighbors, and
+// capacity-biased random walks.
+//
+// The IPPS'08 paper's related-work claim: Gia was evaluated with objects
+// placed uniformly on up to 0.5% of peers, but under the measured Zipf
+// distribution fewer than 1% of objects reach that replication level, so
+// the published success rates do not transfer. bench/exp_gia_uniform_vs_zipf
+// regenerates that comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/overlay/topology.hpp"
+#include "src/sim/network.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+struct GiaSearchParams {
+  std::uint32_t max_steps = 512;      // total walk budget (messages)
+  std::size_t stop_after_results = 1;
+  /// Bias: probability of picking the highest-capacity neighbor instead
+  /// of a uniform one (Gia always prefers high capacity; we keep it
+  /// stochastic to avoid walk traps).
+  double capacity_bias = 0.85;
+};
+
+struct GiaSearchResult {
+  std::vector<std::uint64_t> results;
+  std::uint64_t messages = 0;
+  std::size_t peers_probed = 0;
+  bool success = false;
+};
+
+/// Gia network = capacity topology + content + one-hop replicated index.
+class GiaNetwork {
+ public:
+  GiaNetwork(overlay::GiaTopology topology, PeerStore store);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return topology_.graph; }
+  [[nodiscard]] const PeerStore& store() const noexcept { return store_; }
+  [[nodiscard]] double capacity(NodeId v) const {
+    return topology_.capacity.at(v);
+  }
+
+  /// Match against the peer's own library AND its one-hop replicated
+  /// neighbor indices (Gia's key amplification of effective coverage).
+  [[nodiscard]] std::vector<std::uint64_t> match_with_one_hop(
+      NodeId peer, std::span<const TermId> query) const;
+
+  /// Capacity-biased random walk with one-hop index checks.
+  [[nodiscard]] GiaSearchResult search(NodeId source,
+                                       std::span<const TermId> query,
+                                       const GiaSearchParams& params,
+                                       util::Rng& rng) const;
+
+  /// Object-replica lookup (Fig 8-style): walk until a node holding (or
+  /// neighboring a holder of) the object is visited.
+  [[nodiscard]] GiaSearchResult locate(NodeId source,
+                                       std::span<const NodeId> holders,
+                                       const GiaSearchParams& params,
+                                       util::Rng& rng) const;
+
+ private:
+  [[nodiscard]] NodeId biased_step(NodeId at, double bias,
+                                   util::Rng& rng) const;
+
+  overlay::GiaTopology topology_;
+  PeerStore store_;
+};
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,72 @@
+#include "src/sim/hybrid.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace qcp2p::sim {
+namespace {
+
+/// Looks up every query term in the DHT and intersects postings by
+/// object id; hops of all lookups are charged as messages.
+void dht_phase(const ChordDht& dht, NodeId source,
+               std::span<const TermId> query, HybridResult& out) {
+  out.used_dht = true;
+  std::unordered_map<std::uint64_t, std::size_t> object_term_hits;
+  for (TermId t : query) {
+    const ChordDht::TermSearch ts = dht.search_term(t, source);
+    out.dht_messages += ts.hops;
+    // Deduplicate postings of the same object under one term (an object
+    // replicated on several holders appears once per holder).
+    std::vector<std::uint64_t> ids;
+    ids.reserve(ts.postings.size());
+    for (const ChordDht::Posting& p : ts.postings) ids.push_back(p.object_id);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (std::uint64_t id : ids) ++object_term_hits[id];
+  }
+  for (const auto& [id, hits] : object_term_hits) {
+    if (hits == query.size()) out.results.push_back(id);
+  }
+  std::sort(out.results.begin(), out.results.end());
+}
+
+}  // namespace
+
+HybridResult hybrid_search(const Graph& graph, const PeerStore& store,
+                           const ChordDht& dht, NodeId source,
+                           std::span<const TermId> query,
+                           const HybridParams& params,
+                           const std::vector<bool>* forwards) {
+  HybridResult out;
+  if (query.empty()) return out;
+
+  const FloodSearchResult fr =
+      flood_search(graph, store, source, query, params.flood_ttl, forwards);
+  out.flood_messages = fr.messages;
+  out.results = fr.results;
+
+  if (out.results.size() < params.rare_cutoff) {
+    // Rare query: re-issue through the structured index (keep any flood
+    // results; the DHT adds the rest).
+    HybridResult dht_out;
+    dht_phase(dht, source, query, dht_out);
+    out.dht_messages = dht_out.dht_messages;
+    out.used_dht = true;
+    out.results.insert(out.results.end(), dht_out.results.begin(),
+                       dht_out.results.end());
+    std::sort(out.results.begin(), out.results.end());
+    out.results.erase(std::unique(out.results.begin(), out.results.end()),
+                      out.results.end());
+  }
+  return out;
+}
+
+HybridResult dht_only_search(const ChordDht& dht, NodeId source,
+                             std::span<const TermId> query) {
+  HybridResult out;
+  if (query.empty()) return out;
+  dht_phase(dht, source, query, out);
+  return out;
+}
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,52 @@
+// Hybrid flood-then-DHT search (Loo et al., "The case for a hybrid P2P
+// search infrastructure", IPTPS'04): a query first floods the
+// unstructured overlay with a small TTL; if it returns fewer than
+// `rare_cutoff` results (the paper's rare-query test: < 20 results), it
+// is re-issued through the structured (Chord) keyword index.
+//
+// The IPPS'08 paper's Section V/VII claim is that under the *measured*
+// Zipf replica distribution the flood phase almost always fails, so the
+// hybrid pays flood + DHT cost and performs worse than going straight to
+// the DHT. bench/exp_hybrid_vs_dht regenerates that comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sim/dht.hpp"
+#include "src/sim/flood.hpp"
+
+namespace qcp2p::sim {
+
+struct HybridParams {
+  std::uint32_t flood_ttl = 3;
+  /// Fewer results than this marks the query "rare" -> fall back to DHT.
+  std::size_t rare_cutoff = 20;
+};
+
+struct HybridResult {
+  std::vector<std::uint64_t> results;
+  std::uint64_t flood_messages = 0;
+  std::uint64_t dht_messages = 0;
+  bool used_dht = false;
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return flood_messages + dht_messages;
+  }
+  [[nodiscard]] bool success() const noexcept { return !results.empty(); }
+};
+
+/// Conjunctive term query through the hybrid pipeline. The DHT phase
+/// looks up every query term, intersects the posting lists by object id,
+/// and counts routing hops as messages.
+[[nodiscard]] HybridResult hybrid_search(
+    const Graph& graph, const PeerStore& store, const ChordDht& dht,
+    NodeId source, std::span<const TermId> query, const HybridParams& params,
+    const std::vector<bool>* forwards = nullptr);
+
+/// Pure-DHT baseline: same keyword lookup, no flood phase.
+[[nodiscard]] HybridResult dht_only_search(const ChordDht& dht, NodeId source,
+                                           std::span<const TermId> query);
+
+}  // namespace qcp2p::sim

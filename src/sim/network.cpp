@@ -1,0 +1,122 @@
+#include "src/sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qcp2p::sim {
+
+Placement place_uniform(std::size_t num_objects, std::size_t copies,
+                        std::size_t num_nodes, util::Rng& rng) {
+  if (copies > num_nodes) {
+    throw std::invalid_argument("place_uniform: copies > num_nodes");
+  }
+  Placement p;
+  p.holders.resize(num_objects);
+  for (auto& holders : p.holders) {
+    holders.reserve(copies);
+    while (holders.size() < copies) {
+      const auto peer = static_cast<NodeId>(rng.bounded(num_nodes));
+      if (std::find(holders.begin(), holders.end(), peer) == holders.end()) {
+        holders.push_back(peer);
+      }
+    }
+    std::sort(holders.begin(), holders.end());
+  }
+  return p;
+}
+
+Placement place_by_counts(std::span<const std::uint64_t> replica_counts,
+                          std::size_t num_nodes, util::Rng& rng) {
+  Placement p;
+  p.holders.resize(replica_counts.size());
+  for (std::size_t o = 0; o < replica_counts.size(); ++o) {
+    const std::size_t copies = static_cast<std::size_t>(
+        std::min<std::uint64_t>(replica_counts[o], num_nodes));
+    auto& holders = p.holders[o];
+    holders.reserve(copies);
+    while (holders.size() < copies) {
+      const auto peer = static_cast<NodeId>(rng.bounded(num_nodes));
+      if (std::find(holders.begin(), holders.end(), peer) == holders.end()) {
+        holders.push_back(peer);
+      }
+    }
+    std::sort(holders.begin(), holders.end());
+  }
+  return p;
+}
+
+std::vector<std::uint64_t> sample_replica_counts(
+    std::span<const std::uint64_t> crawl_counts, std::size_t num_objects,
+    util::Rng& rng) {
+  if (crawl_counts.empty()) {
+    throw std::invalid_argument("sample_replica_counts: empty source");
+  }
+  std::vector<std::uint64_t> counts(num_objects);
+  for (auto& c : counts) {
+    c = crawl_counts[rng.bounded(crawl_counts.size())];
+  }
+  return counts;
+}
+
+void PeerStore::add_object(NodeId peer, std::uint64_t id,
+                           std::vector<TermId> terms) {
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  peers_.at(peer).objects.push_back(Object{id, std::move(terms)});
+  ++total_;
+  finalized_ = false;
+}
+
+void PeerStore::finalize() {
+  for (PeerData& pd : peers_) {
+    pd.terms.clear();
+    for (const Object& o : pd.objects) {
+      pd.terms.insert(pd.terms.end(), o.terms.begin(), o.terms.end());
+    }
+    std::sort(pd.terms.begin(), pd.terms.end());
+    pd.terms.erase(std::unique(pd.terms.begin(), pd.terms.end()),
+                   pd.terms.end());
+  }
+  finalized_ = true;
+}
+
+bool PeerStore::may_match(NodeId peer, std::span<const TermId> query) const {
+  const std::vector<TermId>& terms = peers_.at(peer).terms;
+  for (TermId t : query) {
+    if (!std::binary_search(terms.begin(), terms.end(), t)) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> PeerStore::match(NodeId peer,
+                                            std::span<const TermId> query) const {
+  std::vector<std::uint64_t> hits;
+  if (query.empty()) return hits;
+  if (finalized_ && !may_match(peer, query)) return hits;
+  for (const Object& o : peers_.at(peer).objects) {
+    bool all = true;
+    for (TermId t : query) {
+      if (!std::binary_search(o.terms.begin(), o.terms.end(), t)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) hits.push_back(o.id);
+  }
+  return hits;
+}
+
+PeerStore peer_store_from_crawl(const trace::CrawlSnapshot& snapshot,
+                                std::size_t num_nodes) {
+  PeerStore store(num_nodes);
+  for (std::size_t p = 0; p < snapshot.num_peers(); ++p) {
+    const auto node = static_cast<NodeId>(p % num_nodes);
+    for (trace::ObjectKey key : snapshot.peer_objects(p)) {
+      store.add_object(node, key.bits, snapshot.object_terms(key));
+    }
+  }
+  store.finalize();
+  return store;
+}
+
+}  // namespace qcp2p::sim

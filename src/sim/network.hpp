@@ -1,0 +1,116 @@
+// Simulated P2P content network: an overlay graph whose peers hold
+// term-annotated objects, plus object-placement helpers for the Fig 8
+// replication experiments.
+//
+// Two granularities are supported, matching the paper's two experiment
+// styles:
+//   * object-replica placement (Fig 8): objects are opaque; all that
+//     matters is which peers hold a replica;
+//   * term-annotated content (hybrid/Gia/query-centric benches): peers
+//     hold objects with term lists and queries are term conjunctions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/overlay/graph.hpp"
+#include "src/text/vocabulary.hpp"
+#include "src/trace/gnutella.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+using overlay::Graph;
+using overlay::NodeId;
+using text::TermId;
+
+// ---------------------------------------------------------------------------
+// Object-replica placement (Fig 8)
+// ---------------------------------------------------------------------------
+
+/// holders[o] = sorted peers holding object o.
+struct Placement {
+  std::vector<std::vector<NodeId>> holders;
+
+  [[nodiscard]] std::size_t num_objects() const noexcept {
+    return holders.size();
+  }
+};
+
+/// Every object on exactly `copies` distinct uniform-random peers
+/// (the paper's "uniformly random fashion" baseline).
+[[nodiscard]] Placement place_uniform(std::size_t num_objects,
+                                      std::size_t copies,
+                                      std::size_t num_nodes, util::Rng& rng);
+
+/// Object o lands on replica_counts[o] distinct uniform-random peers —
+/// used with counts drawn from the crawl's empirical Zipf distribution.
+[[nodiscard]] Placement place_by_counts(
+    std::span<const std::uint64_t> replica_counts, std::size_t num_nodes,
+    util::Rng& rng);
+
+/// Draws `num_objects` replica counts from the crawl's empirical
+/// distribution (sampling with replacement from `crawl_counts`).
+[[nodiscard]] std::vector<std::uint64_t> sample_replica_counts(
+    std::span<const std::uint64_t> crawl_counts, std::size_t num_objects,
+    util::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Term-annotated content (hybrid / Gia / query-centric benches)
+// ---------------------------------------------------------------------------
+
+/// Immutable per-peer object store with term annotations.
+class PeerStore {
+ public:
+  struct Object {
+    std::uint64_t id = 0;              // globally unique object identity
+    std::vector<TermId> terms;         // sorted, unique
+  };
+
+  explicit PeerStore(std::size_t num_peers) : peers_(num_peers) {}
+
+  /// Adds an object to a peer; terms are sorted/deduplicated internally.
+  void add_object(NodeId peer, std::uint64_t id, std::vector<TermId> terms);
+
+  /// Builds per-peer sorted term summaries; call once after all adds.
+  void finalize();
+
+  [[nodiscard]] std::size_t num_peers() const noexcept { return peers_.size(); }
+  [[nodiscard]] const std::vector<Object>& objects(NodeId peer) const {
+    return peers_.at(peer).objects;
+  }
+  /// Sorted unique terms appearing anywhere in the peer's library.
+  [[nodiscard]] const std::vector<TermId>& peer_terms(NodeId peer) const {
+    return peers_.at(peer).terms;
+  }
+
+  /// Objects on `peer` containing ALL of `query` (conjunctive match,
+  /// Gnutella semantics). Returns matching object ids.
+  [[nodiscard]] std::vector<std::uint64_t> match(
+      NodeId peer, std::span<const TermId> query) const;
+
+  /// Cheap prefilter: does the peer hold every query term somewhere?
+  [[nodiscard]] bool may_match(NodeId peer,
+                               std::span<const TermId> query) const;
+
+  [[nodiscard]] std::uint64_t total_objects() const noexcept { return total_; }
+
+ private:
+  struct PeerData {
+    std::vector<Object> objects;
+    std::vector<TermId> terms;
+  };
+  std::vector<PeerData> peers_;
+  std::uint64_t total_ = 0;
+  bool finalized_ = false;
+};
+
+/// Loads a crawl snapshot into a PeerStore over `num_nodes` simulated
+/// peers. When the snapshot has more peers than the network, libraries
+/// are assigned round-robin; when fewer, extra nodes stay empty (they
+/// still route). Term lists come from CrawlSnapshot::object_terms.
+[[nodiscard]] PeerStore peer_store_from_crawl(
+    const trace::CrawlSnapshot& snapshot, std::size_t num_nodes);
+
+}  // namespace qcp2p::sim

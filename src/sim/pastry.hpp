@@ -1,0 +1,68 @@
+// Pastry DHT (Rowstron & Druschel, Middleware 2001) — the second
+// structured overlay the paper cites. Simulation-grade like ChordDht:
+// the membership is materialized up front, but routing is faithful —
+// prefix-based forwarding over a 2^b-ary digit space with a leaf set,
+// giving O(log_{2^b} N) hops.
+//
+// Included as a comparator substrate: bench/exp_dht_compare contrasts
+// Chord's finger routing and Pastry's prefix routing hop counts; the
+// paper's Section V conclusions are DHT-agnostic, and this shows it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/network.hpp"
+
+namespace qcp2p::sim {
+
+class PastryDht {
+ public:
+  /// @param b     digit width in bits (2^b-ary digits); default 4 (hex).
+  /// @param leaf  half-size of the leaf set (|L|/2 nearest each side).
+  PastryDht(std::size_t num_nodes, std::uint64_t seed = 0xBA57ULL,
+            std::uint32_t b = 4, std::size_t leaf = 8);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return node_ids_.size();
+  }
+  [[nodiscard]] std::uint64_t node_id(NodeId node) const {
+    return node_ids_.at(node);
+  }
+
+  /// Node whose id is numerically closest to `key` on the circular id
+  /// space — ground truth, no routing.
+  [[nodiscard]] NodeId closest_of(std::uint64_t key) const;
+
+  struct LookupResult {
+    NodeId node = 0;
+    std::uint32_t hops = 0;
+  };
+
+  /// Prefix routing from `from` to the node responsible for `key`.
+  [[nodiscard]] LookupResult lookup(std::uint64_t key, NodeId from) const;
+
+  [[nodiscard]] std::uint32_t digit_bits() const noexcept { return b_; }
+
+ private:
+  [[nodiscard]] std::uint32_t digit(std::uint64_t id,
+                                    std::uint32_t row) const noexcept;
+  [[nodiscard]] std::uint32_t shared_prefix(std::uint64_t a,
+                                            std::uint64_t b) const noexcept;
+  [[nodiscard]] static std::uint64_t ring_distance(std::uint64_t a,
+                                                   std::uint64_t b) noexcept;
+  [[nodiscard]] bool in_leaf_range(NodeId node, std::uint64_t key) const;
+
+  std::uint32_t b_;
+  std::uint32_t rows_;
+  std::size_t leaf_half_;
+  std::vector<std::uint64_t> node_ids_;                 // node -> id
+  std::vector<std::pair<std::uint64_t, NodeId>> ring_;  // sorted by id
+  std::vector<std::size_t> ring_pos_;                   // node -> ring index
+  // Routing-table entries are resolved on demand by binary search over
+  // ring_ (nodes sharing a prefix occupy a contiguous range), which
+  // yields the same next hops as materialized Pastry tables.
+  static constexpr NodeId kNone = ~NodeId{0};
+};
+
+}  // namespace qcp2p::sim

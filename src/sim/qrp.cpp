@@ -1,0 +1,138 @@
+#include "src/sim/qrp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+QrpTable::QrpTable(std::size_t bits) : bits_(bits, false) {
+  if (bits == 0) throw std::invalid_argument("QrpTable: zero-size table");
+}
+
+std::size_t QrpTable::slot(TermId term) const noexcept {
+  // Real QRP hashes the keyword string; hashing the interned id is
+  // equivalent for collision statistics.
+  return static_cast<std::size_t>(util::mix64(0x515250ULL ^ term) %
+                                  bits_.size());
+}
+
+void QrpTable::add_term(TermId term) noexcept { bits_[slot(term)] = true; }
+
+bool QrpTable::may_contain(TermId term) const noexcept {
+  return bits_[slot(term)];
+}
+
+bool QrpTable::may_match(std::span<const TermId> query) const noexcept {
+  for (TermId t : query) {
+    if (!may_contain(t)) return false;
+  }
+  return true;
+}
+
+double QrpTable::fill_ratio() const noexcept {
+  std::size_t set = 0;
+  for (bool b : bits_) set += b;
+  return static_cast<double>(set) / static_cast<double>(bits_.size());
+}
+
+QrpNetwork::QrpNetwork(const overlay::TwoTierTopology& topology,
+                       const PeerStore& store, std::size_t table_bits)
+    : topology_(&topology), store_(&store), engine_(topology.graph) {
+  const std::size_t n = topology.graph.num_nodes();
+  if (store.num_peers() != n) {
+    throw std::invalid_argument("QrpNetwork: store/topology size mismatch");
+  }
+  tables_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    tables_.emplace_back(table_bits);
+    if (topology.is_ultrapeer[v]) continue;  // leaves only
+    for (TermId t : store.peer_terms(v)) tables_[v].add_term(t);
+  }
+}
+
+QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
+                                            std::span<const TermId> query,
+                                            std::uint32_t ttl) {
+  SearchResult out;
+  if (query.empty()) return out;
+
+  auto probe = [&](NodeId peer) {
+    ++out.peers_probed;
+    for (std::uint64_t id : store_->match(peer, query)) {
+      out.results.push_back(id);
+    }
+  };
+  probe(source);
+
+  // Flood the ultrapeer tier (leaves never forward in two-tier Gnutella).
+  const FloodResult flood_result =
+      engine_.run(source, ttl, &topology_->is_ultrapeer);
+  out.up_messages = 0;
+
+  // Partition reached nodes: ultrapeers were reached by the UP-tier
+  // flood; each reached ultrapeer then screens its leaves through QRP.
+  // Leaves reached directly by the flood (the source's ultrapeers
+  // forwarding blindly) are re-screened here instead: we charge UP-tier
+  // messages only for UP->UP edges and account leaf deliveries via QRP.
+  std::vector<bool> up_reached(topology_->graph.num_nodes(), false);
+  for (NodeId v : flood_result.reached) {
+    if (topology_->is_ultrapeer[v]) {
+      up_reached[v] = true;
+      probe(v);  // ultrapeers index their own shared files too
+    }
+  }
+  // Count UP-tier transmissions: every edge out of a forwarding UP (or
+  // the source) toward another UP.
+  auto count_up_edges = [&](NodeId u) {
+    std::uint64_t c = 0;
+    for (NodeId v : topology_->graph.neighbors(u)) {
+      c += topology_->is_ultrapeer[v];
+    }
+    return c;
+  };
+  out.up_messages += count_up_edges(source);
+  for (NodeId v : flood_result.reached) {
+    if (topology_->is_ultrapeer[v]) out.up_messages += count_up_edges(v);
+  }
+
+  // QRP last hop: each reached ultrapeer delivers to matching leaves.
+  std::vector<bool> leaf_done(topology_->graph.num_nodes(), false);
+  auto screen_leaves = [&](NodeId up) {
+    for (NodeId leaf : topology_->graph.neighbors(up)) {
+      if (topology_->is_ultrapeer[leaf] || leaf_done[leaf] || leaf == source) {
+        continue;
+      }
+      leaf_done[leaf] = true;
+      if (tables_[leaf].may_match(query)) {
+        ++out.leaf_messages;
+        probe(leaf);
+      } else {
+        ++out.leaf_suppressed;
+      }
+    }
+  };
+  if (topology_->is_ultrapeer[source]) screen_leaves(source);
+  for (NodeId v = 0; v < topology_->graph.num_nodes(); ++v) {
+    if (up_reached[v]) screen_leaves(v);
+  }
+
+  std::sort(out.results.begin(), out.results.end());
+  out.results.erase(std::unique(out.results.begin(), out.results.end()),
+                    out.results.end());
+  return out;
+}
+
+double QrpNetwork::mean_fill() const {
+  double sum = 0.0;
+  std::size_t leaves = 0;
+  for (NodeId v = 0; v < tables_.size(); ++v) {
+    if (topology_->is_ultrapeer[v]) continue;
+    sum += tables_[v].fill_ratio();
+    ++leaves;
+  }
+  return leaves == 0 ? 0.0 : sum / static_cast<double>(leaves);
+}
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,89 @@
+// Query Routing Protocol (QRP) — the content synopsis mechanism deployed
+// in real (post-2002) Gnutella, and the natural *content-centric*
+// baseline for the paper's query-centric proposal.
+//
+// Each leaf hashes every keyword of its shared files into a fixed-size
+// bit table and uploads the table to its ultrapeers. An ultrapeer
+// delivers a query to a leaf only if EVERY query term hits the leaf's
+// table, so leaf links are spared almost all of the flood traffic. The
+// table is complete over the leaf's keywords (no false negatives) but
+// hash collisions cause false positives.
+//
+// QRP embodies exactly the assumption the paper challenges: it describes
+// what a peer HAS, not what users ASK — it cannot make rare content
+// findable, it only prunes the last hop. bench/exp_qrp_filtering
+// quantifies both properties.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/overlay/topology.hpp"
+#include "src/sim/flood.hpp"
+#include "src/sim/network.hpp"
+
+namespace qcp2p::sim {
+
+/// One leaf's QRP keyword table.
+class QrpTable {
+ public:
+  /// @param bits  table size; real servents ship 64Ki slots. Must be > 0.
+  explicit QrpTable(std::size_t bits = 65'536);
+
+  void add_term(TermId term) noexcept;
+  [[nodiscard]] bool may_contain(TermId term) const noexcept;
+  /// True when every query term may be present (conjunctive routing).
+  [[nodiscard]] bool may_match(std::span<const TermId> query) const noexcept;
+
+  [[nodiscard]] std::size_t bit_count() const noexcept {
+    return bits_.size();
+  }
+  [[nodiscard]] double fill_ratio() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t slot(TermId term) const noexcept;
+  std::vector<bool> bits_;
+};
+
+/// Two-tier Gnutella network with QRP last-hop filtering.
+class QrpNetwork {
+ public:
+  /// Builds per-leaf tables from the store (each leaf registers every
+  /// term of every object it shares — QRP tables are complete).
+  QrpNetwork(const overlay::TwoTierTopology& topology, const PeerStore& store,
+             std::size_t table_bits = 65'536);
+
+  struct SearchResult {
+    std::vector<std::uint64_t> results;
+    std::uint64_t up_messages = 0;     // ultrapeer-tier transmissions
+    std::uint64_t leaf_messages = 0;   // query deliveries to leaves
+    std::uint64_t leaf_suppressed = 0; // deliveries QRP filtered out
+    std::size_t peers_probed = 0;
+
+    [[nodiscard]] std::uint64_t total_messages() const noexcept {
+      return up_messages + leaf_messages;
+    }
+  };
+
+  /// Floods the ultrapeer tier to `ttl`, delivering to leaves only when
+  /// their QRP table matches. The source's own ultrapeers also screen
+  /// their leaves at hop 0.
+  [[nodiscard]] SearchResult search(NodeId source,
+                                    std::span<const TermId> query,
+                                    std::uint32_t ttl);
+
+  [[nodiscard]] const QrpTable& table(NodeId leaf) const {
+    return tables_.at(leaf);
+  }
+  /// Mean false-positive probability of the leaf tables at current fill.
+  [[nodiscard]] double mean_fill() const;
+
+ private:
+  const overlay::TwoTierTopology* topology_;
+  const PeerStore* store_;
+  std::vector<QrpTable> tables_;  // indexed by node id; UPs keep empty tables
+  FloodEngine engine_;
+};
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,86 @@
+#include "src/sim/random_walk.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::sim {
+namespace {
+
+/// Picks the next hop; optionally degree-biased via two-choice sampling
+/// (cheap approximation of proportional-to-degree that avoids a prefix
+/// sum over the adjacency list).
+[[nodiscard]] NodeId next_hop(const Graph& graph, NodeId at, bool biased,
+                              util::Rng& rng) {
+  const auto nbrs = graph.neighbors(at);
+  const NodeId a = nbrs[rng.bounded(nbrs.size())];
+  if (!biased) return a;
+  const NodeId b = nbrs[rng.bounded(nbrs.size())];
+  return graph.degree(b) > graph.degree(a) ? b : a;
+}
+
+template <typename Probe>
+RandomWalkResult walk(const Graph& graph, NodeId source,
+                      const RandomWalkParams& params, util::Rng& rng,
+                      Probe probe) {
+  RandomWalkResult out;
+  if (graph.num_nodes() == 0) return out;
+  probe(source, out);
+  if (params.stop_after_results != 0 &&
+      out.results.size() >= params.stop_after_results) {
+    out.success = true;
+    return out;
+  }
+  for (std::uint32_t w = 0; w < params.walkers; ++w) {
+    NodeId at = source;
+    for (std::uint32_t step = 0; step < params.max_steps; ++step) {
+      if (graph.degree(at) == 0) break;
+      at = next_hop(graph, at, params.degree_biased, rng);
+      ++out.messages;
+      probe(at, out);
+      if (params.stop_after_results != 0 &&
+          out.results.size() >= params.stop_after_results) {
+        out.success = true;
+        return out;
+      }
+    }
+  }
+  out.success = !out.results.empty();
+  return out;
+}
+
+}  // namespace
+
+RandomWalkResult random_walk_locate(const Graph& graph, NodeId source,
+                                    std::span<const NodeId> holders,
+                                    const RandomWalkParams& params,
+                                    util::Rng& rng) {
+  auto result = walk(graph, source, params, rng,
+                     [&](NodeId at, RandomWalkResult& out) {
+                       ++out.peers_probed;
+                       if (std::binary_search(holders.begin(), holders.end(),
+                                              at)) {
+                         out.results.push_back(at);
+                       }
+                     });
+  return result;
+}
+
+RandomWalkResult random_walk_search(const Graph& graph, const PeerStore& store,
+                                    NodeId source,
+                                    std::span<const TermId> query,
+                                    const RandomWalkParams& params,
+                                    util::Rng& rng) {
+  auto result = walk(graph, source, params, rng,
+                     [&](NodeId at, RandomWalkResult& out) {
+                       ++out.peers_probed;
+                       for (std::uint64_t id : store.match(at, query)) {
+                         out.results.push_back(id);
+                       }
+                     });
+  std::sort(result.results.begin(), result.results.end());
+  result.results.erase(
+      std::unique(result.results.begin(), result.results.end()),
+      result.results.end());
+  return result;
+}
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,43 @@
+// k-walker random-walk search (Lv et al. / Gia style), the standard
+// low-cost alternative to flooding in unstructured overlays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/overlay/graph.hpp"
+#include "src/sim/network.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+struct RandomWalkParams {
+  std::uint32_t walkers = 16;
+  std::uint32_t max_steps = 128;  // per walker
+  /// Stop all walkers once this many results were found (0 = run out).
+  std::size_t stop_after_results = 1;
+  /// Bias step choice toward high-degree neighbors (Gia-style) instead
+  /// of uniform neighbor choice.
+  bool degree_biased = false;
+};
+
+struct RandomWalkResult {
+  std::vector<std::uint64_t> results;
+  std::uint64_t messages = 0;  // one per walker step
+  std::size_t peers_probed = 0;
+  bool success = false;
+};
+
+/// Object lookup: walk until any holder of `holders` is stepped on.
+[[nodiscard]] RandomWalkResult random_walk_locate(
+    const Graph& graph, NodeId source, std::span<const NodeId> holders,
+    const RandomWalkParams& params, util::Rng& rng);
+
+/// Content search over a PeerStore (conjunctive term query).
+[[nodiscard]] RandomWalkResult random_walk_search(
+    const Graph& graph, const PeerStore& store, NodeId source,
+    std::span<const TermId> query, const RandomWalkParams& params,
+    util::Rng& rng);
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,110 @@
+#include "src/sim/replication.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace qcp2p::sim {
+namespace {
+
+/// Largest-remainder rounding of weights to integer copies summing to
+/// `total`, each in [1, max_copies].
+std::vector<std::uint64_t> round_allocation(std::span<const double> weights,
+                                            std::uint64_t total,
+                                            std::uint64_t max_copies) {
+  const std::size_t n = weights.size();
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+  if (weight_sum <= 0.0) weight_sum = 1.0;
+
+  std::vector<std::uint64_t> copies(n, 1);  // owner copy floor
+  std::uint64_t assigned = n;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  remainders.reserve(n);
+  const double spare =
+      static_cast<double>(total > assigned ? total - assigned : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ideal = spare * weights[i] / weight_sum;
+    const auto whole = static_cast<std::uint64_t>(ideal);
+    const std::uint64_t grant =
+        std::min<std::uint64_t>(whole, max_copies - copies[i]);
+    copies[i] += grant;
+    assigned += grant;
+    remainders.emplace_back(ideal - static_cast<double>(whole), i);
+  }
+  std::sort(remainders.begin(), remainders.end(), std::greater<>());
+  for (const auto& [frac, i] : remainders) {
+    if (assigned >= total) break;
+    if (copies[i] < max_copies) {
+      ++copies[i];
+      ++assigned;
+    }
+  }
+  return copies;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> allocate_replicas(std::span<const double> query_rates,
+                                             std::uint64_t total_copies,
+                                             ReplicationPolicy policy,
+                                             std::uint64_t max_copies) {
+  if (query_rates.empty()) return {};
+  if (max_copies == 0) throw std::invalid_argument("max_copies must be >= 1");
+  if (total_copies < query_rates.size()) {
+    throw std::invalid_argument(
+        "total_copies must cover one owner copy per object");
+  }
+  std::vector<double> weights(query_rates.size());
+  for (std::size_t i = 0; i < query_rates.size(); ++i) {
+    const double q = std::max(0.0, query_rates[i]);
+    switch (policy) {
+      case ReplicationPolicy::kUniform:
+        weights[i] = 1.0;
+        break;
+      case ReplicationPolicy::kProportional:
+        weights[i] = q;
+        break;
+      case ReplicationPolicy::kSquareRoot:
+        weights[i] = std::sqrt(q);
+        break;
+    }
+  }
+  return round_allocation(weights, total_copies, max_copies);
+}
+
+double expected_search_size(std::span<const double> query_rates,
+                            std::span<const std::uint64_t> replicas,
+                            std::uint64_t num_peers) {
+  if (query_rates.size() != replicas.size()) {
+    throw std::invalid_argument("expected_search_size: size mismatch");
+  }
+  double q_sum = 0.0;
+  for (double q : query_rates) q_sum += std::max(0.0, q);
+  if (q_sum <= 0.0) return 0.0;
+  double expectation = 0.0;
+  for (std::size_t i = 0; i < query_rates.size(); ++i) {
+    const double q = std::max(0.0, query_rates[i]) / q_sum;
+    if (replicas[i] == 0) continue;  // unreachable object: excluded
+    expectation += q * static_cast<double>(num_peers) /
+                   static_cast<double>(replicas[i]);
+  }
+  return expectation;
+}
+
+double optimal_search_size(std::span<const double> query_rates,
+                           std::uint64_t total_copies,
+                           std::uint64_t num_peers) {
+  // With r_i ∝ sqrt(q_i) and sum r_i = R:
+  //   E = n/R * (sum sqrt(q_i))^2  (q normalized).
+  double q_sum = 0.0;
+  for (double q : query_rates) q_sum += std::max(0.0, q);
+  if (q_sum <= 0.0 || total_copies == 0) return 0.0;
+  double sqrt_sum = 0.0;
+  for (double q : query_rates) sqrt_sum += std::sqrt(std::max(0.0, q) / q_sum);
+  return static_cast<double>(num_peers) / static_cast<double>(total_copies) *
+         sqrt_sum * sqrt_sum;
+}
+
+}  // namespace qcp2p::sim

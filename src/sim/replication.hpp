@@ -1,0 +1,55 @@
+// Proactive replication policies (Cohen & Shenker, SIGCOMM'02; Lv et
+// al., ICS'02): if the overlay could CHOOSE replica counts under a total
+// storage budget, how should it allocate them across objects with skewed
+// query rates?
+//
+//   * uniform:       every object gets the same number of copies;
+//   * proportional:  copies ∝ query rate (what passive caching drifts to);
+//   * square-root:   copies ∝ sqrt(query rate) — provably minimizes the
+//                    expected random-probe search size.
+//
+// This frames the paper's finding from the opposite side: the measured
+// network's organic replication is far from ANY of these allocations
+// for the long tail (singletons dominate regardless of demand), and
+// bench/exp_replication_policy quantifies how much search cost that
+// leaves on the table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+enum class ReplicationPolicy : std::uint8_t {
+  kUniform,
+  kProportional,
+  kSquareRoot,
+};
+
+/// Allocates per-object replica counts under a total copy budget.
+/// @param query_rates  relative query rate per object (>= 0).
+/// @param total_copies budget across all objects (>= objects; every
+///                     object keeps at least its owner's copy).
+/// @param max_copies   per-object cap (e.g. the number of peers).
+[[nodiscard]] std::vector<std::uint64_t> allocate_replicas(
+    std::span<const double> query_rates, std::uint64_t total_copies,
+    ReplicationPolicy policy, std::uint64_t max_copies);
+
+/// Expected random-probe search size under an allocation: drawing peers
+/// uniformly with replacement, a query for object i needs n / r_i probes
+/// in expectation; averaging over the query-rate distribution gives
+///   E[probes] = n * sum_i q_i / r_i   (q_i normalized).
+[[nodiscard]] double expected_search_size(std::span<const double> query_rates,
+                                          std::span<const std::uint64_t> replicas,
+                                          std::uint64_t num_peers);
+
+/// The analytical optimum for comparison: square-root allocation's
+/// expected search size with a real-valued (unrounded) allocation.
+[[nodiscard]] double optimal_search_size(std::span<const double> query_rates,
+                                         std::uint64_t total_copies,
+                                         std::uint64_t num_peers);
+
+}  // namespace qcp2p::sim

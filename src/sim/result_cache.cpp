@@ -1,0 +1,99 @@
+#include "src/sim/result_cache.hpp"
+
+#include <algorithm>
+
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+CachingSearchNetwork::CachingSearchNetwork(const Graph& graph,
+                                           const PeerStore& store,
+                                           const ResultCacheParams& params)
+    : graph_(&graph),
+      store_(&store),
+      params_(params),
+      caches_(graph.num_nodes()),
+      engine_(graph) {}
+
+CachingSearchNetwork::QueryKey CachingSearchNetwork::key_of(
+    std::span<const TermId> query) noexcept {
+  // Order-independent hash over the (sorted, deduplicated) term set.
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (TermId t : query) h = util::mix64(h ^ (t + 0x1234ULL));
+  return QueryKey{h};
+}
+
+const std::vector<std::uint64_t>* CachingSearchNetwork::lookup(
+    NodeId peer, const QueryKey& key) {
+  PeerCache& cache = caches_[peer];
+  const auto it = cache.entries.find(key);
+  if (it == cache.entries.end()) return nullptr;
+  // Refresh LRU position.
+  cache.order.erase(it->second.first);
+  cache.order.push_front(key);
+  it->second.first = cache.order.begin();
+  return &it->second.second;
+}
+
+void CachingSearchNetwork::insert(NodeId peer, const QueryKey& key,
+                                  std::vector<std::uint64_t> results) {
+  PeerCache& cache = caches_[peer];
+  if (cache.entries.count(key)) return;
+  cache.order.push_front(key);
+  cache.entries.emplace(key,
+                        std::make_pair(cache.order.begin(), std::move(results)));
+  if (cache.entries.size() > params_.capacity) {
+    cache.entries.erase(cache.order.back());
+    cache.order.pop_back();
+  }
+}
+
+CachedSearchResult CachingSearchNetwork::search(NodeId source,
+                                                std::span<const TermId> query) {
+  CachedSearchResult out;
+  if (query.empty()) return out;
+  ++searches_;
+  const QueryKey key = key_of(query);
+
+  // Own cache and own content are free.
+  if (const auto* cached = lookup(source, key)) {
+    out.results = *cached;
+    out.cache_hit = true;
+    ++hits_;
+    return out;
+  }
+  out.results = store_->match(source, query);
+  if (!out.results.empty()) {
+    insert(source, key, out.results);
+    return out;
+  }
+
+  // Neighbor cache probes: one message each.
+  for (NodeId nbr : graph_->neighbors(source)) {
+    ++out.messages;
+    if (const auto* cached = lookup(nbr, key)) {
+      if (!cached->empty()) {
+        out.results = *cached;
+        out.cache_hit = true;
+        ++hits_;
+        insert(source, key, out.results);
+        return out;
+      }
+    }
+  }
+
+  // Full flood fallback.
+  const FloodResult flood = engine_.run(source, params_.flood_ttl);
+  out.messages += flood.messages;
+  for (NodeId v : flood.reached) {
+    const auto hits = store_->match(v, query);
+    out.results.insert(out.results.end(), hits.begin(), hits.end());
+  }
+  std::sort(out.results.begin(), out.results.end());
+  out.results.erase(std::unique(out.results.begin(), out.results.end()),
+                    out.results.end());
+  if (!out.results.empty()) insert(source, key, out.results);
+  return out;
+}
+
+}  // namespace qcp2p::sim

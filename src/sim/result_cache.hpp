@@ -1,0 +1,93 @@
+// Query-result caching at forwarding peers — the last classic
+// unstructured-search optimization in the paper's design space.
+//
+// Ultrapeers remember recent (query -> results) pairs and answer
+// repeated queries without re-flooding. Like QRP and shortcuts, caching
+// amortizes REPEATED demand, so the paper's workload splits it cleanly:
+// the stable persistent head caches beautifully; the rare/transient tail
+// (most queries, per exp_rare_queries) never repeats at the same cache
+// and pays full price.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/flood.hpp"
+#include "src/sim/network.hpp"
+
+namespace qcp2p::sim {
+
+struct ResultCacheParams {
+  /// Cache entries per peer (LRU).
+  std::size_t capacity = 64;
+  /// Flood TTL used on a cache miss.
+  std::uint32_t flood_ttl = 3;
+};
+
+struct CachedSearchResult {
+  std::vector<std::uint64_t> results;
+  std::uint64_t messages = 0;
+  bool cache_hit = false;
+
+  [[nodiscard]] bool success() const noexcept { return !results.empty(); }
+};
+
+/// Per-peer LRU of query->results; shared flood fallback.
+class CachingSearchNetwork {
+ public:
+  CachingSearchNetwork(const Graph& graph, const PeerStore& store,
+                       const ResultCacheParams& params = {});
+
+  /// Checks the source's cache, then its neighbors' caches (1 message
+  /// each, as piggybacked cache probes), then floods; successful results
+  /// populate the source's cache.
+  [[nodiscard]] CachedSearchResult search(NodeId source,
+                                          std::span<const TermId> query);
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return searches_ == 0 ? 0.0
+                          : static_cast<double>(hits_) /
+                                static_cast<double>(searches_);
+  }
+  [[nodiscard]] std::size_t cached_entries(NodeId peer) const {
+    return caches_.at(peer).order.size();
+  }
+
+ private:
+  struct QueryKey {
+    std::uint64_t hash = 0;
+    friend bool operator==(const QueryKey&, const QueryKey&) = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const QueryKey& k) const noexcept {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
+  struct PeerCache {
+    std::list<QueryKey> order;  // front = most recent
+    std::unordered_map<QueryKey,
+                       std::pair<std::list<QueryKey>::iterator,
+                                 std::vector<std::uint64_t>>,
+                       KeyHash>
+        entries;
+  };
+
+  [[nodiscard]] static QueryKey key_of(std::span<const TermId> query) noexcept;
+  [[nodiscard]] const std::vector<std::uint64_t>* lookup(NodeId peer,
+                                                         const QueryKey& key);
+  void insert(NodeId peer, const QueryKey& key,
+              std::vector<std::uint64_t> results);
+
+  const Graph* graph_;
+  const PeerStore* store_;
+  ResultCacheParams params_;
+  std::vector<PeerCache> caches_;
+  FloodEngine engine_;
+  std::uint64_t searches_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,69 @@
+#include "src/sim/shortcuts.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::sim {
+
+ShortcutOverlay::ShortcutOverlay(const Graph& graph, const PeerStore& store,
+                                 const ShortcutParams& params)
+    : graph_(&graph),
+      store_(&store),
+      params_(params),
+      shortcuts_(graph.num_nodes()),
+      engine_(graph) {}
+
+void ShortcutOverlay::learn(NodeId source, NodeId responder) {
+  if (responder == source) return;
+  auto& list = shortcuts_[source];
+  const auto it = std::find(list.begin(), list.end(), responder);
+  if (it != list.end()) list.erase(it);  // refresh position
+  list.insert(list.begin(), responder);
+  if (list.size() > params_.shortcut_budget) list.pop_back();
+}
+
+ShortcutSearchResult ShortcutOverlay::search(NodeId source,
+                                             std::span<const TermId> query) {
+  ShortcutSearchResult out;
+  if (query.empty()) return out;
+  ++searches_;
+
+  // Local check first.
+  out.results = store_->match(source, query);
+  if (!out.results.empty()) return out;
+
+  // Phase 1: ask shortcuts, most-recently-useful first.
+  for (NodeId shortcut : shortcuts_[source]) {
+    ++out.shortcut_messages;
+    auto hits = store_->match(shortcut, query);
+    if (!hits.empty()) {
+      out.results = std::move(hits);
+      out.via_shortcut = true;
+      ++shortcut_hits_;
+      learn(source, shortcut);
+      return out;
+    }
+  }
+
+  // Phase 2: fallback flood; learn every responder.
+  const FloodResult flood = engine_.run(source, params_.fallback_ttl);
+  out.flood_messages = flood.messages;
+  for (NodeId v : flood.reached) {
+    auto hits = store_->match(v, query);
+    if (!hits.empty()) {
+      learn(source, v);
+      out.results.insert(out.results.end(), hits.begin(), hits.end());
+    }
+  }
+  std::sort(out.results.begin(), out.results.end());
+  out.results.erase(std::unique(out.results.begin(), out.results.end()),
+                    out.results.end());
+  return out;
+}
+
+double ShortcutOverlay::shortcut_hit_rate() const noexcept {
+  return searches_ == 0 ? 0.0
+                        : static_cast<double>(shortcut_hits_) /
+                              static_cast<double>(searches_);
+}
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,72 @@
+// Interest-based shortcut overlay (Sripanidkulchai et al.; the semantic
+// clustering the paper's related work cites via Fessant/Handurukande):
+// peers remember who answered their past queries and try those
+// "shortcut" peers first before falling back to flooding.
+//
+// Included as another classic unstructured-search improvement to test
+// against the paper's workload: shortcuts exploit repeated interests, so
+// they help exactly as much as query streams re-ask for co-located
+// content — and the mismatch + singleton tail bounds that sharply.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/overlay/graph.hpp"
+#include "src/sim/flood.hpp"
+#include "src/sim/network.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+struct ShortcutParams {
+  /// Max shortcut entries a peer keeps (LRU eviction).
+  std::size_t shortcut_budget = 10;
+  /// Flood TTL of the fallback phase.
+  std::uint32_t fallback_ttl = 3;
+};
+
+struct ShortcutSearchResult {
+  std::vector<std::uint64_t> results;
+  std::uint64_t shortcut_messages = 0;
+  std::uint64_t flood_messages = 0;
+  bool via_shortcut = false;
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return shortcut_messages + flood_messages;
+  }
+  [[nodiscard]] bool success() const noexcept { return !results.empty(); }
+};
+
+/// Stateful overlay: learns shortcuts from successful searches.
+class ShortcutOverlay {
+ public:
+  ShortcutOverlay(const Graph& graph, const PeerStore& store,
+                  const ShortcutParams& params = {});
+
+  /// Tries the source's shortcuts first (1 message each); on a miss,
+  /// falls back to a TTL flood. Successful responders are added to the
+  /// source's shortcut list (most recent first, LRU eviction).
+  [[nodiscard]] ShortcutSearchResult search(NodeId source,
+                                            std::span<const TermId> query);
+
+  [[nodiscard]] const std::vector<NodeId>& shortcuts(NodeId peer) const {
+    return shortcuts_.at(peer);
+  }
+  /// Fraction of searches answered by a shortcut so far.
+  [[nodiscard]] double shortcut_hit_rate() const noexcept;
+
+ private:
+  void learn(NodeId source, NodeId responder);
+
+  const Graph* graph_;
+  const PeerStore* store_;
+  ShortcutParams params_;
+  std::vector<std::vector<NodeId>> shortcuts_;  // MRU-first per peer
+  FloodEngine engine_;
+  std::uint64_t searches_ = 0;
+  std::uint64_t shortcut_hits_ = 0;
+};
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,91 @@
+#include "src/text/tokenizer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace qcp2p::text {
+namespace {
+
+// Token-constituent bytes: ASCII alphanumerics and any UTF-8 continuation
+// or lead byte (>= 0x80).
+[[nodiscard]] constexpr bool is_token_byte(unsigned char c) noexcept {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+         (c >= 'A' && c <= 'Z') || c >= 0x80;
+}
+
+constexpr std::array<std::string_view, 16> kMediaExtensions = {
+    "mp3", "wma", "ogg", "aac", "m4a", "m4p", "flac", "wav",
+    "avi", "mpg", "mpeg", "mp4", "wmv", "mov", "mkv", "pdf"};
+
+}  // namespace
+
+std::string to_lower(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (char ch : input) {
+    const auto c = static_cast<unsigned char>(ch);
+    out.push_back(c < 0x80 ? static_cast<char>(std::tolower(c)) : ch);
+  }
+  return out;
+}
+
+bool is_media_extension(std::string_view token) noexcept {
+  for (std::string_view ext : kMediaExtensions) {
+    if (token == ext) return true;
+  }
+  return false;
+}
+
+bool is_numeric(std::string_view token) noexcept {
+  if (token.empty()) return false;
+  for (char ch : token) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+std::vector<std::string> tokenize(std::string_view input,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    while (i < input.size() && !is_token_byte(static_cast<unsigned char>(input[i])))
+      ++i;
+    const std::size_t start = i;
+    while (i < input.size() && is_token_byte(static_cast<unsigned char>(input[i])))
+      ++i;
+    if (i == start) continue;
+    std::string token = to_lower(input.substr(start, i - start));
+    if (token.size() < options.min_length) continue;
+    if (options.drop_numeric && is_numeric(token)) continue;
+    if (options.drop_extensions && is_media_extension(token)) continue;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+std::string sanitize_filename(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  bool last_was_space = true;  // trims leading spaces
+  for (char ch : name) {
+    const auto c = static_cast<unsigned char>(ch);
+    const unsigned char lower =
+        c < 0x80 ? static_cast<unsigned char>(std::tolower(c)) : c;
+    const bool keep = (lower >= '0' && lower <= '9') ||
+                      (lower >= 'a' && lower <= 'z') || lower == '.' ||
+                      lower >= 0x80;
+    if (keep) {
+      out.push_back(static_cast<char>(lower));
+      last_was_space = false;
+    } else if (!last_was_space) {
+      out.push_back(' ');
+      last_was_space = true;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+}  // namespace qcp2p::text

@@ -1,0 +1,52 @@
+// Gnutella-protocol-style tokenization and filename sanitization.
+//
+// The paper (Section III.A) tokenizes object names "using the Gnutella
+// protocol tokenization mechanism": names are split on non-alphanumeric
+// separators and matched case-insensitively; Figure 2 additionally
+// "sanitizes" names by removing capitalization and special characters
+// (dashes etc.). We reproduce both operations here. Input is UTF-8; any
+// byte >= 0x80 is treated as a letter byte (multi-byte characters stay
+// inside one token), which matches how Gnutella servents compare UTF-8
+// names bytewise.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qcp2p::text {
+
+/// Options controlling tokenization.
+struct TokenizerOptions {
+  /// Minimum token length in bytes; Gnutella servents commonly ignore
+  /// 1-character tokens when building their QRP keyword tables.
+  std::size_t min_length = 2;
+  /// Drop purely numeric tokens ("01", "128") which carry no content
+  /// signal (track numbers, bitrates).
+  bool drop_numeric = false;
+  /// Drop file-extension tokens (mp3, wma, avi, ...) that would otherwise
+  /// dominate the term popularity distribution.
+  bool drop_extensions = true;
+};
+
+/// Splits a file name / query string into lowercase terms.
+[[nodiscard]] std::vector<std::string> tokenize(
+    std::string_view input, const TokenizerOptions& options = {});
+
+/// Lowercases ASCII bytes in place semantics (returns a copy); multi-byte
+/// UTF-8 sequences are passed through untouched.
+[[nodiscard]] std::string to_lower(std::string_view input);
+
+/// The paper's Figure 2 sanitization: lowercase + strip special
+/// characters (anything not alphanumeric, not '.', not space becomes
+/// nothing; runs of spaces collapse). "Aaron Neville - I Don't.mp3"
+/// -> "aaron neville i dont.mp3".
+[[nodiscard]] std::string sanitize_filename(std::string_view name);
+
+/// True if the token is a known media/file extension.
+[[nodiscard]] bool is_media_extension(std::string_view token) noexcept;
+
+/// True if every byte of the token is an ASCII digit.
+[[nodiscard]] bool is_numeric(std::string_view token) noexcept;
+
+}  // namespace qcp2p::text

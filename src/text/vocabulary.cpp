@@ -1,0 +1,36 @@
+#include "src/text/vocabulary.hpp"
+
+#include <stdexcept>
+
+namespace qcp2p::text {
+
+TermId Vocabulary::intern(std::string_view term) {
+  const auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<TermId>(terms_.size());
+  auto [inserted, ok] = index_.emplace(std::string(term), id);
+  (void)ok;
+  terms_.push_back(&inserted->first);
+  return id;
+}
+
+std::optional<TermId> Vocabulary::find(std::string_view term) const {
+  const auto it = index_.find(term);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Vocabulary::spell(TermId id) const {
+  if (id >= terms_.size()) throw std::out_of_range("Vocabulary::spell: bad id");
+  return *terms_[id];
+}
+
+std::vector<TermId> Vocabulary::intern_all(
+    const std::vector<std::string>& tokens) {
+  std::vector<TermId> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& t : tokens) ids.push_back(intern(t));
+  return ids;
+}
+
+}  // namespace qcp2p::text

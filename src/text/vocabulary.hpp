@@ -1,0 +1,59 @@
+// String interning: maps terms <-> dense 32-bit ids.
+//
+// The crawls contain millions of object names built from ~1.2M unique
+// terms; all downstream analysis (popularity counting, Jaccard, peer
+// indexes) runs in term-id space so that sets become sorted vectors of
+// uint32 rather than hash sets of strings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace qcp2p::text {
+
+using TermId = std::uint32_t;
+
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id for `term`, interning it if new.
+  TermId intern(std::string_view term);
+
+  /// Id lookup without insertion.
+  [[nodiscard]] std::optional<TermId> find(std::string_view term) const;
+
+  /// Reverse lookup; id must have been returned by intern().
+  [[nodiscard]] const std::string& spell(TermId id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return terms_.empty(); }
+
+  /// Interns every token of a tokenized string, returning ids in order.
+  std::vector<TermId> intern_all(const std::vector<std::string>& tokens);
+
+ private:
+  // Heterogeneous-lookup hash/eq so find(string_view) does not allocate.
+  struct Hash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    [[nodiscard]] bool operator()(std::string_view a,
+                                  std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  std::unordered_map<std::string, TermId, Hash, Eq> index_;
+  std::vector<const std::string*> terms_;
+};
+
+}  // namespace qcp2p::text

@@ -1,0 +1,329 @@
+#include "src/trace/content_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+namespace qcp2p::trace {
+namespace {
+
+// Domain tags keep the per-(domain, id) hash streams independent.
+enum Domain : std::uint64_t {
+  kDomainArtistOfSong = 1,
+  kDomainArtistTerms = 2,
+  kDomainTitleTerms = 3,
+  kDomainVariant = 4,
+  kDomainAlbum = 5,
+  kDomainGenre = 6,
+  kDomainTail = 7,
+};
+
+constexpr std::array<const char*, 40> kSyllables = {
+    "ka", "lo", "mi", "ra", "ve", "zu", "ti", "na", "so", "pel",
+    "dar", "mun", "ri", "ta", "gos", "le", "vin", "sha", "bo", "ne",
+    "qua", "fi", "rol", "du", "ha", "jen", "ki", "mar", "ol", "pra",
+    "su", "tam", "ur", "wex", "ya", "zor", "ce", "nim", "ga", "bri"};
+
+constexpr std::array<const char*, 24> kCanonicalGenres = {
+    "Rock",      "Pop",        "Alternative", "Jazz",     "Classical",
+    "Hip-Hop",   "Rap",        "Country",     "Blues",    "Electronic",
+    "Dance",     "Folk",       "Metal",       "Punk",     "R&B",
+    "Soul",      "Reggae",     "Latin",       "Soundtrack", "World",
+    "Gospel",    "New Age",    "Indie",       "Acoustic"};
+
+constexpr std::array<const char*, 12> kNonspecificNames = {
+    "01 Track.wma",   "02 Track.wma",  "03 Track.wma",   "Track 01.mp3",
+    "Track 02.mp3",   "Intro.mp3",     "Untitled.mp3",   "AudioTrack 01.mp3",
+    "New Song.mp3",   "Unknown.mp3",   "Outro.mp3",      "Hidden Track.mp3"};
+
+[[nodiscard]] std::string title_case(std::string word) {
+  if (!word.empty()) word[0] = static_cast<char>(std::toupper(
+      static_cast<unsigned char>(word[0])));
+  return word;
+}
+
+}  // namespace
+
+ContentModel::ContentModel(const ContentModelParams& params)
+    : params_(params),
+      term_sampler_(params.core_lexicon_size, params.core_term_zipf),
+      song_sampler_(params.catalog_songs, params.song_zipf) {}
+
+util::Rng ContentModel::rng_for(std::uint64_t domain,
+                                std::uint64_t id) const noexcept {
+  return util::Rng(util::mix64(params_.seed ^ (domain << 56) ^ id));
+}
+
+TermId ContentModel::tail_term(std::uint64_t key) const noexcept {
+  // Hash into the bounded shared tail lexicon above the core lexicon;
+  // occasional collisions are the point — rare words do recur in real
+  // traces, which keeps the term singleton fraction near the paper's 71%
+  // instead of ~100%.
+  const std::uint64_t h = util::mix64(key ^ (kDomainTail << 56) ^ params_.seed);
+  return params_.core_lexicon_size +
+         static_cast<TermId>(h % std::max<std::uint32_t>(1, params_.tail_lexicon_size));
+}
+
+std::string ContentModel::spell_term(TermId id) {
+  // Bijective base-|syllables| encoding: distinct ids -> distinct words.
+  std::string word;
+  std::uint64_t v = id;
+  do {
+    word += kSyllables[v % kSyllables.size()];
+    v /= kSyllables.size();
+  } while (v != 0);
+  return word;
+}
+
+std::optional<TermId> ContentModel::parse_term(std::string_view word) {
+  if (word.empty()) return std::nullopt;
+  // Dynamic program over positions: digits[i] = syllable index ending a
+  // valid parse of word[0..i). The syllable code is uniquely decodable
+  // (no two digit sequences concatenate to the same string), so at most
+  // one full parse exists; we still search all branches for safety.
+  struct Frame {
+    std::size_t pos;
+    std::vector<std::uint32_t> digits;
+  };
+  std::vector<Frame> stack{{0, {}}};
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (frame.pos == word.size()) {
+      // Reconstruct the id: digits are least-significant first; reject
+      // non-canonical forms (a most-significant zero digit, except the
+      // single-syllable id 0).
+      if (frame.digits.size() > 1 && frame.digits.back() == 0) continue;
+      std::uint64_t value = 0;
+      for (std::size_t i = frame.digits.size(); i > 0; --i) {
+        value = value * kSyllables.size() + frame.digits[i - 1];
+      }
+      if (value > std::numeric_limits<TermId>::max()) continue;
+      return static_cast<TermId>(value);
+    }
+    for (std::uint32_t s = 0; s < kSyllables.size(); ++s) {
+      const std::string_view syllable = kSyllables[s];
+      if (word.substr(frame.pos, syllable.size()) == syllable) {
+        Frame next = frame;
+        next.pos += syllable.size();
+        next.digits.push_back(s);
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+TermId ContentModel::draw_core_term(util::Rng& rng) const noexcept {
+  return static_cast<TermId>(term_sampler_(rng) - 1);
+}
+
+SongId ContentModel::draw_song(util::Rng& rng) const noexcept {
+  return static_cast<SongId>(song_sampler_(rng) - 1);
+}
+
+ArtistId ContentModel::song_artist(SongId song) const noexcept {
+  // Artist rank tracks song rank with multiplicative log-normal-ish
+  // noise: hit songs come from hit artists, obscure songs from obscure
+  // artists. Both ids equal their popularity ranks.
+  util::Rng rng = rng_for(kDomainArtistOfSong, song);
+  const double song_frac = (static_cast<double>(song) + 0.5) /
+                           static_cast<double>(params_.catalog_songs);
+  const double noise =
+      std::exp(params_.artist_rank_noise * 2.0 * (rng.uniform() - 0.5));
+  const double artist_frac = song_frac * noise;
+  const double clamped = std::min(artist_frac, 0.999999);
+  return static_cast<ArtistId>(clamped * static_cast<double>(params_.artists));
+}
+
+std::vector<TermId> ContentModel::artist_terms(ArtistId artist) const {
+  util::Rng rng = rng_for(kDomainArtistTerms, artist);
+  const std::size_t n = 1 + rng.bounded(2);  // 1-2 name words
+  std::vector<TermId> terms;
+  terms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) terms.push_back(draw_core_term(rng));
+  return terms;
+}
+
+std::vector<TermId> ContentModel::title_terms(SongId song) const {
+  util::Rng rng = rng_for(kDomainTitleTerms, song);
+  const std::size_t n = 2 + rng.bounded(4);  // 2-5 title words
+  std::vector<TermId> terms;
+  terms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // A sliver of titles carries an idiosyncratic (tail) word; this seeds
+    // the rare-term population even inside the shared catalog.
+    if (rng.chance(0.04)) {
+      terms.push_back(tail_term((static_cast<std::uint64_t>(song) << 8) | i));
+    } else {
+      terms.push_back(draw_core_term(rng));
+    }
+  }
+  return terms;
+}
+
+std::vector<TermId> ContentModel::song_terms(SongId song) const {
+  std::vector<TermId> terms = artist_terms(song_artist(song));
+  std::vector<TermId> title = title_terms(song);
+  terms.insert(terms.end(), title.begin(), title.end());
+  return terms;
+}
+
+VariantKind ContentModel::variant_kind(std::uint32_t k) noexcept {
+  // Most hand-typed name differences are structural (different words) and
+  // survive sanitization; only the rare high-k variants are pure
+  // case/punctuation restylings. This split reproduces Fig 2's finding
+  // that sanitization merges only ~2.5% of unique names.
+  if (k == 0) return VariantKind::kCanonical;
+  return k <= 4 ? VariantKind::kStructural : VariantKind::kSurface;
+}
+
+std::uint32_t ContentModel::structural_signature(std::uint32_t k) noexcept {
+  // Canonical and all surface variants share signature 0; each structural
+  // variant has its own signature (they differ in word content).
+  return variant_kind(k) == VariantKind::kStructural ? k : 0;
+}
+
+std::vector<TermId> ContentModel::variant_terms(SongId song,
+                                                std::uint32_t k) const {
+  std::vector<TermId> terms = song_terms(song);
+  if (variant_kind(k) != VariantKind::kStructural) return terms;
+
+  util::Rng rng = rng_for(kDomainVariant,
+                          (static_cast<std::uint64_t>(song) << 16) | k);
+  switch (rng.bounded(3)) {
+    case 0: {  // featuring credit: append a second artist's terms
+      const auto featured = static_cast<ArtistId>(
+          rng.bounded(params_.artists));
+      for (TermId t : artist_terms(featured)) terms.push_back(t);
+      break;
+    }
+    case 1: {  // dropped word (common in hand-typed names)
+      if (terms.size() > 2) terms.pop_back();
+      break;
+    }
+    default: {  // typo: one word replaced by a unique misspelling
+      const std::size_t i = rng.bounded(terms.size());
+      terms[i] = tail_term((static_cast<std::uint64_t>(song) << 20) |
+                           (static_cast<std::uint64_t>(k) << 4) | i);
+      break;
+    }
+  }
+  return terms;
+}
+
+std::string ContentModel::variant_name(SongId song, std::uint32_t k) const {
+  const std::vector<TermId> artist = artist_terms(song_artist(song));
+  std::vector<TermId> all = variant_terms(song, k);
+  // variant_terms puts artist terms first (possibly modified); rebuild the
+  // "Artist - Title" split from the canonical artist length, clamped in
+  // case a structural variant dropped below it.
+  const std::size_t artist_len = std::min(artist.size(), all.size());
+
+  util::Rng rng = rng_for(kDomainVariant,
+                          (static_cast<std::uint64_t>(song) << 32) |
+                              (static_cast<std::uint64_t>(k) + 1));
+  // Surface style: 0 = Title Case "A - B.mp3", 1 = lowercase underscores,
+  // 2 = UPPER dashes, 3 = title case, no separator spaces.
+  const std::uint64_t style =
+      variant_kind(k) == VariantKind::kSurface ? 1 + rng.bounded(3) : 0;
+
+  auto word = [&](TermId t, bool first_char_upper) {
+    std::string w = spell_term(t);
+    if (style == 2) {
+      for (char& c : w)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else if (style != 1 && first_char_upper) {
+      w = title_case(std::move(w));
+    }
+    return w;
+  };
+
+  const char* sep = style == 1 ? "_" : (style == 3 ? "-" : " ");
+  const char* dash = style == 1 ? "_-_" : (style == 3 ? "-" : " - ");
+
+  std::string name;
+  for (std::size_t i = 0; i < artist_len; ++i) {
+    if (i) name += sep;
+    name += word(all[i], true);
+  }
+  if (artist_len < all.size()) name += dash;
+  for (std::size_t i = artist_len; i < all.size(); ++i) {
+    if (i > artist_len) name += sep;
+    name += word(all[i], true);
+  }
+  name += style == 2 ? ".MP3" : ".mp3";
+  return name;
+}
+
+std::string ContentModel::artist_name(ArtistId artist) const {
+  std::string name;
+  for (TermId t : artist_terms(artist)) {
+    if (!name.empty()) name += ' ';
+    name += title_case(spell_term(t));
+  }
+  return name;
+}
+
+std::string ContentModel::song_title(SongId song) const {
+  std::string title;
+  for (TermId t : title_terms(song)) {
+    if (!title.empty()) title += ' ';
+    title += title_case(spell_term(t));
+  }
+  return title;
+}
+
+std::uint32_t ContentModel::song_album(SongId song) const noexcept {
+  // Albums are owned by the song's artist; observed artists carry only
+  // one or two albums each (paper: 32,353 albums over 25,309 artists).
+  util::Rng rng = rng_for(kDomainAlbum, song);
+  const ArtistId artist = song_artist(song);
+  const std::uint64_t slot = rng.bounded(2);
+  return static_cast<std::uint32_t>(
+      util::mix64((static_cast<std::uint64_t>(artist) << 8) | slot) &
+      0x7FFFFFFFULL);
+}
+
+std::string ContentModel::album_name(std::uint32_t album) const {
+  util::Rng rng(util::mix64(params_.seed ^ 0xA1B2C3ULL ^ album));
+  std::string name;
+  const std::size_t n = 1 + rng.bounded(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) name += ' ';
+    name += title_case(spell_term(draw_core_term(rng)));
+  }
+  return name;
+}
+
+std::uint32_t ContentModel::song_genre(SongId song, util::Rng& rng) const {
+  // Most songs carry one of the shipped genres (Zipf-weighted); a tail of
+  // users invent their own genre strings (paper: 1,452 genres observed,
+  // 56% of them on a single peer).
+  util::Rng song_rng = rng_for(kDomainGenre, song);
+  if (rng.chance(0.06)) {
+    // User-invented genre: unique-ish id above the canonical range.
+    return params_.canonical_genres +
+           static_cast<std::uint32_t>(rng.bounded(1u << 20));
+  }
+  // Zipf over the canonical genres, deterministic per song.
+  const util::ZipfSampler genre_sampler(params_.canonical_genres, 1.2);
+  return static_cast<std::uint32_t>(genre_sampler(song_rng) - 1);
+}
+
+std::string ContentModel::genre_name(std::uint32_t genre) const {
+  if (genre < kCanonicalGenres.size()) return kCanonicalGenres[genre];
+  return "my-" + spell_term(genre);
+}
+
+std::string ContentModel::nonspecific_name(std::uint32_t index) {
+  return kNonspecificNames[index % kNonspecificNames.size()];
+}
+
+std::uint32_t ContentModel::nonspecific_pool_size() noexcept {
+  return static_cast<std::uint32_t>(kNonspecificNames.size());
+}
+
+}  // namespace qcp2p::trace

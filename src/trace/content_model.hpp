@@ -1,0 +1,170 @@
+// Generative model of a P2P music-content universe.
+//
+// The paper's analyses consumed two proprietary crawls (Gnutella Apr'07
+// and a campus iTunes trace). Those traces are unavailable, so this model
+// synthesizes an equivalent universe whose *marginals* match everything
+// the paper reports (DESIGN.md section 7): Zipf song/term popularity, a
+// dominant singleton tail, filename variants that sanitization partially
+// merges, non-specific names ("01 Track.wma") that collide across peers,
+// and iTunes-style structured annotations.
+//
+// Everything is deterministic in (seed, id): a song's terms, its artist
+// and each name variant are derived by hashing, so snapshots can store
+// compact 64-bit object keys and realize names lazily.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/text/vocabulary.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/zipf.hpp"
+
+namespace qcp2p::trace {
+
+using text::TermId;
+using SongId = std::uint32_t;
+using ArtistId = std::uint32_t;
+
+/// How a name variant differs from the canonical name. Surface variants
+/// (case/punctuation) are merged by text::sanitize_filename; structural
+/// variants (featuring credits, dropped words, typos) are not.
+enum class VariantKind : std::uint8_t {
+  kCanonical,
+  kSurface,     // same words, different case/punctuation
+  kStructural,  // different word content
+};
+
+struct ContentModelParams {
+  /// Number of "core" content terms (artist name parts + common title
+  /// words). Term ids 0..core_lexicon_size-1; id == popularity rank.
+  std::uint32_t core_lexicon_size = 60'000;
+  /// Zipf exponent of core-term popularity when drawing song titles.
+  double core_term_zipf = 1.05;
+  /// Size of the shared "tail lexicon" of rare words (typos, slang,
+  /// foreign words). Tail term ids land in
+  /// [core_lexicon_size, core_lexicon_size + tail_lexicon_size); the
+  /// paper's 1.22M unique terms with 71% singletons need a bounded tail
+  /// that a few objects occasionally share.
+  std::uint32_t tail_lexicon_size = 4'000'000;
+  /// Number of songs in the globally shared catalog.
+  std::uint32_t catalog_songs = 2'500'000;
+  /// Zipf exponent of song popularity (which songs peers replicate).
+  double song_zipf = 0.82;
+  /// Number of distinct artists in the universe. Far larger than the
+  /// number *observed* in any crawl (the paper saw 25,309 artists across
+  /// 239 iTunes clients, 65% of them in a single library — which needs a
+  /// deep pool of obscure artists).
+  std::uint32_t artists = 400'000;
+  /// Log-scale noise of the song-rank -> artist-rank correlation:
+  /// popular songs are by popular artists, obscure songs by obscure
+  /// artists (what makes 65% of observed artists singletons).
+  double artist_rank_noise = 1.0;
+  /// Number of canonical iTunes genres (shipped set) before the
+  /// user-invented tail.
+  std::uint32_t canonical_genres = 24;
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic content universe; thread-safe for concurrent reads.
+class ContentModel {
+ public:
+  explicit ContentModel(const ContentModelParams& params);
+
+  [[nodiscard]] const ContentModelParams& params() const noexcept {
+    return params_;
+  }
+
+  // --- term space -------------------------------------------------------
+  // Term ids partition into [0, core) core terms and [core, ...) "tail"
+  // terms (typos, idiosyncratic words). Tail ids are derived by hashing,
+  // so they are effectively unique per use.
+
+  [[nodiscard]] std::uint32_t core_lexicon_size() const noexcept {
+    return params_.core_lexicon_size;
+  }
+  [[nodiscard]] bool is_core_term(TermId t) const noexcept {
+    return t < params_.core_lexicon_size;
+  }
+  /// Derives a pseudo-unique tail term id from an arbitrary 64-bit key.
+  [[nodiscard]] TermId tail_term(std::uint64_t key) const noexcept;
+
+  /// Bijective pronounceable spelling of a term id ("zarilo", "ketmu").
+  [[nodiscard]] static std::string spell_term(TermId id);
+
+  /// Inverse of spell_term: decodes a spelled word back to its term id.
+  /// Returns nullopt for strings that are not canonical spellings (the
+  /// syllable code is uniquely decodable, verified by tests). This is
+  /// what lets query traces round-trip through real query STRINGS and
+  /// the Gnutella tokenizer.
+  [[nodiscard]] static std::optional<TermId> parse_term(std::string_view word);
+
+  /// Draws a core term by Zipf popularity (id == rank - 1).
+  [[nodiscard]] TermId draw_core_term(util::Rng& rng) const noexcept;
+
+  // --- catalog ----------------------------------------------------------
+
+  /// Draws a shared-catalog song by Zipf popularity (id == rank - 1).
+  [[nodiscard]] SongId draw_song(util::Rng& rng) const noexcept;
+
+  /// Artist performing a song (deterministic, popularity-weighted).
+  [[nodiscard]] ArtistId song_artist(SongId song) const noexcept;
+
+  /// Terms of an artist's name (1-2 core terms).
+  [[nodiscard]] std::vector<TermId> artist_terms(ArtistId artist) const;
+
+  /// Title terms of a song (2-5 core terms, one possibly tail).
+  [[nodiscard]] std::vector<TermId> title_terms(SongId song) const;
+
+  /// All annotation terms of the canonical name (artist + title).
+  [[nodiscard]] std::vector<TermId> song_terms(SongId song) const;
+
+  // --- name variants ----------------------------------------------------
+
+  /// Kind of variant `k` of a song; k == 0 is canonical, k in 1..4 are
+  /// structural variants (different words), k >= 5 are surface variants
+  /// (case/punctuation only).
+  [[nodiscard]] static VariantKind variant_kind(std::uint32_t k) noexcept;
+
+  /// Structural signature: variants with equal signatures sanitize to the
+  /// same string. Surface variants share the canonical signature 0.
+  [[nodiscard]] static std::uint32_t structural_signature(std::uint32_t k) noexcept;
+
+  /// Term ids of variant k (structural variants add/drop/typo terms).
+  [[nodiscard]] std::vector<TermId> variant_terms(SongId song,
+                                                  std::uint32_t k) const;
+
+  /// Full Gnutella file name of variant k, e.g.
+  /// "Zarilo Ket - Muvalo Rin.mp3" / "zarilo_ket-muvalo_rin.MP3".
+  [[nodiscard]] std::string variant_name(SongId song, std::uint32_t k) const;
+
+  // --- iTunes-style annotations ------------------------------------------
+
+  [[nodiscard]] std::string artist_name(ArtistId artist) const;
+  [[nodiscard]] std::string song_title(SongId song) const;
+  /// Album of a song; albums are per-artist, deterministic.
+  [[nodiscard]] std::uint32_t song_album(SongId song) const noexcept;
+  [[nodiscard]] std::string album_name(std::uint32_t album) const;
+  /// Genre id of a song; < canonical_genres are shipped genres, larger
+  /// ids are user-invented.
+  [[nodiscard]] std::uint32_t song_genre(SongId song, util::Rng& rng) const;
+  [[nodiscard]] std::string genre_name(std::uint32_t genre) const;
+
+  /// Small pool of non-specific names ("01 Track.wma", "Intro.mp3", ...)
+  /// that unrelated rips collide on.
+  [[nodiscard]] static std::string nonspecific_name(std::uint32_t index);
+  [[nodiscard]] static std::uint32_t nonspecific_pool_size() noexcept;
+
+ private:
+  [[nodiscard]] util::Rng rng_for(std::uint64_t domain,
+                                  std::uint64_t id) const noexcept;
+
+  ContentModelParams params_;
+  util::ZipfSampler term_sampler_;
+  util::ZipfSampler song_sampler_;
+};
+
+}  // namespace qcp2p::trace

@@ -1,0 +1,255 @@
+#include "src/trace/gnutella.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/text/tokenizer.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace qcp2p::trace {
+namespace {
+
+/// Standard-normal draw (Box-Muller; one value per call is plenty here).
+[[nodiscard]] double gaussian(util::Rng& rng) noexcept {
+  const double u1 = 1.0 - rng.uniform();  // (0, 1]
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+/// Counts, per unique key, the number of distinct peers that contributed
+/// it, assuming keys arrive grouped by peer in increasing peer order.
+class PeerCounter {
+ public:
+  void see(std::uint64_t key, std::uint32_t peer) {
+    auto [it, fresh] = counts_.try_emplace(key, Entry{0, 0});
+    Entry& e = it->second;
+    if (fresh || e.last_peer != peer + 1) {  // +1: 0 means "none yet"
+      ++e.count;
+      e.last_peer = peer + 1;
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> counts() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(counts_.size());
+    for (const auto& [key, e] : counts_) out.push_back(e.count);
+    return out;
+  }
+
+  [[nodiscard]] const auto& raw() const noexcept { return counts_; }
+
+ private:
+  struct Entry {
+    std::uint32_t count;
+    std::uint32_t last_peer;
+  };
+  std::unordered_map<std::uint64_t, Entry> counts_;
+};
+
+}  // namespace
+
+GnutellaCrawlParams GnutellaCrawlParams::scaled(double f) const {
+  if (f <= 0.0) throw std::invalid_argument("scale must be positive");
+  GnutellaCrawlParams p = *this;
+  p.num_peers = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::llround(num_peers * f)));
+  return p;
+}
+
+CrawlSnapshot::CrawlSnapshot(const ContentModel* model,
+                             std::vector<std::vector<ObjectKey>> peers,
+                             double personal_tail_term)
+    : model_(model),
+      peers_(std::move(peers)),
+      personal_tail_term_(personal_tail_term) {
+  for (const auto& lib : peers_) total_ += lib.size();
+}
+
+std::string CrawlSnapshot::object_name(ObjectKey key) const {
+  switch (key.cls()) {
+    case ObjectClass::kCatalog:
+      return model_->variant_name(key.song(), key.variant());
+    case ObjectClass::kNonspecific:
+      return ContentModel::nonspecific_name(key.nonspecific_index());
+    case ObjectClass::kPersonal: {
+      // Personal rip: idiosyncratic hand-typed name built from the same
+      // term machinery so that string and id pipelines agree. A numeric
+      // tag (track number / rip id) makes the full name globally unique
+      // even when the words are common; numeric tokens are not terms.
+      std::string name;
+      for (TermId t : object_terms(key)) {
+        if (!name.empty()) name += ' ';
+        name += ContentModel::spell_term(t);
+      }
+      name += ' ';
+      name += std::to_string(util::mix64(key.bits) % 10'000'000ULL);
+      return name + ".mp3";
+    }
+  }
+  throw std::logic_error("CrawlSnapshot::object_name: bad key class");
+}
+
+ObjectKey CrawlSnapshot::sanitized_identity(ObjectKey key) const noexcept {
+  if (key.cls() != ObjectClass::kCatalog) return key;
+  return ObjectKey::catalog(key.song(),
+                            ContentModel::structural_signature(key.variant()));
+}
+
+std::vector<TermId> CrawlSnapshot::object_terms(ObjectKey key) const {
+  switch (key.cls()) {
+    case ObjectClass::kCatalog:
+      return model_->variant_terms(key.song(), key.variant());
+    case ObjectClass::kNonspecific: {
+      // Stable ids for the pool tokens, one per distinct token string.
+      const std::string name =
+          ContentModel::nonspecific_name(key.nonspecific_index());
+      std::vector<TermId> ids;
+      for (const std::string& tok : text::tokenize(name)) {
+        std::uint64_t h = 0x4E4F4E53ULL;  // "NONS"
+        for (char c : tok) h = h * 131 + static_cast<unsigned char>(c);
+        ids.push_back(model_->tail_term(h));
+      }
+      return ids;
+    }
+    case ObjectClass::kPersonal: {
+      // 2-5 terms; mostly popular words (the rip's real artist/title)
+      // with an occasional rare tail word (typos, idiosyncrasies).
+      util::Rng rng(util::mix64(key.bits ^ 0x5045525355ULL));
+      const std::size_t n = 2 + rng.bounded(4);
+      std::vector<TermId> ids;
+      ids.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.chance(personal_tail_term_)) {
+          ids.push_back(model_->tail_term(key.bits ^ (i * 0x9E3779B9ULL)));
+        } else {
+          ids.push_back(model_->draw_core_term(rng));
+        }
+      }
+      return ids;
+    }
+  }
+  throw std::logic_error("CrawlSnapshot::object_terms: bad key class");
+}
+
+std::vector<std::uint64_t> CrawlSnapshot::object_replica_counts() const {
+  PeerCounter counter;
+  for (std::uint32_t p = 0; p < peers_.size(); ++p) {
+    for (ObjectKey k : peers_[p]) counter.see(k.bits, p);
+  }
+  return counter.counts();
+}
+
+std::vector<std::uint64_t> CrawlSnapshot::sanitized_replica_counts() const {
+  PeerCounter counter;
+  for (std::uint32_t p = 0; p < peers_.size(); ++p) {
+    for (ObjectKey k : peers_[p]) counter.see(sanitized_identity(k).bits, p);
+  }
+  return counter.counts();
+}
+
+std::vector<std::uint64_t> CrawlSnapshot::term_peer_counts() const {
+  PeerCounter counter;
+  std::vector<TermId> scratch;
+  for (std::uint32_t p = 0; p < peers_.size(); ++p) {
+    scratch.clear();
+    for (ObjectKey k : peers_[p]) {
+      for (TermId t : object_terms(k)) scratch.push_back(t);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    for (TermId t : scratch) counter.see(t, p);
+  }
+  return counter.counts();
+}
+
+std::vector<TermId> CrawlSnapshot::popular_file_terms(std::size_t top_k) const {
+  PeerCounter counter;
+  std::vector<TermId> scratch;
+  for (std::uint32_t p = 0; p < peers_.size(); ++p) {
+    scratch.clear();
+    for (ObjectKey k : peers_[p]) {
+      for (TermId t : object_terms(k)) scratch.push_back(t);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    for (TermId t : scratch) counter.see(t, p);
+  }
+  std::vector<std::pair<std::uint32_t, TermId>> by_count;
+  by_count.reserve(counter.raw().size());
+  for (const auto& [key, e] : counter.raw()) {
+    by_count.emplace_back(e.count, static_cast<TermId>(key));
+  }
+  const std::size_t k = std::min(top_k, by_count.size());
+  // Ties are common at the top (the head terms sit on nearly every
+  // peer); break them by global popularity rank (lower id) so the
+  // result is deterministic.
+  std::partial_sort(by_count.begin(),
+                    by_count.begin() + static_cast<std::ptrdiff_t>(k),
+                    by_count.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<TermId> top;
+  top.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) top.push_back(by_count[i].second);
+  return top;
+}
+
+CrawlSnapshot generate_gnutella_crawl(const ContentModel& model,
+                                      const GnutellaCrawlParams& params,
+                                      std::size_t threads) {
+  std::vector<std::vector<ObjectKey>> peers(params.num_peers);
+
+  // Lognormal parameters chosen so the *overall* mean library size
+  // (including freeriders) matches mean_objects_per_peer.
+  const double sharer_mean =
+      params.mean_objects_per_peer / std::max(1e-9, 1.0 - params.freerider_fraction);
+  const double sigma = params.library_sigma;
+  const double mu = std::log(sharer_mean) - 0.5 * sigma * sigma;
+
+  util::parallel_for_blocks(
+      params.num_peers, threads, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p) {
+          util::Rng rng(util::mix64(params.seed ^ (0xBEEF0000ULL + p)));
+          if (rng.chance(params.freerider_fraction)) continue;
+
+          const double size_d = std::exp(mu + sigma * gaussian(rng));
+          const auto lib_size = static_cast<std::size_t>(
+              std::max(1.0, std::min(size_d, 50.0 * sharer_mean)));
+
+          std::vector<ObjectKey>& lib = peers[p];
+          lib.reserve(lib_size);
+          for (std::size_t slot = 0; slot < lib_size; ++slot) {
+            if (rng.chance(params.p_personal)) {
+              if (rng.chance(params.p_nonspecific)) {
+                lib.push_back(ObjectKey::nonspecific(static_cast<std::uint32_t>(
+                    rng.bounded(ContentModel::nonspecific_pool_size()))));
+              } else {
+                lib.push_back(ObjectKey::personal(
+                    static_cast<std::uint32_t>(p),
+                    static_cast<std::uint32_t>(slot)));
+              }
+            } else {
+              const SongId song = model.draw_song(rng);
+              std::uint32_t variant = 0;
+              if (rng.chance(params.p_variant)) {
+                variant = 1;
+                while (variant < GnutellaCrawlParams::kMaxVariant &&
+                       rng.chance(params.variant_geometric)) {
+                  ++variant;
+                }
+              }
+              lib.push_back(ObjectKey::catalog(song, variant));
+            }
+          }
+          // A client holds at most one copy of a given file.
+          std::sort(lib.begin(), lib.end());
+          lib.erase(std::unique(lib.begin(), lib.end()), lib.end());
+        }
+      });
+
+  return CrawlSnapshot(&model, std::move(peers), params.personal_tail_term);
+}
+
+}  // namespace qcp2p::trace

@@ -1,0 +1,161 @@
+// Synthetic Gnutella file-crawl snapshots (substitute for the paper's
+// Cruiser-style Apr'07 crawl: 37,572 peers, ~12.1M objects, 8.1M unique).
+//
+// A snapshot is a per-peer list of compact 64-bit object keys; names and
+// term lists are realized lazily from the ContentModel. Three object
+// classes exist:
+//   * catalog   — a (song, name-variant) pair from the shared catalog;
+//                 replicated across peers by Zipf song popularity.
+//   * personal  — a peer's own rip with an idiosyncratic name; globally
+//                 unique by construction (the paper's 70% singleton bulk).
+//   * nonspec   — a non-specific name from a tiny pool ("01 Track.wma");
+//                 collides across many peers without being a true replica.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/content_model.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::trace {
+
+/// Compact object identity. Bit layout: [63:62] class, rest class-specific.
+enum class ObjectClass : std::uint8_t { kCatalog = 1, kPersonal = 2, kNonspecific = 3 };
+
+struct ObjectKey {
+  std::uint64_t bits = 0;
+
+  [[nodiscard]] static ObjectKey catalog(SongId song, std::uint32_t variant) noexcept {
+    return {(1ULL << 62) | (static_cast<std::uint64_t>(song) << 8) |
+            (variant & 0xFFu)};
+  }
+  [[nodiscard]] static ObjectKey personal(std::uint32_t peer,
+                                          std::uint32_t slot) noexcept {
+    return {(2ULL << 62) | (static_cast<std::uint64_t>(peer) << 24) | slot};
+  }
+  [[nodiscard]] static ObjectKey nonspecific(std::uint32_t index) noexcept {
+    return {(3ULL << 62) | index};
+  }
+
+  [[nodiscard]] ObjectClass cls() const noexcept {
+    return static_cast<ObjectClass>(bits >> 62);
+  }
+  [[nodiscard]] SongId song() const noexcept {
+    return static_cast<SongId>((bits >> 8) & 0xFFFFFFFFULL);
+  }
+  [[nodiscard]] std::uint32_t variant() const noexcept {
+    return static_cast<std::uint32_t>(bits & 0xFFu);
+  }
+  [[nodiscard]] std::uint32_t peer() const noexcept {
+    return static_cast<std::uint32_t>((bits >> 24) & 0xFFFFFFFFULL);
+  }
+  [[nodiscard]] std::uint32_t slot() const noexcept {
+    return static_cast<std::uint32_t>(bits & 0xFFFFFFULL);
+  }
+  [[nodiscard]] std::uint32_t nonspecific_index() const noexcept {
+    return static_cast<std::uint32_t>(bits & 0xFFFFFFFFULL);
+  }
+
+  friend bool operator==(ObjectKey a, ObjectKey b) noexcept {
+    return a.bits == b.bits;
+  }
+  friend bool operator<(ObjectKey a, ObjectKey b) noexcept {
+    return a.bits < b.bits;
+  }
+};
+
+struct ObjectKeyHash {
+  [[nodiscard]] std::size_t operator()(ObjectKey k) const noexcept {
+    return static_cast<std::size_t>(util::mix64(k.bits));
+  }
+};
+
+struct GnutellaCrawlParams {
+  std::uint32_t num_peers = 37'572;
+  /// Mean shared-library size (paper: 12.1M objects / 37,572 peers ~ 322).
+  double mean_objects_per_peer = 322.0;
+  /// Lognormal sigma of library sizes (few huge sharers, many small).
+  double library_sigma = 1.1;
+  /// Fraction of crawled peers sharing nothing.
+  double freerider_fraction = 0.12;
+  /// Probability an object is a personal rip (globally unique name).
+  double p_personal = 0.14;
+  /// Among personal rips, probability of a non-specific pool name.
+  double p_nonspecific = 0.004;
+  /// Among catalog copies, probability the name is a variant (k > 0).
+  double p_variant = 0.22;
+  /// Geometric parameter for variant index k in 1..kMaxVariant.
+  double variant_geometric = 0.50;
+  /// Per-term probability that a personal rip's term is a rare tail word
+  /// rather than a popular core word.
+  double personal_tail_term = 0.25;
+  std::uint64_t seed = 42;
+
+  static constexpr std::uint32_t kMaxVariant = 12;
+
+  /// Scales peers (and, via ContentModelParams, the catalog) by f,
+  /// keeping per-peer library sizes fixed.
+  [[nodiscard]] GnutellaCrawlParams scaled(double f) const;
+};
+
+/// The result of a crawl: who shares what.
+class CrawlSnapshot {
+ public:
+  /// @param personal_tail_term  must match the generating parameter so
+  ///        lazily-realized names/terms reproduce the generated trace.
+  CrawlSnapshot(const ContentModel* model,
+                std::vector<std::vector<ObjectKey>> peers,
+                double personal_tail_term = 0.20);
+
+  [[nodiscard]] std::size_t num_peers() const noexcept { return peers_.size(); }
+  [[nodiscard]] const std::vector<ObjectKey>& peer_objects(std::size_t p) const {
+    return peers_.at(p);
+  }
+  [[nodiscard]] std::uint64_t total_objects() const noexcept { return total_; }
+  [[nodiscard]] const ContentModel& model() const noexcept { return *model_; }
+  [[nodiscard]] double personal_tail_term() const noexcept {
+    return personal_tail_term_;
+  }
+
+  /// File name of an object as the crawler would have received it.
+  [[nodiscard]] std::string object_name(ObjectKey key) const;
+
+  /// Identity after text::sanitize_filename (surface variants merge).
+  [[nodiscard]] ObjectKey sanitized_identity(ObjectKey key) const noexcept;
+
+  /// Annotation terms of an object (tokenized name, id space).
+  [[nodiscard]] std::vector<TermId> object_terms(ObjectKey key) const;
+
+  // --- replica statistics (id-space fast path; the string pipeline in
+  // --- the benches must agree with these, which tests verify) -----------
+
+  /// Replica count per unique object (peers holding it).
+  [[nodiscard]] std::vector<std::uint64_t> object_replica_counts() const;
+
+  /// Replica counts after sanitization merging.
+  [[nodiscard]] std::vector<std::uint64_t> sanitized_replica_counts() const;
+
+  /// Peer count per unique term (Fig 3): how many peers hold >= 1 object
+  /// containing the term.
+  [[nodiscard]] std::vector<std::uint64_t> term_peer_counts() const;
+
+  /// Popular file terms: the top_k terms by peer count (Fig 7's F*).
+  [[nodiscard]] std::vector<TermId> popular_file_terms(std::size_t top_k) const;
+
+ private:
+  const ContentModel* model_;
+  std::vector<std::vector<ObjectKey>> peers_;
+  std::uint64_t total_ = 0;
+  double personal_tail_term_ = 0.20;
+};
+
+/// Generates a crawl snapshot; deterministic in params.seed.
+/// @param threads  worker threads for peer-library generation (0 = auto).
+[[nodiscard]] CrawlSnapshot generate_gnutella_crawl(
+    const ContentModel& model, const GnutellaCrawlParams& params,
+    std::size_t threads = 0);
+
+}  // namespace qcp2p::trace

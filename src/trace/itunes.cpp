@@ -1,0 +1,214 @@
+#include "src/trace/itunes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/util/zipf.hpp"
+
+namespace qcp2p::trace {
+namespace {
+
+[[nodiscard]] double gaussian(util::Rng& rng) noexcept {
+  const double u1 = 1.0 - rng.uniform();
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace
+
+ItunesCrawlParams ItunesCrawlParams::scaled(double f) const {
+  if (f <= 0.0) throw std::invalid_argument("scale must be positive");
+  ItunesCrawlParams p = *this;
+  p.num_clients = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::llround(num_clients * f)));
+  return p;
+}
+
+ItunesSnapshot::ItunesSnapshot(std::vector<std::vector<ItunesTrack>> clients)
+    : clients_(std::move(clients)) {
+  for (const auto& lib : clients_) total_ += lib.size();
+}
+
+template <typename Extract>
+std::vector<std::uint64_t> ItunesSnapshot::client_counts(Extract extract) const {
+  // value -> (count, last client seen + 1); tracks are grouped by client.
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint32_t>> m;
+  for (std::uint32_t c = 0; c < clients_.size(); ++c) {
+    for (const ItunesTrack& t : clients_[c]) {
+      const std::optional<std::uint64_t> v = extract(t);
+      if (!v) continue;
+      auto& [count, last] = m[*v];
+      if (last != c + 1) {
+        ++count;
+        last = c + 1;
+      }
+    }
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(m.size());
+  for (const auto& [value, e] : m) out.push_back(e.first);
+  return out;
+}
+
+std::vector<std::uint64_t> ItunesSnapshot::song_client_counts() const {
+  return client_counts([](const ItunesTrack& t) {
+    return std::optional<std::uint64_t>(t.key.bits);
+  });
+}
+
+std::vector<std::uint64_t> ItunesSnapshot::genre_client_counts() const {
+  return client_counts([](const ItunesTrack& t) {
+    return t.genre < 0 ? std::nullopt
+                       : std::optional<std::uint64_t>(
+                             static_cast<std::uint64_t>(t.genre));
+  });
+}
+
+std::vector<std::uint64_t> ItunesSnapshot::album_client_counts() const {
+  return client_counts([](const ItunesTrack& t) {
+    return t.album < 0 ? std::nullopt
+                       : std::optional<std::uint64_t>(
+                             static_cast<std::uint64_t>(t.album));
+  });
+}
+
+std::vector<std::uint64_t> ItunesSnapshot::artist_client_counts() const {
+  return client_counts([](const ItunesTrack& t) {
+    return std::optional<std::uint64_t>(t.artist);
+  });
+}
+
+double ItunesSnapshot::missing_genre_fraction() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t missing = 0;
+  for (const auto& lib : clients_)
+    for (const ItunesTrack& t : lib) missing += (t.genre < 0);
+  return static_cast<double>(missing) / static_cast<double>(total_);
+}
+
+double ItunesSnapshot::missing_album_fraction() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t missing = 0;
+  for (const auto& lib : clients_)
+    for (const ItunesTrack& t : lib) missing += (t.album < 0);
+  return static_cast<double>(missing) / static_cast<double>(total_);
+}
+
+ItunesSnapshot generate_itunes_crawl(const ContentModel& model,
+                                     const ItunesCrawlParams& params) {
+  std::vector<std::vector<ItunesTrack>> clients(params.num_clients);
+
+  // Campus listeners draw from the mainstream head of the same universe
+  // with their own popularity profile.
+  const util::ZipfSampler song_sampler(
+      std::min(std::max<std::uint32_t>(100, params.reachable_songs),
+               model.params().catalog_songs),
+      params.song_zipf);
+
+  const double sigma = params.library_sigma;
+  const double mu = std::log(params.mean_tracks_per_client) - 0.5 * sigma * sigma;
+
+  for (std::uint32_t c = 0; c < params.num_clients; ++c) {
+    util::Rng rng(util::mix64(params.seed ^ (0x17E5ULL << 32) ^ c));
+    const double size_d = std::exp(mu + sigma * gaussian(rng));
+    const auto lib_size = static_cast<std::size_t>(std::max(
+        1.0, std::min(size_d, 40.0 * params.mean_tracks_per_client)));
+
+    std::vector<ItunesTrack>& lib = clients[c];
+    lib.reserve(lib_size);
+    std::unordered_map<std::uint64_t, bool> seen;  // a library holds each track once
+    seen.reserve(lib_size * 2);
+
+    // Invented genre strings come from a shared cultural pool ("Workout",
+    // "Christmas Mix", ...): drawn Zipf so the popular inventions recur
+    // across clients while most stay singletons (paper: 1,452 genres,
+    // 56% on a single client).
+    const util::ZipfSampler invented_genre_sampler(
+        params.invented_genre_pool, params.invented_genre_zipf);
+
+    auto annotate = [&](ItunesTrack& track, SongId song,
+                        std::int64_t forced_album) {
+      if (!rng.chance(params.p_missing_album)) {
+        track.album = forced_album >= 0
+                          ? forced_album
+                          : static_cast<std::int64_t>(model.song_album(song));
+      }
+      if (!rng.chance(params.p_missing_genre)) {
+        if (rng.chance(params.p_invented_genre)) {
+          track.genre = static_cast<std::int64_t>(
+              model.params().canonical_genres +
+              static_cast<std::uint32_t>(invented_genre_sampler(rng)));
+        } else {
+          util::Rng genre_rng(util::mix64(params.seed ^ 0x6E6E6EULL ^ song));
+          const util::ZipfSampler genre_sampler(
+              model.params().canonical_genres, 1.2);
+          track.genre =
+              static_cast<std::int64_t>(genre_sampler(genre_rng) - 1);
+        }
+      }
+    };
+
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 12 * lib_size + 64;
+    while (lib.size() < lib_size && attempts++ < max_attempts) {
+      if (rng.chance(params.p_personal)) {
+        // A personal rip arrives as an ALBUM: a run of unique tracks by
+        // one (typically obscure) artist sharing one album annotation.
+        // This clustering is what makes 65% of observed artists and
+        // albums live in a single library.
+        // Rips are of obscure artists: draw from the catalog tail, well
+        // outside the mainstream head other clients also hold.
+        const auto tail_begin = std::min(
+            model.params().catalog_songs - 1, params.reachable_songs * 2);
+        const auto song_for_artist = static_cast<SongId>(
+            tail_begin +
+            rng.bounded(model.params().catalog_songs - tail_begin));
+        const ArtistId artist = model.song_artist(song_for_artist);
+        const auto album = static_cast<std::int64_t>(
+            0x40000000u |
+            (util::mix64((static_cast<std::uint64_t>(c) << 24) | lib.size()) &
+             0x3FFFFFFFu));
+        const std::size_t burst =
+            std::min(params.album_rip_min +
+                         rng.bounded(params.album_rip_max -
+                                     params.album_rip_min + 1),
+                     lib_size - lib.size() + 1);
+        for (std::size_t b = 0; b < burst; ++b) {
+          ItunesTrack track;
+          track.key = ObjectKey::personal(
+              c, static_cast<std::uint32_t>(lib.size()));
+          track.artist = artist;
+          annotate(track, song_for_artist, album);
+          seen.emplace(track.key.bits, true);
+          lib.push_back(track);
+        }
+        continue;
+      }
+      const auto song = static_cast<SongId>(song_sampler(rng) - 1);
+      std::uint32_t edit = 0;
+      if (rng.chance(params.p_title_edit)) {
+        // Hand-edited title: distinct song-name identity in the variant
+        // byte (structural range 1..4 keeps it distinct post-sanitize).
+        edit = 1 + static_cast<std::uint32_t>(rng.bounded(4));
+      }
+      ItunesTrack track;
+      track.key = ObjectKey::catalog(song, edit);
+      track.artist = model.song_artist(song);
+      if (seen.count(track.key.bits)) continue;  // redraw duplicates
+      seen.emplace(track.key.bits, true);
+      annotate(track, song, -1);
+      lib.push_back(track);
+    }
+    std::sort(lib.begin(), lib.end(),
+              [](const ItunesTrack& a, const ItunesTrack& b) {
+                return a.key.bits < b.key.bits;
+              });
+  }
+
+  return ItunesSnapshot(std::move(clients));
+}
+
+}  // namespace qcp2p::trace

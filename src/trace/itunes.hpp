@@ -1,0 +1,96 @@
+// Synthetic iTunes/Zeroconf share snapshots (substitute for the paper's
+// campus trace: 239 clients, 533,768 objects, 117,068 unique, with
+// Gracenote-normalized song/artist/album/genre annotations).
+//
+// Differences from the Gnutella generator that matter to Fig 4:
+//   * names are normalized (no surface variants), so replication is much
+//     higher (paper mean ~4.6 copies/object vs ~1.5 in Gnutella);
+//   * annotations are structured, with per-field missing rates (8.7% of
+//     songs lack a genre, 8.1% lack an album);
+//   * genres mix 24 shipped values with a long tail of user-invented ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/content_model.hpp"
+#include "src/trace/gnutella.hpp"  // ObjectKey
+
+namespace qcp2p::trace {
+
+struct ItunesTrack {
+  ObjectKey key;            // catalog(song, edit) or personal(client, slot)
+  ArtistId artist = 0;
+  std::int64_t album = -1;  // -1 = missing annotation
+  std::int64_t genre = -1;  // -1 = missing annotation
+};
+
+struct ItunesCrawlParams {
+  std::uint32_t num_clients = 239;
+  /// Mean library size (paper: 533,768 / 239 ~ 2,233 tracks).
+  double mean_tracks_per_client = 2'233.0;
+  double library_sigma = 0.9;
+  /// Campus populations draw from the mainstream head of the catalog:
+  /// only the most popular `reachable_songs` are drawn (absolute, NOT
+  /// scaled with the Gnutella experiments: the iTunes trace is one fixed
+  /// 239-client campus). This is what pushes mean copies/song to the
+  /// paper's ~4.6.
+  std::uint32_t reachable_songs = 40'000;
+  double song_zipf = 1.05;
+  /// Probability a track is a personal rip unknown to the catalog.
+  double p_personal = 0.011;
+  /// Probability the user hand-edited the title (distinct song name).
+  double p_title_edit = 0.02;
+  double p_missing_genre = 0.087;
+  double p_missing_album = 0.081;
+  /// Probability an annotated genre is user-invented rather than shipped.
+  double p_invented_genre = 0.035;
+  /// Shared pool of invented genre strings and its popularity skew:
+  /// common inventions ("Workout") recur across clients; the tail stays
+  /// singleton.
+  std::uint32_t invented_genre_pool = 3'000;
+  double invented_genre_zipf = 1.3;
+  /// Personal rips arrive as whole-album runs of this many tracks (what
+  /// keeps ~65% of observed artists/albums inside a single library).
+  std::size_t album_rip_min = 3;
+  std::size_t album_rip_max = 6;
+  std::uint64_t seed = 1234;
+
+  [[nodiscard]] ItunesCrawlParams scaled(double f) const;
+};
+
+class ItunesSnapshot {
+ public:
+  explicit ItunesSnapshot(std::vector<std::vector<ItunesTrack>> clients);
+
+  [[nodiscard]] std::size_t num_clients() const noexcept {
+    return clients_.size();
+  }
+  [[nodiscard]] const std::vector<ItunesTrack>& client_tracks(
+      std::size_t c) const {
+    return clients_.at(c);
+  }
+  [[nodiscard]] std::uint64_t total_tracks() const noexcept { return total_; }
+
+  // Fig 4 panels: distinct-client counts per annotation value.
+  [[nodiscard]] std::vector<std::uint64_t> song_client_counts() const;
+  [[nodiscard]] std::vector<std::uint64_t> genre_client_counts() const;
+  [[nodiscard]] std::vector<std::uint64_t> album_client_counts() const;
+  [[nodiscard]] std::vector<std::uint64_t> artist_client_counts() const;
+
+  /// Fraction of tracks with a missing genre / album annotation.
+  [[nodiscard]] double missing_genre_fraction() const;
+  [[nodiscard]] double missing_album_fraction() const;
+
+ private:
+  template <typename Extract>
+  [[nodiscard]] std::vector<std::uint64_t> client_counts(Extract extract) const;
+
+  std::vector<std::vector<ItunesTrack>> clients_;
+  std::uint64_t total_ = 0;
+};
+
+[[nodiscard]] ItunesSnapshot generate_itunes_crawl(
+    const ContentModel& model, const ItunesCrawlParams& params);
+
+}  // namespace qcp2p::trace

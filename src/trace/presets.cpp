@@ -1,0 +1,54 @@
+#include "src/trace/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qcp2p::trace::presets {
+namespace {
+
+[[nodiscard]] std::uint32_t scaled(double full, double scale, double floor) {
+  return static_cast<std::uint32_t>(std::max(floor, full * scale));
+}
+
+}  // namespace
+
+ContentModelParams universe(double scale, std::uint64_t seed) {
+  ContentModelParams p;
+  p.core_lexicon_size = scaled(60'000, scale, 2'000);
+  p.tail_lexicon_size = scaled(4'000'000, scale, 50'000);
+  p.catalog_songs = scaled(2'500'000, scale, 25'000);
+  p.artists = scaled(400'000, scale, 5'000);
+  p.seed = seed;
+  return p;
+}
+
+GnutellaCrawlParams gnutella_april2007(double scale, std::uint64_t seed) {
+  GnutellaCrawlParams p = GnutellaCrawlParams{}.scaled(scale);
+  p.seed = seed;
+  return p;
+}
+
+GnutellaCrawlParams gnutella_october2006(double scale, std::uint64_t seed) {
+  GnutellaCrawlParams p;
+  // 8.6M objects at ~345 objects/peer -> ~24.9k peers (the paper's OCR
+  // drops the exact count); the Oct'06 network was smaller but libraries
+  // slightly larger (12.1M/37.6k vs 8.6M/~25k).
+  p.num_peers = 24'900;
+  p.mean_objects_per_peer = 345.0;
+  p.seed = seed;
+  return p.scaled(scale);
+}
+
+ItunesCrawlParams itunes_campus(std::uint64_t seed) {
+  ItunesCrawlParams p;
+  p.seed = seed;
+  return p;
+}
+
+QueryTraceParams phex_week(double scale, std::uint64_t seed) {
+  QueryTraceParams p = QueryTraceParams{}.scaled(scale);
+  p.seed = seed;
+  return p;
+}
+
+}  // namespace qcp2p::trace::presets

@@ -1,0 +1,186 @@
+#include "src/trace/query_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/text/tokenizer.hpp"
+#include "src/util/zipf.hpp"
+
+namespace qcp2p::trace {
+namespace {
+
+constexpr double kSecondsPerHour = 3600.0;
+
+/// Diurnal arrival-rate profile, mean 1.0 over a day.
+[[nodiscard]] double diurnal_rate(double t_s, double amplitude) noexcept {
+  const double day_frac = std::fmod(t_s / (24.0 * kSecondsPerHour), 1.0);
+  return 1.0 + amplitude * std::sin(6.283185307179586 * (day_frac - 0.3));
+}
+
+}  // namespace
+
+QueryTraceParams QueryTraceParams::scaled(double f) const {
+  if (f <= 0.0) throw std::invalid_argument("scale must be positive");
+  QueryTraceParams p = *this;
+  p.num_queries = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(
+             static_cast<double>(num_queries) * f)));
+  return p;
+}
+
+QueryTrace::QueryTrace(std::vector<Query> queries,
+                       std::vector<TransientEvent> events,
+                       std::vector<TermId> persistent_terms, double duration_s)
+    : queries_(std::move(queries)),
+      events_(std::move(events)),
+      persistent_terms_(std::move(persistent_terms)),
+      duration_s_(duration_s) {}
+
+QueryTrace generate_query_trace(const ContentModel& model,
+                                const QueryTraceParams& params) {
+  util::Rng rng(util::mix64(params.seed ^ 0x517E17ULL));
+  const double duration_s = params.duration_hours * kSecondsPerHour;
+  const std::uint32_t core = model.core_lexicon_size();
+
+  // ---- build the persistent pool's term-id mapping --------------------
+  // Pool index j (0 = most queried) maps to a concrete file-term-space id.
+  std::vector<TermId> pool(params.persistent_pool_size);
+  {
+    // Distinct popular-file ranks for the overlapping fraction.
+    std::vector<std::uint32_t> ranks(params.popular_file_ranks);
+    for (std::uint32_t i = 0; i < ranks.size(); ++i) ranks[i] = i;
+    for (std::size_t i = ranks.size(); i > 1; --i) {
+      std::swap(ranks[i - 1], ranks[rng.bounded(i)]);
+    }
+    std::size_t next_rank = 0;
+    for (std::uint32_t j = 0; j < pool.size(); ++j) {
+      if (rng.chance(params.popular_file_overlap) && next_rank < ranks.size()) {
+        pool[j] = ranks[next_rank++];  // a genuinely popular file term
+      } else if (rng.chance(params.p_share_file_term) &&
+                 core > params.popular_file_ranks) {
+        // Shared with the file vocabulary but at an unpopular rank: the
+        // heart of the paper's mismatch observation.
+        pool[j] = params.popular_file_ranks +
+                  static_cast<TermId>(
+                      rng.bounded(core - params.popular_file_ranks));
+      } else {
+        pool[j] = model.tail_term(0x5155455259ULL ^ j);  // query-only term
+      }
+    }
+  }
+  const util::ZipfSampler pool_sampler(pool.size(), params.persistent_zipf);
+
+  // ---- schedule flash-crowd events -------------------------------------
+  std::vector<TransientEvent> events;
+  {
+    double t = 0.0;
+    const double mean_gap_s =
+        kSecondsPerHour / std::max(1e-9, params.transient_events_per_hour);
+    std::uint32_t idx = 0;
+    for (;;) {
+      t += -std::log(1.0 - rng.uniform()) * mean_gap_s;  // exponential gap
+      if (t >= duration_s) break;
+      const double dur =
+          -std::log(1.0 - rng.uniform()) *
+          params.transient_duration_hours_mean * kSecondsPerHour;
+      TransientEvent ev;
+      // Breaking-news terms are mostly new to the system; some are
+      // existing rare file terms that suddenly become hot.
+      ev.term = rng.chance(0.7)
+                    ? model.tail_term(0xF1A5ULL ^ (static_cast<std::uint64_t>(idx) << 8))
+                    : static_cast<TermId>(
+                          params.popular_file_ranks +
+                          rng.bounded(core - params.popular_file_ranks));
+      ev.start_s = t;
+      ev.end_s = std::min(duration_s, t + dur);
+      events.push_back(ev);
+      ++idx;
+    }
+  }
+
+  // ---- background lexicon mapping ---------------------------------------
+  const util::ZipfSampler background_sampler(params.background_lexicon,
+                                             params.background_zipf);
+  auto background_term = [&](std::uint64_t rank) -> TermId {
+    // Deterministic per-rank mapping; popularity ranks are shuffled
+    // relative to file-term ranks, so even shared terms mismatch.
+    const std::uint64_t h = util::mix64(0xBAC6ULL ^ rank ^ params.seed);
+    if ((h & 0xFF) < 90) {  // ~35%: a file term at an arbitrary rank
+      return static_cast<TermId>((h >> 8) % core);
+    }
+    return model.tail_term(0xB67ULL ^ rank);
+  };
+
+  // ---- emit queries -----------------------------------------------------
+  std::vector<Query> queries;
+  queries.reserve(params.num_queries);
+  std::size_t next_event = 0;       // first event with end_s > now
+  std::vector<std::size_t> active;  // indices of active events
+
+  for (std::uint64_t q = 0; q < params.num_queries; ++q) {
+    // Thinning: draw candidate times until one passes the diurnal filter.
+    double t;
+    do {
+      t = rng.uniform() * duration_s;
+    } while (rng.uniform() * (1.0 + params.diurnal_amplitude) >
+             diurnal_rate(t, params.diurnal_amplitude));
+
+    Query query;
+    query.time_s = t;
+    const std::size_t nterms = 1 + std::min<std::uint64_t>(3, rng.bounded(4));
+
+    // Active events at time t (events list is start-sorted).
+    active.clear();
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      if (events[e].start_s > t) break;
+      if (events[e].end_s > t) active.push_back(e);
+    }
+    (void)next_event;
+
+    for (std::size_t i = 0; i < nterms; ++i) {
+      TermId term;
+      if (!active.empty() && rng.chance(params.transient_term_share)) {
+        term = events[active[rng.bounded(active.size())]].term;
+      } else if (rng.chance(params.p_persistent)) {
+        term = pool[pool_sampler(rng) - 1];
+      } else {
+        term = background_term(background_sampler(rng) - 1);
+      }
+      query.terms.push_back(term);
+    }
+    std::sort(query.terms.begin(), query.terms.end());
+    query.terms.erase(std::unique(query.terms.begin(), query.terms.end()),
+                      query.terms.end());
+    queries.push_back(std::move(query));
+  }
+
+  std::sort(queries.begin(), queries.end(),
+            [](const Query& a, const Query& b) { return a.time_s < b.time_s; });
+
+  return QueryTrace(std::move(queries), std::move(events), std::move(pool),
+                    duration_s);
+}
+
+std::string spell_query(const Query& query) {
+  std::string out;
+  for (TermId t : query.terms) {
+    if (!out.empty()) out += ' ';
+    out += ContentModel::spell_term(t);
+  }
+  return out;
+}
+
+std::vector<TermId> parse_query_string(std::string_view text) {
+  std::vector<TermId> terms;
+  for (const std::string& token : text::tokenize(text)) {
+    if (const auto id = ContentModel::parse_term(token)) {
+      terms.push_back(*id);
+    }
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+}  // namespace qcp2p::trace

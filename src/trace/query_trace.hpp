@@ -1,0 +1,121 @@
+// Synthetic Gnutella query workload (substitute for the paper's one-week
+// Phex capture of ~2.5M queries, April 2007).
+//
+// The generator is built to reproduce the three temporal properties the
+// paper measures, each independently tunable:
+//
+//  1. A *persistent popular* term pool whose composition is fixed for the
+//     whole week -> the popular-query-term set is stable over time
+//     (Fig 6: Jaccard > 0.9 after warm-up).
+//  2. *Transiently popular* terms: Poisson flash-crowd events that give a
+//     previously-rare term an elevated rate for a bounded duration
+//     (Fig 5: low mean, high variance per evaluation interval).
+//  3. A controlled *mismatch* with the file-annotation vocabulary: only a
+//     `popular_file_overlap` fraction of the persistent pool maps onto
+//     terms that are popular among files; everything else maps to terms
+//     that are rare in file annotations or absent from them entirely
+//     (Fig 7: Jaccard(Q*_t, F*) < 0.2, ~0.15 mean).
+//
+// Query terms live in the SAME TermId space as ContentModel file terms so
+// that Jaccard comparisons are meaningful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/content_model.hpp"
+
+namespace qcp2p::trace {
+
+struct Query {
+  double time_s = 0.0;
+  std::vector<TermId> terms;  // 1..4 terms, deduplicated
+};
+
+/// Ground truth of one flash-crowd event (used by tests to validate the
+/// transient detector).
+struct TransientEvent {
+  TermId term = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct QueryTraceParams {
+  std::uint64_t num_queries = 2'500'000;
+  double duration_hours = 168.0;  // one week
+
+  // Persistent popular pool.
+  std::uint32_t persistent_pool_size = 400;
+  double persistent_zipf = 0.9;
+  /// Probability a query term is drawn from the persistent pool.
+  double p_persistent = 0.45;
+  /// Fraction of the persistent pool that maps onto popular file terms.
+  /// Tuned so Jaccard(Q*_t, F*) lands near the paper's ~15% mean.
+  double popular_file_overlap = 0.35;
+  /// Rank range of file terms considered "popular" for the overlap
+  /// mapping (comparable to the top_k used for F* in the analysis).
+  std::uint32_t popular_file_ranks = 60;
+  /// Probability a non-overlapping pool term is still a (rare) file term
+  /// rather than a query-only term.
+  double p_share_file_term = 0.35;
+
+  // Transient flash crowds.
+  double transient_events_per_hour = 0.35;
+  double transient_duration_hours_mean = 4.0;
+  /// Probability a query term refers to some active event (split across
+  /// active events).
+  double transient_term_share = 0.02;
+
+  // Background long tail (kept flat so the stable persistent pool, not
+  // background noise, owns the head of the popularity distribution).
+  std::uint32_t background_lexicon = 150'000;
+  double background_zipf = 0.75;
+
+  /// Diurnal modulation amplitude of the arrival rate (0 = flat).
+  double diurnal_amplitude = 0.45;
+
+  std::uint64_t seed = 7;
+
+  [[nodiscard]] QueryTraceParams scaled(double f) const;
+};
+
+class QueryTrace {
+ public:
+  QueryTrace(std::vector<Query> queries, std::vector<TransientEvent> events,
+             std::vector<TermId> persistent_terms, double duration_s);
+
+  [[nodiscard]] const std::vector<Query>& queries() const noexcept {
+    return queries_;
+  }
+  [[nodiscard]] double duration_s() const noexcept { return duration_s_; }
+
+  /// Ground-truth flash-crowd events (for validation, not analysis).
+  [[nodiscard]] const std::vector<TransientEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Ground-truth persistent pool term ids, most popular first.
+  [[nodiscard]] const std::vector<TermId>& persistent_terms() const noexcept {
+    return persistent_terms_;
+  }
+
+ private:
+  std::vector<Query> queries_;
+  std::vector<TransientEvent> events_;
+  std::vector<TermId> persistent_terms_;
+  double duration_s_ = 0.0;
+};
+
+[[nodiscard]] QueryTrace generate_query_trace(const ContentModel& model,
+                                              const QueryTraceParams& params);
+
+/// Renders a query the way a user typed it into the search box
+/// (space-separated spelled terms) — what the Phex capture recorded.
+[[nodiscard]] std::string spell_query(const Query& query);
+
+/// Parses a raw query string back into sorted unique term ids using the
+/// Gnutella tokenizer + the syllable decoder. Tokens that are not valid
+/// term spellings (numbers, free-form noise) are dropped, exactly as a
+/// servent's keyword matcher would never match them against any index.
+[[nodiscard]] std::vector<TermId> parse_query_string(std::string_view text);
+
+}  // namespace qcp2p::trace

@@ -1,0 +1,117 @@
+#include "src/trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qcp2p::trace {
+namespace {
+
+[[nodiscard]] bool skippable(const std::string& line) noexcept {
+  return line.empty() || line[0] == '#';
+}
+
+}  // namespace
+
+void write_query_trace(std::ostream& os, const QueryTrace& trace) {
+  os.precision(12);  // second-resolution times up to a week round-trip
+  os << "qtrace v1\n";
+  os << "# duration_s " << trace.duration_s() << "\n";
+  for (const Query& q : trace.queries()) {
+    os << q.time_s;
+    for (TermId t : q.terms) os << ' ' << t;
+    os << '\n';
+  }
+}
+
+QueryTrace read_query_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("qtrace v1", 0) != 0) {
+    throw std::runtime_error("read_query_trace: missing 'qtrace v1' header");
+  }
+  double duration_s = 0.0;
+  std::vector<Query> queries;
+  while (std::getline(is, line)) {
+    if (line.rfind("# duration_s ", 0) == 0) {
+      duration_s = std::stod(line.substr(13));
+      continue;
+    }
+    if (skippable(line)) continue;
+    std::istringstream ss(line);
+    Query q;
+    if (!(ss >> q.time_s)) {
+      throw std::runtime_error("read_query_trace: bad query line: " + line);
+    }
+    TermId t;
+    while (ss >> t) q.terms.push_back(t);
+    if (q.terms.empty()) {
+      throw std::runtime_error("read_query_trace: query without terms: " + line);
+    }
+    queries.push_back(std::move(q));
+  }
+  for (const Query& q : queries) {
+    if (duration_s < q.time_s) duration_s = q.time_s;
+  }
+  return QueryTrace(std::move(queries), {}, {}, duration_s);
+}
+
+void write_crawl(std::ostream& os, const CrawlSnapshot& snapshot) {
+  os << "crawl v1 " << snapshot.num_peers() << "\n";
+  os << std::hex;
+  for (std::size_t p = 0; p < snapshot.num_peers(); ++p) {
+    os << p;
+    for (ObjectKey k : snapshot.peer_objects(p)) os << ' ' << k.bits;
+    os << '\n';
+  }
+  os << std::dec;
+}
+
+CrawlSnapshot read_crawl(std::istream& is, const ContentModel& model) {
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("crawl v1 ", 0) != 0) {
+    throw std::runtime_error("read_crawl: missing 'crawl v1' header");
+  }
+  const std::size_t num_peers = std::stoull(line.substr(9));
+  std::vector<std::vector<ObjectKey>> peers(num_peers);
+  while (std::getline(is, line)) {
+    if (skippable(line)) continue;
+    std::istringstream ss(line);
+    ss >> std::hex;
+    std::uint64_t peer_id;
+    if (!(ss >> peer_id)) {
+      throw std::runtime_error("read_crawl: bad peer line: " + line);
+    }
+    if (peer_id >= num_peers) {
+      throw std::runtime_error("read_crawl: peer id out of range");
+    }
+    std::uint64_t bits;
+    while (ss >> bits) peers[peer_id].push_back(ObjectKey{bits});
+  }
+  return CrawlSnapshot(&model, std::move(peers));
+}
+
+void save_query_trace(const std::string& path, const QueryTrace& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_query_trace: cannot open " + path);
+  write_query_trace(os, trace);
+}
+
+QueryTrace load_query_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_query_trace: cannot open " + path);
+  return read_query_trace(is);
+}
+
+void save_crawl(const std::string& path, const CrawlSnapshot& snapshot) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_crawl: cannot open " + path);
+  write_crawl(os, snapshot);
+}
+
+CrawlSnapshot load_crawl(const std::string& path, const ContentModel& model) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_crawl: cannot open " + path);
+  return read_crawl(is, model);
+}
+
+}  // namespace qcp2p::trace

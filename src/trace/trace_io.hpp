@@ -1,0 +1,37 @@
+// Plain-text (de)serialization of query traces and crawl snapshots, so
+// that expensive generated traces can be cached on disk and re-analyzed,
+// and so external traces in the same simple format can be imported.
+//
+// Formats (line-oriented, '#' comments allowed):
+//   query trace:  "qtrace v1" header, then one query per line:
+//                 <time_s> <term_id> [<term_id> ...]
+//   crawl:        "crawl v1 <num_peers>" header, then one peer per line:
+//                 <peer_id> <object_key_hex> [<object_key_hex> ...]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/gnutella.hpp"
+#include "src/trace/query_trace.hpp"
+
+namespace qcp2p::trace {
+
+void write_query_trace(std::ostream& os, const QueryTrace& trace);
+/// Throws std::runtime_error on malformed input. Ground-truth event /
+/// persistent-pool metadata is not serialized (analysis never uses it).
+[[nodiscard]] QueryTrace read_query_trace(std::istream& is);
+
+void write_crawl(std::ostream& os, const CrawlSnapshot& snapshot);
+/// @param model must outlive the snapshot and match the generating model.
+[[nodiscard]] CrawlSnapshot read_crawl(std::istream& is,
+                                       const ContentModel& model);
+
+// File-path conveniences; throw std::runtime_error on I/O failure.
+void save_query_trace(const std::string& path, const QueryTrace& trace);
+[[nodiscard]] QueryTrace load_query_trace(const std::string& path);
+void save_crawl(const std::string& path, const CrawlSnapshot& snapshot);
+[[nodiscard]] CrawlSnapshot load_crawl(const std::string& path,
+                                       const ContentModel& model);
+
+}  // namespace qcp2p::trace

@@ -1,0 +1,59 @@
+#include "src/util/histogram.hpp"
+
+#include <bit>
+#include <iomanip>
+#include <ostream>
+
+namespace qcp2p::util {
+
+LogHistogram::LogHistogram() : counts_(66, 0) {}
+
+std::size_t LogHistogram::bin_index(std::uint64_t value) noexcept {
+  if (value == 0) return 0;
+  // Bin b >= 1 holds [2^(b-1), 2^b - 1].
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+void LogHistogram::add(std::uint64_t value) noexcept {
+  ++counts_[bin_index(value)];
+  ++total_;
+}
+
+void LogHistogram::add_all(std::span<const std::uint64_t> values) noexcept {
+  for (std::uint64_t v : values) add(v);
+}
+
+std::vector<LogHistogram::Bin> LogHistogram::bins() const {
+  std::vector<Bin> out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    Bin bin;
+    if (b == 0) {
+      bin.lo = bin.hi = 0;
+    } else {
+      bin.lo = 1ULL << (b - 1);
+      bin.hi = (b >= 64) ? ~0ULL : (1ULL << b) - 1;
+    }
+    bin.count = counts_[b];
+    bin.fraction = total_ == 0 ? 0.0
+                               : static_cast<double>(counts_[b]) /
+                                     static_cast<double>(total_);
+    out.push_back(bin);
+  }
+  return out;
+}
+
+std::string LogHistogram::label(const Bin& bin) {
+  if (bin.lo == bin.hi) return std::to_string(bin.lo);
+  return std::to_string(bin.lo) + "-" + std::to_string(bin.hi);
+}
+
+void LogHistogram::print(std::ostream& os) const {
+  for (const Bin& bin : bins()) {
+    os << "  " << std::left << std::setw(16) << label(bin) << std::right
+       << std::setw(12) << bin.count << "  " << std::fixed
+       << std::setprecision(4) << bin.fraction * 100 << "%\n";
+  }
+}
+
+}  // namespace qcp2p::util

@@ -1,0 +1,46 @@
+// Log-binned histogram for long-tailed count data: the natural summary
+// for replica-count and result-count distributions whose values span
+// five orders of magnitude (linear bins would put everything in bin 0).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qcp2p::util {
+
+class LogHistogram {
+ public:
+  /// Bins: [0], [1], [2,3], [4,7], [8,15], ... doubling up to 2^63.
+  LogHistogram();
+
+  void add(std::uint64_t value) noexcept;
+  void add_all(std::span<const std::uint64_t> values) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  struct Bin {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;  // inclusive
+    std::uint64_t count = 0;
+    double fraction = 0.0;
+  };
+  /// Non-empty bins in increasing value order.
+  [[nodiscard]] std::vector<Bin> bins() const;
+
+  /// "lo-hi" or "v" label for a bin, for table output.
+  [[nodiscard]] static std::string label(const Bin& bin);
+
+  /// Renders "label count fraction" rows.
+  void print(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] static std::size_t bin_index(std::uint64_t value) noexcept;
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace qcp2p::util

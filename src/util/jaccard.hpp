@@ -1,0 +1,63 @@
+// Jaccard set similarity, the paper's measure for (a) stability of the
+// popular-query-term set over time (Fig 6) and (b) the query-term vs
+// file-term disconnect (Fig 7).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+namespace qcp2p::util {
+
+/// Jaccard(A, B) = |A ∩ B| / |A ∪ B|; 1.0 when both sets are empty
+/// (identical-by-vacuity, matching the paper's "identical" endpoint).
+template <typename T, typename Hash = std::hash<T>, typename Eq = std::equal_to<T>>
+[[nodiscard]] double jaccard(const std::unordered_set<T, Hash, Eq>& a,
+                             const std::unordered_set<T, Hash, Eq>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  std::size_t inter = 0;
+  for (const T& x : small) inter += large.count(x);
+  const std::size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+/// Jaccard over *sorted, deduplicated* vectors — the hot-path variant used
+/// when term ids are already interned and sorted.
+template <typename T>
+[[nodiscard]] double jaccard_sorted(const std::vector<T>& a,
+                                    const std::vector<T>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t inter = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++inter;
+      ++ia;
+      ++ib;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+/// Size of the intersection of two unordered sets.
+template <typename T, typename Hash = std::hash<T>, typename Eq = std::equal_to<T>>
+[[nodiscard]] std::size_t intersection_size(
+    const std::unordered_set<T, Hash, Eq>& a,
+    const std::unordered_set<T, Hash, Eq>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  std::size_t inter = 0;
+  for (const T& x : small) inter += large.count(x);
+  return inter;
+}
+
+}  // namespace qcp2p::util

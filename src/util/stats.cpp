@@ -1,0 +1,140 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace qcp2p::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ = (na * mean_ + nb * other.mean_) / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<CurvePoint> rank_frequency(std::span<const std::uint64_t> counts) {
+  std::vector<std::uint64_t> sorted(counts.begin(), counts.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::vector<CurvePoint> curve;
+  curve.reserve(sorted.size());
+  for (std::size_t rank = 0; rank < sorted.size(); ++rank) {
+    curve.push_back({static_cast<double>(rank + 1),
+                     static_cast<double>(sorted[rank])});
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> ccdf(std::span<const std::uint64_t> counts) {
+  if (counts.empty()) return {};
+  std::map<std::uint64_t, std::size_t> freq;
+  for (std::uint64_t c : counts) ++freq[c];
+  std::vector<CurvePoint> curve;
+  curve.reserve(freq.size());
+  std::size_t at_or_above = counts.size();
+  const double total = static_cast<double>(counts.size());
+  for (const auto& [value, n] : freq) {
+    curve.push_back({static_cast<double>(value),
+                     static_cast<double>(at_or_above) / total});
+    at_or_above -= n;
+  }
+  return curve;
+}
+
+ZipfFit fit_zipf(std::span<const CurvePoint> rank_freq, std::size_t max_rank) {
+  ZipfFit fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  std::size_t n = 0;
+  for (const CurvePoint& p : rank_freq) {
+    if (max_rank != 0 && p.x > static_cast<double>(max_rank)) break;
+    if (p.x <= 0.0 || p.y <= 0.0) continue;
+    const double lx = std::log(p.x);
+    const double ly = std::log(p.y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+    ++n;
+  }
+  if (n < 2) return fit;
+  const double nd = static_cast<double>(n);
+  const double denom = nd * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  const double slope = (nd * sxy - sx * sy) / denom;
+  fit.exponent = -slope;
+  fit.intercept = (sy - slope * sx) / nd;
+  const double ss_tot = syy - sy * sy / nd;
+  const double ss_res = ss_tot - slope * (sxy - sx * sy / nd);
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double singleton_fraction(std::span<const std::uint64_t> counts) {
+  if (counts.empty()) return 0.0;
+  std::size_t ones = 0;
+  for (std::uint64_t c : counts) ones += (c == 1);
+  return static_cast<double>(ones) / static_cast<double>(counts.size());
+}
+
+double fraction_at_or_below(std::span<const std::uint64_t> counts,
+                            std::uint64_t threshold) {
+  if (counts.empty()) return 0.0;
+  std::size_t k = 0;
+  for (std::uint64_t c : counts) k += (c <= threshold);
+  return static_cast<double>(k) / static_cast<double>(counts.size());
+}
+
+double fraction_at_or_above(std::span<const std::uint64_t> counts,
+                            std::uint64_t threshold) {
+  if (counts.empty()) return 0.0;
+  std::size_t k = 0;
+  for (std::uint64_t c : counts) k += (c >= threshold);
+  return static_cast<double>(k) / static_cast<double>(counts.size());
+}
+
+}  // namespace qcp2p::util

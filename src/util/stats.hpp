@@ -1,0 +1,81 @@
+// Descriptive statistics, CCDFs, rank-frequency curves and Zipf-exponent
+// estimation. These back every analysis in src/analysis/ and the
+// paper-vs-measured tables printed by the benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qcp2p::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator (parallel reduction step).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// q-th quantile (q in [0,1]) by linear interpolation; copies + sorts.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// One (x, y) point of an empirical curve.
+struct CurvePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Rank-frequency curve from a multiset of per-item counts:
+/// y = count of the rank-x most frequent item (both axes suited to log-log).
+[[nodiscard]] std::vector<CurvePoint> rank_frequency(
+    std::span<const std::uint64_t> counts);
+
+/// Complementary CDF over item counts: for each distinct count c,
+/// fraction of items whose count is >= c.
+[[nodiscard]] std::vector<CurvePoint> ccdf(std::span<const std::uint64_t> counts);
+
+/// Least-squares fit of log(y) = a - s * log(x) over a rank-frequency
+/// curve; returns the Zipf exponent estimate s and R^2 of the fit.
+struct ZipfFit {
+  double exponent = 0.0;
+  double intercept = 0.0;  // a, i.e. log(count at rank 1)
+  double r_squared = 0.0;
+};
+
+/// @param max_rank  fit only ranks <= max_rank (0 = all); the long-tail
+///                  plateau of singletons otherwise biases the slope.
+[[nodiscard]] ZipfFit fit_zipf(std::span<const CurvePoint> rank_freq,
+                               std::size_t max_rank = 0);
+
+/// Fraction of items (by count vector) whose count is exactly 1.
+[[nodiscard]] double singleton_fraction(std::span<const std::uint64_t> counts);
+
+/// Fraction of items whose count is <= threshold.
+[[nodiscard]] double fraction_at_or_below(std::span<const std::uint64_t> counts,
+                                          std::uint64_t threshold);
+
+/// Fraction of items whose count is >= threshold.
+[[nodiscard]] double fraction_at_or_above(std::span<const std::uint64_t> counts,
+                                          std::uint64_t threshold);
+
+}  // namespace qcp2p::util

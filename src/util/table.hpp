@@ -1,0 +1,50 @@
+// Aligned ASCII tables and CSV emission for the benchmark harnesses.
+// Every fig*/exp* binary prints a "paper vs measured" table through this.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qcp2p::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with fixed precision so rows line up.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; returns the row index.
+  std::size_t add_row();
+
+  /// Appends a cell to the last row (adds a row if none exists).
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+
+  /// Percent helper: formats value*100 with a trailing '%'.
+  Table& percent(double fraction, int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule and column padding.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+
+  /// Formats a double with fixed precision (shared helper).
+  [[nodiscard]] static std::string format(double value, int precision);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner:  == title ==
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace qcp2p::util

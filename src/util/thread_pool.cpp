@@ -1,0 +1,94 @@
+#include "src/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace qcp2p::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // exceptions are captured in the packaged_task's future
+  }
+}
+
+void ThreadPool::parallel_blocks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t num_blocks = std::min(n, workers_.size());
+  if (num_blocks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_blocks);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t begin = b * block;
+    const std::size_t end = std::min(begin + block, n);
+    if (begin >= end) break;
+    futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for_blocks(std::size_t n, std::size_t num_threads,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (num_threads <= 1 || n < 2) {
+    fn(0, n);
+    return;
+  }
+  ThreadPool pool(num_threads);
+  pool.parallel_blocks(n, fn);
+}
+
+}  // namespace qcp2p::util

@@ -1,0 +1,57 @@
+// Minimal fixed-size thread pool plus a blocked parallel_for.
+//
+// Used by the benches for embarrassingly parallel work: Monte-Carlo query
+// trials across many source peers (Fig 8), per-interval trace analysis and
+// parameter sweeps. Work is divided into contiguous blocks so each worker
+// touches a disjoint cache-friendly range; per-thread Rng streams are
+// derived with Rng::split() by the callers to keep results deterministic
+// regardless of scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qcp2p::util {
+
+class ThreadPool {
+ public:
+  /// @param num_threads 0 = hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future reports completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(begin, end) over [0, n) split into roughly equal contiguous
+  /// blocks, one per worker; blocks until all complete. Exceptions from
+  /// workers are rethrown (first one wins).
+  void parallel_blocks(std::size_t n,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience: one-shot pool-backed parallel for over index blocks.
+/// fn receives (block_begin, block_end). Serial when n or threads is small.
+void parallel_for_blocks(std::size_t n, std::size_t num_threads,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace qcp2p::util

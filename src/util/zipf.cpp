@@ -1,0 +1,117 @@
+#include "src/util/zipf.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qcp2p::util {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (!(s > 0.0)) throw std::invalid_argument("ZipfSampler: s must be > 0");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - h_inverse(h(2.5) - std::pow(2.0, -s));
+}
+
+double ZipfSampler::h(double x) const noexcept {
+  // H(x) = integral of t^-s dt; log for s == 1.
+  const double one_minus_s = 1.0 - s_;
+  if (std::abs(one_minus_s) < 1e-12) return std::log(x);
+  return std::pow(x, one_minus_s) / one_minus_s;
+}
+
+double ZipfSampler::h_inverse(double x) const noexcept {
+  const double one_minus_s = 1.0 - s_;
+  if (std::abs(one_minus_s) < 1e-12) return std::exp(x);
+  return std::pow(one_minus_s * x, 1.0 / one_minus_s);
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  if (n_ == 1) return 1;
+  // Rejection-inversion over the envelope H; expected < 1.04 iterations.
+  for (;;) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_inverse(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1)
+      k = 1;
+    else if (k > n_)
+      k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= h(kd + 0.5) - std::pow(kd, -s_)) {
+      return k;
+    }
+  }
+}
+
+double ZipfSampler::pmf(std::uint64_t k) const noexcept {
+  if (k < 1 || k > n_) return 0.0;
+  if (hsum_ < 0.0) hsum_ = harmonic(n_, s_);
+  return std::pow(static_cast<double>(k), -s_) / hsum_;
+}
+
+double ZipfSampler::harmonic(std::uint64_t n, double s) noexcept {
+  // Sum smallest terms first to limit floating-point error.
+  double sum = 0.0;
+  for (std::uint64_t k = n; k >= 1; --k) {
+    sum += std::pow(static_cast<double>(k), -s);
+  }
+  return sum;
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("DiscreteSampler: empty weights");
+  prob_.resize(n);
+  alias_.resize(n);
+
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0)
+    throw std::invalid_argument("DiscreteSampler: all weights are zero");
+
+  // Vose's alias method.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  const double nd = static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    scaled[i] = w / total * nd;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;  // numerical leftovers
+}
+
+std::size_t DiscreteSampler::operator()(Rng& rng) const noexcept {
+  const std::size_t column = rng.bounded(prob_.size());
+  return rng.uniform() < prob_[column] ? column : alias_[column];
+}
+
+std::vector<double> zipf_pmf(std::size_t n, double s) {
+  std::vector<double> p(n);
+  double sum = 0.0;
+  for (std::size_t k = n; k >= 1; --k) {
+    p[k - 1] = std::pow(static_cast<double>(k), -s);
+    sum += p[k - 1];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+}  // namespace qcp2p::util

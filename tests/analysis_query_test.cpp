@@ -1,0 +1,176 @@
+#include "src/analysis/query_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace qcp2p::analysis {
+namespace {
+
+using trace::Query;
+
+/// Builds a stationary stream: every interval contains `per_interval`
+/// queries over terms [0, vocab) with Zipf-ish skew.
+std::vector<Query> stationary_stream(std::size_t intervals,
+                                     std::size_t per_interval,
+                                     TermId vocab, double interval_s,
+                                     std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  std::vector<Query> queries;
+  for (std::size_t t = 0; t < intervals; ++t) {
+    for (std::size_t i = 0; i < per_interval; ++i) {
+      Query q;
+      q.time_s = (static_cast<double>(t) + rng.uniform()) * interval_s;
+      // Skewed: low ids appear much more often.
+      const TermId term = static_cast<TermId>(
+          std::min<std::uint64_t>(vocab - 1, rng.bounded(vocab) *
+                                                 rng.bounded(vocab) / vocab));
+      q.terms.push_back(term);
+      queries.push_back(std::move(q));
+    }
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const Query& a, const Query& b) { return a.time_s < b.time_s; });
+  return queries;
+}
+
+TEST(QueryTermAnalyzer, ValidatesArguments) {
+  const std::vector<Query> empty;
+  EXPECT_THROW(QueryTermAnalyzer(empty, 100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(QueryTermAnalyzer(empty, 100.0, 10.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(QueryTermAnalyzer(empty, 100.0, 10.0, -0.1),
+               std::invalid_argument);
+}
+
+TEST(QueryTermAnalyzer, BinsQueriesIntoIntervals) {
+  std::vector<Query> queries;
+  queries.push_back({5.0, {1}});
+  queries.push_back({15.0, {1, 2}});
+  queries.push_back({25.0, {3}});
+  const QueryTermAnalyzer analyzer(queries, 30.0, 10.0, 0.0);
+  EXPECT_EQ(analyzer.num_intervals(), 3u);
+  EXPECT_EQ(analyzer.interval_counts(0).at(1), 1u);
+  EXPECT_EQ(analyzer.interval_counts(1).at(1), 1u);
+  EXPECT_EQ(analyzer.interval_counts(1).at(2), 1u);
+  EXPECT_EQ(analyzer.interval_counts(2).at(3), 1u);
+}
+
+TEST(QueryTermAnalyzer, LateQueriesClampToLastInterval) {
+  std::vector<Query> queries;
+  queries.push_back({99.999, {7}});
+  const QueryTermAnalyzer analyzer(queries, 100.0, 10.0, 0.0);
+  EXPECT_EQ(analyzer.interval_counts(9).at(7), 1u);
+}
+
+TEST(QueryTermAnalyzer, PopularTermsRespectPolicy) {
+  std::vector<Query> queries;
+  for (int i = 0; i < 10; ++i) queries.push_back({1.0, {1}});
+  for (int i = 0; i < 5; ++i) queries.push_back({1.0, {2}});
+  queries.push_back({1.0, {3}});  // below min_count
+  const QueryTermAnalyzer analyzer(queries, 10.0, 10.0, 0.0);
+  PopularPolicy policy;
+  policy.top_k = 10;
+  policy.min_count = 2;
+  const auto popular = analyzer.popular_terms(0, policy);
+  EXPECT_TRUE(popular.count(1));
+  EXPECT_TRUE(popular.count(2));
+  EXPECT_FALSE(popular.count(3));
+
+  policy.top_k = 1;
+  const auto top1 = analyzer.popular_terms(0, policy);
+  EXPECT_EQ(top1.size(), 1u);
+  EXPECT_TRUE(top1.count(1));
+}
+
+TEST(QueryTermAnalyzer, StationaryStreamIsStable) {
+  const auto queries = stationary_stream(24, 2'000, 50, 3600.0);
+  const QueryTermAnalyzer analyzer(queries, 24 * 3600.0, 3600.0, 0.10);
+  PopularPolicy policy;
+  policy.top_k = 20;
+  const auto series = analyzer.stability_series(policy);
+  ASSERT_FALSE(series.empty());
+  double sum = 0;
+  for (double j : series) sum += j;
+  EXPECT_GT(sum / static_cast<double>(series.size()), 0.85);
+}
+
+TEST(QueryTermAnalyzer, StationaryStreamHasFewTransients) {
+  const auto queries = stationary_stream(24, 2'000, 50, 3600.0);
+  const QueryTermAnalyzer analyzer(queries, 24 * 3600.0, 3600.0, 0.10);
+  const auto series = analyzer.transient_count_series(TransientPolicy{});
+  double total = 0;
+  for (auto c : series) total += c;
+  EXPECT_LT(total / static_cast<double>(series.size()), 1.0);
+}
+
+TEST(QueryTermAnalyzer, DetectsInjectedBurst) {
+  auto queries = stationary_stream(24, 2'000, 50, 3600.0);
+  // Term 999 never appears historically, then bursts in hour 12.
+  for (int i = 0; i < 60; ++i) {
+    queries.push_back({12.5 * 3600.0, {999}});
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const Query& a, const Query& b) { return a.time_s < b.time_s; });
+  const QueryTermAnalyzer analyzer(queries, 24 * 3600.0, 3600.0, 0.10);
+  const auto transients = analyzer.transient_terms(12, TransientPolicy{});
+  EXPECT_NE(std::find(transients.begin(), transients.end(), 999u),
+            transients.end());
+  // And NOT transient in an unaffected interval.
+  const auto other = analyzer.transient_terms(20, TransientPolicy{});
+  EXPECT_EQ(std::find(other.begin(), other.end(), 999u), other.end());
+}
+
+TEST(QueryTermAnalyzer, BurstOfKnownTermRequiresDeviation) {
+  // Term 1 is already frequent; the same absolute count as a fresh burst
+  // must NOT flag it.
+  auto queries = stationary_stream(24, 50, 2, 3600.0);  // term 0/1 heavy
+  const QueryTermAnalyzer analyzer(queries, 24 * 3600.0, 3600.0, 0.10);
+  for (std::size_t t = analyzer.first_eval_interval();
+       t < analyzer.num_intervals(); ++t) {
+    const auto transients = analyzer.transient_terms(t, TransientPolicy{});
+    EXPECT_TRUE(transients.empty()) << "interval " << t;
+  }
+}
+
+TEST(QueryTermAnalyzer, DisconnectSeriesMeasuresOverlap) {
+  // Popular query terms are exactly {0..9}; compare against file sets.
+  std::vector<Query> queries;
+  for (int t = 0; t < 10; ++t) {
+    for (TermId term = 0; term < 10; ++term) {
+      for (int r = 0; r < 5; ++r) {
+        queries.push_back({t * 100.0 + term, {term}});
+      }
+    }
+  }
+  const QueryTermAnalyzer analyzer(queries, 1000.0, 100.0, 0.0);
+  PopularPolicy policy;
+  policy.top_k = 10;
+
+  const std::vector<TermId> disjoint{100, 101, 102};
+  for (double j : analyzer.disconnect_series(disjoint, policy)) {
+    EXPECT_DOUBLE_EQ(j, 0.0);
+  }
+  const std::vector<TermId> half{0, 1, 2, 3, 4, 100, 101, 102, 103, 104};
+  for (double j : analyzer.disconnect_series(half, policy)) {
+    EXPECT_DOUBLE_EQ(j, 5.0 / 15.0);
+  }
+  const std::vector<TermId> identical{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (double j : analyzer.disconnect_series(identical, policy)) {
+    EXPECT_DOUBLE_EQ(j, 1.0);
+  }
+}
+
+TEST(QueryTermAnalyzer, AllTermsDisconnectIncludesRareTerms) {
+  std::vector<Query> queries;
+  queries.push_back({1.0, {1}});
+  queries.push_back({2.0, {2}});
+  const QueryTermAnalyzer analyzer(queries, 10.0, 10.0, 0.0);
+  const std::vector<TermId> file_popular{2, 3};
+  const auto series = analyzer.disconnect_series_all_terms(file_popular);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0 / 3.0);  // {1,2} vs {2,3}
+}
+
+}  // namespace
+}  // namespace qcp2p::analysis

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/query_analysis.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::analysis {
+namespace {
+
+using trace::Query;
+
+std::vector<Query> interval_stream(
+    const std::vector<std::vector<std::pair<TermId, int>>>& interval_counts,
+    double interval_s) {
+  std::vector<Query> queries;
+  for (std::size_t t = 0; t < interval_counts.size(); ++t) {
+    for (const auto& [term, count] : interval_counts[t]) {
+      for (int i = 0; i < count; ++i) {
+        queries.push_back({(static_cast<double>(t) + 0.5) * interval_s, {term}});
+      }
+    }
+  }
+  return queries;
+}
+
+TEST(RankCorrelation, IdenticalRankingsScoreOne) {
+  const std::vector<std::vector<std::pair<TermId, int>>> data{
+      {{1, 30}, {2, 20}, {3, 10}},
+      {{1, 30}, {2, 20}, {3, 10}},
+      {{1, 30}, {2, 20}, {3, 10}},
+  };
+  const auto queries = interval_stream(data, 10.0);
+  const QueryTermAnalyzer analyzer(queries, 30.0, 10.0, 0.0);
+  PopularPolicy policy;
+  policy.top_k = 3;
+  policy.min_count = 1;
+  for (double tau : analyzer.rank_correlation_series(policy)) {
+    EXPECT_DOUBLE_EQ(tau, 1.0);
+  }
+}
+
+TEST(RankCorrelation, ReversedRankingsScoreMinusOne) {
+  const std::vector<std::vector<std::pair<TermId, int>>> data{
+      {{1, 30}, {2, 20}, {3, 10}},
+      {{1, 10}, {2, 20}, {3, 30}},
+  };
+  const auto queries = interval_stream(data, 10.0);
+  const QueryTermAnalyzer analyzer(queries, 20.0, 10.0, 0.0);
+  PopularPolicy policy;
+  policy.top_k = 3;
+  policy.min_count = 1;
+  const auto series = analyzer.rank_correlation_series(policy);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0], -1.0);
+}
+
+TEST(RankCorrelation, PartialShuffleLandsBetween) {
+  const std::vector<std::vector<std::pair<TermId, int>>> data{
+      {{1, 40}, {2, 30}, {3, 20}, {4, 10}},
+      {{1, 40}, {2, 20}, {3, 30}, {4, 10}},  // one adjacent swap
+  };
+  const auto queries = interval_stream(data, 10.0);
+  const QueryTermAnalyzer analyzer(queries, 20.0, 10.0, 0.0);
+  PopularPolicy policy;
+  policy.top_k = 4;
+  policy.min_count = 1;
+  const auto series = analyzer.rank_correlation_series(policy);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_GT(series[0], 0.3);
+  EXPECT_LT(series[0], 1.0);
+}
+
+TEST(RankCorrelation, StationaryZipfStreamIsHighlyCorrelated) {
+  util::Rng rng(3);
+  std::vector<Query> queries;
+  for (int t = 0; t < 12; ++t) {
+    for (int i = 0; i < 3'000; ++i) {
+      // Skewed stationary popularity over 30 terms.
+      const TermId term = static_cast<TermId>(
+          std::min<std::uint64_t>(29, rng.bounded(30) * rng.bounded(30) / 30));
+      queries.push_back({t * 100.0 + 0.5, {term}});
+    }
+  }
+  const QueryTermAnalyzer analyzer(queries, 1'200.0, 100.0, 0.0);
+  PopularPolicy policy;
+  policy.top_k = 15;
+  double sum = 0;
+  const auto series = analyzer.rank_correlation_series(policy);
+  ASSERT_FALSE(series.empty());
+  for (double tau : series) sum += tau;
+  EXPECT_GT(sum / static_cast<double>(series.size()), 0.6);
+}
+
+TEST(RankCorrelation, EmptyAnalyzerYieldsEmptySeries) {
+  const std::vector<Query> none;
+  const QueryTermAnalyzer analyzer(none, 10.0, 10.0, 0.0);
+  EXPECT_TRUE(analyzer.rank_correlation_series(PopularPolicy{}).empty());
+}
+
+}  // namespace
+}  // namespace qcp2p::analysis

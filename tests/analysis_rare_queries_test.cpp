@@ -1,0 +1,138 @@
+#include "src/analysis/rare_queries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::analysis {
+namespace {
+
+trace::ContentModelParams model_params() {
+  trace::ContentModelParams p;
+  p.core_lexicon_size = 1'000;
+  p.catalog_songs = 8'000;
+  p.artists = 1'000;
+  p.tail_lexicon_size = 20'000;
+  p.seed = 71;
+  return p;
+}
+
+struct IndexFixture : ::testing::Test {
+  IndexFixture() : model(model_params()) {
+    trace::GnutellaCrawlParams cp;
+    cp.num_peers = 300;
+    cp.mean_objects_per_peer = 50;
+    snapshot = std::make_unique<trace::CrawlSnapshot>(
+        generate_gnutella_crawl(model, cp));
+    index = std::make_unique<GlobalResultIndex>(*snapshot);
+  }
+  trace::ContentModel model;
+  std::unique_ptr<trace::CrawlSnapshot> snapshot;
+  std::unique_ptr<GlobalResultIndex> index;
+};
+
+TEST_F(IndexFixture, SingleTermCountMatchesBruteForce) {
+  // Pick a term from some object and count replicas by brute force.
+  trace::TermId term = 0;
+  for (std::size_t p = 0; p < snapshot->num_peers() && term == 0; ++p) {
+    for (trace::ObjectKey k : snapshot->peer_objects(p)) {
+      const auto terms = snapshot->object_terms(k);
+      if (!terms.empty()) {
+        term = terms[0];
+        break;
+      }
+    }
+  }
+  ASSERT_NE(term, 0u);
+  std::uint64_t brute = 0;
+  for (std::size_t p = 0; p < snapshot->num_peers(); ++p) {
+    for (trace::ObjectKey k : snapshot->peer_objects(p)) {
+      const auto terms = snapshot->object_terms(k);
+      brute += std::count(terms.begin(), terms.end(), term) > 0;
+    }
+  }
+  EXPECT_EQ(index->result_count(std::vector<trace::TermId>{term}), brute);
+}
+
+TEST_F(IndexFixture, UnknownTermYieldsZero) {
+  EXPECT_EQ(index->result_count(std::vector<trace::TermId>{4'000'000'000u}),
+            0u);
+  EXPECT_EQ(index->result_count(std::vector<trace::TermId>{}), 0u);
+}
+
+TEST_F(IndexFixture, ConjunctionNeverExceedsSingleTerm) {
+  // For any object's term pair, count(t1 AND t2) <= min(count(t1), count(t2)).
+  std::size_t checked = 0;
+  for (std::size_t p = 0; p < snapshot->num_peers() && checked < 20; ++p) {
+    for (trace::ObjectKey k : snapshot->peer_objects(p)) {
+      const auto terms = snapshot->object_terms(k);
+      if (terms.size() < 2) continue;
+      const std::vector<trace::TermId> both{terms[0], terms[1]};
+      const auto c_both = index->result_count(both);
+      const auto c1 =
+          index->result_count(std::vector<trace::TermId>{terms[0]});
+      const auto c2 =
+          index->result_count(std::vector<trace::TermId>{terms[1]});
+      EXPECT_LE(c_both, std::min(c1, c2));
+      EXPECT_GE(c_both, 1u);  // the object itself matches
+      ++checked;
+      break;
+    }
+  }
+  EXPECT_EQ(checked, 20u);
+}
+
+TEST_F(IndexFixture, RareQueryStatsAccounting) {
+  std::vector<trace::Query> queries;
+  // A guaranteed-zero query and a guaranteed-hit query.
+  queries.push_back({0.0, {4'000'000'000u}});
+  trace::ObjectKey some_key = snapshot->peer_objects(0).at(0);
+  queries.push_back({1.0, {snapshot->object_terms(some_key).at(0)}});
+  const RareQueryStats stats =
+      rare_query_stats(*index, queries, /*cutoff=*/20, 1);
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.zero_results, 1u);
+  EXPECT_GE(stats.rare, 1u);
+  EXPECT_GE(stats.mean_results, 0.0);
+}
+
+TEST_F(IndexFixture, SamplingReducesEvaluatedQueries) {
+  std::vector<trace::Query> queries(10, trace::Query{0.0, {1}});
+  const RareQueryStats stats = rare_query_stats(*index, queries, 20, 3);
+  EXPECT_EQ(stats.queries, 4u);  // indices 0, 3, 6, 9
+}
+
+TEST(AnalyticalFloodSuccess, MatchesClosedFormCases) {
+  // copies = n: certain success.
+  EXPECT_DOUBLE_EQ(analytical_flood_success(10, 1, 10), 1.0);
+  // No copies or empty network: certain failure.
+  EXPECT_DOUBLE_EQ(analytical_flood_success(0, 100, 1'000), 0.0);
+  EXPECT_DOUBLE_EQ(analytical_flood_success(5, 10, 0), 0.0);
+  // One copy, reach k of n: success = k / n... on the n-1 non-source
+  // peers approximation: with our formula, k draws without replacement
+  // from n: 1 - (n-1 choose k)/(n choose k) = k/n.
+  EXPECT_NEAR(analytical_flood_success(1, 250, 1'000), 0.25, 1e-12);
+}
+
+TEST(AnalyticalFloodSuccess, ReproducesThePapersSixtyTwoPercent) {
+  // Paper Sec V: uniform 0.1% replication (40 copies in 40,000 peers)
+  // with a TTL-3 flood reaching ~1,000 nodes predicts ~62%.
+  const double p = analytical_flood_success(40, 970, 40'000);
+  EXPECT_NEAR(p, 0.62, 0.02);
+}
+
+TEST(AnalyticalFloodSuccess, MonotoneInCopiesAndReach) {
+  double prev = 0.0;
+  for (std::uint64_t copies : {1ULL, 2ULL, 5ULL, 10ULL, 40ULL}) {
+    const double p = analytical_flood_success(copies, 500, 10'000);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  prev = 0.0;
+  for (std::uint64_t reach : {10ULL, 100ULL, 1'000ULL, 5'000ULL}) {
+    const double p = analytical_flood_success(5, reach, 10'000);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace qcp2p::analysis

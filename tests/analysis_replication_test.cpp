@@ -1,0 +1,73 @@
+#include "src/analysis/replication.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::analysis {
+namespace {
+
+TEST(SummarizeReplication, EmptyInput) {
+  const ReplicationSummary s = summarize_replication({}, 1000);
+  EXPECT_EQ(s.unique_items, 0u);
+  EXPECT_EQ(s.total_instances, 0u);
+}
+
+TEST(SummarizeReplication, CraftedCounts) {
+  // 10,000-peer population -> 0.1% threshold = 10 peers.
+  const std::vector<std::uint64_t> counts{1, 1, 1, 1, 1, 1, 2, 5, 10, 50};
+  const ReplicationSummary s = summarize_replication(counts, 10'000);
+  EXPECT_EQ(s.unique_items, 10u);
+  EXPECT_EQ(s.total_instances, 73u);
+  EXPECT_DOUBLE_EQ(s.mean_replicas, 7.3);
+  EXPECT_DOUBLE_EQ(s.max_replicas, 50.0);
+  EXPECT_DOUBLE_EQ(s.singleton_fraction, 0.6);
+  EXPECT_EQ(s.milli_threshold, 10u);
+  EXPECT_DOUBLE_EQ(s.fraction_under_milli, 0.9);  // all but the 50
+  EXPECT_DOUBLE_EQ(s.fraction_20_or_more, 0.1);
+}
+
+TEST(SummarizeReplication, SmallPopulationThresholdIsAtLeastOne) {
+  const std::vector<std::uint64_t> counts{1, 2};
+  const ReplicationSummary s = summarize_replication(counts, 50);
+  EXPECT_EQ(s.milli_threshold, 1u);
+  EXPECT_DOUBLE_EQ(s.fraction_under_milli, 0.5);
+}
+
+TEST(ReplicationRankCurve, Descending) {
+  const std::vector<std::uint64_t> counts{2, 9, 4};
+  const auto curve = replication_rank_curve(counts);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_EQ(curve[0].y, 9.0);
+  EXPECT_EQ(curve[1].y, 4.0);
+  EXPECT_EQ(curve[2].y, 2.0);
+}
+
+TEST(NameReplicaCounter, CountsDistinctPeersOnly) {
+  NameReplicaCounter counter;
+  counter.add(0, "song a");
+  counter.add(0, "song a");  // same peer twice: still one replica
+  counter.add(1, "song a");
+  counter.add(1, "song b");
+  EXPECT_EQ(counter.unique_names(), 2u);
+  auto counts = counter.counts();
+  std::sort(counts.begin(), counts.end());
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(NameReplicaCounter, ManyPeersOneName) {
+  NameReplicaCounter counter;
+  for (std::uint32_t p = 0; p < 100; ++p) counter.add(p, "01 Track.wma");
+  const auto counts = counter.counts();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0], 100u);
+}
+
+TEST(NameReplicaCounter, EmptyNameIsAValidName) {
+  NameReplicaCounter counter;
+  counter.add(0, "");
+  counter.add(1, "");
+  EXPECT_EQ(counter.unique_names(), 1u);
+  EXPECT_EQ(counter.counts()[0], 2u);
+}
+
+}  // namespace
+}  // namespace qcp2p::analysis

@@ -1,0 +1,74 @@
+// Advertising-cost accounting of the query-centric overlay.
+#include <gtest/gtest.h>
+
+#include "src/core/query_centric.hpp"
+#include "src/overlay/topology.hpp"
+
+namespace qcp2p::core {
+namespace {
+
+struct AdvertisingFixture : ::testing::Test {
+  AdvertisingFixture() {
+    util::Rng rng(2);
+    graph = overlay::random_regular(100, 6, rng);
+    store = std::make_unique<PeerStore>(100);
+    for (NodeId v = 0; v < 100; ++v) {
+      store->add_object(v, v, {static_cast<TermId>(v % 10), 77});
+    }
+    store->finalize();
+  }
+  Graph graph{0};
+  std::unique_ptr<PeerStore> store;
+};
+
+TEST_F(AdvertisingFixture, ConstructionAdvertisesEveryPeerOnce) {
+  SynopsisParams sp;
+  QueryCentricOverlay overlay(graph, *store, sp,
+                              SynopsisPolicy::kContentCentric);
+  EXPECT_EQ(overlay.synopses_built(), 100u);
+  // bytes = sum(degree) * bits/8 = 2 * edges * bits/8.
+  const std::uint64_t expected =
+      2ULL * graph.num_edges() * (sp.bloom_bits / 8);
+  EXPECT_EQ(overlay.advertisement_bytes(), expected);
+}
+
+TEST_F(AdvertisingFixture, FullRebuildDoublesTheBill) {
+  QueryCentricOverlay overlay(graph, *store, SynopsisParams{},
+                              SynopsisPolicy::kQueryCentric);
+  const auto after_build = overlay.advertisement_bytes();
+  TermPopularityTracker tracker;
+  overlay.rebuild_synopses(&tracker);
+  EXPECT_EQ(overlay.synopses_built(), 200u);
+  EXPECT_EQ(overlay.advertisement_bytes(), 2 * after_build);
+}
+
+TEST_F(AdvertisingFixture, TransientAdaptationChargesOnlyAffectedPeers) {
+  SynopsisParams sp;
+  sp.term_budget = 1;
+  QueryCentricOverlay overlay(graph, *store, sp,
+                              SynopsisPolicy::kQueryCentric);
+  const auto baseline_builds = overlay.synopses_built();
+
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 2'000; ++i) tracker.observe_query({5});
+  // Burst on a term only peers v with v % 10 == 3 hold.
+  for (int i = 0; i < 60; ++i) tracker.observe_query({3});
+  ASSERT_TRUE(tracker.is_transient(3));
+
+  const std::size_t readvertised = overlay.adapt_to_transients(tracker);
+  EXPECT_EQ(readvertised, 10u);  // exactly the holders of term 3
+  EXPECT_EQ(overlay.synopses_built(), baseline_builds + 10);
+}
+
+TEST_F(AdvertisingFixture, ContentCentricAdaptationIsFree) {
+  QueryCentricOverlay overlay(graph, *store, SynopsisParams{},
+                              SynopsisPolicy::kContentCentric);
+  const auto baseline = overlay.advertisement_bytes();
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 100; ++i) tracker.observe_query({3});
+  EXPECT_EQ(overlay.adapt_to_transients(tracker), 0u);
+  EXPECT_EQ(overlay.advertisement_bytes(), baseline);
+}
+
+}  // namespace
+}  // namespace qcp2p::core

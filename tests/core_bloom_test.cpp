@@ -1,0 +1,111 @@
+#include "src/core/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace qcp2p::core {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf(4'096, 4);
+  util::Rng rng(1);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(rng());
+  for (auto k : keys) bf.insert(k);
+  for (auto k : keys) EXPECT_TRUE(bf.maybe_contains(k));
+  EXPECT_EQ(bf.inserted(), 200u);
+}
+
+TEST(BloomFilter, EmptyContainsNothing) {
+  const BloomFilter bf(1'024, 4);
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(bf.maybe_contains(rng()));
+  EXPECT_DOUBLE_EQ(bf.fill_ratio(), 0.0);
+}
+
+TEST(BloomFilter, ClearResets) {
+  BloomFilter bf(1'024, 3);
+  bf.insert(42);
+  EXPECT_TRUE(bf.maybe_contains(42));
+  bf.clear();
+  EXPECT_FALSE(bf.maybe_contains(42));
+  EXPECT_EQ(bf.inserted(), 0u);
+}
+
+TEST(BloomFilter, MergeIsUnion) {
+  BloomFilter a(2'048, 4), b(2'048, 4);
+  a.insert(1);
+  b.insert(2);
+  a.merge(b);
+  EXPECT_TRUE(a.maybe_contains(1));
+  EXPECT_TRUE(a.maybe_contains(2));
+  EXPECT_EQ(a.inserted(), 2u);
+}
+
+TEST(BloomFilter, MergeRejectsShapeMismatch) {
+  BloomFilter a(1'024, 4), b(2'048, 4), c(1'024, 5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(BloomFilter, BitsRoundedUpToWord) {
+  const BloomFilter bf(1, 1);
+  EXPECT_EQ(bf.bit_count(), 64u);
+  const BloomFilter bf2(65, 1);
+  EXPECT_EQ(bf2.bit_count(), 128u);
+}
+
+TEST(BloomFilter, OptimalHashes) {
+  // m/n = 10 bits/element -> k = 10 ln2 ~ 6.93 -> 7.
+  EXPECT_EQ(BloomFilter::optimal_hashes(1'000, 100), 7u);
+  EXPECT_EQ(BloomFilter::optimal_hashes(100, 0), 1u);
+  EXPECT_GE(BloomFilter::optimal_hashes(10, 1'000), 1u);
+}
+
+// Property sweep: measured FPR stays near the analytical bound across
+// (bits, hashes, elements) configurations.
+class BloomFprSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::uint32_t, std::size_t>> {};
+
+TEST_P(BloomFprSweep, MeasuredFprNearAnalytical) {
+  const auto [bits, hashes, elements] = GetParam();
+  BloomFilter bf(bits, hashes);
+  util::Rng rng(99);
+  for (std::size_t i = 0; i < elements; ++i) bf.insert(rng());
+
+  std::size_t false_positives = 0;
+  constexpr std::size_t kProbes = 20'000;
+  util::Rng probe_rng(12345);  // disjoint key stream (w.h.p.)
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    false_positives += bf.maybe_contains(probe_rng());
+  }
+  const double measured =
+      static_cast<double>(false_positives) / static_cast<double>(kProbes);
+  const double analytical = bf.estimated_fpr();
+  EXPECT_NEAR(measured, analytical, std::max(0.02, analytical * 0.5))
+      << "bits=" << bits << " k=" << hashes << " n=" << elements;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BloomFprSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1'024, 4'096, 16'384),
+                       ::testing::Values<std::uint32_t>(2, 4, 8),
+                       ::testing::Values<std::size_t>(64, 256, 1'024)));
+
+TEST(BloomFilter, FillRatioGrowsWithInsertions) {
+  BloomFilter bf(1'024, 4);
+  util::Rng rng(3);
+  double prev = 0.0;
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 50; ++i) bf.insert(rng());
+    const double fill = bf.fill_ratio();
+    EXPECT_GT(fill, prev);
+    prev = fill;
+  }
+  EXPECT_LE(prev, 1.0);
+}
+
+}  // namespace
+}  // namespace qcp2p::core

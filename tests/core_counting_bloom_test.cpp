@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "src/core/bloom.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::core {
+namespace {
+
+TEST(CountingBloom, InsertThenContains) {
+  CountingBloomFilter cbf(1'024, 4);
+  util::Rng rng(1);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 80; ++i) keys.push_back(rng());
+  for (auto k : keys) cbf.insert(k);
+  for (auto k : keys) EXPECT_TRUE(cbf.maybe_contains(k));
+  EXPECT_EQ(cbf.size(), 80u);
+}
+
+TEST(CountingBloom, RemoveForgetsKeys) {
+  CountingBloomFilter cbf(4'096, 4);
+  util::Rng rng(2);
+  std::vector<std::uint64_t> keep, drop;
+  for (int i = 0; i < 50; ++i) keep.push_back(rng());
+  for (int i = 0; i < 50; ++i) drop.push_back(rng());
+  for (auto k : keep) cbf.insert(k);
+  for (auto k : drop) cbf.insert(k);
+  for (auto k : drop) cbf.remove(k);
+  // No false negatives on kept keys after removals.
+  for (auto k : keep) EXPECT_TRUE(cbf.maybe_contains(k));
+  // Dropped keys are (almost all) gone.
+  std::size_t lingering = 0;
+  for (auto k : drop) lingering += cbf.maybe_contains(k);
+  EXPECT_LT(lingering, 5u);
+  EXPECT_EQ(cbf.size(), 50u);
+}
+
+TEST(CountingBloom, InsertRemoveCyclesKeepMembershipExact) {
+  CountingBloomFilter cbf(2'048, 4);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    cbf.insert(42);
+    EXPECT_TRUE(cbf.maybe_contains(42));
+    cbf.remove(42);
+  }
+  EXPECT_FALSE(cbf.maybe_contains(42));
+  EXPECT_EQ(cbf.size(), 0u);
+}
+
+TEST(CountingBloom, DuplicateInsertionsNeedMatchingRemovals) {
+  CountingBloomFilter cbf(2'048, 4);
+  cbf.insert(7);
+  cbf.insert(7);
+  cbf.remove(7);
+  EXPECT_TRUE(cbf.maybe_contains(7));  // one insertion still outstanding
+  cbf.remove(7);
+  EXPECT_FALSE(cbf.maybe_contains(7));
+}
+
+TEST(CountingBloom, ClearResets) {
+  CountingBloomFilter cbf(1'024, 3);
+  cbf.insert(1);
+  cbf.clear();
+  EXPECT_FALSE(cbf.maybe_contains(1));
+  EXPECT_EQ(cbf.size(), 0u);
+  EXPECT_DOUBLE_EQ(cbf.fill_ratio(), 0.0);
+}
+
+TEST(CountingBloom, CellCountRoundedToWholeBlocks) {
+  const CountingBloomFilter cbf(100, 2);
+  EXPECT_EQ(cbf.cell_count() % 64, 0u);
+  EXPECT_GE(cbf.cell_count(), 100u);
+}
+
+TEST(CountingBloom, ToBloomAgreesOnMembership) {
+  CountingBloomFilter cbf(2'048, 5);
+  util::Rng rng(3);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 120; ++i) keys.push_back(rng());
+  for (auto k : keys) cbf.insert(k);
+  const BloomFilter bloom = cbf.to_bloom();
+  EXPECT_EQ(bloom.bit_count(), cbf.cell_count());
+  for (auto k : keys) EXPECT_TRUE(bloom.maybe_contains(k));
+  // Negative probes agree too (same hash family + geometry).
+  util::Rng probe(4);
+  for (int i = 0; i < 2'000; ++i) {
+    const std::uint64_t k = probe();
+    ASSERT_EQ(bloom.maybe_contains(k), cbf.maybe_contains(k)) << k;
+  }
+}
+
+TEST(CountingBloom, SaturatedCellsNeverDecrement) {
+  CountingBloomFilter cbf(64, 1);  // tiny: force saturation
+  // ~312 increments per cell saturate everything at 255.
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t k = 0; k < 400; ++k) cbf.insert(k);
+  }
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t k = 0; k < 400; ++k) cbf.remove(k);
+  }
+  // Saturated cells stay set: keys hashing only to saturated cells must
+  // still be reported present (no false negatives, ever).
+  std::size_t present = 0;
+  for (std::uint64_t k = 0; k < 400; ++k) present += cbf.maybe_contains(k);
+  EXPECT_GT(present, 0u);
+  EXPECT_EQ(cbf.size(), 0u);  // net count still clamps correctly
+}
+
+TEST(BloomFromRaw, RoundTripsWireWords) {
+  BloomFilter original(1'024, 4);
+  util::Rng rng(5);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 60; ++i) keys.push_back(rng());
+  for (auto k : keys) original.insert(k);
+
+  const BloomFilter decoded = BloomFilter::from_raw(
+      original.raw_words(), original.num_hashes(), original.inserted());
+  EXPECT_EQ(decoded.bit_count(), original.bit_count());
+  EXPECT_EQ(decoded.inserted(), original.inserted());
+  for (auto k : keys) EXPECT_TRUE(decoded.maybe_contains(k));
+  EXPECT_THROW(BloomFilter::from_raw({}, 4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qcp2p::core

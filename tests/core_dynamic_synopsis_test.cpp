@@ -1,0 +1,123 @@
+#include "src/core/dynamic_synopsis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::core {
+namespace {
+
+SynopsisParams small_params(std::size_t budget = 4) {
+  SynopsisParams p;
+  p.term_budget = budget;
+  p.bloom_bits = 1'024;
+  return p;
+}
+
+TEST(DynamicSynopsis, AdvertisesAfterFirstRefresh) {
+  DynamicSynopsis s(small_params(), SynopsisPolicy::kContentCentric);
+  s.add_object(std::vector<TermId>{1, 2});
+  EXPECT_TRUE(s.refresh(nullptr));
+  EXPECT_TRUE(s.maybe_contains(1));
+  EXPECT_TRUE(s.maybe_contains(2));
+  EXPECT_TRUE(s.maybe_contains_all(std::vector<TermId>{1, 2}));
+  EXPECT_EQ(s.readvertisements(), 1u);
+}
+
+TEST(DynamicSynopsis, UnchangedContentNeedsNoReadvertisement) {
+  DynamicSynopsis s(small_params(), SynopsisPolicy::kContentCentric);
+  s.add_object(std::vector<TermId>{1, 2});
+  ASSERT_TRUE(s.refresh(nullptr));
+  EXPECT_FALSE(s.refresh(nullptr));  // nothing changed
+  // Adding a duplicate object (same terms) changes frequencies but not
+  // the advertised set under a roomy budget.
+  s.add_object(std::vector<TermId>{1, 2});
+  EXPECT_FALSE(s.refresh(nullptr));
+  EXPECT_EQ(s.readvertisements(), 1u);
+}
+
+TEST(DynamicSynopsis, RemovalDropsTermsFromTheWire) {
+  DynamicSynopsis s(small_params(), SynopsisPolicy::kContentCentric);
+  s.add_object(std::vector<TermId>{1, 2});
+  s.add_object(std::vector<TermId>{3});
+  ASSERT_TRUE(s.refresh(nullptr));
+  ASSERT_TRUE(s.maybe_contains(3));
+
+  s.remove_object(std::vector<TermId>{3});
+  EXPECT_TRUE(s.refresh(nullptr));
+  EXPECT_FALSE(s.maybe_contains(3));
+  EXPECT_TRUE(s.maybe_contains(1));
+  EXPECT_EQ(s.distinct_terms(), 2u);
+}
+
+TEST(DynamicSynopsis, UnmatchedRemoveIsIgnored) {
+  DynamicSynopsis s(small_params(), SynopsisPolicy::kContentCentric);
+  s.add_object(std::vector<TermId>{1});
+  s.remove_object(std::vector<TermId>{99});  // never added
+  EXPECT_TRUE(s.refresh(nullptr));
+  EXPECT_TRUE(s.maybe_contains(1));
+}
+
+TEST(DynamicSynopsis, BudgetEvictionFollowsContentFrequency) {
+  DynamicSynopsis s(small_params(2), SynopsisPolicy::kContentCentric);
+  for (int i = 0; i < 5; ++i) s.add_object(std::vector<TermId>{10});
+  for (int i = 0; i < 3; ++i) s.add_object(std::vector<TermId>{20});
+  s.add_object(std::vector<TermId>{30});
+  ASSERT_TRUE(s.refresh(nullptr));
+  EXPECT_TRUE(s.maybe_contains(10));
+  EXPECT_TRUE(s.maybe_contains(20));
+  EXPECT_FALSE(s.maybe_contains(30));  // squeezed out by the budget
+}
+
+TEST(DynamicSynopsis, QueryCentricFollowsTheTracker) {
+  DynamicSynopsis s(small_params(1), SynopsisPolicy::kQueryCentric);
+  for (int i = 0; i < 5; ++i) s.add_object(std::vector<TermId>{10});
+  s.add_object(std::vector<TermId>{30});  // niche term
+
+  TermPopularityTracker tracker;
+  ASSERT_TRUE(s.refresh(&tracker));
+  EXPECT_TRUE(s.maybe_contains(10));  // no signal yet: content order
+
+  // Queries start hammering the niche term: the advertisement flips.
+  for (int i = 0; i < 200; ++i) tracker.observe_query({30});
+  EXPECT_TRUE(s.refresh(&tracker));
+  EXPECT_TRUE(s.maybe_contains(30));
+  EXPECT_FALSE(s.maybe_contains(10));
+  EXPECT_EQ(s.readvertisements(), 2u);
+
+  // Stable tracker -> no further churn.
+  EXPECT_FALSE(s.refresh(&tracker));
+}
+
+TEST(DynamicSynopsis, WireFilterMatchesLiveFilter) {
+  DynamicSynopsis s(small_params(8), SynopsisPolicy::kContentCentric);
+  s.add_object(std::vector<TermId>{1, 2, 3});
+  ASSERT_TRUE(s.refresh(nullptr));
+  const BloomFilter wire = s.wire_filter();
+  for (TermId t : {1u, 2u, 3u}) {
+    EXPECT_EQ(wire.maybe_contains(t), s.maybe_contains(t));
+  }
+  EXPECT_FALSE(wire.maybe_contains(777));
+}
+
+TEST(DynamicSynopsis, ManyChurnCyclesKeepFilterConsistent) {
+  DynamicSynopsis s(small_params(16), SynopsisPolicy::kContentCentric);
+  for (int cycle = 0; cycle < 60; ++cycle) {
+    const auto base = static_cast<TermId>(cycle * 3);
+    s.add_object(std::vector<TermId>{base, base + 1, base + 2});
+    (void)s.refresh(nullptr);
+    if (cycle >= 4) {
+      const auto old = static_cast<TermId>((cycle - 4) * 3);
+      s.remove_object(std::vector<TermId>{old, old + 1, old + 2});
+      (void)s.refresh(nullptr);
+    }
+  }
+  // The advertised set equals the last few cycles' terms, and the filter
+  // agrees with it exactly (no stale bits beyond Bloom false positives).
+  for (TermId t : s.advertised()) {
+    EXPECT_TRUE(s.maybe_contains(t));
+  }
+  const auto stale = static_cast<TermId>(2 * 3);  // long-evicted
+  EXPECT_FALSE(s.maybe_contains(stale));
+}
+
+}  // namespace
+}  // namespace qcp2p::core

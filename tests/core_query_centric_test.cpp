@@ -1,0 +1,158 @@
+#include "src/core/query_centric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/overlay/topology.hpp"
+
+namespace qcp2p::core {
+namespace {
+
+struct OverlayFixture : ::testing::Test {
+  OverlayFixture() {
+    util::Rng rng(1);
+    graph = overlay::random_regular(400, 6, rng);
+    store = std::make_unique<PeerStore>(400);
+    // "Content-popular" terms 1..8 everywhere; the queried term 99 only
+    // on a handful of peers, buried under big libraries.
+    for (NodeId v = 0; v < 400; ++v) {
+      for (std::uint64_t o = 0; o < 12; ++o) {
+        store->add_object(v, (static_cast<std::uint64_t>(v) << 8) | o,
+                          {static_cast<TermId>(1 + (o + v) % 8),
+                           static_cast<TermId>(1 + (o + v + 1) % 8)});
+      }
+    }
+    for (NodeId v : {17u, 171u, 303u, 399u}) {
+      store->add_object(v, (static_cast<std::uint64_t>(v) << 8) | 0xFF, {99});
+    }
+    store->finalize();
+  }
+
+  Graph graph{0};
+  std::unique_ptr<PeerStore> store;
+};
+
+TEST_F(OverlayFixture, GuidedSearchFindsAdvertisedContent) {
+  SynopsisParams params;
+  params.term_budget = 64;  // enough for every term incl. 99
+  QueryCentricOverlay overlay(graph, *store, params,
+                              SynopsisPolicy::kContentCentric);
+  util::Rng rng(2);
+  GuidedSearchParams search;
+  search.ttl = 10;
+  search.match_fanout = 4;
+  search.fallback_fanout = 3;  // enough blind spread to meet a synopsis
+  const std::vector<TermId> query{99};
+  int successes = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto src = static_cast<NodeId>(rng.bounded(400));
+    successes += overlay.search(src, query, search, rng).success;
+  }
+  EXPECT_GT(successes, 20);
+}
+
+TEST_F(OverlayFixture, QueryCentricBeatsContentCentricUnderTightBudget) {
+  SynopsisParams params;
+  params.term_budget = 4;  // too small for the whole vocabulary
+
+  // Queries overwhelmingly ask for term 99 (the paper's mismatch: the
+  // content-frequent terms 1..8 are NOT what users query).
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 500; ++i) tracker.observe_query({99});
+
+  QueryCentricOverlay content(graph, *store, params,
+                              SynopsisPolicy::kContentCentric);
+  QueryCentricOverlay query_centric(graph, *store, params,
+                                    SynopsisPolicy::kQueryCentric);
+  query_centric.rebuild_synopses(&tracker);
+
+  GuidedSearchParams search;
+  search.ttl = 8;
+  search.match_fanout = 4;
+  search.fallback_fanout = 1;
+
+  const std::vector<TermId> q{99};
+  util::Rng rng_a(3), rng_b(3);
+  int content_successes = 0, query_successes = 0;
+  std::uint64_t content_msgs = 0, query_msgs = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto src = static_cast<NodeId>(rng_a.bounded(400));
+    const auto ra = content.search(src, q, search, rng_a);
+    const auto rb = query_centric.search(src, q, search, rng_b);
+    content_successes += ra.success;
+    query_successes += rb.success;
+    content_msgs += ra.messages;
+    query_msgs += rb.messages;
+  }
+  EXPECT_GT(query_successes, content_successes);
+  // And it should not be buying success with massively more messages.
+  EXPECT_LT(query_msgs, content_msgs * 3 + 100);
+}
+
+TEST_F(OverlayFixture, AdaptToTransientsPicksUpBursts) {
+  SynopsisParams params;
+  params.term_budget = 4;
+  QueryCentricOverlay overlay(graph, *store, params,
+                              SynopsisPolicy::kQueryCentric);
+  // Initially (no tracker) the niche term is not advertised.
+  EXPECT_FALSE(overlay.synopsis(17).maybe_contains(99));
+
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 1'000; ++i) tracker.observe_query({1});
+  for (int i = 0; i < 50; ++i) tracker.observe_query({99});  // burst
+  ASSERT_TRUE(tracker.is_transient(99));
+
+  overlay.adapt_to_transients(tracker);
+  EXPECT_TRUE(overlay.synopsis(17).maybe_contains(99));
+  // Peers not holding the hot term keep their synopses.
+  EXPECT_FALSE(overlay.synopsis(18).maybe_contains(99));
+}
+
+TEST_F(OverlayFixture, AdaptToTransientsIsNoopForContentCentric) {
+  SynopsisParams params;
+  params.term_budget = 4;
+  QueryCentricOverlay overlay(graph, *store, params,
+                              SynopsisPolicy::kContentCentric);
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 100; ++i) tracker.observe_query({99});
+  overlay.adapt_to_transients(tracker);
+  EXPECT_FALSE(overlay.synopsis(17).maybe_contains(99));
+}
+
+TEST_F(OverlayFixture, MessageBudgetIsHonored) {
+  SynopsisParams params;
+  QueryCentricOverlay overlay(graph, *store, params,
+                              SynopsisPolicy::kContentCentric);
+  util::Rng rng(4);
+  GuidedSearchParams search;
+  search.ttl = 20;
+  search.match_fanout = 6;
+  search.stop_after_results = 0;
+  search.message_budget = 25;
+  const std::vector<TermId> q{1};
+  const GuidedSearchResult r = overlay.search(0, q, search, rng);
+  EXPECT_LE(r.messages, 25u + 6u);  // budget checked per forward batch
+}
+
+TEST_F(OverlayFixture, EmptyQueryReturnsNothing) {
+  QueryCentricOverlay overlay(graph, *store, SynopsisParams{},
+                              SynopsisPolicy::kContentCentric);
+  util::Rng rng(5);
+  const std::vector<TermId> empty;
+  const GuidedSearchResult r =
+      overlay.search(0, empty, GuidedSearchParams{}, rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST_F(OverlayFixture, MeanSynopsisFprIsSane) {
+  SynopsisParams params;
+  params.term_budget = 64;
+  QueryCentricOverlay overlay(graph, *store, params,
+                              SynopsisPolicy::kContentCentric);
+  const double fpr = overlay.mean_synopsis_fpr();
+  EXPECT_GE(fpr, 0.0);
+  EXPECT_LT(fpr, 0.1);
+}
+
+}  // namespace
+}  // namespace qcp2p::core

@@ -1,0 +1,124 @@
+#include "src/core/synopsis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::core {
+namespace {
+
+TEST(ContentSynopsis, ContainsAdvertisedTerms) {
+  const std::vector<TermId> terms{1, 2, 3};
+  const ContentSynopsis s(terms, SynopsisParams{});
+  EXPECT_TRUE(s.maybe_contains(1));
+  EXPECT_TRUE(s.maybe_contains_all(std::vector<TermId>{1, 3}));
+  EXPECT_EQ(s.advertised_terms(), 3u);
+}
+
+TEST(ContentSynopsis, UsuallyExcludesOtherTerms) {
+  std::vector<TermId> terms;
+  for (TermId t = 0; t < 50; ++t) terms.push_back(t);
+  const ContentSynopsis s(terms, SynopsisParams{});
+  std::size_t false_positives = 0;
+  for (TermId t = 1'000; t < 3'000; ++t) false_positives += s.maybe_contains(t);
+  EXPECT_LT(false_positives, 100u);  // << 5% at 1024 bits / 50 terms
+}
+
+TEST(ContentSynopsis, EmptyQueryMatchesVacuously) {
+  const ContentSynopsis s(std::vector<TermId>{}, SynopsisParams{});
+  EXPECT_TRUE(s.maybe_contains_all(std::vector<TermId>{}));
+}
+
+TEST(SelectTerms, ValidatesInputs) {
+  const std::vector<TermId> terms{1, 2};
+  const std::vector<std::uint32_t> bad_freq{1};
+  EXPECT_THROW(select_terms(terms, bad_freq, 2,
+                            SynopsisPolicy::kContentCentric, nullptr),
+               std::invalid_argument);
+  const std::vector<std::uint32_t> freq{1, 2};
+  EXPECT_THROW(
+      select_terms(terms, freq, 2, SynopsisPolicy::kQueryCentric, nullptr),
+      std::invalid_argument);
+}
+
+TEST(SelectTerms, ContentCentricPicksLocallyFrequent) {
+  const std::vector<TermId> terms{10, 20, 30, 40};
+  const std::vector<std::uint32_t> freq{1, 9, 3, 7};
+  const auto selected = select_terms(terms, freq, 2,
+                                     SynopsisPolicy::kContentCentric, nullptr);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0], 20u);
+  EXPECT_EQ(selected[1], 40u);
+}
+
+TEST(SelectTerms, QueryCentricPicksQueriedTerms) {
+  const std::vector<TermId> terms{10, 20, 30, 40};
+  const std::vector<std::uint32_t> freq{9, 9, 1, 1};  // content loves 10,20
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 50; ++i) tracker.observe_query({30, 40});  // queries love 30,40
+  const auto selected = select_terms(terms, freq, 2,
+                                     SynopsisPolicy::kQueryCentric, &tracker);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_TRUE((selected[0] == 30 && selected[1] == 40) ||
+              (selected[0] == 40 && selected[1] == 30));
+}
+
+TEST(SelectTerms, QueryCentricFallsBackToContentOnTies) {
+  const std::vector<TermId> terms{10, 20};
+  const std::vector<std::uint32_t> freq{1, 5};
+  const TermPopularityTracker tracker;  // nothing observed: all scores 0
+  const auto selected =
+      select_terms(terms, freq, 1, SynopsisPolicy::kQueryCentric, &tracker);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], 20u);  // tie broken by local frequency
+}
+
+TEST(SelectTerms, BudgetLargerThanVocabulary) {
+  const std::vector<TermId> terms{1, 2};
+  const std::vector<std::uint32_t> freq{1, 1};
+  const auto selected = select_terms(terms, freq, 100,
+                                     SynopsisPolicy::kContentCentric, nullptr);
+  EXPECT_EQ(selected.size(), 2u);
+}
+
+TEST(BuildSynopsis, AdvertisesUpToBudget) {
+  sim::PeerStore store(1);
+  store.add_object(0, 1, {1, 2, 3});
+  store.add_object(0, 2, {2, 3, 4});
+  store.add_object(0, 3, {3});
+  store.finalize();
+
+  SynopsisParams params;
+  params.term_budget = 2;
+  const ContentSynopsis s = build_synopsis(
+      store, 0, params, SynopsisPolicy::kContentCentric, nullptr);
+  EXPECT_EQ(s.advertised_terms(), 2u);
+  // Term 3 appears in 3 objects, term 2 in 2: both must be advertised.
+  EXPECT_TRUE(s.maybe_contains(3));
+  EXPECT_TRUE(s.maybe_contains(2));
+}
+
+TEST(BuildSynopsis, QueryCentricAdvertisesQueriedNiche) {
+  sim::PeerStore store(1);
+  // The peer's library is dominated by terms 1..8, but it also holds one
+  // object with the niche term 99.
+  for (std::uint64_t o = 0; o < 8; ++o) {
+    store.add_object(0, o, {static_cast<TermId>(1 + o % 8),
+                            static_cast<TermId>(1 + (o + 1) % 8)});
+  }
+  store.add_object(0, 100, {99});
+  store.finalize();
+
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 100; ++i) tracker.observe_query({99});
+
+  SynopsisParams params;
+  params.term_budget = 1;
+  const ContentSynopsis content = build_synopsis(
+      store, 0, params, SynopsisPolicy::kContentCentric, nullptr);
+  const ContentSynopsis query = build_synopsis(
+      store, 0, params, SynopsisPolicy::kQueryCentric, &tracker);
+  EXPECT_FALSE(content.maybe_contains(99));
+  EXPECT_TRUE(query.maybe_contains(99));
+}
+
+}  // namespace
+}  // namespace qcp2p::core

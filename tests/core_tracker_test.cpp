@@ -1,0 +1,112 @@
+#include "src/core/term_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::core {
+namespace {
+
+TEST(TermPopularityTracker, UnseenTermScoresZero) {
+  const TermPopularityTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.score(7), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.burst_score(7), 0.0);
+  EXPECT_FALSE(tracker.is_transient(7));
+}
+
+TEST(TermPopularityTracker, ScoreAccumulates) {
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 10; ++i) tracker.observe_query({1});
+  EXPECT_GT(tracker.score(1), 5.0);
+  EXPECT_EQ(tracker.tracked_terms(), 1u);
+}
+
+TEST(TermPopularityTracker, ScoresDecayOverTime) {
+  TrackerParams params;
+  params.fast_halflife = 100.0;
+  params.slow_halflife = 1'000.0;
+  TermPopularityTracker tracker(params);
+  for (int i = 0; i < 50; ++i) tracker.observe_query({1});
+  const double before_fast = tracker.burst_score(1);
+  const double before_slow = tracker.score(1);
+  tracker.tick(1'000.0);  // a long quiet period
+  EXPECT_LT(tracker.burst_score(1), before_fast * 0.01);
+  EXPECT_LT(tracker.score(1), before_slow);
+  EXPECT_GT(tracker.score(1), before_slow * 0.3);  // slow decays slower
+}
+
+TEST(TermPopularityTracker, DetectsFreshBurst) {
+  TermPopularityTracker tracker;
+  // Background traffic on other terms establishes the clock.
+  for (int i = 0; i < 2'000; ++i) tracker.observe_query({1, 2});
+  EXPECT_FALSE(tracker.is_transient(999));
+  // Sudden burst of a never-seen term.
+  for (int i = 0; i < 30; ++i) tracker.observe_query({999});
+  EXPECT_TRUE(tracker.is_transient(999));
+  // The steady background terms are NOT transient.
+  EXPECT_FALSE(tracker.is_transient(1));
+  EXPECT_FALSE(tracker.is_transient(2));
+}
+
+TEST(TermPopularityTracker, SteadyTermNeverTransient) {
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 20'000; ++i) tracker.observe_query({5});
+  EXPECT_FALSE(tracker.is_transient(5));
+}
+
+TEST(TermPopularityTracker, BurstFadesAfterQuietPeriod) {
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 2'000; ++i) tracker.observe_query({1});
+  for (int i = 0; i < 30; ++i) tracker.observe_query({999});
+  ASSERT_TRUE(tracker.is_transient(999));
+  tracker.tick(20'000.0);
+  EXPECT_FALSE(tracker.is_transient(999));
+}
+
+TEST(TermPopularityTracker, TopTermsRankByScore) {
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 100; ++i) tracker.observe_query({1});
+  for (int i = 0; i < 50; ++i) tracker.observe_query({2});
+  for (int i = 0; i < 10; ++i) tracker.observe_query({3});
+  const auto top = tracker.top_terms(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+  EXPECT_EQ(tracker.top_terms(99).size(), 3u);
+}
+
+TEST(TermPopularityTracker, FreshBurstSurfacesInTopTerms) {
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 5'000; ++i) tracker.observe_query({1, 2, 3});
+  // A hot new term with modest absolute count must beat decayed old ones
+  // quickly through the fast counter.
+  for (int i = 0; i < 400; ++i) tracker.observe_query({777});
+  const auto top = tracker.top_terms(4);
+  EXPECT_NE(std::find(top.begin(), top.end(), 777u), top.end());
+}
+
+TEST(TermPopularityTracker, TransientTermsListMatchesPredicate) {
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 2'000; ++i) tracker.observe_query({1});
+  for (int i = 0; i < 40; ++i) tracker.observe_query({10, 11});
+  const auto hot = tracker.transient_terms();
+  for (TermId t : hot) EXPECT_TRUE(tracker.is_transient(t));
+  EXPECT_NE(std::find(hot.begin(), hot.end(), 10u), hot.end());
+}
+
+TEST(TermPopularityTracker, CompactDropsColdEntries) {
+  TermPopularityTracker tracker;
+  tracker.observe_query({1});
+  for (int i = 0; i < 500; ++i) tracker.observe_query({2});
+  tracker.tick(3'000'000.0);  // 60 slow half-lives: scores -> ~0
+  tracker.compact(1e-3);
+  EXPECT_EQ(tracker.tracked_terms(), 0u);  // everything decayed to dust
+}
+
+TEST(TermPopularityTracker, CompactKeepsHotEntries) {
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 500; ++i) tracker.observe_query({2});
+  tracker.compact(1e-3);
+  EXPECT_EQ(tracker.tracked_terms(), 1u);
+}
+
+}  // namespace
+}  // namespace qcp2p::core

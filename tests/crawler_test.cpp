@@ -1,0 +1,129 @@
+#include "src/crawler/crawler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/analysis/replication.hpp"
+#include "src/overlay/topology.hpp"
+#include "src/util/stats.hpp"
+
+namespace qcp2p::crawler {
+namespace {
+
+trace::ContentModelParams model_params() {
+  trace::ContentModelParams p;
+  p.core_lexicon_size = 2'000;
+  p.catalog_songs = 30'000;
+  p.artists = 5'000;
+  p.tail_lexicon_size = 60'000;
+  p.seed = 61;
+  return p;
+}
+
+struct CrawlerFixture : ::testing::Test {
+  CrawlerFixture() : model(model_params()) {
+    trace::GnutellaCrawlParams cp;
+    cp.num_peers = 800;
+    cp.mean_objects_per_peer = 60;
+    truth = std::make_unique<trace::CrawlSnapshot>(
+        generate_gnutella_crawl(model, cp));
+    util::Rng rng(8);
+    graph = overlay::random_regular(800, 6, rng);
+  }
+  trace::ContentModel model;
+  std::unique_ptr<trace::CrawlSnapshot> truth;
+  overlay::Graph graph{0};
+};
+
+TEST_F(CrawlerFixture, PerfectCrawlerSeesEverything) {
+  CrawlerParams params;
+  params.p_unreachable = 0.0;
+  params.p_protected = 0.0;
+  params.p_busy = 0.0;
+  const Crawler crawler(params);
+  const FileCrawl result = crawler.crawl(graph, *truth);
+  EXPECT_EQ(result.succeeded, truth->num_peers());
+  EXPECT_EQ(result.observed.total_objects(), truth->total_objects());
+  EXPECT_EQ(result.unreachable + result.refused + result.busy_failed, 0u);
+}
+
+TEST_F(CrawlerFixture, TopologyCrawlDiscoversDespiteUnreachablePeers) {
+  CrawlerParams params;
+  params.p_unreachable = 0.2;
+  const Crawler crawler(params);
+  const TopologyCrawl topo = crawler.crawl_topology(graph, {0});
+  // Unresponsive peers are still discovered through others' lists.
+  EXPECT_GT(topo.discovered.size(), topo.responsive.size());
+  EXPECT_GT(static_cast<double>(topo.discovered.size()),
+            0.9 * static_cast<double>(graph.num_nodes()));
+  EXPECT_NEAR(static_cast<double>(topo.responsive.size()) /
+                  static_cast<double>(topo.contact_attempts),
+              0.8, 0.06);
+}
+
+TEST_F(CrawlerFixture, FullyUnreachableNetworkYieldsOnlySeeds) {
+  CrawlerParams params;
+  params.p_unreachable = 1.0;
+  const Crawler crawler(params);
+  const TopologyCrawl topo = crawler.crawl_topology(graph, {5});
+  EXPECT_TRUE(topo.responsive.empty());
+  EXPECT_EQ(topo.discovered, (std::vector<NodeId>{5}));
+}
+
+TEST_F(CrawlerFixture, FailureAccountingIsConsistent) {
+  const Crawler crawler;  // default failure mix
+  const FileCrawl result = crawler.crawl(graph, *truth);
+  EXPECT_EQ(result.attempted, result.succeeded + result.unreachable +
+                                  result.refused + result.busy_failed);
+  EXPECT_GT(result.unreachable, 0u);
+  EXPECT_GT(result.refused, 0u);
+  EXPECT_EQ(result.observed.num_peers(), result.succeeded);
+}
+
+TEST_F(CrawlerFixture, CrawlIsDeterministic) {
+  const Crawler crawler;
+  const FileCrawl a = crawler.crawl(graph, *truth);
+  const FileCrawl b = crawler.crawl(graph, *truth);
+  EXPECT_EQ(a.succeeded, b.succeeded);
+  EXPECT_EQ(a.observed.total_objects(), b.observed.total_objects());
+}
+
+TEST_F(CrawlerFixture, DuplicatePeerListIsContactedOnce) {
+  const Crawler crawler;
+  std::vector<NodeId> peers{1, 2, 2, 1, 3};
+  const FileCrawl result = crawler.crawl_files(*truth, peers);
+  EXPECT_EQ(result.attempted, 3u);
+}
+
+TEST_F(CrawlerFixture, OutOfRangePeersAreIgnored) {
+  const Crawler crawler;
+  const FileCrawl result =
+      crawler.crawl_files(*truth, {0, 1, 999'999});
+  EXPECT_EQ(result.attempted, 2u);
+}
+
+// The experiment behind bench/exp_crawl_bias: the observed (lossy)
+// crawl's replication marginals track the ground truth.
+TEST_F(CrawlerFixture, LossyCrawlPreservesReplicationShape) {
+  const Crawler crawler;  // ~35-40% loss
+  const FileCrawl result = crawler.crawl(graph, *truth);
+  ASSERT_GT(result.succeeded, truth->num_peers() / 2);
+
+  const auto truth_counts = truth->object_replica_counts();
+  const auto observed_counts = result.observed.object_replica_counts();
+  const double truth_singleton = util::singleton_fraction(truth_counts);
+  const double observed_singleton = util::singleton_fraction(observed_counts);
+  // Subsampling peers pushes singletons slightly UP (copies get lost),
+  // but the shape is stable.
+  EXPECT_GT(observed_singleton, truth_singleton - 0.02);
+  EXPECT_LT(observed_singleton, truth_singleton + 0.12);
+  // The observed names still realize identically.
+  const auto& lib = result.observed.peer_objects(0);
+  if (!lib.empty()) {
+    EXPECT_FALSE(result.observed.object_name(lib[0]).empty());
+  }
+}
+
+}  // namespace
+}  // namespace qcp2p::crawler

@@ -1,0 +1,89 @@
+#include "src/des/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::des {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimestampsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule(1.0, recurse);
+  };
+  sim.schedule(0.0, recurse);
+  EXPECT_EQ(sim.run(), 5u);
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, RejectsNegativeDelay) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule(t, [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run_until(2.5), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulator, ClearDropsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.clear();
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, RelativeDelaysCompose) {
+  Simulator sim;
+  double second_fire_time = -1.0;
+  sim.schedule(2.0, [&] {
+    sim.schedule(3.0, [&] { second_fire_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second_fire_time, 5.0);
+}
+
+TEST(Simulator, ExecutedAccumulatesAcrossRuns) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.run();
+  sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 2u);
+}
+
+}  // namespace
+}  // namespace qcp2p::des

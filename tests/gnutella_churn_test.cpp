@@ -1,0 +1,113 @@
+// Protocol-level churn: servent connection management, bounded route
+// tables, and tracker persistence across "restarts".
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <sstream>
+
+#include "src/core/term_tracker.hpp"
+#include "src/gnutella/servent.hpp"
+
+namespace qcp2p::gnutella {
+namespace {
+
+TEST(ServentChurn, AddRemoveNeighbors) {
+  sim::PeerStore store(4);
+  store.finalize();
+  Servent s(0, &store, {1, 2});
+  EXPECT_FALSE(s.add_neighbor(1));   // already connected
+  EXPECT_FALSE(s.add_neighbor(0));   // self
+  EXPECT_TRUE(s.add_neighbor(3));
+  EXPECT_EQ(s.neighbors().size(), 3u);
+  EXPECT_TRUE(s.remove_neighbor(1));
+  EXPECT_FALSE(s.remove_neighbor(1));  // already gone
+  EXPECT_EQ(s.neighbors().size(), 2u);
+}
+
+TEST(ServentChurn, DroppedNeighborStopsReceivingForwards) {
+  sim::PeerStore store(3);
+  store.finalize();
+  Servent s(0, &store, {1, 2});
+  s.remove_neighbor(2);
+  std::vector<NodeId> recipients;
+  util::Rng rng(1);
+  s.originate_query({7}, 5, rng, [&](NodeId to, const Descriptor&) {
+    recipients.push_back(to);
+  });
+  EXPECT_EQ(recipients, (std::vector<NodeId>{1}));
+}
+
+TEST(ServentChurn, RouteExpiryBoundsTheTableAndDropsLateHits) {
+  sim::PeerStore store(2);
+  store.finalize();
+  Servent s(0, &store, {1});
+  util::Rng rng(2);
+  const Servent::SendFn discard = [](NodeId, const Descriptor&) {};
+
+  // Originate many queries, keeping only the freshest 10 routes.
+  std::deque<Guid> guids;
+  for (int i = 0; i < 50; ++i) {
+    guids.push_back(s.originate_query({7}, 1, rng, discard));
+    s.expire_routes(10);
+  }
+  EXPECT_LE(s.route_table_size(), 10u);
+
+  // A hit for an expired (early) GUID is silently dropped...
+  std::size_t delivered = 0;
+  const Servent::HitFn on_hit = [&](const Descriptor&) { ++delivered; };
+  Descriptor late;
+  late.header.type = DescriptorType::kQueryHit;
+  late.header.guid = guids.front();
+  s.handle(1, late, discard, on_hit);
+  EXPECT_EQ(delivered, 0u);
+
+  // ...while a hit for a fresh GUID still comes home.
+  Descriptor fresh;
+  fresh.header.type = DescriptorType::kQueryHit;
+  fresh.header.guid = guids.back();
+  s.handle(1, fresh, discard, on_hit);
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(TrackerPersistence, SaveLoadRoundTrip) {
+  core::TermPopularityTracker tracker;
+  for (int i = 0; i < 500; ++i) tracker.observe_query({1, 2});
+  for (int i = 0; i < 40; ++i) tracker.observe_query({99});
+
+  std::stringstream buffer;
+  tracker.save(buffer);
+  const core::TermPopularityTracker restored =
+      core::TermPopularityTracker::load(buffer);
+
+  EXPECT_NEAR(restored.score(1), tracker.score(1), 1e-9);
+  EXPECT_NEAR(restored.burst_score(99), tracker.burst_score(99), 1e-9);
+  EXPECT_EQ(restored.is_transient(99), tracker.is_transient(99));
+  EXPECT_EQ(restored.tracked_terms(), tracker.tracked_terms());
+  EXPECT_DOUBLE_EQ(restored.clock(), tracker.clock());
+  EXPECT_EQ(restored.top_terms(3), tracker.top_terms(3));
+}
+
+TEST(TrackerPersistence, RejectsGarbage) {
+  std::stringstream bad("not a tracker\n");
+  EXPECT_THROW((void)core::TermPopularityTracker::load(bad),
+               std::runtime_error);
+  std::stringstream no_clock("tracker v1\n");
+  EXPECT_THROW((void)core::TermPopularityTracker::load(no_clock),
+               std::runtime_error);
+}
+
+TEST(TrackerPersistence, RestoredTrackerKeepsLearning) {
+  core::TermPopularityTracker tracker;
+  for (int i = 0; i < 2'000; ++i) tracker.observe_query({1});
+  std::stringstream buffer;
+  tracker.save(buffer);
+  core::TermPopularityTracker restored =
+      core::TermPopularityTracker::load(buffer);
+  // The restored peer sees a fresh burst and flags it immediately.
+  for (int i = 0; i < 30; ++i) restored.observe_query({777});
+  EXPECT_TRUE(restored.is_transient(777));
+  EXPECT_FALSE(restored.is_transient(1));
+}
+
+}  // namespace
+}  // namespace qcp2p::gnutella

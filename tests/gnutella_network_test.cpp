@@ -1,0 +1,145 @@
+// Latency-aware protocol simulation, cross-validated against the
+// synchronous sim::flood abstraction.
+#include "src/gnutella/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/overlay/topology.hpp"
+#include "src/sim/flood.hpp"
+
+namespace qcp2p::gnutella {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  NetFixture() : store(200) {
+    util::Rng rng(3);
+    graph = overlay::random_regular(200, 6, rng);
+    // A few holders of the target object; everyone holds noise.
+    for (NodeId v = 0; v < 200; ++v) {
+      store.add_object(v, 10'000 + v, {static_cast<TermId>(100 + v % 5)});
+    }
+    for (NodeId v : {20u, 90u, 150u}) {
+      store.add_object(v, 777, {42});
+      holders.push_back(v);
+    }
+    store.finalize();
+  }
+  overlay::Graph graph{0};
+  sim::PeerStore store;
+  std::vector<NodeId> holders;
+};
+
+TEST_F(NetFixture, QueryFindsHoldersWithTimedHits) {
+  GnutellaNetwork net(graph, store);
+  const QueryOutcome out = net.query(0, {42}, 7);
+  ASSERT_FALSE(out.hits.empty());
+  ASSERT_TRUE(out.first_hit().has_value());
+  EXPECT_GT(*out.first_hit(), 0.0);
+  // Hits arrive in nondecreasing time.
+  for (std::size_t i = 1; i < out.hits.size(); ++i) {
+    EXPECT_GE(out.hits[i].at, out.hits[i - 1].at);
+  }
+  for (const auto& hit : out.hits) {
+    EXPECT_NE(std::find(holders.begin(), holders.end(), hit.responder),
+              holders.end());
+    EXPECT_EQ(hit.objects, 1u);
+  }
+}
+
+TEST_F(NetFixture, UniformLatencyMatchesSynchronousFloodReach) {
+  // With equal link latencies, descriptor arrival order equals BFS hop
+  // order, so the set of peers that evaluate the query equals the
+  // synchronous flood's probe set exactly.
+  NetworkParams params;
+  params.min_link_latency_s = 0.05;
+  params.max_link_latency_s = 0.05;
+  GnutellaNetwork net(graph, store, params);
+
+  constexpr std::uint8_t kTtl = 3;
+  const QueryOutcome out = net.query(7, {42}, kTtl);
+
+  const sim::FloodSearchResult reference =
+      sim::flood_search(graph, store, 7, std::vector<TermId>{42}, kTtl);
+  // Responder sets must agree: protocol hits == flood-probed holders.
+  std::unordered_set<NodeId> protocol_responders;
+  for (const auto& hit : out.hits) protocol_responders.insert(hit.responder);
+
+  std::unordered_set<NodeId> flood_responders;
+  const sim::FloodResult coverage = sim::flood(graph, 7, kTtl);
+  for (NodeId v : coverage.reached) {
+    if (!store.match(v, std::vector<TermId>{42}).empty()) {
+      flood_responders.insert(v);
+    }
+  }
+  if (!store.match(7, std::vector<TermId>{42}).empty()) {
+    flood_responders.insert(7);
+  }
+  EXPECT_EQ(protocol_responders, flood_responders);
+  EXPECT_EQ(out.hits.empty(), reference.results.empty());
+}
+
+TEST_F(NetFixture, RandomLatencyReachIsSubsetOfBfsReach) {
+  // Fast long paths can burn TTL early, so the protocol may reach fewer
+  // peers than ideal BFS — never more.
+  GnutellaNetwork net(graph, store);
+  constexpr std::uint8_t kTtl = 3;
+  const QueryOutcome out = net.query(11, {100}, kTtl);
+
+  const sim::FloodResult coverage = sim::flood(graph, 11, kTtl);
+  std::unordered_set<NodeId> bfs_set(coverage.reached.begin(),
+                                     coverage.reached.end());
+  bfs_set.insert(11);
+  for (const auto& hit : out.hits) {
+    EXPECT_TRUE(bfs_set.count(hit.responder))
+        << "responder " << hit.responder << " outside BFS reach";
+  }
+}
+
+TEST_F(NetFixture, FirstHitTimeRoughlyTracksHopDistance) {
+  NetworkParams params;
+  params.min_link_latency_s = 0.1;
+  params.max_link_latency_s = 0.1;
+  GnutellaNetwork net(graph, store, params);
+  const QueryOutcome out = net.query(0, {42}, 7);
+  ASSERT_TRUE(out.first_hit().has_value());
+  // Round trip of h hops at 0.1s per hop: at least 2 links (out + back).
+  EXPECT_GE(*out.first_hit(), 0.2 - 1e-9);
+  // And bounded by the TTL-limited round trip.
+  EXPECT_LE(*out.first_hit(), 2 * 7 * 0.1 + 1e-9);
+}
+
+TEST_F(NetFixture, PingDiscoversTtlNeighborhood) {
+  NetworkParams params;
+  params.min_link_latency_s = 0.05;
+  params.max_link_latency_s = 0.05;
+  GnutellaNetwork net(graph, store, params);
+  const PingOutcome out = net.ping(3, 2);
+
+  const sim::FloodResult coverage = sim::flood(graph, 3, 2);
+  EXPECT_EQ(out.pongs.size(), coverage.reached.size());
+  // Every pong reports the responder's true library size.
+  for (const PongPayload& p : out.pongs) {
+    EXPECT_EQ(p.shared_files, store.objects(p.responder).size());
+  }
+}
+
+TEST_F(NetFixture, SuccessiveQueriesAreIndependent) {
+  GnutellaNetwork net(graph, store);
+  const QueryOutcome a = net.query(0, {42}, 7);
+  const QueryOutcome b = net.query(0, {42}, 7);
+  EXPECT_FALSE(a.guid == b.guid);
+  EXPECT_EQ(a.hits.size(), b.hits.size());
+}
+
+TEST_F(NetFixture, NoHitsForUnknownTerm) {
+  GnutellaNetwork net(graph, store);
+  const QueryOutcome out = net.query(0, {999'999}, 7);
+  EXPECT_TRUE(out.hits.empty());
+  EXPECT_GT(out.messages, 0u);  // the flood still cost messages
+}
+
+}  // namespace
+}  // namespace qcp2p::gnutella

@@ -1,0 +1,175 @@
+// Servent state machine tested in isolation with a synchronous queue
+// (no latency): verifies GUID dedup, TTL/hops semantics and reverse-path
+// hit routing on hand-built topologies.
+#include "src/gnutella/servent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+namespace qcp2p::gnutella {
+namespace {
+
+/// Synchronous fixture: delivers descriptors breadth-first.
+struct Harness {
+  explicit Harness(std::size_t n, const sim::PeerStore* store,
+                   const std::vector<std::vector<NodeId>>& adjacency) {
+    for (NodeId v = 0; v < n; ++v) {
+      servents.emplace_back(v, store, adjacency[v]);
+    }
+  }
+
+  void pump() {
+    while (!queue.empty()) {
+      auto [from, to, d] = queue.front();
+      queue.pop_front();
+      ++delivered;
+      servents[to].handle(
+          from, d,
+          [&, to = to](NodeId next, const Descriptor& out) {
+            queue.emplace_back(to, next, out);
+          },
+          [&](const Descriptor& hit) { arrived.push_back(hit); });
+    }
+  }
+
+  void send_from(NodeId origin, NodeId to, const Descriptor& d) {
+    queue.emplace_back(origin, to, d);
+  }
+
+  std::vector<Servent> servents;
+  std::deque<std::tuple<NodeId, NodeId, Descriptor>> queue;
+  std::vector<Descriptor> arrived;
+  std::size_t delivered = 0;
+};
+
+/// Line topology 0-1-2-3-4 with an object at the far end.
+struct LineFixture : ::testing::Test {
+  LineFixture() : store(5) {
+    store.add_object(4, 999, {7, 8});
+    store.finalize();
+    adjacency = {{1}, {0, 2}, {1, 3}, {2, 4}, {3}};
+  }
+  sim::PeerStore store;
+  std::vector<std::vector<NodeId>> adjacency;
+};
+
+TEST_F(LineFixture, QueryHitRoutesBackAlongReversePath) {
+  Harness h(5, &store, adjacency);
+  util::Rng rng(1);
+  const Servent::SendFn send = [&](NodeId to, const Descriptor& d) {
+    h.send_from(0, to, d);
+  };
+  const Guid guid =
+      h.servents[0].originate_query({7, 8}, /*ttl=*/5, rng, send);
+  h.pump();
+
+  ASSERT_EQ(h.arrived.size(), 1u);
+  EXPECT_EQ(h.arrived[0].header.type, DescriptorType::kQueryHit);
+  EXPECT_EQ(h.arrived[0].header.guid, guid);
+  EXPECT_EQ(h.arrived[0].hit.responder, 4u);
+  EXPECT_EQ(h.arrived[0].hit.object_ids, (std::vector<std::uint64_t>{999}));
+}
+
+TEST_F(LineFixture, TtlLimitsQueryReach) {
+  Harness h(5, &store, adjacency);
+  util::Rng rng(2);
+  const Servent::SendFn send = [&](NodeId to, const Descriptor& d) {
+    h.send_from(0, to, d);
+  };
+  // TTL 3 reaches node 3 but not node 4 (the holder): no hit.
+  h.servents[0].originate_query({7, 8}, 3, rng, send);
+  h.pump();
+  EXPECT_TRUE(h.arrived.empty());
+  // Node 4 never saw a descriptor.
+  EXPECT_EQ(h.servents[4].descriptors_seen(), 0u);
+}
+
+TEST_F(LineFixture, ZeroTtlQuerySendsNothing) {
+  Harness h(5, &store, adjacency);
+  util::Rng rng(3);
+  const Servent::SendFn send = [&](NodeId to, const Descriptor& d) {
+    h.send_from(0, to, d);
+  };
+  h.servents[0].originate_query({7}, 0, rng, send);
+  h.pump();
+  EXPECT_EQ(h.delivered, 0u);
+}
+
+TEST(Servent, DuplicateGuidsAreDropped) {
+  sim::PeerStore store(3);
+  store.finalize();
+  // Triangle: 0-1, 1-2, 0-2. A query from 0 reaches 1 and 2 directly,
+  // and each relays to the other -> one duplicate at each.
+  const std::vector<std::vector<NodeId>> adjacency{{1, 2}, {0, 2}, {0, 1}};
+  Harness h(3, &store, adjacency);
+  util::Rng rng(4);
+  const Servent::SendFn send = [&](NodeId to, const Descriptor& d) {
+    h.send_from(0, to, d);
+  };
+  h.servents[0].originate_query({1}, 7, rng, send);
+  h.pump();
+  EXPECT_EQ(h.servents[1].duplicates_dropped(), 1u);
+  EXPECT_EQ(h.servents[2].duplicates_dropped(), 1u);
+  // Total deliveries: 0->{1,2} (2), then the 1->2 and 2->1 relays (2);
+  // relays never return to their sender, so nothing reaches 0 again.
+  EXPECT_EQ(h.delivered, 4u);
+}
+
+TEST(Servent, PongCarriesLibrarySizeAndRoutesBack) {
+  sim::PeerStore store(3);
+  store.add_object(2, 1, {5});
+  store.add_object(2, 2, {6});
+  store.finalize();
+  const std::vector<std::vector<NodeId>> adjacency{{1}, {0, 2}, {1}};
+  Harness h(3, &store, adjacency);
+  util::Rng rng(5);
+  const Servent::SendFn send = [&](NodeId to, const Descriptor& d) {
+    h.send_from(0, to, d);
+  };
+  h.servents[0].originate_ping(7, rng, send);
+  h.pump();
+  ASSERT_EQ(h.arrived.size(), 2u);  // pongs from 1 and 2
+  std::size_t lib2 = 0;
+  for (const Descriptor& d : h.arrived) {
+    EXPECT_EQ(d.header.type, DescriptorType::kPong);
+    if (d.pong.responder == 2) lib2 = d.pong.shared_files;
+  }
+  EXPECT_EQ(lib2, 2u);
+}
+
+TEST(Servent, MultipleHoldersAllRespond) {
+  sim::PeerStore store(4);
+  store.add_object(1, 10, {3});
+  store.add_object(2, 20, {3});
+  store.add_object(3, 30, {3});
+  store.finalize();
+  // Star around 0.
+  const std::vector<std::vector<NodeId>> adjacency{
+      {1, 2, 3}, {0}, {0}, {0}};
+  Harness h(4, &store, adjacency);
+  util::Rng rng(6);
+  const Servent::SendFn send = [&](NodeId to, const Descriptor& d) {
+    h.send_from(0, to, d);
+  };
+  h.servents[0].originate_query({3}, 2, rng, send);
+  h.pump();
+  EXPECT_EQ(h.arrived.size(), 3u);
+}
+
+TEST(Servent, HitForUnknownGuidIsDropped) {
+  sim::PeerStore store(2);
+  store.finalize();
+  const std::vector<std::vector<NodeId>> adjacency{{1}, {0}};
+  Harness h(2, &store, adjacency);
+  Descriptor stray;
+  stray.header.type = DescriptorType::kQueryHit;
+  stray.header.guid = Guid{123, 456};  // never originated here
+  stray.hit.responder = 1;
+  h.send_from(1, 0, stray);
+  h.pump();
+  EXPECT_TRUE(h.arrived.empty());  // no route, silently dropped
+}
+
+}  // namespace
+}  // namespace qcp2p::gnutella

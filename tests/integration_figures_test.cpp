@@ -1,0 +1,205 @@
+// End-to-end integration tests: each paper figure's pipeline is run at a
+// tiny scale and its *shape* asserted — the same code paths as the bench
+// binaries, faster and deterministic.
+#include <gtest/gtest.h>
+
+#include "src/analysis/query_analysis.hpp"
+#include "src/analysis/replication.hpp"
+#include "src/overlay/topology.hpp"
+#include "src/sim/dht.hpp"
+#include "src/sim/flood.hpp"
+#include "src/sim/hybrid.hpp"
+#include "src/trace/gnutella.hpp"
+#include "src/trace/itunes.hpp"
+#include "src/trace/query_trace.hpp"
+#include "src/util/stats.hpp"
+
+namespace qcp2p {
+namespace {
+
+using overlay::NodeId;
+
+trace::ContentModelParams tiny_model_params() {
+  trace::ContentModelParams p;
+  p.core_lexicon_size = 3'000;
+  p.catalog_songs = 40'000;
+  p.artists = 25'000;
+  p.seed = 101;
+  return p;
+}
+
+struct PipelineFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    model = new trace::ContentModel(tiny_model_params());
+    trace::GnutellaCrawlParams cp = trace::GnutellaCrawlParams{}.scaled(0.02);
+    cp.seed = 7;
+    crawl = new trace::CrawlSnapshot(
+        trace::generate_gnutella_crawl(*model, cp));
+    trace::QueryTraceParams qp;
+    qp.num_queries = 150'000;
+    qp.duration_hours = 84.0;
+    qp.background_lexicon = 30'000;
+    qp.seed = 13;
+    queries = new trace::QueryTrace(trace::generate_query_trace(*model, qp));
+  }
+  static void TearDownTestSuite() {
+    delete queries;
+    delete crawl;
+    delete model;
+    queries = nullptr;
+    crawl = nullptr;
+    model = nullptr;
+  }
+
+  static trace::ContentModel* model;
+  static trace::CrawlSnapshot* crawl;
+  static trace::QueryTrace* queries;
+};
+
+trace::ContentModel* PipelineFixture::model = nullptr;
+trace::CrawlSnapshot* PipelineFixture::crawl = nullptr;
+trace::QueryTrace* PipelineFixture::queries = nullptr;
+
+// Fig 1-3 shape: long tail across objects, sanitized objects, and terms.
+TEST_F(PipelineFixture, Fig1To3LongTails) {
+  const auto objects = crawl->object_replica_counts();
+  const auto sanitized = crawl->sanitized_replica_counts();
+  const auto terms = crawl->term_peer_counts();
+  for (const auto& counts : {objects, sanitized, terms}) {
+    const auto s = analysis::summarize_replication(counts, crawl->num_peers());
+    EXPECT_GT(s.singleton_fraction, 0.5);
+    // Paper's cut is "on <= 37 peers"; the absolute cut transfers to the
+    // scaled crawl because per-object replica counts are preserved.
+    EXPECT_GT(util::fraction_at_or_below(counts, 37), 0.95);
+  }
+  EXPECT_LT(sanitized.size(), objects.size());
+}
+
+// Fig 4 shape: iTunes annotations are long-tailed too.
+TEST_F(PipelineFixture, Fig4ItunesAnnotations) {
+  trace::ItunesCrawlParams ip;
+  ip.num_clients = 60;
+  ip.mean_tracks_per_client = 400;
+  const trace::ItunesSnapshot snap = generate_itunes_crawl(*model, ip);
+  EXPECT_GT(util::singleton_fraction(snap.song_client_counts()), 0.4);
+  EXPECT_GT(util::singleton_fraction(snap.album_client_counts()), 0.3);
+  EXPECT_GT(util::singleton_fraction(snap.artist_client_counts()), 0.2);
+}
+
+// Fig 5/6/7 shape: transients exist but are few; the popular set is
+// stable; the query/file overlap is low — and stability >> disconnect.
+TEST_F(PipelineFixture, Fig5To7TemporalProperties) {
+  // 2-hour intervals keep per-interval counts near the paper's density
+  // at this reduced trace volume.
+  const analysis::QueryTermAnalyzer analyzer(
+      queries->queries(), queries->duration_s(), 7'200.0, 0.10);
+
+  const auto transients =
+      analyzer.transient_count_series(analysis::TransientPolicy{});
+  util::RunningStats transient_stats;
+  for (auto c : transients) transient_stats.add(c);
+  EXPECT_LT(transient_stats.mean(), 10.0);   // "overall mean was low"
+  EXPECT_GT(transient_stats.max(), 0.0);     // but bursts do occur
+
+  analysis::PopularPolicy policy;
+  policy.top_k = 50;
+  const auto stability = analyzer.stability_series(policy);
+  ASSERT_GT(stability.size(), 10u);
+  // Skip the warm-up the paper also excludes; then require a high mean.
+  util::RunningStats stab;
+  for (std::size_t i = stability.size() / 4; i < stability.size(); ++i) {
+    stab.add(stability[i]);
+  }
+  EXPECT_GT(stab.mean(), 0.80);
+
+  const auto file_terms = crawl->popular_file_terms(50);
+  const auto disconnect = analyzer.disconnect_series(file_terms, policy);
+  util::RunningStats disc;
+  for (double j : disconnect) disc.add(j);
+  EXPECT_LT(disc.mean(), 0.25);       // paper: < 20%, ~15%
+  EXPECT_GT(disc.mean(), 0.01);       // but not fully disjoint
+  EXPECT_GT(stab.mean(), 3.0 * disc.mean());
+}
+
+// Fig 8 shape: Zipf placement tracks the WORST uniform curve, and the
+// uniform curves order by replication ratio.
+TEST_F(PipelineFixture, Fig8ZipfVsUniformFloodSuccess) {
+  constexpr std::size_t kNodes = 4'000;  // scaled-down 40k
+  util::Rng rng(3);
+  overlay::TwoTierParams tp;
+  tp.num_nodes = kNodes;
+  const overlay::TwoTierTopology topo = overlay::gnutella_two_tier(tp, rng);
+
+  const auto crawl_counts = crawl->object_replica_counts();
+  constexpr int kTrials = 400;
+  constexpr std::uint32_t kTtl = 3;
+
+  sim::FloodEngine engine(topo.graph);
+  auto success_rate = [&](const std::vector<std::uint64_t>& counts) {
+    util::Rng prng(17);
+    const sim::Placement placement =
+        sim::place_by_counts(counts, kNodes, prng);
+    int ok = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto src = static_cast<NodeId>(prng.bounded(kNodes));
+      const auto obj = prng.bounded(placement.num_objects());
+      ok += engine.reaches_any(src, kTtl, placement.holders[obj],
+                               &topo.is_ultrapeer);
+    }
+    return static_cast<double>(ok) / kTrials;
+  };
+
+  // Uniform curves: 2 vs 40 copies (0.05% vs 1% at this scale).
+  const double uni2 = success_rate(std::vector<std::uint64_t>(500, 2));
+  const double uni40 = success_rate(std::vector<std::uint64_t>(500, 40));
+  util::Rng sample_rng(5);
+  const double zipf = success_rate(
+      sim::sample_replica_counts(crawl_counts, 2'000, sample_rng));
+
+  EXPECT_GT(uni40, uni2);
+  EXPECT_LT(zipf, uni40 * 0.7);  // Zipf far below the high-uniform curve
+  EXPECT_LE(zipf, uni2 + 0.25);  // and near the bottom curve
+}
+
+// Section V/VII: hybrid pays flood + DHT almost every time under Zipf
+// content, so it costs more messages than DHT-only at equal success.
+TEST_F(PipelineFixture, HybridCostsMoreThanDhtUnderZipf) {
+  constexpr std::size_t kNodes = 600;
+  util::Rng rng(9);
+  const overlay::Graph graph = overlay::random_regular(kNodes, 8, rng);
+  const sim::PeerStore store = sim::peer_store_from_crawl(*crawl, kNodes);
+  sim::ChordDht dht(kNodes);
+  dht.publish_store(store);
+
+  sim::HybridParams hp;
+  hp.flood_ttl = 2;
+  hp.rare_cutoff = 20;
+
+  // Queries drawn from real object annotations (so DHT can resolve them).
+  util::Rng qrng(31);
+  std::uint64_t hybrid_msgs = 0, dht_msgs = 0;
+  int hybrid_ok = 0, dht_ok = 0, trials = 0;
+  for (int t = 0; t < 60; ++t) {
+    const auto peer = static_cast<NodeId>(qrng.bounded(kNodes));
+    if (store.objects(peer).empty()) continue;
+    const auto& obj =
+        store.objects(peer)[qrng.bounded(store.objects(peer).size())];
+    if (obj.terms.empty()) continue;
+    std::vector<sim::TermId> q{obj.terms[qrng.bounded(obj.terms.size())]};
+    const auto src = static_cast<NodeId>(qrng.bounded(kNodes));
+
+    const auto hr = sim::hybrid_search(graph, store, dht, src, q, hp);
+    const auto dr = sim::dht_only_search(dht, src, q);
+    hybrid_msgs += hr.total_messages();
+    dht_msgs += dr.total_messages();
+    hybrid_ok += hr.success();
+    dht_ok += dr.success();
+    ++trials;
+  }
+  ASSERT_GT(trials, 30);
+  EXPECT_GE(hybrid_ok, dht_ok);  // hybrid can only add results
+  EXPECT_GT(hybrid_msgs, dht_msgs);  // ...but pays the failed floods
+}
+
+}  // namespace
+}  // namespace qcp2p

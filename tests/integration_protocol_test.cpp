@@ -1,0 +1,158 @@
+// Cross-layer integration: the protocol-level Gnutella network, the QRP
+// two-tier network, the crawler and the global result index must agree
+// with each other on the same underlying content.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/analysis/rare_queries.hpp"
+#include "src/crawler/crawler.hpp"
+#include "src/gnutella/network.hpp"
+#include "src/overlay/topology.hpp"
+#include "src/sim/qrp.hpp"
+#include "src/sim/result_cache.hpp"
+
+namespace qcp2p {
+namespace {
+
+struct WorldFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    trace::ContentModelParams mp;
+    mp.core_lexicon_size = 2'000;
+    mp.catalog_songs = 20'000;
+    mp.artists = 3'000;
+    mp.tail_lexicon_size = 40'000;
+    mp.seed = 91;
+    model = new trace::ContentModel(mp);
+    trace::GnutellaCrawlParams cp;
+    cp.num_peers = 600;
+    cp.mean_objects_per_peer = 60;
+    truth = new trace::CrawlSnapshot(generate_gnutella_crawl(*model, cp));
+    store = new sim::PeerStore(sim::peer_store_from_crawl(*truth, 600));
+    util::Rng rng(17);
+    overlay::TwoTierParams tp;
+    tp.num_nodes = 600;
+    tp.ultrapeer_fraction = 0.2;
+    topo = new overlay::TwoTierTopology(overlay::gnutella_two_tier(tp, rng));
+  }
+  static void TearDownTestSuite() {
+    delete topo;
+    delete store;
+    delete truth;
+    delete model;
+    topo = nullptr;
+    store = nullptr;
+    truth = nullptr;
+    model = nullptr;
+  }
+
+  /// Terms of some real object held by a leaf.
+  static std::vector<sim::TermId> answerable_query() {
+    for (sim::NodeId v = 0; v < 600; ++v) {
+      if (!store->objects(v).empty() &&
+          !store->objects(v)[0].terms.empty()) {
+        return {store->objects(v)[0].terms[0]};
+      }
+    }
+    return {};
+  }
+
+  /// A rare-but-answerable query: a genuine tail-lexicon annotation term
+  /// (held by very few peers), so selective routing is observable.
+  static std::vector<sim::TermId> rare_query() {
+    for (sim::NodeId v = 0; v < 600; ++v) {
+      for (const auto& obj : store->objects(v)) {
+        if (!obj.terms.empty() &&
+            obj.terms.back() >= model->core_lexicon_size()) {
+          return {obj.terms.back()};
+        }
+      }
+    }
+    return answerable_query();
+  }
+
+  static trace::ContentModel* model;
+  static trace::CrawlSnapshot* truth;
+  static sim::PeerStore* store;
+  static overlay::TwoTierTopology* topo;
+};
+
+trace::ContentModel* WorldFixture::model = nullptr;
+trace::CrawlSnapshot* WorldFixture::truth = nullptr;
+sim::PeerStore* WorldFixture::store = nullptr;
+overlay::TwoTierTopology* WorldFixture::topo = nullptr;
+
+TEST_F(WorldFixture, ProtocolHitsNeverExceedGlobalResultCount) {
+  const analysis::GlobalResultIndex index(*truth);
+  gnutella::GnutellaNetwork net(topo->graph, *store);
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto q = answerable_query();
+    ASSERT_FALSE(q.empty());
+    const auto src = static_cast<gnutella::NodeId>(rng.bounded(600));
+    const auto out = net.query(src, q, 7);
+    std::uint64_t protocol_results = 0;
+    for (const auto& hit : out.hits) protocol_results += hit.objects;
+    EXPECT_LE(protocol_results, index.result_count(q));
+  }
+}
+
+TEST_F(WorldFixture, QrpFindsWhatPlainProtocolFindsWithFewerLeafMessages) {
+  sim::QrpNetwork qrp(*topo, *store);
+  gnutella::NetworkParams np;
+  np.min_link_latency_s = np.max_link_latency_s = 0.05;  // BFS-equivalent
+  gnutella::GnutellaNetwork plain(topo->graph, *store, np);
+
+  sim::NodeId up = 0;
+  while (!topo->is_ultrapeer[up]) ++up;
+  const auto q = rare_query();  // selective: filtering is observable
+  const auto qrp_result = qrp.search(up, q, 4);
+  const auto plain_result = plain.query(up, q, 4);
+
+  // QRP must not lose results relative to the unfiltered protocol (its
+  // tables are complete, so suppression never hides a match)...
+  std::unordered_set<sim::NodeId> plain_responders;
+  for (const auto& hit : plain_result.hits) {
+    plain_responders.insert(hit.responder);
+  }
+  EXPECT_GE(qrp_result.results.size(),
+            std::min<std::size_t>(1, plain_responders.size()));
+  if (!plain_responders.empty()) {
+    EXPECT_FALSE(qrp_result.results.empty());
+  }
+  // ...while the filtered leaf traffic stays far below one message per
+  // leaf candidate.
+  EXPECT_GT(qrp_result.leaf_suppressed, qrp_result.leaf_messages);
+}
+
+TEST_F(WorldFixture, CrawledSampleIndexIsASubsetOfTheTruthIndex) {
+  const crawler::Crawler crawler;  // default loss
+  const crawler::FileCrawl observed = crawler.crawl(topo->graph, *truth);
+  const analysis::GlobalResultIndex truth_index(*truth);
+  const analysis::GlobalResultIndex observed_index(observed.observed);
+
+  util::Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto q = answerable_query();
+    EXPECT_LE(observed_index.result_count(q), truth_index.result_count(q));
+  }
+  EXPECT_LE(observed_index.indexed_terms(), truth_index.indexed_terms());
+}
+
+TEST_F(WorldFixture, CachingNetworkConvergesOnRepeatedHeadQueries) {
+  sim::ResultCacheParams params;
+  params.flood_ttl = 3;
+  sim::CachingSearchNetwork net(topo->graph, *store, params);
+  const auto q = answerable_query();
+  util::Rng rng(7);
+  const auto src = static_cast<sim::NodeId>(rng.bounded(600));
+  std::uint64_t first_messages = 0, later_messages = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto r = net.search(src, q);
+    (i == 0 ? first_messages : later_messages) += r.messages;
+  }
+  EXPECT_LT(later_messages, first_messages + 9);  // ~free after warm-up
+}
+
+}  // namespace
+}  // namespace qcp2p

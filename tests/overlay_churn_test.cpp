@@ -1,0 +1,64 @@
+#include "src/overlay/churn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::overlay {
+namespace {
+
+TEST(ChurnProcess, SteadyStateInitialization) {
+  ChurnParams params;
+  params.mean_online_s = 3600.0;
+  params.mean_offline_s = 7200.0;  // steady state p_online = 1/3
+  const ChurnProcess churn(20'000, params);
+  EXPECT_NEAR(churn.online_fraction(), 1.0 / 3.0, 0.03);
+}
+
+TEST(ChurnProcess, FractionStaysNearSteadyStateUnderAdvance) {
+  ChurnParams params;
+  params.mean_online_s = 1000.0;
+  params.mean_offline_s = 1000.0;
+  ChurnProcess churn(10'000, params);
+  for (int step = 0; step < 10; ++step) {
+    churn.advance(500.0);
+    EXPECT_NEAR(churn.online_fraction(), 0.5, 0.05) << "step " << step;
+  }
+  EXPECT_DOUBLE_EQ(churn.now(), 5000.0);
+}
+
+TEST(ChurnProcess, NodesActuallyToggle) {
+  ChurnParams params;
+  params.mean_online_s = 100.0;
+  params.mean_offline_s = 100.0;
+  ChurnProcess churn(200, params);
+  const std::vector<bool> before = churn.online();
+  churn.advance(1000.0);  // ~10 expected sessions per node
+  const std::vector<bool>& after = churn.online();
+  std::size_t changed = 0;
+  for (std::size_t v = 0; v < before.size(); ++v) changed += (before[v] != after[v]);
+  EXPECT_GT(changed, 20u);
+}
+
+TEST(ChurnProcess, DeterministicInSeed) {
+  ChurnParams params;
+  ChurnProcess a(500, params), b(500, params);
+  a.advance(5000.0);
+  b.advance(5000.0);
+  EXPECT_EQ(a.online(), b.online());
+}
+
+TEST(SampleOnline, MatchesProbability) {
+  util::Rng rng(1);
+  const auto online = sample_online(50'000, 0.7, rng);
+  std::size_t up = 0;
+  for (bool b : online) up += b;
+  EXPECT_NEAR(static_cast<double>(up) / 50'000.0, 0.7, 0.01);
+}
+
+TEST(SampleOnline, Extremes) {
+  util::Rng rng(2);
+  for (bool b : sample_online(100, 0.0, rng)) EXPECT_FALSE(b);
+  for (bool b : sample_online(100, 1.0, rng)) EXPECT_TRUE(b);
+}
+
+}  // namespace
+}  // namespace qcp2p::overlay

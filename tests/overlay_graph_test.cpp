@@ -1,0 +1,76 @@
+#include "src/overlay/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::overlay {
+namespace {
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, RejectsSelfLoopsDuplicatesAndOutOfRange) {
+  Graph g(3);
+  EXPECT_FALSE(g.add_edge(1, 1));
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_FALSE(g.add_edge(0, 3));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, NeighborsSpan) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_TRUE((nbrs[0] == 1 && nbrs[1] == 2) || (nbrs[0] == 2 && nbrs[1] == 1));
+}
+
+TEST(Graph, MeanDegree) {
+  Graph g(4);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 0.0);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 1.0);
+}
+
+TEST(Graph, ComponentOf) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  auto comp = g.component_of(0);
+  std::sort(comp.begin(), comp.end());
+  EXPECT_EQ(comp, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, EmptyAndSingletonAreConnected) {
+  EXPECT_TRUE(Graph(0).is_connected());
+  EXPECT_TRUE(Graph(1).is_connected());
+}
+
+}  // namespace
+}  // namespace qcp2p::overlay

@@ -1,0 +1,153 @@
+#include "src/overlay/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace qcp2p::overlay {
+namespace {
+
+TEST(RandomGraph, ConnectedWithExpectedDegree) {
+  util::Rng rng(1);
+  const Graph g = random_graph(2'000, 8.0, rng);
+  EXPECT_EQ(g.num_nodes(), 2'000u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_NEAR(g.mean_degree(), 8.0, 1.0);
+}
+
+TEST(RandomGraph, TinyInputs) {
+  util::Rng rng(2);
+  EXPECT_EQ(random_graph(0, 4.0, rng).num_nodes(), 0u);
+  EXPECT_EQ(random_graph(1, 4.0, rng).num_edges(), 0u);
+}
+
+// Parameterized sweep: every standard topology must come out connected
+// with sane degrees across sizes.
+class RandomRegularSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RandomRegularSweep, NearRegularAndConnected) {
+  const auto [n, d] = GetParam();
+  util::Rng rng(3);
+  const Graph g = random_regular(n, d, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_NEAR(g.mean_degree(), static_cast<double>(d),
+              0.15 * static_cast<double>(d) + 0.5);
+  // No node wildly exceeds the target degree (configuration model drops
+  // duplicates; patching adds at most a few).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(g.degree(v), d + 6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RandomRegularSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(100, 1'000, 5'000),
+                       ::testing::Values<std::size_t>(3, 8, 20)));
+
+TEST(RandomRegular, RejectsDegreeAtLeastN) {
+  util::Rng rng(4);
+  EXPECT_THROW(random_regular(5, 5, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, PowerLawHubsEmerge) {
+  util::Rng rng(5);
+  const Graph g = barabasi_albert(3'000, 4, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_NEAR(g.mean_degree(), 8.0, 1.5);  // ~2m
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  // Preferential attachment must create hubs far above the mean.
+  EXPECT_GT(max_degree, 40u);
+}
+
+TEST(BarabasiAlbert, RejectsZeroM) {
+  util::Rng rng(6);
+  EXPECT_THROW(barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(TwoTier, StructureMatchesParams) {
+  TwoTierParams params;
+  params.num_nodes = 4'000;
+  params.ultrapeer_fraction = 0.15;
+  params.up_up_degree = 10;
+  params.leaf_up_count = 3;
+  util::Rng rng(7);
+  const TwoTierTopology topo = gnutella_two_tier(params, rng);
+  EXPECT_TRUE(topo.graph.is_connected());
+
+  std::size_t ups = 0;
+  for (NodeId v = 0; v < params.num_nodes; ++v) ups += topo.is_ultrapeer[v];
+  EXPECT_NEAR(static_cast<double>(ups), 600.0, 5.0);
+
+  // Leaves attach to ~leaf_up_count ultrapeers and only to ultrapeers.
+  double leaf_degree_sum = 0;
+  std::size_t leaves = 0;
+  for (NodeId v = 0; v < params.num_nodes; ++v) {
+    if (topo.is_ultrapeer[v]) continue;
+    ++leaves;
+    leaf_degree_sum += static_cast<double>(topo.graph.degree(v));
+    for (NodeId u : topo.graph.neighbors(v)) {
+      EXPECT_TRUE(topo.is_ultrapeer[u]) << "leaf " << v << " -> leaf " << u;
+    }
+  }
+  EXPECT_NEAR(leaf_degree_sum / static_cast<double>(leaves), 3.0, 0.3);
+}
+
+TEST(TwoTier, HandlesDegenerateSizes) {
+  TwoTierParams params;
+  params.num_nodes = 1;
+  util::Rng rng(8);
+  const TwoTierTopology topo = gnutella_two_tier(params, rng);
+  EXPECT_EQ(topo.graph.num_nodes(), 1u);
+}
+
+TEST(Gia, CapacityLevelsAssignedAndDegreeTracksCapacity) {
+  GiaParams params;
+  params.num_nodes = 3'000;
+  util::Rng rng(9);
+  const GiaTopology topo = gia_topology(params, rng);
+  EXPECT_TRUE(topo.graph.is_connected());
+
+  double low_deg = 0, high_deg = 0;
+  std::size_t low_n = 0, high_n = 0;
+  for (NodeId v = 0; v < params.num_nodes; ++v) {
+    const double c = topo.capacity[v];
+    EXPECT_TRUE(std::find(params.capacity_levels.begin(),
+                          params.capacity_levels.end(),
+                          c) != params.capacity_levels.end());
+    if (c <= 1.0) {
+      low_deg += static_cast<double>(topo.graph.degree(v));
+      ++low_n;
+    } else if (c >= 1000.0) {
+      high_deg += static_cast<double>(topo.graph.degree(v));
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 0u);
+  ASSERT_GT(high_n, 0u);
+  EXPECT_GT(high_deg / static_cast<double>(high_n),
+            2.0 * low_deg / static_cast<double>(low_n));
+}
+
+TEST(Gia, RejectsMismatchedCapacitySpec) {
+  GiaParams params;
+  params.capacity_weights = {1.0};  // mismatched length
+  util::Rng rng(10);
+  EXPECT_THROW(gia_topology(params, rng), std::invalid_argument);
+}
+
+TEST(PatchConnectivity, JoinsComponents) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  util::Rng rng(11);
+  patch_connectivity(g, rng);
+  EXPECT_TRUE(g.is_connected());
+}
+
+}  // namespace
+}  // namespace qcp2p::overlay

@@ -1,0 +1,196 @@
+// Randomized property and fuzz tests across module boundaries: the
+// string <-> id pipelines must round-trip, and parsers must never choke
+// on garbage.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "src/overlay/graph.hpp"
+#include "src/text/tokenizer.hpp"
+#include "src/trace/query_trace.hpp"
+#include "src/trace/trace_io.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p {
+namespace {
+
+TEST(TermCodec, RoundTripsRandomIds) {
+  util::Rng rng(1);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto id = static_cast<trace::TermId>(rng.bounded(1u << 31));
+    const std::string word = trace::ContentModel::spell_term(id);
+    const auto decoded = trace::ContentModel::parse_term(word);
+    ASSERT_TRUE(decoded.has_value()) << word;
+    ASSERT_EQ(*decoded, id) << word;
+  }
+}
+
+TEST(TermCodec, RoundTripsSmallIdsExhaustively) {
+  for (trace::TermId id = 0; id < 5'000; ++id) {
+    const auto decoded =
+        trace::ContentModel::parse_term(trace::ContentModel::spell_term(id));
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(*decoded, id);
+  }
+}
+
+TEST(TermCodec, RejectsGarbage) {
+  for (const char* bad : {"", "x", "kax", "track", "don", "01", "aaron",
+                          "  ", "k", "zzz", "kalox"}) {
+    EXPECT_FALSE(trace::ContentModel::parse_term(bad).has_value()) << bad;
+  }
+}
+
+TEST(TermCodec, UniqueDecodabilityOnRandomConcatenations) {
+  // Spellings of two different ids never concatenate ambiguously into a
+  // spelling of a third id's word boundary — i.e. decoding the
+  // concatenation with a separator removed must not produce a valid
+  // single id whose spelling differs from the concatenation. (Weaker
+  // corollary we can test: parse(spell(a)) is always a, even when
+  // spell(a) happens to contain another spelling as a substring.)
+  util::Rng rng(2);
+  for (int i = 0; i < 2'000; ++i) {
+    const auto a = static_cast<trace::TermId>(rng.bounded(1u << 20));
+    const auto b = static_cast<trace::TermId>(rng.bounded(1u << 20));
+    const std::string joined = trace::ContentModel::spell_term(a) +
+                               trace::ContentModel::spell_term(b);
+    const auto decoded = trace::ContentModel::parse_term(joined);
+    if (decoded.has_value()) {
+      // If the concatenation happens to be a canonical spelling, it must
+      // round-trip to itself — no silent aliasing.
+      ASSERT_EQ(trace::ContentModel::spell_term(*decoded), joined);
+    }
+  }
+}
+
+TEST(QueryStringPipeline, SpellParseRoundTrip) {
+  util::Rng rng(3);
+  for (int i = 0; i < 2'000; ++i) {
+    trace::Query q;
+    const std::size_t n = 1 + rng.bounded(4);
+    std::set<trace::TermId> terms;
+    while (terms.size() < n) {
+      terms.insert(static_cast<trace::TermId>(rng.bounded(1u << 24)));
+    }
+    q.terms.assign(terms.begin(), terms.end());
+    const std::string typed = trace::spell_query(q);
+    const auto parsed = trace::parse_query_string(typed);
+    ASSERT_EQ(parsed, q.terms) << typed;
+  }
+}
+
+TEST(QueryStringPipeline, NoiseTokensAreDropped) {
+  const auto parsed = trace::parse_query_string("kalo 2006 don't KALO mp3");
+  // "kalo" parses (case-folded duplicate collapses); "2006", "don", "t"
+  // and the extension do not.
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(trace::ContentModel::spell_term(parsed[0]), "kalo");
+}
+
+TEST(TokenizerFuzz, NeverCrashesAndRespectsInvariants) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 3'000; ++trial) {
+    std::string input;
+    const std::size_t len = rng.bounded(64);
+    for (std::size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.bounded(256)));
+    }
+    const auto tokens = text::tokenize(input);
+    for (const std::string& t : tokens) {
+      ASSERT_GE(t.size(), 2u);
+      for (char ch : t) {
+        const auto c = static_cast<unsigned char>(ch);
+        ASSERT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                    c >= 0x80)
+            << "token byte " << static_cast<int>(c);
+      }
+    }
+    // Sanitization is idempotent on arbitrary bytes.
+    const std::string once = text::sanitize_filename(input);
+    ASSERT_EQ(text::sanitize_filename(once), once);
+  }
+}
+
+TEST(TraceIoFuzz, MalformedQueryTracesNeverCrash) {
+  util::Rng rng(5);
+  const char* headers[] = {"qtrace v1\n", "qtrace v2\n", "", "garbage\n"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string blob = headers[rng.bounded(4)];
+    const std::size_t lines = rng.bounded(6);
+    for (std::size_t l = 0; l < lines; ++l) {
+      const std::size_t len = rng.bounded(24);
+      for (std::size_t i = 0; i < len; ++i) {
+        // Printable-ish garbage plus separators.
+        blob.push_back(static_cast<char>(' ' + rng.bounded(95)));
+      }
+      blob.push_back('\n');
+    }
+    std::stringstream ss(blob);
+    try {
+      const trace::QueryTrace t = trace::read_query_trace(ss);
+      for (const trace::Query& q : t.queries()) {
+        ASSERT_FALSE(q.terms.empty());
+      }
+    } catch (const std::exception&) {
+      // Rejection is fine; crashing is not.
+    }
+  }
+}
+
+TEST(GraphProperty, RandomOpsMatchReferenceSet) {
+  util::Rng rng(6);
+  overlay::Graph g(30);
+  std::set<std::pair<overlay::NodeId, overlay::NodeId>> reference;
+  for (int op = 0; op < 5'000; ++op) {
+    const auto u = static_cast<overlay::NodeId>(rng.bounded(30));
+    const auto v = static_cast<overlay::NodeId>(rng.bounded(30));
+    const auto key = std::minmax(u, v);
+    if (rng.chance(0.6)) {
+      const bool added = g.add_edge(u, v);
+      const bool expected = u != v && !reference.count(key);
+      ASSERT_EQ(added, expected);
+      if (added) reference.insert(key);
+    } else {
+      const bool removed = g.remove_edge(u, v);
+      ASSERT_EQ(removed, reference.count(key) > 0);
+      reference.erase(key);
+    }
+    ASSERT_EQ(g.num_edges(), reference.size());
+  }
+  // Degrees must sum to twice the edge count.
+  std::size_t degree_sum = 0;
+  for (overlay::NodeId v = 0; v < 30; ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, 2 * reference.size());
+}
+
+TEST(ObjectNameProperty, TermsMatchTokenizedNamesOnRandomObjects) {
+  trace::ContentModelParams mp;
+  mp.core_lexicon_size = 1'000;
+  mp.catalog_songs = 5'000;
+  mp.artists = 800;
+  mp.tail_lexicon_size = 10'000;
+  const trace::ContentModel model(mp);
+  trace::GnutellaCrawlParams cp;
+  cp.num_peers = 60;
+  const trace::CrawlSnapshot snap = generate_gnutella_crawl(model, cp);
+
+  text::TokenizerOptions opts;
+  opts.drop_numeric = true;  // personal rip tags are numeric
+  std::size_t checked = 0;
+  for (std::size_t p = 0; p < snap.num_peers(); ++p) {
+    for (trace::ObjectKey k : snap.peer_objects(p)) {
+      if (k.cls() == trace::ObjectClass::kNonspecific) continue;
+      const auto tokens = text::tokenize(snap.object_name(k), opts);
+      const auto terms = snap.object_terms(k);
+      ASSERT_EQ(tokens.size(), terms.size()) << snap.object_name(k);
+      for (std::size_t i = 0; i < terms.size(); ++i) {
+        ASSERT_EQ(tokens[i], trace::ContentModel::spell_term(terms[i]));
+      }
+      if (++checked >= 3'000) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qcp2p

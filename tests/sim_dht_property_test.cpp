@@ -1,0 +1,95 @@
+// Randomized consistency properties of the DHT keyword layer: after
+// publishing an arbitrary store, every term's postings must match a
+// brute-force scan, regardless of which node asks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/sim/dht.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+struct RandomStoreFixture : ::testing::TestWithParam<std::uint64_t> {
+  RandomStoreFixture() : store(40) {
+    util::Rng rng(GetParam());
+    for (NodeId peer = 0; peer < 40; ++peer) {
+      const std::size_t objects = rng.bounded(6);
+      for (std::size_t o = 0; o < objects; ++o) {
+        std::vector<TermId> terms;
+        const std::size_t nterms = 1 + rng.bounded(4);
+        for (std::size_t t = 0; t < nterms; ++t) {
+          terms.push_back(static_cast<TermId>(rng.bounded(25)));
+        }
+        store.add_object(peer, (static_cast<std::uint64_t>(peer) << 8) | o,
+                         terms);
+      }
+    }
+    store.finalize();
+  }
+  PeerStore store;
+};
+
+TEST_P(RandomStoreFixture, TermPostingsMatchBruteForce) {
+  ChordDht dht(40, GetParam() + 1);
+  dht.publish_store(store);
+
+  // Brute-force ground truth: term -> set of (object, holder).
+  std::map<TermId, std::set<std::pair<std::uint64_t, NodeId>>> truth;
+  for (NodeId peer = 0; peer < 40; ++peer) {
+    for (const PeerStore::Object& o : store.objects(peer)) {
+      for (TermId t : o.terms) truth[t].insert({o.id, peer});
+    }
+  }
+
+  util::Rng rng(GetParam() + 2);
+  for (TermId t = 0; t < 25; ++t) {
+    const auto from = static_cast<NodeId>(rng.bounded(40));
+    const auto result = dht.search_term(t, from);
+    std::set<std::pair<std::uint64_t, NodeId>> seen;
+    for (const ChordDht::Posting& p : result.postings) {
+      seen.insert({p.object_id, p.holder});
+    }
+    ASSERT_EQ(seen, truth[t]) << "term " << t;
+  }
+}
+
+TEST_P(RandomStoreFixture, ObjectHoldersMatchBruteForce) {
+  ChordDht dht(40, GetParam() + 3);
+  dht.publish_store(store);
+
+  std::map<std::uint64_t, std::set<NodeId>> truth;
+  for (NodeId peer = 0; peer < 40; ++peer) {
+    for (const PeerStore::Object& o : store.objects(peer)) {
+      truth[o.id].insert(peer);
+    }
+  }
+  util::Rng rng(GetParam() + 4);
+  for (const auto& [object, holders] : truth) {
+    const auto from = static_cast<NodeId>(rng.bounded(40));
+    const auto result = dht.search_object(object, from);
+    const std::set<NodeId> seen(result.holders.begin(), result.holders.end());
+    ASSERT_EQ(seen, holders) << "object " << object;
+  }
+}
+
+TEST_P(RandomStoreFixture, LookupAnswerIsIndependentOfTheAskingNode) {
+  ChordDht dht(40, GetParam() + 5);
+  util::Rng rng(GetParam() + 6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t key = rng();
+    const NodeId expected = dht.lookup(key, 0).node;
+    for (NodeId from = 1; from < 40; from += 7) {
+      ASSERT_EQ(dht.lookup(key, from).node, expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStoreFixture,
+                         ::testing::Values<std::uint64_t>(11, 222, 3'333,
+                                                          44'444));
+
+}  // namespace
+}  // namespace qcp2p::sim

@@ -1,0 +1,134 @@
+#include "src/sim/dht.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qcp2p::sim {
+namespace {
+
+TEST(ChordDht, RejectsEmptyRing) {
+  EXPECT_THROW(ChordDht(0), std::invalid_argument);
+}
+
+TEST(ChordDht, SingleNodeOwnsEverything) {
+  const ChordDht dht(1);
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t key = rng();
+    EXPECT_EQ(dht.successor_of(key), 0u);
+    const auto r = dht.lookup(key, 0);
+    EXPECT_EQ(r.node, 0u);
+  }
+}
+
+// The core routing property across ring sizes: greedy finger routing
+// always lands on the true successor, in O(log N)-ish hops.
+class ChordLookupSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChordLookupSweep, LookupMatchesSuccessorOf) {
+  const std::size_t n = GetParam();
+  const ChordDht dht(n);
+  util::Rng rng(42);
+  double total_hops = 0;
+  constexpr int kTrials = 300;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::uint64_t key = rng();
+    const auto from = static_cast<NodeId>(rng.bounded(n));
+    const auto r = dht.lookup(key, from);
+    ASSERT_EQ(r.node, dht.successor_of(key)) << "key " << key;
+    total_hops += r.hops;
+  }
+  const double mean_hops = total_hops / kTrials;
+  // Chord averages ~0.5 * log2(N); allow generous slack.
+  EXPECT_LE(mean_hops, std::log2(static_cast<double>(n)) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, ChordLookupSweep,
+                         ::testing::Values<std::size_t>(2, 17, 256, 4'096,
+                                                        20'000));
+
+TEST(ChordDht, LookupFromResponsibleNodeStillCorrect) {
+  const ChordDht dht(64);
+  util::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t key = rng();
+    const NodeId owner = dht.successor_of(key);
+    const auto r = dht.lookup(key, owner);
+    EXPECT_EQ(r.node, owner);
+  }
+}
+
+TEST(ChordDht, NodeIdKeyIsOwnedByThatNode) {
+  const ChordDht dht(128);
+  for (NodeId v = 0; v < 128; ++v) {
+    EXPECT_EQ(dht.successor_of(dht.node_id(v)), v);
+  }
+}
+
+TEST(ChordDht, PublishAndSearchTerm) {
+  ChordDht dht(100);
+  dht.publish_term(7, 1'000, 3, 3);
+  dht.publish_term(7, 2'000, 9, 9);
+  dht.publish_term(8, 3'000, 5, 5);
+
+  const auto r7 = dht.search_term(7, 50);
+  ASSERT_EQ(r7.postings.size(), 2u);
+  EXPECT_EQ(r7.postings[0].object_id, 1'000u);
+  EXPECT_EQ(r7.postings[1].object_id, 2'000u);
+
+  const auto r8 = dht.search_term(8, 0);
+  ASSERT_EQ(r8.postings.size(), 1u);
+  EXPECT_EQ(r8.postings[0].holder, 5u);
+
+  const auto missing = dht.search_term(99, 0);
+  EXPECT_TRUE(missing.postings.empty());
+}
+
+TEST(ChordDht, PublishAndSearchObjectDeduplicatesHolders) {
+  ChordDht dht(100);
+  dht.publish_object(555, 1, 1);
+  dht.publish_object(555, 1, 2);  // same holder twice
+  dht.publish_object(555, 8, 8);
+  const auto r = dht.search_object(555, 40);
+  ASSERT_EQ(r.holders.size(), 2u);
+}
+
+TEST(ChordDht, PublishStoreIndexesEverything) {
+  PeerStore store(10);
+  store.add_object(0, 100, {1, 2});
+  store.add_object(3, 200, {2});
+  store.finalize();
+  ChordDht dht(10);
+  const std::uint64_t messages = dht.publish_store(store);
+  EXPECT_GT(messages, 0u);
+
+  EXPECT_EQ(dht.search_term(2, 5).postings.size(), 2u);
+  EXPECT_EQ(dht.search_term(1, 5).postings.size(), 1u);
+  EXPECT_EQ(dht.search_object(100, 5).holders.size(), 1u);
+}
+
+TEST(ChordDht, HopsGrowLogarithmically) {
+  util::Rng rng(11);
+  double mean_small = 0, mean_large = 0;
+  {
+    const ChordDht dht(64);
+    for (int i = 0; i < 200; ++i) {
+      mean_small += dht.lookup(rng(), static_cast<NodeId>(rng.bounded(64))).hops;
+    }
+  }
+  {
+    const ChordDht dht(16'384);
+    for (int i = 0; i < 200; ++i) {
+      mean_large +=
+          dht.lookup(rng(), static_cast<NodeId>(rng.bounded(16'384))).hops;
+    }
+  }
+  mean_small /= 200;
+  mean_large /= 200;
+  EXPECT_GT(mean_large, mean_small);          // grows with N...
+  EXPECT_LT(mean_large, mean_small * 4.0);    // ...but sublinearly (256x N)
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

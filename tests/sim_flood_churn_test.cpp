@@ -1,0 +1,94 @@
+// Failure injection for flooding: offline peers neither relay nor answer.
+#include <gtest/gtest.h>
+
+#include "src/overlay/churn.hpp"
+#include "src/sim/flood.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+Graph line_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(FloodChurn, OfflineNodeBlocksTheLine) {
+  const Graph g = line_graph(10);
+  std::vector<bool> online(10, true);
+  online[3] = false;  // cut the line at node 3
+  const FloodResult r = flood(g, 0, 9, nullptr, &online);
+  // Nodes 1, 2 reachable; 3 is dead, everything beyond unreachable.
+  EXPECT_EQ(r.reached.size(), 2u);
+}
+
+TEST(FloodChurn, MessagesToDeadPeersAreStillCharged) {
+  const Graph g = line_graph(4);
+  std::vector<bool> online(4, true);
+  online[1] = false;
+  const FloodResult r = flood(g, 0, 3, nullptr, &online);
+  EXPECT_TRUE(r.reached.empty());
+  EXPECT_EQ(r.messages, 1u);  // the send to the dead neighbor
+}
+
+TEST(FloodChurn, OfflineSourceCannotSearch) {
+  const Graph g = line_graph(5);
+  std::vector<bool> online(5, false);
+  const FloodResult r = flood(g, 0, 3, nullptr, &online);
+  EXPECT_TRUE(r.reached.empty());
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(FloodChurn, ReachesAnyRequiresOnlineHolder) {
+  const Graph g = line_graph(6);
+  FloodEngine engine(g);
+  const std::vector<NodeId> holders{0, 5};
+  std::vector<bool> online(6, true);
+  online[0] = false;
+  // Source 0 is offline: its own copy does not count, and it cannot
+  // flood either.
+  EXPECT_FALSE(engine.reaches_any(0, 5, holders, nullptr, nullptr, &online));
+  // Source 1 is online and can reach holder 5.
+  EXPECT_TRUE(engine.reaches_any(1, 4, holders, nullptr, nullptr, &online));
+}
+
+TEST(FloodChurn, SuccessDegradesWithChurnOnSingletons) {
+  util::Rng rng(9);
+  Graph g(500);
+  for (int i = 0; i < 2'000; ++i) {
+    g.add_edge(static_cast<NodeId>(rng.bounded(500)),
+               static_cast<NodeId>(rng.bounded(500)));
+  }
+  FloodEngine engine(g);
+  const std::vector<NodeId> holders{250};  // a singleton object
+
+  auto success_rate = [&](double online_fraction) {
+    util::Rng crng(4);
+    int ok = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto online = overlay::sample_online(500, online_fraction, crng);
+      const auto src = static_cast<NodeId>(crng.bounded(500));
+      ok += engine.reaches_any(src, 6, holders, nullptr, nullptr, &online);
+    }
+    return ok;
+  };
+  const int full = success_rate(1.0);
+  const int half = success_rate(0.5);
+  EXPECT_GT(full, half);       // churn strictly hurts singletons...
+  EXPECT_LE(half, full / 2 + 20);  // ...roughly in proportion to uptime
+}
+
+TEST(FloodChurn, ChurnProcessDrivesLiveness) {
+  const Graph g = line_graph(50);
+  overlay::ChurnParams params;
+  params.mean_online_s = 10.0;
+  params.mean_offline_s = 10.0;
+  overlay::ChurnProcess churn(50, params);
+  churn.advance(100.0);
+  const FloodResult r = flood(g, 0, 49, nullptr, &churn.online());
+  // With ~50% uptime the line is almost surely cut early.
+  EXPECT_LT(r.reached.size(), 49u);
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

@@ -1,0 +1,161 @@
+#include "src/sim/flood.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace qcp2p::sim {
+namespace {
+
+/// Path graph 0-1-2-...-(n-1).
+Graph line_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+/// Star with center 0.
+Graph star_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+TEST(Flood, LineGraphReachGrowsOneHopPerTtl) {
+  const Graph g = line_graph(10);
+  for (std::uint32_t ttl = 1; ttl <= 5; ++ttl) {
+    const FloodResult r = flood(g, 0, ttl);
+    EXPECT_EQ(r.reached.size(), ttl) << "ttl " << ttl;
+  }
+  // From the middle it spreads both ways.
+  const FloodResult mid = flood(g, 5, 2);
+  EXPECT_EQ(mid.reached.size(), 4u);
+}
+
+TEST(Flood, ZeroTtlReachesNothing) {
+  const Graph g = line_graph(5);
+  const FloodResult r = flood(g, 0, 0);
+  EXPECT_TRUE(r.reached.empty());
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Flood, StarCoversEverythingAtTtl2) {
+  const Graph g = star_graph(50);
+  const FloodResult from_center = flood(g, 0, 1);
+  EXPECT_EQ(from_center.reached.size(), 49u);
+  const FloodResult from_leaf = flood(g, 7, 1);
+  EXPECT_EQ(from_leaf.reached.size(), 1u);  // only the hub
+  const FloodResult deep = flood(g, 7, 2);
+  EXPECT_EQ(deep.reached.size(), 49u);  // hub + all other leaves
+}
+
+TEST(Flood, MessageAccountingCountsDuplicates) {
+  // Triangle: flooding from 0 with TTL 2.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const FloodResult r = flood(g, 0, 2);
+  EXPECT_EQ(r.reached.size(), 2u);
+  // Hop 1: 0 -> {1,2} = 2 messages. Hop 2: 1 -> {0,2}, 2 -> {0,1} = 4
+  // duplicate messages. Total 6.
+  EXPECT_EQ(r.messages, 6u);
+}
+
+TEST(Flood, PerHopHistogram) {
+  const Graph g = line_graph(6);
+  const FloodResult r = flood(g, 0, 3);
+  ASSERT_EQ(r.per_hop.size(), 3u);
+  EXPECT_EQ(r.per_hop[0], 1u);
+  EXPECT_EQ(r.per_hop[1], 1u);
+  EXPECT_EQ(r.per_hop[2], 1u);
+}
+
+TEST(Flood, ForwardPredicateStopsLeaves) {
+  // Star where leaves may not forward: from a leaf, TTL 3 still reaches
+  // hub + other leaves only via the hub (which may forward).
+  const Graph g = star_graph(10);
+  std::vector<bool> forwards(10, false);
+  forwards[0] = true;  // hub is an ultrapeer
+  const FloodResult r = flood(g, 3, 3, &forwards);
+  EXPECT_EQ(r.reached.size(), 9u);
+
+  // If the hub cannot forward either, the query dies at the hub.
+  std::vector<bool> none(10, false);
+  const FloodResult dead = flood(g, 3, 3, &none);
+  EXPECT_EQ(dead.reached.size(), 1u);
+}
+
+TEST(Flood, CoverageMonotoneInTtl) {
+  util::Rng rng(12);
+  const Graph g = [] {
+    util::Rng r(5);
+    Graph gg(500);
+    for (int i = 0; i < 1500; ++i) {
+      gg.add_edge(static_cast<NodeId>(r.bounded(500)),
+                  static_cast<NodeId>(r.bounded(500)));
+    }
+    return gg;
+  }();
+  std::size_t prev = 0;
+  for (std::uint32_t ttl = 1; ttl <= 6; ++ttl) {
+    const FloodResult r = flood(g, 0, ttl);
+    EXPECT_GE(r.reached.size(), prev);
+    prev = r.reached.size();
+  }
+}
+
+TEST(FloodEngine, ReusableAcrossQueries) {
+  const Graph g = line_graph(8);
+  FloodEngine engine(g);
+  const FloodResult a = engine.run(0, 2);
+  const FloodResult b = engine.run(7, 2);
+  EXPECT_EQ(a.reached.size(), 2u);
+  EXPECT_EQ(b.reached.size(), 2u);
+  // Epochs must isolate runs: re-running source 0 gives identical result.
+  const FloodResult c = engine.run(0, 2);
+  EXPECT_EQ(c.reached.size(), 2u);
+}
+
+TEST(FloodEngine, ReachesAnyIncludingOwnCopy) {
+  const Graph g = line_graph(10);
+  FloodEngine engine(g);
+  const std::vector<NodeId> holders{0, 9};
+  std::uint64_t messages = 123;
+  EXPECT_TRUE(engine.reaches_any(0, 1, holders, nullptr, &messages));
+  EXPECT_EQ(messages, 0u);  // own copy, no search needed
+  EXPECT_FALSE(engine.reaches_any(4, 2, holders, nullptr, &messages));
+  EXPECT_GT(messages, 0u);
+  EXPECT_TRUE(engine.reaches_any(4, 4, holders, nullptr));
+}
+
+TEST(FloodSearch, FindsConjunctiveMatchesWithinTtl) {
+  const Graph g = line_graph(6);
+  PeerStore store(6);
+  store.add_object(2, 100, {1, 2});
+  store.add_object(5, 200, {1, 2});
+  store.add_object(3, 300, {1});  // partial match only
+  store.finalize();
+
+  const std::vector<TermId> query{1, 2};
+  const FloodSearchResult near = flood_search(g, store, 0, query, 2);
+  EXPECT_EQ(near.results, (std::vector<std::uint64_t>{100}));
+  EXPECT_EQ(near.peers_probed, 3u);  // source + 2 reached
+
+  const FloodSearchResult far = flood_search(g, store, 0, query, 5);
+  EXPECT_EQ(far.results, (std::vector<std::uint64_t>{100, 200}));
+}
+
+TEST(FloodSearch, SourceLocalHitNeedsNoMessages) {
+  const Graph g = line_graph(3);
+  PeerStore store(3);
+  store.add_object(0, 7, {4});
+  store.finalize();
+  const std::vector<TermId> query{4};
+  const FloodSearchResult r = flood_search(g, store, 0, query, 0);
+  EXPECT_EQ(r.results, (std::vector<std::uint64_t>{7}));
+  EXPECT_EQ(r.messages, 0u);
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

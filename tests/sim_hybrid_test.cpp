@@ -1,0 +1,102 @@
+#include "src/sim/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::sim {
+namespace {
+
+struct HybridFixture : ::testing::Test {
+  HybridFixture() : graph(build_graph()), store(20), dht(20) {
+    // Popular object 100 {1,2}: on many peers near everyone.
+    for (NodeId v : {1u, 3u, 5u, 7u, 9u, 11u, 13u}) {
+      store.add_object(v, 100, {1, 2});
+    }
+    // Rare object 200 {8,9}: one peer on the far side of the ring.
+    store.add_object(10, 200, {8, 9});
+    store.finalize();
+    dht.publish_store(store);
+  }
+
+  static Graph build_graph() {
+    Graph g(20);  // ring
+    for (NodeId v = 0; v < 20; ++v) g.add_edge(v, (v + 1) % 20);
+    return g;
+  }
+
+  Graph graph;
+  PeerStore store;
+  ChordDht dht;
+};
+
+TEST_F(HybridFixture, PopularQueryResolvedByFloodAlone) {
+  HybridParams params;
+  params.flood_ttl = 3;
+  params.rare_cutoff = 1;  // any result suffices
+  const std::vector<TermId> query{1, 2};
+  const HybridResult r =
+      hybrid_search(graph, store, dht, 0, query, params);
+  EXPECT_TRUE(r.success());
+  EXPECT_FALSE(r.used_dht);
+  EXPECT_EQ(r.dht_messages, 0u);
+  EXPECT_GT(r.flood_messages, 0u);
+  EXPECT_EQ(r.results, (std::vector<std::uint64_t>{100}));
+}
+
+TEST_F(HybridFixture, RareQueryFallsBackToDht) {
+  HybridParams params;
+  params.flood_ttl = 2;  // cannot reach peer 19 from 0
+  params.rare_cutoff = 1;
+  const std::vector<TermId> query{8, 9};
+  const HybridResult r =
+      hybrid_search(graph, store, dht, 0, query, params);
+  EXPECT_TRUE(r.success());
+  EXPECT_TRUE(r.used_dht);
+  EXPECT_GT(r.dht_messages, 0u);
+  EXPECT_EQ(r.results, (std::vector<std::uint64_t>{200}));
+}
+
+TEST_F(HybridFixture, RareCutoffTriggersDhtEvenAfterFloodHits) {
+  HybridParams params;
+  params.flood_ttl = 3;
+  params.rare_cutoff = 20;  // Loo et al.: < 20 results means rare
+  const std::vector<TermId> query{1, 2};
+  const HybridResult r =
+      hybrid_search(graph, store, dht, 0, query, params);
+  EXPECT_TRUE(r.used_dht);  // 1 result < 20 -> re-issued
+  EXPECT_TRUE(r.success());
+  EXPECT_EQ(r.total_messages(), r.flood_messages + r.dht_messages);
+}
+
+TEST_F(HybridFixture, DhtOnlyConjunction) {
+  const std::vector<TermId> both{1, 2};
+  const HybridResult r = dht_only_search(dht, 4, both);
+  EXPECT_TRUE(r.success());
+  EXPECT_EQ(r.results, (std::vector<std::uint64_t>{100}));
+  EXPECT_EQ(r.flood_messages, 0u);
+
+  // Terms on different objects only: conjunction is empty.
+  const std::vector<TermId> cross{1, 8};
+  const HybridResult none = dht_only_search(dht, 4, cross);
+  EXPECT_FALSE(none.success());
+  EXPECT_TRUE(none.used_dht);
+}
+
+TEST_F(HybridFixture, EmptyQueryIsNoop) {
+  const std::vector<TermId> empty;
+  const HybridResult r =
+      hybrid_search(graph, store, dht, 0, empty, HybridParams{});
+  EXPECT_FALSE(r.success());
+  EXPECT_EQ(r.total_messages(), 0u);
+  const HybridResult d = dht_only_search(dht, 0, empty);
+  EXPECT_FALSE(d.success());
+}
+
+TEST_F(HybridFixture, ReplicatedObjectCountedOnceInDhtResults) {
+  // Object 100 has 7 holders -> 7 postings per term, but one result.
+  const std::vector<TermId> query{1, 2};
+  const HybridResult r = dht_only_search(dht, 0, query);
+  EXPECT_EQ(r.results.size(), 1u);
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

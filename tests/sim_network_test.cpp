@@ -1,0 +1,114 @@
+#include "src/sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace qcp2p::sim {
+namespace {
+
+TEST(PlaceUniform, ExactCopiesDistinctPeers) {
+  util::Rng rng(1);
+  const Placement p = place_uniform(100, 5, 1'000, rng);
+  ASSERT_EQ(p.num_objects(), 100u);
+  for (const auto& holders : p.holders) {
+    EXPECT_EQ(holders.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(holders.begin(), holders.end()));
+    EXPECT_EQ(std::adjacent_find(holders.begin(), holders.end()),
+              holders.end());
+    for (NodeId h : holders) EXPECT_LT(h, 1'000u);
+  }
+}
+
+TEST(PlaceUniform, RejectsImpossibleCopies) {
+  util::Rng rng(2);
+  EXPECT_THROW(place_uniform(1, 11, 10, rng), std::invalid_argument);
+}
+
+TEST(PlaceByCounts, UsesGivenCountsClamped) {
+  util::Rng rng(3);
+  const std::vector<std::uint64_t> counts{1, 3, 500};
+  const Placement p = place_by_counts(counts, 100, rng);
+  EXPECT_EQ(p.holders[0].size(), 1u);
+  EXPECT_EQ(p.holders[1].size(), 3u);
+  EXPECT_EQ(p.holders[2].size(), 100u);  // clamped to population
+}
+
+TEST(SampleReplicaCounts, DrawsFromSource) {
+  util::Rng rng(4);
+  const std::vector<std::uint64_t> source{1, 1, 1, 7};
+  const auto counts = sample_replica_counts(source, 10'000, rng);
+  ASSERT_EQ(counts.size(), 10'000u);
+  std::size_t sevens = 0;
+  for (auto c : counts) {
+    ASSERT_TRUE(c == 1 || c == 7);
+    sevens += (c == 7);
+  }
+  EXPECT_NEAR(static_cast<double>(sevens) / 10'000.0, 0.25, 0.03);
+}
+
+TEST(SampleReplicaCounts, RejectsEmptySource) {
+  util::Rng rng(5);
+  EXPECT_THROW(sample_replica_counts({}, 10, rng), std::invalid_argument);
+}
+
+TEST(PeerStore, ConjunctiveMatchSemantics) {
+  PeerStore store(2);
+  store.add_object(0, 100, {5, 3, 5, 1});  // duplicates collapse
+  store.add_object(0, 101, {3, 7});
+  store.add_object(1, 102, {1});
+  store.finalize();
+
+  EXPECT_EQ(store.total_objects(), 3u);
+  const std::vector<TermId> q1{3};
+  auto hits = store.match(0, q1);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::uint64_t>{100, 101}));
+
+  const std::vector<TermId> q2{1, 3};
+  EXPECT_EQ(store.match(0, q2), (std::vector<std::uint64_t>{100}));
+  EXPECT_TRUE(store.match(1, q2).empty());
+
+  const std::vector<TermId> empty_q;
+  EXPECT_TRUE(store.match(0, empty_q).empty());
+}
+
+TEST(PeerStore, MayMatchPrefilter) {
+  PeerStore store(1);
+  store.add_object(0, 1, {10, 20});
+  store.finalize();
+  EXPECT_TRUE(store.may_match(0, std::vector<TermId>{10}));
+  EXPECT_TRUE(store.may_match(0, std::vector<TermId>{10, 20}));
+  EXPECT_FALSE(store.may_match(0, std::vector<TermId>{10, 30}));
+}
+
+TEST(PeerStore, PeerTermsAreSortedUnique) {
+  PeerStore store(1);
+  store.add_object(0, 1, {9, 2});
+  store.add_object(0, 2, {2, 5});
+  store.finalize();
+  EXPECT_EQ(store.peer_terms(0), (std::vector<TermId>{2, 5, 9}));
+}
+
+TEST(PeerStoreFromCrawl, RoundRobinAssignment) {
+  trace::ContentModelParams mp;
+  mp.core_lexicon_size = 500;
+  mp.catalog_songs = 2'000;
+  mp.artists = 100;
+  const trace::ContentModel model(mp);
+  trace::GnutellaCrawlParams cp;
+  cp.num_peers = 50;
+  const trace::CrawlSnapshot snap = generate_gnutella_crawl(model, cp);
+
+  const PeerStore store = peer_store_from_crawl(snap, 20);
+  EXPECT_EQ(store.num_peers(), 20u);
+  EXPECT_EQ(store.total_objects(), snap.total_objects());
+
+  const PeerStore bigger = peer_store_from_crawl(snap, 100);
+  EXPECT_EQ(bigger.num_peers(), 100u);
+  // Peers 50..99 route but hold nothing.
+  for (NodeId v = 50; v < 100; ++v) EXPECT_TRUE(bigger.objects(v).empty());
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

@@ -1,0 +1,112 @@
+#include "src/sim/pastry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+TEST(PastryDht, ValidatesParameters) {
+  EXPECT_THROW(PastryDht(0), std::invalid_argument);
+  EXPECT_THROW(PastryDht(10, 1, 0), std::invalid_argument);
+  EXPECT_THROW(PastryDht(10, 1, 5), std::invalid_argument);  // 5 ∤ 64
+}
+
+TEST(PastryDht, SingleNodeOwnsEverything) {
+  const PastryDht dht(1);
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t key = rng();
+    EXPECT_EQ(dht.closest_of(key), 0u);
+    EXPECT_EQ(dht.lookup(key, 0).node, 0u);
+  }
+}
+
+TEST(PastryDht, ClosestOfIsNumericallyClosest) {
+  const PastryDht dht(200);
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t key = rng();
+    const NodeId claimed = dht.closest_of(key);
+    const std::uint64_t d_claimed =
+        std::min(dht.node_id(claimed) - key, key - dht.node_id(claimed));
+    for (NodeId v = 0; v < 200; ++v) {
+      const std::uint64_t d =
+          std::min(dht.node_id(v) - key, key - dht.node_id(v));
+      ASSERT_GE(d, d_claimed) << "node " << v << " closer than claimed";
+    }
+  }
+}
+
+// Core routing property across ring sizes: prefix routing always reaches
+// the numerically closest node in O(log_16 N)-ish hops.
+class PastryLookupSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PastryLookupSweep, LookupReachesClosestNode) {
+  const std::size_t n = GetParam();
+  const PastryDht dht(n);
+  util::Rng rng(33);
+  double total_hops = 0;
+  constexpr int kTrials = 300;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::uint64_t key = rng();
+    const auto from = static_cast<NodeId>(rng.bounded(n));
+    const auto r = dht.lookup(key, from);
+    ASSERT_EQ(r.node, dht.closest_of(key)) << "key " << key;
+    total_hops += r.hops;
+  }
+  // Pastry routes in ~log_{2^b} N hops; generous slack for rule-3 steps.
+  EXPECT_LE(total_hops / kTrials,
+            std::log2(static_cast<double>(n)) / 4.0 + 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, PastryLookupSweep,
+                         ::testing::Values<std::size_t>(2, 33, 512, 8'192,
+                                                        40'000));
+
+TEST(PastryDht, LookupFromOwnerIsFree) {
+  const PastryDht dht(256);
+  util::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t key = rng();
+    const NodeId owner = dht.closest_of(key);
+    const auto r = dht.lookup(key, owner);
+    EXPECT_EQ(r.node, owner);
+    EXPECT_EQ(r.hops, 0u);
+  }
+}
+
+TEST(PastryDht, HopsScaleSubLinearly) {
+  util::Rng rng(5);
+  auto mean_hops = [&](std::size_t n) {
+    const PastryDht dht(n);
+    double total = 0;
+    for (int i = 0; i < 150; ++i) {
+      total += dht.lookup(rng(), static_cast<NodeId>(rng.bounded(n))).hops;
+    }
+    return total / 150.0;
+  };
+  const double small = mean_hops(128);
+  const double large = mean_hops(32'768);  // 256x more nodes
+  EXPECT_LT(large, small * 4.0);
+}
+
+TEST(PastryDht, WiderDigitsRouteFaster) {
+  util::Rng rng(6);
+  auto mean_hops = [&](std::uint32_t b) {
+    const PastryDht dht(8'192, 0xBA57ULL, b);
+    double total = 0;
+    for (int i = 0; i < 200; ++i) {
+      total += dht.lookup(rng(), static_cast<NodeId>(rng.bounded(8'192))).hops;
+    }
+    return total / 200.0;
+  };
+  // b=8 (256-ary digits) needs fewer hops than b=2 (4-ary).
+  EXPECT_LT(mean_hops(8), mean_hops(2));
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

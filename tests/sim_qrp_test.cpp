@@ -1,0 +1,129 @@
+#include "src/sim/qrp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::sim {
+namespace {
+
+TEST(QrpTable, RejectsZeroSize) {
+  EXPECT_THROW(QrpTable(0), std::invalid_argument);
+}
+
+TEST(QrpTable, NoFalseNegatives) {
+  QrpTable table(4'096);
+  for (TermId t = 100; t < 400; ++t) table.add_term(t);
+  for (TermId t = 100; t < 400; ++t) {
+    EXPECT_TRUE(table.may_contain(t)) << t;
+  }
+}
+
+TEST(QrpTable, MostlyExcludesAbsentTerms) {
+  QrpTable table(65'536);
+  for (TermId t = 0; t < 200; ++t) table.add_term(t);
+  std::size_t false_positives = 0;
+  for (TermId t = 10'000; t < 20'000; ++t) {
+    false_positives += table.may_contain(t);
+  }
+  // 200 of 64Ki slots set -> FPR ~ 0.3%.
+  EXPECT_LT(false_positives, 100u);
+}
+
+TEST(QrpTable, ConjunctiveMatch) {
+  QrpTable table(65'536);
+  table.add_term(1);
+  table.add_term(2);
+  EXPECT_TRUE(table.may_match(std::vector<TermId>{1, 2}));
+  EXPECT_FALSE(table.may_match(std::vector<TermId>{1, 999'999}));
+  EXPECT_TRUE(table.may_match(std::vector<TermId>{}));  // vacuous
+}
+
+TEST(QrpTable, FillRatioTracksInsertions) {
+  QrpTable table(1'024);
+  EXPECT_DOUBLE_EQ(table.fill_ratio(), 0.0);
+  for (TermId t = 0; t < 100; ++t) table.add_term(t);
+  EXPECT_GT(table.fill_ratio(), 0.05);
+  EXPECT_LT(table.fill_ratio(), 0.15);
+}
+
+class QrpNetworkTest : public ::testing::Test {
+ protected:
+  QrpNetworkTest() {
+    overlay::TwoTierParams params;
+    params.num_nodes = 600;
+    params.ultrapeer_fraction = 0.2;
+    util::Rng rng(5);
+    topology_ = overlay::gnutella_two_tier(params, rng);
+
+    store_ = std::make_unique<PeerStore>(600);
+    // One well-known object on a handful of leaves.
+    for (NodeId v = 0; v < 600; ++v) {
+      if (!topology_.is_ultrapeer[v] && holders_.size() < 5 && v % 7 == 0) {
+        store_->add_object(v, 900 + v, {10, 20});
+        holders_.push_back(v);
+      }
+    }
+    store_->finalize();
+  }
+
+  overlay::TwoTierTopology topology_{overlay::Graph(0), {}};
+  std::unique_ptr<PeerStore> store_;
+  std::vector<NodeId> holders_;
+};
+
+TEST_F(QrpNetworkTest, RejectsSizeMismatch) {
+  PeerStore wrong(10);
+  wrong.finalize();
+  EXPECT_THROW(QrpNetwork(topology_, wrong), std::invalid_argument);
+}
+
+TEST_F(QrpNetworkTest, FindsContentThroughQrpFiltering) {
+  QrpNetwork net(topology_, *store_);
+  ASSERT_FALSE(holders_.empty());
+  // Search from an ultrapeer with enough TTL to cover the UP mesh.
+  NodeId source = 0;
+  while (!topology_.is_ultrapeer[source]) ++source;
+  const auto r = net.search(source, std::vector<TermId>{10, 20}, 4);
+  EXPECT_FALSE(r.results.empty());
+}
+
+TEST_F(QrpNetworkTest, QrpSuppressesNonMatchingLeafDeliveries) {
+  QrpNetwork net(topology_, *store_);
+  NodeId source = 0;
+  while (!topology_.is_ultrapeer[source]) ++source;
+  const auto r = net.search(source, std::vector<TermId>{10, 20}, 4);
+  // Only ~5 of ~480 leaves hold the terms: the overwhelming majority of
+  // potential leaf deliveries must be suppressed.
+  EXPECT_GT(r.leaf_suppressed, 10 * r.leaf_messages);
+  // And the total cost is far below delivering to every leaf.
+  EXPECT_LT(r.leaf_messages, 60u);
+}
+
+TEST_F(QrpNetworkTest, EmptyQueryIsNoop) {
+  QrpNetwork net(topology_, *store_);
+  const auto r = net.search(0, std::vector<TermId>{}, 3);
+  EXPECT_TRUE(r.results.empty());
+  EXPECT_EQ(r.total_messages(), 0u);
+}
+
+TEST_F(QrpNetworkTest, QrpCannotHelpTermsNobodyIndexed) {
+  QrpNetwork net(topology_, *store_);
+  NodeId source = 0;
+  while (!topology_.is_ultrapeer[source]) ++source;
+  const auto r = net.search(source, std::vector<TermId>{123'456'789}, 5);
+  EXPECT_TRUE(r.results.empty());
+  // Everything gets suppressed (modulo hash false positives) -> the
+  // flood still pays the full ultrapeer-tier cost for nothing: QRP saves
+  // the last hop but cannot make the search succeed.
+  EXPECT_GT(r.up_messages, 0u);
+  EXPECT_LT(r.leaf_messages, r.leaf_suppressed / 20 + 5);
+}
+
+TEST_F(QrpNetworkTest, MeanFillIsSane) {
+  QrpNetwork net(topology_, *store_);
+  const double fill = net.mean_fill();
+  EXPECT_GE(fill, 0.0);
+  EXPECT_LT(fill, 0.01);  // tiny libraries, 64Ki slots
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

@@ -1,0 +1,119 @@
+#include "src/sim/random_walk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::sim {
+namespace {
+
+Graph ring_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return g;
+}
+
+TEST(RandomWalkLocate, SourceHoldingSucceedsImmediately) {
+  const Graph g = ring_graph(10);
+  util::Rng rng(1);
+  const std::vector<NodeId> holders{0};
+  RandomWalkParams params;
+  const RandomWalkResult r = random_walk_locate(g, 0, holders, params, rng);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(RandomWalkLocate, FindsAdjacentHolderQuickly) {
+  const Graph g = ring_graph(8);
+  util::Rng rng(2);
+  const std::vector<NodeId> holders{1, 7};  // both neighbors of 0
+  RandomWalkParams params;
+  params.walkers = 2;
+  params.max_steps = 4;
+  const RandomWalkResult r = random_walk_locate(g, 0, holders, params, rng);
+  EXPECT_TRUE(r.success);
+  EXPECT_LE(r.messages, 8u);
+}
+
+TEST(RandomWalkLocate, BudgetIsRespected) {
+  const Graph g = ring_graph(1'000);
+  util::Rng rng(3);
+  const std::vector<NodeId> holders{500};  // far away
+  RandomWalkParams params;
+  params.walkers = 2;
+  params.max_steps = 10;
+  const RandomWalkResult r = random_walk_locate(g, 0, holders, params, rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_LE(r.messages, 20u);
+}
+
+TEST(RandomWalkLocate, HighReplicationAlmostAlwaysSucceeds) {
+  util::Rng topo_rng(4);
+  const Graph g = [&] {
+    Graph gg(500);
+    for (int i = 0; i < 2'000; ++i) {
+      gg.add_edge(static_cast<NodeId>(topo_rng.bounded(500)),
+                  static_cast<NodeId>(topo_rng.bounded(500)));
+    }
+    return gg;
+  }();
+  // 20% of nodes hold the object.
+  std::vector<NodeId> holders;
+  for (NodeId v = 0; v < 500; v += 5) holders.push_back(v);
+
+  util::Rng rng(5);
+  RandomWalkParams params;
+  params.walkers = 4;
+  params.max_steps = 64;
+  int successes = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto src = static_cast<NodeId>(rng.bounded(500));
+    successes += random_walk_locate(g, src, holders, params, rng).success;
+  }
+  EXPECT_GT(successes, 95);
+}
+
+TEST(RandomWalkSearch, ConjunctiveMatchAndDedup) {
+  const Graph g = ring_graph(6);
+  PeerStore store(6);
+  store.add_object(1, 100, {1, 2});
+  store.add_object(2, 100, {1, 2});  // replica of the same object
+  store.finalize();
+  util::Rng rng(6);
+  RandomWalkParams params;
+  params.walkers = 4;
+  params.max_steps = 12;
+  params.stop_after_results = 0;  // exhaust budget
+  const std::vector<TermId> query{1, 2};
+  const RandomWalkResult r = random_walk_search(g, store, 0, query, params, rng);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.results, (std::vector<std::uint64_t>{100}));  // deduplicated
+}
+
+TEST(RandomWalkSearch, DegreeBiasedWalkStillTerminates) {
+  const Graph g = ring_graph(50);
+  PeerStore store(50);
+  store.finalize();
+  util::Rng rng(7);
+  RandomWalkParams params;
+  params.degree_biased = true;
+  params.walkers = 2;
+  params.max_steps = 16;
+  const std::vector<TermId> query{9};
+  const RandomWalkResult r = random_walk_search(g, store, 0, query, params, rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.messages, 32u);
+}
+
+TEST(RandomWalk, IsolatedNodeCannotWalk) {
+  Graph g(3);  // no edges
+  util::Rng rng(8);
+  const std::vector<NodeId> holders{2};
+  const RandomWalkResult r =
+      random_walk_locate(g, 0, holders, RandomWalkParams{}, rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

@@ -1,0 +1,119 @@
+#include "src/sim/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/util/rng.hpp"
+#include "src/util/zipf.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+TEST(AllocateReplicas, ValidatesInputs) {
+  const std::vector<double> rates{1.0, 2.0};
+  EXPECT_THROW(allocate_replicas(rates, 2, ReplicationPolicy::kUniform, 0),
+               std::invalid_argument);
+  EXPECT_THROW(allocate_replicas(rates, 1, ReplicationPolicy::kUniform, 10),
+               std::invalid_argument);
+  EXPECT_TRUE(
+      allocate_replicas({}, 0, ReplicationPolicy::kUniform, 1).empty());
+}
+
+TEST(AllocateReplicas, BudgetIsRespectedAndFloored) {
+  const std::vector<double> rates{9.0, 1.0, 0.0, 4.0};
+  for (const auto policy :
+       {ReplicationPolicy::kUniform, ReplicationPolicy::kProportional,
+        ReplicationPolicy::kSquareRoot}) {
+    const auto copies = allocate_replicas(rates, 40, policy, 100);
+    ASSERT_EQ(copies.size(), 4u);
+    std::uint64_t total = 0;
+    for (auto c : copies) {
+      EXPECT_GE(c, 1u);  // owner copy floor
+      total += c;
+    }
+    EXPECT_EQ(total, 40u);
+  }
+}
+
+TEST(AllocateReplicas, UniformSplitsEvenly) {
+  const std::vector<double> rates{5.0, 1.0, 3.0, 2.0};
+  const auto copies =
+      allocate_replicas(rates, 40, ReplicationPolicy::kUniform, 100);
+  for (auto c : copies) EXPECT_EQ(c, 10u);
+}
+
+TEST(AllocateReplicas, ProportionalTracksRates) {
+  const std::vector<double> rates{8.0, 2.0};
+  const auto copies =
+      allocate_replicas(rates, 100, ReplicationPolicy::kProportional, 1'000);
+  // Floors shift things slightly; ~80/20 split.
+  EXPECT_NEAR(static_cast<double>(copies[0]), 80.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(copies[1]), 20.0, 3.0);
+}
+
+TEST(AllocateReplicas, SquareRootCompressesTheSkew) {
+  const std::vector<double> rates{100.0, 1.0};
+  const auto prop =
+      allocate_replicas(rates, 110, ReplicationPolicy::kProportional, 1'000);
+  const auto sqrt_alloc =
+      allocate_replicas(rates, 110, ReplicationPolicy::kSquareRoot, 1'000);
+  // Proportional gives ~100:1; square-root ~10:1.
+  EXPECT_GT(prop[0], 9 * prop[1]);
+  EXPECT_LT(sqrt_alloc[0], 15 * sqrt_alloc[1]);
+  EXPECT_GT(sqrt_alloc[1], prop[1]);
+}
+
+TEST(AllocateReplicas, PerObjectCapIsHonored) {
+  const std::vector<double> rates{1'000.0, 1.0, 1.0};
+  const auto copies =
+      allocate_replicas(rates, 30, ReplicationPolicy::kProportional, 12);
+  EXPECT_LE(copies[0], 12u);
+}
+
+TEST(ExpectedSearchSize, MatchesHandComputation) {
+  // Two objects, equal query rates, copies {2, 8} in 100 peers:
+  // E = 0.5*100/2 + 0.5*100/8 = 25 + 6.25.
+  const std::vector<double> rates{1.0, 1.0};
+  const std::vector<std::uint64_t> replicas{2, 8};
+  EXPECT_NEAR(expected_search_size(rates, replicas, 100), 31.25, 1e-9);
+  EXPECT_THROW(
+      (void)expected_search_size(rates, std::vector<std::uint64_t>{1}, 100),
+      std::invalid_argument);
+}
+
+// The Cohen-Shenker theorem, empirically: square-root allocation beats
+// uniform and proportional for Zipf query rates, and approaches the
+// analytical optimum.
+TEST(ReplicationPolicies, SquareRootMinimizesExpectedSearchSize) {
+  constexpr std::size_t kObjects = 2'000;
+  constexpr std::uint64_t kPeers = 10'000;
+  constexpr std::uint64_t kBudget = 40'000;  // 20 copies/object on average
+  const auto rates = util::zipf_pmf(kObjects, 1.0);
+
+  const auto uniform =
+      allocate_replicas(rates, kBudget, ReplicationPolicy::kUniform, kPeers);
+  const auto proportional = allocate_replicas(
+      rates, kBudget, ReplicationPolicy::kProportional, kPeers);
+  const auto square_root = allocate_replicas(
+      rates, kBudget, ReplicationPolicy::kSquareRoot, kPeers);
+
+  const double e_uniform = expected_search_size(rates, uniform, kPeers);
+  const double e_prop = expected_search_size(rates, proportional, kPeers);
+  const double e_sqrt = expected_search_size(rates, square_root, kPeers);
+  const double e_opt = optimal_search_size(rates, kBudget, kPeers);
+
+  EXPECT_LT(e_sqrt, e_uniform);
+  EXPECT_LT(e_sqrt, e_prop);
+  EXPECT_NEAR(e_sqrt, e_opt, e_opt * 0.20);  // rounding + floors
+  EXPECT_GE(e_sqrt, e_opt * 0.99);           // cannot beat the optimum
+}
+
+TEST(OptimalSearchSize, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(optimal_search_size({}, 10, 100), 0.0);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(optimal_search_size(zero, 10, 100), 0.0);
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

@@ -1,0 +1,117 @@
+#include "src/sim/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::sim {
+namespace {
+
+Graph ring_graph(NodeId n) {
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+struct CacheFixture : ::testing::Test {
+  CacheFixture() : graph(ring_graph(30)), store(30) {
+    store.add_object(15, 900, {5});
+    store.finalize();
+  }
+  Graph graph;
+  PeerStore store;
+};
+
+TEST_F(CacheFixture, MissFloodsThenHitIsFree) {
+  ResultCacheParams params;
+  params.flood_ttl = 20;
+  CachingSearchNetwork net(graph, store, params);
+
+  const auto first = net.search(0, std::vector<TermId>{5});
+  EXPECT_TRUE(first.success());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_GT(first.messages, 10u);
+
+  const auto second = net.search(0, std::vector<TermId>{5});
+  EXPECT_TRUE(second.success());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.messages, 0u);  // own cache
+  EXPECT_NEAR(net.hit_rate(), 0.5, 1e-9);
+}
+
+TEST_F(CacheFixture, NeighborCacheAnswersForCheap) {
+  ResultCacheParams params;
+  params.flood_ttl = 20;
+  CachingSearchNetwork net(graph, store, params);
+  (void)net.search(1, std::vector<TermId>{5});  // populate node 1's cache
+  const auto r = net.search(0, std::vector<TermId>{5});  // 0 adj to 1
+  EXPECT_TRUE(r.success());
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_LE(r.messages, 2u);  // neighbor probes only
+}
+
+TEST_F(CacheFixture, OwnContentBypassesEverything) {
+  CachingSearchNetwork net(graph, store);
+  const auto r = net.search(15, std::vector<TermId>{5});
+  EXPECT_TRUE(r.success());
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_FALSE(r.cache_hit);
+}
+
+TEST_F(CacheFixture, FailedQueriesAreNotCached) {
+  ResultCacheParams params;
+  params.flood_ttl = 20;
+  CachingSearchNetwork net(graph, store, params);
+  const auto a = net.search(0, std::vector<TermId>{999});
+  EXPECT_FALSE(a.success());
+  const auto b = net.search(0, std::vector<TermId>{999});
+  EXPECT_FALSE(b.cache_hit);       // negative results are not cached
+  EXPECT_GT(b.messages, 10u);      // pays the flood again
+}
+
+TEST_F(CacheFixture, LruEvictionHonorsCapacity) {
+  PeerStore many(30);
+  for (NodeId v = 0; v < 20; ++v) {
+    many.add_object(v, 800 + v, {static_cast<TermId>(100 + v)});
+  }
+  many.finalize();
+  ResultCacheParams params;
+  params.capacity = 3;
+  params.flood_ttl = 20;
+  CachingSearchNetwork net(graph, many, params);
+  for (TermId t = 100; t < 110; ++t) {
+    (void)net.search(25, std::vector<TermId>{t});
+  }
+  EXPECT_LE(net.cached_entries(25), 3u);
+}
+
+TEST_F(CacheFixture, EmptyQueryIsNoop) {
+  CachingSearchNetwork net(graph, store);
+  const auto r = net.search(0, std::vector<TermId>{});
+  EXPECT_FALSE(r.success());
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST_F(CacheFixture, HeadRepeatsAmortizeTailDoesNot) {
+  ResultCacheParams params;
+  params.flood_ttl = 20;
+  CachingSearchNetwork net(graph, store, params);
+  // 20 repeats of the head query from the same requester: 1 flood total.
+  std::uint64_t head_msgs = 0;
+  for (int i = 0; i < 20; ++i) {
+    head_msgs += net.search(0, std::vector<TermId>{5}).messages;
+  }
+  // 20 distinct tail queries: 20 floods.
+  PeerStore tail_store(30);
+  for (NodeId v = 0; v < 20; ++v) {
+    tail_store.add_object(v, v, {static_cast<TermId>(500 + v)});
+  }
+  tail_store.finalize();
+  CachingSearchNetwork tail_net(graph, tail_store, params);
+  std::uint64_t tail_msgs = 0;
+  for (TermId t = 500; t < 520; ++t) {
+    tail_msgs += tail_net.search(25, std::vector<TermId>{t}).messages;
+  }
+  EXPECT_LT(head_msgs * 5, tail_msgs);
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

@@ -1,0 +1,106 @@
+#include "src/sim/shortcuts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::sim {
+namespace {
+
+Graph ring_graph(NodeId n) {
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+struct ShortcutFixture : ::testing::Test {
+  ShortcutFixture() : graph(ring_graph(40)), store(40) {
+    store.add_object(20, 900, {5});  // far from node 0 on the ring
+    store.add_object(2, 901, {6});   // near node 0
+    store.finalize();
+  }
+  Graph graph;
+  PeerStore store;
+};
+
+TEST_F(ShortcutFixture, FirstSearchFloodsThenLearns) {
+  ShortcutParams params;
+  params.fallback_ttl = 25;  // enough to cross the ring
+  ShortcutOverlay overlay(graph, store, params);
+
+  const auto first = overlay.search(0, std::vector<TermId>{5});
+  EXPECT_TRUE(first.success());
+  EXPECT_FALSE(first.via_shortcut);
+  EXPECT_GT(first.flood_messages, 0u);
+  ASSERT_FALSE(overlay.shortcuts(0).empty());
+  EXPECT_EQ(overlay.shortcuts(0)[0], 20u);
+
+  // Second identical search: one shortcut message, no flood.
+  const auto second = overlay.search(0, std::vector<TermId>{5});
+  EXPECT_TRUE(second.success());
+  EXPECT_TRUE(second.via_shortcut);
+  EXPECT_EQ(second.flood_messages, 0u);
+  EXPECT_EQ(second.shortcut_messages, 1u);
+  EXPECT_GT(overlay.shortcut_hit_rate(), 0.0);
+}
+
+TEST_F(ShortcutFixture, LocalContentNeedsNoMessages) {
+  ShortcutOverlay overlay(graph, store);
+  const auto r = overlay.search(20, std::vector<TermId>{5});
+  EXPECT_TRUE(r.success());
+  EXPECT_EQ(r.total_messages(), 0u);
+}
+
+TEST_F(ShortcutFixture, ShortcutMissFallsBackToFlood) {
+  ShortcutParams params;
+  params.fallback_ttl = 25;
+  ShortcutOverlay overlay(graph, store, params);
+  // Learn a shortcut for term 5 (responder 20)...
+  (void)overlay.search(0, std::vector<TermId>{5});
+  // ...then ask for term 6: the shortcut misses, flood finds node 2.
+  const auto r = overlay.search(0, std::vector<TermId>{6});
+  EXPECT_TRUE(r.success());
+  EXPECT_FALSE(r.via_shortcut);
+  EXPECT_EQ(r.shortcut_messages, 1u);  // probed the learned shortcut
+  EXPECT_GT(r.flood_messages, 0u);
+  // Now node 2 is the most recent shortcut.
+  EXPECT_EQ(overlay.shortcuts(0)[0], 2u);
+}
+
+TEST_F(ShortcutFixture, LruEvictionRespectsBudget) {
+  ShortcutParams params;
+  params.shortcut_budget = 2;
+  params.fallback_ttl = 25;
+  // Spread distinct single-holder objects over several peers.
+  PeerStore many(40);
+  for (NodeId v = 10; v < 15; ++v) {
+    many.add_object(v, 800 + v, {static_cast<TermId>(v)});
+  }
+  many.finalize();
+  ShortcutOverlay overlay(graph, many, params);
+  for (NodeId v = 10; v < 15; ++v) {
+    (void)overlay.search(0, std::vector<TermId>{static_cast<TermId>(v)});
+  }
+  EXPECT_EQ(overlay.shortcuts(0).size(), 2u);
+  EXPECT_EQ(overlay.shortcuts(0)[0], 14u);  // most recent first
+  EXPECT_EQ(overlay.shortcuts(0)[1], 13u);
+}
+
+TEST_F(ShortcutFixture, EmptyQueryIsNoop) {
+  ShortcutOverlay overlay(graph, store);
+  const auto r = overlay.search(0, std::vector<TermId>{});
+  EXPECT_FALSE(r.success());
+  EXPECT_EQ(r.total_messages(), 0u);
+}
+
+TEST_F(ShortcutFixture, RepeatedInterestRaisesHitRate) {
+  ShortcutParams params;
+  params.fallback_ttl = 25;
+  ShortcutOverlay overlay(graph, store, params);
+  for (int i = 0; i < 10; ++i) {
+    (void)overlay.search(0, std::vector<TermId>{5});
+  }
+  // 1 flood + 9 shortcut hits (local miss each time).
+  EXPECT_NEAR(overlay.shortcut_hit_rate(), 0.9, 1e-9);
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

@@ -1,0 +1,109 @@
+#include "src/text/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::text {
+namespace {
+
+TEST(Tokenize, SplitsOnSeparatorsAndLowercases) {
+  const auto tokens = tokenize("Aaron Neville - I Don't Know Much.mp3");
+  const std::vector<std::string> expected{"aaron", "neville", "don",
+                                          "know", "much"};
+  EXPECT_EQ(tokens, expected);  // "I" and "t" dropped (min length 2)
+}
+
+TEST(Tokenize, UnderscoresAndDashesSeparate) {
+  const auto tokens = tokenize("zarilo_ket-muvalo");
+  const std::vector<std::string> expected{"zarilo", "ket", "muvalo"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(Tokenize, DropsMediaExtensionsByDefault) {
+  const auto tokens = tokenize("song.mp3");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "song");
+}
+
+TEST(Tokenize, KeepsExtensionWhenDisabled) {
+  TokenizerOptions opts;
+  opts.drop_extensions = false;
+  const auto tokens = tokenize("song.mp3", opts);
+  const std::vector<std::string> expected{"song", "mp3"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(Tokenize, NumericFilter) {
+  TokenizerOptions opts;
+  opts.drop_numeric = true;
+  const auto tokens = tokenize("01 track 128", opts);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "track");
+}
+
+TEST(Tokenize, KeepsNumericByDefault) {
+  const auto tokens = tokenize("01 Track.wma");
+  const std::vector<std::string> expected{"01", "track"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(Tokenize, EmptyAndSeparatorOnlyInputs) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("--- !!! ...").empty());
+}
+
+TEST(Tokenize, MinLengthFilter) {
+  TokenizerOptions opts;
+  opts.min_length = 4;
+  const auto tokens = tokenize("ab abc abcd abcde", opts);
+  const std::vector<std::string> expected{"abcd", "abcde"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(Tokenize, Utf8BytesStayInsideTokens) {
+  // "café" in UTF-8: the multi-byte é must not split the token.
+  const auto tokens = tokenize("caf\xc3\xa9 night");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "caf\xc3\xa9");
+  EXPECT_EQ(tokens[1], "night");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(to_lower("\xc3\x89"), "\xc3\x89");  // É unchanged bytewise
+}
+
+TEST(SanitizeFilename, MergesSurfaceVariants) {
+  const std::string a = sanitize_filename("Aaron Neville - I Don't Know.mp3");
+  const std::string b = sanitize_filename("aaron neville i don t know.mp3");
+  const std::string c = sanitize_filename("AARON-NEVILLE---I-DON'T-KNOW.MP3");
+  EXPECT_EQ(a, "aaron neville i don t know.mp3");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(SanitizeFilename, PreservesWordContentDifferences) {
+  EXPECT_NE(sanitize_filename("Aaron - Know Much.mp3"),
+            sanitize_filename("Aaron ft Linda - Know Much.mp3"));
+}
+
+TEST(SanitizeFilename, CollapsesSpacesAndTrims) {
+  EXPECT_EQ(sanitize_filename("  a   b  "), "a b");
+  EXPECT_EQ(sanitize_filename(""), "");
+}
+
+TEST(SanitizeFilename, Idempotent) {
+  const std::string once = sanitize_filename("A--B__C  d.MP3");
+  EXPECT_EQ(sanitize_filename(once), once);
+}
+
+TEST(Helpers, ExtensionAndNumericPredicates) {
+  EXPECT_TRUE(is_media_extension("mp3"));
+  EXPECT_TRUE(is_media_extension("flac"));
+  EXPECT_FALSE(is_media_extension("song"));
+  EXPECT_TRUE(is_numeric("0123"));
+  EXPECT_FALSE(is_numeric("12a"));
+  EXPECT_FALSE(is_numeric(""));
+}
+
+}  // namespace
+}  // namespace qcp2p::text

@@ -1,0 +1,73 @@
+#include "src/text/vocabulary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qcp2p::text {
+namespace {
+
+TEST(Vocabulary, InternAssignsDenseIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.intern("alpha"), 0u);
+  EXPECT_EQ(v.intern("beta"), 1u);
+  EXPECT_EQ(v.intern("alpha"), 0u);  // idempotent
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Vocabulary, FindDoesNotInsert) {
+  Vocabulary v;
+  EXPECT_FALSE(v.find("ghost").has_value());
+  EXPECT_EQ(v.size(), 0u);
+  v.intern("real");
+  ASSERT_TRUE(v.find("real").has_value());
+  EXPECT_EQ(*v.find("real"), 0u);
+}
+
+TEST(Vocabulary, SpellRoundTrips) {
+  Vocabulary v;
+  const TermId a = v.intern("hello");
+  const TermId b = v.intern("world");
+  EXPECT_EQ(v.spell(a), "hello");
+  EXPECT_EQ(v.spell(b), "world");
+}
+
+TEST(Vocabulary, SpellRejectsBadId) {
+  Vocabulary v;
+  EXPECT_THROW((void)v.spell(0), std::out_of_range);
+  v.intern("x");
+  EXPECT_THROW((void)v.spell(1), std::out_of_range);
+}
+
+TEST(Vocabulary, InternAllPreservesOrder) {
+  Vocabulary v;
+  const std::vector<std::string> tokens{"b", "a", "b", "c"};
+  const auto ids = v.intern_all(tokens);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], ids[2]);  // same token, same id
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Vocabulary, StableAcrossRehash) {
+  Vocabulary v;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 10'000; ++i) {
+    std::string token = "t";
+    token += std::to_string(i);
+    ids.push_back(v.intern(token));
+  }
+  for (int i = 0; i < 10'000; ++i) {
+    std::string token = "t";
+    token += std::to_string(i);
+    ASSERT_EQ(v.spell(ids[static_cast<std::size_t>(i)]), token);
+  }
+}
+
+TEST(Vocabulary, EmptyStringIsValidTerm) {
+  Vocabulary v;
+  const TermId id = v.intern("");
+  EXPECT_EQ(v.spell(id), "");
+  EXPECT_TRUE(v.find("").has_value());
+}
+
+}  // namespace
+}  // namespace qcp2p::text

@@ -1,0 +1,172 @@
+#include "src/trace/content_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/text/tokenizer.hpp"
+
+namespace qcp2p::trace {
+namespace {
+
+ContentModelParams small_params() {
+  ContentModelParams p;
+  p.core_lexicon_size = 2'000;
+  p.catalog_songs = 10'000;
+  p.artists = 500;
+  p.seed = 11;
+  return p;
+}
+
+TEST(ContentModel, SpellTermIsBijectiveOnSample) {
+  std::set<std::string> words;
+  for (text::TermId id = 0; id < 50'000; ++id) {
+    words.insert(ContentModel::spell_term(id));
+  }
+  EXPECT_EQ(words.size(), 50'000u);
+}
+
+TEST(ContentModel, SpellTermIsTokenizerSafe) {
+  // Spellings must survive tokenization unchanged (lowercase, length>=2,
+  // no separators), so string and id pipelines agree.
+  for (text::TermId id : {0u, 1u, 39u, 40u, 1599u, 123456u}) {
+    const std::string w = ContentModel::spell_term(id);
+    const auto tokens = text::tokenize(w);
+    ASSERT_EQ(tokens.size(), 1u) << w;
+    EXPECT_EQ(tokens[0], w);
+  }
+}
+
+TEST(ContentModel, DeterministicAcrossInstances) {
+  const ContentModel a(small_params());
+  const ContentModel b(small_params());
+  for (SongId s : {0u, 5u, 9'999u}) {
+    EXPECT_EQ(a.song_terms(s), b.song_terms(s));
+    EXPECT_EQ(a.song_artist(s), b.song_artist(s));
+    EXPECT_EQ(a.variant_name(s, 0), b.variant_name(s, 0));
+    EXPECT_EQ(a.variant_name(s, 3), b.variant_name(s, 3));
+  }
+}
+
+TEST(ContentModel, SeedChangesUniverse) {
+  ContentModelParams p2 = small_params();
+  p2.seed = 12;
+  const ContentModel a(small_params());
+  const ContentModel b(p2);
+  int same = 0;
+  for (SongId s = 0; s < 50; ++s) same += (a.song_terms(s) == b.song_terms(s));
+  EXPECT_LT(same, 5);
+}
+
+TEST(ContentModel, VariantKinds) {
+  EXPECT_EQ(ContentModel::variant_kind(0), VariantKind::kCanonical);
+  EXPECT_EQ(ContentModel::variant_kind(1), VariantKind::kStructural);
+  EXPECT_EQ(ContentModel::variant_kind(4), VariantKind::kStructural);
+  EXPECT_EQ(ContentModel::variant_kind(5), VariantKind::kSurface);
+  EXPECT_EQ(ContentModel::variant_kind(12), VariantKind::kSurface);
+  EXPECT_EQ(ContentModel::structural_signature(0), 0u);
+  EXPECT_EQ(ContentModel::structural_signature(5), 0u);
+  EXPECT_EQ(ContentModel::structural_signature(9), 0u);
+  EXPECT_EQ(ContentModel::structural_signature(1), 1u);
+  EXPECT_EQ(ContentModel::structural_signature(4), 4u);
+}
+
+TEST(ContentModel, SurfaceVariantsSanitizeToCanonical) {
+  const ContentModel m(small_params());
+  int checked = 0;
+  for (SongId s = 0; s < 200; ++s) {
+    const std::string canon = text::sanitize_filename(m.variant_name(s, 0));
+    for (std::uint32_t k : {5u, 7u, 9u}) {
+      EXPECT_EQ(text::sanitize_filename(m.variant_name(s, k)), canon)
+          << "song " << s << " variant " << k;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 600);
+}
+
+TEST(ContentModel, SurfaceVariantsDifferBeforeSanitization) {
+  const ContentModel m(small_params());
+  int distinct = 0;
+  for (SongId s = 0; s < 200; ++s) {
+    distinct += (m.variant_name(s, 5) != m.variant_name(s, 0));
+  }
+  // Styles are random per (song, variant); the overwhelming majority
+  // must differ from canonical or Fig 2 could not merge anything.
+  EXPECT_GT(distinct, 150);
+}
+
+TEST(ContentModel, StructuralVariantsChangeTerms) {
+  const ContentModel m(small_params());
+  int changed = 0;
+  for (SongId s = 0; s < 300; ++s) {
+    if (m.variant_terms(s, 2) != m.variant_terms(s, 0)) ++changed;
+  }
+  EXPECT_GT(changed, 250);
+}
+
+TEST(ContentModel, VariantNameMatchesVariantTermsThroughTokenizer) {
+  const ContentModel m(small_params());
+  for (SongId s = 0; s < 100; ++s) {
+    for (std::uint32_t k : {0u, 1u, 2u, 4u}) {
+      const auto tokens = text::tokenize(m.variant_name(s, k));
+      const auto terms = m.variant_terms(s, k);
+      ASSERT_EQ(tokens.size(), terms.size()) << "song " << s << " k " << k;
+      for (std::size_t i = 0; i < terms.size(); ++i) {
+        EXPECT_EQ(tokens[i], ContentModel::spell_term(terms[i]));
+      }
+    }
+  }
+}
+
+TEST(ContentModel, TailTermsLiveAboveCoreLexicon) {
+  const ContentModel m(small_params());
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_GE(m.tail_term(key), m.core_lexicon_size());
+  }
+}
+
+TEST(ContentModel, DrawCoreTermFavorsLowRanks) {
+  const ContentModel m(small_params());
+  util::Rng rng(3);
+  std::size_t low = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (m.draw_core_term(rng) < 20) ++low;
+  }
+  // Zipf(1.05) over 2000 terms puts a large share in the top 20 ranks.
+  EXPECT_GT(low, kDraws / 5);
+}
+
+TEST(ContentModel, GenreNamesAndPools) {
+  const ContentModel m(small_params());
+  EXPECT_EQ(m.genre_name(0), "Rock");
+  EXPECT_EQ(m.genre_name(23), "Acoustic");
+  EXPECT_EQ(m.genre_name(100).rfind("my-", 0), 0u);  // invented genre
+  EXPECT_GT(ContentModel::nonspecific_pool_size(), 0u);
+  EXPECT_FALSE(ContentModel::nonspecific_name(0).empty());
+}
+
+TEST(ContentModel, ArtistAndAlbumAreDeterministic) {
+  const ContentModel m(small_params());
+  for (SongId s = 0; s < 50; ++s) {
+    EXPECT_EQ(m.song_album(s), m.song_album(s));
+    EXPECT_EQ(m.artist_name(m.song_artist(s)), m.artist_name(m.song_artist(s)));
+  }
+}
+
+TEST(ContentModel, SongTermsIncludeArtistTerms) {
+  const ContentModel m(small_params());
+  for (SongId s = 0; s < 50; ++s) {
+    const auto artist = m.artist_terms(m.song_artist(s));
+    const auto all = m.song_terms(s);
+    ASSERT_GE(all.size(), artist.size());
+    for (std::size_t i = 0; i < artist.size(); ++i) {
+      EXPECT_EQ(all[i], artist[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qcp2p::trace

@@ -1,0 +1,95 @@
+#include "src/trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qcp2p::trace {
+namespace {
+
+ContentModelParams model_params() {
+  ContentModelParams p;
+  p.core_lexicon_size = 1'000;
+  p.catalog_songs = 5'000;
+  p.artists = 300;
+  p.seed = 51;
+  return p;
+}
+
+TEST(TraceIo, QueryTraceRoundTrip) {
+  const ContentModel model(model_params());
+  QueryTraceParams params;
+  params.num_queries = 500;
+  params.duration_hours = 4.0;
+  const QueryTrace original = generate_query_trace(model, params);
+
+  std::stringstream buffer;
+  write_query_trace(buffer, original);
+  const QueryTrace loaded = read_query_trace(buffer);
+
+  ASSERT_EQ(loaded.queries().size(), original.queries().size());
+  for (std::size_t i = 0; i < loaded.queries().size(); ++i) {
+    EXPECT_EQ(loaded.queries()[i].terms, original.queries()[i].terms);
+    EXPECT_NEAR(loaded.queries()[i].time_s, original.queries()[i].time_s,
+                1e-3);
+  }
+}
+
+TEST(TraceIo, QueryTraceRejectsBadHeader) {
+  std::stringstream buffer("not a trace\n1.0 2 3\n");
+  EXPECT_THROW(read_query_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, QueryTraceRejectsTermlessQuery) {
+  std::stringstream buffer("qtrace v1\n1.5\n");
+  EXPECT_THROW(read_query_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, QueryTraceSkipsComments) {
+  std::stringstream buffer("qtrace v1\n# a comment\n1.0 7 9\n\n2.0 3\n");
+  const QueryTrace t = read_query_trace(buffer);
+  ASSERT_EQ(t.queries().size(), 2u);
+  EXPECT_EQ(t.queries()[0].terms, (std::vector<TermId>{7, 9}));
+}
+
+TEST(TraceIo, CrawlRoundTrip) {
+  const ContentModel model(model_params());
+  GnutellaCrawlParams params;
+  params.num_peers = 40;
+  const CrawlSnapshot original = generate_gnutella_crawl(model, params);
+
+  std::stringstream buffer;
+  write_crawl(buffer, original);
+  const CrawlSnapshot loaded = read_crawl(buffer, model);
+
+  ASSERT_EQ(loaded.num_peers(), original.num_peers());
+  EXPECT_EQ(loaded.total_objects(), original.total_objects());
+  for (std::size_t p = 0; p < loaded.num_peers(); ++p) {
+    const auto& a = original.peer_objects(p);
+    const auto& b = loaded.peer_objects(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].bits, b[i].bits);
+  }
+  // Names are realizable from the reloaded snapshot too.
+  if (!loaded.peer_objects(0).empty()) {
+    EXPECT_EQ(loaded.object_name(loaded.peer_objects(0)[0]),
+              original.object_name(original.peer_objects(0)[0]));
+  }
+}
+
+TEST(TraceIo, CrawlRejectsBadHeaderAndRange) {
+  const ContentModel model(model_params());
+  std::stringstream bad_header("nope\n");
+  EXPECT_THROW(read_crawl(bad_header, model), std::runtime_error);
+  std::stringstream bad_peer("crawl v1 2\n5 4000000000000000\n");
+  EXPECT_THROW(read_crawl(bad_peer, model), std::runtime_error);
+}
+
+TEST(TraceIo, FileHelpersThrowOnMissingPath) {
+  const ContentModel model(model_params());
+  EXPECT_THROW(load_query_trace("/nonexistent/dir/q.txt"), std::runtime_error);
+  EXPECT_THROW(load_crawl("/nonexistent/dir/c.txt", model), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qcp2p::trace

@@ -1,0 +1,134 @@
+#include "src/trace/itunes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/replication.hpp"
+#include "src/util/stats.hpp"
+
+namespace qcp2p::trace {
+namespace {
+
+ContentModelParams model_params() {
+  ContentModelParams p;
+  p.core_lexicon_size = 8'000;
+  p.catalog_songs = 300'000;
+  p.artists = 150'000;
+  p.seed = 31;
+  return p;
+}
+
+TEST(ItunesCrawlParams, ScaledValidates) {
+  ItunesCrawlParams p;
+  EXPECT_THROW((void)p.scaled(0.0), std::invalid_argument);
+  EXPECT_EQ(p.scaled(0.5).num_clients, 120u);
+}
+
+TEST(ItunesCrawl, Deterministic) {
+  const ContentModel model(model_params());
+  ItunesCrawlParams params;
+  params.num_clients = 10;
+  params.mean_tracks_per_client = 100;
+  const ItunesSnapshot a = generate_itunes_crawl(model, params);
+  const ItunesSnapshot b = generate_itunes_crawl(model, params);
+  ASSERT_EQ(a.total_tracks(), b.total_tracks());
+  for (std::size_t c = 0; c < a.num_clients(); ++c) {
+    const auto& ta = a.client_tracks(c);
+    const auto& tb = b.client_tracks(c);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].key.bits, tb[i].key.bits);
+      EXPECT_EQ(ta[i].genre, tb[i].genre);
+    }
+  }
+}
+
+TEST(ItunesCrawl, LibrariesDeduplicated) {
+  const ContentModel model(model_params());
+  ItunesCrawlParams params;
+  params.num_clients = 20;
+  params.mean_tracks_per_client = 500;
+  const ItunesSnapshot snap = generate_itunes_crawl(model, params);
+  for (std::size_t c = 0; c < snap.num_clients(); ++c) {
+    const auto& lib = snap.client_tracks(c);
+    for (std::size_t i = 1; i < lib.size(); ++i) {
+      ASSERT_LT(lib[i - 1].key.bits, lib[i].key.bits);
+    }
+  }
+}
+
+// Fig 4 calibration: paper numbers are 239 clients, 533,768 tracks,
+// 64% singleton songs, 8.7% missing genre, 8.1% missing album, ~56%
+// singleton genres, ~65% singleton albums/artists.
+TEST(ItunesCrawl, CalibratedAnnotationMarginals) {
+  const ContentModel model(model_params());
+  const ItunesCrawlParams params;  // full client count; libraries ~2.2k
+  const ItunesSnapshot snap = generate_itunes_crawl(model, params);
+
+  EXPECT_NEAR(static_cast<double>(snap.total_tracks()), 533'768.0,
+              533'768.0 * 0.35);
+
+  const auto songs = snap.song_client_counts();
+  EXPECT_NEAR(util::singleton_fraction(songs), 0.64, 0.12);
+  // Mean copies per unique song: paper 533,768 / 117,068 ~ 4.6.
+  double total = 0;
+  for (auto c : songs) total += static_cast<double>(c);
+  // song_client_counts collapses within-client duplicates, so compare
+  // against distinct (client, song) pairs rather than raw track count.
+  EXPECT_GT(total / static_cast<double>(songs.size()), 1.8);
+
+  EXPECT_NEAR(snap.missing_genre_fraction(), 0.087, 0.02);
+  EXPECT_NEAR(snap.missing_album_fraction(), 0.081, 0.02);
+
+  const auto genres = snap.genre_client_counts();
+  EXPECT_GT(genres.size(), 100u);     // paper: 1,452 genres
+  EXPECT_LT(genres.size(), 10'000u);
+  EXPECT_GT(util::singleton_fraction(genres), 0.35);  // paper: 56%
+
+  const auto albums = snap.album_client_counts();
+  EXPECT_GT(util::singleton_fraction(albums), 0.35);  // paper: 65.7%
+
+  const auto artists = snap.artist_client_counts();
+  EXPECT_GT(util::singleton_fraction(artists), 0.30);  // paper: 65%
+  EXPECT_LT(util::singleton_fraction(artists), 0.90);
+}
+
+TEST(ItunesCrawl, AnnotationsFollowLongTail) {
+  const ContentModel model(model_params());
+  ItunesCrawlParams params;
+  params.num_clients = 120;
+  params.mean_tracks_per_client = 800;
+  const ItunesSnapshot snap = generate_itunes_crawl(model, params);
+  for (const auto& counts :
+       {snap.song_client_counts(), snap.album_client_counts(),
+        snap.artist_client_counts()}) {
+    const auto curve = util::rank_frequency(counts);
+    const auto fit = util::fit_zipf(curve, std::min<std::size_t>(200, curve.size()));
+    EXPECT_GT(fit.exponent, 0.2);
+  }
+}
+
+TEST(ItunesCrawl, GenreCountsBoundedByClients) {
+  const ContentModel model(model_params());
+  ItunesCrawlParams params;
+  params.num_clients = 25;
+  params.mean_tracks_per_client = 200;
+  const ItunesSnapshot snap = generate_itunes_crawl(model, params);
+  for (auto c : snap.genre_client_counts()) {
+    EXPECT_LE(c, snap.num_clients());
+    EXPECT_GE(c, 1u);
+  }
+}
+
+TEST(ItunesCrawl, PersonalTracksAreSingletons) {
+  const ContentModel model(model_params());
+  ItunesCrawlParams params;
+  params.num_clients = 30;
+  params.mean_tracks_per_client = 300;
+  params.p_personal = 1.0;  // everything personal
+  const ItunesSnapshot snap = generate_itunes_crawl(model, params);
+  const auto songs = snap.song_client_counts();
+  EXPECT_DOUBLE_EQ(util::singleton_fraction(songs), 1.0);
+}
+
+}  // namespace
+}  // namespace qcp2p::trace

@@ -1,0 +1,70 @@
+#include "src/trace/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/replication.hpp"
+#include "src/util/stats.hpp"
+
+namespace qcp2p::trace {
+namespace {
+
+TEST(Presets, UniverseScalesInLockstep) {
+  const auto full = presets::universe(1.0);
+  const auto eighth = presets::universe(0.125);
+  EXPECT_EQ(full.catalog_songs, 2'500'000u);
+  EXPECT_EQ(eighth.catalog_songs, 312'500u);
+  EXPECT_EQ(full.core_lexicon_size, 60'000u);
+  EXPECT_EQ(eighth.tail_lexicon_size, 500'000u);
+  // Floors protect degenerate scales.
+  const auto tiny = presets::universe(1e-6);
+  EXPECT_GE(tiny.catalog_songs, 25'000u);
+  EXPECT_GE(tiny.core_lexicon_size, 2'000u);
+}
+
+TEST(Presets, April2007MatchesPaperPeerCount) {
+  EXPECT_EQ(presets::gnutella_april2007(1.0).num_peers, 37'572u);
+  EXPECT_EQ(presets::gnutella_april2007(0.5).num_peers, 18'786u);
+}
+
+TEST(Presets, October2006IsSmallerWithBiggerLibraries) {
+  const auto oct = presets::gnutella_october2006(1.0);
+  const auto apr = presets::gnutella_april2007(1.0);
+  EXPECT_LT(oct.num_peers, apr.num_peers);
+  EXPECT_GT(oct.mean_objects_per_peer, apr.mean_objects_per_peer);
+  // ~8.6M objects total.
+  const double total = oct.num_peers * oct.mean_objects_per_peer;
+  EXPECT_NEAR(total, 8.6e6, 0.3e6);
+}
+
+TEST(Presets, ItunesCampusIsFixedSize) {
+  EXPECT_EQ(presets::itunes_campus().num_clients, 239u);
+}
+
+TEST(Presets, PhexWeekMatchesPaperVolume) {
+  const auto full = presets::phex_week(1.0);
+  EXPECT_EQ(full.num_queries, 2'500'000u);
+  EXPECT_DOUBLE_EQ(full.duration_hours, 168.0);
+  EXPECT_EQ(presets::phex_week(0.1).num_queries, 250'000u);
+}
+
+TEST(Presets, October2006CrawlReproducesSimilarMarginals) {
+  // The paper: "We observed similar results for our October 2006 data
+  // set." Generate both presets at small scale and compare shapes.
+  const double scale = 0.02;
+  const ContentModel model(presets::universe(scale));
+  const CrawlSnapshot apr = generate_gnutella_crawl(
+      model, presets::gnutella_april2007(scale));
+  const CrawlSnapshot oct = generate_gnutella_crawl(
+      model, presets::gnutella_october2006(scale));
+
+  const auto s_apr = analysis::summarize_replication(
+      apr.object_replica_counts(), apr.num_peers());
+  const auto s_oct = analysis::summarize_replication(
+      oct.object_replica_counts(), oct.num_peers());
+  EXPECT_NEAR(s_oct.singleton_fraction, s_apr.singleton_fraction, 0.08);
+  EXPECT_GT(s_oct.singleton_fraction, 0.6);
+  EXPECT_LT(s_oct.fraction_20_or_more, 0.04);
+}
+
+}  // namespace
+}  // namespace qcp2p::trace

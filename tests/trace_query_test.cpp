@@ -1,0 +1,167 @@
+#include "src/trace/query_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace qcp2p::trace {
+namespace {
+
+ContentModelParams model_params() {
+  ContentModelParams p;
+  p.core_lexicon_size = 5'000;
+  p.catalog_songs = 50'000;
+  p.artists = 2'000;
+  p.seed = 41;
+  return p;
+}
+
+QueryTraceParams small_trace_params() {
+  QueryTraceParams p;
+  p.num_queries = 40'000;
+  p.duration_hours = 48.0;
+  p.background_lexicon = 20'000;
+  p.p_persistent = 0.50;
+  p.seed = 17;
+  return p;
+}
+
+TEST(QueryTraceParams, ScaledValidates) {
+  QueryTraceParams p;
+  EXPECT_THROW((void)p.scaled(0.0), std::invalid_argument);
+  EXPECT_EQ(p.scaled(0.1).num_queries, 250'000u);
+}
+
+TEST(QueryTrace, RightCountSortedAndInRange) {
+  const ContentModel model(model_params());
+  const QueryTraceParams params = small_trace_params();
+  const QueryTrace trace = generate_query_trace(model, params);
+
+  EXPECT_EQ(trace.queries().size(), params.num_queries);
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 48.0 * 3600.0);
+  double prev = -1.0;
+  for (const Query& q : trace.queries()) {
+    ASSERT_GE(q.time_s, prev);
+    ASSERT_LT(q.time_s, trace.duration_s());
+    ASSERT_GE(q.terms.size(), 1u);
+    ASSERT_LE(q.terms.size(), 4u);
+    ASSERT_TRUE(std::is_sorted(q.terms.begin(), q.terms.end()));
+    prev = q.time_s;
+  }
+}
+
+TEST(QueryTrace, Deterministic) {
+  const ContentModel model(model_params());
+  const QueryTraceParams params = small_trace_params();
+  const QueryTrace a = generate_query_trace(model, params);
+  const QueryTrace b = generate_query_trace(model, params);
+  ASSERT_EQ(a.queries().size(), b.queries().size());
+  for (std::size_t i = 0; i < a.queries().size(); i += 997) {
+    EXPECT_EQ(a.queries()[i].terms, b.queries()[i].terms);
+    EXPECT_DOUBLE_EQ(a.queries()[i].time_s, b.queries()[i].time_s);
+  }
+}
+
+TEST(QueryTrace, PersistentPoolDominatesFrequentTerms) {
+  const ContentModel model(model_params());
+  const QueryTraceParams params = small_trace_params();
+  const QueryTrace trace = generate_query_trace(model, params);
+
+  std::unordered_map<TermId, std::uint32_t> counts;
+  for (const Query& q : trace.queries()) {
+    for (TermId t : q.terms) ++counts[t];
+  }
+  std::vector<std::pair<std::uint32_t, TermId>> ranked;
+  for (const auto& [t, c] : counts) ranked.emplace_back(c, t);
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+
+  const std::unordered_set<TermId> pool(trace.persistent_terms().begin(),
+                                        trace.persistent_terms().end());
+  std::size_t from_pool = 0;
+  const std::size_t top = std::min<std::size_t>(50, ranked.size());
+  for (std::size_t i = 0; i < top; ++i) from_pool += pool.count(ranked[i].second);
+  EXPECT_GT(from_pool, top * 6 / 10);
+}
+
+TEST(QueryTrace, EventsScheduledWithinDuration) {
+  const ContentModel model(model_params());
+  QueryTraceParams params = small_trace_params();
+  params.transient_events_per_hour = 1.0;
+  const QueryTrace trace = generate_query_trace(model, params);
+  EXPECT_FALSE(trace.events().empty());
+  for (const TransientEvent& ev : trace.events()) {
+    EXPECT_GE(ev.start_s, 0.0);
+    EXPECT_LE(ev.end_s, trace.duration_s());
+    EXPECT_LT(ev.start_s, ev.end_s);
+  }
+}
+
+TEST(QueryTrace, EventTermsAppearDuringTheirWindow) {
+  const ContentModel model(model_params());
+  QueryTraceParams params = small_trace_params();
+  params.transient_events_per_hour = 0.4;
+  params.transient_term_share = 0.08;  // amplified so every event is hit
+  const QueryTrace trace = generate_query_trace(model, params);
+  ASSERT_FALSE(trace.events().empty());
+
+  // Pick the longest event and check occurrences concentrate inside it.
+  const auto longest = std::max_element(
+      trace.events().begin(), trace.events().end(),
+      [](const TransientEvent& a, const TransientEvent& b) {
+        return (a.end_s - a.start_s) < (b.end_s - b.start_s);
+      });
+  std::size_t inside = 0, outside = 0;
+  for (const Query& q : trace.queries()) {
+    if (std::find(q.terms.begin(), q.terms.end(), longest->term) ==
+        q.terms.end()) {
+      continue;
+    }
+    if (q.time_s >= longest->start_s && q.time_s <= longest->end_s) {
+      ++inside;
+    } else {
+      ++outside;
+    }
+  }
+  EXPECT_GT(inside, 0u);
+  // Reuse outside the window can only come from another event picking
+  // the same term or the tiny file-term overlap — rare.
+  EXPECT_GE(inside, outside * 3);
+}
+
+TEST(QueryTrace, SomeQueryTermsAreFileTermsSomeAreNot) {
+  const ContentModel model(model_params());
+  const QueryTraceParams params = small_trace_params();
+  const QueryTrace trace = generate_query_trace(model, params);
+  std::size_t core = 0, tail = 0;
+  for (const Query& q : trace.queries()) {
+    for (TermId t : q.terms) {
+      (t < model.core_lexicon_size() ? core : tail) += 1;
+    }
+  }
+  EXPECT_GT(core, 0u);
+  EXPECT_GT(tail, 0u);
+  // Neither side should vanish: the mismatch needs both populations.
+  const double core_share =
+      static_cast<double>(core) / static_cast<double>(core + tail);
+  EXPECT_GT(core_share, 0.15);
+  EXPECT_LT(core_share, 0.85);
+}
+
+TEST(QueryTrace, DiurnalModulationShiftsLoad) {
+  const ContentModel model(model_params());
+  QueryTraceParams params = small_trace_params();
+  params.duration_hours = 24.0;
+  params.diurnal_amplitude = 0.45;
+  const QueryTrace trace = generate_query_trace(model, params);
+  // Count queries per 6h quarter; modulation must create imbalance.
+  std::array<std::size_t, 4> quarters{};
+  for (const Query& q : trace.queries()) {
+    ++quarters[static_cast<std::size_t>(q.time_s / (6.0 * 3600.0)) % 4];
+  }
+  const auto [lo, hi] = std::minmax_element(quarters.begin(), quarters.end());
+  EXPECT_GT(static_cast<double>(*hi), 1.15 * static_cast<double>(*lo));
+}
+
+}  // namespace
+}  // namespace qcp2p::trace

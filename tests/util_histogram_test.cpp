@@ -1,0 +1,132 @@
+#include "src/util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/overlay/topology.hpp"
+#include "src/analysis/query_analysis.hpp"
+
+namespace qcp2p {
+namespace {
+
+TEST(LogHistogram, BinsDoubleAndCover) {
+  util::LogHistogram h;
+  for (std::uint64_t v : {0ULL, 1ULL, 2ULL, 3ULL, 4ULL, 7ULL, 8ULL, 1'000ULL}) {
+    h.add(v);
+  }
+  EXPECT_EQ(h.total(), 8u);
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 6u);
+  EXPECT_EQ(bins[0].lo, 0u);
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[1].lo, 1u);
+  EXPECT_EQ(bins[1].hi, 1u);
+  EXPECT_EQ(bins[2].lo, 2u);
+  EXPECT_EQ(bins[2].hi, 3u);
+  EXPECT_EQ(bins[2].count, 2u);
+  EXPECT_EQ(bins[3].lo, 4u);
+  EXPECT_EQ(bins[3].hi, 7u);
+  EXPECT_EQ(bins[4].lo, 8u);
+  EXPECT_EQ(bins[4].hi, 15u);
+  EXPECT_EQ(bins[5].lo, 512u);
+  EXPECT_EQ(bins[5].hi, 1'023u);
+}
+
+TEST(LogHistogram, FractionsSumToOne) {
+  util::LogHistogram h;
+  const std::vector<std::uint64_t> values{1, 1, 1, 5, 9, 100, 10'000};
+  h.add_all(values);
+  double sum = 0.0;
+  for (const auto& bin : h.bins()) sum += bin.fraction;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(LogHistogram, LabelsAndPrint) {
+  util::LogHistogram h;
+  h.add(0);
+  h.add(6);
+  const auto bins = h.bins();
+  EXPECT_EQ(util::LogHistogram::label(bins[0]), "0");
+  EXPECT_EQ(util::LogHistogram::label(bins[1]), "4-7");
+  std::ostringstream os;
+  h.print(os);
+  EXPECT_NE(os.str().find("4-7"), std::string::npos);
+}
+
+TEST(LogHistogram, HandlesExtremes) {
+  util::LogHistogram h;
+  h.add(~0ULL);
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].hi, ~0ULL);
+}
+
+TEST(WattsStrogatz, LatticeAndRewiredRegimes) {
+  util::Rng rng(1);
+  // beta = 0: pure ring lattice, exactly n*k/2 edges, degree k.
+  const overlay::Graph lattice = overlay::watts_strogatz(100, 4, 0.0, rng);
+  EXPECT_EQ(lattice.num_edges(), 200u);
+  for (overlay::NodeId v = 0; v < 100; ++v) {
+    EXPECT_EQ(lattice.degree(v), 4u);
+  }
+  EXPECT_TRUE(lattice.is_connected());
+
+  // beta = 0.2: same edge count (up to rare rewire failures), connected,
+  // but no longer a pure lattice.
+  const overlay::Graph rewired = overlay::watts_strogatz(500, 6, 0.2, rng);
+  EXPECT_TRUE(rewired.is_connected());
+  EXPECT_NEAR(rewired.mean_degree(), 6.0, 0.5);
+  std::size_t non_lattice = 0;
+  for (overlay::NodeId v = 0; v < 500; ++v) {
+    for (overlay::NodeId u : rewired.neighbors(v)) {
+      const std::size_t dist = std::min<std::size_t>(
+          (u + 500 - v) % 500, (v + 500 - u) % 500);
+      non_lattice += dist > 3;
+    }
+  }
+  EXPECT_GT(non_lattice, 50u);  // long-range shortcuts exist
+}
+
+TEST(WattsStrogatz, Validates) {
+  util::Rng rng(2);
+  EXPECT_THROW(overlay::watts_strogatz(10, 3, 0.1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(overlay::watts_strogatz(4, 4, 0.1, rng),
+               std::invalid_argument);
+}
+
+TEST(Autocorrelation, DetectsPeriodicity) {
+  std::vector<double> series;
+  for (int i = 0; i < 96; ++i) {
+    series.push_back(std::sin(i * 3.14159265 / 12.0));  // period 24
+  }
+  EXPECT_GT(analysis::autocorrelation(series, 24), 0.5);
+  EXPECT_LT(analysis::autocorrelation(series, 12), -0.3);
+  EXPECT_EQ(analysis::autocorrelation(series, 200), 0.0);  // lag too big
+  const std::vector<double> flat(10, 3.0);
+  EXPECT_EQ(analysis::autocorrelation(flat, 1), 0.0);  // zero variance
+}
+
+TEST(Autocorrelation, QueryTraceIsDiurnal) {
+  trace::ContentModelParams mp;
+  mp.core_lexicon_size = 1'000;
+  mp.catalog_songs = 5'000;
+  mp.artists = 500;
+  mp.tail_lexicon_size = 10'000;
+  const trace::ContentModel model(mp);
+  trace::QueryTraceParams qp;
+  qp.num_queries = 120'000;
+  qp.duration_hours = 96.0;
+  qp.diurnal_amplitude = 0.45;
+  const trace::QueryTrace trace = generate_query_trace(model, qp);
+  const analysis::QueryTermAnalyzer analyzer(
+      trace.queries(), trace.duration_s(), 3'600.0, 0.0);
+  const auto volume = analyzer.volume_series();
+  // The generator's diurnal modulation shows up as a 24-hour peak.
+  EXPECT_GT(analysis::autocorrelation(volume, 24), 0.5);
+  EXPECT_LT(analysis::autocorrelation(volume, 12), 0.0);
+}
+
+}  // namespace
+}  // namespace qcp2p

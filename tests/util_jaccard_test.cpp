@@ -1,0 +1,89 @@
+#include "src/util/jaccard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace qcp2p::util {
+namespace {
+
+using Set = std::unordered_set<int>;
+
+TEST(Jaccard, IdenticalSetsAreOne) {
+  const Set a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+}
+
+TEST(Jaccard, BothEmptyIsOne) {
+  const Set e;
+  EXPECT_DOUBLE_EQ(jaccard(e, e), 1.0);
+}
+
+TEST(Jaccard, DisjointSetsAreZero) {
+  const Set a{1, 2}, b{3, 4};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  const Set a{1, 2, 3}, b{2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 2.0 / 5.0);
+}
+
+TEST(Jaccard, SubsetEqualsRatio) {
+  const Set a{1, 2}, b{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 0.5);
+}
+
+TEST(Jaccard, Symmetric) {
+  const Set a{1, 5, 9}, b{5, 9, 12, 20};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), jaccard(b, a));
+}
+
+TEST(Jaccard, OneEmpty) {
+  const Set a{1}, e;
+  EXPECT_DOUBLE_EQ(jaccard(a, e), 0.0);
+}
+
+TEST(JaccardSorted, MatchesSetVersionOnRandomInputs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Set sa, sb;
+    const std::size_t na = rng.bounded(30);
+    const std::size_t nb = rng.bounded(30);
+    for (std::size_t i = 0; i < na; ++i)
+      sa.insert(static_cast<int>(rng.bounded(40)));
+    for (std::size_t i = 0; i < nb; ++i)
+      sb.insert(static_cast<int>(rng.bounded(40)));
+    std::vector<int> va(sa.begin(), sa.end()), vb(sb.begin(), sb.end());
+    std::sort(va.begin(), va.end());
+    std::sort(vb.begin(), vb.end());
+    EXPECT_DOUBLE_EQ(jaccard_sorted(va, vb), jaccard(sa, sb));
+  }
+}
+
+TEST(IntersectionSize, Basic) {
+  const Set a{1, 2, 3}, b{2, 3, 4};
+  EXPECT_EQ(intersection_size(a, b), 2u);
+  EXPECT_EQ(intersection_size(a, Set{}), 0u);
+}
+
+TEST(Jaccard, BoundedBetweenZeroAndOne) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    Set a, b;
+    for (int i = 0; i < 20; ++i) {
+      a.insert(static_cast<int>(rng.bounded(25)));
+      b.insert(static_cast<int>(rng.bounded(25)));
+    }
+    const double j = jaccard(a, b);
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(j, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace qcp2p::util

@@ -1,0 +1,137 @@
+#include "src/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace qcp2p::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(Quantile, Validates) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(RankFrequency, SortsDescending) {
+  const std::vector<std::uint64_t> counts{3, 1, 4, 1, 5};
+  const auto curve = rank_frequency(counts);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_EQ(curve[0].y, 5.0);
+  EXPECT_EQ(curve[0].x, 1.0);
+  EXPECT_EQ(curve[4].y, 1.0);
+  EXPECT_EQ(curve[4].x, 5.0);
+}
+
+TEST(Ccdf, FractionsAtOrAbove) {
+  const std::vector<std::uint64_t> counts{1, 1, 2, 5};
+  const auto curve = ccdf(counts);
+  ASSERT_EQ(curve.size(), 3u);  // distinct values 1, 2, 5
+  EXPECT_EQ(curve[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].y, 1.0);
+  EXPECT_EQ(curve[1].x, 2.0);
+  EXPECT_DOUBLE_EQ(curve[1].y, 0.5);
+  EXPECT_EQ(curve[2].x, 5.0);
+  EXPECT_DOUBLE_EQ(curve[2].y, 0.25);
+}
+
+TEST(FitZipf, ExactPowerLaw) {
+  std::vector<CurvePoint> curve;
+  for (int r = 1; r <= 200; ++r) {
+    curve.push_back({static_cast<double>(r), 1000.0 * std::pow(r, -1.4)});
+  }
+  const ZipfFit fit = fit_zipf(curve);
+  EXPECT_NEAR(fit.exponent, 1.4, 1e-9);
+  EXPECT_NEAR(fit.intercept, std::log(1000.0), 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitZipf, MaxRankLimitsWindow) {
+  std::vector<CurvePoint> curve;
+  for (int r = 1; r <= 100; ++r) {
+    // Power law head, flat tail.
+    const double y = r <= 50 ? 100.0 * std::pow(r, -1.0) : 1.0;
+    curve.push_back({static_cast<double>(r), y});
+  }
+  const ZipfFit head = fit_zipf(curve, 50);
+  EXPECT_NEAR(head.exponent, 1.0, 1e-9);
+  EXPECT_NEAR(head.r_squared, 1.0, 1e-9);
+  const ZipfFit all = fit_zipf(curve);
+  // The flat tail breaks the power law: the full-range fit is visibly
+  // worse and its slope deviates from the head's.
+  EXPECT_LT(all.r_squared, 0.99);
+  EXPECT_GT(std::abs(all.exponent - 1.0), 0.01);
+}
+
+TEST(FitZipf, DegenerateInputs) {
+  EXPECT_EQ(fit_zipf({}).exponent, 0.0);
+  const std::vector<CurvePoint> one{{1.0, 5.0}};
+  EXPECT_EQ(fit_zipf(one).exponent, 0.0);
+}
+
+TEST(Fractions, ThresholdHelpers) {
+  const std::vector<std::uint64_t> counts{1, 1, 1, 2, 5, 40};
+  EXPECT_DOUBLE_EQ(singleton_fraction(counts), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_or_below(counts, 2), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(fraction_at_or_above(counts, 5), 2.0 / 6.0);
+  EXPECT_EQ(singleton_fraction({}), 0.0);
+  EXPECT_EQ(fraction_at_or_below({}, 1), 0.0);
+  EXPECT_EQ(fraction_at_or_above({}, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace qcp2p::util

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace qcp2p::util {
+namespace {
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row();
+  t.cell("alpha").cell(std::uint64_t{42});
+  t.add_row();
+  t.cell("b").cell(1.5, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, PercentFormatting) {
+  Table t({"p"});
+  t.add_row();
+  t.percent(0.12345, 1);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("12.3%"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.add_row();
+  t.cell("plain").cell("has,comma");
+  t.add_row();
+  t.cell("has\"quote").cell("x");
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a,b\n"), std::string::npos);
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CellWithoutRowStartsOne) {
+  Table t({"x"});
+  t.cell("auto");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, FormatPrecision) {
+  EXPECT_EQ(Table::format(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::format(2.0, 0), "2");
+}
+
+TEST(Cli, ParsesFlagForms) {
+  const char* argv[] = {"prog", "--alpha", "5", "pos1",
+                        "--beta=x", "--flag", "--gamma"};
+  const Cli cli(7, argv);
+  EXPECT_EQ(cli.program(), "prog");
+  EXPECT_EQ(cli.get_int("alpha", 0), 5);
+  EXPECT_EQ(cli.get("beta", ""), "x");
+  EXPECT_TRUE(cli.get_bool("flag"));  // followed by a flag: bare boolean
+  EXPECT_TRUE(cli.get_bool("gamma"));  // last arg: bare boolean
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, BareFlagConsumesFollowingValue) {
+  // Documented behavior: "--flag value" binds value to the flag.
+  const char* argv[] = {"prog", "--flag", "value"};
+  const Cli cli(3, argv);
+  EXPECT_EQ(cli.get("flag", ""), "value");
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_EQ(cli.get("missing", "d"), "d");
+  EXPECT_EQ(cli.get_int("missing", -3), -3);
+  EXPECT_EQ(cli.get_uint("missing", 9u), 9u);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(cli.get_bool("missing"));
+  EXPECT_TRUE(cli.get_bool("missing", true));
+}
+
+TEST(Cli, NumericAndBoolConversions) {
+  const char* argv[] = {"prog", "--n=12", "--f=0.25", "--off=false", "--no=0"};
+  const Cli cli(5, argv);
+  EXPECT_EQ(cli.get_uint("n", 0), 12u);
+  EXPECT_DOUBLE_EQ(cli.get_double("f", 0.0), 0.25);
+  EXPECT_FALSE(cli.get_bool("off", true));
+  EXPECT_FALSE(cli.get_bool("no", true));
+}
+
+}  // namespace
+}  // namespace qcp2p::util

@@ -1,0 +1,86 @@
+#include "src/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace qcp2p::util {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelBlocksCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> touched(kN);
+  pool.parallel_blocks(kN, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++touched[i];
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelBlocksEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_blocks(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelBlocksPropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_blocks(
+                   100,
+                   [](std::size_t begin, std::size_t) {
+                     if (begin == 0) throw std::logic_error("first block");
+                   }),
+               std::logic_error);
+}
+
+TEST(ParallelForBlocks, SerialFallbackForSingleThread) {
+  std::vector<int> touched(100, 0);
+  parallel_for_blocks(100, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++touched[i];
+  });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 100);
+}
+
+TEST(ParallelForBlocks, SumMatchesSerial) {
+  constexpr std::size_t kN = 100'000;
+  std::atomic<long long> sum{0};
+  parallel_for_blocks(kN, 4, [&](std::size_t begin, std::size_t end) {
+    long long local = 0;
+    for (std::size_t i = begin; i < end; ++i)
+      local += static_cast<long long>(i);
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(),
+            static_cast<long long>(kN) * (static_cast<long long>(kN) - 1) / 2);
+}
+
+}  // namespace
+}  // namespace qcp2p::util

@@ -1,0 +1,138 @@
+#include "src/util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/util/stats.hpp"
+
+namespace qcp2p::util {
+namespace {
+
+TEST(ZipfSampler, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  const ZipfSampler z(1000, 1.2);
+  double sum = 0.0;
+  for (std::uint64_t k = 1; k <= 1000; ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(z.pmf(0), 0.0);
+  EXPECT_EQ(z.pmf(1001), 0.0);
+}
+
+TEST(ZipfSampler, SingleElementSupport) {
+  const ZipfSampler z(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(rng), 1u);
+}
+
+TEST(ZipfSampler, SamplesStayInSupport) {
+  const ZipfSampler z(50, 0.7);
+  Rng rng(2);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t k = z(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 50u);
+  }
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatchPmf) {
+  constexpr std::uint64_t kN = 20;
+  const ZipfSampler z(kN, 1.0);
+  Rng rng(3);
+  constexpr int kDraws = 400'000;
+  std::vector<int> counts(kN + 1, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[z(rng)];
+  for (std::uint64_t k = 1; k <= kN; ++k) {
+    const double expected = z.pmf(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, std::max(50.0, expected * 0.05))
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfSampler, HarmonicMatchesDirectSum) {
+  double direct = 0.0;
+  for (std::uint64_t k = 1; k <= 100; ++k) direct += std::pow(k, -1.5);
+  EXPECT_NEAR(ZipfSampler::harmonic(100, 1.5), direct, 1e-12);
+}
+
+// Property sweep: fitted exponent of a large sample's rank-frequency
+// curve tracks the generating exponent across (n, s) combinations.
+class ZipfExponentRecovery
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(ZipfExponentRecovery, FitRecoversExponent) {
+  const auto [n, s] = GetParam();
+  const ZipfSampler z(n, s);
+  Rng rng(1234);
+  std::vector<std::uint64_t> counts(n, 0);
+  const int draws = 600'000;
+  for (int i = 0; i < draws; ++i) ++counts[z(rng) - 1];
+
+  // Rank-frequency over the counts of actually-drawn ranks.
+  std::vector<std::uint64_t> nonzero;
+  for (std::uint64_t c : counts) {
+    if (c > 0) nonzero.push_back(c);
+  }
+  const auto curve = rank_frequency(nonzero);
+  // Head only: the sampled tail flattens into ties.
+  const ZipfFit fit = fit_zipf(curve, std::min<std::size_t>(nonzero.size(), 60));
+  EXPECT_NEAR(fit.exponent, s, 0.22) << "n=" << n << " s=" << s;
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ZipfExponentRecovery,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1'000, 100'000,
+                                                        1'000'000),
+                       ::testing::Values(0.8, 1.0, 1.3)));
+
+TEST(DiscreteSampler, RejectsEmptyAndZeroWeights) {
+  EXPECT_THROW(DiscreteSampler(std::span<const double>{}),
+               std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(DiscreteSampler{std::span<const double>(zeros)},
+               std::invalid_argument);
+}
+
+TEST(DiscreteSampler, MatchesWeights) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  const DiscreteSampler sampler{std::span<const double>(w)};
+  Rng rng(4);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler(rng)];
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double expected = w[i] / total * kDraws;
+    EXPECT_NEAR(counts[i], expected, expected * 0.05) << "bucket " << i;
+  }
+}
+
+TEST(DiscreteSampler, NegativeWeightsTreatedAsZero) {
+  const std::vector<double> w{-5.0, 1.0};
+  const DiscreteSampler sampler{std::span<const double>(w)};
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) ASSERT_EQ(sampler(rng), 1u);
+}
+
+TEST(ZipfPmf, NormalizedAndDecreasing) {
+  const auto p = zipf_pmf(100, 1.1);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    sum += p[i];
+    if (i > 0) {
+      EXPECT_LT(p[i], p[i - 1]);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qcp2p::util
