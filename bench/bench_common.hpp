@@ -1,7 +1,9 @@
 // Shared scaffolding for the figure/experiment harnesses: every binary
 // accepts --scale (fraction of the paper's full experiment size; 1.0
 // reproduces the Apr'07 crawl volume and needs several GB of RAM),
-// --seed, and --csv (append machine-readable rows to stdout).
+// --seed, --csv (append machine-readable rows to stdout), and --threads
+// (Monte-Carlo worker count; 0 = hardware concurrency). Trial results
+// are bit-identical for any --threads value: see sim::TrialRunner.
 #pragma once
 
 #include <algorithm>
@@ -22,6 +24,8 @@ struct BenchEnv {
   double scale = 0.125;
   std::uint64_t seed = 42;
   bool csv = false;
+  /// Monte-Carlo trial workers (0 = hardware concurrency).
+  std::size_t threads = 0;
 
   static BenchEnv from_cli(const util::Cli& cli, double default_scale = 0.125) {
     BenchEnv env;
@@ -32,6 +36,7 @@ struct BenchEnv {
     }
     env.seed = cli.get_uint("seed", 42);
     env.csv = cli.get_bool("csv");
+    env.threads = static_cast<std::size_t>(cli.get_uint("threads", 0));
     return env;
   }
 

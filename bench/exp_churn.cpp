@@ -10,6 +10,7 @@
 #include "src/overlay/churn.hpp"
 #include "src/overlay/topology.hpp"
 #include "src/sim/flood.hpp"
+#include "src/sim/trial_runner.hpp"
 #include "src/util/stats.hpp"
 
 using namespace qcp2p;
@@ -20,21 +21,24 @@ namespace {
 double success_under_uptime(const overlay::TwoTierTopology& topo,
                             const sim::Placement& placement,
                             std::uint32_t ttl, double uptime,
-                            std::size_t trials, std::uint64_t seed) {
-  sim::FloodEngine engine(topo.graph);
-  util::Rng rng(seed);
-  std::size_t ok = 0;
-  for (std::size_t t = 0; t < trials; ++t) {
-    // Fresh liveness sample per query (memoryless churn snapshot).
-    const auto online =
-        overlay::sample_online(topo.graph.num_nodes(), uptime, rng);
-    const auto src =
-        static_cast<NodeId>(rng.bounded(topo.graph.num_nodes()));
-    const auto obj = rng.bounded(placement.num_objects());
-    ok += engine.reaches_any(src, ttl, placement.holders[obj],
-                             &topo.is_ultrapeer, nullptr, &online);
-  }
-  return static_cast<double>(ok) / static_cast<double>(trials);
+                            std::size_t trials, std::uint64_t seed,
+                            std::size_t threads) {
+  const sim::TrialRunner runner({threads, seed});
+  const sim::TrialAggregate agg = runner.run(
+      trials, [&] { return sim::FloodEngine(topo.graph); },
+      [&](std::size_t, util::Rng& rng, sim::FloodEngine& engine) {
+        // Fresh liveness sample per query (memoryless churn snapshot).
+        const auto online =
+            overlay::sample_online(topo.graph.num_nodes(), uptime, rng);
+        const auto src =
+            static_cast<NodeId>(rng.bounded(topo.graph.num_nodes()));
+        const auto obj = rng.bounded(placement.num_objects());
+        sim::TrialOutcome out;
+        out.success = engine.reaches_any(src, ttl, placement.holders[obj],
+                                         &topo.is_ultrapeer, nullptr, &online);
+        return out;
+      });
+  return agg.success_rate();
 }
 
 }  // namespace
@@ -73,12 +77,12 @@ int main(int argc, char** argv) {
                  "zipf (measured dist)", "zipf retained vs 100% up"});
   double zipf_full = 0.0;
   for (const double uptime : {1.0, 0.75, 0.5, 0.25}) {
-    const double u2 =
-        success_under_uptime(topo, uni2, ttl, uptime, trials, env.seed + 11);
-    const double u10 =
-        success_under_uptime(topo, uni10, ttl, uptime, trials, env.seed + 12);
-    const double z =
-        success_under_uptime(topo, zipf, ttl, uptime, trials, env.seed + 13);
+    const double u2 = success_under_uptime(topo, uni2, ttl, uptime, trials,
+                                           env.seed + 11, env.threads);
+    const double u10 = success_under_uptime(topo, uni10, ttl, uptime, trials,
+                                            env.seed + 12, env.threads);
+    const double z = success_under_uptime(topo, zipf, ttl, uptime, trials,
+                                          env.seed + 13, env.threads);
     if (uptime == 1.0) zipf_full = z;
     t.add_row();
     t.percent(uptime, 0);

@@ -12,6 +12,7 @@
 
 #include "src/analysis/replication.hpp"
 #include "src/sim/gia.hpp"
+#include "src/sim/trial_runner.hpp"
 #include "src/util/stats.hpp"
 
 using namespace qcp2p;
@@ -22,15 +23,21 @@ namespace {
 double locate_success(const sim::GiaNetwork& net,
                       const sim::Placement& placement,
                       const sim::GiaSearchParams& params, std::size_t trials,
-                      util::Rng& rng) {
-  std::size_t ok = 0;
+                      std::uint64_t seed, std::size_t threads) {
   const std::size_t n = net.graph().num_nodes();
-  for (std::size_t t = 0; t < trials; ++t) {
-    const auto src = static_cast<NodeId>(rng.bounded(n));
-    const auto obj = rng.bounded(placement.num_objects());
-    ok += net.locate(src, placement.holders[obj], params, rng).success;
-  }
-  return static_cast<double>(ok) / static_cast<double>(trials);
+  const sim::TrialRunner runner({threads, seed});
+  const sim::TrialAggregate agg =
+      runner.run(trials, [&](std::size_t, util::Rng& rng) {
+        const auto src = static_cast<NodeId>(rng.bounded(n));
+        const auto obj = rng.bounded(placement.num_objects());
+        const auto r = net.locate(src, placement.holders[obj], params, rng);
+        sim::TrialOutcome out;
+        out.success = r.success;
+        out.messages = r.messages;
+        out.peers_probed = r.peers_probed;
+        return out;
+      });
+  return agg.success_rate();
 }
 
 }  // namespace
@@ -85,17 +92,18 @@ int main(int argc, char** argv) {
     const auto copies = static_cast<std::size_t>(
         std::max(1.0, ratio * static_cast<double>(nodes)));
     const auto placement = sim::place_uniform(kObjects / 3, copies, nodes, prng);
-    util::Rng trng(env.seed + 2);
     t.add_row();
     t.cell("uniform (Gia eval)")
         .cell(util::Table::format(ratio * 100, 2) + "%")
-        .percent(locate_success(net, placement, sp, trials, trng), 1)
+        .percent(
+            locate_success(net, placement, sp, trials, env.seed + 2,
+                           env.threads),
+            1)
         .cell(static_cast<std::uint64_t>(sp.max_steps));
   }
   {
     const auto placement = sim::place_by_counts(
         sim::sample_replica_counts(crawl_counts, kObjects, prng), nodes, prng);
-    util::Rng trng(env.seed + 3);
     t.add_row();
     t.cell("zipf (measured dist)")
         .cell("mean " +
@@ -107,7 +115,10 @@ int main(int argc, char** argv) {
                   }(),
                   2) +
               " copies")
-        .percent(locate_success(net, placement, sp, trials, trng), 1)
+        .percent(
+            locate_success(net, placement, sp, trials, env.seed + 3,
+                           env.threads),
+            1)
         .cell(static_cast<std::uint64_t>(sp.max_steps));
   }
   bench::emit(t, env,

@@ -13,6 +13,7 @@
 
 #include "src/overlay/topology.hpp"
 #include "src/sim/hybrid.hpp"
+#include "src/sim/trial_runner.hpp"
 #include "src/util/stats.hpp"
 
 using namespace qcp2p;
@@ -74,6 +75,21 @@ int main(int argc, char** argv) {
   util::Rng qrng(env.seed + 7);
   const auto queries = make_queries(store, num_queries, qrng);
 
+  const sim::TrialRunner runner({env.threads, env.seed + 11});
+
+  // DHT-only baseline does not depend on the cutoff: one pass. Trial t
+  // draws its source from the same per-trial stream every hybrid pass
+  // uses, so the two strategies stay paired query-for-query.
+  const sim::TrialAggregate dht_agg =
+      runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
+        const auto src = static_cast<NodeId>(trng.bounded(nodes));
+        const auto dr = sim::dht_only_search(dht, src, queries[q]);
+        sim::TrialOutcome out;
+        out.success = dr.success();
+        out.messages = dr.total_messages();
+        return out;
+      });
+
   util::Table t({"rare cutoff", "strategy", "success", "msgs/query",
                  "flood msgs", "dht msgs", "floods that fell back"});
   for (const std::size_t cutoff : {1ULL, 5ULL, 20ULL, 50ULL}) {
@@ -81,37 +97,34 @@ int main(int argc, char** argv) {
     hp.flood_ttl = flood_ttl;
     hp.rare_cutoff = cutoff;
 
-    util::RunningStats hybrid_msgs, dht_msgs, flood_part, dht_part;
-    std::size_t hybrid_ok = 0, dht_ok = 0, fallbacks = 0;
-    util::Rng srng(env.seed + 11);
-    for (const auto& q : queries) {
-      const auto src = static_cast<NodeId>(srng.bounded(nodes));
-      const auto hr = sim::hybrid_search(graph, store, dht, src, q, hp);
-      const auto dr = sim::dht_only_search(dht, src, q);
-      hybrid_ok += hr.success();
-      dht_ok += dr.success();
-      hybrid_msgs.add(static_cast<double>(hr.total_messages()));
-      flood_part.add(static_cast<double>(hr.flood_messages));
-      dht_part.add(static_cast<double>(hr.dht_messages));
-      dht_msgs.add(static_cast<double>(dr.total_messages()));
-      fallbacks += hr.used_dht;
-    }
-    const double n = static_cast<double>(queries.size());
+    const sim::TrialAggregate hy =
+        runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
+          const auto src = static_cast<NodeId>(trng.bounded(nodes));
+          const auto hr =
+              sim::hybrid_search(graph, store, dht, src, queries[q], hp);
+          sim::TrialOutcome out;
+          out.success = hr.success();
+          out.messages = hr.total_messages();
+          out.extra[0] = hr.flood_messages;
+          out.extra[1] = hr.dht_messages;
+          out.extra[2] = hr.used_dht ? 1 : 0;
+          return out;
+        });
     t.add_row();
     t.cell(static_cast<std::uint64_t>(cutoff))
         .cell("hybrid")
-        .percent(static_cast<double>(hybrid_ok) / n, 1)
-        .cell(hybrid_msgs.mean(), 1)
-        .cell(flood_part.mean(), 1)
-        .cell(dht_part.mean(), 1)
-        .percent(static_cast<double>(fallbacks) / n, 1);
+        .percent(hy.success_rate(), 1)
+        .cell(hy.mean_messages(), 1)
+        .cell(hy.mean_extra(0), 1)
+        .cell(hy.mean_extra(1), 1)
+        .percent(hy.mean_extra(2), 1);
     t.add_row();
     t.cell(static_cast<std::uint64_t>(cutoff))
         .cell("dht-only")
-        .percent(static_cast<double>(dht_ok) / n, 1)
-        .cell(dht_msgs.mean(), 1)
+        .percent(dht_agg.success_rate(), 1)
+        .cell(dht_agg.mean_messages(), 1)
         .cell(0.0, 1)
-        .cell(dht_msgs.mean(), 1)
+        .cell(dht_agg.mean_messages(), 1)
         .cell("-");
   }
   bench::emit(t, env,

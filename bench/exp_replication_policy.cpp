@@ -16,6 +16,7 @@
 #include "src/sim/network.hpp"
 #include "src/sim/random_walk.hpp"
 #include "src/sim/replication.hpp"
+#include "src/sim/trial_runner.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/zipf.hpp"
 
@@ -65,18 +66,19 @@ int main(int argc, char** argv) {
     const sim::Placement placement =
         sim::place_by_counts(allocation, nodes, prng);
     const util::DiscreteSampler query_sampler{std::span<const double>(rates)};
-    std::size_t ok = 0;
-    util::RunningStats msgs;
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      const std::size_t obj = query_sampler(prng);
-      const auto src = static_cast<NodeId>(prng.bounded(nodes));
-      const auto r = sim::random_walk_locate(graph, src,
-                                             placement.holders[obj], wp, prng);
-      ok += r.success;
-      msgs.add(static_cast<double>(r.messages));
-    }
-    return std::pair<double, double>{
-        static_cast<double>(ok) / static_cast<double>(trials), msgs.mean()};
+    const sim::TrialRunner runner({env.threads, seed});
+    const sim::TrialAggregate agg =
+        runner.run(trials, [&](std::size_t, util::Rng& trng) {
+          const std::size_t obj = query_sampler(trng);
+          const auto src = static_cast<NodeId>(trng.bounded(nodes));
+          const auto r = sim::random_walk_locate(
+              graph, src, placement.holders[obj], wp, trng);
+          sim::TrialOutcome out;
+          out.success = r.success;
+          out.messages = r.messages;
+          return out;
+        });
+    return std::pair<double, double>{agg.success_rate(), agg.mean_messages()};
   };
 
   util::Table t({"allocation", "E[probes] (analytical)",

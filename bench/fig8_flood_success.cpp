@@ -11,15 +11,12 @@
 //     predicts ~62% — the flooding phase of hybrid search is broken.
 #include "bench/bench_common.hpp"
 
-#include <atomic>
-#include <mutex>
-
 #include "src/analysis/rare_queries.hpp"
 #include "src/analysis/replication.hpp"
 #include "src/overlay/topology.hpp"
 #include "src/sim/flood.hpp"
+#include "src/sim/trial_runner.hpp"
 #include "src/util/stats.hpp"
-#include "src/util/thread_pool.hpp"
 
 using namespace qcp2p;
 using overlay::NodeId;
@@ -35,28 +32,19 @@ SuccessResult success_rate(const overlay::TwoTierTopology& topo,
                            const sim::Placement& placement, std::uint32_t ttl,
                            std::size_t trials, std::uint64_t seed,
                            std::size_t threads) {
-  std::atomic<std::size_t> successes{0};
-  std::atomic<std::uint64_t> messages{0};
-  util::parallel_for_blocks(
-      trials, threads, [&](std::size_t begin, std::size_t end) {
-        sim::FloodEngine engine(topo.graph);
-        util::Rng rng(util::mix64(seed ^ (0xF1u + begin)));
-        std::size_t local_ok = 0;
-        std::uint64_t local_msgs = 0;
-        for (std::size_t t = begin; t < end; ++t) {
-          const auto src =
-              static_cast<NodeId>(rng.bounded(topo.graph.num_nodes()));
-          const auto obj = rng.bounded(placement.num_objects());
-          std::uint64_t m = 0;
-          local_ok += engine.reaches_any(src, ttl, placement.holders[obj],
-                                         &topo.is_ultrapeer, &m);
-          local_msgs += m;
-        }
-        successes += local_ok;
-        messages += local_msgs;
+  const sim::TrialRunner runner({threads, seed});
+  const sim::TrialAggregate agg = runner.run(
+      trials, [&] { return sim::FloodEngine(topo.graph); },
+      [&](std::size_t, util::Rng& rng, sim::FloodEngine& engine) {
+        const auto src =
+            static_cast<NodeId>(rng.bounded(topo.graph.num_nodes()));
+        const auto obj = rng.bounded(placement.num_objects());
+        sim::TrialOutcome out;
+        out.success = engine.reaches_any(src, ttl, placement.holders[obj],
+                                         &topo.is_ultrapeer, &out.messages);
+        return out;
       });
-  return {static_cast<double>(successes.load()) / static_cast<double>(trials),
-          static_cast<double>(messages.load()) / static_cast<double>(trials)};
+  return {agg.success_rate(), agg.mean_messages()};
 }
 
 }  // namespace
@@ -153,12 +141,12 @@ int main(int argc, char** argv) {
     t.cell(static_cast<std::uint64_t>(ttl));
     for (std::size_t i = 0; i < uniform_placements.size(); ++i) {
       const auto r = success_rate(topo, uniform_placements[i], ttl, trials,
-                                  env.seed + ttl * 10 + i, 0);
+                                  env.seed + ttl * 10 + i, env.threads);
       t.percent(r.rate, 1);
       if (i + 1 == uniform_placements.size()) uni40_at_ttl.push_back(r.rate);
     }
-    const auto z =
-        success_rate(topo, zipf_placement, ttl, trials, env.seed + ttl, 0);
+    const auto z = success_rate(topo, zipf_placement, ttl, trials,
+                                env.seed + ttl, env.threads);
     t.percent(z.rate, 1);
     zipf_at_ttl.push_back(z.rate);
   }

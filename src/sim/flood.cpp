@@ -21,7 +21,12 @@ FloodResult FloodEngine::run(NodeId source, std::uint32_t ttl,
   if (ttl == 0 || graph_->num_nodes() == 0) return result;
   if (online != nullptr && !(*online)[source]) return result;
 
-  ++epoch_;
+  if (++epoch_ == 0) {
+    // Wrapped after 2^32 runs: stale marks from the previous cycle would
+    // alias the fresh-constructed value and silently skip nodes.
+    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
+    epoch_ = 1;
+  }
   visit_mark_[source] = epoch_;
   frontier_.clear();
   frontier_.push_back(source);
@@ -74,17 +79,20 @@ bool FloodEngine::reaches_any(NodeId source, std::uint32_t ttl,
 FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
                                NodeId source, std::span<const TermId> query,
                                std::uint32_t ttl,
-                               const std::vector<bool>* forwards) {
+                               const std::vector<bool>* forwards,
+                               const std::vector<bool>* online) {
   FloodSearchResult out;
   FloodEngine engine(graph);
-  const FloodResult r = engine.run(source, ttl, forwards);
+  const FloodResult r = engine.run(source, ttl, forwards, online);
   out.messages = r.messages;
 
   auto probe = [&](NodeId peer) {
     ++out.peers_probed;
     for (std::uint64_t id : store.match(peer, query)) out.results.push_back(id);
   };
-  probe(source);  // local check first, as real servents do
+  // Local check first, as real servents do — unless the source itself is
+  // offline (then nothing is probed; run() already returned empty).
+  if (online == nullptr || (*online)[source]) probe(source);
   for (NodeId v : r.reached) probe(v);
 
   std::sort(out.results.begin(), out.results.end());

@@ -64,6 +64,9 @@ class FloodEngine {
                                  std::uint64_t* messages_out = nullptr,
                                  const std::vector<bool>* online = nullptr);
 
+  /// Forces the epoch counter (tests inject a value near wraparound).
+  void set_epoch(std::uint32_t epoch) noexcept { epoch_ = epoch; }
+
  private:
   const Graph* graph_;
   std::vector<std::uint32_t> visit_mark_;
@@ -81,9 +84,13 @@ struct FloodSearchResult {
   std::size_t peers_probed = 0;
 };
 
+/// @param online  optional liveness mask, same semantics as flood(): an
+///                offline source issues nothing and offline peers are
+///                neither probed nor relay.
 [[nodiscard]] FloodSearchResult flood_search(
     const Graph& graph, const PeerStore& store, NodeId source,
     std::span<const TermId> query, std::uint32_t ttl,
-    const std::vector<bool>* forwards = nullptr);
+    const std::vector<bool>* forwards = nullptr,
+    const std::vector<bool>* online = nullptr);
 
 }  // namespace qcp2p::sim

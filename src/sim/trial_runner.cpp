@@ -1,0 +1,108 @@
+#include "src/sim/trial_runner.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/util/thread_pool.hpp"
+
+namespace qcp2p::sim {
+
+void TrialAggregate::add(const TrialOutcome& outcome) noexcept {
+  ++trials;
+  successes += outcome.success ? 1 : 0;
+  messages += outcome.messages;
+  hops += outcome.hops;
+  peers_probed += outcome.peers_probed;
+  for (std::size_t i = 0; i < extra.size(); ++i) extra[i] += outcome.extra[i];
+}
+
+void TrialAggregate::merge(const TrialAggregate& other) noexcept {
+  trials += other.trials;
+  successes += other.successes;
+  messages += other.messages;
+  hops += other.hops;
+  peers_probed += other.peers_probed;
+  for (std::size_t i = 0; i < extra.size(); ++i) extra[i] += other.extra[i];
+}
+
+namespace {
+
+double per_trial(std::uint64_t sum, std::uint64_t trials) noexcept {
+  return trials == 0
+             ? 0.0
+             : static_cast<double>(sum) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+double TrialAggregate::success_rate() const noexcept {
+  return per_trial(successes, trials);
+}
+double TrialAggregate::mean_messages() const noexcept {
+  return per_trial(messages, trials);
+}
+double TrialAggregate::mean_hops() const noexcept {
+  return per_trial(hops, trials);
+}
+double TrialAggregate::mean_peers_probed() const noexcept {
+  return per_trial(peers_probed, trials);
+}
+double TrialAggregate::mean_extra(std::size_t i) const noexcept {
+  return i < extra.size() ? per_trial(extra[i], trials) : 0.0;
+}
+
+util::Rng TrialRunner::trial_rng(std::size_t trial) const noexcept {
+  // Key the child stream off (seed, trial index) only. mix64 decorrelates
+  // adjacent indices before split() derives the stream, so trial t draws
+  // the same numbers no matter which worker runs it.
+  util::Rng base(options_.seed ^ util::mix64(0x7C15EA5EULL + trial));
+  return base.split();
+}
+
+TrialAggregate TrialRunner::run_shards(std::size_t trials,
+                                       const ShardFn& shard) const {
+  TrialAggregate total;
+  if (trials == 0) return total;
+
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  const std::size_t num_shards = std::min(trials, threads);
+  if (num_shards <= 1) {
+    shard(0, trials, total);
+    return total;
+  }
+
+  // One contiguous block and one private accumulator per shard; workers
+  // never touch shared state between the fork and the merge barrier.
+  const std::size_t block = (trials + num_shards - 1) / num_shards;
+  std::vector<TrialAggregate> partial(num_shards);
+  util::ThreadPool pool(num_shards);
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_shards);
+  for (std::size_t b = 0; b < num_shards; ++b) {
+    const std::size_t begin = b * block;
+    const std::size_t end = std::min(begin + block, trials);
+    if (begin >= end) break;
+    futures.push_back(pool.submit(
+        [&shard, &acc = partial[b], begin, end] { shard(begin, end, acc); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const TrialAggregate& p : partial) total.merge(p);
+  return total;
+}
+
+}  // namespace qcp2p::sim

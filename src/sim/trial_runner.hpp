@@ -1,0 +1,114 @@
+// Parallel Monte-Carlo trial engine for the query benches.
+//
+// Every experiment in bench/ boils down to "run N independent query
+// trials and aggregate success / message / hop counters". TrialRunner
+// shards those N trials over a util::ThreadPool, giving each worker its
+// own scratch state (e.g. a FloodEngine) and each *trial* its own
+// Rng::split()-derived stream keyed by the trial index — never by the
+// worker or the schedule. Outcomes accumulate into per-shard
+// TrialAggregates (no locks, no sharing) that are merged after the
+// barrier.
+//
+// Determinism contract: because the per-trial rng depends only on
+// (seed, trial index) and every TrialAggregate field is an integer sum
+// (exactly associative and commutative), the merged aggregate is
+// bit-identical for any --threads value and any scheduling. The trial
+// function must depend only on its (index, rng, ctx) arguments, and may
+// use ctx solely as reusable scratch whose prior contents do not affect
+// results (FloodEngine's epoch-stamped marks satisfy this).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+/// What one query trial reports back. `extra` carries bench-specific
+/// integer counters (e.g. flood vs DHT message split, fallback count).
+struct TrialOutcome {
+  bool success = false;
+  std::uint64_t messages = 0;
+  std::uint64_t hops = 0;
+  std::uint64_t peers_probed = 0;
+  std::array<std::uint64_t, 4> extra{};
+};
+
+/// Integer-sum reduction over trials. All fields are exact sums so that
+/// merging partial aggregates in any order yields identical bits.
+struct TrialAggregate {
+  std::uint64_t trials = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t hops = 0;
+  std::uint64_t peers_probed = 0;
+  std::array<std::uint64_t, 4> extra{};
+
+  void add(const TrialOutcome& outcome) noexcept;
+  void merge(const TrialAggregate& other) noexcept;
+
+  [[nodiscard]] double success_rate() const noexcept;
+  [[nodiscard]] double mean_messages() const noexcept;
+  [[nodiscard]] double mean_hops() const noexcept;
+  [[nodiscard]] double mean_peers_probed() const noexcept;
+  [[nodiscard]] double mean_extra(std::size_t i) const noexcept;
+};
+
+class TrialRunner {
+ public:
+  struct Options {
+    /// Worker count; 0 = hardware concurrency.
+    std::size_t threads = 0;
+    std::uint64_t seed = 42;
+  };
+
+  explicit TrialRunner(Options options) noexcept : options_(options) {}
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// The independent stream trial `t` sees. Public so a test (or a
+  /// debugging session) can replay any single trial exactly.
+  [[nodiscard]] util::Rng trial_rng(std::size_t trial) const noexcept;
+
+  /// Runs `trials` trials of `trial(index, rng, ctx)` where each worker
+  /// shard owns a fresh `ctx = make_ctx()` (engines, buffers, ...).
+  template <typename MakeCtx, typename TrialFn>
+  TrialAggregate run(std::size_t trials, MakeCtx&& make_ctx,
+                     TrialFn&& trial) const {
+    using Ctx = std::decay_t<std::invoke_result_t<MakeCtx&>>;
+    return run_shards(trials, [&](std::size_t begin, std::size_t end,
+                                  TrialAggregate& acc) {
+      Ctx ctx = make_ctx();
+      for (std::size_t t = begin; t < end; ++t) {
+        util::Rng rng = trial_rng(t);
+        acc.add(trial(t, rng, ctx));
+      }
+    });
+  }
+
+  /// Context-free overload: `trial(index, rng)`.
+  template <typename TrialFn>
+  TrialAggregate run(std::size_t trials, TrialFn&& trial) const {
+    return run_shards(trials, [&](std::size_t begin, std::size_t end,
+                                  TrialAggregate& acc) {
+      for (std::size_t t = begin; t < end; ++t) {
+        util::Rng rng = trial_rng(t);
+        acc.add(trial(t, rng));
+      }
+    });
+  }
+
+ private:
+  using ShardFn =
+      std::function<void(std::size_t begin, std::size_t end, TrialAggregate&)>;
+
+  TrialAggregate run_shards(std::size_t trials, const ShardFn& shard) const;
+
+  Options options_;
+};
+
+}  // namespace qcp2p::sim

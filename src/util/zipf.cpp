@@ -13,6 +13,25 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
   threshold_ = 2.0 - h_inverse(h(2.5) - std::pow(2.0, -s));
 }
 
+ZipfSampler::ZipfSampler(const ZipfSampler& other) noexcept
+    : n_(other.n_),
+      s_(other.s_),
+      h_x1_(other.h_x1_),
+      h_n_(other.h_n_),
+      threshold_(other.threshold_),
+      hsum_(other.hsum_.load(std::memory_order_relaxed)) {}
+
+ZipfSampler& ZipfSampler::operator=(const ZipfSampler& other) noexcept {
+  n_ = other.n_;
+  s_ = other.s_;
+  h_x1_ = other.h_x1_;
+  h_n_ = other.h_n_;
+  threshold_ = other.threshold_;
+  hsum_.store(other.hsum_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  return *this;
+}
+
 double ZipfSampler::h(double x) const noexcept {
   // H(x) = integral of t^-s dt; log for s == 1.
   const double one_minus_s = 1.0 - s_;
@@ -47,8 +66,14 @@ std::uint64_t ZipfSampler::operator()(Rng& rng) const noexcept {
 
 double ZipfSampler::pmf(std::uint64_t k) const noexcept {
   if (k < 1 || k > n_) return 0.0;
-  if (hsum_ < 0.0) hsum_ = harmonic(n_, s_);
-  return std::pow(static_cast<double>(k), -s_) / hsum_;
+  double sum = hsum_.load(std::memory_order_relaxed);
+  if (sum < 0.0) {
+    // harmonic() is a pure function of (n_, s_): concurrent first callers
+    // may duplicate the work but all store the same bits.
+    sum = harmonic(n_, s_);
+    hsum_.store(sum, std::memory_order_relaxed);
+  }
+  return std::pow(static_cast<double>(k), -s_) / sum;
 }
 
 double ZipfSampler::harmonic(std::uint64_t n, double s) noexcept {

@@ -11,6 +11,7 @@
 // which matters when N is in the millions (8.1M unique Gnutella objects).
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -27,6 +28,11 @@ class ZipfSampler {
   /// @param n  support size (number of distinct ranks), n >= 1.
   /// @param s  Zipf exponent; s in (0, ~5] is typical for P2P content.
   ZipfSampler(std::uint64_t n, double s);
+
+  // The cached harmonic sum is an atomic, so copies must be spelled out;
+  // they carry the cache over (it is a pure function of n and s).
+  ZipfSampler(const ZipfSampler& other) noexcept;
+  ZipfSampler& operator=(const ZipfSampler& other) noexcept;
 
   /// Draws a rank in [1, n]; rank 1 is the most popular item.
   [[nodiscard]] std::uint64_t operator()(Rng& rng) const noexcept;
@@ -49,7 +55,12 @@ class ZipfSampler {
   double h_x1_;             // h(1.5) - 1
   double h_n_;              // h(n + 0.5)
   double threshold_;        // acceptance shortcut for rank 1
-  mutable double hsum_ = -1.0;  // lazily computed harmonic sum for pmf()
+  // Harmonic sum for pmf(), cached on first use. Atomic rather than
+  // eager-in-constructor: trace generators build samplers in per-track
+  // inner loops and must keep O(1) setup, yet a sampler shared across
+  // TrialRunner workers must allow concurrent pmf() calls. Racing
+  // threads may compute it redundantly but store identical bits.
+  mutable std::atomic<double> hsum_{-1.0};
 };
 
 /// Alias-method sampler over an arbitrary weight vector: O(n) build,

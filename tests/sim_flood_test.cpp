@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 namespace qcp2p::sim {
 namespace {
@@ -155,6 +156,73 @@ TEST(FloodSearch, SourceLocalHitNeedsNoMessages) {
   const FloodSearchResult r = flood_search(g, store, 0, query, 0);
   EXPECT_EQ(r.results, (std::vector<std::uint64_t>{7}));
   EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(FloodEngine, SurvivesEpochWraparound) {
+  // Regression: epoch_ is 32-bit; after it wraps the never-visited
+  // nodes' zero marks alias the wrapped epoch and get silently skipped.
+  const Graph g = line_graph(8);
+  FloodEngine engine(g);
+  const FloodResult before = engine.run(0, 3);
+  EXPECT_EQ(before.reached.size(), 3u);  // marks 1..3; 4..7 stay zero
+
+  engine.set_epoch(std::numeric_limits<std::uint32_t>::max());
+  const FloodResult wrapped = engine.run(0, 7);
+  EXPECT_EQ(wrapped.reached.size(), 7u);  // pre-fix: only the 3 marked
+  // And the cycle after the wrap still isolates runs.
+  const FloodResult after = engine.run(7, 2);
+  EXPECT_EQ(after.reached.size(), 2u);
+}
+
+TEST(FloodEngine, WrapClearsStaleMarksFromPreviousCycle) {
+  const Graph g = star_graph(20);
+  FloodEngine engine(g);
+  // Visit only leaf 5 and the hub, then wrap: the 18 untouched leaves
+  // must not read as already-visited in the first post-wrap flood.
+  const FloodResult first = engine.run(5, 1);
+  EXPECT_EQ(first.reached.size(), 1u);  // the hub
+  engine.set_epoch(std::numeric_limits<std::uint32_t>::max());
+  const FloodResult second = engine.run(0, 1);
+  EXPECT_EQ(second.reached.size(), 19u);
+}
+
+TEST(FloodSearch, OfflineSourceFindsNothingAndSendsNothing) {
+  // Regression: flood_search ignored liveness and probed the source's
+  // own store even when a churn mask marked it offline.
+  const Graph g = line_graph(4);
+  PeerStore store(4);
+  store.add_object(0, 7, {4});
+  store.add_object(2, 9, {4});
+  store.finalize();
+  const std::vector<TermId> query{4};
+  std::vector<bool> online(4, true);
+  online[0] = false;
+  const FloodSearchResult r =
+      flood_search(g, store, 0, query, 3, nullptr, &online);
+  EXPECT_TRUE(r.results.empty());
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.peers_probed, 0u);
+}
+
+TEST(FloodSearch, OfflinePeersAreNotProbedButStillCostMessages) {
+  const Graph g = line_graph(4);
+  PeerStore store(4);
+  store.add_object(1, 5, {4});
+  store.add_object(2, 9, {4});
+  store.finalize();
+  const std::vector<TermId> query{4};
+  std::vector<bool> online(4, true);
+  online[1] = false;  // dead peer holds object 5 and blocks the relay
+  const FloodSearchResult r =
+      flood_search(g, store, 0, query, 3, nullptr, &online);
+  EXPECT_TRUE(r.results.empty());  // 5 unreachable, relay to 2 cut off
+  EXPECT_EQ(r.peers_probed, 1u);   // source only
+  EXPECT_EQ(r.messages, 1u);       // the send to the dead peer is charged
+
+  // Same query with everyone online reaches both holders.
+  const FloodSearchResult all =
+      flood_search(g, store, 0, query, 3, nullptr, nullptr);
+  EXPECT_EQ(all.results, (std::vector<std::uint64_t>{5, 9}));
 }
 
 }  // namespace

@@ -1,0 +1,166 @@
+#include "src/sim/trial_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "src/sim/flood.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+Graph ring_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return g;
+}
+
+/// A representative Monte-Carlo workload: flood from a random source and
+/// check whether a random object's holders were reached.
+TrialAggregate flood_workload(std::size_t threads, std::size_t trials,
+                              std::uint64_t seed) {
+  static const Graph g = ring_graph(64);
+  static const std::vector<std::vector<NodeId>> holders = {
+      {3, 40}, {17}, {9, 10, 11}, {63}};
+  const TrialRunner runner({threads, seed});
+  return runner.run(
+      trials, [] { return FloodEngine(g); },
+      [&](std::size_t, util::Rng& rng, FloodEngine& engine) {
+        const auto src = static_cast<NodeId>(rng.bounded(g.num_nodes()));
+        const auto obj = rng.bounded(holders.size());
+        TrialOutcome out;
+        out.success = engine.reaches_any(
+            src, static_cast<std::uint32_t>(1 + rng.bounded(5)), holders[obj],
+            nullptr, &out.messages);
+        out.hops = rng.bounded(7);
+        out.peers_probed = 1 + rng.bounded(3);
+        out.extra[0] = rng.bounded(100);
+        return out;
+      });
+}
+
+bool aggregates_identical(const TrialAggregate& a, const TrialAggregate& b) {
+  return a.trials == b.trials && a.successes == b.successes &&
+         a.messages == b.messages && a.hops == b.hops &&
+         a.peers_probed == b.peers_probed && a.extra == b.extra;
+}
+
+TEST(TrialRunner, DeterministicAcrossThreadCounts) {
+  const TrialAggregate serial = flood_workload(1, 500, 42);
+  for (const std::size_t threads : {2UL, 3UL, 8UL}) {
+    const TrialAggregate parallel = flood_workload(threads, 500, 42);
+    EXPECT_TRUE(aggregates_identical(serial, parallel))
+        << "threads=" << threads;
+  }
+}
+
+TEST(TrialRunner, SeedChangesResults) {
+  const TrialAggregate a = flood_workload(4, 500, 42);
+  const TrialAggregate b = flood_workload(4, 500, 43);
+  EXPECT_FALSE(aggregates_identical(a, b));
+}
+
+TEST(TrialRunner, MatchesHandRolledSerialLoop) {
+  const TrialRunner runner({1, 7});
+  const std::size_t trials = 200;
+  // Hand-rolled loop over the same per-trial streams.
+  std::uint64_t want_sum = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    util::Rng rng = runner.trial_rng(t);
+    want_sum += rng.bounded(1000);
+  }
+  const TrialAggregate agg =
+      runner.run(trials, [](std::size_t, util::Rng& rng) {
+        TrialOutcome out;
+        out.messages = rng.bounded(1000);
+        return out;
+      });
+  EXPECT_EQ(agg.messages, want_sum);
+  EXPECT_EQ(agg.trials, trials);
+}
+
+TEST(TrialRunner, TrialRngDependsOnIndexNotCallOrder) {
+  const TrialRunner runner({4, 9});
+  util::Rng a0 = runner.trial_rng(0);
+  util::Rng a1 = runner.trial_rng(1);
+  util::Rng b0 = runner.trial_rng(0);
+  EXPECT_EQ(a0(), b0());
+  EXPECT_NE(a0(), a1());
+}
+
+TEST(TrialRunner, AggregateMeansAndCounters) {
+  const TrialRunner runner({3, 5});
+  const TrialAggregate agg =
+      runner.run(100, [](std::size_t t, util::Rng&) {
+        TrialOutcome out;
+        out.success = (t % 2) == 0;
+        out.messages = 4;
+        out.hops = 2;
+        out.peers_probed = 3;
+        out.extra[1] = 10;
+        return out;
+      });
+  EXPECT_EQ(agg.trials, 100u);
+  EXPECT_EQ(agg.successes, 50u);
+  EXPECT_DOUBLE_EQ(agg.success_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(agg.mean_messages(), 4.0);
+  EXPECT_DOUBLE_EQ(agg.mean_hops(), 2.0);
+  EXPECT_DOUBLE_EQ(agg.mean_peers_probed(), 3.0);
+  EXPECT_DOUBLE_EQ(agg.mean_extra(1), 10.0);
+  EXPECT_DOUBLE_EQ(agg.mean_extra(0), 0.0);
+  EXPECT_DOUBLE_EQ(agg.mean_extra(99), 0.0);  // out of range -> 0
+}
+
+TEST(TrialRunner, ZeroTrials) {
+  const TrialRunner runner({4, 5});
+  const TrialAggregate agg = runner.run(0, [](std::size_t, util::Rng&) {
+    ADD_FAILURE() << "trial fn must not run";
+    return TrialOutcome{};
+  });
+  EXPECT_EQ(agg.trials, 0u);
+  EXPECT_DOUBLE_EQ(agg.success_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.mean_messages(), 0.0);
+}
+
+TEST(TrialRunner, MoreThreadsThanTrials) {
+  const TrialAggregate serial = flood_workload(1, 3, 11);
+  const TrialAggregate wide = flood_workload(16, 3, 11);
+  EXPECT_TRUE(aggregates_identical(serial, wide));
+}
+
+TEST(TrialRunner, WorkerExceptionsPropagate) {
+  const TrialRunner runner({4, 5});
+  EXPECT_THROW(
+      runner.run(64,
+                 [](std::size_t t, util::Rng&) -> TrialOutcome {
+                   if (t == 13) throw std::runtime_error("boom");
+                   return {};
+                 }),
+      std::runtime_error);
+}
+
+TEST(TrialRunner, PerWorkerContextIsConstructedFresh) {
+  // Each shard must get its own context: record construction count via a
+  // counter and ensure trials never observe a context another shard made.
+  const TrialRunner runner({4, 5});
+  std::atomic<int> made{0};
+  const TrialAggregate agg = runner.run(
+      64, [&] { ++made; return std::vector<std::size_t>(); },
+      [](std::size_t t, util::Rng&, std::vector<std::size_t>& seen) {
+        seen.push_back(t);
+        TrialOutcome out;
+        // Contexts see strictly increasing local indices if unshared.
+        out.success = seen.size() < 2 || seen[seen.size() - 2] < t;
+        return out;
+      });
+  EXPECT_EQ(agg.successes, agg.trials);
+  EXPECT_GE(made.load(), 1);
+  EXPECT_LE(made.load(), 4);
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "src/util/stats.hpp"
@@ -54,6 +55,48 @@ TEST(ZipfSampler, EmpiricalFrequenciesMatchPmf) {
     EXPECT_NEAR(counts[k], expected, std::max(50.0, expected * 0.05))
         << "rank " << k;
   }
+}
+
+TEST(ZipfSampler, ConcurrentPmfCallsAgree) {
+  // Regression: the lazily-cached harmonic sum was a plain mutable
+  // double written inside const pmf() — a data race when a sampler is
+  // shared read-only across TrialRunner workers. Hammer the cold cache
+  // from many threads (run under -DQCP2P_SANITIZE=thread to prove it).
+  const ZipfSampler z(50'000, 1.1);
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 2'000;
+  std::vector<double> sums(kThreads, 0.0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&z, &sum = sums[static_cast<std::size_t>(w)]] {
+        for (int i = 1; i <= kCallsPerThread; ++i) {
+          sum += z.pmf(static_cast<std::uint64_t>(i));
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  // Every thread saw the identical cache value, so the sums are
+  // bit-identical, and they match a fresh sampler's serial answer.
+  const ZipfSampler fresh(50'000, 1.1);
+  double serial = 0.0;
+  for (int i = 1; i <= kCallsPerThread; ++i) {
+    serial += fresh.pmf(static_cast<std::uint64_t>(i));
+  }
+  for (double sum : sums) EXPECT_EQ(sum, serial);
+}
+
+TEST(ZipfSampler, CopyCarriesThePmfCache) {
+  const ZipfSampler a(1'000, 0.9);
+  (void)a.pmf(1);  // warm the cache
+  const ZipfSampler b = a;
+  EXPECT_EQ(b.pmf(17), a.pmf(17));
+  ZipfSampler c(10, 2.0);
+  c = a;
+  EXPECT_EQ(c.pmf(17), a.pmf(17));
+  EXPECT_EQ(c.support(), a.support());
 }
 
 TEST(ZipfSampler, HarmonicMatchesDirectSum) {
