@@ -9,8 +9,12 @@
 // hybrid pays flood AND DHT messages on nearly every query.
 //
 // --rare-cutoff ablates Loo et al.'s threshold (DESIGN.md section 5).
+// --offline-fraction knocks that share of peers offline (session-churn
+// steady state) before querying; both strategies see the same liveness
+// mask, so the comparison stays paired. 0 (default) bypasses the mask.
 #include "bench/bench_common.hpp"
 
+#include "src/overlay/churn.hpp"
 #include "src/overlay/topology.hpp"
 #include "src/sim/hybrid.hpp"
 #include "src/sim/trial_runner.hpp"
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
   const auto nodes = cli.get_uint("nodes", 2'000);
   const auto num_queries = cli.get_uint("queries", 400);
   const auto flood_ttl = static_cast<std::uint32_t>(cli.get_uint("ttl", 3));
+  const double offline_fraction = cli.get_double("offline-fraction", 0.0);
   bench::print_header(
       "exp_hybrid_vs_dht", env,
       "Sec V/VII: hybrid flood-then-DHT pays for failed floods; DHT-only "
@@ -77,13 +82,34 @@ int main(int argc, char** argv) {
 
   const sim::TrialRunner runner({env.threads, env.seed + 11});
 
+  // Optional liveness mask (satellite of the fault-injection layer):
+  // offline peers neither answer floods nor serve DHT postings. Queries
+  // from an offline source fail outright, same as exp_churn. With the
+  // default fraction of 0 the mask stays null and every code path is
+  // identical to the fault-free bench.
+  std::vector<bool> online_mask;
+  const std::vector<bool>* online = nullptr;
+  if (offline_fraction > 0.0) {
+    overlay::ChurnParams cp;
+    cp.mean_online_s = (1.0 - offline_fraction) * 3600.0;
+    cp.mean_offline_s = offline_fraction * 3600.0;
+    cp.seed = env.seed + 13;
+    overlay::ChurnProcess churn(nodes, cp);
+    churn.advance(7200.0);
+    online_mask = churn.online();
+    online = &online_mask;
+    std::cout << "# liveness: " << churn.online_fraction() * 100.0
+              << "% of peers online (target "
+              << (1.0 - offline_fraction) * 100.0 << "%)\n";
+  }
+
   // DHT-only baseline does not depend on the cutoff: one pass. Trial t
   // draws its source from the same per-trial stream every hybrid pass
   // uses, so the two strategies stay paired query-for-query.
   const sim::TrialAggregate dht_agg =
       runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
         const auto src = static_cast<NodeId>(trng.bounded(nodes));
-        const auto dr = sim::dht_only_search(dht, src, queries[q]);
+        const auto dr = sim::dht_only_search(dht, src, queries[q], online);
         sim::TrialOutcome out;
         out.success = dr.success();
         out.messages = dr.total_messages();
@@ -100,8 +126,8 @@ int main(int argc, char** argv) {
     const sim::TrialAggregate hy =
         runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
           const auto src = static_cast<NodeId>(trng.bounded(nodes));
-          const auto hr =
-              sim::hybrid_search(graph, store, dht, src, queries[q], hp);
+          const auto hr = sim::hybrid_search(graph, store, dht, src,
+                                             queries[q], hp, nullptr, online);
           sim::TrialOutcome out;
           out.success = hr.success();
           out.messages = hr.total_messages();

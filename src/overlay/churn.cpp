@@ -1,6 +1,8 @@
 #include "src/overlay/churn.hpp"
 
+#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace qcp2p::overlay {
 
@@ -25,6 +27,13 @@ double ChurnProcess::draw_session(bool for_online, util::Rng& rng) const {
 }
 
 void ChurnProcess::advance(double dt) {
+  // Time must not run backward: a negative (or NaN) dt would silently
+  // rewind now_ past toggles that already fired and desynchronize the
+  // per-node schedules. The !(dt >= 0.0) form also rejects NaN.
+  assert(dt >= 0.0 && "ChurnProcess::advance: dt must be non-negative");
+  if (!(dt >= 0.0)) {
+    throw std::invalid_argument("ChurnProcess::advance: dt must be >= 0");
+  }
   now_ += dt;
   for (std::size_t v = 0; v < online_.size(); ++v) {
     while (next_toggle_[v] <= now_) {
@@ -35,7 +44,13 @@ void ChurnProcess::advance(double dt) {
 }
 
 double ChurnProcess::online_fraction() const noexcept {
-  if (online_.empty()) return 0.0;
+  if (online_.empty()) {
+    // 0/0 peers online: report the process's exact steady-state
+    // probability instead of an arbitrary 0.0, so callers scaling by the
+    // fraction degrade gracefully on an empty network.
+    const double total = params_.mean_online_s + params_.mean_offline_s;
+    return total > 0.0 ? params_.mean_online_s / total : 0.0;
+  }
   std::size_t up = 0;
   for (bool b : online_) up += b;
   return static_cast<double>(up) / static_cast<double>(online_.size());

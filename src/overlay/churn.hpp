@@ -23,6 +23,8 @@ class ChurnProcess {
   ChurnProcess(std::size_t num_nodes, const ChurnParams& params);
 
   /// Advances simulated time by dt seconds, toggling node states.
+  /// dt must be non-negative (asserted, and rejected with
+  /// std::invalid_argument in release builds): time cannot run backward.
   void advance(double dt);
 
   [[nodiscard]] bool is_online(NodeId node) const noexcept {
@@ -32,7 +34,8 @@ class ChurnProcess {
     return online_;
   }
   [[nodiscard]] double now() const noexcept { return now_; }
-  /// Fraction of nodes currently online.
+  /// Fraction of nodes currently online; on an empty network, the exact
+  /// steady-state online probability of the session process.
   [[nodiscard]] double online_fraction() const noexcept;
 
  private:

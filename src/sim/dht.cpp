@@ -1,11 +1,14 @@
 #include "src/sim/dht.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace qcp2p::sim {
 
-ChordDht::ChordDht(std::size_t num_nodes, std::uint64_t seed) : seed_(seed) {
+ChordDht::ChordDht(std::size_t num_nodes, std::uint64_t seed,
+                   std::size_t succ_list_len)
+    : seed_(seed) {
   if (num_nodes == 0) throw std::invalid_argument("ChordDht: no nodes");
   ring_.reserve(num_nodes);
   node_ids_.resize(num_nodes);
@@ -26,6 +29,18 @@ ChordDht::ChordDht(std::size_t num_nodes, std::uint64_t seed) : seed_(seed) {
   successor_.resize(num_nodes);
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     successor_[ring_[i].second] = ring_[(i + 1) % ring_.size()].second;
+  }
+
+  // Successor lists (replica set / route-around fallback), nearest first.
+  succ_lists_.resize(num_nodes);
+  const std::size_t r = std::max<std::size_t>(
+      1, std::min(succ_list_len, num_nodes > 1 ? num_nodes - 1 : 1));
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    auto& list = succ_lists_[ring_[i].second];
+    list.reserve(r);
+    for (std::size_t k = 1; k <= r; ++k) {
+      list.push_back(ring_[(i + k) % ring_.size()].second);
+    }
   }
 
   // Finger tables: finger j of node v = successor(id(v) + 2^j).
@@ -90,6 +105,95 @@ ChordDht::LookupResult ChordDht::lookup(std::uint64_t key, NodeId from) const {
   throw std::runtime_error("ChordDht::lookup failed to converge");
 }
 
+bool ChordDht::route_once(std::uint64_t key, NodeId from, FaultSession& faults,
+                          const RecoveryPolicy& policy,
+                          FaultyLookup& out) const {
+  NodeId cur = from;
+  for (std::size_t guard = 0; guard <= ring_.size(); ++guard) {
+    if (node_ids_[cur] == key) {  // exact hit: cur owns the key
+      out.node = cur;
+      return true;
+    }
+    const NodeId succ = successor_[cur];
+    const bool final_step =
+        in_open_closed(node_ids_[cur], node_ids_[succ], key);
+
+    // Candidate next hops, best first. Final step: the key's replica set
+    // (cur's successor list, responsible node first). Otherwise: greedy
+    // fingers descending — the first candidate is exactly what plain
+    // lookup() forwards to — then successor-list entries that still
+    // precede the key (guaranteed progress, never overshooting).
+    std::array<NodeId, 16> cands{};
+    std::size_t ncand = 0;
+    const std::size_t width =
+        std::min<std::size_t>(std::max(1u, policy.route_around_width),
+                              cands.size());
+    auto push = [&](NodeId c) {
+      if (ncand >= width) return;
+      for (std::size_t i = 0; i < ncand; ++i) {
+        if (cands[i] == c) return;
+      }
+      cands[ncand++] = c;
+    };
+    if (final_step) {
+      for (NodeId s : succ_lists_[cur]) push(s);
+    } else {
+      const auto& f = fingers_[cur];
+      const std::uint64_t nid = node_ids_[cur];
+      for (std::size_t j = f.size(); j > 0 && ncand < width; --j) {
+        const NodeId cand = f[j - 1];
+        const std::uint64_t cid = node_ids_[cand];
+        if (cand != cur && in_open_closed(nid, key, cid) && cid != key) {
+          push(cand);
+        }
+      }
+      for (NodeId s : succ_lists_[cur]) {
+        const std::uint64_t sid = node_ids_[s];
+        if (s != cur && in_open_closed(nid, key, sid) && sid != key) push(s);
+      }
+    }
+
+    bool advanced = false;
+    for (std::size_t i = 0; i < ncand; ++i) {
+      ++out.hops;
+      if (i > 0) ++out.fault.route_around_hops;
+      if (!faults.deliver_timed()) {
+        ++out.fault.dropped;  // forward lost in flight
+        continue;
+      }
+      if (!faults.online(cands[i])) continue;  // dead peer: timeout, detour
+      cur = cands[i];
+      advanced = true;
+      break;
+    }
+    if (!advanced) return false;  // every candidate lost or dead
+    if (final_step) {
+      out.node = cur;  // a live member of the key's replica set
+      return true;
+    }
+  }
+  return false;
+}
+
+ChordDht::FaultyLookup ChordDht::lookup(std::uint64_t key, NodeId from,
+                                        FaultSession& faults,
+                                        const RecoveryPolicy& policy) const {
+  if (from >= node_ids_.size()) throw std::out_of_range("ChordDht::lookup");
+  FaultyLookup out;
+  if (!faults.online(from)) return out;  // a crashed node issues nothing
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (route_once(key, from, faults, policy, out)) {
+      out.success = true;
+      return out;
+    }
+    if (attempt >= policy.max_retries) return out;
+    const double wait = policy.timeout_ms + policy.backoff_after(attempt);
+    faults.charge_wait(wait);
+    out.fault.recovery_wait_ms += wait;
+    ++out.fault.retries;
+  }
+}
+
 std::uint64_t ChordDht::term_key(TermId term) const noexcept {
   return util::mix64(seed_ ^ 0x7E57ULL ^ (static_cast<std::uint64_t>(term) << 16));
 }
@@ -129,22 +233,59 @@ std::uint64_t ChordDht::publish_store(const PeerStore& store) {
   return messages;
 }
 
-ChordDht::TermSearch ChordDht::search_term(TermId term, NodeId from) const {
+ChordDht::TermSearch ChordDht::search_term(
+    TermId term, NodeId from, const std::vector<bool>* online) const {
   TermSearch out;
   const LookupResult r = lookup(term_key(term), from);
   out.hops = r.hops;
+  // No recovery here: a dead index node means the postings are simply
+  // unavailable this round (the fault-aware overload routes to replicas).
+  if (online != nullptr && !(*online)[r.node]) return out;
   const auto it = term_index_.find(term);
-  if (it != term_index_.end()) out.postings = it->second;
+  if (it == term_index_.end()) return out;
+  if (online == nullptr) {
+    out.postings = it->second;
+  } else {
+    for (const Posting& p : it->second) {
+      if ((*online)[p.holder]) out.postings.push_back(p);
+    }
+  }
   return out;
 }
 
-ChordDht::ObjectSearch ChordDht::search_object(std::uint64_t object_id,
-                                               NodeId from) const {
+ChordDht::FaultyTermSearch ChordDht::search_term(
+    TermId term, NodeId from, FaultSession& faults,
+    const RecoveryPolicy& policy) const {
+  FaultyTermSearch out;
+  const FaultyLookup r = lookup(term_key(term), from, faults, policy);
+  out.hops = r.hops;
+  out.fault = r.fault;
+  out.success = r.success;
+  if (!r.success) return out;
+  const auto it = term_index_.find(term);
+  if (it == term_index_.end()) return out;
+  for (const Posting& p : it->second) {
+    if (faults.online(p.holder)) out.postings.push_back(p);
+  }
+  return out;
+}
+
+ChordDht::ObjectSearch ChordDht::search_object(
+    std::uint64_t object_id, NodeId from,
+    const std::vector<bool>* online) const {
   ObjectSearch out;
   const LookupResult r = lookup(object_key(object_id), from);
   out.hops = r.hops;
+  if (online != nullptr && !(*online)[r.node]) return out;
   const auto it = object_index_.find(object_id);
-  if (it != object_index_.end()) out.holders = it->second;
+  if (it == object_index_.end()) return out;
+  if (online == nullptr) {
+    out.holders = it->second;
+  } else {
+    for (NodeId holder : it->second) {
+      if ((*online)[holder]) out.holders.push_back(holder);
+    }
+  }
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/sim/fault.hpp"
 #include "src/sim/network.hpp"
 #include "src/util/rng.hpp"
 
@@ -23,7 +24,10 @@ namespace qcp2p::sim {
 class ChordDht {
  public:
   /// Builds a ring of `num_nodes` with ids drawn from a keyed hash.
-  ChordDht(std::size_t num_nodes, std::uint64_t seed = 0xC0DEULL);
+  /// `succ_list_len` is the length of each node's successor list — the
+  /// replica set and route-around fallback used under fault injection.
+  ChordDht(std::size_t num_nodes, std::uint64_t seed = 0xC0DEULL,
+           std::size_t succ_list_len = 4);
 
   [[nodiscard]] std::size_t num_nodes() const noexcept { return ring_.size(); }
 
@@ -43,6 +47,34 @@ class ChordDht {
 
   /// Greedy finger routing from `from` to the node responsible for key.
   [[nodiscard]] LookupResult lookup(std::uint64_t key, NodeId from) const;
+
+  /// The node's successor list (the next `succ_list_len` live-or-dead
+  /// nodes clockwise on the ring, nearest first). Keys a node is
+  /// responsible for are replicated across its successor list.
+  [[nodiscard]] std::span<const NodeId> successor_list(NodeId node) const {
+    return succ_lists_.at(node);
+  }
+
+  struct FaultyLookup {
+    NodeId node = 0;         // live node answering for the key
+    std::uint32_t hops = 0;  // every send, detours included
+    bool success = false;
+    FaultStats fault;
+  };
+
+  /// Fault-injected greedy routing. Each forward is charged and may be
+  /// dropped in flight or addressed to a crashed peer; the router then
+  /// detours to the next-best candidate (lower fingers, then
+  /// successor-list entries), trying at most policy.route_around_width
+  /// next hops per step — the extra sends are counted as
+  /// route_around_hops. A key whose responsible node is dead is answered
+  /// by the first live successor-list replica. When a whole attempt dies,
+  /// the query times out, backs off, and re-routes from `from`, up to
+  /// policy.max_retries times. With an inert session this follows (and
+  /// charges) exactly the hops of plain lookup().
+  [[nodiscard]] FaultyLookup lookup(std::uint64_t key, NodeId from,
+                                    FaultSession& faults,
+                                    const RecoveryPolicy& policy) const;
 
   // --- keyword / object layer -------------------------------------------
 
@@ -72,17 +104,40 @@ class ChordDht {
     std::vector<Posting> postings;
     std::uint32_t hops = 0;
   };
-  /// Routes to the term's index node and returns its postings.
-  [[nodiscard]] TermSearch search_term(TermId term, NodeId from) const;
+  /// Routes to the term's index node and returns its postings. With an
+  /// `online` mask, an offline index node withholds its postings (routing
+  /// hops are still charged); offline holders are filtered from the
+  /// postings — their copies cannot be fetched.
+  [[nodiscard]] TermSearch search_term(
+      TermId term, NodeId from,
+      const std::vector<bool>* online = nullptr) const;
+
+  struct FaultyTermSearch {
+    std::vector<Posting> postings;  // live holders only
+    std::uint32_t hops = 0;
+    bool success = false;
+    FaultStats fault;
+  };
+  /// Fault-injected keyword lookup: routes with the fault-aware lookup()
+  /// (successor-list replicas stand in for a dead index node) and filters
+  /// postings down to live holders.
+  [[nodiscard]] FaultyTermSearch search_term(TermId term, NodeId from,
+                                             FaultSession& faults,
+                                             const RecoveryPolicy& policy) const;
 
   struct ObjectSearch {
     std::vector<NodeId> holders;
     std::uint32_t hops = 0;
   };
-  [[nodiscard]] ObjectSearch search_object(std::uint64_t object_id,
-                                           NodeId from) const;
+  [[nodiscard]] ObjectSearch search_object(
+      std::uint64_t object_id, NodeId from,
+      const std::vector<bool>* online = nullptr) const;
 
  private:
+  /// One routing attempt of the fault-injected lookup; false = attempt
+  /// died (every candidate next hop at some step was lost or dead).
+  bool route_once(std::uint64_t key, NodeId from, FaultSession& faults,
+                  const RecoveryPolicy& policy, FaultyLookup& out) const;
   [[nodiscard]] static bool in_open_closed(std::uint64_t a, std::uint64_t b,
                                            std::uint64_t x) noexcept;
   /// Closest finger of `node` strictly preceding `key`.
@@ -93,6 +148,7 @@ class ChordDht {
   std::vector<std::pair<std::uint64_t, NodeId>> ring_;  // sorted by id
   std::vector<std::uint64_t> node_ids_;                 // node -> ring id
   std::vector<NodeId> successor_;                       // node -> next node
+  std::vector<std::vector<NodeId>> succ_lists_;         // node -> next r nodes
   std::vector<std::vector<NodeId>> fingers_;            // node -> 64 fingers
   std::unordered_map<TermId, std::vector<Posting>> term_index_;
   std::unordered_map<std::uint64_t, std::vector<NodeId>> object_index_;

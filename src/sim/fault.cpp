@@ -1,0 +1,18 @@
+#include "src/sim/fault.hpp"
+
+#include "src/overlay/churn.hpp"
+
+namespace qcp2p::sim {
+
+double RecoveryPolicy::backoff_after(std::uint32_t retry) const noexcept {
+  double wait = backoff_ms;
+  for (std::uint32_t i = 0; i < retry; ++i) wait *= backoff_factor;
+  return wait;
+}
+
+FaultPlan FaultPlan::from_churn(const FaultParams& params,
+                                const overlay::ChurnProcess& churn) {
+  return FaultPlan(params, churn.online());
+}
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,201 @@
+// Deterministic fault injection for the search engines (flood, random
+// walk, Gia, hybrid, Chord): per-message loss, per-peer crash/offline
+// masks, and optional link-latency jitter, plus the recovery policy
+// (timeouts, bounded retries, exponential escalation/backoff) the
+// engines use to route around those faults.
+//
+// Determinism contract: every per-message decision (drop, jitter) is a
+// stateless hash of (plan seed, trial index, message index) — never of
+// wall clock, thread id, or shared state — so a fault-injected run under
+// sim::TrialRunner is byte-identical for any --threads value. With
+// loss_rate 0, no jitter, and no offline mask, a FaultSession is inert:
+// engines take exactly the code path (and draw exactly the rng stream)
+// they take without fault injection, reproducing fault-free results
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/overlay/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::overlay {
+class ChurnProcess;
+}
+
+namespace qcp2p::sim {
+
+using overlay::NodeId;
+
+struct FaultParams {
+  /// Probability that any single message transmission is lost.
+  double loss_rate = 0.0;
+  /// Max extra link latency per delivered message (uniform in [0, max)),
+  /// accumulated into FaultSession::latency_ms by the serial engines.
+  double jitter_max_ms = 0.0;
+  /// Keys the per-message drop/jitter hashes (independent of trial rng).
+  std::uint64_t seed = 0xFA017ULL;
+};
+
+/// How an engine recovers from faults. Attempt-level fields (max_retries,
+/// timeout_ms, backoff) apply to every engine; ttl_escalation is used by
+/// the flood-based engines, budget_escalation by the walk-based ones, and
+/// route_around_width by Chord's per-step dead-finger detours.
+struct RecoveryPolicy {
+  /// Re-issues allowed after a failed attempt (0 = single shot).
+  std::uint32_t max_retries = 0;
+  /// Flood/hybrid: TTL added per retry (expanding-ring escalation).
+  std::uint32_t ttl_escalation = 1;
+  /// Walk engines: step-budget multiplier per retry.
+  double budget_escalation = 2.0;
+  /// Wait charged when an attempt comes back empty (the querier cannot
+  /// distinguish "no results" from "answers lost in flight").
+  double timeout_ms = 400.0;
+  /// Exponential inter-retry backoff: backoff_ms * backoff_factor^retry.
+  double backoff_ms = 100.0;
+  double backoff_factor = 2.0;
+  /// Chord: max alternative next hops (lower fingers, then successor-list
+  /// entries) tried per routing step before the attempt is declared dead.
+  std::uint32_t route_around_width = 4;
+
+  [[nodiscard]] double backoff_after(std::uint32_t retry) const noexcept;
+};
+
+/// Per-query fault accounting, embedded in every engine's result struct.
+struct FaultStats {
+  /// Attempts beyond the first.
+  std::uint32_t retries = 0;
+  /// Messages lost to the loss process (dead-peer sends are charged as
+  /// ordinary messages but are not "dropped": the bits left the sender).
+  std::uint64_t dropped = 0;
+  /// Chord: extra sends spent detouring around dead/lossy next hops.
+  std::uint64_t route_around_hops = 0;
+  /// Simulated waiting on recovery: per-attempt timeouts plus backoff.
+  double recovery_wait_ms = 0.0;
+
+  void merge(const FaultStats& other) noexcept {
+    retries += other.retries;
+    dropped += other.dropped;
+    route_around_hops += other.route_around_hops;
+    recovery_wait_ms += other.recovery_wait_ms;
+  }
+};
+
+/// Immutable description of the faults a whole experiment runs under:
+/// loss/jitter parameters plus an optional liveness snapshot. Shared
+/// read-only across worker threads.
+class FaultPlan {
+ public:
+  /// The null plan: no loss, no jitter, everyone online.
+  FaultPlan() = default;
+
+  explicit FaultPlan(const FaultParams& params) : params_(params) {}
+
+  /// Plan with a crash/offline snapshot: offline peers neither receive
+  /// nor relay for the duration of the plan.
+  FaultPlan(const FaultParams& params, std::vector<bool> online)
+      : params_(params), online_(std::move(online)), has_mask_(true) {}
+
+  /// Snapshot the current liveness of a session-churn process (advance
+  /// the process between plans to model an evolving crash schedule).
+  [[nodiscard]] static FaultPlan from_churn(const FaultParams& params,
+                                            const overlay::ChurnProcess& churn);
+
+  [[nodiscard]] double loss_rate() const noexcept { return params_.loss_rate; }
+
+  /// True when the plan can actually perturb a run.
+  [[nodiscard]] bool active() const noexcept {
+    return params_.loss_rate > 0.0 || params_.jitter_max_ms > 0.0 || has_mask_;
+  }
+
+  [[nodiscard]] bool online(NodeId v) const noexcept {
+    return !has_mask_ || online_[v];
+  }
+
+  /// nullptr when the plan has no crash schedule (everyone online).
+  [[nodiscard]] const std::vector<bool>* online_mask() const noexcept {
+    return has_mask_ ? &online_ : nullptr;
+  }
+
+  /// Stateless: is message `index` of trial `trial` lost?
+  [[nodiscard]] bool drops(std::uint64_t trial,
+                           std::uint64_t index) const noexcept {
+    if (params_.loss_rate <= 0.0) return false;
+    if (params_.loss_rate >= 1.0) return true;
+    return hash_unit(trial, index, 0x10551ULL) < params_.loss_rate;
+  }
+
+  /// Stateless: link jitter of message `index` of trial `trial`, ms.
+  [[nodiscard]] double jitter_ms(std::uint64_t trial,
+                                 std::uint64_t index) const noexcept {
+    if (params_.jitter_max_ms <= 0.0) return 0.0;
+    return hash_unit(trial, index, 0x717E4ULL) * params_.jitter_max_ms;
+  }
+
+ private:
+  /// Hash of (seed, trial, index, salt) mapped to [0, 1). Chained mixes
+  /// (not xors of mixes) so (trial, index) never aliases (index, trial).
+  [[nodiscard]] double hash_unit(std::uint64_t trial, std::uint64_t index,
+                                 std::uint64_t salt) const noexcept {
+    const std::uint64_t h = util::mix64(
+        util::mix64(util::mix64(params_.seed ^ salt) ^ trial) ^ index);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  FaultParams params_{};
+  std::vector<bool> online_;
+  bool has_mask_ = false;
+};
+
+/// Per-trial cursor over the plan's message-indexed fault stream. One
+/// session per (trial, query); engines charge one index per message they
+/// send, so a trial's fault pattern depends only on (plan, trial index)
+/// and the deterministic order of sends within the trial.
+class FaultSession {
+ public:
+  FaultSession(const FaultPlan& plan, std::uint64_t trial) noexcept
+      : plan_(&plan), trial_(trial) {}
+
+  /// Charges one message index; false when this transmission is lost.
+  bool deliver() noexcept {
+    const std::uint64_t i = index_++;
+    if (plan_->drops(trial_, i)) {
+      ++dropped_;
+      return false;
+    }
+    return true;
+  }
+
+  /// deliver() plus link-jitter accounting — for the serial engines
+  /// (walks, Chord routing) where per-hop latency is additive. Flood
+  /// fan-out uses plain deliver(): its sends are concurrent.
+  bool deliver_timed() noexcept {
+    const std::uint64_t i = index_;
+    if (!deliver()) return false;
+    latency_ms_ += plan_->jitter_ms(trial_, i);
+    return true;
+  }
+
+  [[nodiscard]] bool online(NodeId v) const noexcept {
+    return plan_->online(v);
+  }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return *plan_; }
+
+  /// Adds recovery waiting (timeouts, backoff) to the trial's latency.
+  void charge_wait(double ms) noexcept { latency_ms_ += ms; }
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return index_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Accumulated simulated waiting: jitter plus recovery waits.
+  [[nodiscard]] double latency_ms() const noexcept { return latency_ms_; }
+
+ private:
+  const FaultPlan* plan_;
+  std::uint64_t trial_;
+  std::uint64_t index_ = 0;
+  std::uint64_t dropped_ = 0;
+  double latency_ms_ = 0.0;
+};
+
+}  // namespace qcp2p::sim

@@ -16,7 +16,8 @@ FloodEngine::FloodEngine(const Graph& graph)
 
 FloodResult FloodEngine::run(NodeId source, std::uint32_t ttl,
                              const std::vector<bool>* forwards,
-                             const std::vector<bool>* online) {
+                             const std::vector<bool>* online,
+                             FaultSession* faults) {
   FloodResult result;
   if (ttl == 0 || graph_->num_nodes() == 0) return result;
   if (online != nullptr && !(*online)[source]) return result;
@@ -39,6 +40,10 @@ FloodResult FloodEngine::run(NodeId source, std::uint32_t ttl,
       if (u != source && forwards != nullptr && !(*forwards)[u]) continue;
       for (NodeId v : graph_->neighbors(u)) {
         ++result.messages;  // duplicates and dead peers still cost a send
+        if (faults != nullptr && !faults->deliver()) {
+          ++result.dropped;  // lost in flight: never arrives anywhere
+          continue;
+        }
         if (online != nullptr && !(*online)[v]) continue;
         if (visit_mark_[v] != epoch_) {
           visit_mark_[v] = epoch_;
@@ -94,6 +99,44 @@ FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
   // offline (then nothing is probed; run() already returned empty).
   if (online == nullptr || (*online)[source]) probe(source);
   for (NodeId v : r.reached) probe(v);
+
+  std::sort(out.results.begin(), out.results.end());
+  out.results.erase(std::unique(out.results.begin(), out.results.end()),
+                    out.results.end());
+  return out;
+}
+
+FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
+                               NodeId source, std::span<const TermId> query,
+                               std::uint32_t ttl, FaultSession& faults,
+                               const RecoveryPolicy& policy,
+                               const std::vector<bool>* forwards) {
+  FloodSearchResult out;
+  const std::vector<bool>* online = faults.plan().online_mask();
+  if (online != nullptr && !(*online)[source]) return out;
+
+  FloodEngine engine(graph);
+  auto probe = [&](NodeId peer) {
+    ++out.peers_probed;
+    for (std::uint64_t id : store.match(peer, query)) out.results.push_back(id);
+  };
+
+  std::uint32_t attempt_ttl = ttl;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const FloodResult r = engine.run(source, attempt_ttl, forwards, online,
+                                     &faults);
+    out.messages += r.messages;
+    out.fault.dropped += r.dropped;
+    probe(source);  // the local check is free and repeats per attempt
+    for (NodeId v : r.reached) probe(v);
+    if (!out.results.empty() || attempt >= policy.max_retries) break;
+    // Nothing came back: wait out the timeout, back off, widen the ring.
+    const double wait = policy.timeout_ms + policy.backoff_after(attempt);
+    faults.charge_wait(wait);
+    out.fault.recovery_wait_ms += wait;
+    ++out.fault.retries;
+    attempt_ttl += policy.ttl_escalation;
+  }
 
   std::sort(out.results.begin(), out.results.end());
   out.results.erase(std::unique(out.results.begin(), out.results.end()),

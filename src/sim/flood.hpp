@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/overlay/graph.hpp"
+#include "src/sim/fault.hpp"
 #include "src/sim/network.hpp"
 
 namespace qcp2p::sim {
@@ -25,6 +26,8 @@ struct FloodResult {
   std::uint64_t messages = 0;
   /// reached-per-hop histogram: per_hop[h] = nodes first reached at hop h+1.
   std::vector<std::uint64_t> per_hop;
+  /// Transmissions lost to the fault plan's loss process (charged above).
+  std::uint64_t dropped = 0;
 
   [[nodiscard]] double coverage(std::size_t num_nodes) const noexcept {
     return num_nodes == 0 ? 0.0
@@ -50,9 +53,15 @@ class FloodEngine {
  public:
   explicit FloodEngine(const Graph& graph);
 
+  /// @param faults  optional per-message fault stream: each transmission
+  ///                is charged, then may be dropped in flight (counted in
+  ///                FloodResult::dropped) before the liveness check. With
+  ///                an inert session (loss 0) the traversal is identical
+  ///                to the fault-free one.
   [[nodiscard]] FloodResult run(NodeId source, std::uint32_t ttl,
                                 const std::vector<bool>* forwards = nullptr,
-                                const std::vector<bool>* online = nullptr);
+                                const std::vector<bool>* online = nullptr,
+                                FaultSession* faults = nullptr);
 
   /// Success check against a placement: does the flood from `source`
   /// reach any holder of `object`? The source's own copy counts, as a
@@ -82,6 +91,7 @@ struct FloodSearchResult {
   std::vector<std::uint64_t> results;
   std::uint64_t messages = 0;
   std::size_t peers_probed = 0;
+  FaultStats fault;
 };
 
 /// @param online  optional liveness mask, same semantics as flood(): an
@@ -92,5 +102,17 @@ struct FloodSearchResult {
     std::span<const TermId> query, std::uint32_t ttl,
     const std::vector<bool>* forwards = nullptr,
     const std::vector<bool>* online = nullptr);
+
+/// Fault-injected flood search with recovery: messages may be dropped in
+/// flight and offline peers (the session's plan mask) neither receive nor
+/// relay. An attempt that yields no results charges policy.timeout_ms and
+/// is re-issued with the TTL escalated by policy.ttl_escalation, up to
+/// policy.max_retries times (expanding-ring recovery). With an inert
+/// session and max_retries 0 this reproduces flood_search bit-for-bit.
+[[nodiscard]] FloodSearchResult flood_search(
+    const Graph& graph, const PeerStore& store, NodeId source,
+    std::span<const TermId> query, std::uint32_t ttl, FaultSession& faults,
+    const RecoveryPolicy& policy,
+    const std::vector<bool>* forwards = nullptr);
 
 }  // namespace qcp2p::sim

@@ -1,16 +1,50 @@
 #include "src/sim/gia.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace qcp2p::sim {
+namespace {
+
+/// Attempt loop shared by the fault-injected search/locate entry points.
+template <typename Attempt>
+GiaSearchResult run_with_recovery(const GiaSearchParams& params,
+                                  FaultSession& faults,
+                                  const RecoveryPolicy& policy,
+                                  Attempt attempt_fn) {
+  GiaSearchResult out;
+  GiaSearchParams attempt_params = params;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const GiaSearchResult r = attempt_fn(attempt_params);
+    out.messages += r.messages;
+    out.peers_probed += r.peers_probed;
+    out.fault.dropped += r.fault.dropped;
+    out.results.insert(out.results.end(), r.results.begin(), r.results.end());
+    out.success = out.success || r.success;
+    if (out.success || attempt >= policy.max_retries) break;
+    const double wait = policy.timeout_ms + policy.backoff_after(attempt);
+    faults.charge_wait(wait);
+    out.fault.recovery_wait_ms += wait;
+    ++out.fault.retries;
+    const double scaled = std::ceil(static_cast<double>(attempt_params.max_steps) *
+                                    policy.budget_escalation);
+    attempt_params.max_steps = static_cast<std::uint32_t>(
+        std::min(scaled, double{1u << 20}));
+  }
+  return out;
+}
+
+}  // namespace
 
 GiaNetwork::GiaNetwork(overlay::GiaTopology topology, PeerStore store)
     : topology_(std::move(topology)), store_(std::move(store)) {}
 
 std::vector<std::uint64_t> GiaNetwork::match_with_one_hop(
-    NodeId peer, std::span<const TermId> query) const {
+    NodeId peer, std::span<const TermId> query,
+    const std::vector<bool>* online) const {
   std::vector<std::uint64_t> hits = store_.match(peer, query);
   for (NodeId nbr : topology_.graph.neighbors(peer)) {
+    if (online != nullptr && !(*online)[nbr]) continue;
     const auto more = store_.match(nbr, query);
     hits.insert(hits.end(), more.begin(), more.end());
   }
@@ -33,14 +67,18 @@ NodeId GiaNetwork::biased_step(NodeId at, double bias, util::Rng& rng) const {
   return best;
 }
 
-GiaSearchResult GiaNetwork::search(NodeId source,
-                                   std::span<const TermId> query,
-                                   const GiaSearchParams& params,
-                                   util::Rng& rng) const {
+GiaSearchResult GiaNetwork::search_once(NodeId source,
+                                        std::span<const TermId> query,
+                                        const GiaSearchParams& params,
+                                        util::Rng& rng,
+                                        FaultSession* faults) const {
   GiaSearchResult out;
+  const std::vector<bool>* online =
+      faults != nullptr ? faults->plan().online_mask() : nullptr;
+  if (faults != nullptr && !faults->online(source)) return out;
   auto probe = [&](NodeId at) {
     ++out.peers_probed;
-    for (std::uint64_t id : match_with_one_hop(at, query)) {
+    for (std::uint64_t id : match_with_one_hop(at, query, online)) {
       out.results.push_back(id);
     }
   };
@@ -50,8 +88,16 @@ GiaSearchResult GiaNetwork::search(NodeId source,
          (params.stop_after_results == 0 ||
           out.results.size() < params.stop_after_results)) {
     if (topology_.graph.degree(at) == 0) break;
-    at = biased_step(at, params.capacity_bias, rng);
+    const NodeId nxt = biased_step(at, params.capacity_bias, rng);
     ++out.messages;
+    if (faults != nullptr) {
+      if (!faults->deliver_timed()) {
+        ++out.fault.dropped;  // lost step: budget spent, walker stays
+        continue;
+      }
+      if (!faults->online(nxt)) continue;  // dead peer never answers
+    }
+    at = nxt;
     probe(at);
   }
   std::sort(out.results.begin(), out.results.end());
@@ -62,16 +108,49 @@ GiaSearchResult GiaNetwork::search(NodeId source,
   return out;
 }
 
-GiaSearchResult GiaNetwork::locate(NodeId source,
-                                   std::span<const NodeId> holders,
+GiaSearchResult GiaNetwork::search(NodeId source,
+                                   std::span<const TermId> query,
                                    const GiaSearchParams& params,
                                    util::Rng& rng) const {
+  return search_once(source, query, params, rng, nullptr);
+}
+
+GiaSearchResult GiaNetwork::search(NodeId source, std::span<const TermId> query,
+                                   const GiaSearchParams& params,
+                                   util::Rng& rng, FaultSession& faults,
+                                   const RecoveryPolicy& policy) const {
+  GiaSearchResult out = run_with_recovery(
+      params, faults, policy, [&](const GiaSearchParams& p) {
+        return search_once(source, query, p, rng, &faults);
+      });
+  std::sort(out.results.begin(), out.results.end());
+  out.results.erase(std::unique(out.results.begin(), out.results.end()),
+                    out.results.end());
+  return out;
+}
+
+GiaSearchResult GiaNetwork::locate_once(NodeId source,
+                                        std::span<const NodeId> holders,
+                                        const GiaSearchParams& params,
+                                        util::Rng& rng,
+                                        FaultSession* faults) const {
   GiaSearchResult out;
+  if (faults != nullptr && !faults->online(source)) return out;
+  auto holder_alive = [&](NodeId v) {
+    return faults == nullptr || faults->online(v);
+  };
   auto covered = [&](NodeId at) {
-    // One-hop replication: a node also indexes its neighbors' content.
-    if (std::binary_search(holders.begin(), holders.end(), at)) return true;
+    // One-hop replication: a node also indexes its neighbors' content
+    // (the neighbor must still be alive for the copy to be fetchable).
+    if (std::binary_search(holders.begin(), holders.end(), at) &&
+        holder_alive(at)) {
+      return true;
+    }
     for (NodeId nbr : topology_.graph.neighbors(at)) {
-      if (std::binary_search(holders.begin(), holders.end(), nbr)) return true;
+      if (std::binary_search(holders.begin(), holders.end(), nbr) &&
+          holder_alive(nbr)) {
+        return true;
+      }
     }
     return false;
   };
@@ -83,8 +162,16 @@ GiaSearchResult GiaNetwork::locate(NodeId source,
   NodeId at = source;
   while (out.messages < params.max_steps) {
     if (topology_.graph.degree(at) == 0) break;
-    at = biased_step(at, params.capacity_bias, rng);
+    const NodeId nxt = biased_step(at, params.capacity_bias, rng);
     ++out.messages;
+    if (faults != nullptr) {
+      if (!faults->deliver_timed()) {
+        ++out.fault.dropped;
+        continue;
+      }
+      if (!faults->online(nxt)) continue;
+    }
+    at = nxt;
     ++out.peers_probed;
     if (covered(at)) {
       out.success = true;
@@ -92,6 +179,25 @@ GiaSearchResult GiaNetwork::locate(NodeId source,
     }
   }
   return out;
+}
+
+GiaSearchResult GiaNetwork::locate(NodeId source,
+                                   std::span<const NodeId> holders,
+                                   const GiaSearchParams& params,
+                                   util::Rng& rng) const {
+  return locate_once(source, holders, params, rng, nullptr);
+}
+
+GiaSearchResult GiaNetwork::locate(NodeId source,
+                                   std::span<const NodeId> holders,
+                                   const GiaSearchParams& params,
+                                   util::Rng& rng, FaultSession& faults,
+                                   const RecoveryPolicy& policy) const {
+  return run_with_recovery(params, faults, policy,
+                           [&](const GiaSearchParams& p) {
+                             return locate_once(source, holders, p, rng,
+                                                &faults);
+                           });
 }
 
 }  // namespace qcp2p::sim

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/overlay/topology.hpp"
+#include "src/sim/fault.hpp"
 #include "src/sim/network.hpp"
 #include "src/util/rng.hpp"
 
@@ -33,6 +34,7 @@ struct GiaSearchResult {
   std::uint64_t messages = 0;
   std::size_t peers_probed = 0;
   bool success = false;
+  FaultStats fault;
 };
 
 /// Gia network = capacity topology + content + one-hop replicated index.
@@ -48,8 +50,11 @@ class GiaNetwork {
 
   /// Match against the peer's own library AND its one-hop replicated
   /// neighbor indices (Gia's key amplification of effective coverage).
+  /// With an `online` mask, dead neighbors' content is excluded: their
+  /// index entry is stale — the download target is gone.
   [[nodiscard]] std::vector<std::uint64_t> match_with_one_hop(
-      NodeId peer, std::span<const TermId> query) const;
+      NodeId peer, std::span<const TermId> query,
+      const std::vector<bool>* online = nullptr) const;
 
   /// Capacity-biased random walk with one-hop index checks.
   [[nodiscard]] GiaSearchResult search(NodeId source,
@@ -64,9 +69,37 @@ class GiaNetwork {
                                        const GiaSearchParams& params,
                                        util::Rng& rng) const;
 
+  // Fault-injected variants: dropped or dead-peer steps burn walk budget
+  // in place; an empty attempt times out, backs off, escalates max_steps
+  // by policy.budget_escalation, and re-walks, up to policy.max_retries.
+  // With an inert session and max_retries 0 these reproduce the fault-free
+  // variants bit-for-bit (identical rng draws).
+
+  [[nodiscard]] GiaSearchResult search(NodeId source,
+                                       std::span<const TermId> query,
+                                       const GiaSearchParams& params,
+                                       util::Rng& rng, FaultSession& faults,
+                                       const RecoveryPolicy& policy) const;
+
+  [[nodiscard]] GiaSearchResult locate(NodeId source,
+                                       std::span<const NodeId> holders,
+                                       const GiaSearchParams& params,
+                                       util::Rng& rng, FaultSession& faults,
+                                       const RecoveryPolicy& policy) const;
+
  private:
   [[nodiscard]] NodeId biased_step(NodeId at, double bias,
                                    util::Rng& rng) const;
+  [[nodiscard]] GiaSearchResult search_once(NodeId source,
+                                            std::span<const TermId> query,
+                                            const GiaSearchParams& params,
+                                            util::Rng& rng,
+                                            FaultSession* faults) const;
+  [[nodiscard]] GiaSearchResult locate_once(NodeId source,
+                                            std::span<const NodeId> holders,
+                                            const GiaSearchParams& params,
+                                            util::Rng& rng,
+                                            FaultSession* faults) const;
 
   overlay::GiaTopology topology_;
   PeerStore store_;

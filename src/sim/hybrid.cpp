@@ -9,11 +9,12 @@ namespace {
 /// Looks up every query term in the DHT and intersects postings by
 /// object id; hops of all lookups are charged as messages.
 void dht_phase(const ChordDht& dht, NodeId source,
-               std::span<const TermId> query, HybridResult& out) {
+               std::span<const TermId> query, HybridResult& out,
+               const std::vector<bool>* online) {
   out.used_dht = true;
   std::unordered_map<std::uint64_t, std::size_t> object_term_hits;
   for (TermId t : query) {
-    const ChordDht::TermSearch ts = dht.search_term(t, source);
+    const ChordDht::TermSearch ts = dht.search_term(t, source, online);
     out.dht_messages += ts.hops;
     // Deduplicate postings of the same object under one term (an object
     // replicated on several holders appears once per holder).
@@ -30,18 +31,52 @@ void dht_phase(const ChordDht& dht, NodeId source,
   std::sort(out.results.begin(), out.results.end());
 }
 
+/// Fault-injected twin of dht_phase: per-term lookups retry and
+/// route around dead fingers per the policy; a term whose index (and
+/// every successor-list replica) is unreachable contributes nothing.
+void dht_phase(const ChordDht& dht, NodeId source,
+               std::span<const TermId> query, HybridResult& out,
+               FaultSession& faults, const RecoveryPolicy& policy) {
+  out.used_dht = true;
+  std::unordered_map<std::uint64_t, std::size_t> object_term_hits;
+  for (TermId t : query) {
+    const ChordDht::FaultyTermSearch ts =
+        dht.search_term(t, source, faults, policy);
+    out.dht_messages += ts.hops;
+    out.fault.merge(ts.fault);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(ts.postings.size());
+    for (const ChordDht::Posting& p : ts.postings) ids.push_back(p.object_id);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (std::uint64_t id : ids) ++object_term_hits[id];
+  }
+  for (const auto& [id, hits] : object_term_hits) {
+    if (hits == query.size()) out.results.push_back(id);
+  }
+  std::sort(out.results.begin(), out.results.end());
+}
+
+void merge_flood_then_dht(HybridResult& out) {
+  std::sort(out.results.begin(), out.results.end());
+  out.results.erase(std::unique(out.results.begin(), out.results.end()),
+                    out.results.end());
+}
+
 }  // namespace
 
 HybridResult hybrid_search(const Graph& graph, const PeerStore& store,
                            const ChordDht& dht, NodeId source,
                            std::span<const TermId> query,
                            const HybridParams& params,
-                           const std::vector<bool>* forwards) {
+                           const std::vector<bool>* forwards,
+                           const std::vector<bool>* online) {
   HybridResult out;
   if (query.empty()) return out;
+  if (online != nullptr && !(*online)[source]) return out;
 
-  const FloodSearchResult fr =
-      flood_search(graph, store, source, query, params.flood_ttl, forwards);
+  const FloodSearchResult fr = flood_search(graph, store, source, query,
+                                            params.flood_ttl, forwards, online);
   out.flood_messages = fr.messages;
   out.results = fr.results;
 
@@ -49,23 +84,68 @@ HybridResult hybrid_search(const Graph& graph, const PeerStore& store,
     // Rare query: re-issue through the structured index (keep any flood
     // results; the DHT adds the rest).
     HybridResult dht_out;
-    dht_phase(dht, source, query, dht_out);
+    dht_phase(dht, source, query, dht_out, online);
     out.dht_messages = dht_out.dht_messages;
     out.used_dht = true;
     out.results.insert(out.results.end(), dht_out.results.begin(),
                        dht_out.results.end());
-    std::sort(out.results.begin(), out.results.end());
-    out.results.erase(std::unique(out.results.begin(), out.results.end()),
-                      out.results.end());
+    merge_flood_then_dht(out);
   }
   return out;
 }
 
 HybridResult dht_only_search(const ChordDht& dht, NodeId source,
-                             std::span<const TermId> query) {
+                             std::span<const TermId> query,
+                             const std::vector<bool>* online) {
   HybridResult out;
   if (query.empty()) return out;
-  dht_phase(dht, source, query, out);
+  if (online != nullptr && !(*online)[source]) return out;
+  dht_phase(dht, source, query, out, online);
+  return out;
+}
+
+HybridResult hybrid_search(const Graph& graph, const PeerStore& store,
+                           const ChordDht& dht, NodeId source,
+                           std::span<const TermId> query,
+                           const HybridParams& params, FaultSession& faults,
+                           const RecoveryPolicy& policy,
+                           const std::vector<bool>* forwards) {
+  HybridResult out;
+  if (query.empty()) return out;
+  if (!faults.online(source)) return out;
+
+  // Single-shot flood: a thin flood result falls through to the DHT
+  // anyway, so the structured phase is this phase's recovery path.
+  RecoveryPolicy flood_policy = policy;
+  flood_policy.max_retries = 0;
+  const FloodSearchResult fr = flood_search(
+      graph, store, source, query, params.flood_ttl, faults, flood_policy,
+      forwards);
+  out.flood_messages = fr.messages;
+  out.results = fr.results;
+  out.fault.merge(fr.fault);
+
+  if (out.results.size() < params.rare_cutoff) {
+    HybridResult dht_out;
+    dht_phase(dht, source, query, dht_out, faults, policy);
+    out.dht_messages = dht_out.dht_messages;
+    out.used_dht = true;
+    out.fault.merge(dht_out.fault);
+    out.results.insert(out.results.end(), dht_out.results.begin(),
+                       dht_out.results.end());
+    merge_flood_then_dht(out);
+  }
+  return out;
+}
+
+HybridResult dht_only_search(const ChordDht& dht, NodeId source,
+                             std::span<const TermId> query,
+                             FaultSession& faults,
+                             const RecoveryPolicy& policy) {
+  HybridResult out;
+  if (query.empty()) return out;
+  if (!faults.online(source)) return out;
+  dht_phase(dht, source, query, out, faults, policy);
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/sim/dht.hpp"
+#include "src/sim/fault.hpp"
 #include "src/sim/flood.hpp"
 
 namespace qcp2p::sim {
@@ -30,6 +31,7 @@ struct HybridResult {
   std::uint64_t flood_messages = 0;
   std::uint64_t dht_messages = 0;
   bool used_dht = false;
+  FaultStats fault;
 
   [[nodiscard]] std::uint64_t total_messages() const noexcept {
     return flood_messages + dht_messages;
@@ -40,13 +42,38 @@ struct HybridResult {
 /// Conjunctive term query through the hybrid pipeline. The DHT phase
 /// looks up every query term, intersects the posting lists by object id,
 /// and counts routing hops as messages.
+/// @param online  optional liveness mask applied to BOTH phases: offline
+///                peers neither relay the flood nor answer it, a dead
+///                term-index node withholds its postings, and dead
+///                holders drop out of the result set. An offline source
+///                issues nothing.
 [[nodiscard]] HybridResult hybrid_search(
     const Graph& graph, const PeerStore& store, const ChordDht& dht,
     NodeId source, std::span<const TermId> query, const HybridParams& params,
+    const std::vector<bool>* forwards = nullptr,
+    const std::vector<bool>* online = nullptr);
+
+/// Pure-DHT baseline: same keyword lookup, no flood phase. The optional
+/// liveness mask has the same semantics as hybrid_search's DHT phase.
+[[nodiscard]] HybridResult dht_only_search(
+    const ChordDht& dht, NodeId source, std::span<const TermId> query,
+    const std::vector<bool>* online = nullptr);
+
+// Fault-injected variants. The flood phase runs single-shot (the DHT
+// fallback IS its recovery); the DHT phase's per-term lookups use the
+// policy's bounded retries and successor-list route-around. With an
+// inert session and max_retries 0 these reproduce the plain variants
+// bit-for-bit.
+
+[[nodiscard]] HybridResult hybrid_search(
+    const Graph& graph, const PeerStore& store, const ChordDht& dht,
+    NodeId source, std::span<const TermId> query, const HybridParams& params,
+    FaultSession& faults, const RecoveryPolicy& policy,
     const std::vector<bool>* forwards = nullptr);
 
-/// Pure-DHT baseline: same keyword lookup, no flood phase.
 [[nodiscard]] HybridResult dht_only_search(const ChordDht& dht, NodeId source,
-                                           std::span<const TermId> query);
+                                           std::span<const TermId> query,
+                                           FaultSession& faults,
+                                           const RecoveryPolicy& policy);
 
 }  // namespace qcp2p::sim

@@ -1,6 +1,7 @@
 #include "src/sim/random_walk.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace qcp2p::sim {
 namespace {
@@ -20,9 +21,10 @@ namespace {
 template <typename Probe>
 RandomWalkResult walk(const Graph& graph, NodeId source,
                       const RandomWalkParams& params, util::Rng& rng,
-                      Probe probe) {
+                      FaultSession* faults, Probe probe) {
   RandomWalkResult out;
   if (graph.num_nodes() == 0) return out;
+  if (faults != nullptr && !faults->online(source)) return out;
   probe(source, out);
   if (params.stop_after_results != 0 &&
       out.results.size() >= params.stop_after_results) {
@@ -33,8 +35,16 @@ RandomWalkResult walk(const Graph& graph, NodeId source,
     NodeId at = source;
     for (std::uint32_t step = 0; step < params.max_steps; ++step) {
       if (graph.degree(at) == 0) break;
-      at = next_hop(graph, at, params.degree_biased, rng);
+      const NodeId nxt = next_hop(graph, at, params.degree_biased, rng);
       ++out.messages;
+      if (faults != nullptr) {
+        if (!faults->deliver_timed()) {
+          ++out.fault.dropped;  // lost step: budget spent, walker stays
+          continue;
+        }
+        if (!faults->online(nxt)) continue;  // dead peer never answers
+      }
+      at = nxt;
       probe(at, out);
       if (params.stop_after_results != 0 &&
           out.results.size() >= params.stop_after_results) {
@@ -47,21 +57,77 @@ RandomWalkResult walk(const Graph& graph, NodeId source,
   return out;
 }
 
+/// Attempt loop shared by the fault-injected entry points: re-walk with
+/// an escalated budget until something is found or retries run out.
+template <typename Probe>
+RandomWalkResult walk_with_recovery(const Graph& graph, NodeId source,
+                                    const RandomWalkParams& params,
+                                    util::Rng& rng, FaultSession& faults,
+                                    const RecoveryPolicy& policy,
+                                    Probe probe) {
+  RandomWalkResult out;
+  RandomWalkParams attempt_params = params;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    RandomWalkResult r = walk(graph, source, attempt_params, rng, &faults,
+                              probe);
+    out.messages += r.messages;
+    out.peers_probed += r.peers_probed;
+    out.fault.dropped += r.fault.dropped;
+    out.results.insert(out.results.end(), r.results.begin(), r.results.end());
+    if (!out.results.empty() || attempt >= policy.max_retries) break;
+    const double wait = policy.timeout_ms + policy.backoff_after(attempt);
+    faults.charge_wait(wait);
+    out.fault.recovery_wait_ms += wait;
+    ++out.fault.retries;
+    const double scaled = std::ceil(static_cast<double>(attempt_params.max_steps) *
+                                    policy.budget_escalation);
+    attempt_params.max_steps = static_cast<std::uint32_t>(
+        std::min(scaled, double{1u << 20}));
+  }
+  out.success = !out.results.empty();
+  return out;
+}
+
+struct LocateProbe {
+  std::span<const NodeId> holders;
+  const FaultSession* faults;  // holders must be alive to answer
+
+  void operator()(NodeId at, RandomWalkResult& out) const {
+    ++out.peers_probed;
+    if (std::binary_search(holders.begin(), holders.end(), at) &&
+        (faults == nullptr || faults->online(at))) {
+      out.results.push_back(at);
+    }
+  }
+};
+
+struct SearchProbe {
+  const PeerStore* store;
+  std::span<const TermId> query;
+
+  void operator()(NodeId at, RandomWalkResult& out) const {
+    ++out.peers_probed;
+    for (std::uint64_t id : store->match(at, query)) {
+      out.results.push_back(id);
+    }
+  }
+};
+
+void dedup_results(RandomWalkResult& result) {
+  std::sort(result.results.begin(), result.results.end());
+  result.results.erase(
+      std::unique(result.results.begin(), result.results.end()),
+      result.results.end());
+}
+
 }  // namespace
 
 RandomWalkResult random_walk_locate(const Graph& graph, NodeId source,
                                     std::span<const NodeId> holders,
                                     const RandomWalkParams& params,
                                     util::Rng& rng) {
-  auto result = walk(graph, source, params, rng,
-                     [&](NodeId at, RandomWalkResult& out) {
-                       ++out.peers_probed;
-                       if (std::binary_search(holders.begin(), holders.end(),
-                                              at)) {
-                         out.results.push_back(at);
-                       }
-                     });
-  return result;
+  return walk(graph, source, params, rng, nullptr,
+              LocateProbe{holders, nullptr});
 }
 
 RandomWalkResult random_walk_search(const Graph& graph, const PeerStore& store,
@@ -69,17 +135,30 @@ RandomWalkResult random_walk_search(const Graph& graph, const PeerStore& store,
                                     std::span<const TermId> query,
                                     const RandomWalkParams& params,
                                     util::Rng& rng) {
-  auto result = walk(graph, source, params, rng,
-                     [&](NodeId at, RandomWalkResult& out) {
-                       ++out.peers_probed;
-                       for (std::uint64_t id : store.match(at, query)) {
-                         out.results.push_back(id);
-                       }
-                     });
-  std::sort(result.results.begin(), result.results.end());
-  result.results.erase(
-      std::unique(result.results.begin(), result.results.end()),
-      result.results.end());
+  auto result = walk(graph, source, params, rng, nullptr,
+                     SearchProbe{&store, query});
+  dedup_results(result);
+  return result;
+}
+
+RandomWalkResult random_walk_locate(const Graph& graph, NodeId source,
+                                    std::span<const NodeId> holders,
+                                    const RandomWalkParams& params,
+                                    util::Rng& rng, FaultSession& faults,
+                                    const RecoveryPolicy& policy) {
+  return walk_with_recovery(graph, source, params, rng, faults, policy,
+                            LocateProbe{holders, &faults});
+}
+
+RandomWalkResult random_walk_search(const Graph& graph, const PeerStore& store,
+                                    NodeId source,
+                                    std::span<const TermId> query,
+                                    const RandomWalkParams& params,
+                                    util::Rng& rng, FaultSession& faults,
+                                    const RecoveryPolicy& policy) {
+  auto result = walk_with_recovery(graph, source, params, rng, faults, policy,
+                                   SearchProbe{&store, query});
+  dedup_results(result);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/overlay/graph.hpp"
+#include "src/sim/fault.hpp"
 #include "src/sim/network.hpp"
 #include "src/util/rng.hpp"
 
@@ -27,6 +28,7 @@ struct RandomWalkResult {
   std::uint64_t messages = 0;  // one per walker step
   std::size_t peers_probed = 0;
   bool success = false;
+  FaultStats fault;
 };
 
 /// Object lookup: walk until any holder of `holders` is stepped on.
@@ -39,5 +41,24 @@ struct RandomWalkResult {
     const Graph& graph, const PeerStore& store, NodeId source,
     std::span<const TermId> query, const RandomWalkParams& params,
     util::Rng& rng);
+
+// Fault-injected variants: a step whose message is dropped, or whose
+// chosen next hop is offline, burns the step's budget and leaves the
+// walker in place (the sender times out waiting for the ack); an attempt
+// that ends with no results charges policy.timeout_ms, backs off, scales
+// the per-walker step budget by policy.budget_escalation, and re-walks
+// from the source, up to policy.max_retries times. With an inert session
+// and max_retries 0 these reproduce the fault-free variants bit-for-bit
+// (identical rng draws).
+
+[[nodiscard]] RandomWalkResult random_walk_locate(
+    const Graph& graph, NodeId source, std::span<const NodeId> holders,
+    const RandomWalkParams& params, util::Rng& rng, FaultSession& faults,
+    const RecoveryPolicy& policy);
+
+[[nodiscard]] RandomWalkResult random_walk_search(
+    const Graph& graph, const PeerStore& store, NodeId source,
+    std::span<const TermId> query, const RandomWalkParams& params,
+    util::Rng& rng, FaultSession& faults, const RecoveryPolicy& policy);
 
 }  // namespace qcp2p::sim

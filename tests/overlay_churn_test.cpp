@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace qcp2p::overlay {
 namespace {
 
@@ -44,6 +46,33 @@ TEST(ChurnProcess, DeterministicInSeed) {
   a.advance(5000.0);
   b.advance(5000.0);
   EXPECT_EQ(a.online(), b.online());
+}
+
+TEST(ChurnProcess, NegativeAdvanceIsRejected) {
+  ChurnParams params;
+  ChurnProcess churn(10, params);
+#ifdef NDEBUG
+  EXPECT_THROW(churn.advance(-0.001), std::invalid_argument);
+  EXPECT_THROW(churn.advance(-1e9), std::invalid_argument);
+#else
+  EXPECT_DEATH(churn.advance(-0.001), "non-negative");
+#endif
+  EXPECT_DOUBLE_EQ(churn.now(), 0.0);  // rejected calls leave time alone
+  churn.advance(0.0);                  // zero is a legal no-op
+  EXPECT_DOUBLE_EQ(churn.now(), 0.0);
+}
+
+TEST(ChurnProcess, EmptyNetworkFractionIsExactSteadyState) {
+  ChurnParams params;
+  params.mean_online_s = 3600.0;
+  params.mean_offline_s = 1200.0;  // p_online = 0.75 exactly
+  const ChurnProcess churn(0, params);
+  EXPECT_DOUBLE_EQ(churn.online_fraction(), 0.75);
+
+  ChurnParams degenerate;
+  degenerate.mean_online_s = 0.0;
+  degenerate.mean_offline_s = 0.0;
+  EXPECT_DOUBLE_EQ(ChurnProcess(0, degenerate).online_fraction(), 0.0);
 }
 
 TEST(SampleOnline, MatchesProbability) {

@@ -1,0 +1,366 @@
+// Fault-injection layer: deterministic drop/jitter hashing, inert-session
+// bit-for-bit equivalence with the fault-free engines, thread-count
+// invariance under TrialRunner, Chord route-around, and retry recovery.
+#include "src/sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/overlay/churn.hpp"
+#include "src/overlay/topology.hpp"
+#include "src/sim/dht.hpp"
+#include "src/sim/flood.hpp"
+#include "src/sim/gia.hpp"
+#include "src/sim/hybrid.hpp"
+#include "src/sim/random_walk.hpp"
+#include "src/sim/trial_runner.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+constexpr std::size_t kNodes = 300;
+
+Graph make_graph() {
+  util::Rng rng(11);
+  return overlay::random_regular(kNodes, 6, rng);
+}
+
+PeerStore make_store() {
+  PeerStore store(kNodes);
+  util::Rng rng(12);
+  // Popular object 1 {1,2} on every 7th peer; singleton object 2 {40,41}.
+  for (NodeId v = 0; v < kNodes; v += 7) store.add_object(v, 1, {1, 2});
+  store.add_object(123, 2, {40, 41});
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    const auto peer = static_cast<NodeId>(rng.bounded(kNodes));
+    std::vector<TermId> terms;
+    const std::size_t n = 1 + rng.bounded(3);
+    for (std::size_t k = 0; k < n; ++k) {
+      terms.push_back(static_cast<TermId>(rng.bounded(50)));
+    }
+    store.add_object(peer, 1000 + i, std::move(terms));
+  }
+  store.finalize();
+  return store;
+}
+
+struct FaultFixture : ::testing::Test {
+  FaultFixture() : graph(make_graph()), store(make_store()), dht(kNodes, 7) {
+    dht.publish_store(store);
+  }
+
+  [[nodiscard]] std::vector<TermId> query_for(std::size_t t) const {
+    switch (t % 3) {
+      case 0: return {1, 2};                                    // popular
+      case 1: return {40, 41};                                  // singleton
+      default: return {static_cast<TermId>(t % 50)};            // broad
+    }
+  }
+
+  Graph graph;
+  PeerStore store;
+  ChordDht dht;
+};
+
+TEST(FaultPlan, DropHashIsDeterministicAndMatchesRate) {
+  FaultParams params;
+  params.loss_rate = 0.3;
+  params.seed = 77;
+  const FaultPlan a(params), b(params);
+  std::size_t drops = 0;
+  for (std::uint64_t i = 0; i < 20'000; ++i) {
+    EXPECT_EQ(a.drops(3, i), b.drops(3, i));
+    drops += a.drops(3, i);
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / 20'000.0, 0.3, 0.02);
+  // Different trials see independent streams.
+  std::size_t diff = 0;
+  for (std::uint64_t i = 0; i < 1'000; ++i) diff += a.drops(3, i) != a.drops(4, i);
+  EXPECT_GT(diff, 100u);
+}
+
+TEST(FaultPlan, ExtremesAndInertness) {
+  FaultParams sure;
+  sure.loss_rate = 1.0;
+  const FaultPlan always(sure);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(always.drops(0, i));
+
+  const FaultPlan null_plan;
+  EXPECT_FALSE(null_plan.active());
+  EXPECT_EQ(null_plan.online_mask(), nullptr);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(null_plan.drops(0, i));
+    EXPECT_EQ(null_plan.jitter_ms(0, i), 0.0);
+  }
+  EXPECT_TRUE(null_plan.online(0));
+}
+
+TEST_F(FaultFixture, InertSessionMatchesPlainFlood) {
+  const FaultPlan plan;  // loss 0, no mask: must be bit-for-bit inert
+  RecoveryPolicy single_shot;
+  single_shot.max_retries = 0;
+  for (std::size_t t = 0; t < 60; ++t) {
+    const auto src = static_cast<NodeId>(t * 5 % kNodes);
+    const auto query = query_for(t);
+    const FloodSearchResult plain = flood_search(graph, store, src, query, 3);
+    FaultSession faults(plan, t);
+    const FloodSearchResult faulty =
+        flood_search(graph, store, src, query, 3, faults, single_shot);
+    EXPECT_EQ(plain.results, faulty.results);
+    EXPECT_EQ(plain.messages, faulty.messages);
+    EXPECT_EQ(plain.peers_probed, faulty.peers_probed);
+    EXPECT_EQ(faulty.fault.dropped, 0u);
+    EXPECT_EQ(faulty.fault.retries, 0u);
+  }
+}
+
+TEST_F(FaultFixture, InertSessionMatchesPlainRandomWalk) {
+  const FaultPlan plan;
+  RecoveryPolicy single_shot;
+  single_shot.max_retries = 0;
+  RandomWalkParams params;
+  params.walkers = 8;
+  params.max_steps = 64;
+  for (std::size_t t = 0; t < 60; ++t) {
+    const auto src = static_cast<NodeId>(t * 11 % kNodes);
+    const auto query = query_for(t);
+    util::Rng plain_rng(900 + t), faulty_rng(900 + t);
+    const RandomWalkResult plain =
+        random_walk_search(graph, store, src, query, params, plain_rng);
+    FaultSession faults(plan, t);
+    const RandomWalkResult faulty = random_walk_search(
+        graph, store, src, query, params, faulty_rng, faults, single_shot);
+    EXPECT_EQ(plain.results, faulty.results);
+    EXPECT_EQ(plain.messages, faulty.messages);
+    EXPECT_EQ(plain.peers_probed, faulty.peers_probed);
+    EXPECT_EQ(plain.success, faulty.success);
+    // The inert session must not have perturbed the shared rng stream.
+    EXPECT_EQ(plain_rng(), faulty_rng());
+  }
+}
+
+TEST_F(FaultFixture, InertSessionMatchesPlainGia) {
+  overlay::GiaParams gp;
+  gp.num_nodes = kNodes;
+  util::Rng topo_rng(21);
+  const GiaNetwork gia(overlay::gia_topology(gp, topo_rng), make_store());
+
+  const FaultPlan plan;
+  RecoveryPolicy single_shot;
+  single_shot.max_retries = 0;
+  GiaSearchParams params;
+  params.max_steps = 256;
+  for (std::size_t t = 0; t < 60; ++t) {
+    const auto src = static_cast<NodeId>(t * 7 % kNodes);
+    const auto query = query_for(t);
+    util::Rng plain_rng(300 + t), faulty_rng(300 + t);
+    const GiaSearchResult plain = gia.search(src, query, params, plain_rng);
+    FaultSession faults(plan, t);
+    const GiaSearchResult faulty =
+        gia.search(src, query, params, faulty_rng, faults, single_shot);
+    EXPECT_EQ(plain.results, faulty.results);
+    EXPECT_EQ(plain.messages, faulty.messages);
+    EXPECT_EQ(plain.success, faulty.success);
+    EXPECT_EQ(plain_rng(), faulty_rng());
+  }
+}
+
+TEST_F(FaultFixture, InertSessionMatchesPlainHybridAndDhtOnly) {
+  const FaultPlan plan;
+  RecoveryPolicy single_shot;
+  single_shot.max_retries = 0;
+  HybridParams hp;
+  hp.flood_ttl = 2;
+  hp.rare_cutoff = 20;
+  for (std::size_t t = 0; t < 60; ++t) {
+    const auto src = static_cast<NodeId>(t * 13 % kNodes);
+    const auto query = query_for(t);
+
+    const HybridResult plain_h =
+        hybrid_search(graph, store, dht, src, query, hp);
+    FaultSession hf(plan, t);
+    const HybridResult faulty_h =
+        hybrid_search(graph, store, dht, src, query, hp, hf, single_shot);
+    EXPECT_EQ(plain_h.results, faulty_h.results);
+    EXPECT_EQ(plain_h.flood_messages, faulty_h.flood_messages);
+    EXPECT_EQ(plain_h.dht_messages, faulty_h.dht_messages);
+    EXPECT_EQ(plain_h.used_dht, faulty_h.used_dht);
+
+    const HybridResult plain_d = dht_only_search(dht, src, query);
+    FaultSession df(plan, t);
+    const HybridResult faulty_d =
+        dht_only_search(dht, src, query, df, single_shot);
+    EXPECT_EQ(plain_d.results, faulty_d.results);
+    EXPECT_EQ(plain_d.dht_messages, faulty_d.dht_messages);
+  }
+}
+
+TEST_F(FaultFixture, InertLookupChargesExactlyThePlainRoute) {
+  const FaultPlan plan;
+  RecoveryPolicy policy;  // route_around_width > 1, but nothing to avoid
+  util::Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t key = rng();
+    const auto from = static_cast<NodeId>(rng.bounded(kNodes));
+    const ChordDht::LookupResult plain = dht.lookup(key, from);
+    FaultSession faults(plan, static_cast<std::uint64_t>(i));
+    const ChordDht::FaultyLookup faulty = dht.lookup(key, from, faults, policy);
+    EXPECT_TRUE(faulty.success);
+    EXPECT_EQ(plain.node, faulty.node);
+    EXPECT_EQ(plain.hops, faulty.hops);
+    EXPECT_EQ(faulty.fault.route_around_hops, 0u);
+  }
+}
+
+TEST_F(FaultFixture, AggregatesAreIdenticalAcrossThreadCounts) {
+  FaultParams params;
+  params.loss_rate = 0.1;
+  params.jitter_max_ms = 5.0;
+  util::Rng mask_rng(41);
+  const FaultPlan plan(params, overlay::sample_online(kNodes, 0.75, mask_rng));
+  RecoveryPolicy policy;
+  policy.max_retries = 2;
+
+  auto run_with = [&](std::size_t threads) {
+    const TrialRunner runner({threads, 4242});
+    return runner.run(200, [&](std::size_t t, util::Rng& rng) {
+      FaultSession faults(plan, t);
+      const auto src = static_cast<NodeId>(rng.bounded(kNodes));
+      const auto query = query_for(t);
+      const FloodSearchResult fr =
+          flood_search(graph, store, src, query, 2, faults, policy);
+      RandomWalkParams wp;
+      wp.walkers = 4;
+      wp.max_steps = 32;
+      const RandomWalkResult wr = random_walk_search(graph, store, src, query,
+                                                     wp, rng, faults, policy);
+      const HybridResult dr = dht_only_search(dht, src, query, faults, policy);
+      TrialOutcome out;
+      out.success = !fr.results.empty() || wr.success || dr.success();
+      out.messages = fr.messages + wr.messages + dr.total_messages();
+      out.extra[0] = fr.fault.dropped + wr.fault.dropped + dr.fault.dropped;
+      out.extra[1] = fr.fault.retries + wr.fault.retries + dr.fault.retries;
+      out.extra[2] = dr.fault.route_around_hops;
+      return out;
+    });
+  };
+
+  const TrialAggregate one = run_with(1);
+  for (const std::size_t threads : {2ULL, 8ULL}) {
+    const TrialAggregate many = run_with(threads);
+    EXPECT_EQ(one.trials, many.trials) << threads << " threads";
+    EXPECT_EQ(one.successes, many.successes) << threads << " threads";
+    EXPECT_EQ(one.messages, many.messages) << threads << " threads";
+    EXPECT_EQ(one.extra, many.extra) << threads << " threads";
+  }
+  EXPECT_GT(one.extra[0], 0u);  // the plan actually dropped messages
+}
+
+TEST_F(FaultFixture, TotalLossDropsEveryTransmission) {
+  FaultParams params;
+  params.loss_rate = 1.0;
+  const FaultPlan plan(params);
+  RecoveryPolicy policy;
+  policy.max_retries = 1;
+  FaultSession faults(plan, 0);
+  const std::vector<TermId> query{40, 41};  // singleton held far away
+  const FloodSearchResult r =
+      flood_search(graph, store, 0, query, 3, faults, policy);
+  EXPECT_TRUE(r.results.empty());
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_EQ(r.fault.dropped, r.messages);  // every send lost in flight
+  EXPECT_EQ(r.fault.retries, 1u);
+}
+
+TEST_F(FaultFixture, ChordRoutesAroundDeadResponsibleNode) {
+  util::Rng rng(51);
+  RecoveryPolicy policy;
+  policy.max_retries = 2;
+  policy.route_around_width = 4;
+  int detours = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t key = rng();
+    const NodeId responsible = dht.successor_of(key);
+    std::vector<bool> online(kNodes, true);
+    online[responsible] = false;
+    const FaultPlan plan(FaultParams{}, online);
+    auto from = static_cast<NodeId>(rng.bounded(kNodes));
+    if (from == responsible) from = static_cast<NodeId>((from + 1) % kNodes);
+    FaultSession faults(plan, static_cast<std::uint64_t>(i));
+    const ChordDht::FaultyLookup r = dht.lookup(key, from, faults, policy);
+    ASSERT_TRUE(r.success) << "key " << key;
+    EXPECT_NE(r.node, responsible);
+    EXPECT_TRUE(plan.online(r.node));
+    detours += r.fault.route_around_hops > 0;
+  }
+  // The dead node is the responsible one, so nearly every lookup must
+  // detour at the last hop (a few may start adjacent and shortcut).
+  EXPECT_GT(detours, 40);
+}
+
+TEST_F(FaultFixture, RetriesImproveSuccessUnderHeavyLoss) {
+  FaultParams params;
+  params.loss_rate = 0.5;
+  const FaultPlan plan(params);
+  RecoveryPolicy none;
+  none.max_retries = 0;
+  RecoveryPolicy retry;
+  retry.max_retries = 3;
+  retry.ttl_escalation = 1;
+
+  const std::vector<TermId> query{1, 2};
+  int ok_none = 0, ok_retry = 0;
+  std::uint32_t retries = 0;
+  for (std::size_t t = 0; t < 100; ++t) {
+    const auto src = static_cast<NodeId>(t * 3 % kNodes);
+    FaultSession f0(plan, t);
+    ok_none += !flood_search(graph, store, src, query, 1, f0, none)
+                    .results.empty();
+    FaultSession f1(plan, t);
+    const FloodSearchResult r =
+        flood_search(graph, store, src, query, 1, f1, retry);
+    ok_retry += !r.results.empty();
+    retries += r.fault.retries;
+  }
+  EXPECT_GT(ok_retry, ok_none);
+  EXPECT_GT(retries, 0u);
+}
+
+TEST_F(FaultFixture, SuccessorListsWalkTheRingClockwise) {
+  for (NodeId v = 0; v < kNodes; ++v) {
+    const auto list = dht.successor_list(v);
+    ASSERT_EQ(list.size(), 4u);
+    std::uint64_t at = dht.node_id(v);
+    for (const NodeId s : list) {
+      const NodeId expected = dht.successor_of(at + 1);
+      EXPECT_EQ(s, expected);
+      at = dht.node_id(s);
+    }
+  }
+}
+
+TEST(FaultSession, JitterAndWaitAccumulateIntoLatency) {
+  FaultParams params;
+  params.jitter_max_ms = 10.0;
+  const FaultPlan plan(params);
+  FaultSession faults(plan, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(faults.deliver_timed());
+  EXPECT_GT(faults.latency_ms(), 0.0);
+  EXPECT_LT(faults.latency_ms(), 1000.0);
+  const double before = faults.latency_ms();
+  faults.charge_wait(400.0);
+  EXPECT_DOUBLE_EQ(faults.latency_ms(), before + 400.0);
+  EXPECT_EQ(faults.sent(), 100u);
+  EXPECT_EQ(faults.dropped(), 0u);
+}
+
+TEST(RecoveryPolicy, BackoffIsExponential) {
+  RecoveryPolicy p;
+  p.backoff_ms = 100.0;
+  p.backoff_factor = 2.0;
+  EXPECT_DOUBLE_EQ(p.backoff_after(0), 100.0);
+  EXPECT_DOUBLE_EQ(p.backoff_after(1), 200.0);
+  EXPECT_DOUBLE_EQ(p.backoff_after(3), 800.0);
+}
+
+}  // namespace
+}  // namespace qcp2p::sim
