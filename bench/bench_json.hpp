@@ -1,0 +1,59 @@
+// Minimal JSON perf-report writer for the hot-path regression harness.
+//
+// BENCH_hotpaths.json layout (stable key order, diff-friendly):
+//   {
+//     "benchmarks":         { "<name>": <ns per op>, ... },
+//     "experiments_wall_s": { "<exp binary>": <seconds>, ... },
+//     "meta":               { "<key>": <value>, ... }
+//   }
+// micro_hotpaths fills "benchmarks" via --hotpaths-json=PATH;
+// bench/run_hotpaths.sh times the exp_* binaries and merges the rest.
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace qcp2p::bench {
+
+/// Two-level {section: {key: number}} report. Keys are kept sorted so
+/// successive runs diff cleanly in version control.
+class JsonReport {
+ public:
+  void set(const std::string& section, const std::string& key, double value) {
+    sections_[section][key] = value;
+  }
+
+  void write(std::ostream& os) const {
+    os << "{\n";
+    bool first_section = true;
+    for (const auto& [section, entries] : sections_) {
+      if (!first_section) os << ",\n";
+      first_section = false;
+      os << "  \"" << section << "\": {\n";
+      bool first_key = true;
+      for (const auto& [key, value] : entries) {
+        if (!first_key) os << ",\n";
+        first_key = false;
+        os << "    \"" << key << "\": " << value;
+      }
+      os << "\n  }";
+    }
+    os << "\n}\n";
+  }
+
+  /// Returns false (leaving a note on stderr to the caller) if the file
+  /// cannot be opened; benchmark output must never be lost silently.
+  [[nodiscard]] bool write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    write(out);
+    return bool{out};
+  }
+
+ private:
+  std::map<std::string, std::map<std::string, double>> sections_;
+};
+
+}  // namespace qcp2p::bench

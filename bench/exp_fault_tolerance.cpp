@@ -19,6 +19,7 @@
 #include "src/sim/gia.hpp"
 #include "src/sim/hybrid.hpp"
 #include "src/sim/random_walk.hpp"
+#include "src/sim/search_scratch.hpp"
 #include "src/sim/trial_runner.hpp"
 
 using namespace qcp2p;
@@ -169,38 +170,52 @@ int main(int argc, char** argv) {
           return out;
         };
 
+        // Each worker shard owns one SearchScratch; scratch state cannot
+        // leak into results (epoch-stamped marks), so the aggregate stays
+        // bit-identical for any --threads value.
+        const auto make_scratch = [] { return sim::SearchScratch{}; };
         EngineRow rows[] = {
             {"flood",
-             runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
-               sim::FaultSession faults(plan, q);
-               const NodeId src = draw_source(nodes, plan, trng);
-               const auto r = sim::flood_search(graph, store, src, queries[q],
-                                                flood_ttl, faults, policy);
-               return outcome_of(!r.results.empty(), r.messages, r.fault);
-             })},
-            {"random-walk",
-             runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
-               sim::FaultSession faults(plan, q);
-               const NodeId src = draw_source(nodes, plan, trng);
-               const auto r = sim::random_walk_search(
-                   graph, store, src, queries[q], wp, trng, faults, policy);
-               return outcome_of(r.success, r.messages, r.fault);
-             })},
-            {"gia",
-             runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
+             runner.run(queries.size(), make_scratch,
+                        [&](std::size_t q, util::Rng& trng,
+                            sim::SearchScratch& scratch) {
                sim::FaultSession faults(plan, q);
                const NodeId src = draw_source(nodes, plan, trng);
                const auto r =
-                   gia.search(src, queries[q], gsp, trng, faults, policy);
+                   sim::flood_search(graph, store, src, queries[q], flood_ttl,
+                                     scratch, faults, policy);
+               return outcome_of(!r.results.empty(), r.messages, r.fault);
+             })},
+            {"random-walk",
+             runner.run(queries.size(), make_scratch,
+                        [&](std::size_t q, util::Rng& trng,
+                            sim::SearchScratch& scratch) {
+               sim::FaultSession faults(plan, q);
+               const NodeId src = draw_source(nodes, plan, trng);
+               const auto r =
+                   sim::random_walk_search(graph, store, src, queries[q], wp,
+                                           trng, scratch, faults, policy);
+               return outcome_of(r.success, r.messages, r.fault);
+             })},
+            {"gia",
+             runner.run(queries.size(), make_scratch,
+                        [&](std::size_t q, util::Rng& trng,
+                            sim::SearchScratch& scratch) {
+               sim::FaultSession faults(plan, q);
+               const NodeId src = draw_source(nodes, plan, trng);
+               const auto r = gia.search(src, queries[q], gsp, trng, scratch,
+                                         faults, policy);
                return outcome_of(r.success, r.messages, r.fault);
              })},
             {"hybrid",
-             runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
+             runner.run(queries.size(), make_scratch,
+                        [&](std::size_t q, util::Rng& trng,
+                            sim::SearchScratch& scratch) {
                sim::FaultSession faults(plan, q);
                const NodeId src = draw_source(nodes, plan, trng);
-               const auto r = sim::hybrid_search(graph, store, dht, src,
-                                                 queries[q], hp, faults,
-                                                 policy);
+               const auto r =
+                   sim::hybrid_search(graph, store, dht, src, queries[q], hp,
+                                      scratch, faults, policy);
                return outcome_of(r.success(), r.total_messages(), r.fault);
              })},
             {"dht-only",
@@ -219,36 +234,44 @@ int main(int argc, char** argv) {
             &policy == &no_recovery) {
           regression_checked = true;
           const sim::TrialAggregate plain[] = {
-              runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
+              runner.run(queries.size(), make_scratch,
+                         [&](std::size_t q, util::Rng& trng,
+                             sim::SearchScratch& scratch) {
                 const auto src = static_cast<NodeId>(trng.bounded(nodes));
                 const auto r = sim::flood_search(graph, store, src, queries[q],
-                                                 flood_ttl);
+                                                 flood_ttl, scratch);
                 sim::TrialOutcome out;
                 out.success = !r.results.empty();
                 out.messages = r.messages;
                 return out;
               }),
-              runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
+              runner.run(queries.size(), make_scratch,
+                         [&](std::size_t q, util::Rng& trng,
+                             sim::SearchScratch& scratch) {
                 const auto src = static_cast<NodeId>(trng.bounded(nodes));
-                const auto r = sim::random_walk_search(graph, store, src,
-                                                       queries[q], wp, trng);
+                const auto r = sim::random_walk_search(
+                    graph, store, src, queries[q], wp, trng, scratch);
                 sim::TrialOutcome out;
                 out.success = r.success;
                 out.messages = r.messages;
                 return out;
               }),
-              runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
+              runner.run(queries.size(), make_scratch,
+                         [&](std::size_t q, util::Rng& trng,
+                             sim::SearchScratch& scratch) {
                 const auto src = static_cast<NodeId>(trng.bounded(nodes));
-                const auto r = gia.search(src, queries[q], gsp, trng);
+                const auto r = gia.search(src, queries[q], gsp, trng, scratch);
                 sim::TrialOutcome out;
                 out.success = r.success;
                 out.messages = r.messages;
                 return out;
               }),
-              runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
+              runner.run(queries.size(), make_scratch,
+                         [&](std::size_t q, util::Rng& trng,
+                             sim::SearchScratch& scratch) {
                 const auto src = static_cast<NodeId>(trng.bounded(nodes));
-                const auto r =
-                    sim::hybrid_search(graph, store, dht, src, queries[q], hp);
+                const auto r = sim::hybrid_search(graph, store, dht, src,
+                                                  queries[q], hp, scratch);
                 sim::TrialOutcome out;
                 out.success = r.success();
                 out.messages = r.total_messages();

@@ -17,6 +17,7 @@
 #include "src/overlay/churn.hpp"
 #include "src/overlay/topology.hpp"
 #include "src/sim/hybrid.hpp"
+#include "src/sim/search_scratch.hpp"
 #include "src/sim/trial_runner.hpp"
 #include "src/util/stats.hpp"
 
@@ -123,11 +124,15 @@ int main(int argc, char** argv) {
     hp.flood_ttl = flood_ttl;
     hp.rare_cutoff = cutoff;
 
-    const sim::TrialAggregate hy =
-        runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
+    // One SearchScratch per worker shard: the flood phase reuses BFS and
+    // match buffers across the shard's queries.
+    const sim::TrialAggregate hy = runner.run(
+        queries.size(), [] { return sim::SearchScratch{}; },
+        [&](std::size_t q, util::Rng& trng, sim::SearchScratch& scratch) {
           const auto src = static_cast<NodeId>(trng.bounded(nodes));
-          const auto hr = sim::hybrid_search(graph, store, dht, src,
-                                             queries[q], hp, nullptr, online);
+          const auto hr =
+              sim::hybrid_search(graph, store, dht, src, queries[q], hp,
+                                 scratch, nullptr, online);
           sim::TrialOutcome out;
           out.success = hr.success();
           out.messages = hr.total_messages();

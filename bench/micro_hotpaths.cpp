@@ -1,13 +1,27 @@
 // google-benchmark microbenchmarks for the hot paths every experiment
 // leans on: Zipf sampling, tokenization, Bloom probes, flood BFS, Chord
-// lookups and Jaccard over interned term sets.
+// lookups, Jaccard over interned term sets, and the content hot paths
+// (PeerStore::match / may_match, topology build, end-to-end flood_search)
+// guarded by the BENCH_hotpaths.json regression harness.
+//
+// --hotpaths-json=PATH writes {"benchmarks": {name: ns/op}} via
+// bench/bench_json.hpp; bench/run_hotpaths.sh merges in exp_* wall times.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench/bench_json.hpp"
 #include "src/core/bloom.hpp"
 #include "src/overlay/topology.hpp"
 #include "src/sim/dht.hpp"
 #include "src/sim/flood.hpp"
+#include "src/sim/network.hpp"
 #include "src/text/tokenizer.hpp"
+#include "src/trace/content_model.hpp"
+#include "src/trace/gnutella.hpp"
 #include "src/util/jaccard.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/zipf.hpp"
@@ -94,6 +108,124 @@ void BM_ChordLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_ChordLookup)->Arg(1'024)->Arg(40'000);
 
+// ---------------------------------------------------------------------------
+// Content hot paths (the BENCH_hotpaths.json regression set). One shared
+// fixture mirrors the exp_* benches: a crawl-derived PeerStore over 2,000
+// peers, a degree-8 flat overlay, and object-derived conjunctive queries.
+// ---------------------------------------------------------------------------
+
+struct ContentFixture {
+  static constexpr std::size_t kNodes = 2'000;
+  sim::PeerStore store;
+  overlay::Graph graph;
+  std::vector<std::vector<text::TermId>> queries;
+  std::vector<overlay::NodeId> probe_peers;
+
+  ContentFixture() : store(0), graph(0) {
+    trace::ContentModelParams mp;  // BenchEnv::model_params at scale 0.02
+    mp.core_lexicon_size = 2'000;
+    mp.tail_lexicon_size = 80'000;
+    mp.catalog_songs = 50'000;
+    mp.artists = 8'000;
+    mp.seed = 42;
+    const trace::ContentModel model(mp);
+    trace::GnutellaCrawlParams cp = trace::GnutellaCrawlParams{}.scaled(0.02);
+    cp.seed = 42;
+    const trace::CrawlSnapshot crawl = generate_gnutella_crawl(model, cp);
+    store = sim::peer_store_from_crawl(crawl, kNodes);
+
+    util::Rng rng(42);
+    graph = overlay::random_regular(kNodes, 8, rng);
+
+    // Object-derived 1-3 term queries (every query has >= 1 hit), plus a
+    // uniform probe-peer stream: most probes miss, as in a real flood.
+    util::Rng qrng(49);
+    std::size_t guard = 0;
+    while (queries.size() < 512 && guard++ < 50'000) {
+      const auto peer =
+          static_cast<overlay::NodeId>(qrng.bounded(store.num_peers()));
+      if (store.objects(peer).empty()) continue;
+      const auto& obj =
+          store.objects(peer)[qrng.bounded(store.objects(peer).size())];
+      if (obj.terms.empty()) continue;
+      std::vector<text::TermId> q;
+      const std::size_t n =
+          1 + qrng.bounded(std::min<std::size_t>(3, obj.terms.size()));
+      for (std::size_t i = 0; i < n; ++i) {
+        q.push_back(obj.terms[qrng.bounded(obj.terms.size())]);
+      }
+      std::sort(q.begin(), q.end());
+      q.erase(std::unique(q.begin(), q.end()), q.end());
+      queries.push_back(std::move(q));
+    }
+    for (std::size_t i = 0; i < 4'096; ++i) {
+      probe_peers.push_back(
+          static_cast<overlay::NodeId>(qrng.bounded(kNodes)));
+    }
+  }
+};
+
+const ContentFixture& content_fixture() {
+  static const ContentFixture fixture;
+  return fixture;
+}
+
+void BM_PeerStoreMatch(benchmark::State& state) {
+  const ContentFixture& fx = content_fixture();
+  sim::PeerStore::MatchScratch scratch;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto peer = fx.probe_peers[i % fx.probe_peers.size()];
+    const auto& q = fx.queries[i % fx.queries.size()];
+    benchmark::DoNotOptimize(fx.store.match(peer, q, scratch).size());
+    ++i;
+  }
+}
+BENCHMARK(BM_PeerStoreMatch);
+
+void BM_PeerStoreMayMatch(benchmark::State& state) {
+  const ContentFixture& fx = content_fixture();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto peer = fx.probe_peers[i % fx.probe_peers.size()];
+    const auto& q = fx.queries[i % fx.queries.size()];
+    benchmark::DoNotOptimize(fx.store.may_match(peer, q));
+    ++i;
+  }
+}
+BENCHMARK(BM_PeerStoreMayMatch);
+
+void BM_TwoTierBuild(benchmark::State& state) {
+  overlay::TwoTierParams params;
+  params.num_nodes = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    const overlay::TwoTierTopology topo =
+        overlay::gnutella_two_tier(params, rng);
+    benchmark::DoNotOptimize(topo.graph.num_edges());
+  }
+}
+BENCHMARK(BM_TwoTierBuild)
+    ->Arg(4'096)
+    ->Arg(40'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FloodSearch(benchmark::State& state) {
+  const ContentFixture& fx = content_fixture();
+  const auto ttl = static_cast<std::uint32_t>(state.range(0));
+  sim::SearchScratch scratch;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto src = fx.probe_peers[i % fx.probe_peers.size()];
+    const auto& q = fx.queries[i % fx.queries.size()];
+    const auto r = sim::flood_search(fx.graph, fx.store, src, q, ttl, scratch);
+    benchmark::DoNotOptimize(r.results.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_FloodSearch)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
+
 void BM_JaccardSorted(benchmark::State& state) {
   util::Rng rng(6);
   std::vector<std::uint32_t> a, b;
@@ -109,6 +241,62 @@ void BM_JaccardSorted(benchmark::State& state) {
 }
 BENCHMARK(BM_JaccardSorted)->Arg(200)->Arg(5'000);
 
+/// Console reporter that additionally collects per-benchmark ns/op for
+/// the BENCH_hotpaths.json regression file. With --benchmark_repetitions
+/// the minimum across repetitions is kept — the noise-robust estimator
+/// for a shared/virtualized runner, where interference only ever adds
+/// time.
+class HotpathsReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration ||
+          run.iterations == 0) {
+        continue;
+      }
+      const double ns_per_op = run.real_accumulated_time /
+                               static_cast<double>(run.iterations) * 1e9;
+      const std::string name = run.benchmark_name();
+      const auto [it, inserted] = best_.emplace(name, ns_per_op);
+      if (!inserted && ns_per_op >= it->second) continue;
+      it->second = ns_per_op;
+      report.set("benchmarks", name, ns_per_op);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  qcp2p::bench::JsonReport report;
+
+ private:
+  std::map<std::string, double> best_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract --hotpaths-json=PATH before google-benchmark sees (and
+  // rejects) the unknown flag.
+  std::string json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--hotpaths-json=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      json_path = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  HotpathsReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty() && !reporter.report.write_file(json_path)) {
+    std::cerr << "micro_hotpaths: cannot write " << json_path << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Hot-path perf-regression harness: runs the micro_hotpaths regression
+# set plus three representative experiment binaries, and writes a single
+# BENCH_hotpaths.json ({"benchmarks": ns/op, "experiments_wall_s": s}).
+#
+# Usage: bench/run_hotpaths.sh [build-dir] [out.json] [full|smoke]
+#   full  (default) — benchmark-chosen iteration counts + exp wall times
+#   smoke           — short min_time, tiny exp sizes; CI regression job
+#
+# Compare two snapshots with:
+#   python3 - BENCH_A.json BENCH_B.json  (see EXPERIMENTS.md "Performance")
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_hotpaths.json}
+MODE=${3:-full}
+
+FILTER='BM_FloodTtl|BM_PeerStoreMatch|BM_PeerStoreMayMatch|BM_TwoTierBuild|BM_FloodSearch'
+MICRO_ARGS=("--benchmark_filter=${FILTER}")
+if [[ "${MODE}" == "smoke" ]]; then
+  MICRO_ARGS+=("--benchmark_min_time=0.05")
+else
+  # Repetitions + min-of-reps (see HotpathsReporter) de-noise shared
+  # runners: interference only ever adds time, so the min is the signal.
+  MICRO_ARGS+=("--benchmark_repetitions=3")
+fi
+
+TMP_JSON="${OUT}.micro.tmp"
+"${BUILD_DIR}/bench/micro_hotpaths" "${MICRO_ARGS[@]}" \
+  "--hotpaths-json=${TMP_JSON}"
+
+# Wall-clock the experiment pipelines end-to-end (topology build + crawl
+# synthesis + Monte-Carlo trials) at fixed sizes so the numbers are
+# comparable across commits. --threads 1 keeps them scheduler-independent.
+if [[ "${MODE}" == "smoke" ]]; then
+  FIG8_ARGS=(--nodes 4000 --trials 100 --crawl-scale 0.02 --threads 1)
+  HYBRID_ARGS=(--scale 0.02 --nodes 1000 --queries 100 --threads 1)
+  FAULT_ARGS=(--scale 0.02 --nodes 1000 --queries 60 --threads 1)
+else
+  FIG8_ARGS=(--nodes 10000 --trials 400 --crawl-scale 0.02 --threads 1)
+  HYBRID_ARGS=(--scale 0.02 --threads 1)
+  FAULT_ARGS=(--scale 0.02 --threads 1)
+fi
+
+WALL_ROWS=""
+time_exp() {
+  local name=$1
+  shift
+  local start end
+  start=$(date +%s.%N)
+  "${BUILD_DIR}/bench/${name}" "$@" >/dev/null
+  end=$(date +%s.%N)
+  WALL_ROWS+="${name} $(awk -v a="${start}" -v b="${end}" 'BEGIN{printf "%.3f", b-a}')"$'\n'
+}
+
+time_exp fig8_flood_success "${FIG8_ARGS[@]}"
+time_exp exp_hybrid_vs_dht "${HYBRID_ARGS[@]}"
+time_exp exp_fault_tolerance "${FAULT_ARGS[@]}"
+
+WALL_ROWS="${WALL_ROWS}" TMP_JSON="${TMP_JSON}" OUT="${OUT}" python3 - <<'EOF'
+import json, os
+
+with open(os.environ["TMP_JSON"]) as f:
+    report = json.load(f)
+report["experiments_wall_s"] = {}
+for row in os.environ["WALL_ROWS"].strip().splitlines():
+    name, seconds = row.split()
+    report["experiments_wall_s"][name] = float(seconds)
+with open(os.environ["OUT"], "w") as f:
+    json.dump(report, f, indent=2, sort_keys=True)
+    f.write("\n")
+EOF
+rm -f "${TMP_JSON}"
+echo "wrote ${OUT}"

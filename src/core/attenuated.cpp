@@ -23,7 +23,7 @@ AttenuatedOverlay::AttenuatedOverlay(const Graph& graph,
   std::vector<BloomFilter> own;
   own.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
-    const std::vector<TermId>& terms = store.peer_terms(v);
+    const std::span<const TermId> terms = store.peer_terms(v);
     std::unordered_map<TermId, std::uint32_t> freq;
     for (const PeerStore::Object& o : store.objects(v)) {
       for (TermId t : o.terms) ++freq[t];

@@ -39,7 +39,7 @@ std::size_t QueryCentricOverlay::adapt_to_transients(
   if (hot.empty()) return 0;
   std::size_t readvertised = 0;
   for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
-    const std::vector<TermId>& terms = store_->peer_terms(v);
+    const std::span<const TermId> terms = store_->peer_terms(v);
     const bool holds_hot = std::any_of(hot.begin(), hot.end(), [&](TermId t) {
       return std::binary_search(terms.begin(), terms.end(), t);
     });

@@ -68,7 +68,7 @@ ContentSynopsis build_synopsis(const sim::PeerStore& store, sim::NodeId peer,
                                const SynopsisParams& params,
                                SynopsisPolicy policy,
                                const TermPopularityTracker* tracker) {
-  const std::vector<TermId>& terms = store.peer_terms(peer);
+  const std::span<const TermId> terms = store.peer_terms(peer);
   // Local frequency: number of the peer's objects containing each term.
   std::unordered_map<TermId, std::uint32_t> freq;
   for (const sim::PeerStore::Object& o : store.objects(peer)) {

@@ -1,12 +1,52 @@
 #include "src/overlay/graph.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
 
 namespace qcp2p::overlay {
 
+void Graph::freeze() {
+  if (frozen_) return;
+  const std::size_t entries = 2 * num_edges_;
+  if (entries > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("Graph::freeze: edge count overflows CSR offsets");
+  }
+  csr_offsets_.resize(num_nodes_ + 1);
+  csr_neighbors_.resize(entries);
+  std::uint32_t cursor = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    csr_offsets_[u] = cursor;
+    const auto& nbrs = adjacency_[u];
+    std::copy(nbrs.begin(), nbrs.end(), csr_neighbors_.begin() + cursor);
+    cursor += static_cast<std::uint32_t>(nbrs.size());
+  }
+  csr_offsets_[num_nodes_] = cursor;
+  adjacency_.clear();
+  adjacency_.shrink_to_fit();
+  frozen_ = true;
+}
+
+void Graph::thaw() {
+  if (!frozen_) return;
+  adjacency_.resize(num_nodes_);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const auto nbrs = std::span<const NodeId>(
+        csr_neighbors_.data() + csr_offsets_[u],
+        csr_offsets_[u + 1] - csr_offsets_[u]);
+    adjacency_[u].assign(nbrs.begin(), nbrs.end());
+  }
+  csr_offsets_.clear();
+  csr_offsets_.shrink_to_fit();
+  csr_neighbors_.clear();
+  csr_neighbors_.shrink_to_fit();
+  frozen_ = false;
+}
+
 bool Graph::add_edge(NodeId u, NodeId v) {
-  if (u == v || u >= adjacency_.size() || v >= adjacency_.size()) return false;
+  if (u == v || u >= num_nodes_ || v >= num_nodes_) return false;
   if (has_edge(u, v)) return false;
+  thaw();
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
   ++num_edges_;
@@ -14,11 +54,11 @@ bool Graph::add_edge(NodeId u, NodeId v) {
 }
 
 bool Graph::remove_edge(NodeId u, NodeId v) {
-  if (u >= adjacency_.size() || v >= adjacency_.size()) return false;
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  if (!has_edge(u, v)) return false;
+  thaw();
   auto& au = adjacency_[u];
-  const auto it = std::find(au.begin(), au.end(), v);
-  if (it == au.end()) return false;
-  au.erase(it);
+  au.erase(std::find(au.begin(), au.end(), v));
   auto& av = adjacency_[v];
   av.erase(std::find(av.begin(), av.end(), u));
   --num_edges_;
@@ -26,23 +66,22 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
-  if (u >= adjacency_.size()) return false;
-  const auto& smaller = adjacency_[u].size() <= adjacency_[v].size()
-                            ? adjacency_[u]
-                            : adjacency_[v];
-  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  const bool u_smaller = degree(u) <= degree(v);
+  const auto smaller = neighbors(u_smaller ? u : v);
+  const NodeId target = u_smaller ? v : u;
   return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
 }
 
 std::vector<NodeId> Graph::component_of(NodeId start) const {
   std::vector<NodeId> frontier{start};
-  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<bool> seen(num_nodes_, false);
   seen[start] = true;
   std::vector<NodeId> component{start};
   while (!frontier.empty()) {
     const NodeId u = frontier.back();
     frontier.pop_back();
-    for (NodeId v : adjacency_[u]) {
+    for (NodeId v : neighbors(u)) {
       if (!seen[v]) {
         seen[v] = true;
         component.push_back(v);
@@ -54,8 +93,8 @@ std::vector<NodeId> Graph::component_of(NodeId start) const {
 }
 
 bool Graph::is_connected() const {
-  if (adjacency_.empty()) return true;
-  return component_of(0).size() == adjacency_.size();
+  if (num_nodes_ == 0) return true;
+  return component_of(0).size() == num_nodes_;
 }
 
 }  // namespace qcp2p::overlay

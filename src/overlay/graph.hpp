@@ -1,8 +1,16 @@
-// Undirected overlay graph with adjacency-list storage.
+// Undirected overlay graph with two storage phases.
 //
 // Node ids are dense [0, n). The graph is built once by a topology
-// generator and then read concurrently by search simulations, so the
-// mutation API is minimal and the read API is span-based.
+// generator (adjacency-list phase, cheap edge mutation) and then read
+// concurrently by millions of Monte-Carlo search trials. Generators call
+// freeze() after their last mutation, which packs the adjacency lists
+// into a CSR (compressed sparse row) form — one offsets array plus one
+// flat neighbor array — so neighbors() is a contiguous span and BFS
+// floods stream linearly through memory instead of pointer-chasing
+// per-node heap blocks. Neighbor order is preserved exactly by
+// freeze()/thaw(), so RNG-driven walks draw identical neighbors in
+// either phase. Mutating a frozen graph transparently thaws it back to
+// adjacency lists; re-freeze after the mutation batch.
 #pragma once
 
 #include <cstdint>
@@ -15,28 +23,39 @@ using NodeId = std::uint32_t;
 
 class Graph {
  public:
-  explicit Graph(std::size_t num_nodes) : adjacency_(num_nodes) {}
+  explicit Graph(std::size_t num_nodes)
+      : num_nodes_(num_nodes), adjacency_(num_nodes) {}
 
-  [[nodiscard]] std::size_t num_nodes() const noexcept {
-    return adjacency_.size();
-  }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
   [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
 
   /// Adds the undirected edge {u, v}. Self-loops and duplicates are
   /// rejected (returns false) to keep degree semantics exact.
+  /// Thaws a frozen graph.
   bool add_edge(NodeId u, NodeId v);
 
-  /// Removes the undirected edge {u, v} if present.
+  /// Removes the undirected edge {u, v} if present. Thaws a frozen graph.
   bool remove_edge(NodeId u, NodeId v);
 
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
 
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
+    if (frozen_) {
+      return {csr_neighbors_.data() + csr_offsets_[u],
+              csr_offsets_[u + 1] - csr_offsets_[u]};
+    }
     return adjacency_[u];
   }
   [[nodiscard]] std::size_t degree(NodeId u) const noexcept {
-    return adjacency_[u].size();
+    return frozen_ ? csr_offsets_[u + 1] - csr_offsets_[u]
+                   : adjacency_[u].size();
   }
+
+  /// Packs adjacency lists into the flat CSR arrays and releases the
+  /// per-node vectors. Idempotent. Every search hot path expects a
+  /// frozen graph; topology generators freeze before returning.
+  void freeze();
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
 
   [[nodiscard]] double mean_degree() const noexcept {
     return num_nodes() == 0 ? 0.0
@@ -52,8 +71,19 @@ class Graph {
   [[nodiscard]] bool is_connected() const;
 
  private:
-  std::vector<std::vector<NodeId>> adjacency_;
+  /// Restores the adjacency-list phase from the CSR arrays (exact
+  /// neighbor order), enabling mutation.
+  void thaw();
+
+  std::size_t num_nodes_ = 0;
   std::size_t num_edges_ = 0;
+  /// Build phase; cleared while frozen.
+  std::vector<std::vector<NodeId>> adjacency_;
+  /// Frozen phase: neighbors of u are csr_neighbors_[csr_offsets_[u] ..
+  /// csr_offsets_[u+1]). Empty while thawed.
+  std::vector<std::uint32_t> csr_offsets_;
+  std::vector<NodeId> csr_neighbors_;
+  bool frozen_ = false;
 };
 
 }  // namespace qcp2p::overlay

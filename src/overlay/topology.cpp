@@ -66,6 +66,7 @@ Graph random_graph(std::size_t n, double mean_degree, util::Rng& rng) {
     g.add_edge(u, v);
   }
   patch_connectivity(g, rng);
+  g.freeze();
   return g;
 }
 
@@ -87,6 +88,7 @@ Graph random_regular(std::size_t n, std::size_t degree, util::Rng& rng) {
     g.add_edge(stubs[i], stubs[i + 1]);
   }
   patch_connectivity(g, rng);
+  g.freeze();
   return g;
 }
 
@@ -122,6 +124,7 @@ Graph barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng) {
     }
   }
   patch_connectivity(g, rng);
+  g.freeze();
   return g;
 }
 
@@ -148,6 +151,7 @@ Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
     }
   }
   patch_connectivity(g, rng);
+  g.freeze();
   return g;
 }
 
@@ -200,6 +204,7 @@ TwoTierTopology gnutella_two_tier(const TwoTierParams& params, util::Rng& rng) {
   }
 
   patch_connectivity(topo.graph, rng);
+  topo.graph.freeze();
   return topo;
 }
 
@@ -234,6 +239,7 @@ GiaTopology gia_topology(const GiaParams& params, util::Rng& rng) {
     topo.graph.add_edge(stubs[i], stubs[i + 1]);
   }
   patch_connectivity(topo.graph, rng);
+  topo.graph.freeze();
   return topo;
 }
 

@@ -1,4 +1,6 @@
-// Overlay topology generators.
+// Overlay topology generators. Every generator freezes the finished
+// graph (Graph::freeze) so search engines read contiguous CSR spans;
+// mutate-after-build callers (tests, churn experiments) thaw implicitly.
 //
 // Fig 8 simulates "a 40,000 node Gnutella network"; modern (post-2005)
 // Gnutella is a two-tier ultrapeer/leaf overlay, which is the default

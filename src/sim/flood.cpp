@@ -3,6 +3,95 @@
 #include <algorithm>
 
 namespace qcp2p::sim {
+namespace {
+
+/// BFS core shared by every flood entry point. Fills scratch.reached
+/// (nodes that received the query, excluding the source) and charges
+/// `messages`/`dropped`; the per-hop histogram is materialized only when
+/// a caller asks for it.
+void flood_core(const Graph& graph, NodeId source, std::uint32_t ttl,
+                const std::vector<bool>* forwards,
+                const std::vector<bool>* online, FaultSession* faults,
+                SearchScratch& scratch, std::uint64_t& messages,
+                std::uint64_t& dropped, std::vector<std::uint64_t>* per_hop) {
+  scratch.reached.clear();
+  if (ttl == 0 || graph.num_nodes() == 0) return;
+  if (online != nullptr && !(*online)[source]) return;
+
+  scratch.bind(graph.num_nodes());
+  const std::uint8_t epoch = scratch.begin_epoch();
+  scratch.visit_mark[source] = epoch;
+  scratch.frontier.clear();
+  scratch.frontier.push_back(source);
+
+  std::uint8_t* const mark = scratch.visit_mark.data();
+  const bool plain = faults == nullptr && online == nullptr;
+  for (std::uint32_t hop = 1; hop <= ttl && !scratch.frontier.empty(); ++hop) {
+    scratch.next.clear();
+    std::uint64_t newly = 0;
+    for (NodeId u : scratch.frontier) {
+      // The source always transmits; relays only if allowed to forward.
+      if (u != source && forwards != nullptr && !(*forwards)[u]) continue;
+      const auto nbrs = graph.neighbors(u);
+      if (plain) {
+        // Fast path (no loss, no liveness mask): every send is charged
+        // and delivered, so the per-edge work is just the visit check.
+        // Nodes that cannot forward are filtered out of `next` at
+        // discovery time, so later frontiers hold only relays.
+        messages += nbrs.size();
+        for (NodeId v : nbrs) {
+          if (mark[v] != epoch) {
+            mark[v] = epoch;
+            scratch.reached.push_back(v);
+            ++newly;
+            if (forwards == nullptr || (*forwards)[v]) {
+              scratch.next.push_back(v);
+            }
+          }
+        }
+        continue;
+      }
+      for (NodeId v : nbrs) {
+        ++messages;  // duplicates and dead peers still cost a send
+        if (faults != nullptr && !faults->deliver()) {
+          ++dropped;  // lost in flight: never arrives anywhere
+          continue;
+        }
+        if (online != nullptr && !(*online)[v]) continue;
+        if (mark[v] != epoch) {
+          mark[v] = epoch;
+          scratch.reached.push_back(v);
+          scratch.next.push_back(v);
+          ++newly;
+        }
+      }
+    }
+    if (per_hop != nullptr) per_hop->push_back(newly);
+    scratch.frontier.swap(scratch.next);
+  }
+}
+
+/// Shared probe stage of the flood_search overloads: match every peer
+/// and append its hits.
+void probe_peers(const PeerStore& store, std::span<const TermId> query,
+                 std::span<const NodeId> peers, SearchScratch& scratch,
+                 FloodSearchResult& out) {
+  for (NodeId v : peers) {
+    ++out.peers_probed;
+    const auto hits = store.match(v, query, scratch.match);
+    out.results.insert(out.results.end(), hits.begin(), hits.end());
+  }
+}
+
+/// Shared result tail: deduplicate hits collected across peers (and
+/// across retry attempts).
+void finish_results(FloodSearchResult& out) {
+  std::sort(out.results.begin(), out.results.end());
+  out.results.erase(std::unique(out.results.begin(), out.results.end()),
+                    out.results.end());
+}
+
+}  // namespace
 
 FloodResult flood(const Graph& graph, NodeId source, std::uint32_t ttl,
                   const std::vector<bool>* forwards,
@@ -11,51 +100,18 @@ FloodResult flood(const Graph& graph, NodeId source, std::uint32_t ttl,
   return engine.run(source, ttl, forwards, online);
 }
 
-FloodEngine::FloodEngine(const Graph& graph)
-    : graph_(&graph), visit_mark_(graph.num_nodes(), 0) {}
+FloodEngine::FloodEngine(const Graph& graph) : graph_(&graph) {
+  scratch_.bind(graph.num_nodes());
+}
 
 FloodResult FloodEngine::run(NodeId source, std::uint32_t ttl,
                              const std::vector<bool>* forwards,
                              const std::vector<bool>* online,
                              FaultSession* faults) {
   FloodResult result;
-  if (ttl == 0 || graph_->num_nodes() == 0) return result;
-  if (online != nullptr && !(*online)[source]) return result;
-
-  if (++epoch_ == 0) {
-    // Wrapped after 2^32 runs: stale marks from the previous cycle would
-    // alias the fresh-constructed value and silently skip nodes.
-    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
-    epoch_ = 1;
-  }
-  visit_mark_[source] = epoch_;
-  frontier_.clear();
-  frontier_.push_back(source);
-
-  for (std::uint32_t hop = 1; hop <= ttl && !frontier_.empty(); ++hop) {
-    next_.clear();
-    std::uint64_t newly = 0;
-    for (NodeId u : frontier_) {
-      // The source always transmits; relays only if allowed to forward.
-      if (u != source && forwards != nullptr && !(*forwards)[u]) continue;
-      for (NodeId v : graph_->neighbors(u)) {
-        ++result.messages;  // duplicates and dead peers still cost a send
-        if (faults != nullptr && !faults->deliver()) {
-          ++result.dropped;  // lost in flight: never arrives anywhere
-          continue;
-        }
-        if (online != nullptr && !(*online)[v]) continue;
-        if (visit_mark_[v] != epoch_) {
-          visit_mark_[v] = epoch_;
-          result.reached.push_back(v);
-          next_.push_back(v);
-          ++newly;
-        }
-      }
-    }
-    result.per_hop.push_back(newly);
-    frontier_.swap(next_);
-  }
+  flood_core(*graph_, source, ttl, forwards, online, faults, scratch_,
+             result.messages, result.dropped, &result.per_hop);
+  result.reached.assign(scratch_.reached.begin(), scratch_.reached.end());
   return result;
 }
 
@@ -73,9 +129,12 @@ bool FloodEngine::reaches_any(NodeId source, std::uint32_t ttl,
     if (messages_out) *messages_out = 0;
     return true;
   }
-  const FloodResult r = run(source, ttl, forwards, online);
-  if (messages_out) *messages_out = r.messages;
-  for (NodeId v : r.reached) {
+  std::uint64_t messages = 0;
+  std::uint64_t dropped = 0;
+  flood_core(*graph_, source, ttl, forwards, online, nullptr, scratch_,
+             messages, dropped, nullptr);
+  if (messages_out) *messages_out = messages;
+  for (NodeId v : scratch_.reached) {
     if (std::binary_search(holders.begin(), holders.end(), v)) return true;
   }
   return false;
@@ -83,52 +142,53 @@ bool FloodEngine::reaches_any(NodeId source, std::uint32_t ttl,
 
 FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
                                NodeId source, std::span<const TermId> query,
-                               std::uint32_t ttl,
+                               std::uint32_t ttl, SearchScratch& scratch,
                                const std::vector<bool>* forwards,
                                const std::vector<bool>* online) {
   FloodSearchResult out;
-  FloodEngine engine(graph);
-  const FloodResult r = engine.run(source, ttl, forwards, online);
-  out.messages = r.messages;
-
-  auto probe = [&](NodeId peer) {
-    ++out.peers_probed;
-    for (std::uint64_t id : store.match(peer, query)) out.results.push_back(id);
-  };
+  flood_core(graph, source, ttl, forwards, online, nullptr, scratch,
+             out.messages, out.fault.dropped, nullptr);
   // Local check first, as real servents do — unless the source itself is
-  // offline (then nothing is probed; run() already returned empty).
-  if (online == nullptr || (*online)[source]) probe(source);
-  for (NodeId v : r.reached) probe(v);
-
-  std::sort(out.results.begin(), out.results.end());
-  out.results.erase(std::unique(out.results.begin(), out.results.end()),
-                    out.results.end());
+  // offline (then nothing is probed; the flood was already empty).
+  if (online == nullptr || (*online)[source]) {
+    const NodeId self[1] = {source};
+    probe_peers(store, query, self, scratch, out);
+  }
+  probe_peers(store, query, scratch.reached, scratch, out);
+  finish_results(out);
   return out;
 }
 
 FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
                                NodeId source, std::span<const TermId> query,
-                               std::uint32_t ttl, FaultSession& faults,
+                               std::uint32_t ttl,
+                               const std::vector<bool>* forwards,
+                               const std::vector<bool>* online) {
+  SearchScratch scratch;
+  return flood_search(graph, store, source, query, ttl, scratch, forwards,
+                      online);
+}
+
+FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
+                               NodeId source, std::span<const TermId> query,
+                               std::uint32_t ttl, SearchScratch& scratch,
+                               FaultSession& faults,
                                const RecoveryPolicy& policy,
                                const std::vector<bool>* forwards) {
   FloodSearchResult out;
   const std::vector<bool>* online = faults.plan().online_mask();
   if (online != nullptr && !(*online)[source]) return out;
 
-  FloodEngine engine(graph);
-  auto probe = [&](NodeId peer) {
-    ++out.peers_probed;
-    for (std::uint64_t id : store.match(peer, query)) out.results.push_back(id);
-  };
+  // The local check is free, fault-free, and yields the same hits on
+  // every attempt: probe (and count) the source exactly once.
+  const NodeId self[1] = {source};
+  probe_peers(store, query, self, scratch, out);
 
   std::uint32_t attempt_ttl = ttl;
   for (std::uint32_t attempt = 0;; ++attempt) {
-    const FloodResult r = engine.run(source, attempt_ttl, forwards, online,
-                                     &faults);
-    out.messages += r.messages;
-    out.fault.dropped += r.dropped;
-    probe(source);  // the local check is free and repeats per attempt
-    for (NodeId v : r.reached) probe(v);
+    flood_core(graph, source, attempt_ttl, forwards, online, &faults, scratch,
+               out.messages, out.fault.dropped, nullptr);
+    probe_peers(store, query, scratch.reached, scratch, out);
     if (!out.results.empty() || attempt >= policy.max_retries) break;
     // Nothing came back: wait out the timeout, back off, widen the ring.
     const double wait = policy.timeout_ms + policy.backoff_after(attempt);
@@ -138,10 +198,18 @@ FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
     attempt_ttl += policy.ttl_escalation;
   }
 
-  std::sort(out.results.begin(), out.results.end());
-  out.results.erase(std::unique(out.results.begin(), out.results.end()),
-                    out.results.end());
+  finish_results(out);
   return out;
+}
+
+FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
+                               NodeId source, std::span<const TermId> query,
+                               std::uint32_t ttl, FaultSession& faults,
+                               const RecoveryPolicy& policy,
+                               const std::vector<bool>* forwards) {
+  SearchScratch scratch;
+  return flood_search(graph, store, source, query, ttl, scratch, faults,
+                      policy, forwards);
 }
 
 }  // namespace qcp2p::sim

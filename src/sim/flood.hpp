@@ -16,6 +16,7 @@
 #include "src/overlay/graph.hpp"
 #include "src/sim/fault.hpp"
 #include "src/sim/network.hpp"
+#include "src/sim/search_scratch.hpp"
 
 namespace qcp2p::sim {
 
@@ -47,8 +48,8 @@ struct FloodResult {
                                 const std::vector<bool>* forwards = nullptr,
                                 const std::vector<bool>* online = nullptr);
 
-/// Scratch buffers for repeated floods over one graph (avoids an O(n)
-/// allocation per query in the Monte-Carlo benches).
+/// Owns a SearchScratch for repeated floods over one graph (avoids an
+/// O(n) allocation per query in the Monte-Carlo benches).
 class FloodEngine {
  public:
   explicit FloodEngine(const Graph& graph);
@@ -74,14 +75,11 @@ class FloodEngine {
                                  const std::vector<bool>* online = nullptr);
 
   /// Forces the epoch counter (tests inject a value near wraparound).
-  void set_epoch(std::uint32_t epoch) noexcept { epoch_ = epoch; }
+  void set_epoch(std::uint32_t epoch) noexcept { scratch_.epoch = epoch; }
 
  private:
   const Graph* graph_;
-  std::vector<std::uint32_t> visit_mark_;
-  std::uint32_t epoch_ = 0;
-  std::vector<NodeId> frontier_;
-  std::vector<NodeId> next_;
+  SearchScratch scratch_;
 };
 
 /// Content search by flooding over a PeerStore: every reached peer
@@ -103,16 +101,34 @@ struct FloodSearchResult {
     const std::vector<bool>* forwards = nullptr,
     const std::vector<bool>* online = nullptr);
 
+/// Zero-allocation variant: BFS state and match buffers come from
+/// `scratch` (one per worker). Results are identical to the overload
+/// above for any scratch state.
+[[nodiscard]] FloodSearchResult flood_search(
+    const Graph& graph, const PeerStore& store, NodeId source,
+    std::span<const TermId> query, std::uint32_t ttl, SearchScratch& scratch,
+    const std::vector<bool>* forwards = nullptr,
+    const std::vector<bool>* online = nullptr);
+
 /// Fault-injected flood search with recovery: messages may be dropped in
 /// flight and offline peers (the session's plan mask) neither receive nor
 /// relay. An attempt that yields no results charges policy.timeout_ms and
 /// is re-issued with the TTL escalated by policy.ttl_escalation, up to
-/// policy.max_retries times (expanding-ring recovery). With an inert
+/// policy.max_retries times (expanding-ring recovery). The source's
+/// local check is fault-free and independent of the attempt, so it is
+/// probed (and counted in peers_probed) exactly once. With an inert
 /// session and max_retries 0 this reproduces flood_search bit-for-bit.
 [[nodiscard]] FloodSearchResult flood_search(
     const Graph& graph, const PeerStore& store, NodeId source,
     std::span<const TermId> query, std::uint32_t ttl, FaultSession& faults,
     const RecoveryPolicy& policy,
+    const std::vector<bool>* forwards = nullptr);
+
+/// Zero-allocation variant of the fault-injected search.
+[[nodiscard]] FloodSearchResult flood_search(
+    const Graph& graph, const PeerStore& store, NodeId source,
+    std::span<const TermId> query, std::uint32_t ttl, SearchScratch& scratch,
+    FaultSession& faults, const RecoveryPolicy& policy,
     const std::vector<bool>* forwards = nullptr);
 
 }  // namespace qcp2p::sim

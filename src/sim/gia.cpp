@@ -42,15 +42,30 @@ GiaNetwork::GiaNetwork(overlay::GiaTopology topology, PeerStore store)
 std::vector<std::uint64_t> GiaNetwork::match_with_one_hop(
     NodeId peer, std::span<const TermId> query,
     const std::vector<bool>* online) const {
-  std::vector<std::uint64_t> hits = store_.match(peer, query);
+  SearchScratch scratch;
+  std::vector<std::uint64_t> hits;
+  match_with_one_hop(peer, query, online, scratch, hits);
+  return hits;
+}
+
+void GiaNetwork::match_with_one_hop(NodeId peer, std::span<const TermId> query,
+                                    const std::vector<bool>* online,
+                                    SearchScratch& scratch,
+                                    std::vector<std::uint64_t>& hits) const {
+  auto& buf = scratch.hop_hits;
+  buf.clear();
+  {
+    const auto own = store_.match(peer, query, scratch.match);
+    buf.insert(buf.end(), own.begin(), own.end());
+  }
   for (NodeId nbr : topology_.graph.neighbors(peer)) {
     if (online != nullptr && !(*online)[nbr]) continue;
-    const auto more = store_.match(nbr, query);
-    hits.insert(hits.end(), more.begin(), more.end());
+    const auto more = store_.match(nbr, query, scratch.match);
+    buf.insert(buf.end(), more.begin(), more.end());
   }
-  std::sort(hits.begin(), hits.end());
-  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
-  return hits;
+  std::sort(buf.begin(), buf.end());
+  buf.erase(std::unique(buf.begin(), buf.end()), buf.end());
+  hits.insert(hits.end(), buf.begin(), buf.end());
 }
 
 NodeId GiaNetwork::biased_step(NodeId at, double bias, util::Rng& rng) const {
@@ -70,17 +85,15 @@ NodeId GiaNetwork::biased_step(NodeId at, double bias, util::Rng& rng) const {
 GiaSearchResult GiaNetwork::search_once(NodeId source,
                                         std::span<const TermId> query,
                                         const GiaSearchParams& params,
-                                        util::Rng& rng,
-                                        FaultSession* faults) const {
+                                        util::Rng& rng, FaultSession* faults,
+                                        SearchScratch& scratch) const {
   GiaSearchResult out;
   const std::vector<bool>* online =
       faults != nullptr ? faults->plan().online_mask() : nullptr;
   if (faults != nullptr && !faults->online(source)) return out;
   auto probe = [&](NodeId at) {
     ++out.peers_probed;
-    for (std::uint64_t id : match_with_one_hop(at, query, online)) {
-      out.results.push_back(id);
-    }
+    match_with_one_hop(at, query, online, scratch, out.results);
   };
   probe(source);
   NodeId at = source;
@@ -112,16 +125,34 @@ GiaSearchResult GiaNetwork::search(NodeId source,
                                    std::span<const TermId> query,
                                    const GiaSearchParams& params,
                                    util::Rng& rng) const {
-  return search_once(source, query, params, rng, nullptr);
+  SearchScratch scratch;
+  return search_once(source, query, params, rng, nullptr, scratch);
+}
+
+GiaSearchResult GiaNetwork::search(NodeId source,
+                                   std::span<const TermId> query,
+                                   const GiaSearchParams& params,
+                                   util::Rng& rng,
+                                   SearchScratch& scratch) const {
+  return search_once(source, query, params, rng, nullptr, scratch);
 }
 
 GiaSearchResult GiaNetwork::search(NodeId source, std::span<const TermId> query,
                                    const GiaSearchParams& params,
                                    util::Rng& rng, FaultSession& faults,
                                    const RecoveryPolicy& policy) const {
+  SearchScratch scratch;
+  return search(source, query, params, rng, scratch, faults, policy);
+}
+
+GiaSearchResult GiaNetwork::search(NodeId source, std::span<const TermId> query,
+                                   const GiaSearchParams& params,
+                                   util::Rng& rng, SearchScratch& scratch,
+                                   FaultSession& faults,
+                                   const RecoveryPolicy& policy) const {
   GiaSearchResult out = run_with_recovery(
       params, faults, policy, [&](const GiaSearchParams& p) {
-        return search_once(source, query, p, rng, &faults);
+        return search_once(source, query, p, rng, &faults, scratch);
       });
   std::sort(out.results.begin(), out.results.end());
   out.results.erase(std::unique(out.results.begin(), out.results.end()),

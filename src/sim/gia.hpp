@@ -16,6 +16,7 @@
 #include "src/overlay/topology.hpp"
 #include "src/sim/fault.hpp"
 #include "src/sim/network.hpp"
+#include "src/sim/search_scratch.hpp"
 #include "src/util/rng.hpp"
 
 namespace qcp2p::sim {
@@ -56,11 +57,26 @@ class GiaNetwork {
       NodeId peer, std::span<const TermId> query,
       const std::vector<bool>* online = nullptr) const;
 
+  /// Zero-allocation variant: appends the peer's (sorted, deduplicated)
+  /// one-hop hits to `hits`, using `scratch` for the per-probe buffers.
+  void match_with_one_hop(NodeId peer, std::span<const TermId> query,
+                          const std::vector<bool>* online,
+                          SearchScratch& scratch,
+                          std::vector<std::uint64_t>& hits) const;
+
   /// Capacity-biased random walk with one-hop index checks.
   [[nodiscard]] GiaSearchResult search(NodeId source,
                                        std::span<const TermId> query,
                                        const GiaSearchParams& params,
                                        util::Rng& rng) const;
+
+  /// Zero-allocation variant: per-probe match buffers come from
+  /// `scratch` (one per worker); results identical for any scratch state.
+  [[nodiscard]] GiaSearchResult search(NodeId source,
+                                       std::span<const TermId> query,
+                                       const GiaSearchParams& params,
+                                       util::Rng& rng,
+                                       SearchScratch& scratch) const;
 
   /// Object-replica lookup (Fig 8-style): walk until a node holding (or
   /// neighboring a holder of) the object is visited.
@@ -81,6 +97,14 @@ class GiaNetwork {
                                        util::Rng& rng, FaultSession& faults,
                                        const RecoveryPolicy& policy) const;
 
+  /// Zero-allocation variant of the fault-injected search.
+  [[nodiscard]] GiaSearchResult search(NodeId source,
+                                       std::span<const TermId> query,
+                                       const GiaSearchParams& params,
+                                       util::Rng& rng, SearchScratch& scratch,
+                                       FaultSession& faults,
+                                       const RecoveryPolicy& policy) const;
+
   [[nodiscard]] GiaSearchResult locate(NodeId source,
                                        std::span<const NodeId> holders,
                                        const GiaSearchParams& params,
@@ -94,7 +118,8 @@ class GiaNetwork {
                                             std::span<const TermId> query,
                                             const GiaSearchParams& params,
                                             util::Rng& rng,
-                                            FaultSession* faults) const;
+                                            FaultSession* faults,
+                                            SearchScratch& scratch) const;
   [[nodiscard]] GiaSearchResult locate_once(NodeId source,
                                             std::span<const NodeId> holders,
                                             const GiaSearchParams& params,

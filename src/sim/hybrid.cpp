@@ -71,12 +71,24 @@ HybridResult hybrid_search(const Graph& graph, const PeerStore& store,
                            const HybridParams& params,
                            const std::vector<bool>* forwards,
                            const std::vector<bool>* online) {
+  SearchScratch scratch;
+  return hybrid_search(graph, store, dht, source, query, params, scratch,
+                       forwards, online);
+}
+
+HybridResult hybrid_search(const Graph& graph, const PeerStore& store,
+                           const ChordDht& dht, NodeId source,
+                           std::span<const TermId> query,
+                           const HybridParams& params, SearchScratch& scratch,
+                           const std::vector<bool>* forwards,
+                           const std::vector<bool>* online) {
   HybridResult out;
   if (query.empty()) return out;
   if (online != nullptr && !(*online)[source]) return out;
 
-  const FloodSearchResult fr = flood_search(graph, store, source, query,
-                                            params.flood_ttl, forwards, online);
+  const FloodSearchResult fr =
+      flood_search(graph, store, source, query, params.flood_ttl, scratch,
+                   forwards, online);
   out.flood_messages = fr.messages;
   out.results = fr.results;
 
@@ -110,6 +122,17 @@ HybridResult hybrid_search(const Graph& graph, const PeerStore& store,
                            const HybridParams& params, FaultSession& faults,
                            const RecoveryPolicy& policy,
                            const std::vector<bool>* forwards) {
+  SearchScratch scratch;
+  return hybrid_search(graph, store, dht, source, query, params, scratch,
+                       faults, policy, forwards);
+}
+
+HybridResult hybrid_search(const Graph& graph, const PeerStore& store,
+                           const ChordDht& dht, NodeId source,
+                           std::span<const TermId> query,
+                           const HybridParams& params, SearchScratch& scratch,
+                           FaultSession& faults, const RecoveryPolicy& policy,
+                           const std::vector<bool>* forwards) {
   HybridResult out;
   if (query.empty()) return out;
   if (!faults.online(source)) return out;
@@ -118,9 +141,9 @@ HybridResult hybrid_search(const Graph& graph, const PeerStore& store,
   // anyway, so the structured phase is this phase's recovery path.
   RecoveryPolicy flood_policy = policy;
   flood_policy.max_retries = 0;
-  const FloodSearchResult fr = flood_search(
-      graph, store, source, query, params.flood_ttl, faults, flood_policy,
-      forwards);
+  const FloodSearchResult fr =
+      flood_search(graph, store, source, query, params.flood_ttl, scratch,
+                   faults, flood_policy, forwards);
   out.flood_messages = fr.messages;
   out.results = fr.results;
   out.fault.merge(fr.fault);

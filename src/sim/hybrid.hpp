@@ -53,6 +53,14 @@ struct HybridResult {
     const std::vector<bool>* forwards = nullptr,
     const std::vector<bool>* online = nullptr);
 
+/// Zero-allocation flood phase: BFS and match buffers come from
+/// `scratch` (one per worker); results identical for any scratch state.
+[[nodiscard]] HybridResult hybrid_search(
+    const Graph& graph, const PeerStore& store, const ChordDht& dht,
+    NodeId source, std::span<const TermId> query, const HybridParams& params,
+    SearchScratch& scratch, const std::vector<bool>* forwards = nullptr,
+    const std::vector<bool>* online = nullptr);
+
 /// Pure-DHT baseline: same keyword lookup, no flood phase. The optional
 /// liveness mask has the same semantics as hybrid_search's DHT phase.
 [[nodiscard]] HybridResult dht_only_search(
@@ -69,6 +77,13 @@ struct HybridResult {
     const Graph& graph, const PeerStore& store, const ChordDht& dht,
     NodeId source, std::span<const TermId> query, const HybridParams& params,
     FaultSession& faults, const RecoveryPolicy& policy,
+    const std::vector<bool>* forwards = nullptr);
+
+/// Zero-allocation flood phase for the fault-injected search.
+[[nodiscard]] HybridResult hybrid_search(
+    const Graph& graph, const PeerStore& store, const ChordDht& dht,
+    NodeId source, std::span<const TermId> query, const HybridParams& params,
+    SearchScratch& scratch, FaultSession& faults, const RecoveryPolicy& policy,
     const std::vector<bool>* forwards = nullptr);
 
 [[nodiscard]] HybridResult dht_only_search(const ChordDht& dht, NodeId source,

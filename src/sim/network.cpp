@@ -1,6 +1,7 @@
 #include "src/sim/network.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace qcp2p::sim {
@@ -68,31 +69,97 @@ void PeerStore::add_object(NodeId peer, std::uint64_t id,
 }
 
 void PeerStore::finalize() {
-  for (PeerData& pd : peers_) {
-    pd.terms.clear();
-    for (const Object& o : pd.objects) {
-      pd.terms.insert(pd.terms.end(), o.terms.begin(), o.terms.end());
-    }
-    std::sort(pd.terms.begin(), pd.terms.end());
-    pd.terms.erase(std::unique(pd.terms.begin(), pd.terms.end()),
-                   pd.terms.end());
+  if (total_ > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("PeerStore::finalize: too many objects for CSR");
   }
+  const std::size_t n = peers_.size();
+
+  // Object ordinal space + CSR-packed per-object term lists.
+  obj_offsets_.assign(n + 1, 0);
+  obj_ids_.clear();
+  obj_ids_.reserve(static_cast<std::size_t>(total_));
+  obj_term_offsets_.assign(1, 0);
+  obj_term_offsets_.reserve(static_cast<std::size_t>(total_) + 1);
+  obj_terms_flat_.clear();
+  for (std::size_t p = 0; p < n; ++p) {
+    obj_offsets_[p] = static_cast<std::uint32_t>(obj_ids_.size());
+    for (const Object& o : peers_[p].objects) {
+      obj_ids_.push_back(o.id);
+      obj_terms_flat_.insert(obj_terms_flat_.end(), o.terms.begin(),
+                             o.terms.end());
+      obj_term_offsets_.push_back(
+          static_cast<std::uint32_t>(obj_terms_flat_.size()));
+    }
+  }
+  obj_offsets_[n] = static_cast<std::uint32_t>(obj_ids_.size());
+
+  // Per-peer sorted unique term rows (the may_match prefilter).
+  peer_term_offsets_.assign(1, 0);
+  peer_term_offsets_.reserve(n + 1);
+  peer_terms_flat_.clear();
+  std::vector<TermId> row;
+  for (std::size_t p = 0; p < n; ++p) {
+    row.clear();
+    for (const Object& o : peers_[p].objects) {
+      row.insert(row.end(), o.terms.begin(), o.terms.end());
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    peer_terms_flat_.insert(peer_terms_flat_.end(), row.begin(), row.end());
+    peer_term_offsets_.push_back(
+        static_cast<std::uint32_t>(peer_terms_flat_.size()));
+  }
+
+  // Inverted index: (term, ordinal) pairs sorted by term then ordinal.
+  // Ordinals ascend with peer id, so each term's posting row is peer-
+  // grouped and a peer's slice is one binary search away.
+  std::vector<std::pair<TermId, std::uint32_t>> entries;
+  entries.reserve(obj_terms_flat_.size());
+  for (std::uint32_t ord = 0;
+       ord < static_cast<std::uint32_t>(obj_ids_.size()); ++ord) {
+    for (std::uint32_t k = obj_term_offsets_[ord];
+         k < obj_term_offsets_[ord + 1]; ++k) {
+      entries.emplace_back(obj_terms_flat_[k], ord);
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  index_terms_.clear();
+  index_offsets_.assign(1, 0);
+  postings_.clear();
+  postings_.reserve(entries.size());
+  for (const auto& [term, ord] : entries) {
+    if (index_terms_.empty() || index_terms_.back() != term) {
+      index_terms_.push_back(term);
+      index_offsets_.push_back(static_cast<std::uint32_t>(postings_.size()));
+    }
+    postings_.push_back(ord);
+    index_offsets_.back() = static_cast<std::uint32_t>(postings_.size());
+  }
+
   finalized_ = true;
 }
 
+std::span<const TermId> PeerStore::peer_terms(NodeId peer) const {
+  if (peer >= peers_.size()) {
+    throw std::out_of_range("PeerStore::peer_terms: bad peer");
+  }
+  if (!finalized_) return {};
+  return {peer_terms_flat_.data() + peer_term_offsets_[peer],
+          peer_term_offsets_[peer + 1] - peer_term_offsets_[peer]};
+}
+
 bool PeerStore::may_match(NodeId peer, std::span<const TermId> query) const {
-  const std::vector<TermId>& terms = peers_.at(peer).terms;
+  const std::span<const TermId> terms = peer_terms(peer);
   for (TermId t : query) {
     if (!std::binary_search(terms.begin(), terms.end(), t)) return false;
   }
   return true;
 }
 
-std::vector<std::uint64_t> PeerStore::match(NodeId peer,
-                                            std::span<const TermId> query) const {
+std::vector<std::uint64_t> PeerStore::match_reference(
+    NodeId peer, std::span<const TermId> query) const {
   std::vector<std::uint64_t> hits;
   if (query.empty()) return hits;
-  if (finalized_ && !may_match(peer, query)) return hits;
   for (const Object& o : peers_.at(peer).objects) {
     bool all = true;
     for (TermId t : query) {
@@ -104,6 +171,69 @@ std::vector<std::uint64_t> PeerStore::match(NodeId peer,
     if (all) hits.push_back(o.id);
   }
   return hits;
+}
+
+std::span<const std::uint64_t> PeerStore::match(NodeId peer,
+                                                std::span<const TermId> query,
+                                                MatchScratch& scratch) const {
+  scratch.hits.clear();
+  if (query.empty()) return {};
+  if (!finalized_) {
+    // Build phase: fall back to the reference scan (tests and ad-hoc
+    // stores); identical result set, no flat layout required.
+    scratch.hits = match_reference(peer, query);
+    return scratch.hits;
+  }
+  // Flat prefilter first: most flood probes miss at least one term.
+  if (!may_match(peer, query)) return {};
+
+  // Every query term is somewhere in the peer's library. Intersect the
+  // rarest term's posting subrange for this peer against the other
+  // terms' CSR-packed object term lists.
+  const std::uint32_t lo = obj_offsets_[peer];
+  const std::uint32_t hi = obj_offsets_[peer + 1];
+  const std::uint32_t* seed_begin = nullptr;
+  const std::uint32_t* seed_end = nullptr;
+  for (TermId t : query) {
+    const auto it =
+        std::lower_bound(index_terms_.begin(), index_terms_.end(), t);
+    if (it == index_terms_.end() || *it != t) return {};  // unreachable after
+                                                          // may_match, kept
+                                                          // for safety
+    const auto ti = static_cast<std::size_t>(it - index_terms_.begin());
+    const std::uint32_t* row = postings_.data();
+    const std::uint32_t* begin = std::lower_bound(
+        row + index_offsets_[ti], row + index_offsets_[ti + 1], lo);
+    const std::uint32_t* end = std::lower_bound(
+        begin, row + index_offsets_[ti + 1], hi);
+    if (begin == end) return {};
+    if (seed_begin == nullptr || end - begin < seed_end - seed_begin) {
+      seed_begin = begin;
+      seed_end = end;
+    }
+  }
+  for (const std::uint32_t* it = seed_begin; it != seed_end; ++it) {
+    const std::uint32_t ord = *it;
+    const TermId* terms = obj_terms_flat_.data();
+    const TermId* tb = terms + obj_term_offsets_[ord];
+    const TermId* te = terms + obj_term_offsets_[ord + 1];
+    bool all = true;
+    for (TermId t : query) {
+      if (!std::binary_search(tb, te, t)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) scratch.hits.push_back(obj_ids_[ord]);
+  }
+  return scratch.hits;
+}
+
+std::vector<std::uint64_t> PeerStore::match(
+    NodeId peer, std::span<const TermId> query) const {
+  MatchScratch scratch;
+  const auto hits = match(peer, query, scratch);
+  return {hits.begin(), hits.end()};
 }
 
 PeerStore peer_store_from_crawl(const trace::CrawlSnapshot& snapshot,

@@ -61,6 +61,19 @@ struct Placement {
 // ---------------------------------------------------------------------------
 
 /// Immutable per-peer object store with term annotations.
+///
+/// Two phases, like overlay::Graph. add_object() appends into per-peer
+/// object vectors; finalize() packs the read path into flat arrays:
+///   * a global object ordinal space (peer p owns a contiguous ordinal
+///     range), with CSR-packed per-object term lists;
+///   * a per-peer CSR of sorted unique terms (the may_match prefilter);
+///   * an inverted index term -> sorted object-ordinal postings, whose
+///     ordinal order makes every peer's postings a contiguous subrange.
+/// match() then intersects the rarest query term's peer subrange against
+/// the other terms' CSR term lists instead of scanning every object, and
+/// may_match() binary-searches the flat per-peer term row. The store is
+/// frozen after finalize(); adding another object drops back to the
+/// build phase until the next finalize().
 class PeerStore {
  public:
   struct Object {
@@ -68,26 +81,43 @@ class PeerStore {
     std::vector<TermId> terms;         // sorted, unique
   };
 
+  /// Reusable buffers for repeated match() probes (one per worker);
+  /// avoids a heap allocation per probed peer in the Monte-Carlo loops.
+  struct MatchScratch {
+    std::vector<std::uint64_t> hits;
+  };
+
   explicit PeerStore(std::size_t num_peers) : peers_(num_peers) {}
 
   /// Adds an object to a peer; terms are sorted/deduplicated internally.
   void add_object(NodeId peer, std::uint64_t id, std::vector<TermId> terms);
 
-  /// Builds per-peer sorted term summaries; call once after all adds.
+  /// Builds the flat read-path layout; call once after all adds.
   void finalize();
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
 
   [[nodiscard]] std::size_t num_peers() const noexcept { return peers_.size(); }
   [[nodiscard]] const std::vector<Object>& objects(NodeId peer) const {
     return peers_.at(peer).objects;
   }
-  /// Sorted unique terms appearing anywhere in the peer's library.
-  [[nodiscard]] const std::vector<TermId>& peer_terms(NodeId peer) const {
-    return peers_.at(peer).terms;
-  }
+  /// Sorted unique terms appearing anywhere in the peer's library
+  /// (empty before finalize()).
+  [[nodiscard]] std::span<const TermId> peer_terms(NodeId peer) const;
 
   /// Objects on `peer` containing ALL of `query` (conjunctive match,
-  /// Gnutella semantics). Returns matching object ids.
+  /// Gnutella semantics). Returns matching object ids in the peer's
+  /// object insertion order.
   [[nodiscard]] std::vector<std::uint64_t> match(
+      NodeId peer, std::span<const TermId> query) const;
+
+  /// Zero-allocation variant: fills (and returns a view of)
+  /// scratch.hits, valid until the next call with the same scratch.
+  [[nodiscard]] std::span<const std::uint64_t> match(
+      NodeId peer, std::span<const TermId> query, MatchScratch& scratch) const;
+
+  /// Reference implementation (linear scan over the peer's objects);
+  /// the un-finalized fallback, and the oracle for property tests.
+  [[nodiscard]] std::vector<std::uint64_t> match_reference(
       NodeId peer, std::span<const TermId> query) const;
 
   /// Cheap prefilter: does the peer hold every query term somewhere?
@@ -99,11 +129,30 @@ class PeerStore {
  private:
   struct PeerData {
     std::vector<Object> objects;
-    std::vector<TermId> terms;
   };
   std::vector<PeerData> peers_;
   std::uint64_t total_ = 0;
   bool finalized_ = false;
+
+  // --- finalized flat layout (all empty until finalize()) ---
+  /// Per-peer sorted unique terms: row p is peer_terms_flat_
+  /// [peer_term_offsets_[p], peer_term_offsets_[p+1]).
+  std::vector<std::uint32_t> peer_term_offsets_;
+  std::vector<TermId> peer_terms_flat_;
+  /// Peer p owns object ordinals [obj_offsets_[p], obj_offsets_[p+1]);
+  /// obj_ids_[ordinal] is the object id, and the object's sorted terms
+  /// are obj_terms_flat_[obj_term_offsets_[ordinal], ...[ordinal+1]).
+  std::vector<std::uint32_t> obj_offsets_;
+  std::vector<std::uint64_t> obj_ids_;
+  std::vector<std::uint32_t> obj_term_offsets_;
+  std::vector<TermId> obj_terms_flat_;
+  /// Inverted index: index_terms_ is sorted unique; term i's postings
+  /// are the ascending object ordinals postings_[index_offsets_[i],
+  /// index_offsets_[i+1]). Ordinals ascend with peer id, so a peer's
+  /// postings form a contiguous subrange found by binary search.
+  std::vector<TermId> index_terms_;
+  std::vector<std::uint32_t> index_offsets_;
+  std::vector<std::uint32_t> postings_;
 };
 
 /// Loads a crawl snapshot into a PeerStore over `num_nodes` simulated

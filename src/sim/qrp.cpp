@@ -39,7 +39,10 @@ double QrpTable::fill_ratio() const noexcept {
 
 QrpNetwork::QrpNetwork(const overlay::TwoTierTopology& topology,
                        const PeerStore& store, std::size_t table_bits)
-    : topology_(&topology), store_(&store), engine_(topology.graph) {
+    : topology_(&topology),
+      store_(&store),
+      engine_(topology.graph),
+      mark_(topology.graph.num_nodes(), 0) {
   const std::size_t n = topology.graph.num_nodes();
   if (store.num_peers() != n) {
     throw std::invalid_argument("QrpNetwork: store/topology size mismatch");
@@ -58,11 +61,16 @@ QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
   SearchResult out;
   if (query.empty()) return out;
 
+  if (++mark_epoch_ == 0) {
+    // Wrapped: stale marks from the previous cycle would alias.
+    std::fill(mark_.begin(), mark_.end(), 0);
+    mark_epoch_ = 1;
+  }
+
   auto probe = [&](NodeId peer) {
     ++out.peers_probed;
-    for (std::uint64_t id : store_->match(peer, query)) {
-      out.results.push_back(id);
-    }
+    const auto hits = store_->match(peer, query, match_scratch_);
+    out.results.insert(out.results.end(), hits.begin(), hits.end());
   };
   probe(source);
 
@@ -76,10 +84,9 @@ QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
   // Leaves reached directly by the flood (the source's ultrapeers
   // forwarding blindly) are re-screened here instead: we charge UP-tier
   // messages only for UP->UP edges and account leaf deliveries via QRP.
-  std::vector<bool> up_reached(topology_->graph.num_nodes(), false);
   for (NodeId v : flood_result.reached) {
     if (topology_->is_ultrapeer[v]) {
-      up_reached[v] = true;
+      mark_[v] = mark_epoch_;  // reached-UP set
       probe(v);  // ultrapeers index their own shared files too
     }
   }
@@ -98,13 +105,15 @@ QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
   }
 
   // QRP last hop: each reached ultrapeer delivers to matching leaves.
-  std::vector<bool> leaf_done(topology_->graph.num_nodes(), false);
+  // mark_ doubles as the leaf-screened set (leaves are never in the
+  // reached-UP set above).
   auto screen_leaves = [&](NodeId up) {
     for (NodeId leaf : topology_->graph.neighbors(up)) {
-      if (topology_->is_ultrapeer[leaf] || leaf_done[leaf] || leaf == source) {
+      if (topology_->is_ultrapeer[leaf] || mark_[leaf] == mark_epoch_ ||
+          leaf == source) {
         continue;
       }
-      leaf_done[leaf] = true;
+      mark_[leaf] = mark_epoch_;
       if (tables_[leaf].may_match(query)) {
         ++out.leaf_messages;
         probe(leaf);
@@ -115,7 +124,9 @@ QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
   };
   if (topology_->is_ultrapeer[source]) screen_leaves(source);
   for (NodeId v = 0; v < topology_->graph.num_nodes(); ++v) {
-    if (up_reached[v]) screen_leaves(v);
+    if (topology_->is_ultrapeer[v] && mark_[v] == mark_epoch_) {
+      screen_leaves(v);
+    }
   }
 
   std::sort(out.results.begin(), out.results.end());

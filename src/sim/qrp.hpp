@@ -84,6 +84,13 @@ class QrpNetwork {
   const PeerStore* store_;
   std::vector<QrpTable> tables_;  // indexed by node id; UPs keep empty tables
   FloodEngine engine_;
+  // Per-search scratch (QrpNetwork is stateful like FloodEngine): epoch
+  // marks replace per-search vector<bool> allocations. A node is either
+  // an ultrapeer or a leaf, so one array serves both the reached-UP and
+  // the leaf-screened sets.
+  std::vector<std::uint32_t> mark_;
+  std::uint32_t mark_epoch_ = 0;
+  PeerStore::MatchScratch match_scratch_;
 };
 
 }  // namespace qcp2p::sim

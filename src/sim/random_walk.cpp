@@ -104,12 +104,12 @@ struct LocateProbe {
 struct SearchProbe {
   const PeerStore* store;
   std::span<const TermId> query;
+  PeerStore::MatchScratch* match;
 
   void operator()(NodeId at, RandomWalkResult& out) const {
     ++out.peers_probed;
-    for (std::uint64_t id : store->match(at, query)) {
-      out.results.push_back(id);
-    }
+    const auto hits = store->match(at, query, *match);
+    out.results.insert(out.results.end(), hits.begin(), hits.end());
   }
 };
 
@@ -135,8 +135,17 @@ RandomWalkResult random_walk_search(const Graph& graph, const PeerStore& store,
                                     std::span<const TermId> query,
                                     const RandomWalkParams& params,
                                     util::Rng& rng) {
+  SearchScratch scratch;
+  return random_walk_search(graph, store, source, query, params, rng, scratch);
+}
+
+RandomWalkResult random_walk_search(const Graph& graph, const PeerStore& store,
+                                    NodeId source,
+                                    std::span<const TermId> query,
+                                    const RandomWalkParams& params,
+                                    util::Rng& rng, SearchScratch& scratch) {
   auto result = walk(graph, source, params, rng, nullptr,
-                     SearchProbe{&store, query});
+                     SearchProbe{&store, query, &scratch.match});
   dedup_results(result);
   return result;
 }
@@ -156,8 +165,20 @@ RandomWalkResult random_walk_search(const Graph& graph, const PeerStore& store,
                                     const RandomWalkParams& params,
                                     util::Rng& rng, FaultSession& faults,
                                     const RecoveryPolicy& policy) {
+  SearchScratch scratch;
+  return random_walk_search(graph, store, source, query, params, rng, scratch,
+                            faults, policy);
+}
+
+RandomWalkResult random_walk_search(const Graph& graph, const PeerStore& store,
+                                    NodeId source,
+                                    std::span<const TermId> query,
+                                    const RandomWalkParams& params,
+                                    util::Rng& rng, SearchScratch& scratch,
+                                    FaultSession& faults,
+                                    const RecoveryPolicy& policy) {
   auto result = walk_with_recovery(graph, source, params, rng, faults, policy,
-                                   SearchProbe{&store, query});
+                                   SearchProbe{&store, query, &scratch.match});
   dedup_results(result);
   return result;
 }

@@ -9,6 +9,7 @@
 #include "src/overlay/graph.hpp"
 #include "src/sim/fault.hpp"
 #include "src/sim/network.hpp"
+#include "src/sim/search_scratch.hpp"
 #include "src/util/rng.hpp"
 
 namespace qcp2p::sim {
@@ -42,6 +43,13 @@ struct RandomWalkResult {
     std::span<const TermId> query, const RandomWalkParams& params,
     util::Rng& rng);
 
+/// Zero-allocation variant: per-probe match buffers come from `scratch`
+/// (one per worker); results identical for any scratch state.
+[[nodiscard]] RandomWalkResult random_walk_search(
+    const Graph& graph, const PeerStore& store, NodeId source,
+    std::span<const TermId> query, const RandomWalkParams& params,
+    util::Rng& rng, SearchScratch& scratch);
+
 // Fault-injected variants: a step whose message is dropped, or whose
 // chosen next hop is offline, burns the step's budget and leaves the
 // walker in place (the sender times out waiting for the ack); an attempt
@@ -60,5 +68,12 @@ struct RandomWalkResult {
     const Graph& graph, const PeerStore& store, NodeId source,
     std::span<const TermId> query, const RandomWalkParams& params,
     util::Rng& rng, FaultSession& faults, const RecoveryPolicy& policy);
+
+/// Zero-allocation variant of the fault-injected search.
+[[nodiscard]] RandomWalkResult random_walk_search(
+    const Graph& graph, const PeerStore& store, NodeId source,
+    std::span<const TermId> query, const RandomWalkParams& params,
+    util::Rng& rng, SearchScratch& scratch, FaultSession& faults,
+    const RecoveryPolicy& policy);
 
 }  // namespace qcp2p::sim

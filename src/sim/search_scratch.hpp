@@ -1,0 +1,61 @@
+// Per-worker scratch buffers for the Monte-Carlo search hot paths.
+//
+// Every engine entry point that runs millions of times (flood,
+// random-walk, Gia, hybrid) has an overload taking a SearchScratch so a
+// trial performs no heap allocation: BFS state, frontier queues, and
+// per-probe match buffers are reused across queries. One scratch per
+// worker thread, never shared concurrently. Scratch state cannot leak
+// into results: visited marks are epoch-stamped, so a scratch may be
+// reused across queries, graphs, and stores freely and every engine
+// produces bit-identical output with a fresh or a reused scratch.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/overlay/graph.hpp"
+#include "src/sim/network.hpp"
+
+namespace qcp2p::sim {
+
+struct SearchScratch {
+  // BFS traversal state (flood engines). visit_mark[v] == the low byte
+  // of epoch marks v as seen in the current traversal; other values are
+  // stale and inert. One byte per node keeps the whole mark array
+  // cache-resident on the 40k-node benches (the BFS inner loop is bound
+  // by these random loads).
+  std::vector<std::uint8_t> visit_mark;
+  std::uint32_t epoch = 0;
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> next;
+  /// Nodes reached by the last flood_core run (excluding the source).
+  std::vector<NodeId> reached;
+
+  // Per-probe content-match buffers (all engines).
+  PeerStore::MatchScratch match;
+  /// Gia one-hop accumulation buffer (per-probe sort/dedup workspace).
+  std::vector<std::uint64_t> hop_hits;
+
+  /// Grows visit_mark to cover `num_nodes`. Never shrinks; stale marks
+  /// from other graphs are defused by the epoch stamp.
+  void bind(std::size_t num_nodes) {
+    if (visit_mark.size() < num_nodes) visit_mark.resize(num_nodes, 0);
+  }
+
+  /// Starts a new traversal epoch and returns its mark byte (never 0;
+  /// 0 always means "unvisited"). Whenever the low byte wraps (every 255
+  /// runs) the marks are cleared, as stale bytes from the previous cycle
+  /// would alias the restarted counter and silently skip nodes. The
+  /// clear is a 1-byte-per-node memset amortized over 255 traversals.
+  [[nodiscard]] std::uint8_t begin_epoch() {
+    ++epoch;
+    if ((epoch & 0xFFu) == 0) {
+      std::fill(visit_mark.begin(), visit_mark.end(), std::uint8_t{0});
+      ++epoch;
+    }
+    return static_cast<std::uint8_t>(epoch);
+  }
+};
+
+}  // namespace qcp2p::sim

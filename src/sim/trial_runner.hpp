@@ -15,7 +15,8 @@
 // bit-identical for any --threads value and any scheduling. The trial
 // function must depend only on its (index, rng, ctx) arguments, and may
 // use ctx solely as reusable scratch whose prior contents do not affect
-// results (FloodEngine's epoch-stamped marks satisfy this).
+// results (SearchScratch and FloodEngine's epoch-stamped marks satisfy
+// this).
 #pragma once
 
 #include <array>

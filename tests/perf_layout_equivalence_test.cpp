@@ -1,0 +1,362 @@
+// Property tests for the flat-memory hot-path layouts: the CSR Graph and
+// the inverted-index PeerStore must be drop-in result-identical to the
+// adjacency-list / linear-scan implementations they replaced, and every
+// search engine must stay bit-identical across thread counts and for any
+// SearchScratch reuse pattern.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+#include "src/overlay/topology.hpp"
+#include "src/sim/flood.hpp"
+#include "src/sim/gia.hpp"
+#include "src/sim/hybrid.hpp"
+#include "src/sim/qrp.hpp"
+#include "src/sim/random_walk.hpp"
+#include "src/sim/search_scratch.hpp"
+#include "src/sim/trial_runner.hpp"
+#include "src/trace/gnutella.hpp"
+
+namespace qcp2p {
+namespace {
+
+using overlay::Graph;
+using overlay::NodeId;
+using sim::PeerStore;
+using text::TermId;
+
+std::vector<NodeId> neighbor_list(const Graph& g, NodeId u) {
+  const auto nbrs = g.neighbors(u);
+  return {nbrs.begin(), nbrs.end()};
+}
+
+/// Random multigraph-free edge set via repeated add_edge attempts.
+Graph random_build(std::size_t n, std::size_t attempts, util::Rng& rng) {
+  Graph g(n);
+  for (std::size_t i = 0; i < attempts; ++i) {
+    g.add_edge(static_cast<NodeId>(rng.bounded(n)),
+               static_cast<NodeId>(rng.bounded(n)));
+  }
+  return g;
+}
+
+TEST(CsrGraph, FreezePreservesNeighborOrderExactly) {
+  util::Rng rng(11);
+  for (std::size_t trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.bounded(120);
+    Graph g = random_build(n, 4 * n, rng);
+
+    std::vector<std::vector<NodeId>> before(n);
+    for (NodeId u = 0; u < n; ++u) before[u] = neighbor_list(g, u);
+    const std::size_t edges = g.num_edges();
+
+    g.freeze();
+    ASSERT_TRUE(g.frozen());
+    EXPECT_EQ(g.num_edges(), edges);
+    for (NodeId u = 0; u < n; ++u) {
+      EXPECT_EQ(neighbor_list(g, u), before[u]) << "node " << u;
+      EXPECT_EQ(g.degree(u), before[u].size());
+    }
+    g.freeze();  // idempotent
+    ASSERT_TRUE(g.frozen());
+  }
+}
+
+TEST(CsrGraph, MutationThawsAndRefreezeRoundTrips) {
+  util::Rng rng(12);
+  Graph g = random_build(60, 240, rng);
+  g.freeze();
+
+  // Pick an existing edge off the frozen form, remove it, re-add it.
+  NodeId u = 0;
+  while (g.degree(u) == 0) ++u;
+  const NodeId v = g.neighbors(u)[0];
+  ASSERT_TRUE(g.remove_edge(u, v));  // implicit thaw
+  EXPECT_FALSE(g.frozen());
+  EXPECT_FALSE(g.has_edge(u, v));
+  ASSERT_TRUE(g.add_edge(u, v));
+
+  std::vector<std::vector<NodeId>> before(g.num_nodes());
+  for (NodeId w = 0; w < g.num_nodes(); ++w) before[w] = neighbor_list(g, w);
+  g.freeze();
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
+    EXPECT_EQ(neighbor_list(g, w), before[w]);
+  }
+  EXPECT_TRUE(g.has_edge(u, v));
+  EXPECT_FALSE(g.add_edge(u, v));  // duplicate still rejected while frozen
+  EXPECT_TRUE(g.frozen());         // rejected add must not thaw
+}
+
+TEST(CsrGraph, GeneratorsReturnFrozenConnectedGraphs) {
+  util::Rng rng(13);
+  const Graph a = overlay::random_graph(300, 6.0, rng);
+  EXPECT_TRUE(a.frozen());
+  EXPECT_TRUE(a.is_connected());
+  const Graph b = overlay::random_regular(300, 6, rng);
+  EXPECT_TRUE(b.frozen());
+  const Graph c = overlay::barabasi_albert(300, 3, rng);
+  EXPECT_TRUE(c.frozen());
+  const Graph d = overlay::watts_strogatz(300, 6, 0.1, rng);
+  EXPECT_TRUE(d.frozen());
+  overlay::TwoTierParams tp;
+  tp.num_nodes = 400;
+  EXPECT_TRUE(overlay::gnutella_two_tier(tp, rng).graph.frozen());
+  overlay::GiaParams gp;
+  gp.num_nodes = 300;
+  EXPECT_TRUE(overlay::gia_topology(gp, rng).graph.frozen());
+}
+
+/// Randomized library: `peers` peers, each holding geometric-ish object
+/// counts with small random term sets over a vocabulary of `vocab`.
+PeerStore random_store(std::size_t peers, std::size_t vocab, util::Rng& rng) {
+  PeerStore store(peers);
+  std::uint64_t next_id = 1;
+  for (NodeId p = 0; p < peers; ++p) {
+    const std::size_t objects = rng.bounded(8);  // includes empty peers
+    for (std::size_t o = 0; o < objects; ++o) {
+      std::vector<TermId> terms;
+      const std::size_t nterms = 1 + rng.bounded(5);
+      for (std::size_t t = 0; t < nterms; ++t) {
+        terms.push_back(static_cast<TermId>(rng.bounded(vocab)));
+      }
+      store.add_object(p, next_id++, terms);
+    }
+  }
+  return store;
+}
+
+TEST(InvertedIndexPeerStore, MatchAgreesWithReferenceOnRandomLibraries) {
+  util::Rng rng(21);
+  for (std::size_t trial = 0; trial < 15; ++trial) {
+    const std::size_t peers = 1 + rng.bounded(40);
+    const std::size_t vocab = 4 + rng.bounded(60);
+    PeerStore store = random_store(peers, vocab, rng);
+    store.finalize();
+
+    PeerStore::MatchScratch scratch;
+    for (std::size_t q = 0; q < 200; ++q) {
+      const auto peer = static_cast<NodeId>(rng.bounded(peers));
+      std::vector<TermId> query;
+      const std::size_t nterms = rng.bounded(4);  // includes empty queries
+      for (std::size_t t = 0; t < nterms; ++t) {
+        query.push_back(static_cast<TermId>(rng.bounded(vocab)));
+      }
+      std::sort(query.begin(), query.end());
+      query.erase(std::unique(query.begin(), query.end()), query.end());
+
+      const auto expected = store.match_reference(peer, query);
+      const auto flat = store.match(peer, query, scratch);
+      EXPECT_EQ(std::vector<std::uint64_t>(flat.begin(), flat.end()), expected)
+          << "peer " << peer << " trial " << trial;
+      EXPECT_EQ(store.match(peer, query), expected);  // wrapper overload
+
+      // may_match is a sound prefilter: never a false negative, and it
+      // answers exactly "peer holds every query term somewhere".
+      if (!expected.empty()) {
+        EXPECT_TRUE(store.may_match(peer, query));
+      }
+      const auto terms = store.peer_terms(peer);
+      const bool holds_all =
+          std::all_of(query.begin(), query.end(), [&](TermId t) {
+            return std::binary_search(terms.begin(), terms.end(), t);
+          });
+      EXPECT_EQ(store.may_match(peer, query), holds_all);
+    }
+  }
+}
+
+TEST(InvertedIndexPeerStore, UnfinalizedStoreFallsBackToReference) {
+  util::Rng rng(22);
+  PeerStore store = random_store(10, 20, rng);
+  ASSERT_FALSE(store.finalized());
+  const std::vector<TermId> query{3, 7};
+  for (NodeId p = 0; p < 10; ++p) {
+    EXPECT_EQ(store.match(p, query), store.match_reference(p, query));
+  }
+  store.finalize();
+  EXPECT_TRUE(store.finalized());
+  // Adding after finalize() drops back to the build phase.
+  store.add_object(0, 99'999, {3, 7});
+  EXPECT_FALSE(store.finalized());
+  EXPECT_EQ(store.match(0, query), store.match_reference(0, query));
+}
+
+/// Shared fixture for the engine-determinism tests: a small crawl-backed
+/// network, object-derived queries.
+struct EngineFixture {
+  static constexpr std::size_t kNodes = 300;
+  sim::PeerStore store;
+  overlay::Graph graph;
+  std::vector<std::vector<TermId>> queries;
+
+  EngineFixture() : store(0), graph(0) {
+    trace::ContentModelParams mp;
+    mp.core_lexicon_size = 400;
+    mp.tail_lexicon_size = 2'000;
+    mp.catalog_songs = 3'000;
+    mp.artists = 300;
+    mp.seed = 5;
+    const trace::ContentModel model(mp);
+    trace::GnutellaCrawlParams cp;
+    cp.num_peers = 400;
+    cp.seed = 5;
+    const trace::CrawlSnapshot crawl = generate_gnutella_crawl(model, cp);
+    store = sim::peer_store_from_crawl(crawl, kNodes);
+
+    util::Rng rng(5);
+    graph = overlay::random_regular(kNodes, 6, rng);
+
+    util::Rng qrng(6);
+    std::size_t guard = 0;
+    while (queries.size() < 60 && guard++ < 10'000) {
+      const auto peer = static_cast<NodeId>(qrng.bounded(kNodes));
+      if (store.objects(peer).empty()) continue;
+      const auto& obj =
+          store.objects(peer)[qrng.bounded(store.objects(peer).size())];
+      if (obj.terms.empty()) continue;
+      const std::size_t take =
+          1 + qrng.bounded(std::min<std::size_t>(2, obj.terms.size()));
+      queries.emplace_back(obj.terms.begin(),
+                           obj.terms.begin() + static_cast<std::ptrdiff_t>(
+                                                   std::min(take, obj.terms.size())));
+    }
+  }
+};
+
+const EngineFixture& engine_fixture() {
+  static const EngineFixture fx;
+  return fx;
+}
+
+void expect_same_aggregate(const sim::TrialAggregate& a,
+                           const sim::TrialAggregate& b, const char* what) {
+  EXPECT_EQ(a.trials, b.trials) << what;
+  EXPECT_EQ(a.successes, b.successes) << what;
+  EXPECT_EQ(a.messages, b.messages) << what;
+  EXPECT_EQ(a.peers_probed, b.peers_probed) << what;
+  EXPECT_EQ(a.extra, b.extra) << what;
+}
+
+TEST(EngineDeterminism, AllFiveEnginesBitIdenticalAcrossThreadCounts) {
+  const EngineFixture& fx = engine_fixture();
+  sim::ChordDht dht(EngineFixture::kNodes, 77);
+  dht.publish_store(fx.store);
+
+  overlay::GiaParams gp;
+  gp.num_nodes = EngineFixture::kNodes;
+  util::Rng grng(9);
+  const sim::GiaNetwork gia(overlay::gia_topology(gp, grng), fx.store);
+
+  overlay::TwoTierParams tp;
+  tp.num_nodes = EngineFixture::kNodes;
+  util::Rng trng(10);
+  const overlay::TwoTierTopology two_tier = overlay::gnutella_two_tier(tp, trng);
+  const sim::PeerStore tt_store = fx.store;  // same content, two-tier graph
+
+  sim::RandomWalkParams wp;
+  wp.walkers = 4;
+  wp.max_steps = 32;
+  sim::GiaSearchParams gsp;
+  gsp.max_steps = 128;
+  const sim::HybridParams hp{2, 20};
+
+  const auto run_all = [&](std::size_t threads) {
+    const sim::TrialRunner runner({threads, 123});
+    const auto make_scratch = [] { return sim::SearchScratch{}; };
+    std::vector<sim::TrialAggregate> out;
+    out.push_back(runner.run(
+        fx.queries.size(), make_scratch,
+        [&](std::size_t q, util::Rng& rng, sim::SearchScratch& scratch) {
+          const auto src = static_cast<NodeId>(rng.bounded(fx.graph.num_nodes()));
+          const auto r =
+              sim::flood_search(fx.graph, fx.store, src, fx.queries[q], 2,
+                                scratch);
+          sim::TrialOutcome o;
+          o.success = !r.results.empty();
+          o.messages = r.messages;
+          o.peers_probed = r.peers_probed;
+          return o;
+        }));
+    out.push_back(runner.run(
+        fx.queries.size(), make_scratch,
+        [&](std::size_t q, util::Rng& rng, sim::SearchScratch& scratch) {
+          const auto src = static_cast<NodeId>(rng.bounded(fx.graph.num_nodes()));
+          const auto r = sim::random_walk_search(fx.graph, fx.store, src,
+                                                 fx.queries[q], wp, rng,
+                                                 scratch);
+          sim::TrialOutcome o;
+          o.success = r.success;
+          o.messages = r.messages;
+          o.peers_probed = r.peers_probed;
+          return o;
+        }));
+    out.push_back(runner.run(
+        fx.queries.size(), make_scratch,
+        [&](std::size_t q, util::Rng& rng, sim::SearchScratch& scratch) {
+          const auto src = static_cast<NodeId>(rng.bounded(fx.graph.num_nodes()));
+          const auto r = gia.search(src, fx.queries[q], gsp, rng, scratch);
+          sim::TrialOutcome o;
+          o.success = r.success;
+          o.messages = r.messages;
+          o.peers_probed = r.peers_probed;
+          return o;
+        }));
+    out.push_back(runner.run(
+        fx.queries.size(), make_scratch,
+        [&](std::size_t q, util::Rng& rng, sim::SearchScratch& scratch) {
+          const auto src = static_cast<NodeId>(rng.bounded(fx.graph.num_nodes()));
+          const auto r = sim::hybrid_search(fx.graph, fx.store, dht, src,
+                                            fx.queries[q], hp, scratch);
+          sim::TrialOutcome o;
+          o.success = r.success();
+          o.messages = r.total_messages();
+          return o;
+        }));
+    // QRP is stateful (engine + epoch marks), so each worker shard owns a
+    // whole network; search order across shards must not matter.
+    out.push_back(runner.run(
+        fx.queries.size(),
+        [&] { return sim::QrpNetwork(two_tier, tt_store, 4'096); },
+        [&](std::size_t q, util::Rng& rng, sim::QrpNetwork& qrp) {
+          const auto src = static_cast<NodeId>(rng.bounded(tt_store.num_peers()));
+          const auto r = qrp.search(src, fx.queries[q], 2);
+          sim::TrialOutcome o;
+          o.success = !r.results.empty();
+          o.messages = r.total_messages();
+          o.peers_probed = r.peers_probed;
+          return o;
+        }));
+    return out;
+  };
+
+  const auto t1 = run_all(1);
+  const auto t2 = run_all(2);
+  const auto t8 = run_all(8);
+  const char* names[] = {"flood", "random-walk", "gia", "hybrid", "qrp"};
+  ASSERT_EQ(t1.size(), std::size(names));
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    expect_same_aggregate(t1[i], t2[i], names[i]);
+    expect_same_aggregate(t1[i], t8[i], names[i]);
+  }
+}
+
+TEST(EngineDeterminism, ScratchReuseMatchesFreshScratch) {
+  const EngineFixture& fx = engine_fixture();
+  sim::SearchScratch reused;
+  for (std::size_t q = 0; q < fx.queries.size(); ++q) {
+    const auto src = static_cast<NodeId>(q % fx.graph.num_nodes());
+    const auto warm =
+        sim::flood_search(fx.graph, fx.store, src, fx.queries[q], 2, reused);
+    sim::SearchScratch fresh;
+    const auto cold =
+        sim::flood_search(fx.graph, fx.store, src, fx.queries[q], 2, fresh);
+    EXPECT_EQ(warm.results, cold.results);
+    EXPECT_EQ(warm.messages, cold.messages);
+    EXPECT_EQ(warm.peers_probed, cold.peers_probed);
+  }
+}
+
+}  // namespace
+}  // namespace qcp2p

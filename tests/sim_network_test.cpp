@@ -87,7 +87,9 @@ TEST(PeerStore, PeerTermsAreSortedUnique) {
   store.add_object(0, 1, {9, 2});
   store.add_object(0, 2, {2, 5});
   store.finalize();
-  EXPECT_EQ(store.peer_terms(0), (std::vector<TermId>{2, 5, 9}));
+  const auto terms = store.peer_terms(0);
+  EXPECT_EQ(std::vector<TermId>(terms.begin(), terms.end()),
+            (std::vector<TermId>{2, 5, 9}));
 }
 
 TEST(PeerStoreFromCrawl, RoundRobinAssignment) {
