@@ -1,16 +1,33 @@
 // Shared scaffolding for the figure/experiment harnesses: every binary
 // accepts --scale (fraction of the paper's full experiment size; 1.0
 // reproduces the Apr'07 crawl volume and needs several GB of RAM),
-// --seed, --csv (append machine-readable rows to stdout), and --threads
-// (Monte-Carlo worker count; 0 = hardware concurrency). Trial results
-// are bit-identical for any --threads value: see sim::TrialRunner.
+// --seed, --csv (append machine-readable rows to stdout), --threads
+// (Monte-Carlo worker count; 0 = hardware concurrency), and — for the
+// engine sweeps — --engine (a sim::engine_registry() name). Trial
+// results are bit-identical for any --threads value: see
+// sim::TrialRunner.
+//
+// Beyond CLI parsing this header owns the world-building the engine
+// benches share: the crawl-derived PeerStore + overlay + DHT (+ Gia)
+// world, the object-derived query workload, steady-state churn masks,
+// the Fig 8 topology/placement sweeps, and run_engine_sweep(), the one
+// TrialRunner adapter that drives any registered SearchEngine.
 #pragma once
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "src/overlay/churn.hpp"
+#include "src/overlay/topology.hpp"
+#include "src/sim/engine_registry.hpp"
+#include "src/sim/trial_runner.hpp"
 #include "src/trace/content_model.hpp"
 #include "src/trace/gnutella.hpp"
 #include "src/trace/itunes.hpp"
@@ -26,6 +43,9 @@ struct BenchEnv {
   bool csv = false;
   /// Monte-Carlo trial workers (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Registered engine name selecting a single engine in the sweep
+  /// benches; empty = each bench's default set.
+  std::string engine;
 
   static BenchEnv from_cli(const util::Cli& cli, double default_scale = 0.125) {
     BenchEnv env;
@@ -36,7 +56,27 @@ struct BenchEnv {
     }
     env.seed = cli.get_uint("seed", 42);
     env.csv = cli.get_bool("csv");
-    env.threads = static_cast<std::size_t>(cli.get_uint("threads", 0));
+    // Parse --threads strictly: silently mapping garbage (or a negative)
+    // to some worker count would still "work" but not mean what the user
+    // asked for.
+    const std::string threads_str = cli.get("threads", "0");
+    std::size_t threads = 0;
+    const char* const end = threads_str.data() + threads_str.size();
+    const auto [parse_end, ec] =
+        std::from_chars(threads_str.data(), end, threads);
+    if (ec != std::errc{} || parse_end != end || threads > 4096) {
+      std::cerr << "--threads must be an integer in [0, 4096] "
+                   "(0 = hardware concurrency), got '"
+                << threads_str << "'\n";
+      std::exit(2);
+    }
+    env.threads = threads;
+    env.engine = cli.get("engine", "");
+    if (!env.engine.empty() && sim::find_engine(env.engine) == nullptr) {
+      std::cerr << "unknown --engine '" << env.engine
+                << "' (registered: " << sim::engine_names() << ")\n";
+      std::exit(2);
+    }
     return env;
   }
 
@@ -93,6 +133,224 @@ inline void print_header(const std::string& name, const BenchEnv& env,
   std::cout << "# " << name << "  (scale=" << env.scale
             << ", seed=" << env.seed << ")\n"
             << "# paper: " << paper_context << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// Shared world building for the engine benches.
+
+/// Query workload: object-derived conjunctive queries (1-3 terms of a
+/// real object), so every query has at least one satisfying object.
+inline std::vector<std::vector<sim::TermId>> make_object_queries(
+    const sim::PeerStore& store, std::size_t count, util::Rng& rng) {
+  std::vector<std::vector<sim::TermId>> queries;
+  std::size_t guard = 0;
+  while (queries.size() < count && guard++ < 50 * count) {
+    const auto peer = static_cast<overlay::NodeId>(rng.bounded(store.num_peers()));
+    if (store.objects(peer).empty()) continue;
+    const auto& obj =
+        store.objects(peer)[rng.bounded(store.objects(peer).size())];
+    if (obj.terms.empty()) continue;
+    std::vector<sim::TermId> q;
+    const std::size_t n =
+        1 + rng.bounded(std::min<std::size_t>(3, obj.terms.size()));
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push_back(obj.terms[rng.bounded(obj.terms.size())]);
+    }
+    std::sort(q.begin(), q.end());
+    q.erase(std::unique(q.begin(), q.end()), q.end());
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+/// Steady-state liveness snapshot: a session-churn process whose steady
+/// state hits the target offline fraction, advanced well past warm-up.
+struct ChurnMask {
+  std::vector<bool> online;
+  double online_fraction = 0.0;
+};
+
+inline ChurnMask steady_state_churn_mask(std::size_t nodes,
+                                         double offline_fraction,
+                                         std::uint64_t seed) {
+  overlay::ChurnParams cp;
+  cp.mean_online_s = (1.0 - offline_fraction) * 3600.0;
+  cp.mean_offline_s = offline_fraction * 3600.0;
+  cp.seed = seed;
+  overlay::ChurnProcess churn(nodes, cp);
+  churn.advance(7200.0);
+  return {churn.online(), churn.online_fraction()};
+}
+
+/// The content-search world the engine benches share: crawl-derived
+/// PeerStore, random-regular overlay, Chord keyword index (+ optional
+/// Gia network), and the object-derived query workload.
+struct SearchWorld {
+  sim::PeerStore store;
+  overlay::Graph graph;
+  std::unique_ptr<sim::ChordDht> dht;
+  std::uint64_t publish_messages = 0;
+  std::unique_ptr<sim::GiaNetwork> gia;  // null unless requested
+  std::vector<std::vector<sim::TermId>> queries;
+
+  /// Borrowing view for the registry's factories. Fill in the per-bench
+  /// params (walk/gia_search/hybrid) on the returned value.
+  [[nodiscard]] sim::EngineWorld engine_world() const {
+    sim::EngineWorld w;
+    w.graph = &graph;
+    w.store = &store;
+    w.dht = dht.get();
+    w.gia = gia.get();
+    return w;
+  }
+};
+
+inline SearchWorld build_search_world(const BenchEnv& env, std::size_t nodes,
+                                      std::size_t num_queries,
+                                      bool with_gia = false) {
+  const trace::ContentModel model(env.model_params());
+  const trace::CrawlSnapshot crawl =
+      generate_gnutella_crawl(model, env.crawl_params());
+  SearchWorld world{sim::peer_store_from_crawl(crawl, nodes),
+                    overlay::Graph(0), nullptr, 0, nullptr, {}};
+  util::Rng rng(env.seed);
+  world.graph = overlay::random_regular(nodes, 8, rng);
+  world.dht = std::make_unique<sim::ChordDht>(nodes, env.seed + 4);
+  world.publish_messages = world.dht->publish_store(world.store);
+  if (with_gia) {
+    overlay::GiaParams gp;
+    gp.num_nodes = nodes;
+    util::Rng gia_rng(env.seed + 3);
+    world.gia = std::make_unique<sim::GiaNetwork>(
+        overlay::gia_topology(gp, gia_rng), world.store);
+  }
+  util::Rng qrng(env.seed + 7);
+  world.queries = make_object_queries(world.store, num_queries, qrng);
+  return world;
+}
+
+/// Engines to sweep: the --engine selection when given, else every
+/// registry engine constructible from `world`, in registry order (which
+/// is also row order in the output tables).
+struct NamedEngine {
+  std::string_view name;
+  std::unique_ptr<sim::SearchEngine> engine;
+};
+
+inline std::vector<NamedEngine> make_sweep_engines(
+    const BenchEnv& env, const sim::EngineWorld& world) {
+  std::vector<NamedEngine> engines;
+  for (const sim::EngineEntry& entry : sim::engine_registry()) {
+    if (!env.engine.empty() && env.engine != entry.name) continue;
+    auto engine = entry.make(world);
+    if (engine != nullptr) engines.push_back({entry.name, std::move(engine)});
+  }
+  if (engines.empty()) {
+    std::cerr << "--engine '" << env.engine
+              << "' cannot run in this bench (world lacks what it needs)\n";
+    std::exit(2);
+  }
+  return engines;
+}
+
+// ---------------------------------------------------------------------------
+// TrialRunner adapter: one make_ctx for every registered engine.
+
+/// Runs `trials` Monte-Carlo queries against `engine`: each trial builds
+/// its Query via make_query(t, rng) and maps the SearchOutcome through
+/// map_outcome. One EngineContext per worker shard; scratch state cannot
+/// leak into results (epoch-stamped marks), so the aggregate stays
+/// bit-identical for any --threads value.
+template <typename MakeQuery, typename MapOutcome>
+sim::TrialAggregate run_engine_sweep(const sim::TrialRunner& runner,
+                                     std::size_t trials,
+                                     const sim::SearchEngine& engine,
+                                     MakeQuery&& make_query,
+                                     MapOutcome&& map_outcome) {
+  return runner.run(
+      trials, [] { return sim::EngineContext{}; },
+      [&](std::size_t t, util::Rng& trng, sim::EngineContext& ctx) {
+        ctx.rng = &trng;
+        const sim::Query query = make_query(t, trng);
+        return map_outcome(engine.search(query, ctx));
+      });
+}
+
+/// Default outcome mapping: success, messages, and the fault counters in
+/// extra[0..2] (dropped, retries, route-around hops).
+template <typename MakeQuery>
+sim::TrialAggregate run_engine_sweep(const sim::TrialRunner& runner,
+                                     std::size_t trials,
+                                     const sim::SearchEngine& engine,
+                                     MakeQuery&& make_query) {
+  return run_engine_sweep(runner, trials, engine,
+                          std::forward<MakeQuery>(make_query),
+                          [](const sim::SearchOutcome& r) {
+                            sim::TrialOutcome out;
+                            out.success = r.success;
+                            out.messages = r.messages;
+                            out.extra[0] = r.fault.dropped;
+                            out.extra[1] = r.fault.retries;
+                            out.extra[2] = r.fault.route_around_hops;
+                            return out;
+                          });
+}
+
+// ---------------------------------------------------------------------------
+// Fig 8-style topology + replication-placement sweeps.
+
+/// --topology two-tier|flat|ba (exits 2 otherwise).
+inline overlay::TwoTierTopology build_bench_topology(const std::string& name,
+                                                     std::size_t nodes,
+                                                     util::Rng& rng) {
+  overlay::TwoTierTopology topo{overlay::Graph(0), {}};
+  if (name == "two-tier") {
+    overlay::TwoTierParams tp;
+    tp.num_nodes = nodes;
+    topo = overlay::gnutella_two_tier(tp, rng);
+  } else if (name == "flat") {
+    topo.graph = overlay::random_regular(nodes, 9, rng);
+    topo.is_ultrapeer.assign(nodes, true);
+  } else if (name == "ba") {
+    topo.graph = overlay::barabasi_albert(nodes, 5, rng);
+    topo.is_ultrapeer.assign(nodes, true);
+  } else {
+    std::cerr << "unknown --topology (two-tier|flat|ba)\n";
+    std::exit(2);
+  }
+  return topo;
+}
+
+/// Fig 8's replication ladder: uniform {2,5,10,20,40}-copy placements
+/// (0.005%..0.1% of a 40k network) plus the crawl-derived Zipf one.
+inline constexpr std::size_t kUniformCopyLevels[] = {2, 5, 10, 20, 40};
+
+struct ReplicationPlacements {
+  sim::Placement zipf;
+  std::vector<sim::Placement> uniform;  // one per kUniformCopyLevels entry
+};
+
+inline ReplicationPlacements build_replication_placements(
+    const BenchEnv& env, double crawl_scale, std::size_t nodes,
+    std::size_t objects = 3'000) {
+  BenchEnv crawl_env = env;
+  crawl_env.scale = crawl_scale;
+  const trace::ContentModel model(crawl_env.model_params());
+  const trace::CrawlSnapshot crawl =
+      generate_gnutella_crawl(model, crawl_env.crawl_params());
+  const auto crawl_counts = crawl.object_replica_counts();
+
+  util::Rng place_rng(env.seed + 1);
+  ReplicationPlacements out{
+      sim::place_by_counts(
+          sim::sample_replica_counts(crawl_counts, objects, place_rng), nodes,
+          place_rng),
+      {}};
+  for (std::size_t copies : kUniformCopyLevels) {
+    out.uniform.push_back(
+        sim::place_uniform(objects / 4, copies, nodes, place_rng));
+  }
+  return out;
 }
 
 }  // namespace qcp2p::bench

@@ -1,56 +1,28 @@
-// Robustness experiment: graceful degradation of the five search engines
-// (flood, random walk, Gia, hybrid flood+DHT, pure DHT) under message
-// loss x peer churn x recovery policy.
+// Robustness experiment: graceful degradation of the registered search
+// engines (flood, random walk, Gia, hybrid flood+DHT, pure DHT) under
+// message loss x peer churn x recovery policy.
 //
 // The paper's Section V/VII comparison assumes a lossless, always-on
 // network; the replication surveys it cites (Thampi et al.) evaluate
 // search schemes under failures and retries. This bench closes that gap:
-// every engine runs through sim::FaultPlan (deterministic per-message
-// drops keyed by (seed, trial, message index), crash schedules snapshot
-// from overlay::ChurnProcess) with and without timeout/retry/backoff
+// every engine from sim::engine_registry() runs under
+// sim::with_faults() (deterministic per-message drops keyed by
+// (seed, trial, message index), crash schedules snapshot from
+// overlay::ChurnProcess) with and without timeout/retry/backoff
 // recovery, emitting success-rate and message-overhead degradation
 // curves. The loss-0 / no-crash / no-retry cell is verified in-process
-// against the fault-free engines: it must match bit-for-bit.
+// against the undecorated engines: it must match bit-for-bit.
+//
+// --engine=<name> restricts the sweep to one registered engine.
 #include "bench/bench_common.hpp"
 
-#include "src/overlay/churn.hpp"
-#include "src/overlay/topology.hpp"
 #include "src/sim/fault.hpp"
-#include "src/sim/gia.hpp"
-#include "src/sim/hybrid.hpp"
-#include "src/sim/random_walk.hpp"
-#include "src/sim/search_scratch.hpp"
-#include "src/sim/trial_runner.hpp"
+#include "src/sim/fault_decorator.hpp"
 
 using namespace qcp2p;
 using overlay::NodeId;
 
 namespace {
-
-/// Query workload: object-derived conjunctive queries (1-3 terms of a
-/// real object), so every query has at least one satisfying object.
-std::vector<std::vector<sim::TermId>> make_queries(const sim::PeerStore& store,
-                                                   std::size_t count,
-                                                   util::Rng& rng) {
-  std::vector<std::vector<sim::TermId>> queries;
-  std::size_t guard = 0;
-  while (queries.size() < count && guard++ < 50 * count) {
-    const auto peer = static_cast<NodeId>(rng.bounded(store.num_peers()));
-    if (store.objects(peer).empty()) continue;
-    const auto& obj =
-        store.objects(peer)[rng.bounded(store.objects(peer).size())];
-    if (obj.terms.empty()) continue;
-    std::vector<sim::TermId> q;
-    const std::size_t n = 1 + rng.bounded(std::min<std::size_t>(3, obj.terms.size()));
-    for (std::size_t i = 0; i < n; ++i) {
-      q.push_back(obj.terms[rng.bounded(obj.terms.size())]);
-    }
-    std::sort(q.begin(), q.end());
-    q.erase(std::unique(q.begin(), q.end()), q.end());
-    queries.push_back(std::move(q));
-  }
-  return queries;
-}
 
 /// Query source for a trial: an online peer (dead users don't search),
 /// drawn from the trial's own stream so the pick is schedule-independent.
@@ -62,11 +34,6 @@ NodeId draw_source(std::size_t nodes, const sim::FaultPlan& plan,
   }
   return 0;
 }
-
-struct EngineRow {
-  const char* name;
-  sim::TrialAggregate agg;
-};
 
 }  // namespace
 
@@ -82,36 +49,23 @@ int main(int argc, char** argv) {
       "degradation of flood/walk/Gia/hybrid/DHT under message loss x churn "
       "x recovery policy; loss-0 no-crash reproduces the fault-free engines");
 
-  const trace::ContentModel model(env.model_params());
-  const trace::CrawlSnapshot crawl =
-      generate_gnutella_crawl(model, env.crawl_params());
-  const sim::PeerStore store = sim::peer_store_from_crawl(crawl, nodes);
-
-  util::Rng rng(env.seed);
-  const overlay::Graph graph = overlay::random_regular(nodes, 8, rng);
-  sim::ChordDht dht(nodes, env.seed + 4);
-  const std::uint64_t publish_messages = dht.publish_store(store);
-
-  overlay::GiaParams gp;
-  gp.num_nodes = nodes;
-  util::Rng gia_rng(env.seed + 3);
-  const sim::GiaNetwork gia(overlay::gia_topology(gp, gia_rng), store);
-
-  util::Rng qrng(env.seed + 7);
-  const auto queries = make_queries(store, num_queries, qrng);
-  std::cout << "# network: " << nodes << " nodes, " << store.total_objects()
-            << " objects, " << queries.size()
-            << " queries; one-time DHT publish cost: " << publish_messages
-            << " messages\n";
+  const bench::SearchWorld world =
+      bench::build_search_world(env, nodes, num_queries, /*with_gia=*/true);
+  std::cout << "# network: " << nodes << " nodes, "
+            << world.store.total_objects() << " objects, "
+            << world.queries.size()
+            << " queries; one-time DHT publish cost: "
+            << world.publish_messages << " messages\n";
 
   const sim::TrialRunner runner({env.threads, env.seed + 11});
 
-  const sim::HybridParams hp{flood_ttl, 20};
-  sim::RandomWalkParams wp;
-  wp.walkers = 16;
-  wp.max_steps = 64;
-  sim::GiaSearchParams gsp;
-  gsp.max_steps = 512;
+  sim::EngineWorld ew = world.engine_world();
+  ew.hybrid = sim::HybridParams{flood_ttl, 20};
+  ew.walk.walkers = 16;
+  ew.walk.max_steps = 64;
+  ew.gia_search.max_steps = 512;
+  const std::vector<bench::NamedEngine> engines =
+      bench::make_sweep_engines(env, ew);
 
   sim::RecoveryPolicy no_recovery;
   no_recovery.max_retries = 0;
@@ -141,172 +95,71 @@ int main(int argc, char** argv) {
       fparams.jitter_max_ms = jitter_ms;
       fparams.seed = env.seed + 0xFA * cell;
 
-      // Crash schedule: a session-churn process whose steady state hits
-      // the target offline fraction, advanced well past its warm-up.
       sim::FaultPlan plan;
       if (offline > 0.0) {
-        overlay::ChurnParams cp;
-        cp.mean_online_s = (1.0 - offline) * 3600.0;
-        cp.mean_offline_s = offline * 3600.0;
-        cp.seed = env.seed + 17 * cell;
-        overlay::ChurnProcess churn(nodes, cp);
-        churn.advance(7200.0);
-        plan = sim::FaultPlan::from_churn(fparams, churn);
+        const bench::ChurnMask mask = bench::steady_state_churn_mask(
+            nodes, offline, env.seed + 17 * cell);
+        plan = sim::FaultPlan(fparams, mask.online);
       } else {
         plan = sim::FaultPlan(fparams);
       }
 
       for (const auto& pol : policies) {
-        const sim::RecoveryPolicy& policy = *pol.policy;
-
-        auto outcome_of = [](bool success, std::uint64_t messages,
-                             const sim::FaultStats& fault) {
-          sim::TrialOutcome out;
-          out.success = success;
-          out.messages = messages;
-          out.extra[0] = fault.dropped;
-          out.extra[1] = fault.retries;
-          out.extra[2] = fault.route_around_hops;
-          return out;
+        const auto make_query = [&](std::size_t q, util::Rng& trng) {
+          sim::Query query;
+          query.source = draw_source(nodes, plan, trng);
+          query.terms = world.queries[q];
+          query.ttl = flood_ttl;
+          query.trial = q;
+          return query;
         };
 
-        // Each worker shard owns one SearchScratch; scratch state cannot
-        // leak into results (epoch-stamped marks), so the aggregate stays
-        // bit-identical for any --threads value.
-        const auto make_scratch = [] { return sim::SearchScratch{}; };
-        EngineRow rows[] = {
-            {"flood",
-             runner.run(queries.size(), make_scratch,
-                        [&](std::size_t q, util::Rng& trng,
-                            sim::SearchScratch& scratch) {
-               sim::FaultSession faults(plan, q);
-               const NodeId src = draw_source(nodes, plan, trng);
-               const auto r =
-                   sim::flood_search(graph, store, src, queries[q], flood_ttl,
-                                     scratch, faults, policy);
-               return outcome_of(!r.results.empty(), r.messages, r.fault);
-             })},
-            {"random-walk",
-             runner.run(queries.size(), make_scratch,
-                        [&](std::size_t q, util::Rng& trng,
-                            sim::SearchScratch& scratch) {
-               sim::FaultSession faults(plan, q);
-               const NodeId src = draw_source(nodes, plan, trng);
-               const auto r =
-                   sim::random_walk_search(graph, store, src, queries[q], wp,
-                                           trng, scratch, faults, policy);
-               return outcome_of(r.success, r.messages, r.fault);
-             })},
-            {"gia",
-             runner.run(queries.size(), make_scratch,
-                        [&](std::size_t q, util::Rng& trng,
-                            sim::SearchScratch& scratch) {
-               sim::FaultSession faults(plan, q);
-               const NodeId src = draw_source(nodes, plan, trng);
-               const auto r = gia.search(src, queries[q], gsp, trng, scratch,
-                                         faults, policy);
-               return outcome_of(r.success, r.messages, r.fault);
-             })},
-            {"hybrid",
-             runner.run(queries.size(), make_scratch,
-                        [&](std::size_t q, util::Rng& trng,
-                            sim::SearchScratch& scratch) {
-               sim::FaultSession faults(plan, q);
-               const NodeId src = draw_source(nodes, plan, trng);
-               const auto r =
-                   sim::hybrid_search(graph, store, dht, src, queries[q], hp,
-                                      scratch, faults, policy);
-               return outcome_of(r.success(), r.total_messages(), r.fault);
-             })},
-            {"dht-only",
-             runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
-               sim::FaultSession faults(plan, q);
-               const NodeId src = draw_source(nodes, plan, trng);
-               const auto r =
-                   sim::dht_only_search(dht, src, queries[q], faults, policy);
-               return outcome_of(r.success(), r.total_messages(), r.fault);
-             })},
-        };
+        std::vector<sim::TrialAggregate> rows;
+        rows.reserve(engines.size());
+        for (const bench::NamedEngine& ne : engines) {
+          const sim::FaultInjectedEngine faulty =
+              sim::with_faults(*ne.engine, plan, *pol.policy);
+          rows.push_back(bench::run_engine_sweep(runner, world.queries.size(),
+                                                 faulty, make_query));
+        }
 
         // Acceptance gate: the fault-free cell must reproduce the plain
-        // (pre-fault-layer) engines exactly.
+        // (undecorated) engines exactly — the decorator with an inert
+        // plan is required to be bit-for-bit invisible.
         if (!regression_checked && loss == 0.0 && offline == 0.0 &&
-            &policy == &no_recovery) {
+            pol.policy == &no_recovery) {
           regression_checked = true;
-          const sim::TrialAggregate plain[] = {
-              runner.run(queries.size(), make_scratch,
-                         [&](std::size_t q, util::Rng& trng,
-                             sim::SearchScratch& scratch) {
-                const auto src = static_cast<NodeId>(trng.bounded(nodes));
-                const auto r = sim::flood_search(graph, store, src, queries[q],
-                                                 flood_ttl, scratch);
-                sim::TrialOutcome out;
-                out.success = !r.results.empty();
-                out.messages = r.messages;
-                return out;
-              }),
-              runner.run(queries.size(), make_scratch,
-                         [&](std::size_t q, util::Rng& trng,
-                             sim::SearchScratch& scratch) {
-                const auto src = static_cast<NodeId>(trng.bounded(nodes));
-                const auto r = sim::random_walk_search(
-                    graph, store, src, queries[q], wp, trng, scratch);
-                sim::TrialOutcome out;
-                out.success = r.success;
-                out.messages = r.messages;
-                return out;
-              }),
-              runner.run(queries.size(), make_scratch,
-                         [&](std::size_t q, util::Rng& trng,
-                             sim::SearchScratch& scratch) {
-                const auto src = static_cast<NodeId>(trng.bounded(nodes));
-                const auto r = gia.search(src, queries[q], gsp, trng, scratch);
-                sim::TrialOutcome out;
-                out.success = r.success;
-                out.messages = r.messages;
-                return out;
-              }),
-              runner.run(queries.size(), make_scratch,
-                         [&](std::size_t q, util::Rng& trng,
-                             sim::SearchScratch& scratch) {
-                const auto src = static_cast<NodeId>(trng.bounded(nodes));
-                const auto r = sim::hybrid_search(graph, store, dht, src,
-                                                  queries[q], hp, scratch);
-                sim::TrialOutcome out;
-                out.success = r.success();
-                out.messages = r.total_messages();
-                return out;
-              }),
-              runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
-                const auto src = static_cast<NodeId>(trng.bounded(nodes));
-                const auto r = sim::dht_only_search(dht, src, queries[q]);
-                sim::TrialOutcome out;
-                out.success = r.success();
-                out.messages = r.total_messages();
-                return out;
-              }),
-          };
-          for (std::size_t i = 0; i < std::size(plain); ++i) {
-            if (plain[i].successes != rows[i].agg.successes ||
-                plain[i].messages != rows[i].agg.messages) {
+          for (std::size_t i = 0; i < engines.size(); ++i) {
+            const sim::TrialAggregate plain = bench::run_engine_sweep(
+                runner, world.queries.size(), *engines[i].engine,
+                [&](std::size_t q, util::Rng& trng) {
+                  sim::Query query;
+                  query.source = static_cast<NodeId>(trng.bounded(nodes));
+                  query.terms = world.queries[q];
+                  query.ttl = flood_ttl;
+                  query.trial = q;
+                  return query;
+                });
+            if (plain.successes != rows[i].successes ||
+                plain.messages != rows[i].messages) {
               regression_ok = false;
-              std::cerr << "REGRESSION: fault-free " << rows[i].name
+              std::cerr << "REGRESSION: fault-free " << engines[i].name
                         << " diverges from the plain engine\n";
             }
           }
         }
 
-        for (const EngineRow& row : rows) {
+        for (std::size_t i = 0; i < engines.size(); ++i) {
           t.add_row();
           t.percent(loss, 0)
               .percent(offline, 0)
               .cell(pol.name)
-              .cell(row.name)
-              .percent(row.agg.success_rate(), 1)
-              .cell(row.agg.mean_messages(), 1)
-              .cell(row.agg.mean_extra(0), 1)
-              .cell(row.agg.mean_extra(1), 2)
-              .cell(row.agg.mean_extra(2), 2);
+              .cell(std::string(engines[i].name))
+              .percent(rows[i].success_rate(), 1)
+              .cell(rows[i].mean_messages(), 1)
+              .cell(rows[i].mean_extra(0), 1)
+              .cell(rows[i].mean_extra(1), 2)
+              .cell(rows[i].mean_extra(2), 2);
         }
       }
     }

@@ -12,46 +12,15 @@
 // --offline-fraction knocks that share of peers offline (session-churn
 // steady state) before querying; both strategies see the same liveness
 // mask, so the comparison stays paired. 0 (default) bypasses the mask.
+// --engine=<name> restricts the table to one strategy (any registered
+// engine runs; engines outside the hybrid/DHT pair get a generic,
+// cutoff-independent row).
 #include "bench/bench_common.hpp"
 
-#include "src/overlay/churn.hpp"
-#include "src/overlay/topology.hpp"
-#include "src/sim/hybrid.hpp"
-#include "src/sim/search_scratch.hpp"
-#include "src/sim/trial_runner.hpp"
 #include "src/util/stats.hpp"
 
 using namespace qcp2p;
 using overlay::NodeId;
-
-namespace {
-
-/// Query workload: object-derived conjunctive queries (1-3 terms of a
-/// real object), so every query has at least one satisfying object.
-std::vector<std::vector<sim::TermId>> make_queries(const sim::PeerStore& store,
-                                                   std::size_t count,
-                                                   util::Rng& rng) {
-  std::vector<std::vector<sim::TermId>> queries;
-  std::size_t guard = 0;
-  while (queries.size() < count && guard++ < 50 * count) {
-    const auto peer = static_cast<NodeId>(rng.bounded(store.num_peers()));
-    if (store.objects(peer).empty()) continue;
-    const auto& obj =
-        store.objects(peer)[rng.bounded(store.objects(peer).size())];
-    if (obj.terms.empty()) continue;
-    std::vector<sim::TermId> q;
-    const std::size_t n = 1 + rng.bounded(std::min<std::size_t>(3, obj.terms.size()));
-    for (std::size_t i = 0; i < n; ++i) {
-      q.push_back(obj.terms[rng.bounded(obj.terms.size())]);
-    }
-    std::sort(q.begin(), q.end());
-    q.erase(std::unique(q.begin(), q.end()), q.end());
-    queries.push_back(std::move(q));
-  }
-  return queries;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
@@ -65,21 +34,12 @@ int main(int argc, char** argv) {
       "Sec V/VII: hybrid flood-then-DHT pays for failed floods; DHT-only "
       "is cheaper at equal-or-better success under Zipf content");
 
-  const trace::ContentModel model(env.model_params());
-  const trace::CrawlSnapshot crawl =
-      generate_gnutella_crawl(model, env.crawl_params());
-  const sim::PeerStore store = sim::peer_store_from_crawl(crawl, nodes);
-
-  util::Rng rng(env.seed);
-  const overlay::Graph graph = overlay::random_regular(nodes, 8, rng);
-  sim::ChordDht dht(nodes, env.seed + 4);
-  const std::uint64_t publish_messages = dht.publish_store(store);
-  std::cout << "# network: " << nodes << " nodes, " << store.total_objects()
-            << " objects; one-time DHT publish cost: " << publish_messages
-            << " messages\n";
-
-  util::Rng qrng(env.seed + 7);
-  const auto queries = make_queries(store, num_queries, qrng);
+  const bench::SearchWorld world =
+      bench::build_search_world(env, nodes, num_queries);
+  std::cout << "# network: " << nodes << " nodes, "
+            << world.store.total_objects()
+            << " objects; one-time DHT publish cost: "
+            << world.publish_messages << " messages\n";
 
   const sim::TrialRunner runner({env.threads, env.seed + 11});
 
@@ -88,75 +48,104 @@ int main(int argc, char** argv) {
   // from an offline source fail outright, same as exp_churn. With the
   // default fraction of 0 the mask stays null and every code path is
   // identical to the fault-free bench.
-  std::vector<bool> online_mask;
+  bench::ChurnMask mask;
   const std::vector<bool>* online = nullptr;
   if (offline_fraction > 0.0) {
-    overlay::ChurnParams cp;
-    cp.mean_online_s = (1.0 - offline_fraction) * 3600.0;
-    cp.mean_offline_s = offline_fraction * 3600.0;
-    cp.seed = env.seed + 13;
-    overlay::ChurnProcess churn(nodes, cp);
-    churn.advance(7200.0);
-    online_mask = churn.online();
-    online = &online_mask;
-    std::cout << "# liveness: " << churn.online_fraction() * 100.0
+    mask = bench::steady_state_churn_mask(nodes, offline_fraction,
+                                          env.seed + 13);
+    online = &mask.online;
+    std::cout << "# liveness: " << mask.online_fraction * 100.0
               << "% of peers online (target "
               << (1.0 - offline_fraction) * 100.0 << "%)\n";
   }
 
-  // DHT-only baseline does not depend on the cutoff: one pass. Trial t
-  // draws its source from the same per-trial stream every hybrid pass
-  // uses, so the two strategies stay paired query-for-query.
-  const sim::TrialAggregate dht_agg =
-      runner.run(queries.size(), [&](std::size_t q, util::Rng& trng) {
-        const auto src = static_cast<NodeId>(trng.bounded(nodes));
-        const auto dr = sim::dht_only_search(dht, src, queries[q], online);
-        sim::TrialOutcome out;
-        out.success = dr.success();
-        out.messages = dr.total_messages();
-        return out;
-      });
+  sim::EngineWorld ew = world.engine_world();
+  ew.hybrid.flood_ttl = flood_ttl;
+
+  // Trial t draws its source from the same per-trial stream in every
+  // pass, so the strategies stay paired query-for-query.
+  const auto make_query = [&](std::size_t q, util::Rng& trng) {
+    sim::Query query;
+    query.source = static_cast<NodeId>(trng.bounded(nodes));
+    query.terms = world.queries[q];
+    query.ttl = flood_ttl;
+    query.online = online;
+    query.trial = q;
+    return query;
+  };
 
   util::Table t({"rare cutoff", "strategy", "success", "msgs/query",
                  "flood msgs", "dht msgs", "floods that fell back"});
-  for (const std::size_t cutoff : {1ULL, 5ULL, 20ULL, 50ULL}) {
-    sim::HybridParams hp;
-    hp.flood_ttl = flood_ttl;
-    hp.rare_cutoff = cutoff;
 
-    // One SearchScratch per worker shard: the flood phase reuses BFS and
-    // match buffers across the shard's queries.
-    const sim::TrialAggregate hy = runner.run(
-        queries.size(), [] { return sim::SearchScratch{}; },
-        [&](std::size_t q, util::Rng& trng, sim::SearchScratch& scratch) {
-          const auto src = static_cast<NodeId>(trng.bounded(nodes));
-          const auto hr =
-              sim::hybrid_search(graph, store, dht, src, queries[q], hp,
-                                 scratch, nullptr, online);
-          sim::TrialOutcome out;
-          out.success = hr.success();
-          out.messages = hr.total_messages();
-          out.extra[0] = hr.flood_messages;
-          out.extra[1] = hr.dht_messages;
-          out.extra[2] = hr.used_dht ? 1 : 0;
-          return out;
-        });
+  const bool run_hybrid = env.engine.empty() || env.engine == "hybrid";
+  const bool run_dht = env.engine.empty() || env.engine == "dht-only";
+  if (!run_hybrid && !run_dht) {
+    // Some other registered engine: cutoff-independent, no flood/DHT
+    // message split.
+    const auto engine = sim::make_engine(env.engine, ew);
+    if (engine == nullptr) {
+      std::cerr << "--engine '" << env.engine
+                << "' cannot run in this bench (world lacks what it needs)\n";
+      return 2;
+    }
+    const sim::TrialAggregate agg = bench::run_engine_sweep(
+        runner, world.queries.size(), *engine, make_query);
     t.add_row();
-    t.cell(static_cast<std::uint64_t>(cutoff))
-        .cell("hybrid")
-        .percent(hy.success_rate(), 1)
-        .cell(hy.mean_messages(), 1)
-        .cell(hy.mean_extra(0), 1)
-        .cell(hy.mean_extra(1), 1)
-        .percent(hy.mean_extra(2), 1);
-    t.add_row();
-    t.cell(static_cast<std::uint64_t>(cutoff))
-        .cell("dht-only")
-        .percent(dht_agg.success_rate(), 1)
-        .cell(dht_agg.mean_messages(), 1)
-        .cell(0.0, 1)
-        .cell(dht_agg.mean_messages(), 1)
+    t.cell("-")
+        .cell(env.engine)
+        .percent(agg.success_rate(), 1)
+        .cell(agg.mean_messages(), 1)
+        .cell("-")
+        .cell("-")
         .cell("-");
+    bench::emit(t, env,
+                "Hybrid vs DHT-only (paper: hybrid worse under Zipf content)");
+    return 0;
+  }
+
+  // DHT-only baseline does not depend on the cutoff: one pass.
+  sim::TrialAggregate dht_agg;
+  if (run_dht) {
+    const auto dht_engine = sim::make_engine("dht-only", ew);
+    dht_agg = bench::run_engine_sweep(runner, world.queries.size(),
+                                      *dht_engine, make_query);
+  }
+
+  for (const std::size_t cutoff : {1ULL, 5ULL, 20ULL, 50ULL}) {
+    if (run_hybrid) {
+      ew.hybrid.rare_cutoff = cutoff;
+      const auto hybrid_engine = sim::make_engine("hybrid", ew);
+      const sim::TrialAggregate hy = bench::run_engine_sweep(
+          runner, world.queries.size(), *hybrid_engine, make_query,
+          [](const sim::SearchOutcome& r) {
+            const auto* ex = sim::extras_as<sim::HybridExtras>(r);
+            sim::TrialOutcome out;
+            out.success = r.success;
+            out.messages = r.messages;
+            out.extra[0] = ex != nullptr ? ex->flood_messages : 0;
+            out.extra[1] = ex != nullptr ? ex->dht_messages : 0;
+            out.extra[2] = ex != nullptr && ex->used_dht ? 1 : 0;
+            return out;
+          });
+      t.add_row();
+      t.cell(static_cast<std::uint64_t>(cutoff))
+          .cell("hybrid")
+          .percent(hy.success_rate(), 1)
+          .cell(hy.mean_messages(), 1)
+          .cell(hy.mean_extra(0), 1)
+          .cell(hy.mean_extra(1), 1)
+          .percent(hy.mean_extra(2), 1);
+    }
+    if (run_dht) {
+      t.add_row();
+      t.cell(static_cast<std::uint64_t>(cutoff))
+          .cell("dht-only")
+          .percent(dht_agg.success_rate(), 1)
+          .cell(dht_agg.mean_messages(), 1)
+          .cell(0.0, 1)
+          .cell(dht_agg.mean_messages(), 1)
+          .cell("-");
+    }
   }
   bench::emit(t, env,
               "Hybrid vs DHT-only (paper: hybrid worse under Zipf content)");

@@ -64,10 +64,11 @@ int main(int argc, char** argv) {
   Row answerable{"answerable (annotation term)", {}, {}, {}, 0, 0};
   Row mismatch{"mismatched (query-only term)", {}, {}, {}, 0, 0};
 
+  sim::SearchScratch scratch;  // BFS + match buffers, reused across queries
   for (std::uint64_t q = 0; q < num_queries; ++q) {
     const auto src = static_cast<NodeId>(qrng.bounded(nodes));
     {
-      const auto r = qrp.search(src, object_query(), ttl);
+      const auto r = qrp.search(src, object_query(), ttl, scratch);
       answerable.up.add(static_cast<double>(r.up_messages));
       answerable.leaf.add(static_cast<double>(r.leaf_messages));
       answerable.suppressed.add(static_cast<double>(r.leaf_suppressed));
@@ -80,7 +81,7 @@ int main(int argc, char** argv) {
       const std::vector<sim::TermId> missing{
           model.core_lexicon_size() + model.params().tail_lexicon_size +
           static_cast<sim::TermId>(q)};
-      const auto r = qrp.search(src, missing, ttl);
+      const auto r = qrp.search(src, missing, ttl, scratch);
       mismatch.up.add(static_cast<double>(r.up_messages));
       mismatch.leaf.add(static_cast<double>(r.leaf_messages));
       mismatch.suppressed.add(static_cast<double>(r.leaf_suppressed));

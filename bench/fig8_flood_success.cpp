@@ -9,13 +9,14 @@
 //   * at the hybrid-P2P operating point (TTL 3, ~1000+ peers reached)
 //     Zipf success is a few percent while the uniform-0.1% model
 //     predicts ~62% — the flooding phase of hybrid search is broken.
+//
+// The locate sweep runs through the engine registry: --engine picks any
+// registered strategy that answers locate queries (default: flood).
 #include "bench/bench_common.hpp"
 
 #include "src/analysis/rare_queries.hpp"
 #include "src/analysis/replication.hpp"
-#include "src/overlay/topology.hpp"
 #include "src/sim/flood.hpp"
-#include "src/sim/trial_runner.hpp"
 #include "src/util/stats.hpp"
 
 using namespace qcp2p;
@@ -28,21 +29,19 @@ struct SuccessResult {
   double mean_messages = 0.0;
 };
 
-SuccessResult success_rate(const overlay::TwoTierTopology& topo,
+SuccessResult success_rate(const sim::SearchEngine& engine, std::size_t nodes,
                            const sim::Placement& placement, std::uint32_t ttl,
                            std::size_t trials, std::uint64_t seed,
                            std::size_t threads) {
   const sim::TrialRunner runner({threads, seed});
-  const sim::TrialAggregate agg = runner.run(
-      trials, [&] { return sim::FloodEngine(topo.graph); },
-      [&](std::size_t, util::Rng& rng, sim::FloodEngine& engine) {
-        const auto src =
-            static_cast<NodeId>(rng.bounded(topo.graph.num_nodes()));
-        const auto obj = rng.bounded(placement.num_objects());
-        sim::TrialOutcome out;
-        out.success = engine.reaches_any(src, ttl, placement.holders[obj],
-                                         &topo.is_ultrapeer, &out.messages);
-        return out;
+  const sim::TrialAggregate agg = bench::run_engine_sweep(
+      runner, trials, engine, [&](std::size_t t, util::Rng& rng) {
+        sim::Query query;
+        query.source = static_cast<NodeId>(rng.bounded(nodes));
+        query.holders = placement.holders[rng.bounded(placement.num_objects())];
+        query.ttl = ttl;
+        query.trial = t;
+        return query;
       });
   return {agg.success_rate(), agg.mean_messages()};
 }
@@ -64,19 +63,24 @@ int main(int argc, char** argv) {
   // Topology. Default: modern two-tier Gnutella. --topology flat|ba for
   // the DESIGN.md ablation.
   util::Rng topo_rng(env.seed);
-  overlay::TwoTierTopology topo{overlay::Graph(0), {}};
-  if (topology == "two-tier") {
-    overlay::TwoTierParams tp;
-    tp.num_nodes = nodes;
-    topo = overlay::gnutella_two_tier(tp, topo_rng);
-  } else if (topology == "flat") {
-    topo.graph = overlay::random_regular(nodes, 9, topo_rng);
-    topo.is_ultrapeer.assign(nodes, true);
-  } else if (topology == "ba") {
-    topo.graph = overlay::barabasi_albert(nodes, 5, topo_rng);
-    topo.is_ultrapeer.assign(nodes, true);
-  } else {
-    std::cerr << "unknown --topology (two-tier|flat|ba)\n";
+  const overlay::TwoTierTopology topo =
+      bench::build_bench_topology(topology, nodes, topo_rng);
+
+  // Locate engine for the placement sweep (registry-resolved).
+  const std::string engine_name = env.engine.empty() ? "flood" : env.engine;
+  const sim::EngineEntry* entry = sim::find_engine(engine_name);
+  if (entry == nullptr || !entry->can_locate) {
+    std::cerr << "--engine '" << engine_name
+              << "' cannot answer locate (placement) queries\n";
+    return 2;
+  }
+  sim::EngineWorld ew;
+  ew.graph = &topo.graph;
+  ew.forwards = &topo.is_ultrapeer;
+  const auto engine = entry->make(ew);
+  if (engine == nullptr) {
+    std::cerr << "--engine '" << engine_name
+              << "' cannot run in this bench (world lacks what it needs)\n";
     return 2;
   }
 
@@ -87,14 +91,14 @@ int main(int argc, char** argv) {
     util::Table reach({"TTL", "paper reach", "measured reach",
                        "peers reached", "messages"});
     const char* paper_reach[] = {"0.05%", "~1%", "2.5-5%", "26.25%", "82.95%"};
-    sim::FloodEngine engine(topo.graph);
+    sim::FloodEngine flood(topo.graph);
     util::Rng rng(env.seed + 9);
     for (std::uint32_t ttl = 1; ttl <= 5; ++ttl) {
       util::RunningStats coverage, msgs;
       for (int i = 0; i < 200; ++i) {
         const auto src =
             static_cast<NodeId>(rng.bounded(topo.graph.num_nodes()));
-        const sim::FloodResult r = engine.run(src, ttl, &topo.is_ultrapeer);
+        const sim::FloodResult r = flood.run(src, ttl, &topo.is_ultrapeer);
         coverage.add(r.coverage(topo.graph.num_nodes()));
         msgs.add(static_cast<double>(r.messages));
       }
@@ -109,29 +113,8 @@ int main(int argc, char** argv) {
   }
 
   // Placements: uniform copies and crawl-derived Zipf counts.
-  const trace::ContentModel model([&] {
-    bench::BenchEnv crawl_env = env;
-    crawl_env.scale = crawl_scale;
-    return crawl_env.model_params();
-  }());
-  bench::BenchEnv crawl_env = env;
-  crawl_env.scale = crawl_scale;
-  const trace::CrawlSnapshot crawl =
-      generate_gnutella_crawl(model, crawl_env.crawl_params());
-  const auto crawl_counts = crawl.object_replica_counts();
-
-  util::Rng place_rng(env.seed + 1);
-  constexpr std::size_t kObjects = 3'000;
-  const sim::Placement zipf_placement = sim::place_by_counts(
-      sim::sample_replica_counts(crawl_counts, kObjects, place_rng), nodes,
-      place_rng);
-
-  const std::size_t copy_levels[] = {2, 5, 10, 20, 40};
-  std::vector<sim::Placement> uniform_placements;
-  for (std::size_t copies : copy_levels) {
-    uniform_placements.push_back(
-        sim::place_uniform(kObjects / 4, copies, nodes, place_rng));
-  }
+  const bench::ReplicationPlacements placements =
+      bench::build_replication_placements(env, crawl_scale, nodes);
 
   util::Table t({"TTL", "uni 0.005%", "uni 0.0125%", "uni 0.025%",
                  "uni 0.05%", "uni 0.1%", "zipf (measured dist)"});
@@ -139,14 +122,16 @@ int main(int argc, char** argv) {
   for (std::uint32_t ttl = 1; ttl <= 5; ++ttl) {
     t.add_row();
     t.cell(static_cast<std::uint64_t>(ttl));
-    for (std::size_t i = 0; i < uniform_placements.size(); ++i) {
-      const auto r = success_rate(topo, uniform_placements[i], ttl, trials,
+    for (std::size_t i = 0; i < placements.uniform.size(); ++i) {
+      const auto r = success_rate(*engine, topo.graph.num_nodes(),
+                                  placements.uniform[i], ttl, trials,
                                   env.seed + ttl * 10 + i, env.threads);
       t.percent(r.rate, 1);
-      if (i + 1 == uniform_placements.size()) uni40_at_ttl.push_back(r.rate);
+      if (i + 1 == placements.uniform.size()) uni40_at_ttl.push_back(r.rate);
     }
-    const auto z = success_rate(topo, zipf_placement, ttl, trials,
-                                env.seed + ttl, env.threads);
+    const auto z =
+        success_rate(*engine, topo.graph.num_nodes(), placements.zipf, ttl,
+                     trials, env.seed + ttl, env.threads);
     t.percent(z.rate, 1);
     zipf_at_ttl.push_back(z.rate);
   }
@@ -155,12 +140,12 @@ int main(int argc, char** argv) {
   // Mean TTL-3 reach for the analytical model column.
   double reach3 = 0.0;
   {
-    sim::FloodEngine engine(topo.graph);
+    sim::FloodEngine flood(topo.graph);
     util::Rng rng(env.seed + 77);
     for (int i = 0; i < 100; ++i) {
       const auto src = static_cast<NodeId>(rng.bounded(nodes));
       reach3 += static_cast<double>(
-          engine.run(src, 3, &topo.is_ultrapeer).reached.size());
+          flood.run(src, 3, &topo.is_ultrapeer).reached.size());
     }
     reach3 /= 100.0;
   }

@@ -1,0 +1,66 @@
+#include "src/sim/engine.hpp"
+
+#include <algorithm>
+
+namespace qcp2p::sim {
+
+void sort_unique_hits(std::vector<std::uint64_t>& hits) {
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+}
+
+void probe_peers(const PeerStore& store, std::span<const TermId> terms,
+                 std::span<const NodeId> peers, SearchScratch& scratch,
+                 std::vector<std::uint64_t>& hits, std::size_t& peers_probed) {
+  for (NodeId v : peers) {
+    ++peers_probed;
+    const auto matched = store.match(v, terms, scratch.match);
+    hits.insert(hits.end(), matched.begin(), matched.end());
+  }
+}
+
+bool SearchEngine::preflight(const Query&, const FaultSession*) const {
+  return true;
+}
+
+void SearchEngine::begin(const Query&, EngineContext&, SearchOutcome&) const {}
+
+bool SearchEngine::satisfied(const SearchOutcome& out) const {
+  return out.success || !out.hits.empty();
+}
+
+void SearchEngine::escalate(Query& query, const RecoveryPolicy& policy) const {
+  query.ttl += policy.ttl_escalation;
+}
+
+void SearchEngine::finish(const Query&, SearchOutcome& out) const {
+  sort_unique_hits(out.hits);
+  if (!out.hits.empty()) out.success = true;
+}
+
+SearchOutcome SearchEngine::drive(const SearchEngine& engine, Query query,
+                                  EngineContext& ctx, FaultSession* faults,
+                                  const RecoveryPolicy* policy) {
+  // Under faults the plan's crash schedule is the single source of
+  // liveness truth; the decorator path must not mix in a caller mask.
+  if (faults != nullptr) query.online = faults->plan().online_mask();
+  SearchOutcome out;
+  if (!engine.preflight(query, faults)) return out;
+  engine.begin(query, ctx, out);
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    engine.attempt(query, ctx, faults, policy, out);
+    const bool can_retry = faults != nullptr && policy != nullptr &&
+                           engine.retryable() && attempt < policy->max_retries;
+    if (engine.satisfied(out) || !can_retry) break;
+    // Nothing came back: wait out the timeout, back off, widen the query.
+    const double wait = policy->timeout_ms + policy->backoff_after(attempt);
+    faults->charge_wait(wait);
+    out.fault.recovery_wait_ms += wait;
+    ++out.fault.retries;
+    engine.escalate(query, *policy);
+  }
+  engine.finish(query, out);
+  return out;
+}
+
+}  // namespace qcp2p::sim

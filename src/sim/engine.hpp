@@ -1,0 +1,197 @@
+// Unified search-engine contract for the Fig 8 / Section V engine
+// comparisons: one Query, one SearchOutcome, one EngineContext, so every
+// strategy (flood, random walk, Gia, hybrid, DHT-only, QRP) runs under
+// an identical query/measurement harness and new engines plug into every
+// bench and the conformance matrix through the registry alone.
+//
+// Contract:
+//   * A Query describes WHAT is asked (source, conjunctive terms or — for
+//     Fig 8-style placement workloads — a sorted holder set), plus the
+//     per-query knobs (TTL for flood-family engines, step budget for
+//     walk-family engines, optional liveness mask, trial index).
+//   * A SearchOutcome is the engine-independent measurement: hits,
+//     messages, per-hop histogram (flood engines), peers probed, success,
+//     FaultStats, and a small typed `extras` payload for the counters
+//     only one engine family produces (HybridExtras, QrpExtras). The
+//     per-engine result structs (FloodSearchResult, RandomWalkResult,
+//     GiaSearchResult, HybridResult, QrpNetwork::SearchResult) remain the
+//     primitives' return types; SearchOutcome is the view every bench and
+//     conformance test consumes.
+//   * An EngineContext is the per-worker mutable state (SearchScratch +
+//     the trial's rng stream); engines themselves are immutable after
+//     construction and shared read-only across TrialRunner workers.
+//   * Fault injection composes from the OUTSIDE: engines implement the
+//     per-attempt hooks below, and the one shared drive() loop (used by
+//     both the plain path and the with_faults() decorator) owns the
+//     retry / timeout / backoff / escalation schedule. There is exactly
+//     one fault-aware code path per engine.
+//   * Degenerate worlds are defined, not UB: a query against an empty
+//     graph (or an engine whose world lacks content) yields the empty
+//     SearchOutcome.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/overlay/graph.hpp"
+#include "src/sim/fault.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/search_scratch.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+/// One search request. Spans alias caller-owned storage (the bench's
+/// query workload / placement) and must outlive the search call.
+struct Query {
+  NodeId source = 0;
+  /// Conjunctive term query (content search). Ignored in locate mode.
+  std::span<const TermId> terms{};
+  /// Sorted holder node ids (Fig 8 placement workloads). Non-empty
+  /// switches the engine into locate mode: success = any holder found.
+  std::span<const NodeId> holders{};
+  /// Hop budget for the flood-family engines (flood, hybrid, QRP).
+  std::uint32_t ttl = 3;
+  /// Step budget for the walk-family engines (per walker for
+  /// random-walk, total for Gia). 0 = the engine's configured default.
+  std::uint32_t budget = 0;
+  /// Optional liveness mask (plain path). Under with_faults() the
+  /// decorator overwrites this with the plan's crash mask.
+  const std::vector<bool>* online = nullptr;
+  /// Trial index: keys the fault plan's per-message hash stream.
+  std::uint64_t trial = 0;
+
+  [[nodiscard]] bool is_locate() const noexcept { return !holders.empty(); }
+};
+
+/// Counters only the flood+DHT family produces.
+struct HybridExtras {
+  std::uint64_t flood_messages = 0;
+  std::uint64_t dht_messages = 0;
+  bool used_dht = false;
+};
+
+/// Counters only the QRP engine produces.
+struct QrpExtras {
+  std::uint64_t up_messages = 0;      // ultrapeer-tier transmissions
+  std::uint64_t leaf_messages = 0;    // query deliveries to leaves
+  std::uint64_t leaf_suppressed = 0;  // deliveries QRP filtered out
+};
+
+using EngineExtras = std::variant<std::monostate, HybridExtras, QrpExtras>;
+
+/// Engine-independent measurement of one search.
+struct SearchOutcome {
+  /// Matching object ids (content search; sorted, deduplicated) or the
+  /// holder node ids stepped on (walk locate; in visit order).
+  std::vector<std::uint64_t> hits;
+  /// Total transmissions charged (all phases, all retry attempts).
+  std::uint64_t messages = 0;
+  /// Flood engines, content mode: nodes first reached per hop,
+  /// concatenated across retry attempts. Empty for the other engines
+  /// (and for flood locate, which mirrors reaches_any and skips it).
+  std::vector<std::uint64_t> per_hop;
+  std::size_t peers_probed = 0;
+  bool success = false;
+  FaultStats fault;
+  EngineExtras extras;
+};
+
+/// Typed access to the engine-specific payload; nullptr when the
+/// outcome's engine does not produce T.
+template <typename T>
+[[nodiscard]] const T* extras_as(const SearchOutcome& out) noexcept {
+  return std::get_if<T>(&out.extras);
+}
+
+/// Per-worker mutable state: one per TrialRunner shard. `rng` points at
+/// the current trial's stream and is re-seated every trial.
+struct EngineContext {
+  SearchScratch scratch;
+  util::Rng* rng = nullptr;
+};
+
+/// Shared result tail: sorts + deduplicates a hit list accumulated
+/// across peers (and across retry attempts).
+void sort_unique_hits(std::vector<std::uint64_t>& hits);
+
+/// Shared probe stage: matches each peer against the store, appending
+/// its hits and counting it as probed.
+void probe_peers(const PeerStore& store, std::span<const TermId> terms,
+                 std::span<const NodeId> peers, SearchScratch& scratch,
+                 std::vector<std::uint64_t>& hits, std::size_t& peers_probed);
+
+/// A search strategy. Instances are immutable after construction and
+/// shared read-only across workers; all per-query state lives in the
+/// EngineContext and the outcome.
+///
+/// Engines implement the protected per-attempt hooks; the one drive()
+/// loop sequences them — identically for the plain path (search()) and
+/// the fault-injected path (with_faults() in fault_decorator.hpp), which
+/// is the only place retries, timeouts, backoff, and escalation happen.
+class SearchEngine {
+ public:
+  virtual ~SearchEngine() = default;
+
+  /// Registry name ("flood", "random-walk", ...).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// True when the engine supports locate (holder-placement) queries.
+  [[nodiscard]] virtual bool can_locate() const noexcept { return false; }
+
+  /// Plain (fault-free) search. The decorator overrides this; concrete
+  /// engines implement the hooks instead.
+  [[nodiscard]] virtual SearchOutcome search(const Query& query,
+                                             EngineContext& ctx) const {
+    return drive(*this, query, ctx, nullptr, nullptr);
+  }
+
+ protected:
+  /// False aborts the search with the empty outcome (offline source,
+  /// empty world, empty query where the engine defines that as a no-op).
+  [[nodiscard]] virtual bool preflight(const Query& query,
+                                       const FaultSession* faults) const;
+
+  /// Runs once before the attempt loop (e.g. flood's fault-free local
+  /// probe, charged exactly once regardless of retries).
+  virtual void begin(const Query& query, EngineContext& ctx,
+                     SearchOutcome& out) const;
+
+  /// One attempt, ACCUMULATING into `out`. `faults`/`policy` are null on
+  /// the plain path; engines thread them into their primitives.
+  virtual void attempt(const Query& query, EngineContext& ctx,
+                       FaultSession* faults, const RecoveryPolicy* policy,
+                       SearchOutcome& out) const = 0;
+
+  /// Retry predicate: default "found anything" (success flag or hits).
+  [[nodiscard]] virtual bool satisfied(const SearchOutcome& out) const;
+
+  /// False opts out of decorator-level retries (hybrid and dht-only:
+  /// their recovery lives inside the attempt — the DHT fallback and
+  /// Chord's route-around respectively).
+  [[nodiscard]] virtual bool retryable() const noexcept { return true; }
+
+  /// Widens the query before a retry. Default: expanding-ring TTL
+  /// escalation (flood family); walk engines override to scale `budget`.
+  virtual void escalate(Query& query, const RecoveryPolicy& policy) const;
+
+  /// Result tail after the attempt loop. Default: sort/dedup hits and
+  /// derive success from them; engines with bespoke success (Gia) or
+  /// undeduplicated hits (walk locate) override.
+  virtual void finish(const Query& query, SearchOutcome& out) const;
+
+  /// The one attempt/retry loop. Static so the decorator (and engines
+  /// composing other engines, e.g. hybrid's flood phase) can drive any
+  /// engine's protected hooks.
+  [[nodiscard]] static SearchOutcome drive(const SearchEngine& engine,
+                                           Query query, EngineContext& ctx,
+                                           FaultSession* faults,
+                                           const RecoveryPolicy* policy);
+
+  friend class FaultInjectedEngine;
+};
+
+}  // namespace qcp2p::sim

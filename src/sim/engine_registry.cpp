@@ -1,0 +1,27 @@
+#include "src/sim/engine_registry.hpp"
+
+namespace qcp2p::sim {
+
+const EngineEntry* find_engine(std::string_view name) {
+  for (const EngineEntry& entry : kEngineRegistry) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<SearchEngine> make_engine(std::string_view name,
+                                          const EngineWorld& world) {
+  const EngineEntry* entry = find_engine(name);
+  return entry == nullptr ? nullptr : entry->make(world);
+}
+
+std::string engine_names() {
+  std::string names;
+  for (const EngineEntry& entry : kEngineRegistry) {
+    if (!names.empty()) names += ", ";
+    names += entry.name;
+  }
+  return names;
+}
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,86 @@
+// Compile-time engine registry: the one place a search strategy is
+// named. Benches resolve `--engine=<name>` here, exp_fault_tolerance
+// sweeps every constructible engine from here, and the conformance suite
+// iterates the same table — so registering an engine (one kEngineRegistry
+// row + a detail:: factory) is the only step needed for it to appear in
+// every sweep and every conformance case.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/sim/dht.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/gia.hpp"
+#include "src/sim/hybrid.hpp"
+#include "src/sim/qrp.hpp"
+#include "src/sim/random_walk.hpp"
+
+namespace qcp2p::sim {
+
+/// Everything a factory may wire an engine to. Pointers are borrowed
+/// (the bench owns the world) and may be null: a factory whose pieces
+/// are missing returns nullptr, and the sweeps simply skip that engine.
+struct EngineWorld {
+  const Graph* graph = nullptr;
+  const PeerStore* store = nullptr;
+  /// Forwarding mask for the flood family (ultrapeers relay, leaves
+  /// don't). Null = everyone forwards.
+  const std::vector<bool>* forwards = nullptr;
+  const ChordDht* dht = nullptr;
+  const GiaNetwork* gia = nullptr;
+  const QrpNetwork* qrp = nullptr;
+  RandomWalkParams walk{};
+  GiaSearchParams gia_search{};
+  HybridParams hybrid{};
+};
+
+namespace detail {
+// Defined in each engine's .cpp next to the primitives they adapt.
+std::unique_ptr<SearchEngine> make_flood_engine(const EngineWorld& world);
+std::unique_ptr<SearchEngine> make_walk_engine(const EngineWorld& world);
+std::unique_ptr<SearchEngine> make_gia_engine(const EngineWorld& world);
+std::unique_ptr<SearchEngine> make_hybrid_engine(const EngineWorld& world);
+std::unique_ptr<SearchEngine> make_dht_only_engine(const EngineWorld& world);
+std::unique_ptr<SearchEngine> make_qrp_engine(const EngineWorld& world);
+}  // namespace detail
+
+using EngineFactory = std::unique_ptr<SearchEngine> (*)(const EngineWorld&);
+
+struct EngineEntry {
+  std::string_view name;
+  /// Whether the engine answers locate (holder-placement) queries; the
+  /// placement benches reject engines that don't.
+  bool can_locate;
+  EngineFactory make;
+};
+
+/// Row order is presentation order: the engine sweeps print rows in
+/// registry order, so appending here appends to every table.
+inline constexpr EngineEntry kEngineRegistry[] = {
+    {"flood", true, &detail::make_flood_engine},
+    {"random-walk", true, &detail::make_walk_engine},
+    {"gia", true, &detail::make_gia_engine},
+    {"hybrid", false, &detail::make_hybrid_engine},
+    {"dht-only", false, &detail::make_dht_only_engine},
+    {"qrp", false, &detail::make_qrp_engine},
+};
+
+[[nodiscard]] constexpr std::span<const EngineEntry> engine_registry() {
+  return kEngineRegistry;
+}
+
+/// nullptr when no engine is registered under `name`.
+[[nodiscard]] const EngineEntry* find_engine(std::string_view name);
+
+/// Builds the named engine against `world`; nullptr when the name is
+/// unknown or the world lacks the pieces the engine needs.
+[[nodiscard]] std::unique_ptr<SearchEngine> make_engine(
+    std::string_view name, const EngineWorld& world);
+
+/// "flood, random-walk, ..." — for --engine error messages and docs.
+[[nodiscard]] std::string engine_names();
+
+}  // namespace qcp2p::sim

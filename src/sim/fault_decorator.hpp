@@ -1,0 +1,60 @@
+// Composable fault injection: with_faults(engine, plan, policy) wraps ANY
+// SearchEngine so the wrapped search runs under the plan's loss / jitter /
+// crash schedule with the policy's timeout / retry / backoff / escalation
+// recovery. This decorator is the only fault-aware search path: engines
+// implement per-attempt hooks once and never see retry logic.
+//
+// Inert plans (no loss, no jitter, no crash mask) reproduce the plain
+// path bit-for-bit — same hits, messages, probes, and rng stream — which
+// the conformance suite asserts for every registered engine.
+#pragma once
+
+#include <memory>
+
+#include "src/sim/engine.hpp"
+#include "src/sim/fault.hpp"
+
+namespace qcp2p::sim {
+
+/// Decorates an engine with a fault plan + recovery policy. Holds the
+/// inner engine and plan by reference: both must outlive the decorator.
+/// Stateless per query (a fresh FaultSession is keyed off query.trial),
+/// so one decorator is shared read-only across TrialRunner workers.
+class FaultInjectedEngine final : public SearchEngine {
+ public:
+  FaultInjectedEngine(const SearchEngine& inner, const FaultPlan& plan,
+                      RecoveryPolicy policy) noexcept
+      : inner_(&inner), plan_(&plan), policy_(policy) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return inner_->name();
+  }
+  [[nodiscard]] bool can_locate() const noexcept override {
+    return inner_->can_locate();
+  }
+
+  [[nodiscard]] SearchOutcome search(const Query& query,
+                                     EngineContext& ctx) const override {
+    FaultSession faults(*plan_, query.trial);
+    return drive(*inner_, query, ctx, &faults, &policy_);
+  }
+
+ protected:
+  // Never reached: search() drives the INNER engine's hooks.
+  void attempt(const Query&, EngineContext&, FaultSession*,
+               const RecoveryPolicy*, SearchOutcome&) const override {}
+
+ private:
+  const SearchEngine* inner_;
+  const FaultPlan* plan_;
+  RecoveryPolicy policy_;
+};
+
+/// Convenience factory mirroring the ISSUE's decorator spelling.
+[[nodiscard]] inline FaultInjectedEngine with_faults(const SearchEngine& engine,
+                                                     const FaultPlan& plan,
+                                                     RecoveryPolicy policy) {
+  return FaultInjectedEngine(engine, plan, policy);
+}
+
+}  // namespace qcp2p::sim

@@ -1,15 +1,13 @@
 #include "src/sim/flood.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "src/sim/engine_registry.hpp"
 
 namespace qcp2p::sim {
-namespace {
 
-/// BFS core shared by every flood entry point. Fills scratch.reached
-/// (nodes that received the query, excluding the source) and charges
-/// `messages`/`dropped`; the per-hop histogram is materialized only when
-/// a caller asks for it.
-void flood_core(const Graph& graph, NodeId source, std::uint32_t ttl,
+void flood_into(const Graph& graph, NodeId source, std::uint32_t ttl,
                 const std::vector<bool>* forwards,
                 const std::vector<bool>* online, FaultSession* faults,
                 SearchScratch& scratch, std::uint64_t& messages,
@@ -71,28 +69,6 @@ void flood_core(const Graph& graph, NodeId source, std::uint32_t ttl,
   }
 }
 
-/// Shared probe stage of the flood_search overloads: match every peer
-/// and append its hits.
-void probe_peers(const PeerStore& store, std::span<const TermId> query,
-                 std::span<const NodeId> peers, SearchScratch& scratch,
-                 FloodSearchResult& out) {
-  for (NodeId v : peers) {
-    ++out.peers_probed;
-    const auto hits = store.match(v, query, scratch.match);
-    out.results.insert(out.results.end(), hits.begin(), hits.end());
-  }
-}
-
-/// Shared result tail: deduplicate hits collected across peers (and
-/// across retry attempts).
-void finish_results(FloodSearchResult& out) {
-  std::sort(out.results.begin(), out.results.end());
-  out.results.erase(std::unique(out.results.begin(), out.results.end()),
-                    out.results.end());
-}
-
-}  // namespace
-
 FloodResult flood(const Graph& graph, NodeId source, std::uint32_t ttl,
                   const std::vector<bool>* forwards,
                   const std::vector<bool>* online) {
@@ -109,7 +85,7 @@ FloodResult FloodEngine::run(NodeId source, std::uint32_t ttl,
                              const std::vector<bool>* online,
                              FaultSession* faults) {
   FloodResult result;
-  flood_core(*graph_, source, ttl, forwards, online, faults, scratch_,
+  flood_into(*graph_, source, ttl, forwards, online, faults, scratch_,
              result.messages, result.dropped, &result.per_hop);
   result.reached.assign(scratch_.reached.begin(), scratch_.reached.end());
   return result;
@@ -131,7 +107,7 @@ bool FloodEngine::reaches_any(NodeId source, std::uint32_t ttl,
   }
   std::uint64_t messages = 0;
   std::uint64_t dropped = 0;
-  flood_core(*graph_, source, ttl, forwards, online, nullptr, scratch_,
+  flood_into(*graph_, source, ttl, forwards, online, nullptr, scratch_,
              messages, dropped, nullptr);
   if (messages_out) *messages_out = messages;
   for (NodeId v : scratch_.reached) {
@@ -146,16 +122,17 @@ FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
                                const std::vector<bool>* forwards,
                                const std::vector<bool>* online) {
   FloodSearchResult out;
-  flood_core(graph, source, ttl, forwards, online, nullptr, scratch,
+  flood_into(graph, source, ttl, forwards, online, nullptr, scratch,
              out.messages, out.fault.dropped, nullptr);
   // Local check first, as real servents do — unless the source itself is
   // offline (then nothing is probed; the flood was already empty).
   if (online == nullptr || (*online)[source]) {
     const NodeId self[1] = {source};
-    probe_peers(store, query, self, scratch, out);
+    probe_peers(store, query, self, scratch, out.results, out.peers_probed);
   }
-  probe_peers(store, query, scratch.reached, scratch, out);
-  finish_results(out);
+  probe_peers(store, query, scratch.reached, scratch, out.results,
+              out.peers_probed);
+  sort_unique_hits(out.results);
   return out;
 }
 
@@ -169,47 +146,82 @@ FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
                       online);
 }
 
-FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
-                               NodeId source, std::span<const TermId> query,
-                               std::uint32_t ttl, SearchScratch& scratch,
-                               FaultSession& faults,
-                               const RecoveryPolicy& policy,
-                               const std::vector<bool>* forwards) {
-  FloodSearchResult out;
-  const std::vector<bool>* online = faults.plan().online_mask();
-  if (online != nullptr && !(*online)[source]) return out;
+namespace {
 
-  // The local check is free, fault-free, and yields the same hits on
-  // every attempt: probe (and count) the source exactly once.
-  const NodeId self[1] = {source};
-  probe_peers(store, query, self, scratch, out);
+/// Registry adapter over flood_into: locate queries mirror
+/// FloodEngine::reaches_any, content queries mirror flood_search. The
+/// source's local check is fault-free and attempt-independent, so begin()
+/// handles it exactly once; each attempt floods and harvests the ring.
+class FloodSearchEngine final : public SearchEngine {
+ public:
+  FloodSearchEngine(const Graph& graph, const PeerStore* store,
+                    const std::vector<bool>* forwards) noexcept
+      : graph_(&graph), store_(store), forwards_(forwards) {}
 
-  std::uint32_t attempt_ttl = ttl;
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    flood_core(graph, source, attempt_ttl, forwards, online, &faults, scratch,
-               out.messages, out.fault.dropped, nullptr);
-    probe_peers(store, query, scratch.reached, scratch, out);
-    if (!out.results.empty() || attempt >= policy.max_retries) break;
-    // Nothing came back: wait out the timeout, back off, widen the ring.
-    const double wait = policy.timeout_ms + policy.backoff_after(attempt);
-    faults.charge_wait(wait);
-    out.fault.recovery_wait_ms += wait;
-    ++out.fault.retries;
-    attempt_ttl += policy.ttl_escalation;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "flood";
+  }
+  [[nodiscard]] bool can_locate() const noexcept override { return true; }
+
+ protected:
+  bool preflight(const Query& query, const FaultSession*) const override {
+    if (graph_->num_nodes() == 0) return false;
+    if (!query.is_locate() && store_ == nullptr) return false;
+    // An offline source issues nothing (and is not probed locally).
+    return query.online == nullptr || (*query.online)[query.source];
   }
 
-  finish_results(out);
-  return out;
+  void begin(const Query& query, EngineContext& ctx,
+             SearchOutcome& out) const override {
+    if (query.is_locate()) {
+      // A node already holding the object needs no search at all.
+      if (std::binary_search(query.holders.begin(), query.holders.end(),
+                             query.source)) {
+        out.success = true;
+      }
+      return;
+    }
+    const NodeId self[1] = {query.source};
+    probe_peers(*store_, query.terms, self, ctx.scratch, out.hits,
+                out.peers_probed);
+  }
+
+  void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
+               const RecoveryPolicy*, SearchOutcome& out) const override {
+    if (out.success) return;  // locate satisfied by the source's own copy
+    flood_into(*graph_, query.source, query.ttl, forwards_, query.online,
+               faults, ctx.scratch, out.messages, out.fault.dropped,
+               query.is_locate() ? nullptr : &out.per_hop);
+    if (query.is_locate()) {
+      for (NodeId v : ctx.scratch.reached) {
+        if (std::binary_search(query.holders.begin(), query.holders.end(),
+                               v)) {
+          out.success = true;
+          break;
+        }
+      }
+      return;
+    }
+    probe_peers(*store_, query.terms, ctx.scratch.reached, ctx.scratch,
+                out.hits, out.peers_probed);
+  }
+
+ private:
+  const Graph* graph_;
+  const PeerStore* store_;
+  const std::vector<bool>* forwards_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<SearchEngine> make_flood_engine(const EngineWorld& world) {
+  if (world.graph == nullptr) return nullptr;
+  return std::make_unique<FloodSearchEngine>(*world.graph, world.store,
+                                             world.forwards);
 }
 
-FloodSearchResult flood_search(const Graph& graph, const PeerStore& store,
-                               NodeId source, std::span<const TermId> query,
-                               std::uint32_t ttl, FaultSession& faults,
-                               const RecoveryPolicy& policy,
-                               const std::vector<bool>* forwards) {
-  SearchScratch scratch;
-  return flood_search(graph, store, source, query, ttl, scratch, faults,
-                      policy, forwards);
-}
+}  // namespace detail
 
 }  // namespace qcp2p::sim

@@ -37,6 +37,17 @@ struct FloodResult {
   }
 };
 
+/// BFS core shared by every flood entry point (and by QRP's relay tier):
+/// fills scratch.reached with the nodes that received the query
+/// (excluding the source) and charges `messages`/`dropped`; the per-hop
+/// histogram is materialized only when a caller asks for it. Offline
+/// sources and TTL 0 reach nothing.
+void flood_into(const Graph& graph, NodeId source, std::uint32_t ttl,
+                const std::vector<bool>* forwards,
+                const std::vector<bool>* online, FaultSession* faults,
+                SearchScratch& scratch, std::uint64_t& messages,
+                std::uint64_t& dropped, std::vector<std::uint64_t>* per_hop);
+
 /// Pure coverage flood (no content): BFS to `ttl` hops.
 /// @param forwards  optional predicate "node may forward" (two-tier
 ///                  leaves return false); the source always sends.
@@ -110,25 +121,8 @@ struct FloodSearchResult {
     const std::vector<bool>* forwards = nullptr,
     const std::vector<bool>* online = nullptr);
 
-/// Fault-injected flood search with recovery: messages may be dropped in
-/// flight and offline peers (the session's plan mask) neither receive nor
-/// relay. An attempt that yields no results charges policy.timeout_ms and
-/// is re-issued with the TTL escalated by policy.ttl_escalation, up to
-/// policy.max_retries times (expanding-ring recovery). The source's
-/// local check is fault-free and independent of the attempt, so it is
-/// probed (and counted in peers_probed) exactly once. With an inert
-/// session and max_retries 0 this reproduces flood_search bit-for-bit.
-[[nodiscard]] FloodSearchResult flood_search(
-    const Graph& graph, const PeerStore& store, NodeId source,
-    std::span<const TermId> query, std::uint32_t ttl, FaultSession& faults,
-    const RecoveryPolicy& policy,
-    const std::vector<bool>* forwards = nullptr);
-
-/// Zero-allocation variant of the fault-injected search.
-[[nodiscard]] FloodSearchResult flood_search(
-    const Graph& graph, const PeerStore& store, NodeId source,
-    std::span<const TermId> query, std::uint32_t ttl, SearchScratch& scratch,
-    FaultSession& faults, const RecoveryPolicy& policy,
-    const std::vector<bool>* forwards = nullptr);
+// Fault-injected flood search lives behind the engine layer: wrap the
+// registry's "flood" engine in with_faults() (see fault_decorator.hpp)
+// for expanding-ring recovery under loss/churn.
 
 }  // namespace qcp2p::sim

@@ -2,39 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "src/sim/engine_registry.hpp"
 
 namespace qcp2p::sim {
-namespace {
-
-/// Attempt loop shared by the fault-injected search/locate entry points.
-template <typename Attempt>
-GiaSearchResult run_with_recovery(const GiaSearchParams& params,
-                                  FaultSession& faults,
-                                  const RecoveryPolicy& policy,
-                                  Attempt attempt_fn) {
-  GiaSearchResult out;
-  GiaSearchParams attempt_params = params;
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    const GiaSearchResult r = attempt_fn(attempt_params);
-    out.messages += r.messages;
-    out.peers_probed += r.peers_probed;
-    out.fault.dropped += r.fault.dropped;
-    out.results.insert(out.results.end(), r.results.begin(), r.results.end());
-    out.success = out.success || r.success;
-    if (out.success || attempt >= policy.max_retries) break;
-    const double wait = policy.timeout_ms + policy.backoff_after(attempt);
-    faults.charge_wait(wait);
-    out.fault.recovery_wait_ms += wait;
-    ++out.fault.retries;
-    const double scaled = std::ceil(static_cast<double>(attempt_params.max_steps) *
-                                    policy.budget_escalation);
-    attempt_params.max_steps = static_cast<std::uint32_t>(
-        std::min(scaled, double{1u << 20}));
-  }
-  return out;
-}
-
-}  // namespace
 
 GiaNetwork::GiaNetwork(overlay::GiaTopology topology, PeerStore store)
     : topology_(std::move(topology)), store_(std::move(store)) {}
@@ -137,29 +109,6 @@ GiaSearchResult GiaNetwork::search(NodeId source,
   return search_once(source, query, params, rng, nullptr, scratch);
 }
 
-GiaSearchResult GiaNetwork::search(NodeId source, std::span<const TermId> query,
-                                   const GiaSearchParams& params,
-                                   util::Rng& rng, FaultSession& faults,
-                                   const RecoveryPolicy& policy) const {
-  SearchScratch scratch;
-  return search(source, query, params, rng, scratch, faults, policy);
-}
-
-GiaSearchResult GiaNetwork::search(NodeId source, std::span<const TermId> query,
-                                   const GiaSearchParams& params,
-                                   util::Rng& rng, SearchScratch& scratch,
-                                   FaultSession& faults,
-                                   const RecoveryPolicy& policy) const {
-  GiaSearchResult out = run_with_recovery(
-      params, faults, policy, [&](const GiaSearchParams& p) {
-        return search_once(source, query, p, rng, &faults, scratch);
-      });
-  std::sort(out.results.begin(), out.results.end());
-  out.results.erase(std::unique(out.results.begin(), out.results.end()),
-                    out.results.end());
-  return out;
-}
-
 GiaSearchResult GiaNetwork::locate_once(NodeId source,
                                         std::span<const NodeId> holders,
                                         const GiaSearchParams& params,
@@ -219,16 +168,74 @@ GiaSearchResult GiaNetwork::locate(NodeId source,
   return locate_once(source, holders, params, rng, nullptr);
 }
 
-GiaSearchResult GiaNetwork::locate(NodeId source,
-                                   std::span<const NodeId> holders,
-                                   const GiaSearchParams& params,
-                                   util::Rng& rng, FaultSession& faults,
-                                   const RecoveryPolicy& policy) const {
-  return run_with_recovery(params, faults, policy,
-                           [&](const GiaSearchParams& p) {
-                             return locate_once(source, holders, p, rng,
-                                                &faults);
-                           });
+namespace {
+
+/// Registry adapter over search_once/locate_once. Gia's success is NOT
+/// "found any hit": a content search succeeds only when an attempt met
+/// its stop_after_results target, so satisfied()/finish() preserve the
+/// per-attempt success flag instead of deriving one from the hit list.
+class GiaEngine final : public SearchEngine {
+ public:
+  GiaEngine(const GiaNetwork& net, const GiaSearchParams& params) noexcept
+      : net_(&net), params_(params) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "gia";
+  }
+  [[nodiscard]] bool can_locate() const noexcept override { return true; }
+
+ protected:
+  bool preflight(const Query&, const FaultSession*) const override {
+    return net_->graph().num_nodes() != 0;
+  }
+
+  void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
+               const RecoveryPolicy*, SearchOutcome& out) const override {
+    GiaSearchParams p = params_;
+    if (query.budget != 0) p.max_steps = query.budget;
+    const GiaSearchResult r =
+        query.is_locate()
+            ? net_->locate_once(query.source, query.holders, p, *ctx.rng,
+                                faults)
+            : net_->search_once(query.source, query.terms, p, *ctx.rng, faults,
+                                ctx.scratch);
+    out.messages += r.messages;
+    out.peers_probed += r.peers_probed;
+    out.fault.dropped += r.fault.dropped;
+    out.hits.insert(out.hits.end(), r.results.begin(), r.results.end());
+    out.success = out.success || r.success;
+  }
+
+  bool satisfied(const SearchOutcome& out) const override {
+    return out.success;
+  }
+
+  void escalate(Query& query, const RecoveryPolicy& policy) const override {
+    const auto base = static_cast<double>(
+        query.budget != 0 ? query.budget : params_.max_steps);
+    const double scaled = std::ceil(base * policy.budget_escalation);
+    query.budget =
+        static_cast<std::uint32_t>(std::min(scaled, double{1u << 20}));
+  }
+
+  void finish(const Query&, SearchOutcome& out) const override {
+    sort_unique_hits(out.hits);  // success stays as the attempts left it
+  }
+
+ private:
+  const GiaNetwork* net_;
+  GiaSearchParams params_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<SearchEngine> make_gia_engine(const EngineWorld& world) {
+  if (world.gia == nullptr) return nullptr;
+  return std::make_unique<GiaEngine>(*world.gia, world.gia_search);
 }
+
+}  // namespace detail
 
 }  // namespace qcp2p::sim

@@ -85,35 +85,12 @@ class GiaNetwork {
                                        const GiaSearchParams& params,
                                        util::Rng& rng) const;
 
-  // Fault-injected variants: dropped or dead-peer steps burn walk budget
-  // in place; an empty attempt times out, backs off, escalates max_steps
-  // by policy.budget_escalation, and re-walks, up to policy.max_retries.
-  // With an inert session and max_retries 0 these reproduce the fault-free
-  // variants bit-for-bit (identical rng draws).
+  // Single-attempt primitives: one walk under an optional fault stream
+  // (dropped or dead-peer steps burn walk budget in place). These are
+  // the building blocks of the registry's "gia" engine; wrap that engine
+  // in with_faults() (see fault_decorator.hpp) for timeout / retry /
+  // budget-escalation recovery.
 
-  [[nodiscard]] GiaSearchResult search(NodeId source,
-                                       std::span<const TermId> query,
-                                       const GiaSearchParams& params,
-                                       util::Rng& rng, FaultSession& faults,
-                                       const RecoveryPolicy& policy) const;
-
-  /// Zero-allocation variant of the fault-injected search.
-  [[nodiscard]] GiaSearchResult search(NodeId source,
-                                       std::span<const TermId> query,
-                                       const GiaSearchParams& params,
-                                       util::Rng& rng, SearchScratch& scratch,
-                                       FaultSession& faults,
-                                       const RecoveryPolicy& policy) const;
-
-  [[nodiscard]] GiaSearchResult locate(NodeId source,
-                                       std::span<const NodeId> holders,
-                                       const GiaSearchParams& params,
-                                       util::Rng& rng, FaultSession& faults,
-                                       const RecoveryPolicy& policy) const;
-
- private:
-  [[nodiscard]] NodeId biased_step(NodeId at, double bias,
-                                   util::Rng& rng) const;
   [[nodiscard]] GiaSearchResult search_once(NodeId source,
                                             std::span<const TermId> query,
                                             const GiaSearchParams& params,
@@ -125,6 +102,10 @@ class GiaNetwork {
                                             const GiaSearchParams& params,
                                             util::Rng& rng,
                                             FaultSession* faults) const;
+
+ private:
+  [[nodiscard]] NodeId biased_step(NodeId at, double bias,
+                                   util::Rng& rng) const;
 
   overlay::GiaTopology topology_;
   PeerStore store_;

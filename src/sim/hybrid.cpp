@@ -1,7 +1,10 @@
 #include "src/sim/hybrid.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
+
+#include "src/sim/engine_registry.hpp"
 
 namespace qcp2p::sim {
 namespace {
@@ -116,60 +119,138 @@ HybridResult dht_only_search(const ChordDht& dht, NodeId source,
   return out;
 }
 
-HybridResult hybrid_search(const Graph& graph, const PeerStore& store,
-                           const ChordDht& dht, NodeId source,
-                           std::span<const TermId> query,
-                           const HybridParams& params, FaultSession& faults,
-                           const RecoveryPolicy& policy,
-                           const std::vector<bool>* forwards) {
-  SearchScratch scratch;
-  return hybrid_search(graph, store, dht, source, query, params, scratch,
-                       faults, policy, forwards);
-}
+namespace {
 
-HybridResult hybrid_search(const Graph& graph, const PeerStore& store,
-                           const ChordDht& dht, NodeId source,
-                           std::span<const TermId> query,
-                           const HybridParams& params, SearchScratch& scratch,
-                           FaultSession& faults, const RecoveryPolicy& policy,
-                           const std::vector<bool>* forwards) {
-  HybridResult out;
-  if (query.empty()) return out;
-  if (!faults.online(source)) return out;
-
-  // Single-shot flood: a thin flood result falls through to the DHT
-  // anyway, so the structured phase is this phase's recovery path.
-  RecoveryPolicy flood_policy = policy;
-  flood_policy.max_retries = 0;
-  const FloodSearchResult fr =
-      flood_search(graph, store, source, query, params.flood_ttl, scratch,
-                   faults, flood_policy, forwards);
-  out.flood_messages = fr.messages;
-  out.results = fr.results;
-  out.fault.merge(fr.fault);
-
-  if (out.results.size() < params.rare_cutoff) {
-    HybridResult dht_out;
-    dht_phase(dht, source, query, dht_out, faults, policy);
-    out.dht_messages = dht_out.dht_messages;
-    out.used_dht = true;
-    out.fault.merge(dht_out.fault);
-    out.results.insert(out.results.end(), dht_out.results.begin(),
-                       dht_out.results.end());
-    merge_flood_then_dht(out);
+/// Registry adapter for the hybrid pipeline. The flood phase is the
+/// registry's flood engine driven as a sub-engine (single-shot under
+/// faults: the DHT fallback IS its recovery), so hybrid itself opts out
+/// of decorator-level retries via retryable() = false — its recovery is
+/// structural, not attempt-based.
+class HybridEngine final : public SearchEngine {
+ public:
+  HybridEngine(const Graph& graph, const PeerStore& store, const ChordDht& dht,
+               const HybridParams& params, const std::vector<bool>* forwards)
+      : graph_(&graph), dht_(&dht), params_(params) {
+    EngineWorld flood_world;
+    flood_world.graph = &graph;
+    flood_world.store = &store;
+    flood_world.forwards = forwards;
+    flood_ = detail::make_flood_engine(flood_world);
   }
-  return out;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "hybrid";
+  }
+
+ protected:
+  bool preflight(const Query& query, const FaultSession*) const override {
+    if (graph_->num_nodes() == 0 || query.terms.empty()) return false;
+    return query.online == nullptr || (*query.online)[query.source];
+  }
+
+  bool retryable() const noexcept override { return false; }
+
+  void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
+               const RecoveryPolicy* policy, SearchOutcome& out) const override {
+    // Single-shot flood: a thin flood result falls through to the DHT
+    // anyway, so the structured phase is this phase's recovery path.
+    RecoveryPolicy flood_policy;
+    if (policy != nullptr) {
+      flood_policy = *policy;
+      flood_policy.max_retries = 0;
+    }
+    SearchOutcome fr = drive(*flood_, query, ctx, faults,
+                             policy != nullptr ? &flood_policy : nullptr);
+    out.hits = std::move(fr.hits);
+    out.messages += fr.messages;
+    out.per_hop = std::move(fr.per_hop);
+    out.peers_probed += fr.peers_probed;
+    out.fault.merge(fr.fault);
+    HybridExtras extras{fr.messages, 0, false};
+
+    if (out.hits.size() < params_.rare_cutoff) {
+      // Rare query: re-issue through the structured index (keep any
+      // flood results; the DHT adds the rest).
+      HybridResult dht_out;
+      if (faults != nullptr && policy != nullptr) {
+        dht_phase(*dht_, query.source, query.terms, dht_out, *faults, *policy);
+      } else {
+        dht_phase(*dht_, query.source, query.terms, dht_out, query.online);
+      }
+      out.messages += dht_out.dht_messages;
+      out.fault.merge(dht_out.fault);
+      out.hits.insert(out.hits.end(), dht_out.results.begin(),
+                      dht_out.results.end());
+      sort_unique_hits(out.hits);
+      extras.dht_messages = dht_out.dht_messages;
+      extras.used_dht = true;
+    }
+    out.extras = extras;
+  }
+
+ private:
+  const Graph* graph_;
+  const ChordDht* dht_;
+  HybridParams params_;
+  std::unique_ptr<SearchEngine> flood_;
+};
+
+/// Registry adapter for the pure-DHT baseline: same keyword lookup, no
+/// flood phase. Recovery is Chord's own (per-term retries + successor
+/// route-around inside search_term), so no decorator-level retries.
+class DhtOnlyEngine final : public SearchEngine {
+ public:
+  explicit DhtOnlyEngine(const ChordDht& dht) noexcept : dht_(&dht) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "dht-only";
+  }
+
+ protected:
+  bool preflight(const Query& query, const FaultSession*) const override {
+    if (query.terms.empty()) return false;
+    return query.online == nullptr || (*query.online)[query.source];
+  }
+
+  bool retryable() const noexcept override { return false; }
+
+  void attempt(const Query& query, EngineContext&, FaultSession* faults,
+               const RecoveryPolicy* policy, SearchOutcome& out) const override {
+    HybridResult dht_out;
+    if (faults != nullptr && policy != nullptr) {
+      dht_phase(*dht_, query.source, query.terms, dht_out, *faults, *policy);
+    } else {
+      dht_phase(*dht_, query.source, query.terms, dht_out, query.online);
+    }
+    out.messages += dht_out.dht_messages;
+    out.fault.merge(dht_out.fault);
+    out.hits.insert(out.hits.end(), dht_out.results.begin(),
+                    dht_out.results.end());
+    out.extras = HybridExtras{0, dht_out.dht_messages, true};
+  }
+
+ private:
+  const ChordDht* dht_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<SearchEngine> make_hybrid_engine(const EngineWorld& world) {
+  if (world.graph == nullptr || world.store == nullptr ||
+      world.dht == nullptr) {
+    return nullptr;
+  }
+  return std::make_unique<HybridEngine>(*world.graph, *world.store, *world.dht,
+                                        world.hybrid, world.forwards);
 }
 
-HybridResult dht_only_search(const ChordDht& dht, NodeId source,
-                             std::span<const TermId> query,
-                             FaultSession& faults,
-                             const RecoveryPolicy& policy) {
-  HybridResult out;
-  if (query.empty()) return out;
-  if (!faults.online(source)) return out;
-  dht_phase(dht, source, query, out, faults, policy);
-  return out;
+std::unique_ptr<SearchEngine> make_dht_only_engine(const EngineWorld& world) {
+  if (world.dht == nullptr) return nullptr;
+  return std::make_unique<DhtOnlyEngine>(*world.dht);
 }
+
+}  // namespace detail
 
 }  // namespace qcp2p::sim

@@ -67,28 +67,10 @@ struct HybridResult {
     const ChordDht& dht, NodeId source, std::span<const TermId> query,
     const std::vector<bool>* online = nullptr);
 
-// Fault-injected variants. The flood phase runs single-shot (the DHT
+// Fault-injected hybrid/DHT-only searches live behind the engine layer:
+// wrap the registry's "hybrid" or "dht-only" engine in with_faults()
+// (see fault_decorator.hpp). The flood phase runs single-shot (the DHT
 // fallback IS its recovery); the DHT phase's per-term lookups use the
-// policy's bounded retries and successor-list route-around. With an
-// inert session and max_retries 0 these reproduce the plain variants
-// bit-for-bit.
-
-[[nodiscard]] HybridResult hybrid_search(
-    const Graph& graph, const PeerStore& store, const ChordDht& dht,
-    NodeId source, std::span<const TermId> query, const HybridParams& params,
-    FaultSession& faults, const RecoveryPolicy& policy,
-    const std::vector<bool>* forwards = nullptr);
-
-/// Zero-allocation flood phase for the fault-injected search.
-[[nodiscard]] HybridResult hybrid_search(
-    const Graph& graph, const PeerStore& store, const ChordDht& dht,
-    NodeId source, std::span<const TermId> query, const HybridParams& params,
-    SearchScratch& scratch, FaultSession& faults, const RecoveryPolicy& policy,
-    const std::vector<bool>* forwards = nullptr);
-
-[[nodiscard]] HybridResult dht_only_search(const ChordDht& dht, NodeId source,
-                                           std::span<const TermId> query,
-                                           FaultSession& faults,
-                                           const RecoveryPolicy& policy);
+// policy's bounded retries and successor-list route-around.
 
 }  // namespace qcp2p::sim

@@ -1,8 +1,10 @@
 #include "src/sim/qrp.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
+#include "src/sim/engine_registry.hpp"
 #include "src/util/rng.hpp"
 
 namespace qcp2p::sim {
@@ -39,10 +41,7 @@ double QrpTable::fill_ratio() const noexcept {
 
 QrpNetwork::QrpNetwork(const overlay::TwoTierTopology& topology,
                        const PeerStore& store, std::size_t table_bits)
-    : topology_(&topology),
-      store_(&store),
-      engine_(topology.graph),
-      mark_(topology.graph.num_nodes(), 0) {
+    : topology_(&topology), store_(&store) {
   const std::size_t n = topology.graph.num_nodes();
   if (store.num_peers() != n) {
     throw std::invalid_argument("QrpNetwork: store/topology size mismatch");
@@ -57,36 +56,42 @@ QrpNetwork::QrpNetwork(const overlay::TwoTierTopology& topology,
 
 QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
                                             std::span<const TermId> query,
-                                            std::uint32_t ttl) {
+                                            std::uint32_t ttl,
+                                            SearchScratch& scratch,
+                                            FaultSession* faults) const {
   SearchResult out;
   if (query.empty()) return out;
-
-  if (++mark_epoch_ == 0) {
-    // Wrapped: stale marks from the previous cycle would alias.
-    std::fill(mark_.begin(), mark_.end(), 0);
-    mark_epoch_ = 1;
-  }
+  const std::vector<bool>* online =
+      faults != nullptr ? faults->plan().online_mask() : nullptr;
+  if (online != nullptr && !(*online)[source]) return out;
 
   auto probe = [&](NodeId peer) {
     ++out.peers_probed;
-    const auto hits = store_->match(peer, query, match_scratch_);
+    const auto hits = store_->match(peer, query, scratch.match);
     out.results.insert(out.results.end(), hits.begin(), hits.end());
   };
   probe(source);
 
   // Flood the ultrapeer tier (leaves never forward in two-tier Gnutella).
-  const FloodResult flood_result =
-      engine_.run(source, ttl, &topology_->is_ultrapeer);
-  out.up_messages = 0;
+  // The BFS's raw message count is discarded: QRP charges UP-tier edges
+  // and leaf deliveries explicitly below.
+  std::uint64_t flood_messages = 0;
+  flood_into(topology_->graph, source, ttl, &topology_->is_ultrapeer, online,
+             faults, scratch, flood_messages, out.fault.dropped, nullptr);
 
   // Partition reached nodes: ultrapeers were reached by the UP-tier
   // flood; each reached ultrapeer then screens its leaves through QRP.
   // Leaves reached directly by the flood (the source's ultrapeers
   // forwarding blindly) are re-screened here instead: we charge UP-tier
   // messages only for UP->UP edges and account leaf deliveries via QRP.
-  for (NodeId v : flood_result.reached) {
+  // A fresh scratch epoch (distinct from the BFS's) marks both the
+  // reached-UP and the leaf-screened sets — a node is one or the other.
+  scratch.bind(topology_->graph.num_nodes());
+  const std::uint8_t mark = scratch.begin_epoch();
+  std::uint8_t* const marks = scratch.visit_mark.data();
+  for (NodeId v : scratch.reached) {
     if (topology_->is_ultrapeer[v]) {
-      mark_[v] = mark_epoch_;  // reached-UP set
+      marks[v] = mark;  // reached-UP set
       probe(v);  // ultrapeers index their own shared files too
     }
   }
@@ -100,22 +105,25 @@ QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
     return c;
   };
   out.up_messages += count_up_edges(source);
-  for (NodeId v : flood_result.reached) {
+  for (NodeId v : scratch.reached) {
     if (topology_->is_ultrapeer[v]) out.up_messages += count_up_edges(v);
   }
 
   // QRP last hop: each reached ultrapeer delivers to matching leaves.
-  // mark_ doubles as the leaf-screened set (leaves are never in the
-  // reached-UP set above).
   auto screen_leaves = [&](NodeId up) {
     for (NodeId leaf : topology_->graph.neighbors(up)) {
-      if (topology_->is_ultrapeer[leaf] || mark_[leaf] == mark_epoch_ ||
+      if (topology_->is_ultrapeer[leaf] || marks[leaf] == mark ||
           leaf == source) {
         continue;
       }
-      mark_[leaf] = mark_epoch_;
+      marks[leaf] = mark;
       if (tables_[leaf].may_match(query)) {
-        ++out.leaf_messages;
+        ++out.leaf_messages;  // charged even if lost or the leaf is dead
+        if (faults != nullptr && !faults->deliver()) {
+          ++out.fault.dropped;
+          continue;
+        }
+        if (online != nullptr && !(*online)[leaf]) continue;
         probe(leaf);
       } else {
         ++out.leaf_suppressed;
@@ -124,7 +132,7 @@ QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
   };
   if (topology_->is_ultrapeer[source]) screen_leaves(source);
   for (NodeId v = 0; v < topology_->graph.num_nodes(); ++v) {
-    if (topology_->is_ultrapeer[v] && mark_[v] == mark_epoch_) {
+    if (topology_->is_ultrapeer[v] && marks[v] == mark) {
       screen_leaves(v);
     }
   }
@@ -133,6 +141,13 @@ QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
   out.results.erase(std::unique(out.results.begin(), out.results.end()),
                     out.results.end());
   return out;
+}
+
+QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
+                                            std::span<const TermId> query,
+                                            std::uint32_t ttl) const {
+  SearchScratch scratch;
+  return search(source, query, ttl, scratch, nullptr);
 }
 
 double QrpNetwork::mean_fill() const {
@@ -145,5 +160,57 @@ double QrpNetwork::mean_fill() const {
   }
   return leaves == 0 ? 0.0 : sum / static_cast<double>(leaves);
 }
+
+namespace {
+
+/// Registry adapter over QrpNetwork::search. Retries reuse the default
+/// expanding-ring TTL escalation; the QRP-specific traffic split
+/// accumulates in QrpExtras across attempts.
+class QrpEngine final : public SearchEngine {
+ public:
+  explicit QrpEngine(const QrpNetwork& net) noexcept : net_(&net) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "qrp";
+  }
+
+ protected:
+  bool preflight(const Query& query, const FaultSession*) const override {
+    if (query.terms.empty()) return false;
+    return query.online == nullptr || (*query.online)[query.source];
+  }
+
+  void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
+               const RecoveryPolicy*, SearchOutcome& out) const override {
+    const QrpNetwork::SearchResult r =
+        net_->search(query.source, query.terms, query.ttl, ctx.scratch, faults);
+    out.messages += r.total_messages();
+    out.peers_probed += r.peers_probed;
+    out.fault.dropped += r.fault.dropped;
+    out.hits.insert(out.hits.end(), r.results.begin(), r.results.end());
+    auto* extras = std::get_if<QrpExtras>(&out.extras);
+    if (extras == nullptr) {
+      out.extras = QrpExtras{};
+      extras = std::get_if<QrpExtras>(&out.extras);
+    }
+    extras->up_messages += r.up_messages;
+    extras->leaf_messages += r.leaf_messages;
+    extras->leaf_suppressed += r.leaf_suppressed;
+  }
+
+ private:
+  const QrpNetwork* net_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<SearchEngine> make_qrp_engine(const EngineWorld& world) {
+  if (world.qrp == nullptr) return nullptr;
+  return std::make_unique<QrpEngine>(*world.qrp);
+}
+
+}  // namespace detail
 
 }  // namespace qcp2p::sim

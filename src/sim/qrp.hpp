@@ -60,6 +60,7 @@ class QrpNetwork {
     std::uint64_t leaf_messages = 0;   // query deliveries to leaves
     std::uint64_t leaf_suppressed = 0; // deliveries QRP filtered out
     std::size_t peers_probed = 0;
+    FaultStats fault;
 
     [[nodiscard]] std::uint64_t total_messages() const noexcept {
       return up_messages + leaf_messages;
@@ -68,10 +69,21 @@ class QrpNetwork {
 
   /// Floods the ultrapeer tier to `ttl`, delivering to leaves only when
   /// their QRP table matches. The source's own ultrapeers also screen
-  /// their leaves at hop 0.
+  /// their leaves at hop 0. BFS state and match buffers come from
+  /// `scratch` (one per worker); QrpNetwork itself is immutable after
+  /// construction and shared read-only across workers. With `faults`,
+  /// UP-tier relays and leaf deliveries may be dropped in flight and
+  /// the plan's offline peers neither relay nor answer; an offline
+  /// source issues nothing.
   [[nodiscard]] SearchResult search(NodeId source,
                                     std::span<const TermId> query,
-                                    std::uint32_t ttl);
+                                    std::uint32_t ttl, SearchScratch& scratch,
+                                    FaultSession* faults = nullptr) const;
+
+  /// Convenience overload with a local scratch.
+  [[nodiscard]] SearchResult search(NodeId source,
+                                    std::span<const TermId> query,
+                                    std::uint32_t ttl) const;
 
   [[nodiscard]] const QrpTable& table(NodeId leaf) const {
     return tables_.at(leaf);
@@ -83,14 +95,6 @@ class QrpNetwork {
   const overlay::TwoTierTopology* topology_;
   const PeerStore* store_;
   std::vector<QrpTable> tables_;  // indexed by node id; UPs keep empty tables
-  FloodEngine engine_;
-  // Per-search scratch (QrpNetwork is stateful like FloodEngine): epoch
-  // marks replace per-search vector<bool> allocations. A node is either
-  // an ultrapeer or a leaf, so one array serves both the reached-UP and
-  // the leaf-screened sets.
-  std::vector<std::uint32_t> mark_;
-  std::uint32_t mark_epoch_ = 0;
-  PeerStore::MatchScratch match_scratch_;
 };
 
 }  // namespace qcp2p::sim

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "src/sim/engine_registry.hpp"
 
 namespace qcp2p::sim {
 namespace {
@@ -52,37 +55,6 @@ RandomWalkResult walk(const Graph& graph, NodeId source,
         return out;
       }
     }
-  }
-  out.success = !out.results.empty();
-  return out;
-}
-
-/// Attempt loop shared by the fault-injected entry points: re-walk with
-/// an escalated budget until something is found or retries run out.
-template <typename Probe>
-RandomWalkResult walk_with_recovery(const Graph& graph, NodeId source,
-                                    const RandomWalkParams& params,
-                                    util::Rng& rng, FaultSession& faults,
-                                    const RecoveryPolicy& policy,
-                                    Probe probe) {
-  RandomWalkResult out;
-  RandomWalkParams attempt_params = params;
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    RandomWalkResult r = walk(graph, source, attempt_params, rng, &faults,
-                              probe);
-    out.messages += r.messages;
-    out.peers_probed += r.peers_probed;
-    out.fault.dropped += r.fault.dropped;
-    out.results.insert(out.results.end(), r.results.begin(), r.results.end());
-    if (!out.results.empty() || attempt >= policy.max_retries) break;
-    const double wait = policy.timeout_ms + policy.backoff_after(attempt);
-    faults.charge_wait(wait);
-    out.fault.recovery_wait_ms += wait;
-    ++out.fault.retries;
-    const double scaled = std::ceil(static_cast<double>(attempt_params.max_steps) *
-                                    policy.budget_escalation);
-    attempt_params.max_steps = static_cast<std::uint32_t>(
-        std::min(scaled, double{1u << 20}));
   }
   out.success = !out.results.empty();
   return out;
@@ -150,37 +122,75 @@ RandomWalkResult random_walk_search(const Graph& graph, const PeerStore& store,
   return result;
 }
 
-RandomWalkResult random_walk_locate(const Graph& graph, NodeId source,
-                                    std::span<const NodeId> holders,
-                                    const RandomWalkParams& params,
-                                    util::Rng& rng, FaultSession& faults,
-                                    const RecoveryPolicy& policy) {
-  return walk_with_recovery(graph, source, params, rng, faults, policy,
-                            LocateProbe{holders, &faults});
+namespace {
+
+/// Registry adapter over the walk core. A dropped/dead step burns budget
+/// and leaves the walker in place; the decorator's retry loop re-walks
+/// from the source with the per-walker step budget escalated (the
+/// escalate() override below scales Query::budget, not TTL).
+class RandomWalkEngine final : public SearchEngine {
+ public:
+  RandomWalkEngine(const Graph& graph, const PeerStore* store,
+                   const RandomWalkParams& params) noexcept
+      : graph_(&graph), store_(store), params_(params) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "random-walk";
+  }
+  [[nodiscard]] bool can_locate() const noexcept override { return true; }
+
+ protected:
+  bool preflight(const Query& query, const FaultSession*) const override {
+    if (graph_->num_nodes() == 0) return false;
+    return query.is_locate() || store_ != nullptr;
+  }
+
+  void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
+               const RecoveryPolicy*, SearchOutcome& out) const override {
+    RandomWalkParams p = params_;
+    if (query.budget != 0) p.max_steps = query.budget;
+    const RandomWalkResult r =
+        query.is_locate()
+            ? walk(*graph_, query.source, p, *ctx.rng, faults,
+                   LocateProbe{query.holders, faults})
+            : walk(*graph_, query.source, p, *ctx.rng, faults,
+                   SearchProbe{store_, query.terms, &ctx.scratch.match});
+    out.messages += r.messages;
+    out.peers_probed += r.peers_probed;
+    out.fault.dropped += r.fault.dropped;
+    out.hits.insert(out.hits.end(), r.results.begin(), r.results.end());
+  }
+
+  void escalate(Query& query, const RecoveryPolicy& policy) const override {
+    const auto base = static_cast<double>(
+        query.budget != 0 ? query.budget : params_.max_steps);
+    const double scaled = std::ceil(base * policy.budget_escalation);
+    query.budget =
+        static_cast<std::uint32_t>(std::min(scaled, double{1u << 20}));
+  }
+
+  void finish(const Query& query, SearchOutcome& out) const override {
+    // Locate hits stay in visit order; only content hits deduplicate.
+    if (!query.is_locate()) sort_unique_hits(out.hits);
+    out.success = !out.hits.empty();
+  }
+
+ private:
+  const Graph* graph_;
+  const PeerStore* store_;
+  RandomWalkParams params_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<SearchEngine> make_walk_engine(const EngineWorld& world) {
+  if (world.graph == nullptr) return nullptr;
+  return std::make_unique<RandomWalkEngine>(*world.graph, world.store,
+                                            world.walk);
 }
 
-RandomWalkResult random_walk_search(const Graph& graph, const PeerStore& store,
-                                    NodeId source,
-                                    std::span<const TermId> query,
-                                    const RandomWalkParams& params,
-                                    util::Rng& rng, FaultSession& faults,
-                                    const RecoveryPolicy& policy) {
-  SearchScratch scratch;
-  return random_walk_search(graph, store, source, query, params, rng, scratch,
-                            faults, policy);
-}
-
-RandomWalkResult random_walk_search(const Graph& graph, const PeerStore& store,
-                                    NodeId source,
-                                    std::span<const TermId> query,
-                                    const RandomWalkParams& params,
-                                    util::Rng& rng, SearchScratch& scratch,
-                                    FaultSession& faults,
-                                    const RecoveryPolicy& policy) {
-  auto result = walk_with_recovery(graph, source, params, rng, faults, policy,
-                                   SearchProbe{&store, query, &scratch.match});
-  dedup_results(result);
-  return result;
-}
+}  // namespace detail
 
 }  // namespace qcp2p::sim

@@ -50,30 +50,10 @@ struct RandomWalkResult {
     std::span<const TermId> query, const RandomWalkParams& params,
     util::Rng& rng, SearchScratch& scratch);
 
-// Fault-injected variants: a step whose message is dropped, or whose
-// chosen next hop is offline, burns the step's budget and leaves the
-// walker in place (the sender times out waiting for the ack); an attempt
-// that ends with no results charges policy.timeout_ms, backs off, scales
-// the per-walker step budget by policy.budget_escalation, and re-walks
-// from the source, up to policy.max_retries times. With an inert session
-// and max_retries 0 these reproduce the fault-free variants bit-for-bit
-// (identical rng draws).
-
-[[nodiscard]] RandomWalkResult random_walk_locate(
-    const Graph& graph, NodeId source, std::span<const NodeId> holders,
-    const RandomWalkParams& params, util::Rng& rng, FaultSession& faults,
-    const RecoveryPolicy& policy);
-
-[[nodiscard]] RandomWalkResult random_walk_search(
-    const Graph& graph, const PeerStore& store, NodeId source,
-    std::span<const TermId> query, const RandomWalkParams& params,
-    util::Rng& rng, FaultSession& faults, const RecoveryPolicy& policy);
-
-/// Zero-allocation variant of the fault-injected search.
-[[nodiscard]] RandomWalkResult random_walk_search(
-    const Graph& graph, const PeerStore& store, NodeId source,
-    std::span<const TermId> query, const RandomWalkParams& params,
-    util::Rng& rng, SearchScratch& scratch, FaultSession& faults,
-    const RecoveryPolicy& policy);
+// Fault-injected walks live behind the engine layer: wrap the registry's
+// "random-walk" engine in with_faults() (see fault_decorator.hpp). A
+// step whose message is dropped, or whose chosen next hop is offline,
+// burns the step's budget and leaves the walker in place; empty attempts
+// re-walk from the source with the step budget escalated.
 
 }  // namespace qcp2p::sim

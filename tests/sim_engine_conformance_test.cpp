@@ -1,0 +1,347 @@
+// Conformance matrix for the unified search-engine layer: every entry in
+// sim::engine_registry() is exercised through the same Query/SearchOutcome
+// contract — degenerate worlds, TTL/budget edge cases, thread-count
+// determinism, and bit-for-bit invisibility of an inert with_faults()
+// decorator. Adding a registry row makes the new engine run every case
+// here with no test edits.
+//
+// Also covers the bench CLI contract: BenchEnv::from_cli must reject a
+// malformed --threads and an unknown --engine with exit code 2.
+#include "src/sim/engine_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/overlay/churn.hpp"
+#include "src/overlay/topology.hpp"
+#include "src/sim/fault_decorator.hpp"
+#include "src/sim/trial_runner.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+constexpr std::size_t kNodes = 200;
+
+/// Popular object 1 {1,2} on every 7th peer (including the usual test
+/// source, node 0), one singleton, and random filler content.
+PeerStore conformance_store(std::size_t nodes) {
+  PeerStore store(nodes);
+  util::Rng rng(12);
+  for (NodeId v = 0; v < nodes; v += 7) store.add_object(v, 1, {1, 2});
+  store.add_object(static_cast<NodeId>(123 % nodes), 2, {40, 41});
+  for (std::uint64_t i = 0; i < 3 * nodes; ++i) {
+    const auto peer = static_cast<NodeId>(rng.bounded(nodes));
+    std::vector<TermId> terms;
+    const std::size_t n = 1 + rng.bounded(3);
+    for (std::size_t k = 0; k < n; ++k) {
+      terms.push_back(static_cast<TermId>(rng.bounded(50)));
+    }
+    store.add_object(peer, 1000 + i, std::move(terms));
+  }
+  store.finalize();
+  return store;
+}
+
+/// Owns every piece the registry can wire an engine to, so all six
+/// factories succeed against engine_world().
+struct ConformanceWorld {
+  explicit ConformanceWorld(std::size_t nodes)
+      : store(conformance_store(nodes)), graph(0), topo{Graph(0), {}} {
+    if (nodes >= 8) {
+      util::Rng rng(11);
+      graph = overlay::random_regular(nodes, 6, rng);
+      overlay::TwoTierParams tp;
+      tp.num_nodes = nodes;
+      util::Rng topo_rng(13);
+      topo = overlay::gnutella_two_tier(tp, topo_rng);
+      overlay::GiaParams gp;
+      gp.num_nodes = nodes;
+      util::Rng gia_rng(17);
+      gia = std::make_unique<GiaNetwork>(overlay::gia_topology(gp, gia_rng),
+                                         store);
+    } else {
+      // Too small for the generators: edgeless graphs, everyone a relay.
+      graph = Graph(nodes);
+      topo = overlay::TwoTierTopology{Graph(nodes),
+                                      std::vector<bool>(nodes, true)};
+      gia = std::make_unique<GiaNetwork>(
+          overlay::GiaTopology{Graph(nodes), std::vector<double>(nodes, 1.0)},
+          store);
+    }
+    dht = std::make_unique<ChordDht>(nodes, 7);
+    dht->publish_store(store);
+    qrp = std::make_unique<QrpNetwork>(topo, store);
+  }
+
+  [[nodiscard]] EngineWorld engine_world() const {
+    EngineWorld w;
+    w.graph = &graph;
+    w.store = &store;
+    w.dht = dht.get();
+    w.gia = gia.get();
+    w.qrp = qrp.get();
+    w.walk.walkers = 4;
+    w.walk.max_steps = 32;
+    w.gia_search.max_steps = 128;
+    return w;
+  }
+
+  PeerStore store;
+  Graph graph;
+  overlay::TwoTierTopology topo;
+  std::unique_ptr<ChordDht> dht;
+  std::unique_ptr<GiaNetwork> gia;
+  std::unique_ptr<QrpNetwork> qrp;
+};
+
+std::vector<TermId> query_for(std::size_t t) {
+  switch (t % 3) {
+    case 0: return {1, 2};                          // popular
+    case 1: return {40, 41};                        // singleton
+    default: return {static_cast<TermId>(t % 50)};  // broad
+  }
+}
+
+TEST(EngineRegistry, NamesOrderAndLookup) {
+  const std::string_view expected[] = {"flood",  "random-walk", "gia",
+                                       "hybrid", "dht-only",    "qrp"};
+  ASSERT_EQ(engine_registry().size(), std::size(expected));
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(engine_registry()[i].name, expected[i]);
+    const EngineEntry* found = find_engine(expected[i]);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &engine_registry()[i]);
+    EXPECT_NE(engine_names().find(std::string(expected[i])),
+              std::string::npos);
+  }
+  EXPECT_EQ(find_engine("warp-drive"), nullptr);
+  EXPECT_EQ(find_engine(""), nullptr);
+}
+
+TEST(EngineRegistry, EmptyWorldConstructsNoEngine) {
+  const EngineWorld empty;
+  for (const EngineEntry& entry : engine_registry()) {
+    EXPECT_EQ(entry.make(empty), nullptr) << entry.name;
+  }
+  EXPECT_EQ(make_engine("warp-drive", empty), nullptr);
+}
+
+class EngineConformance
+    : public ::testing::TestWithParam<const EngineEntry*> {
+ protected:
+  static void SetUpTestSuite() {
+    if (world_ == nullptr) world_ = new ConformanceWorld(kNodes);
+  }
+
+  [[nodiscard]] static std::unique_ptr<SearchEngine> make() {
+    return GetParam()->make(world_->engine_world());
+  }
+
+  static ConformanceWorld* world_;
+};
+
+ConformanceWorld* EngineConformance::world_ = nullptr;
+
+TEST_P(EngineConformance, ConstructsWithNameAndLocateFlag) {
+  const auto engine = make();
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->name(), GetParam()->name);
+  EXPECT_EQ(engine->can_locate(), GetParam()->can_locate);
+}
+
+TEST_P(EngineConformance, TtlAndBudgetFloorStillProbeTheSource) {
+  // ttl 0 floods nothing; budget 1 allows a single step — but every
+  // engine checks the querying peer's own shelf, so content held at the
+  // source is found with (nearly) no traffic.
+  const auto engine = make();
+  EngineContext ctx;
+  util::Rng rng(5);
+  ctx.rng = &rng;
+  const std::vector<TermId> terms{1, 2};
+  Query q;
+  q.source = 0;  // holds object 1 by construction
+  q.terms = terms;
+  q.ttl = 0;
+  q.budget = 1;
+  const SearchOutcome out = engine->search(q, ctx);
+  EXPECT_TRUE(out.success);
+  ASSERT_FALSE(out.hits.empty());
+  EXPECT_TRUE(std::is_sorted(out.hits.begin(), out.hits.end()));
+  EXPECT_EQ(std::adjacent_find(out.hits.begin(), out.hits.end()),
+            out.hits.end());
+  if (GetParam()->name == "flood") {
+    EXPECT_EQ(out.messages, 0u);
+  }
+}
+
+TEST_P(EngineConformance, SingleNodeWorldIsDefined) {
+  const ConformanceWorld tiny(1);
+  const auto engine = GetParam()->make(tiny.engine_world());
+  ASSERT_NE(engine, nullptr);
+  EngineContext ctx;
+  util::Rng rng(6);
+  ctx.rng = &rng;
+  const std::vector<TermId> terms{1, 2};
+  Query q;
+  q.terms = terms;
+  const SearchOutcome out = engine->search(q, ctx);
+  // The lone node holds object 1: every engine finds it locally.
+  EXPECT_TRUE(out.success);
+  EXPECT_FALSE(out.hits.empty());
+}
+
+TEST_P(EngineConformance, LocateSucceedsWhenTheSourceHoldsTheObject) {
+  if (!GetParam()->can_locate) {
+    GTEST_SKIP() << "content-only engine";
+  }
+  const auto engine = make();
+  EngineContext ctx;
+  util::Rng rng(7);
+  ctx.rng = &rng;
+  const std::vector<NodeId> holders{3, 9, 42};  // sorted
+  Query q;
+  q.source = 9;
+  q.holders = holders;
+  q.ttl = 2;
+  const SearchOutcome out = engine->search(q, ctx);
+  EXPECT_TRUE(out.success);
+}
+
+TEST_P(EngineConformance, DeterministicAcrossThreadCounts) {
+  const auto engine = make();
+  FaultParams fp;
+  fp.loss_rate = 0.1;
+  fp.seed = 99;
+  util::Rng mask_rng(41);
+  const FaultPlan plan(fp, overlay::sample_online(kNodes, 0.75, mask_rng));
+  RecoveryPolicy policy;
+  policy.max_retries = 2;
+  policy.ttl_escalation = 1;
+  policy.budget_escalation = 2.0;
+  const FaultInjectedEngine faulty = with_faults(*engine, plan, policy);
+
+  const auto run_with = [&](const SearchEngine& e, std::size_t threads) {
+    const TrialRunner runner({threads, 4242});
+    return runner.run(
+        120, [] { return EngineContext{}; },
+        [&](std::size_t t, util::Rng& rng, EngineContext& ctx) {
+          ctx.rng = &rng;
+          const auto terms = query_for(t);
+          Query q;
+          q.source = static_cast<NodeId>(rng.bounded(kNodes));
+          q.terms = terms;
+          q.ttl = 2;
+          q.trial = t;
+          const SearchOutcome r = e.search(q, ctx);
+          TrialOutcome out;
+          out.success = r.success;
+          out.messages = r.messages;
+          out.extra[0] = r.fault.dropped;
+          out.extra[1] = r.fault.retries;
+          out.extra[2] = r.peers_probed;
+          return out;
+        });
+  };
+
+  for (const SearchEngine* e :
+       {static_cast<const SearchEngine*>(engine.get()),
+        static_cast<const SearchEngine*>(&faulty)}) {
+    const TrialAggregate one = run_with(*e, 1);
+    for (const std::size_t threads : {2ULL, 8ULL}) {
+      const TrialAggregate many = run_with(*e, threads);
+      EXPECT_EQ(one.trials, many.trials) << threads << " threads";
+      EXPECT_EQ(one.successes, many.successes) << threads << " threads";
+      EXPECT_EQ(one.messages, many.messages) << threads << " threads";
+      EXPECT_EQ(one.extra, many.extra) << threads << " threads";
+    }
+  }
+}
+
+TEST_P(EngineConformance, InertDecoratorIsBitForBitInvisible) {
+  const auto engine = make();
+  const FaultPlan inert;  // loss 0, no jitter, no mask
+  RecoveryPolicy single_shot;
+  single_shot.max_retries = 0;
+  const FaultInjectedEngine faulty = with_faults(*engine, inert, single_shot);
+
+  for (std::size_t t = 0; t < 40; ++t) {
+    const auto terms = query_for(t);
+    Query q;
+    q.source = static_cast<NodeId>(t * 7 % kNodes);
+    q.terms = terms;
+    q.ttl = 2;
+    q.trial = t;
+    EngineContext plain_ctx, faulty_ctx;
+    util::Rng plain_rng(900 + t), faulty_rng(900 + t);
+    plain_ctx.rng = &plain_rng;
+    faulty_ctx.rng = &faulty_rng;
+    const SearchOutcome plain = engine->search(q, plain_ctx);
+    const SearchOutcome decorated = faulty.search(q, faulty_ctx);
+    EXPECT_EQ(plain.hits, decorated.hits) << "trial " << t;
+    EXPECT_EQ(plain.messages, decorated.messages) << "trial " << t;
+    EXPECT_EQ(plain.peers_probed, decorated.peers_probed) << "trial " << t;
+    EXPECT_EQ(plain.success, decorated.success) << "trial " << t;
+    EXPECT_EQ(decorated.fault.dropped, 0u);
+    EXPECT_EQ(decorated.fault.retries, 0u);
+    // The inert decorator must not have perturbed the rng stream.
+    EXPECT_EQ(plain_rng(), faulty_rng()) << "trial " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineConformance,
+    ::testing::ValuesIn([] {
+      std::vector<const EngineEntry*> entries;
+      for (const EngineEntry& e : engine_registry()) entries.push_back(&e);
+      return entries;
+    }()),
+    [](const ::testing::TestParamInfo<const EngineEntry*>& param) {
+      std::string name(param.param->name);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// --- BenchEnv CLI validation (bugfix: --threads/--engine were accepted
+// unchecked; both must now fail fast with exit code 2). ---
+
+bench::BenchEnv env_from(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench");
+  const util::Cli cli(static_cast<int>(args.size()), args.data());
+  return bench::BenchEnv::from_cli(cli);
+}
+
+using BenchEnvDeathTest = ::testing::Test;
+
+TEST(BenchEnvDeathTest, RejectsMalformedThreads) {
+  EXPECT_EXIT(env_from({"--threads", "banana"}),
+              ::testing::ExitedWithCode(2), "--threads");
+  EXPECT_EXIT(env_from({"--threads", "-1"}), ::testing::ExitedWithCode(2),
+              "--threads");
+  EXPECT_EXIT(env_from({"--threads", "8x"}), ::testing::ExitedWithCode(2),
+              "--threads");
+  EXPECT_EXIT(env_from({"--threads", "5000"}), ::testing::ExitedWithCode(2),
+              "--threads");
+}
+
+TEST(BenchEnvDeathTest, RejectsUnknownEngine) {
+  EXPECT_EXIT(env_from({"--engine", "warp-drive"}),
+              ::testing::ExitedWithCode(2), "unknown --engine");
+}
+
+TEST(BenchEnvDeathTest, AcceptsValidThreadsAndEngines) {
+  EXPECT_EQ(env_from({}).threads, 0u);
+  EXPECT_EQ(env_from({"--threads", "8"}).threads, 8u);
+  EXPECT_EQ(env_from({}).engine, "");
+  for (const EngineEntry& entry : engine_registry()) {
+    EXPECT_EQ(env_from({"--engine", std::string(entry.name).c_str()}).engine,
+              entry.name);
+  }
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

@@ -1,18 +1,15 @@
-// Fault-injection layer: deterministic drop/jitter hashing, inert-session
-// bit-for-bit equivalence with the fault-free engines, thread-count
-// invariance under TrialRunner, Chord route-around, and retry recovery.
+// Fault-injection layer: deterministic drop/jitter hashing, Chord
+// route-around, and retry recovery through the with_faults() decorator.
+// (Inert-decorator bit-identity and thread-count invariance for every
+// registered engine live in sim_engine_conformance_test.)
 #include "src/sim/fault.hpp"
 
 #include <gtest/gtest.h>
 
-#include "src/overlay/churn.hpp"
 #include "src/overlay/topology.hpp"
 #include "src/sim/dht.hpp"
-#include "src/sim/flood.hpp"
-#include "src/sim/gia.hpp"
-#include "src/sim/hybrid.hpp"
-#include "src/sim/random_walk.hpp"
-#include "src/sim/trial_runner.hpp"
+#include "src/sim/engine_registry.hpp"
+#include "src/sim/fault_decorator.hpp"
 
 namespace qcp2p::sim {
 namespace {
@@ -46,6 +43,9 @@ PeerStore make_store() {
 struct FaultFixture : ::testing::Test {
   FaultFixture() : graph(make_graph()), store(make_store()), dht(kNodes, 7) {
     dht.publish_store(store);
+    world.graph = &graph;
+    world.store = &store;
+    world.dht = &dht;
   }
 
   [[nodiscard]] std::vector<TermId> query_for(std::size_t t) const {
@@ -59,6 +59,7 @@ struct FaultFixture : ::testing::Test {
   Graph graph;
   PeerStore store;
   ChordDht dht;
+  EngineWorld world;
 };
 
 TEST(FaultPlan, DropHashIsDeterministicAndMatchesRate) {
@@ -94,106 +95,6 @@ TEST(FaultPlan, ExtremesAndInertness) {
   EXPECT_TRUE(null_plan.online(0));
 }
 
-TEST_F(FaultFixture, InertSessionMatchesPlainFlood) {
-  const FaultPlan plan;  // loss 0, no mask: must be bit-for-bit inert
-  RecoveryPolicy single_shot;
-  single_shot.max_retries = 0;
-  for (std::size_t t = 0; t < 60; ++t) {
-    const auto src = static_cast<NodeId>(t * 5 % kNodes);
-    const auto query = query_for(t);
-    const FloodSearchResult plain = flood_search(graph, store, src, query, 3);
-    FaultSession faults(plan, t);
-    const FloodSearchResult faulty =
-        flood_search(graph, store, src, query, 3, faults, single_shot);
-    EXPECT_EQ(plain.results, faulty.results);
-    EXPECT_EQ(plain.messages, faulty.messages);
-    EXPECT_EQ(plain.peers_probed, faulty.peers_probed);
-    EXPECT_EQ(faulty.fault.dropped, 0u);
-    EXPECT_EQ(faulty.fault.retries, 0u);
-  }
-}
-
-TEST_F(FaultFixture, InertSessionMatchesPlainRandomWalk) {
-  const FaultPlan plan;
-  RecoveryPolicy single_shot;
-  single_shot.max_retries = 0;
-  RandomWalkParams params;
-  params.walkers = 8;
-  params.max_steps = 64;
-  for (std::size_t t = 0; t < 60; ++t) {
-    const auto src = static_cast<NodeId>(t * 11 % kNodes);
-    const auto query = query_for(t);
-    util::Rng plain_rng(900 + t), faulty_rng(900 + t);
-    const RandomWalkResult plain =
-        random_walk_search(graph, store, src, query, params, plain_rng);
-    FaultSession faults(plan, t);
-    const RandomWalkResult faulty = random_walk_search(
-        graph, store, src, query, params, faulty_rng, faults, single_shot);
-    EXPECT_EQ(plain.results, faulty.results);
-    EXPECT_EQ(plain.messages, faulty.messages);
-    EXPECT_EQ(plain.peers_probed, faulty.peers_probed);
-    EXPECT_EQ(plain.success, faulty.success);
-    // The inert session must not have perturbed the shared rng stream.
-    EXPECT_EQ(plain_rng(), faulty_rng());
-  }
-}
-
-TEST_F(FaultFixture, InertSessionMatchesPlainGia) {
-  overlay::GiaParams gp;
-  gp.num_nodes = kNodes;
-  util::Rng topo_rng(21);
-  const GiaNetwork gia(overlay::gia_topology(gp, topo_rng), make_store());
-
-  const FaultPlan plan;
-  RecoveryPolicy single_shot;
-  single_shot.max_retries = 0;
-  GiaSearchParams params;
-  params.max_steps = 256;
-  for (std::size_t t = 0; t < 60; ++t) {
-    const auto src = static_cast<NodeId>(t * 7 % kNodes);
-    const auto query = query_for(t);
-    util::Rng plain_rng(300 + t), faulty_rng(300 + t);
-    const GiaSearchResult plain = gia.search(src, query, params, plain_rng);
-    FaultSession faults(plan, t);
-    const GiaSearchResult faulty =
-        gia.search(src, query, params, faulty_rng, faults, single_shot);
-    EXPECT_EQ(plain.results, faulty.results);
-    EXPECT_EQ(plain.messages, faulty.messages);
-    EXPECT_EQ(plain.success, faulty.success);
-    EXPECT_EQ(plain_rng(), faulty_rng());
-  }
-}
-
-TEST_F(FaultFixture, InertSessionMatchesPlainHybridAndDhtOnly) {
-  const FaultPlan plan;
-  RecoveryPolicy single_shot;
-  single_shot.max_retries = 0;
-  HybridParams hp;
-  hp.flood_ttl = 2;
-  hp.rare_cutoff = 20;
-  for (std::size_t t = 0; t < 60; ++t) {
-    const auto src = static_cast<NodeId>(t * 13 % kNodes);
-    const auto query = query_for(t);
-
-    const HybridResult plain_h =
-        hybrid_search(graph, store, dht, src, query, hp);
-    FaultSession hf(plan, t);
-    const HybridResult faulty_h =
-        hybrid_search(graph, store, dht, src, query, hp, hf, single_shot);
-    EXPECT_EQ(plain_h.results, faulty_h.results);
-    EXPECT_EQ(plain_h.flood_messages, faulty_h.flood_messages);
-    EXPECT_EQ(plain_h.dht_messages, faulty_h.dht_messages);
-    EXPECT_EQ(plain_h.used_dht, faulty_h.used_dht);
-
-    const HybridResult plain_d = dht_only_search(dht, src, query);
-    FaultSession df(plan, t);
-    const HybridResult faulty_d =
-        dht_only_search(dht, src, query, df, single_shot);
-    EXPECT_EQ(plain_d.results, faulty_d.results);
-    EXPECT_EQ(plain_d.dht_messages, faulty_d.dht_messages);
-  }
-}
-
 TEST_F(FaultFixture, InertLookupChargesExactlyThePlainRoute) {
   const FaultPlan plan;
   RecoveryPolicy policy;  // route_around_width > 1, but nothing to avoid
@@ -211,64 +112,31 @@ TEST_F(FaultFixture, InertLookupChargesExactlyThePlainRoute) {
   }
 }
 
-TEST_F(FaultFixture, AggregatesAreIdenticalAcrossThreadCounts) {
-  FaultParams params;
-  params.loss_rate = 0.1;
-  params.jitter_max_ms = 5.0;
-  util::Rng mask_rng(41);
-  const FaultPlan plan(params, overlay::sample_online(kNodes, 0.75, mask_rng));
-  RecoveryPolicy policy;
-  policy.max_retries = 2;
-
-  auto run_with = [&](std::size_t threads) {
-    const TrialRunner runner({threads, 4242});
-    return runner.run(200, [&](std::size_t t, util::Rng& rng) {
-      FaultSession faults(plan, t);
-      const auto src = static_cast<NodeId>(rng.bounded(kNodes));
-      const auto query = query_for(t);
-      const FloodSearchResult fr =
-          flood_search(graph, store, src, query, 2, faults, policy);
-      RandomWalkParams wp;
-      wp.walkers = 4;
-      wp.max_steps = 32;
-      const RandomWalkResult wr = random_walk_search(graph, store, src, query,
-                                                     wp, rng, faults, policy);
-      const HybridResult dr = dht_only_search(dht, src, query, faults, policy);
-      TrialOutcome out;
-      out.success = !fr.results.empty() || wr.success || dr.success();
-      out.messages = fr.messages + wr.messages + dr.total_messages();
-      out.extra[0] = fr.fault.dropped + wr.fault.dropped + dr.fault.dropped;
-      out.extra[1] = fr.fault.retries + wr.fault.retries + dr.fault.retries;
-      out.extra[2] = dr.fault.route_around_hops;
-      return out;
-    });
-  };
-
-  const TrialAggregate one = run_with(1);
-  for (const std::size_t threads : {2ULL, 8ULL}) {
-    const TrialAggregate many = run_with(threads);
-    EXPECT_EQ(one.trials, many.trials) << threads << " threads";
-    EXPECT_EQ(one.successes, many.successes) << threads << " threads";
-    EXPECT_EQ(one.messages, many.messages) << threads << " threads";
-    EXPECT_EQ(one.extra, many.extra) << threads << " threads";
-  }
-  EXPECT_GT(one.extra[0], 0u);  // the plan actually dropped messages
-}
-
 TEST_F(FaultFixture, TotalLossDropsEveryTransmission) {
   FaultParams params;
   params.loss_rate = 1.0;
   const FaultPlan plan(params);
   RecoveryPolicy policy;
   policy.max_retries = 1;
-  FaultSession faults(plan, 0);
-  const std::vector<TermId> query{40, 41};  // singleton held far away
-  const FloodSearchResult r =
-      flood_search(graph, store, 0, query, 3, faults, policy);
-  EXPECT_TRUE(r.results.empty());
+  const auto flood = make_engine("flood", world);
+  ASSERT_NE(flood, nullptr);
+  const FaultInjectedEngine faulty = with_faults(*flood, plan, policy);
+
+  EngineContext ctx;
+  util::Rng rng(1);
+  ctx.rng = &rng;
+  const std::vector<TermId> terms{40, 41};  // singleton held far away
+  Query q;
+  q.source = 0;
+  q.terms = terms;
+  q.ttl = 3;
+  const SearchOutcome r = faulty.search(q, ctx);
+  EXPECT_TRUE(r.hits.empty());
+  EXPECT_FALSE(r.success);
   EXPECT_GT(r.messages, 0u);
   EXPECT_EQ(r.fault.dropped, r.messages);  // every send lost in flight
   EXPECT_EQ(r.fault.retries, 1u);
+  EXPECT_GT(r.fault.recovery_wait_ms, 0.0);
 }
 
 TEST_F(FaultFixture, ChordRoutesAroundDeadResponsibleNode) {
@@ -307,18 +175,26 @@ TEST_F(FaultFixture, RetriesImproveSuccessUnderHeavyLoss) {
   retry.max_retries = 3;
   retry.ttl_escalation = 1;
 
-  const std::vector<TermId> query{1, 2};
+  const auto flood = make_engine("flood", world);
+  ASSERT_NE(flood, nullptr);
+  const FaultInjectedEngine single = with_faults(*flood, plan, none);
+  const FaultInjectedEngine recovering = with_faults(*flood, plan, retry);
+
+  const std::vector<TermId> terms{1, 2};
   int ok_none = 0, ok_retry = 0;
   std::uint32_t retries = 0;
+  EngineContext ctx;
+  util::Rng rng(2);
+  ctx.rng = &rng;
   for (std::size_t t = 0; t < 100; ++t) {
-    const auto src = static_cast<NodeId>(t * 3 % kNodes);
-    FaultSession f0(plan, t);
-    ok_none += !flood_search(graph, store, src, query, 1, f0, none)
-                    .results.empty();
-    FaultSession f1(plan, t);
-    const FloodSearchResult r =
-        flood_search(graph, store, src, query, 1, f1, retry);
-    ok_retry += !r.results.empty();
+    Query q;
+    q.source = static_cast<NodeId>(t * 3 % kNodes);
+    q.terms = terms;
+    q.ttl = 1;
+    q.trial = t;
+    ok_none += !single.search(q, ctx).hits.empty();
+    const SearchOutcome r = recovering.search(q, ctx);
+    ok_retry += !r.hits.empty();
     retries += r.fault.retries;
   }
   EXPECT_GT(ok_retry, ok_none);
