@@ -135,6 +135,16 @@ inline void print_header(const std::string& name, const BenchEnv& env,
             << "# paper: " << paper_context << "\n";
 }
 
+/// Derived seed stream: sub-seed `component` of `base`, statistically
+/// independent across components. Chained mixes rather than `base + k`:
+/// with additive offsets, seed 42 component 1 and seed 43 component 0
+/// are the SAME stream, silently correlating worlds the benches assume
+/// independent.
+[[nodiscard]] inline std::uint64_t seed_stream(std::uint64_t base,
+                                               std::uint64_t component) {
+  return util::mix64(util::mix64(base) ^ component);
+}
+
 // ---------------------------------------------------------------------------
 // Shared world building for the engine benches.
 

@@ -1,22 +1,45 @@
-// Latency experiment (protocol-level extension of Fig 8): wall-clock
-// time-to-first-result for TTL flooding under the measured content
-// distribution, via the descriptor-faithful Gnutella simulation — vs the
-// latency a structured lookup would need for the same query.
+// Latency experiment (protocol-level extension of Fig 8): time-to-first-
+// result for TTL flooding under the measured content distribution vs the
+// latency a structured lookup needs for the same query — each measured
+// twice, by a round-based estimate and by the descriptor-level
+// discrete-event engines, through one TimingModel.
 //
 // The shape to observe: when the flood succeeds it is FAST (popular
 // content is nearby), but under Zipf replication it rarely succeeds —
 // while the DHT's O(log N) hop chain costs a predictable, modest latency
 // on every query. Latency is where hybrid search's "try flooding first"
-// looks cheapest and still loses.
+// looks cheapest and still loses. The flood/flood-des and
+// dht-only/dht-des row pairs also show how close the cheap estimate
+// lands to the exact event-driven number.
 #include "bench/bench_common.hpp"
 
-#include "src/gnutella/network.hpp"
-#include "src/overlay/topology.hpp"
-#include "src/sim/dht.hpp"
 #include "src/util/stats.hpp"
 
 using namespace qcp2p;
-using overlay::NodeId;
+
+namespace {
+
+// Timing folded into integer ns so TrialAggregate's integer-sum
+// determinism contract holds: output is byte-identical for any
+// --threads value.
+sim::TrialOutcome map_timed(const sim::SearchOutcome& r) {
+  sim::TrialOutcome out;
+  out.success = r.success;
+  out.messages = r.messages;
+  out.peers_probed = r.peers_probed;
+  if (r.timing.has_value()) {
+    if (r.timing->has_first_hit()) {
+      out.extra[0] =
+          static_cast<std::uint64_t>(r.timing->first_hit_s * 1e9 + 0.5);
+      out.extra[1] = 1;  // trials with a first hit
+    }
+    out.extra[2] = static_cast<std::uint64_t>(r.timing->clock_s * 1e9 + 0.5);
+    out.extra[3] = r.timing->events;
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
@@ -25,65 +48,60 @@ int main(int argc, char** argv) {
   const auto num_queries = cli.get_uint("queries", 150);
   bench::print_header(
       "exp_latency", env,
-      "Descriptor-level timing: flood time-to-first-hit vs DHT lookup "
-      "latency under Zipf content");
+      "Time-to-first-result: flood vs DHT under Zipf content, estimated "
+      "(rounds x mean link) and exact (descriptor-level DES) side by side");
 
-  const trace::ContentModel model(env.model_params());
-  const trace::CrawlSnapshot crawl =
-      generate_gnutella_crawl(model, env.crawl_params());
-  const sim::PeerStore store = sim::peer_store_from_crawl(crawl, nodes);
+  const bench::SearchWorld world =
+      bench::build_search_world(env, nodes, num_queries);
+  sim::EngineWorld ew = world.engine_world();
+  ew.timing.seed = bench::seed_stream(env.seed, 11);  // 20-200ms links
 
-  util::Rng rng(env.seed);
-  const overlay::Graph graph = overlay::random_regular(nodes, 8, rng);
-  gnutella::NetworkParams np;  // 20-200ms per link
-  gnutella::GnutellaNetwork net(graph, store, np);
-  const sim::ChordDht dht(nodes, env.seed + 1);
-  const double mean_link_s =
-      0.5 * (np.min_link_latency_s + np.max_link_latency_s);
-
-  util::Rng qrng(env.seed + 2);
-  auto draw_query = [&]() -> std::vector<sim::TermId> {
-    for (;;) {
-      const auto peer = static_cast<NodeId>(qrng.bounded(nodes));
-      if (store.objects(peer).empty()) continue;
-      const auto& obj =
-          store.objects(peer)[qrng.bounded(store.objects(peer).size())];
-      if (obj.terms.empty()) continue;
-      return {obj.terms[qrng.bounded(obj.terms.size())]};
-    }
-  };
-
-  util::Table t({"flood TTL", "success", "first hit (mean s)",
-                 "first hit (max s)", "msgs/query", "DHT lookup (mean s)"});
-  for (const int ttl_int : {2, 3, 4}) {
-    const auto ttl = static_cast<std::uint8_t>(ttl_int);
-    util::RunningStats first_hit, msgs, dht_latency;
-    std::size_t ok = 0;
-    for (std::uint64_t q = 0; q < num_queries; ++q) {
-      const auto src = static_cast<NodeId>(qrng.bounded(nodes));
-      const auto terms = draw_query();
-      const double t_issue = net.now();  // clock is cumulative over queries
-      const gnutella::QueryOutcome out = net.query(src, terms, ttl);
-      msgs.add(static_cast<double>(out.messages));
-      if (out.first_hit()) {
-        ++ok;
-        first_hit.add(*out.first_hit() - t_issue);
+  std::vector<bench::NamedEngine> engines;
+  if (!env.engine.empty()) {
+    engines = bench::make_sweep_engines(env, ew);
+  } else {
+    for (const std::string_view name :
+         {"flood", "flood-des", "dht-only", "dht-des"}) {
+      auto engine = sim::make_engine(name, ew);
+      if (engine != nullptr) {
+        engines.push_back({sim::find_engine(name)->name, std::move(engine)});
       }
-      // DHT latency model: routing hops (one term lookup) x mean link.
-      const auto lr = dht.lookup(dht.term_key(terms[0]), src);
-      dht_latency.add(static_cast<double>(lr.hops) * mean_link_s);
     }
-    t.add_row();
-    t.cell(static_cast<std::uint64_t>(ttl))
-        .percent(static_cast<double>(ok) /
-                     static_cast<double>(num_queries),
-                 1)
-        .cell(first_hit.count() ? first_hit.mean() : 0.0, 3)
-        .cell(first_hit.count() ? first_hit.max() : 0.0, 3)
-        .cell(msgs.mean(), 0)
-        .cell(dht_latency.mean(), 3);
+  }
+
+  const sim::TrialRunner runner({env.threads, env.seed});
+  util::Table t({"engine", "TTL", "success", "first hit (mean s)",
+                 "sim clock (mean s)", "events/query", "msgs/query"});
+  for (const std::uint32_t ttl : {2u, 3u, 4u}) {
+    for (const bench::NamedEngine& ne : engines) {
+      const sim::TrialAggregate agg = bench::run_engine_sweep(
+          runner, num_queries, *ne.engine,
+          [&](std::size_t trial, util::Rng& trng) {
+            sim::Query q;
+            q.source = static_cast<sim::NodeId>(trng.bounded(nodes));
+            q.terms = world.queries[trial % world.queries.size()];
+            q.ttl = ttl;
+            return q;
+          },
+          &map_timed);
+      const std::uint64_t hit_trials = agg.extra[1];
+      t.add_row();
+      t.cell(std::string(ne.name))
+          .cell(static_cast<std::uint64_t>(ttl))
+          .percent(agg.success_rate(), 1)
+          .cell(hit_trials != 0 ? static_cast<double>(agg.extra[0]) /
+                                      static_cast<double>(hit_trials) / 1e9
+                                : 0.0,
+                3)
+          .cell(static_cast<double>(agg.extra[2]) /
+                    static_cast<double>(agg.trials) / 1e9,
+                3)
+          .cell(agg.mean_extra(3), 1)
+          .cell(agg.mean_messages(), 0);
+    }
   }
   bench::emit(t, env,
-              "Flood vs DHT latency (protocol simulation, 20-200ms links)");
+              "Flood vs DHT latency (estimated and DES-exact, 20-200ms "
+              "links)");
   return 0;
 }

@@ -9,11 +9,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <string>
 
 #include "bench/bench_json.hpp"
+#include "src/des/simulator.hpp"
 #include "src/core/bloom.hpp"
 #include "src/overlay/topology.hpp"
 #include "src/sim/dht.hpp"
@@ -240,6 +242,28 @@ void BM_JaccardSorted(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JaccardSorted)->Arg(200)->Arg(5'000);
+
+void BM_DesEventLoop(benchmark::State& state) {
+  // Schedule/pop cost of the event kernel the flood-des and dht-des
+  // engines spin on: a self-rescheduling handler chain of range(0)
+  // events, reset between iterations so every pass replays the same
+  // timeline (the per-query pattern of the DES-backed engines).
+  const auto events = static_cast<std::uint64_t>(state.range(0));
+  des::Simulator sim;
+  std::uint64_t remaining = 0;
+  std::function<void()> chain = [&] {
+    if (--remaining > 0) sim.schedule(1.0, chain);
+  };
+  for (auto _ : state) {
+    sim.reset();
+    remaining = events;
+    sim.schedule(1.0, chain);
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_DesEventLoop)->Arg(1'024)->Unit(benchmark::kMicrosecond);
 
 /// Console reporter that additionally collects per-benchmark ns/op for
 /// the BENCH_hotpaths.json regression file. With --benchmark_repetitions

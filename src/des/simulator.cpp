@@ -43,4 +43,11 @@ void Simulator::clear() {
   while (!queue_.empty()) queue_.pop();
 }
 
+void Simulator::reset() {
+  clear();
+  now_ = 0.0;
+  next_seq_ = 0;
+  executed_ = 0;
+}
+
 }  // namespace qcp2p::des

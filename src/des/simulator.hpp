@@ -37,8 +37,16 @@ class Simulator {
   /// Runs events with timestamp <= t_end; the clock ends at t_end.
   std::uint64_t run_until(Time t_end);
 
-  /// Drops all pending events (e.g. between independent experiments).
+  /// Drops all pending events. The clock, sequence counter, and executed
+  /// count keep their values (the simulation timeline continues); use
+  /// reset() between independent experiments.
   void clear();
+
+  /// Full rewind for reuse between independent experiments: drops all
+  /// pending events AND restores now()/executed() (and the internal
+  /// tie-break sequence) to a freshly-constructed state, so per-run
+  /// clocks start at 0 and event counts are per-run.
+  void reset();
 
  private:
   struct Event {

@@ -7,30 +7,54 @@ namespace qcp2p::gnutella {
 GnutellaNetwork::GnutellaNetwork(const overlay::Graph& graph,
                                  const sim::PeerStore& store,
                                  const NetworkParams& params)
-    : graph_(&graph), params_(params), rng_(util::mix64(params.seed)) {
+    : GnutellaNetwork(graph, &store,
+                      sim::TimingParams{params.min_link_latency_s,
+                                        params.max_link_latency_s,
+                                        params.seed}) {}
+
+GnutellaNetwork::GnutellaNetwork(const overlay::Graph& graph,
+                                 const sim::PeerStore* store,
+                                 const sim::TimingParams& timing)
+    : graph_(&graph),
+      store_(store),
+      timing_(timing),
+      rng_(util::mix64(timing.seed)) {
   servents_.reserve(graph.num_nodes());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     const auto nbrs = graph.neighbors(v);
-    servents_.emplace_back(v, &store,
+    servents_.emplace_back(v, store,
                            std::vector<NodeId>(nbrs.begin(), nbrs.end()));
   }
+  touched_mark_.assign(graph.num_nodes(), 0);
 }
 
-double GnutellaNetwork::link_latency(NodeId u, NodeId v) const noexcept {
-  // Deterministic symmetric latency: hash the unordered edge.
-  const std::uint64_t a = std::min(u, v);
-  const std::uint64_t b = std::max(u, v);
-  const std::uint64_t h = util::mix64(params_.seed ^ (a << 32) ^ b);
-  const double frac =
-      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0,1)
-  return params_.min_link_latency_s +
-         frac * (params_.max_link_latency_s - params_.min_link_latency_s);
+void GnutellaNetwork::touch(NodeId v) {
+  if (touched_mark_[v]) return;
+  touched_mark_[v] = 1;
+  touched_.push_back(v);
+}
+
+void GnutellaNetwork::rewind() {
+  sim_.reset();
+  for (NodeId v : touched_) {
+    servents_[v].reset();
+    touched_mark_[v] = 0;
+  }
+  touched_.clear();
 }
 
 void GnutellaNetwork::deliver(NodeId from, NodeId to,
                               const Descriptor& descriptor) {
-  ++messages_;
-  sim_.schedule(link_latency(from, to), [this, from, to, descriptor] {
+  ++messages_;  // the bits left the sender, delivered or not
+  double latency = timing_.link_latency(from, to);
+  if (faults_ != nullptr) {
+    const std::uint64_t i = faults_->sent();
+    if (!faults_->deliver()) return;  // lost in flight
+    latency += faults_->plan().jitter_ms(faults_->trial(), i) / 1000.0;
+  }
+  if (online_ != nullptr && !(*online_)[to]) return;  // dead peer
+  touch(to);
+  sim_.schedule(latency, [this, from, to, descriptor] {
     const Servent::SendFn send = [this, to](NodeId next,
                                             const Descriptor& d) {
       deliver(to, next, d);
@@ -39,13 +63,14 @@ void GnutellaNetwork::deliver(NodeId from, NodeId to,
       if (d.header.type == DescriptorType::kQueryHit &&
           active_query_ != nullptr) {
         active_query_->hits.push_back(QueryOutcome::Hit{
-            sim_.now(), d.hit.responder, d.hit.object_ids.size()});
+            sim_.now(), d.hit.responder, d.hit.object_ids.size(),
+            d.hit.object_ids});
       } else if (d.header.type == DescriptorType::kPong &&
                  active_ping_ != nullptr) {
         active_ping_->pongs.push_back(d.pong);
       }
     };
-    servents_[to].handle(from, descriptor, send, on_hit);
+    servents_[to].handle(from, descriptor, send, on_hit, match_);
   });
 }
 
@@ -63,7 +88,56 @@ QueryOutcome GnutellaNetwork::query(NodeId source, std::vector<TermId> terms,
                                                    rng_, send);
   sim_.run();
   outcome.messages = messages_;
+  outcome.events = sim_.executed();  // cumulative on this legacy path
   active_query_ = nullptr;
+  return outcome;
+}
+
+QueryOutcome GnutellaNetwork::query(NodeId source, std::vector<TermId> terms,
+                                    std::uint8_t ttl,
+                                    const QueryOptions& opts) {
+  rewind();
+  faults_ = opts.faults;
+  online_ = opts.online;
+  peers_evaluated_ = 0;
+  if (!opts.holders.empty()) {
+    match_ = [this, holders = opts.holders](
+                 NodeId self,
+                 const std::vector<TermId>&) -> std::vector<std::uint64_t> {
+      ++peers_evaluated_;
+      if (std::binary_search(holders.begin(), holders.end(), self)) {
+        return {static_cast<std::uint64_t>(self)};
+      }
+      return {};
+    };
+  } else {
+    match_ = [this](NodeId self, const std::vector<TermId>& query_terms) {
+      ++peers_evaluated_;
+      return store_ != nullptr ? store_->match(self, query_terms)
+                               : std::vector<std::uint64_t>{};
+    };
+  }
+
+  QueryOutcome outcome;
+  active_query_ = &outcome;
+  messages_ = 0;
+  touch(source);  // originate_query seeds the source's route table
+
+  util::Rng& rng = opts.rng != nullptr ? *opts.rng : rng_;
+  const Servent::SendFn send = [this, source](NodeId next,
+                                              const Descriptor& d) {
+    deliver(source, next, d);
+  };
+  outcome.guid =
+      servents_[source].originate_query(std::move(terms), ttl, rng, send);
+  sim_.run();
+  outcome.messages = messages_;
+  outcome.peers_evaluated = peers_evaluated_;
+  outcome.events = sim_.executed();  // per-query: rewind() zeroed it
+  active_query_ = nullptr;
+  faults_ = nullptr;
+  online_ = nullptr;
+  match_ = {};
   return outcome;
 }
 

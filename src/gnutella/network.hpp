@@ -9,11 +9,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/des/simulator.hpp"
 #include "src/gnutella/servent.hpp"
 #include "src/overlay/graph.hpp"
+#include "src/sim/fault.hpp"
+#include "src/sim/timing.hpp"
 
 namespace qcp2p::gnutella {
 
@@ -32,9 +35,17 @@ struct QueryOutcome {
     des::Time at = 0.0;
     NodeId responder = 0;
     std::size_t objects = 0;
+    /// Matched object ids (empty sentinel id in locate mode).
+    std::vector<std::uint64_t> object_ids;
   };
   std::vector<Hit> hits;
   std::uint64_t messages = 0;  // all descriptor transmissions, any type
+  /// Servents that evaluated the query against their content (options
+  /// path only: counting needs the network-installed matcher).
+  std::uint64_t peers_evaluated = 0;
+  /// DES events executed. Per-query under the options path (which
+  /// rewinds the world); cumulative under the legacy 3-arg query().
+  std::uint64_t events = 0;
   std::optional<des::Time> first_hit() const {
     return hits.empty() ? std::nullopt : std::optional(hits.front().at);
   }
@@ -53,10 +64,39 @@ class GnutellaNetwork {
   GnutellaNetwork(const overlay::Graph& graph, const sim::PeerStore& store,
                   const NetworkParams& params = {});
 
-  /// Issues a query and runs the simulation to quiescence.
+  /// Same, with a nullable store (locate-only workloads supply holders
+  /// per query) and the engine layer's shared timing parameters.
+  GnutellaNetwork(const overlay::Graph& graph, const sim::PeerStore* store,
+                  const sim::TimingParams& timing);
+
+  /// Issues a query and runs the simulation to quiescence. The clock is
+  /// cumulative across calls (successive queries run later in simulated
+  /// time) — the per-query-clock path is the QueryOptions overload.
   [[nodiscard]] QueryOutcome query(NodeId source,
                                    std::vector<TermId> terms,
                                    std::uint8_t ttl);
+
+  /// Per-query knobs of the engine-layer overload below.
+  struct QueryOptions {
+    /// Fault stream: each transmission charges one message index (drop
+    /// decides delivery, jitter is added to that link's latency).
+    sim::FaultSession* faults = nullptr;
+    /// Liveness mask: offline peers neither receive nor relay.
+    const std::vector<bool>* online = nullptr;
+    /// Sorted holder ids — non-empty switches matching to locate mode
+    /// (a holder answers every query; terms are ignored).
+    std::span<const sim::NodeId> holders{};
+    /// GUID source; the network's own rng when null.
+    util::Rng* rng = nullptr;
+  };
+
+  /// Engine-layer query: REWINDS the world first (clock to 0, touched
+  /// servents' routing state cleared) so outcomes are a pure function of
+  /// (world, query, options) — the determinism the TrialRunner sharding
+  /// contract needs — then injects faults/liveness per `opts`.
+  [[nodiscard]] QueryOutcome query(NodeId source, std::vector<TermId> terms,
+                                   std::uint8_t ttl,
+                                   const QueryOptions& opts);
 
   /// Issues a ping sweep (crawler discovery) and runs to quiescence.
   [[nodiscard]] PingOutcome ping(NodeId source, std::uint8_t ttl);
@@ -67,12 +107,15 @@ class GnutellaNetwork {
   [[nodiscard]] des::Time now() const noexcept { return sim_.now(); }
 
  private:
-  /// Latency of the (u, v) link; symmetric, deterministic per edge.
-  [[nodiscard]] double link_latency(NodeId u, NodeId v) const noexcept;
   void deliver(NodeId from, NodeId to, const Descriptor& descriptor);
+  /// Marks a servent as holding routing state from the current query.
+  void touch(NodeId v);
+  /// Clock to 0, touched servents reset — O(servents touched).
+  void rewind();
 
   const overlay::Graph* graph_;
-  NetworkParams params_;
+  const sim::PeerStore* store_;
+  sim::TimingModel timing_;
   des::Simulator sim_;
   std::vector<Servent> servents_;
   util::Rng rng_;
@@ -81,6 +124,12 @@ class GnutellaNetwork {
   QueryOutcome* active_query_ = nullptr;
   PingOutcome* active_ping_ = nullptr;
   std::uint64_t messages_ = 0;
+  std::uint64_t peers_evaluated_ = 0;
+  sim::FaultSession* faults_ = nullptr;
+  const std::vector<bool>* online_ = nullptr;
+  Servent::MatchFn match_;
+  std::vector<NodeId> touched_;
+  std::vector<char> touched_mark_;
 };
 
 }  // namespace qcp2p::gnutella

@@ -25,6 +25,12 @@ bool Servent::remove_neighbor(NodeId peer) {
   return true;
 }
 
+void Servent::reset() {
+  route_table_.clear();
+  route_order_.clear();
+  route_order_head_ = 0;
+}
+
 void Servent::expire_routes(std::size_t max_entries) {
   while (route_table_.size() > max_entries &&
          route_order_head_ < route_order_.size()) {
@@ -86,7 +92,8 @@ void Servent::route_back(const Descriptor& descriptor, const SendFn& send,
 }
 
 void Servent::handle(NodeId from, const Descriptor& descriptor,
-                     const SendFn& send, const HitFn& on_hit) {
+                     const SendFn& send, const HitFn& on_hit,
+                     const MatchFn& match) {
   ++seen_count_;
   const Header& h = descriptor.header;
 
@@ -103,7 +110,11 @@ void Servent::handle(NodeId from, const Descriptor& descriptor,
 
       if (h.type == DescriptorType::kQuery) {
         // Local match -> QUERY_HIT routed back toward the originator.
-        const auto matches = store_->match(self_, descriptor.query.terms);
+        const auto matches =
+            match ? match(self_, descriptor.query.terms)
+                  : (store_ != nullptr
+                         ? store_->match(self_, descriptor.query.terms)
+                         : std::vector<std::uint64_t>{});
         if (!matches.empty()) {
           Descriptor hit;
           hit.header.guid = h.guid;  // hits reuse the query GUID for routing
@@ -123,7 +134,9 @@ void Servent::handle(NodeId from, const Descriptor& descriptor,
         pong.header.hops = 0;
         pong.pong.responder = self_;
         pong.pong.shared_files =
-            static_cast<std::uint32_t>(store_->objects(self_).size());
+            store_ != nullptr
+                ? static_cast<std::uint32_t>(store_->objects(self_).size())
+                : 0;
         send(from, pong);
       }
 

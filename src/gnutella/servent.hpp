@@ -24,8 +24,14 @@ class Servent {
   using SendFn = std::function<void(NodeId, const Descriptor&)>;
   /// Callback when a QUERY_HIT reaches the query's originator.
   using HitFn = std::function<void(const Descriptor&)>;
+  /// Optional content matcher overriding the store: returns the object
+  /// ids node `self` answers the terms with. Lets one servent network
+  /// serve both content search and holder-placement (locate) workloads.
+  using MatchFn = std::function<std::vector<std::uint64_t>(
+      NodeId self, const std::vector<TermId>& terms)>;
 
-  /// @param store  shared content store; `self` indexes into it.
+  /// @param store  shared content store; `self` indexes into it. May be
+  ///               null when every query supplies a MatchFn.
   Servent(NodeId self, const sim::PeerStore* store,
           std::vector<NodeId> neighbors);
 
@@ -48,6 +54,11 @@ class Servent {
     return route_table_.size();
   }
 
+  /// Forgets all routing/dedup state (route table, order log, counters
+  /// stay). Used between independent queries when the network rewinds
+  /// its clock: a fresh query must not be suppressed by old GUIDs.
+  void reset();
+
   /// Originates a query: floods to all neighbors with the given TTL.
   /// Returns the query's GUID (hits for it arrive via `on_hit`).
   Guid originate_query(std::vector<TermId> terms, std::uint8_t ttl,
@@ -56,9 +67,10 @@ class Servent {
   /// Originates a ping (crawler-style network discovery).
   Guid originate_ping(std::uint8_t ttl, util::Rng& rng, const SendFn& send);
 
-  /// Handles a descriptor arriving from neighbor `from`.
+  /// Handles a descriptor arriving from neighbor `from`. A non-empty
+  /// `match` replaces the store for content matching on queries.
   void handle(NodeId from, const Descriptor& descriptor, const SendFn& send,
-              const HitFn& on_hit);
+              const HitFn& on_hit, const MatchFn& match = {});
 
   // Statistics.
   [[nodiscard]] std::uint64_t descriptors_seen() const noexcept {

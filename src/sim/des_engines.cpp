@@ -1,0 +1,271 @@
+// DES-backed registry engines: the descriptor-level Gnutella path and a
+// message-timed Chord lookup, folded into the unified SearchEngine
+// contract. Where the round-based engines ESTIMATE latency (hops x mean
+// link latency), these run the discrete-event kernel and report exact
+// per-link times — the two ends of the accuracy/cost spectrum sharing
+// one TimingModel, one Query, one SearchOutcome.
+//
+// Lives in qcp2p_sim (not qcp2p_gnutella) because the registry factory
+// table is closed here; qcp2p_sim <-> qcp2p_gnutella is a declared
+// static-library cycle.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/des/simulator.hpp"
+#include "src/gnutella/network.hpp"
+#include "src/sim/dht.hpp"
+#include "src/sim/engine_registry.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+/// Descriptor-level flood: per worker, a GnutellaNetwork over the
+/// world's graph (store nullable: locate workloads match holders per
+/// query). Every attempt rewinds the network and replays the query
+/// through the DES kernel, so outcomes are a pure function of
+/// (world, query, faults) — deterministic under TrialRunner sharding.
+///
+/// Semantics beyond the round-based flood engine: reverse-path
+/// QUERY_HIT delivery (a hit must also survive the trip home), exact
+/// first-hit latency, and loss/jitter applied per transmission on the
+/// wire rather than per logical edge visit.
+class FloodDesEngine final : public SearchEngine {
+ public:
+  FloodDesEngine(const Graph& graph, const PeerStore* store,
+                 const TimingParams& timing) noexcept
+      : graph_(&graph), store_(store), timing_(timing) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "flood-des";
+  }
+  [[nodiscard]] bool can_locate() const noexcept override { return true; }
+
+ protected:
+  bool preflight(const Query& query, const FaultSession*) const override {
+    if (graph_->num_nodes() == 0) return false;
+    if (!query.is_locate() && store_ == nullptr) return false;
+    // An offline source issues nothing (and is not probed locally).
+    return query.online == nullptr || (*query.online)[query.source];
+  }
+
+  void begin(const Query& query, EngineContext& ctx,
+             SearchOutcome& out) const override {
+    out.timing.emplace();
+    out.timing->exact = true;
+    if (query.is_locate()) {
+      // A node already holding the object needs no search at all.
+      if (std::binary_search(query.holders.begin(), query.holders.end(),
+                             query.source)) {
+        out.success = true;
+        out.timing->first_hit_s = 0.0;
+      }
+      return;
+    }
+    // Real servents check local content before flooding; that probe is
+    // fault-free and attempt-independent.
+    const NodeId self[1] = {query.source};
+    probe_peers(*store_, query.terms, self, ctx.scratch, out.hits,
+                out.peers_probed);
+    if (!out.hits.empty()) out.timing->first_hit_s = 0.0;
+  }
+
+  void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
+               const RecoveryPolicy*, SearchOutcome& out) const override {
+    if (out.success) return;  // locate satisfied by the source's own copy
+    auto& net = worker_state<gnutella::GnutellaNetwork>(this, ctx, [&] {
+      return std::make_shared<gnutella::GnutellaNetwork>(*graph_, store_,
+                                                         timing_);
+    });
+    // This attempt starts after all prior attempts' simulated time plus
+    // every recovery wait charged so far.
+    const double base =
+        out.timing->clock_s + out.fault.recovery_wait_ms / 1000.0;
+    const std::uint64_t dropped_before =
+        faults != nullptr ? faults->dropped() : 0;
+
+    gnutella::GnutellaNetwork::QueryOptions opts;
+    opts.faults = faults;
+    opts.online = query.online;
+    opts.holders = query.holders;
+    opts.rng = ctx.rng;
+    const auto qo = net.query(
+        query.source, std::vector<TermId>(query.terms.begin(),
+                                          query.terms.end()),
+        static_cast<std::uint8_t>(std::min<std::uint32_t>(query.ttl, 255u)),
+        opts);
+
+    out.messages += qo.messages;
+    out.peers_probed += qo.peers_evaluated;
+    if (faults != nullptr) {
+      out.fault.dropped += faults->dropped() - dropped_before;
+    }
+    if (query.is_locate()) {
+      if (!qo.hits.empty()) out.success = true;
+    } else {
+      for (const auto& hit : qo.hits) {
+        out.hits.insert(out.hits.end(), hit.object_ids.begin(),
+                        hit.object_ids.end());
+      }
+    }
+    if (!out.timing->has_first_hit() && qo.first_hit().has_value()) {
+      out.timing->first_hit_s = base + *qo.first_hit();
+    }
+    out.timing->clock_s += net.now();  // rewound per query: now() = elapsed
+    out.timing->events += qo.events;
+  }
+
+  void finish(const Query& query, SearchOutcome& out) const override {
+    // Recovery waits are simulated time the querier sat through.
+    out.timing->clock_s += out.fault.recovery_wait_ms / 1000.0;
+    SearchEngine::finish(query, out);
+  }
+
+ private:
+  const Graph* graph_;
+  const PeerStore* store_;
+  TimingParams timing_;
+};
+
+/// Message-timed Chord keyword search: same lookups and hop charges as
+/// dht-only, but every transmission the router charges is replayed as a
+/// DES event at its link's latency, per-term lookups running in
+/// parallel from t=0 (they are independent). A routed term costs one
+/// additional (droppable) response transmission back to the querier.
+/// The conjunctive result exists only once every term's response is in,
+/// so first-hit equals total clock. Jitter and in-lookup recovery waits
+/// accrue serially to the querier's clock.
+class DhtDesEngine final : public SearchEngine {
+ public:
+  DhtDesEngine(const ChordDht& dht, const TimingParams& timing) noexcept
+      : dht_(&dht), timing_(timing) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "dht-des";
+  }
+
+ protected:
+  bool preflight(const Query& query, const FaultSession*) const override {
+    if (query.terms.empty()) return false;
+    return query.online == nullptr || (*query.online)[query.source];
+  }
+
+  bool retryable() const noexcept override { return false; }
+
+  void begin(const Query&, EngineContext&, SearchOutcome& out) const override {
+    out.timing.emplace();
+    out.timing->exact = true;
+  }
+
+  void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
+               const RecoveryPolicy* policy,
+               SearchOutcome& out) const override {
+    auto& sim = worker_state<des::Simulator>(
+        this, ctx, [] { return std::make_shared<des::Simulator>(); });
+    sim.reset();
+    const TimingModel timing(timing_);
+
+    double extra_s = 0.0;  // serial jitter + in-lookup recovery waits
+    std::unordered_map<std::uint64_t, std::size_t> object_term_hits;
+    ChordDht::SendLog sends;
+    for (TermId t : query.terms) {
+      sends.clear();
+      const std::uint64_t key = dht_->term_key(t);
+      NodeId index_node = 0;
+      bool routed = false;
+      if (faults != nullptr && policy != nullptr) {
+        const double lat_before = faults->latency_ms();
+        const ChordDht::FaultyLookup fl =
+            dht_->lookup(key, query.source, *faults, *policy, &sends);
+        out.messages += fl.hops;
+        out.fault.merge(fl.fault);
+        extra_s += (faults->latency_ms() - lat_before) / 1000.0;
+        index_node = fl.node;
+        routed = fl.success;
+      } else {
+        const ChordDht::LookupResult lr =
+            dht_->lookup(key, query.source, &sends);
+        out.messages += lr.hops;
+        index_node = lr.node;
+        routed = true;
+      }
+      // Replay the charged transmissions as events on this term's chain.
+      double at = 0.0;
+      for (const auto& [u, v] : sends) {
+        at += timing.link_latency(u, v);
+        sim.schedule(at, [] {});
+      }
+      if (!routed) continue;
+
+      // One response transmission straight back to the querier (DHT
+      // responses ride the IP shortcut, not the reverse overlay path).
+      ++out.messages;
+      bool delivered = true;
+      if (faults != nullptr) {
+        const double lat_before = faults->latency_ms();
+        if (!faults->deliver_timed()) {
+          ++out.fault.dropped;
+          delivered = false;
+        }
+        extra_s += (faults->latency_ms() - lat_before) / 1000.0;
+      }
+      if (!delivered) continue;
+      sim.schedule(at + timing.link_latency(index_node, query.source), [] {});
+
+      // Postings from the term's index, mirroring search_term: a dead
+      // plain-path index node withholds everything; offline holders'
+      // copies cannot be fetched either way.
+      if (faults == nullptr && query.online != nullptr &&
+          !(*query.online)[index_node]) {
+        continue;
+      }
+      std::vector<std::uint64_t> ids;
+      for (const ChordDht::Posting& p : dht_->term_postings(t)) {
+        if (faults != nullptr ? !faults->online(p.holder)
+                              : (query.online != nullptr &&
+                                 !(*query.online)[p.holder])) {
+          continue;
+        }
+        ids.push_back(p.object_id);
+      }
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      for (std::uint64_t id : ids) ++object_term_hits[id];
+    }
+    for (const auto& [id, hits] : object_term_hits) {
+      if (hits == query.terms.size()) out.hits.push_back(id);
+    }
+    sim.run();
+    out.timing->events += sim.executed();
+    out.timing->clock_s += sim.now() + extra_s;
+    if (!out.hits.empty() && !out.timing->has_first_hit()) {
+      out.timing->first_hit_s = out.timing->clock_s;
+    }
+    out.extras = HybridExtras{0, out.messages, true};
+  }
+
+ private:
+  const ChordDht* dht_;
+  TimingParams timing_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<SearchEngine> make_flood_des_engine(const EngineWorld& world) {
+  if (world.graph == nullptr) return nullptr;
+  return std::make_unique<FloodDesEngine>(*world.graph, world.store,
+                                          world.timing);
+}
+
+std::unique_ptr<SearchEngine> make_dht_des_engine(const EngineWorld& world) {
+  if (world.dht == nullptr) return nullptr;
+  return std::make_unique<DhtDesEngine>(*world.dht, world.timing);
+}
+
+}  // namespace detail
+
+}  // namespace qcp2p::sim

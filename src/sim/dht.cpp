@@ -83,7 +83,8 @@ NodeId ChordDht::closest_preceding(NodeId node, std::uint64_t key) const noexcep
   return successor_[node];
 }
 
-ChordDht::LookupResult ChordDht::lookup(std::uint64_t key, NodeId from) const {
+ChordDht::LookupResult ChordDht::lookup(std::uint64_t key, NodeId from,
+                                        SendLog* sends) const {
   if (from >= node_ids_.size()) throw std::out_of_range("ChordDht::lookup");
   LookupResult result;
   NodeId cur = from;
@@ -96,18 +97,21 @@ ChordDht::LookupResult ChordDht::lookup(std::uint64_t key, NodeId from) const {
     const NodeId succ = successor_[cur];
     if (in_open_closed(node_ids_[cur], node_ids_[succ], key)) {
       ++result.hops;  // final forward to the responsible node
+      if (sends != nullptr) sends->emplace_back(cur, succ);
       result.node = succ;
       return result;
     }
-    cur = closest_preceding(cur, key);
+    const NodeId next = closest_preceding(cur, key);
+    if (sends != nullptr) sends->emplace_back(cur, next);
+    cur = next;
     ++result.hops;
   }
   throw std::runtime_error("ChordDht::lookup failed to converge");
 }
 
 bool ChordDht::route_once(std::uint64_t key, NodeId from, FaultSession& faults,
-                          const RecoveryPolicy& policy,
-                          FaultyLookup& out) const {
+                          const RecoveryPolicy& policy, FaultyLookup& out,
+                          SendLog* sends) const {
   NodeId cur = from;
   for (std::size_t guard = 0; guard <= ring_.size(); ++guard) {
     if (node_ids_[cur] == key) {  // exact hit: cur owns the key
@@ -156,6 +160,7 @@ bool ChordDht::route_once(std::uint64_t key, NodeId from, FaultSession& faults,
     bool advanced = false;
     for (std::size_t i = 0; i < ncand; ++i) {
       ++out.hops;
+      if (sends != nullptr) sends->emplace_back(cur, cands[i]);
       if (i > 0) ++out.fault.route_around_hops;
       if (!faults.deliver_timed()) {
         ++out.fault.dropped;  // forward lost in flight
@@ -177,12 +182,13 @@ bool ChordDht::route_once(std::uint64_t key, NodeId from, FaultSession& faults,
 
 ChordDht::FaultyLookup ChordDht::lookup(std::uint64_t key, NodeId from,
                                         FaultSession& faults,
-                                        const RecoveryPolicy& policy) const {
+                                        const RecoveryPolicy& policy,
+                                        SendLog* sends) const {
   if (from >= node_ids_.size()) throw std::out_of_range("ChordDht::lookup");
   FaultyLookup out;
   if (!faults.online(from)) return out;  // a crashed node issues nothing
   for (std::uint32_t attempt = 0;; ++attempt) {
-    if (route_once(key, from, faults, policy, out)) {
+    if (route_once(key, from, faults, policy, out, sends)) {
       out.success = true;
       return out;
     }

@@ -45,8 +45,15 @@ class ChordDht {
     std::uint32_t hops = 0;  // routing messages spent
   };
 
+  /// Every transmission a lookup charges, in order, as (sender, next
+  /// hop) pairs — the per-link trace the DES-timed engines price through
+  /// a TimingModel. One entry per hop charged (detour sends included).
+  using SendLog = std::vector<std::pair<NodeId, NodeId>>;
+
   /// Greedy finger routing from `from` to the node responsible for key.
-  [[nodiscard]] LookupResult lookup(std::uint64_t key, NodeId from) const;
+  /// A non-null `sends` records one (sender, receiver) pair per hop.
+  [[nodiscard]] LookupResult lookup(std::uint64_t key, NodeId from,
+                                    SendLog* sends = nullptr) const;
 
   /// The node's successor list (the next `succ_list_len` live-or-dead
   /// nodes clockwise on the ring, nearest first). Keys a node is
@@ -71,10 +78,12 @@ class ChordDht {
   /// by the first live successor-list replica. When a whole attempt dies,
   /// the query times out, backs off, and re-routes from `from`, up to
   /// policy.max_retries times. With an inert session this follows (and
-  /// charges) exactly the hops of plain lookup().
+  /// charges) exactly the hops of plain lookup(). A non-null `sends`
+  /// records every charged transmission, lost/dead candidates included.
   [[nodiscard]] FaultyLookup lookup(std::uint64_t key, NodeId from,
                                     FaultSession& faults,
-                                    const RecoveryPolicy& policy) const;
+                                    const RecoveryPolicy& policy,
+                                    SendLog* sends = nullptr) const;
 
   // --- keyword / object layer -------------------------------------------
 
@@ -99,6 +108,15 @@ class ChordDht {
   /// Publishes every object of a PeerStore under all its terms, routing
   /// each publication from its holder. Returns total publish messages.
   std::uint64_t publish_store(const PeerStore& store);
+
+  /// Postings stored at the term's index node — the raw index content,
+  /// no routing charged. The DES-timed engine routes with lookup() and
+  /// reads the index through this.
+  [[nodiscard]] std::span<const Posting> term_postings(TermId term) const {
+    const auto it = term_index_.find(term);
+    if (it == term_index_.end()) return {};
+    return it->second;
+  }
 
   struct TermSearch {
     std::vector<Posting> postings;
@@ -137,7 +155,8 @@ class ChordDht {
   /// One routing attempt of the fault-injected lookup; false = attempt
   /// died (every candidate next hop at some step was lost or dead).
   bool route_once(std::uint64_t key, NodeId from, FaultSession& faults,
-                  const RecoveryPolicy& policy, FaultyLookup& out) const;
+                  const RecoveryPolicy& policy, FaultyLookup& out,
+                  SendLog* sends) const;
   [[nodiscard]] static bool in_open_closed(std::uint64_t a, std::uint64_t b,
                                            std::uint64_t x) noexcept;
   /// Closest finger of `node` strictly preceding `key`.

@@ -31,8 +31,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -40,6 +43,7 @@
 #include "src/sim/fault.hpp"
 #include "src/sim/network.hpp"
 #include "src/sim/search_scratch.hpp"
+#include "src/sim/timing.hpp"
 #include "src/util/rng.hpp"
 
 namespace qcp2p::sim {
@@ -98,6 +102,11 @@ struct SearchOutcome {
   bool success = false;
   FaultStats fault;
   EngineExtras extras;
+  /// Time axis (first-hit latency, simulated clock, DES events). Exact
+  /// for the DES-backed engines, estimated for the round-based ones that
+  /// price hops through a TimingModel, empty for engines with no time
+  /// model. See timing.hpp.
+  std::optional<TimingRecord> timing;
 };
 
 /// Typed access to the engine-specific payload; nullptr when the
@@ -109,10 +118,34 @@ template <typename T>
 
 /// Per-worker mutable state: one per TrialRunner shard. `rng` points at
 /// the current trial's stream and is re-seated every trial.
+///
+/// `state` is an engine-owned per-worker world (e.g. a DES simulator +
+/// servent network), created lazily through worker_state() below. It
+/// follows the same determinism rule as `scratch`: an engine may reuse
+/// it across trials only if its prior contents cannot affect results
+/// (the DES engines reset their world at the start of every query).
 struct EngineContext {
   SearchScratch scratch;
   util::Rng* rng = nullptr;
+  /// Which engine instance `state` belongs to (contexts are shared
+  /// across the engines of a sweep; a different owner means rebuild).
+  const void* state_owner = nullptr;
+  std::shared_ptr<void> state;
 };
+
+/// Lazily builds (or fetches) the per-worker state a stateful engine
+/// keeps in its EngineContext. `make` returns a std::shared_ptr<T> and
+/// runs once per (worker, engine) pair — TrialRunner gives each shard
+/// its own context, so the state is never shared across threads.
+template <typename T, typename MakeFn>
+[[nodiscard]] T& worker_state(const void* owner, EngineContext& ctx,
+                              MakeFn&& make) {
+  if (ctx.state_owner != owner || ctx.state == nullptr) {
+    ctx.state = std::forward<MakeFn>(make)();
+    ctx.state_owner = owner;
+  }
+  return *static_cast<T*>(ctx.state.get());
+}
 
 /// Shared result tail: sorts + deduplicates a hit list accumulated
 /// across peers (and across retry attempts).

@@ -35,6 +35,9 @@ struct EngineWorld {
   RandomWalkParams walk{};
   GiaSearchParams gia_search{};
   HybridParams hybrid{};
+  /// Link-latency model shared by every time-aware engine (exact for the
+  /// DES-backed ones, per-hop mean for the round-based estimates).
+  TimingParams timing{};
 };
 
 namespace detail {
@@ -45,6 +48,8 @@ std::unique_ptr<SearchEngine> make_gia_engine(const EngineWorld& world);
 std::unique_ptr<SearchEngine> make_hybrid_engine(const EngineWorld& world);
 std::unique_ptr<SearchEngine> make_dht_only_engine(const EngineWorld& world);
 std::unique_ptr<SearchEngine> make_qrp_engine(const EngineWorld& world);
+std::unique_ptr<SearchEngine> make_flood_des_engine(const EngineWorld& world);
+std::unique_ptr<SearchEngine> make_dht_des_engine(const EngineWorld& world);
 }  // namespace detail
 
 using EngineFactory = std::unique_ptr<SearchEngine> (*)(const EngineWorld&);
@@ -66,6 +71,8 @@ inline constexpr EngineEntry kEngineRegistry[] = {
     {"hybrid", false, &detail::make_hybrid_engine},
     {"dht-only", false, &detail::make_dht_only_engine},
     {"qrp", false, &detail::make_qrp_engine},
+    {"flood-des", true, &detail::make_flood_des_engine},
+    {"dht-des", false, &detail::make_dht_des_engine},
 };
 
 [[nodiscard]] constexpr std::span<const EngineEntry> engine_registry() {

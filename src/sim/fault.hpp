@@ -181,6 +181,7 @@ class FaultSession {
     return plan_->online(v);
   }
   [[nodiscard]] const FaultPlan& plan() const noexcept { return *plan_; }
+  [[nodiscard]] std::uint64_t trial() const noexcept { return trial_; }
 
   /// Adds recovery waiting (timeouts, backoff) to the trial's latency.
   void charge_wait(double ms) noexcept { latency_ms_ += ms; }

@@ -152,11 +152,19 @@ namespace {
 /// FloodEngine::reaches_any, content queries mirror flood_search. The
 /// source's local check is fault-free and attempt-independent, so begin()
 /// handles it exactly once; each attempt floods and harvests the ring.
+///
+/// Content queries also carry an ESTIMATED TimingRecord: a flood round
+/// is synchronous, so a peer first reached at hop h answers after a
+/// 2h-link round trip priced at the TimingModel's mean. The per-hop
+/// histogram already partitions scratch.reached by hop, so probing it
+/// segment by segment pins first-hit to a hop without changing the
+/// probe order (hits/messages stay bit-identical to flood_search).
 class FloodSearchEngine final : public SearchEngine {
  public:
   FloodSearchEngine(const Graph& graph, const PeerStore* store,
-                    const std::vector<bool>* forwards) noexcept
-      : graph_(&graph), store_(store), forwards_(forwards) {}
+                    const std::vector<bool>* forwards,
+                    const TimingParams& timing) noexcept
+      : graph_(&graph), store_(store), forwards_(forwards), timing_(timing) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "flood";
@@ -181,14 +189,17 @@ class FloodSearchEngine final : public SearchEngine {
       }
       return;
     }
+    out.timing.emplace();  // estimated; locate mode has no per-hop data
     const NodeId self[1] = {query.source};
     probe_peers(*store_, query.terms, self, ctx.scratch, out.hits,
                 out.peers_probed);
+    if (!out.hits.empty()) out.timing->first_hit_s = 0.0;
   }
 
   void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
                const RecoveryPolicy*, SearchOutcome& out) const override {
     if (out.success) return;  // locate satisfied by the source's own copy
+    const std::size_t hop_base = out.per_hop.size();
     flood_into(*graph_, query.source, query.ttl, forwards_, query.online,
                faults, ctx.scratch, out.messages, out.fault.dropped,
                query.is_locate() ? nullptr : &out.per_hop);
@@ -202,14 +213,41 @@ class FloodSearchEngine final : public SearchEngine {
       }
       return;
     }
-    probe_peers(*store_, query.terms, ctx.scratch.reached, ctx.scratch,
-                out.hits, out.peers_probed);
+    // Probe hop by hop: per_hop partitions reached in discovery order,
+    // so the concatenated probes are exactly flood_search's one pass.
+    const double base =
+        out.timing->clock_s + out.fault.recovery_wait_ms / 1000.0;
+    const double mean = TimingModel(timing_).mean_link_s();
+    std::size_t offset = 0;
+    for (std::size_t h = hop_base; h < out.per_hop.size(); ++h) {
+      const std::size_t n = static_cast<std::size_t>(out.per_hop[h]);
+      const std::size_t had_hits = out.hits.size();
+      probe_peers(*store_, query.terms,
+                  std::span<const NodeId>(ctx.scratch.reached)
+                      .subspan(offset, n),
+                  ctx.scratch, out.hits, out.peers_probed);
+      offset += n;
+      if (out.hits.size() > had_hits && !out.timing->has_first_hit()) {
+        out.timing->first_hit_s =
+            base + 2.0 * static_cast<double>(h - hop_base + 1) * mean;
+      }
+    }
+    out.timing->clock_s +=
+        2.0 * static_cast<double>(out.per_hop.size() - hop_base) * mean;
+  }
+
+  void finish(const Query& query, SearchOutcome& out) const override {
+    if (out.timing.has_value()) {
+      out.timing->clock_s += out.fault.recovery_wait_ms / 1000.0;
+    }
+    SearchEngine::finish(query, out);
   }
 
  private:
   const Graph* graph_;
   const PeerStore* store_;
   const std::vector<bool>* forwards_;
+  TimingParams timing_;
 };
 
 }  // namespace
@@ -219,7 +257,7 @@ namespace detail {
 std::unique_ptr<SearchEngine> make_flood_engine(const EngineWorld& world) {
   if (world.graph == nullptr) return nullptr;
   return std::make_unique<FloodSearchEngine>(*world.graph, world.store,
-                                             world.forwards);
+                                             world.forwards, world.timing);
 }
 
 }  // namespace detail

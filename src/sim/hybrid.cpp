@@ -198,9 +198,15 @@ class HybridEngine final : public SearchEngine {
 /// Registry adapter for the pure-DHT baseline: same keyword lookup, no
 /// flood phase. Recovery is Chord's own (per-term retries + successor
 /// route-around inside search_term), so no decorator-level retries.
+///
+/// Carries an ESTIMATED TimingRecord: Chord routing is serial, so the
+/// clock is every charged hop plus one response per term, priced at the
+/// TimingModel's mean, plus in-lookup recovery waits. The conjunctive
+/// result exists only once all terms resolve, so first-hit = clock.
 class DhtOnlyEngine final : public SearchEngine {
  public:
-  explicit DhtOnlyEngine(const ChordDht& dht) noexcept : dht_(&dht) {}
+  DhtOnlyEngine(const ChordDht& dht, const TimingParams& timing) noexcept
+      : dht_(&dht), timing_(timing) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "dht-only";
@@ -227,10 +233,19 @@ class DhtOnlyEngine final : public SearchEngine {
     out.hits.insert(out.hits.end(), dht_out.results.begin(),
                     dht_out.results.end());
     out.extras = HybridExtras{0, dht_out.dht_messages, true};
+
+    out.timing.emplace();  // estimated (exact twin: the dht-des engine)
+    const double mean = TimingModel(timing_).mean_link_s();
+    out.timing->clock_s =
+        static_cast<double>(dht_out.dht_messages + query.terms.size()) *
+            mean +
+        out.fault.recovery_wait_ms / 1000.0;
+    if (!out.hits.empty()) out.timing->first_hit_s = out.timing->clock_s;
   }
 
  private:
   const ChordDht* dht_;
+  TimingParams timing_;
 };
 
 }  // namespace
@@ -248,7 +263,7 @@ std::unique_ptr<SearchEngine> make_hybrid_engine(const EngineWorld& world) {
 
 std::unique_ptr<SearchEngine> make_dht_only_engine(const EngineWorld& world) {
   if (world.dht == nullptr) return nullptr;
-  return std::make_unique<DhtOnlyEngine>(*world.dht);
+  return std::make_unique<DhtOnlyEngine>(*world.dht, world.timing);
 }
 
 }  // namespace detail

@@ -1,0 +1,89 @@
+// Shared link-latency model + per-search timing record for the
+// time-aware engine layer.
+//
+// The paper's Fig 8 argument is ultimately about COST: under Zipf
+// replication the unstructured first phase of hybrid search fails so
+// often that its latency advantage evaporates. Measuring that needs a
+// time axis every engine shares:
+//   * TimingModel — deterministic per-edge link latency (the hash the
+//     descriptor-level GnutellaNetwork has always used, hoisted here so
+//     round-based engines and DES-backed engines price the same wire).
+//   * TimingRecord — the optional timing slice of a SearchOutcome:
+//     first-hit latency, simulated clock consumed, DES events executed,
+//     and whether the numbers are exact (event-driven simulation) or
+//     estimated (rounds x mean link latency).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/overlay/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+struct TimingParams {
+  /// Per-hop link latency range (uniform), seconds. P2P links are TCP
+  /// paths across the wide area: tens to low hundreds of ms.
+  double min_link_latency_s = 0.02;
+  double max_link_latency_s = 0.20;
+  /// Keys the per-edge latency hash (independent of any trial rng).
+  std::uint64_t seed = 5;
+};
+
+/// Deterministic symmetric link latencies: every (u, v) edge gets a
+/// fixed latency hashed from the unordered pair, so any two engines
+/// sharing a TimingModel price the same link identically — and a run is
+/// byte-identical for any --threads value.
+class TimingModel {
+ public:
+  TimingModel() = default;
+  explicit TimingModel(const TimingParams& params) noexcept
+      : params_(params) {}
+
+  [[nodiscard]] const TimingParams& params() const noexcept { return params_; }
+
+  /// Latency of the (u, v) link in seconds; symmetric, deterministic.
+  [[nodiscard]] double link_latency(overlay::NodeId u,
+                                    overlay::NodeId v) const noexcept {
+    const std::uint64_t a = std::min(u, v);
+    const std::uint64_t b = std::max(u, v);
+    const std::uint64_t h = util::mix64(params_.seed ^ (a << 32) ^ b);
+    const double frac =
+        static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0,1)
+    return params_.min_link_latency_s +
+           frac * (params_.max_link_latency_s - params_.min_link_latency_s);
+  }
+
+  /// Expected latency of one link — the per-hop price the round-based
+  /// engines use for estimated timing.
+  [[nodiscard]] double mean_link_s() const noexcept {
+    return 0.5 * (params_.min_link_latency_s + params_.max_link_latency_s);
+  }
+
+ private:
+  TimingParams params_{};
+};
+
+/// Optional timing slice of a SearchOutcome. DES-backed engines fill it
+/// with exact event-driven numbers (exact = true); round-based engines
+/// fill an estimate from hop counts x mean link latency (exact = false);
+/// engines with no time model leave the optional empty.
+struct TimingRecord {
+  /// Seconds until the first result reached the querier; negative when
+  /// no result ever arrived (check has_first_hit()).
+  double first_hit_s = -1.0;
+  /// Total simulated seconds the search consumed (all attempts, plus
+  /// recovery waits under fault injection).
+  double clock_s = 0.0;
+  /// Discrete events executed (0 for estimated records).
+  std::uint64_t events = 0;
+  /// True when the numbers come from the discrete-event simulation.
+  bool exact = false;
+
+  [[nodiscard]] bool has_first_hit() const noexcept {
+    return first_hit_s >= 0.0;
+  }
+};
+
+}  // namespace qcp2p::sim

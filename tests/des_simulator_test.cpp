@@ -85,5 +85,76 @@ TEST(Simulator, ExecutedAccumulatesAcrossRuns) {
   EXPECT_EQ(sim.executed(), 2u);
 }
 
+TEST(Simulator, ClearKeepsClockAndCounters) {
+  Simulator sim;
+  sim.schedule(2.0, [] {});
+  sim.run();
+  sim.schedule(1.0, [] {});
+  sim.clear();
+  // clear() only drops pending events: the timeline continues.
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(Simulator, ResetRestoresFreshlyConstructedState) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.schedule(2.0, [] {});
+  sim.run();
+  sim.schedule(5.0, [] {});  // still pending when reset() hits
+  sim.reset();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.executed(), 0u);
+  // The next run is a fresh timeline: a 1s delay fires at t = 1 (not
+  // t = 3), and per-run event counts start from zero.
+  double fired_at = -1.0;
+  sim.schedule(1.0, [&] { fired_at = sim.now(); });
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_DOUBLE_EQ(fired_at, 1.0);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.5, [&] { ++fired; });
+  sim.schedule(2.5, [&] { ++fired; });  // also exactly at t_end
+  sim.schedule(2.6, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(2.5), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, HandlerScheduledEventsRespectTheDeadline) {
+  Simulator sim;
+  std::vector<double> fire_times;
+  std::function<void()> chain = [&] {
+    fire_times.push_back(sim.now());
+    sim.schedule(1.0, chain);  // self-rescheduling: 1, 2, 3, ...
+  };
+  sim.schedule(1.0, chain);
+  EXPECT_EQ(sim.run_until(3.5), 3u);  // 1, 2, 3 fire; 4 stays pending
+  EXPECT_EQ(fire_times, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.5);
+}
+
+TEST(Simulator, ZeroDelayFromHandlerRunsAfterAlreadyQueuedPeers) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] {
+    order.push_back(0);
+    sim.schedule(0.0, [&] { order.push_back(2); });  // same timestamp
+  });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.run();
+  // The reentrantly scheduled event shares t = 1 but a later sequence
+  // number, so it fires after every already-queued t = 1 event.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 }  // namespace
 }  // namespace qcp2p::des

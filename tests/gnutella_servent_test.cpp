@@ -157,6 +157,90 @@ TEST(Servent, MultipleHoldersAllRespond) {
   EXPECT_EQ(h.arrived.size(), 3u);
 }
 
+TEST(Servent, ExpireRoutesDropsOldestFirstAndSurvivesCompaction) {
+  sim::PeerStore store(3);
+  store.finalize();
+  Servent sv(1, &store, {0, 2});
+  const Servent::SendFn no_send = [](NodeId, const Descriptor&) {};
+  const Servent::HitFn no_hit = [](const Descriptor&) {};
+  std::vector<Guid> guids;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Descriptor q;
+    q.header.guid = Guid{i + 1, i + 1};
+    q.header.type = DescriptorType::kQuery;
+    q.header.ttl = 1;
+    q.header.hops = 0;
+    q.query.terms = {static_cast<sim::TermId>(i)};
+    guids.push_back(q.header.guid);
+    sv.handle(0, q, no_send, no_hit);
+  }
+  ASSERT_EQ(sv.route_table_size(), 10u);
+  // Drops guids[0..4]; the dead prefix passes the midpoint, so the
+  // order log compacts — which must not disturb oldest-first order.
+  sv.expire_routes(5);
+  EXPECT_EQ(sv.route_table_size(), 5u);
+  sv.expire_routes(3);  // drops guids[5..6] from the compacted log
+  EXPECT_EQ(sv.route_table_size(), 3u);
+
+  // A surviving route still delivers hits toward the query's neighbor...
+  std::vector<NodeId> sent_to;
+  const Servent::SendFn record = [&](NodeId to, const Descriptor&) {
+    sent_to.push_back(to);
+  };
+  Descriptor hit;
+  hit.header.type = DescriptorType::kQueryHit;
+  hit.header.guid = guids[9];
+  hit.hit.responder = 2;
+  sv.handle(2, hit, record, no_hit);
+  EXPECT_EQ(sent_to, (std::vector<NodeId>{0}));
+
+  // ...but a hit for an expired route is undeliverable, as in the
+  // protocol: late answers die at the first hop lacking routing state.
+  sent_to.clear();
+  hit.header.guid = guids[4];
+  sv.handle(2, hit, record, no_hit);
+  EXPECT_TRUE(sent_to.empty());
+}
+
+TEST(Servent, LateHitAfterOriginRouteExpiryIsDropped) {
+  sim::PeerStore store(2);
+  store.finalize();
+  Servent sv(0, &store, {1});
+  util::Rng rng(9);
+  const Servent::SendFn no_send = [](NodeId, const Descriptor&) {};
+  const Guid guid = sv.originate_query({1}, 3, rng, no_send);
+  sv.expire_routes(0);  // bounded table flushed before the answer returns
+  bool hit_arrived = false;
+  Descriptor hit;
+  hit.header.type = DescriptorType::kQueryHit;
+  hit.header.guid = guid;
+  hit.hit.responder = 1;
+  sv.handle(1, hit, no_send,
+            [&](const Descriptor&) { hit_arrived = true; });
+  EXPECT_FALSE(hit_arrived);
+}
+
+TEST(Servent, ResetForgetsRoutingStateSoGuidsAreFreshAgain) {
+  sim::PeerStore store(2);
+  store.finalize();
+  Servent sv(1, &store, {0});
+  const Servent::SendFn no_send = [](NodeId, const Descriptor&) {};
+  const Servent::HitFn no_hit = [](const Descriptor&) {};
+  Descriptor q;
+  q.header.guid = Guid{42, 42};
+  q.header.type = DescriptorType::kQuery;
+  q.header.ttl = 1;
+  q.query.terms = {1};
+  sv.handle(0, q, no_send, no_hit);
+  sv.handle(0, q, no_send, no_hit);
+  EXPECT_EQ(sv.duplicates_dropped(), 1u);
+  sv.reset();
+  EXPECT_EQ(sv.route_table_size(), 0u);
+  sv.handle(0, q, no_send, no_hit);  // fresh again: not a duplicate
+  EXPECT_EQ(sv.duplicates_dropped(), 1u);
+  EXPECT_EQ(sv.route_table_size(), 1u);
+}
+
 TEST(Servent, HitForUnknownGuidIsDropped) {
   sim::PeerStore store(2);
   store.finalize();

@@ -1,0 +1,264 @@
+// The DES-backed engines (flood-des, dht-des) next to their round-based
+// twins (flood, dht-only): on the plain path the descriptor-level
+// simulation must find exactly the same results — it only adds a time
+// axis. Also pins the timing contract (exact flag, first-hit/clock
+// bounds), the events==messages invariant of the fault seam in
+// GnutellaNetwork::deliver, and that an inert with_faults() decorator
+// leaves the timing record bit-for-bit unchanged.
+#include "src/sim/engine_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/overlay/topology.hpp"
+#include "src/sim/fault_decorator.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+constexpr std::size_t kNodes = 64;
+
+/// Popular object 1 {1,2} on every 7th peer, one singleton, random
+/// filler — small cousin of the conformance-store recipe.
+PeerStore des_store(std::size_t nodes) {
+  PeerStore store(nodes);
+  util::Rng rng(12);
+  for (NodeId v = 0; v < nodes; v += 7) store.add_object(v, 1, {1, 2});
+  store.add_object(static_cast<NodeId>(33 % nodes), 2, {40, 41});
+  for (std::uint64_t i = 0; i < 3 * nodes; ++i) {
+    const auto peer = static_cast<NodeId>(rng.bounded(nodes));
+    std::vector<TermId> terms;
+    const std::size_t n = 1 + rng.bounded(3);
+    for (std::size_t k = 0; k < n; ++k) {
+      terms.push_back(static_cast<TermId>(rng.bounded(50)));
+    }
+    store.add_object(peer, 1000 + i, std::move(terms));
+  }
+  store.finalize();
+  return store;
+}
+
+struct DesWorld {
+  DesWorld() : store(des_store(kNodes)), graph(0) {
+    util::Rng rng(11);
+    graph = overlay::random_regular(kNodes, 4, rng);
+    dht = std::make_unique<ChordDht>(kNodes, 6);
+    dht->publish_store(store);
+  }
+
+  [[nodiscard]] EngineWorld engine_world() const {
+    EngineWorld w;
+    w.graph = &graph;
+    w.store = &store;
+    w.dht = dht.get();
+    return w;
+  }
+
+  PeerStore store;
+  Graph graph;
+  std::unique_ptr<ChordDht> dht;
+};
+
+std::vector<TermId> query_for(std::size_t t) {
+  switch (t % 3) {
+    case 0: return {1, 2};                          // popular
+    case 1: return {40, 41};                        // singleton
+    default: return {static_cast<TermId>(t % 50)};  // broad
+  }
+}
+
+Query content_query(std::size_t t, const std::vector<TermId>& terms) {
+  Query q;
+  q.source = static_cast<NodeId>(t * 5 % kNodes);
+  q.terms = terms;
+  q.ttl = 3;
+  q.trial = t;
+  return q;
+}
+
+TEST(DesEngines, FloodDesReachIsBoundedByTheRoundFloodBall) {
+  // Descriptor-level flooding is the REAL protocol: a node's first
+  // arriving copy (by link latency, not hop count) wins GUID dedup, and
+  // if that copy carried less remaining TTL than the hop-shortest one,
+  // the frontier is pruned there. So within a tight TTL the DES engine
+  // finds a SUBSET of the idealized round flood — never anything more.
+  const DesWorld world;
+  const EngineWorld ew = world.engine_world();
+  const auto flood = make_engine("flood", ew);
+  const auto flood_des = make_engine("flood-des", ew);
+  ASSERT_NE(flood, nullptr);
+  ASSERT_NE(flood_des, nullptr);
+  for (std::size_t t = 0; t < 30; ++t) {
+    const auto terms = query_for(t);
+    const Query q = content_query(t, terms);
+    EngineContext round_ctx, des_ctx;
+    util::Rng round_rng(100 + t), des_rng(100 + t);
+    round_ctx.rng = &round_rng;
+    des_ctx.rng = &des_rng;
+    const SearchOutcome round = flood->search(q, round_ctx);
+    const SearchOutcome des = flood_des->search(q, des_ctx);
+    EXPECT_TRUE(std::includes(round.hits.begin(), round.hits.end(),
+                              des.hits.begin(), des.hits.end()))
+        << "trial " << t;
+    if (des.success) EXPECT_TRUE(round.success) << "trial " << t;
+  }
+}
+
+TEST(DesEngines, FloodDesMatchesFloodWhenTtlDoesNotBind) {
+  // With TTL comfortably past the diameter every first-arriving copy
+  // still has hops to spare, dedup can't prune the frontier, and both
+  // engines probe the whole connected component: identical hits.
+  const DesWorld world;
+  const EngineWorld ew = world.engine_world();
+  const auto flood = make_engine("flood", ew);
+  const auto flood_des = make_engine("flood-des", ew);
+  ASSERT_NE(flood, nullptr);
+  ASSERT_NE(flood_des, nullptr);
+  for (std::size_t t = 0; t < 30; ++t) {
+    const auto terms = query_for(t);
+    Query q = content_query(t, terms);
+    q.ttl = 16;  // >> diameter of a 64-node degree-4 random graph
+    EngineContext round_ctx, des_ctx;
+    util::Rng round_rng(100 + t), des_rng(100 + t);
+    round_ctx.rng = &round_rng;
+    des_ctx.rng = &des_rng;
+    const SearchOutcome round = flood->search(q, round_ctx);
+    const SearchOutcome des = flood_des->search(q, des_ctx);
+    EXPECT_EQ(round.hits, des.hits) << "trial " << t;
+    EXPECT_EQ(round.success, des.success) << "trial " << t;
+  }
+}
+
+TEST(DesEngines, DhtDesFindsExactlyWhatDhtOnlyFinds) {
+  const DesWorld world;
+  const EngineWorld ew = world.engine_world();
+  const auto dht_only = make_engine("dht-only", ew);
+  const auto dht_des = make_engine("dht-des", ew);
+  ASSERT_NE(dht_only, nullptr);
+  ASSERT_NE(dht_des, nullptr);
+  for (std::size_t t = 0; t < 30; ++t) {
+    const auto terms = query_for(t);
+    const Query q = content_query(t, terms);
+    EngineContext a_ctx, b_ctx;
+    util::Rng a_rng(200 + t), b_rng(200 + t);
+    a_ctx.rng = &a_rng;
+    b_ctx.rng = &b_rng;
+    const SearchOutcome est = dht_only->search(q, a_ctx);
+    const SearchOutcome des = dht_des->search(q, b_ctx);
+    EXPECT_EQ(est.hits, des.hits) << "trial " << t;
+    EXPECT_EQ(est.success, des.success) << "trial " << t;
+    // Both walk the same finger tables; dht-des additionally charges
+    // the one response transmission per term that dht-only only prices
+    // into its latency estimate.
+    EXPECT_EQ(est.messages + terms.size(), des.messages) << "trial " << t;
+  }
+}
+
+TEST(DesEngines, TimingRecordsAreExactAndOrdered) {
+  const DesWorld world;
+  const EngineWorld ew = world.engine_world();
+  for (const std::string_view name : {"flood-des", "dht-des"}) {
+    const auto engine = make_engine(name, ew);
+    ASSERT_NE(engine, nullptr) << name;
+    for (std::size_t t = 0; t < 20; ++t) {
+      const auto terms = query_for(t);
+      const Query q = content_query(t, terms);
+      EngineContext ctx;
+      util::Rng rng(300 + t);
+      ctx.rng = &rng;
+      const SearchOutcome out = engine->search(q, ctx);
+      ASSERT_TRUE(out.timing.has_value()) << name << " trial " << t;
+      EXPECT_TRUE(out.timing->exact) << name << " trial " << t;
+      EXPECT_GE(out.timing->clock_s, 0.0) << name << " trial " << t;
+      if (out.messages > 0) {
+        EXPECT_GT(out.timing->clock_s, 0.0) << name << " trial " << t;
+      }
+      if (out.success) {
+        // A result can't arrive before t=0 or after the search ended.
+        ASSERT_TRUE(out.timing->has_first_hit()) << name << " trial " << t;
+        EXPECT_LE(out.timing->first_hit_s, out.timing->clock_s)
+            << name << " trial " << t;
+      }
+    }
+  }
+}
+
+TEST(DesEngines, FloodDesPlainPathExecutesOneEventPerMessage) {
+  // GnutellaNetwork::deliver charges the message, runs the fault gate,
+  // then schedules exactly one handler event. With no faults and no
+  // liveness mask nothing is dropped, so events == messages — the
+  // invariant that pins the fault seam's position in deliver().
+  const DesWorld world;
+  const auto engine = make_engine("flood-des", world.engine_world());
+  ASSERT_NE(engine, nullptr);
+  for (std::size_t t = 0; t < 20; ++t) {
+    const auto terms = query_for(t);
+    const Query q = content_query(t, terms);
+    EngineContext ctx;
+    util::Rng rng(400 + t);
+    ctx.rng = &rng;
+    const SearchOutcome out = engine->search(q, ctx);
+    ASSERT_TRUE(out.timing.has_value());
+    EXPECT_EQ(out.timing->events, out.messages) << "trial " << t;
+  }
+}
+
+TEST(DesEngines, InertDecoratorLeavesTimingUntouched) {
+  const DesWorld world;
+  const EngineWorld ew = world.engine_world();
+  const FaultPlan inert;  // loss 0, no jitter, no mask
+  RecoveryPolicy single_shot;
+  single_shot.max_retries = 0;
+  for (const std::string_view name : {"flood-des", "dht-des"}) {
+    const auto engine = make_engine(name, ew);
+    ASSERT_NE(engine, nullptr) << name;
+    const FaultInjectedEngine faulty =
+        with_faults(*engine, inert, single_shot);
+    for (std::size_t t = 0; t < 20; ++t) {
+      const auto terms = query_for(t);
+      const Query q = content_query(t, terms);
+      EngineContext plain_ctx, faulty_ctx;
+      util::Rng plain_rng(500 + t), faulty_rng(500 + t);
+      plain_ctx.rng = &plain_rng;
+      faulty_ctx.rng = &faulty_rng;
+      const SearchOutcome plain = engine->search(q, plain_ctx);
+      const SearchOutcome decorated = faulty.search(q, faulty_ctx);
+      ASSERT_TRUE(plain.timing.has_value()) << name << " trial " << t;
+      ASSERT_TRUE(decorated.timing.has_value()) << name << " trial " << t;
+      EXPECT_EQ(plain.timing->first_hit_s, decorated.timing->first_hit_s)
+          << name << " trial " << t;
+      EXPECT_EQ(plain.timing->clock_s, decorated.timing->clock_s)
+          << name << " trial " << t;
+      EXPECT_EQ(plain.timing->events, decorated.timing->events)
+          << name << " trial " << t;
+    }
+  }
+}
+
+TEST(DesEngines, FloodDesLocateSeesHoldersInTtlRange) {
+  const DesWorld world;
+  const auto engine = make_engine("flood-des", world.engine_world());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_TRUE(engine->can_locate());
+  EngineContext ctx;
+  util::Rng rng(7);
+  ctx.rng = &rng;
+  // Every node a holder: any 1-hop flood must locate one.
+  std::vector<NodeId> all(kNodes);
+  for (NodeId v = 0; v < kNodes; ++v) all[v] = v;
+  Query q;
+  q.source = 3;
+  q.holders = all;
+  q.ttl = 1;
+  const SearchOutcome out = engine->search(q, ctx);
+  EXPECT_TRUE(out.success);
+  ASSERT_TRUE(out.timing.has_value());
+  EXPECT_TRUE(out.timing->has_first_hit());
+  // The source itself is a holder here, so the hit is immediate.
+  EXPECT_DOUBLE_EQ(out.timing->first_hit_s, 0.0);
+}
+
+}  // namespace
+}  // namespace qcp2p::sim
