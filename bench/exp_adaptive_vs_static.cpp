@@ -1,0 +1,273 @@
+// Adaptive vs static query-centric advertisement (the paper's Section V
+// argument made operational): the same synopsis-guided routing run over
+// (a) a network whose per-peer term budgets keep tracking the observed
+// query stream and (b) one warmed once on the opening epoch and then
+// frozen, alongside the registry baselines (flood, qrp, hybrid,
+// dht-only) — under three query mixes:
+//
+//   stable       the epoch-0 popularity ranking holds for the whole run
+//   drifting     the popular set rotates every epoch
+//   flash-crowd  a previously-cold query erupts to half the traffic
+//
+// Measurement discipline: each epoch is measured BEFORE the adaptive
+// network observes it (its state reflects history up to the previous
+// epoch — a deployed system's one-epoch lag), then the adaptive network
+// observes the epoch and re-ranks; the static network never re-ranks
+// after warm-up. Re-advertisement counts and bytes are charged so the
+// adaptation traffic is visible next to the search savings. All rows are
+// byte-identical for any --threads value (sim::TrialRunner).
+#include "bench/bench_common.hpp"
+
+#include <array>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/sim/adaptive.hpp"
+#include "src/sim/qrp.hpp"
+#include "src/util/zipf.hpp"
+
+using namespace qcp2p;
+
+namespace {
+
+struct MixDef {
+  std::size_t index;
+  std::string_view name;
+  bool drift;
+  bool flash;
+};
+
+constexpr MixDef kMixes[] = {
+    {0, "stable", false, false},
+    {1, "drifting", true, false},
+    {2, "flash-crowd", false, true},
+};
+
+// Niche queries are where query-centric adaptation can matter at all:
+// single-term queries over terms held by only a few peers, none of whom
+// would advertise the term under the cold content-frequency ranking (it
+// is locally rare on every holder). Popularity is the ONLY signal that
+// can promote such a term into a synopsis. Terms already appearing in
+// the Zipf pool are excluded so warm-up traffic cannot pre-promote them.
+std::vector<std::vector<sim::TermId>> find_niche_queries(
+    const sim::PeerStore& store, const sim::AdaptiveOverlayNetwork& cold,
+    const std::vector<std::vector<sim::TermId>>& pool_queries,
+    std::size_t limit) {
+  std::unordered_set<sim::TermId> pool_terms;
+  for (const auto& q : pool_queries) pool_terms.insert(q.begin(), q.end());
+  std::unordered_map<sim::TermId, std::vector<sim::NodeId>> holders;
+  for (sim::NodeId v = 0; v < store.num_peers(); ++v) {
+    for (const sim::TermId t : store.peer_terms(v)) holders[t].push_back(v);
+  }
+  std::vector<sim::TermId> candidates;
+  for (const auto& [t, hs] : holders) {
+    if (hs.empty() || hs.size() > 6 || pool_terms.count(t) != 0) continue;
+    bool advertised = false;
+    for (const sim::NodeId h : hs) {
+      if (cold.synopsis(h).maybe_contains(t)) {
+        advertised = true;
+        break;
+      }
+    }
+    if (!advertised) candidates.push_back(t);
+  }
+  std::sort(candidates.begin(), candidates.end());  // deterministic order
+  if (candidates.size() > limit) candidates.resize(limit);
+  std::vector<std::vector<sim::TermId>> out;
+  out.reserve(candidates.size());
+  for (const sim::TermId t : candidates) out.push_back({t});
+  return out;
+}
+
+// Epoch workload: per-trial indices into pool+niche queries (niche query
+// i has index pool+i). Pregenerated serially so the workload is
+// independent of --threads.
+//
+//   stable       Zipf over the pool, same ranking every epoch
+//   drifting     60% of traffic on a 24-wide niche head that slides by 8
+//                per epoch (consecutive epochs share 2/3 of the head)
+//   flash-crowd  from epoch 1 on, half of all traffic is one niche query
+//                that warm-up never saw
+std::vector<std::size_t> make_workload(const MixDef& mix, std::size_t epoch,
+                                       std::size_t trials, std::size_t pool,
+                                       std::size_t niche, std::uint64_t seed) {
+  util::Rng rng(
+      bench::seed_stream(seed, 1'000 * (mix.index + 1) + epoch));
+  const util::ZipfSampler zipf(pool, 1.0);
+  std::vector<std::size_t> out;
+  out.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    if (mix.flash && epoch >= 1 && niche > 0 && rng.chance(0.5)) {
+      out.push_back(pool);  // the burst query
+    } else if (mix.drift && niche > 0 && rng.chance(0.6)) {
+      const std::size_t head = std::min<std::size_t>(24, niche);
+      out.push_back(pool + (epoch * 8 + rng.bounded(head)) % niche);
+    } else {
+      out.push_back(zipf(rng) - 1);
+    }
+  }
+  return out;
+}
+
+// Timing folded into integer ns (TrialAggregate sums integers so output
+// stays byte-identical across --threads): extra[0]=first-hit ns,
+// extra[1]=trials with a hit, extra[2]=guided, extra[3]=fallback.
+sim::TrialOutcome map_adaptive(const sim::SearchOutcome& r) {
+  sim::TrialOutcome out;
+  out.success = r.success;
+  out.messages = r.messages;
+  out.peers_probed = r.peers_probed;
+  if (r.timing.has_value() && r.timing->has_first_hit()) {
+    out.extra[0] =
+        static_cast<std::uint64_t>(r.timing->first_hit_s * 1e9 + 0.5);
+    out.extra[1] = 1;
+  }
+  if (const auto* extras = sim::extras_as<sim::AdaptiveExtras>(r)) {
+    out.extra[2] = extras->guided_forwards;
+    out.extra[3] = extras->fallback_forwards;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 0.02);
+  const auto nodes = cli.get_uint("nodes", 2'000);
+  const auto trials_per_epoch = cli.get_uint("queries", 200);
+  const auto epochs = cli.get_uint("epochs", 5);  // epoch 0 = warm-up
+  const auto ttl = static_cast<std::uint32_t>(cli.get_uint("ttl", 4));
+  bench::print_header(
+      "exp_adaptive_vs_static", env,
+      "Query-centric advertisement that keeps adapting vs one frozen at "
+      "warm-up, under stable / drifting / flash-crowd query mixes");
+
+  // Shared world: crawl-derived content on a two-tier overlay (leaves
+  // never relay), so qrp can join the sweep, plus the Chord index for
+  // hybrid/dht-only.
+  bench::SearchWorld world =
+      bench::build_search_world(env, nodes, 4 * trials_per_epoch);
+  util::Rng topo_rng(bench::seed_stream(env.seed, 20));
+  const overlay::TwoTierTopology topo =
+      bench::build_bench_topology("two-tier", nodes, topo_rng);
+  const sim::QrpNetwork qrp(topo, world.store);
+
+  sim::EngineWorld ew;
+  ew.graph = &topo.graph;
+  ew.store = &world.store;
+  ew.forwards = &topo.is_ultrapeer;
+  ew.dht = world.dht.get();
+  ew.qrp = &qrp;
+  ew.timing.seed = bench::seed_stream(env.seed, 11);
+
+  sim::AdaptiveParams aparams;
+  aparams.synopsis.term_budget = cli.get_uint("budget", 24);
+  // A wider blind fallback keeps the frontier alive on never-advertised
+  // queries: guidance can only convert holder adjacency the frontier
+  // actually produces.
+  aparams.fallback_fanout = 4;
+
+  // Combined query list: the Zipf pool, then the niche queries the drift
+  // and flash mixes promote. The cold probe network exposes exactly the
+  // advertisement state both contenders start from.
+  const std::size_t pool = world.queries.size();
+  std::vector<std::vector<sim::TermId>> queries = world.queries;
+  {
+    const sim::AdaptiveOverlayNetwork cold_probe(topo.graph, world.store,
+                                                 aparams, &topo.is_ultrapeer);
+    auto niche_queries =
+        find_niche_queries(world.store, cold_probe, world.queries, 64);
+    std::cout << "# niche queries: " << niche_queries.size()
+              << " (few-holder terms no holder advertises cold)\n";
+    for (auto& q : niche_queries) queries.push_back(std::move(q));
+  }
+  const std::size_t niche = queries.size() - pool;
+  const sim::TrialRunner runner({env.threads, env.seed});
+  util::Table t({"mix", "engine", "success", "msgs/query", "first hit (s)",
+                 "guided", "fallback", "readv", "adv KiB"});
+
+  for (const MixDef& mix : kMixes) {
+    // Fresh networks per mix; both warm on epoch 0, then the static one
+    // freezes while the adaptive one keeps observing.
+    sim::AdaptiveOverlayNetwork adaptive_net(topo.graph, world.store, aparams,
+                                             &topo.is_ultrapeer);
+    sim::AdaptiveOverlayNetwork static_net(topo.graph, world.store, aparams,
+                                           &topo.is_ultrapeer);
+    const auto warmup =
+        make_workload(mix, 0, trials_per_epoch, pool, niche, env.seed);
+    for (const std::size_t idx : warmup) {
+      adaptive_net.observe_query(queries[idx]);
+      static_net.observe_query(queries[idx]);
+    }
+    (void)adaptive_net.refresh_synopses();
+    (void)static_net.refresh_synopses();
+    const std::uint64_t readv_base = adaptive_net.readvertisements();
+    const std::uint64_t bytes_base = adaptive_net.advertisement_bytes();
+
+    std::vector<bench::NamedEngine> engines;
+    engines.push_back(
+        {"adaptive", sim::make_adaptive_engine(adaptive_net, ew.timing)});
+    engines.push_back(
+        {"static-qc", sim::make_adaptive_engine(static_net, ew.timing)});
+    for (const std::string_view name : {"flood", "qrp", "hybrid", "dht-only"}) {
+      if (!env.engine.empty() && env.engine != name) continue;
+      auto engine = sim::make_engine(name, ew);
+      if (engine != nullptr) {
+        engines.push_back({sim::find_engine(name)->name, std::move(engine)});
+      }
+    }
+
+    std::vector<sim::TrialAggregate> totals(engines.size());
+    for (std::size_t epoch = 1; epoch < epochs; ++epoch) {
+      const auto workload =
+          make_workload(mix, epoch, trials_per_epoch, pool, niche, env.seed);
+      // Measure with the state adaptation produced from PRIOR epochs.
+      for (std::size_t i = 0; i < engines.size(); ++i) {
+        const sim::TrialAggregate agg = bench::run_engine_sweep(
+            runner, trials_per_epoch, *engines[i].engine,
+            [&](std::size_t trial, util::Rng& trng) {
+              sim::Query q;
+              q.source = static_cast<sim::NodeId>(trng.bounded(nodes));
+              q.terms = queries[workload[trial]];
+              q.ttl = ttl;
+              return q;
+            },
+            &map_adaptive);
+        totals[i].merge(agg);
+      }
+      // Only now does the adaptive network learn this epoch.
+      for (const std::size_t idx : workload) {
+        adaptive_net.observe_query(queries[idx]);
+      }
+      (void)adaptive_net.refresh_synopses();
+    }
+
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      const sim::TrialAggregate& agg = totals[i];
+      const bool is_adaptive = engines[i].name == "adaptive";
+      const std::uint64_t readv =
+          is_adaptive ? adaptive_net.readvertisements() - readv_base : 0;
+      const std::uint64_t bytes =
+          is_adaptive ? adaptive_net.advertisement_bytes() - bytes_base : 0;
+      t.add_row();
+      t.cell(std::string(mix.name))
+          .cell(std::string(engines[i].name))
+          .percent(agg.success_rate(), 1)
+          .cell(agg.mean_messages(), 1)
+          .cell(agg.extra[1] != 0 ? static_cast<double>(agg.extra[0]) /
+                                        static_cast<double>(agg.extra[1]) / 1e9
+                                  : 0.0,
+                3)
+          .cell(agg.mean_extra(2), 1)
+          .cell(agg.mean_extra(3), 1)
+          .cell(readv)
+          .cell(static_cast<double>(bytes) / 1024.0, 1);
+    }
+  }
+
+  bench::emit(t, env,
+              "Adaptive vs frozen query-centric advertisement (two-tier "
+              "overlay, one-epoch adaptation lag)");
+  return 0;
+}

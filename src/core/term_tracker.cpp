@@ -130,7 +130,19 @@ TermPopularityTracker TermPopularityTracker::load(std::istream& is,
   }
   TermId term;
   Entry e;
-  while (is >> term >> e.slow >> e.fast >> e.updated_at) {
+  for (;;) {
+    if (!(is >> term)) {
+      // Only a clean end-of-stream (possibly trailing whitespace) may
+      // stop the record loop; a non-numeric token is corruption.
+      if (is.eof()) break;
+      throw std::runtime_error("TermPopularityTracker::load: malformed term");
+    }
+    // A term with fewer than its three counters is a truncated save —
+    // silently dropping it would resurrect a peer with missing history.
+    if (!(is >> e.slow >> e.fast >> e.updated_at)) {
+      throw std::runtime_error(
+          "TermPopularityTracker::load: truncated record");
+    }
     tracker.entries_[term] = e;
   }
   return tracker;

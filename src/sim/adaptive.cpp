@@ -1,0 +1,210 @@
+#include "src/sim/adaptive.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sim/engine_registry.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+AdaptiveOverlayNetwork::AdaptiveOverlayNetwork(
+    const overlay::Graph& graph, const PeerStore& store,
+    const AdaptiveParams& params, const std::vector<bool>* forwards)
+    : graph_(&graph),
+      store_(&store),
+      params_(params),
+      forwards_(forwards),
+      tracker_(params.tracker) {
+  synopses_.reserve(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    synopses_.emplace_back(params_.synopsis,
+                           core::SynopsisPolicy::kQueryCentric);
+    for (const PeerStore::Object& obj : store.objects(v)) {
+      synopses_.back().add_object(obj.terms);
+    }
+  }
+  refresh_synopses();  // initial (cold) advertisement
+}
+
+void AdaptiveOverlayNetwork::observe_query(std::span<const TermId> terms) {
+  for (TermId t : terms) tracker_.observe_term(t);
+  tracker_.tick(1.0);
+}
+
+std::size_t AdaptiveOverlayNetwork::refresh_synopses() {
+  std::size_t changed = 0;
+  for (NodeId v = 0; v < synopses_.size(); ++v) {
+    if (!synopses_[v].refresh(&tracker_)) continue;
+    ++changed;
+    ++readvertisements_;
+    advertisement_bytes_ += static_cast<std::uint64_t>(graph_->degree(v)) *
+                            (params_.synopsis.bloom_bits / 8);
+  }
+  return changed;
+}
+
+namespace {
+
+/// Registry adapter: synopsis-guided bounded flood over the adaptive
+/// network. Retries reuse the default expanding-ring TTL escalation;
+/// the guided/fallback traffic split accumulates in AdaptiveExtras.
+/// Content queries carry an ESTIMATED TimingRecord priced like flood's:
+/// a peer first probed at hop h answers after a 2h-link round trip at
+/// the TimingModel's mean.
+class AdaptiveSearchEngine final : public SearchEngine {
+ public:
+  AdaptiveSearchEngine(const AdaptiveOverlayNetwork& net,
+                       const TimingParams& timing,
+                       std::unique_ptr<AdaptiveOverlayNetwork> owned = nullptr)
+      : net_(&net), owned_(std::move(owned)), timing_(timing) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "adaptive";
+  }
+
+ protected:
+  bool preflight(const Query& query, const FaultSession*) const override {
+    if (query.is_locate() || query.terms.empty()) return false;
+    if (net_->graph().num_nodes() == 0) return false;
+    return query.online == nullptr || (*query.online)[query.source];
+  }
+
+  void begin(const Query& query, EngineContext& ctx,
+             SearchOutcome& out) const override {
+    out.timing.emplace();  // estimated (rounds x mean link latency)
+    out.extras = AdaptiveExtras{};
+    const NodeId self[1] = {query.source};
+    probe_peers(net_->store(), query.terms, self, ctx.scratch, out.hits,
+                out.peers_probed);
+    if (!out.hits.empty()) out.timing->first_hit_s = 0.0;
+  }
+
+  void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
+               const RecoveryPolicy*, SearchOutcome& out) const override {
+    const overlay::Graph& graph = net_->graph();
+    const AdaptiveParams& params = net_->params();
+    const std::vector<bool>* online = query.online;
+    const std::vector<bool>* forwards = net_->forwards();
+    auto* extras = std::get_if<AdaptiveExtras>(&out.extras);
+
+    SearchScratch& scratch = ctx.scratch;
+    scratch.bind(graph.num_nodes());
+    const std::uint8_t epoch = scratch.begin_epoch();
+    std::uint8_t* const mark = scratch.visit_mark.data();
+    mark[query.source] = epoch;
+    scratch.frontier.clear();
+    scratch.frontier.push_back(query.source);
+
+    const double base =
+        out.timing->clock_s + out.fault.recovery_wait_ms / 1000.0;
+    const double mean = TimingModel(timing_).mean_link_s();
+    std::uint32_t rounds = 0;
+    std::vector<NodeId> matching;
+
+    for (std::uint32_t hop = 1; hop <= query.ttl && !scratch.frontier.empty();
+         ++hop) {
+      rounds = hop;
+      scratch.next.clear();
+      for (NodeId u : scratch.frontier) {
+        // The source always transmits; relays only if allowed to forward
+        // (two-tier leaves receive but never relay).
+        if (u != query.source && forwards != nullptr && !(*forwards)[u]) {
+          continue;
+        }
+        const auto nbrs = graph.neighbors(u);
+        matching.clear();
+        for (NodeId v : nbrs) {
+          if (mark[v] == epoch) continue;
+          if (net_->may_route(v, query.terms)) {
+            matching.push_back(v);
+          } else {
+            ++extras->synopsis_filtered;
+          }
+        }
+        auto forward = [&](NodeId v, bool guided) {
+          ++out.messages;
+          if (guided) {
+            ++extras->guided_forwards;
+          } else {
+            ++extras->fallback_forwards;
+          }
+          if (faults != nullptr && !faults->deliver()) {
+            ++out.fault.dropped;  // lost in flight: never arrives
+            return;
+          }
+          if (online != nullptr && !(*online)[v]) return;
+          if (mark[v] == epoch) return;  // duplicate delivery
+          mark[v] = epoch;
+          const std::size_t had_hits = out.hits.size();
+          const NodeId peer[1] = {v};
+          probe_peers(net_->store(), query.terms, peer, scratch, out.hits,
+                      out.peers_probed);
+          if (out.hits.size() > had_hits && !out.timing->has_first_hit()) {
+            out.timing->first_hit_s =
+                base + 2.0 * static_cast<double>(hop) * mean;
+          }
+          scratch.next.push_back(v);
+        };
+        if (!matching.empty()) {
+          // Forward to up to match_fanout synopsis matches, randomized
+          // for load spreading across equally-promising neighbors.
+          for (std::size_t i = matching.size(); i > 1; --i) {
+            std::swap(matching[i - 1], matching[ctx.rng->bounded(i)]);
+          }
+          const std::size_t k = std::min(params.match_fanout, matching.size());
+          for (std::size_t i = 0; i < k; ++i) forward(matching[i], true);
+        } else if (!nbrs.empty()) {
+          // Blind fallback keeps rare (never-advertised) queries alive.
+          for (std::size_t i = 0; i < params.fallback_fanout; ++i) {
+            forward(nbrs[ctx.rng->bounded(nbrs.size())], false);
+          }
+        }
+      }
+      scratch.frontier.swap(scratch.next);
+    }
+    out.timing->clock_s += 2.0 * static_cast<double>(rounds) * mean;
+  }
+
+  void finish(const Query& query, SearchOutcome& out) const override {
+    if (out.timing.has_value()) {
+      out.timing->clock_s += out.fault.recovery_wait_ms / 1000.0;
+    }
+    SearchEngine::finish(query, out);
+  }
+
+ private:
+  const AdaptiveOverlayNetwork* net_;
+  /// Registry cold-start path: the engine owns the network it built.
+  std::unique_ptr<AdaptiveOverlayNetwork> owned_;
+  TimingParams timing_;
+};
+
+}  // namespace
+
+std::unique_ptr<SearchEngine> make_adaptive_engine(
+    const AdaptiveOverlayNetwork& net, const TimingParams& timing) {
+  return std::make_unique<AdaptiveSearchEngine>(net, timing);
+}
+
+namespace detail {
+
+std::unique_ptr<SearchEngine> make_adaptive_engine(const EngineWorld& world) {
+  if (world.adaptive != nullptr) {
+    return std::make_unique<AdaptiveSearchEngine>(*world.adaptive,
+                                                  world.timing);
+  }
+  // Cold start from graph + store alone: no queries observed yet, so the
+  // query-centric ranking degenerates to content frequency until the
+  // bench (or serving loop) observes traffic and refreshes.
+  if (world.graph == nullptr || world.store == nullptr) return nullptr;
+  auto owned = std::make_unique<AdaptiveOverlayNetwork>(
+      *world.graph, *world.store, world.adaptive_params, world.forwards);
+  const AdaptiveOverlayNetwork& net = *owned;
+  return std::make_unique<AdaptiveSearchEngine>(net, world.timing,
+                                                std::move(owned));
+}
+
+}  // namespace detail
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,129 @@
+// Adaptive query-centric engine — the system the paper argues FOR,
+// closed into the unified engine layer (ROADMAP: "Close the paper's
+// loop").
+//
+// Each peer maintains a core::DynamicSynopsis under
+// SynopsisPolicy::kQueryCentric: a budgeted, incrementally-maintained
+// advertisement of the peer's terms ranked by *observed query
+// popularity* from a shared core::TermPopularityTracker. As popularity
+// drifts (or a flash crowd erupts), refresh_synopses() re-ranks every
+// peer's term budget and re-advertises only the peers whose wire bits
+// actually changed — the adaptation traffic the benches charge against
+// search savings.
+//
+// Routing is QRP-style but network-wide instead of last-hop-only: a node
+// forwards a query to neighbors whose synopses maybe_contains_all() the
+// query (up to match_fanout per hop, randomized for load spreading),
+// falling back to a small blind fanout when no synopsis matches so rare
+// queries stay alive. The engine plugs into the standard contract —
+// kEngineRegistry row "adaptive", with_faults() composition, estimated
+// TimingRecord — so every sweep and the conformance matrix run it
+// unchanged.
+//
+// Mutability split: AdaptiveOverlayNetwork owns the adaptation state and
+// is mutated only BETWEEN measurement sweeps (observe_query / refresh_
+// synopses are not thread-safe); the SearchEngine facade reads it
+// const, so one engine is shared read-only across TrialRunner workers
+// and every sweep stays byte-identical for any --threads value.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/dynamic_synopsis.hpp"
+#include "src/core/synopsis.hpp"
+#include "src/core/term_tracker.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/timing.hpp"
+
+namespace qcp2p::sim {
+
+struct AdaptiveParams {
+  /// Per-peer advertisement budget and wire format.
+  core::SynopsisParams synopsis{};
+  /// Tracker decay windows (slow/fast EWMA half-lives, burst detector).
+  core::TrackerParams tracker{};
+  /// Max synopsis-matching neighbors a node forwards to per hop.
+  std::size_t match_fanout = 4;
+  /// Blind neighbors tried when no synopsis on the hop matches.
+  std::size_t fallback_fanout = 1;
+};
+
+/// The live adaptation state: per-peer dynamic synopses plus the query
+/// stream tracker feeding their term ranking. Searches read it const
+/// through the engine facade; observe/refresh mutate it between sweeps.
+class AdaptiveOverlayNetwork {
+ public:
+  /// Builds every peer's synopsis cold (no observed queries yet: the
+  /// query-centric ranking degenerates to content frequency). `graph`,
+  /// `store`, and the optional `forwards` relay mask (two-tier worlds:
+  /// leaves never relay) are borrowed and must outlive the network.
+  AdaptiveOverlayNetwork(const overlay::Graph& graph, const PeerStore& store,
+                         const AdaptiveParams& params = {},
+                         const std::vector<bool>* forwards = nullptr);
+
+  /// Feeds one observed query into the popularity tracker (advances the
+  /// decay clock by one query).
+  void observe_query(std::span<const TermId> terms);
+
+  /// Re-ranks every peer's term budget against the tracker's current
+  /// scores and re-advertises the peers whose wire bits changed.
+  /// Returns the number of peers that re-advertised this epoch.
+  std::size_t refresh_synopses();
+
+  [[nodiscard]] const overlay::Graph& graph() const noexcept {
+    return *graph_;
+  }
+  [[nodiscard]] const PeerStore& store() const noexcept { return *store_; }
+  [[nodiscard]] const AdaptiveParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] const std::vector<bool>* forwards() const noexcept {
+    return forwards_;
+  }
+  [[nodiscard]] const core::TermPopularityTracker& tracker() const noexcept {
+    return tracker_;
+  }
+  [[nodiscard]] const core::DynamicSynopsis& synopsis(NodeId peer) const {
+    return synopses_.at(peer);
+  }
+
+  /// True when `peer`'s advertised synopsis may match every query term —
+  /// the per-neighbor routing predicate.
+  [[nodiscard]] bool may_route(NodeId peer,
+                               std::span<const TermId> query) const noexcept {
+    return synopses_[peer].maybe_contains_all(query);
+  }
+
+  // --- adaptation cost accounting ---------------------------------------
+  /// Total per-peer re-advertisements (initial build included).
+  [[nodiscard]] std::uint64_t readvertisements() const noexcept {
+    return readvertisements_;
+  }
+  /// Advertisement bytes pushed to neighbors (bloom_bits/8 per push, one
+  /// push per neighbor of each re-advertising peer).
+  [[nodiscard]] std::uint64_t advertisement_bytes() const noexcept {
+    return advertisement_bytes_;
+  }
+
+ private:
+  const overlay::Graph* graph_;
+  const PeerStore* store_;
+  AdaptiveParams params_;
+  const std::vector<bool>* forwards_;
+  core::TermPopularityTracker tracker_;
+  std::vector<core::DynamicSynopsis> synopses_;
+  std::uint64_t readvertisements_ = 0;
+  std::uint64_t advertisement_bytes_ = 0;
+};
+
+/// Engine facade over a caller-owned network (the adaptive benches own
+/// the network so they can observe/refresh between sweeps). The network
+/// must outlive the engine and must not be mutated during a sweep.
+[[nodiscard]] std::unique_ptr<SearchEngine> make_adaptive_engine(
+    const AdaptiveOverlayNetwork& net, const TimingParams& timing = {});
+
+}  // namespace qcp2p::sim

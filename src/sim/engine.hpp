@@ -85,7 +85,18 @@ struct QrpExtras {
   std::uint64_t leaf_suppressed = 0;  // deliveries QRP filtered out
 };
 
-using EngineExtras = std::variant<std::monostate, HybridExtras, QrpExtras>;
+/// Counters only the adaptive query-centric engine produces.
+struct AdaptiveExtras {
+  /// Forwards chosen because a neighbor's synopsis matched every term.
+  std::uint64_t guided_forwards = 0;
+  /// Blind fallback forwards (no synopsis on the hop matched).
+  std::uint64_t fallback_forwards = 0;
+  /// Neighbor candidates a synopsis screened out.
+  std::uint64_t synopsis_filtered = 0;
+};
+
+using EngineExtras =
+    std::variant<std::monostate, HybridExtras, QrpExtras, AdaptiveExtras>;
 
 /// Engine-independent measurement of one search.
 struct SearchOutcome {

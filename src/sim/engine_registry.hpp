@@ -11,6 +11,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/sim/adaptive.hpp"
 #include "src/sim/dht.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/gia.hpp"
@@ -32,9 +33,15 @@ struct EngineWorld {
   const ChordDht* dht = nullptr;
   const GiaNetwork* gia = nullptr;
   const QrpNetwork* qrp = nullptr;
+  /// Pre-warmed adaptive network (benches that observe/refresh between
+  /// sweeps). Null = the factory cold-starts its own from graph+store.
+  const AdaptiveOverlayNetwork* adaptive = nullptr;
   RandomWalkParams walk{};
   GiaSearchParams gia_search{};
   HybridParams hybrid{};
+  /// Cold-start knobs for the adaptive factory (ignored when `adaptive`
+  /// is set — a pre-warmed network carries its own params).
+  AdaptiveParams adaptive_params{};
   /// Link-latency model shared by every time-aware engine (exact for the
   /// DES-backed ones, per-hop mean for the round-based estimates).
   TimingParams timing{};
@@ -50,6 +57,7 @@ std::unique_ptr<SearchEngine> make_dht_only_engine(const EngineWorld& world);
 std::unique_ptr<SearchEngine> make_qrp_engine(const EngineWorld& world);
 std::unique_ptr<SearchEngine> make_flood_des_engine(const EngineWorld& world);
 std::unique_ptr<SearchEngine> make_dht_des_engine(const EngineWorld& world);
+std::unique_ptr<SearchEngine> make_adaptive_engine(const EngineWorld& world);
 }  // namespace detail
 
 using EngineFactory = std::unique_ptr<SearchEngine> (*)(const EngineWorld&);
@@ -73,6 +81,7 @@ inline constexpr EngineEntry kEngineRegistry[] = {
     {"qrp", false, &detail::make_qrp_engine},
     {"flood-des", true, &detail::make_flood_des_engine},
     {"dht-des", false, &detail::make_dht_des_engine},
+    {"adaptive", false, &detail::make_adaptive_engine},
 };
 
 [[nodiscard]] constexpr std::span<const EngineEntry> engine_registry() {

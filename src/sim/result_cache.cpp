@@ -16,10 +16,17 @@ CachingSearchNetwork::CachingSearchNetwork(const Graph& graph,
       engine_(graph) {}
 
 CachingSearchNetwork::QueryKey CachingSearchNetwork::key_of(
-    std::span<const TermId> query) noexcept {
-  // Order-independent hash over the (sorted, deduplicated) term set.
+    std::span<const TermId> query) {
+  // Order-independent hash over the (sorted, deduplicated) term set:
+  // {a,b}, {b,a}, and {a,a,b} are the same conjunctive query and must
+  // share one cache entry. Sort + unique into reusable scratch, then
+  // chain-mix the canonical sequence.
+  key_scratch_.assign(query.begin(), query.end());
+  std::sort(key_scratch_.begin(), key_scratch_.end());
+  key_scratch_.erase(std::unique(key_scratch_.begin(), key_scratch_.end()),
+                     key_scratch_.end());
   std::uint64_t h = 0x9E3779B97F4A7C15ULL;
-  for (TermId t : query) h = util::mix64(h ^ (t + 0x1234ULL));
+  for (TermId t : key_scratch_) h = util::mix64(h ^ (t + 0x1234ULL));
   return QueryKey{h};
 }
 
@@ -38,7 +45,15 @@ const std::vector<std::uint64_t>* CachingSearchNetwork::lookup(
 void CachingSearchNetwork::insert(NodeId peer, const QueryKey& key,
                                   std::vector<std::uint64_t> results) {
   PeerCache& cache = caches_[peer];
-  if (cache.entries.count(key)) return;
+  const auto it = cache.entries.find(key);
+  if (it != cache.entries.end()) {
+    // Re-inserted hot entry: refresh its LRU position (a stale recency
+    // slot would get it evicted as if cold) and keep the fresher results.
+    cache.order.splice(cache.order.begin(), cache.order, it->second.first);
+    it->second.first = cache.order.begin();
+    it->second.second = std::move(results);
+    return;
+  }
   cache.order.push_front(key);
   cache.entries.emplace(key,
                         std::make_pair(cache.order.begin(), std::move(results)));
@@ -46,6 +61,12 @@ void CachingSearchNetwork::insert(NodeId peer, const QueryKey& key,
     cache.entries.erase(cache.order.back());
     cache.order.pop_back();
   }
+}
+
+void CachingSearchNetwork::prime(NodeId peer, std::span<const TermId> query,
+                                 std::vector<std::uint64_t> results) {
+  if (query.empty() || results.empty()) return;
+  insert(peer, key_of(query), std::move(results));
 }
 
 CachedSearchResult CachingSearchNetwork::search(NodeId source,

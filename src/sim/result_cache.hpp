@@ -47,6 +47,12 @@ class CachingSearchNetwork {
   [[nodiscard]] CachedSearchResult search(NodeId source,
                                           std::span<const TermId> query);
 
+  /// Warms `peer`'s cache externally (a replicated result push in the
+  /// serving path). Follows insert() semantics: an existing entry is
+  /// refreshed to most-recent position; empty result sets are not cached.
+  void prime(NodeId peer, std::span<const TermId> query,
+             std::vector<std::uint64_t> results);
+
   [[nodiscard]] double hit_rate() const noexcept {
     return searches_ == 0 ? 0.0
                           : static_cast<double>(hits_) /
@@ -75,7 +81,7 @@ class CachingSearchNetwork {
         entries;
   };
 
-  [[nodiscard]] static QueryKey key_of(std::span<const TermId> query) noexcept;
+  [[nodiscard]] QueryKey key_of(std::span<const TermId> query);
   [[nodiscard]] const std::vector<std::uint64_t>* lookup(NodeId peer,
                                                          const QueryKey& key);
   void insert(NodeId peer, const QueryKey& key,
@@ -86,6 +92,8 @@ class CachingSearchNetwork {
   ResultCacheParams params_;
   std::vector<PeerCache> caches_;
   FloodEngine engine_;
+  /// key_of's sort/unique workspace (reused across queries).
+  std::vector<TermId> key_scratch_;
   std::uint64_t searches_ = 0;
   std::uint64_t hits_ = 0;
 };

@@ -119,5 +119,32 @@ TEST(DynamicSynopsis, ManyChurnCyclesKeepFilterConsistent) {
   EXPECT_FALSE(s.maybe_contains(stale));
 }
 
+TEST(DynamicSynopsis, QueryCentricChurnKeepsFilterExactlyAdvertised) {
+  TermPopularityTracker tracker;
+  DynamicSynopsis s(small_params(6), SynopsisPolicy::kQueryCentric);
+  // Rolling content churn plus drifting query popularity across many
+  // refresh cycles. After every refresh, the incrementally-maintained
+  // counting filter must equal a filter rebuilt from scratch over
+  // advertised() — no residue from the add/remove/re-rank sequence.
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    const auto base = static_cast<TermId>(cycle * 4);
+    s.add_object(
+        std::vector<TermId>{base, base + 1, base + 2, base + 3});
+    if (cycle >= 3) {
+      const auto old = static_cast<TermId>((cycle - 3) * 4);
+      s.remove_object(std::vector<TermId>{old, old + 1, old + 2, old + 3});
+    }
+    for (int i = 0; i <= cycle; ++i) {
+      tracker.observe_query({base + static_cast<TermId>(cycle % 4)});
+    }
+    (void)s.refresh(&tracker);
+    const SynopsisParams p = small_params(6);
+    BloomFilter rebuilt(p.bloom_bits, p.bloom_hashes);
+    for (TermId t : s.advertised()) rebuilt.insert(t);
+    EXPECT_EQ(s.wire_filter().raw_words(), rebuilt.raw_words())
+        << "cycle " << cycle;
+  }
+}
+
 }  // namespace
 }  // namespace qcp2p::core

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <stdexcept>
+
 namespace qcp2p::core {
 namespace {
 
@@ -106,6 +109,43 @@ TEST(TermPopularityTracker, CompactKeepsHotEntries) {
   for (int i = 0; i < 500; ++i) tracker.observe_query({2});
   tracker.compact(1e-3);
   EXPECT_EQ(tracker.tracked_terms(), 1u);
+}
+
+TEST(TermPopularityTracker, SaveLoadRoundTripPreservesScores) {
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 100; ++i) tracker.observe_query({1, 2});
+  for (int i = 0; i < 10; ++i) tracker.observe_query({3});
+  std::ostringstream os;
+  tracker.save(os);
+  std::istringstream is(os.str());
+  const TermPopularityTracker loaded = TermPopularityTracker::load(is);
+  EXPECT_EQ(loaded.tracked_terms(), tracker.tracked_terms());
+  EXPECT_DOUBLE_EQ(loaded.score(1), tracker.score(1));
+  EXPECT_DOUBLE_EQ(loaded.score(2), tracker.score(2));
+  EXPECT_DOUBLE_EQ(loaded.burst_score(3), tracker.burst_score(3));
+}
+
+TEST(TermPopularityTracker, LoadRejectsTruncatedFinalRecord) {
+  TermPopularityTracker tracker;
+  for (int i = 0; i < 50; ++i) tracker.observe_query({7, 8});
+  std::ostringstream os;
+  tracker.save(os);
+  std::string text = os.str();
+  // Chop the last counter off the final record — the tail a crash
+  // mid-save leaves behind. Loading must throw, not silently drop the
+  // term and resurrect the peer with missing history.
+  text.erase(text.find_last_of(' '));
+  std::istringstream is(text);
+  EXPECT_THROW((void)TermPopularityTracker::load(is), std::runtime_error);
+}
+
+TEST(TermPopularityTracker, LoadRejectsNonNumericTokens) {
+  std::istringstream bad_counter("tracker v1\n10\n3 1.0 2.0 bogus\n");
+  EXPECT_THROW((void)TermPopularityTracker::load(bad_counter),
+               std::runtime_error);
+  std::istringstream bad_term("tracker v1\n10\nxyz 1 2 3\n");
+  EXPECT_THROW((void)TermPopularityTracker::load(bad_term),
+               std::runtime_error);
 }
 
 }  // namespace

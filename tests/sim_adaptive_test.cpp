@@ -1,0 +1,159 @@
+#include "src/sim/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine_registry.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+constexpr TermId kNiche = 7;
+constexpr NodeId kHolder = 12;
+
+Graph ring_graph(NodeId n) {
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+// Every peer carries 4 filler terms at local frequency 2 (two objects
+// each); kHolder additionally carries kNiche at frequency 1. With a
+// term budget of 4 the cold (frequency-ranked) synopsis therefore never
+// advertises the niche term — only observed query popularity can
+// promote it.
+PeerStore build_store(NodeId n) {
+  PeerStore store(n);
+  std::uint64_t id = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (TermId j = 0; j < 4; ++j) {
+      const auto filler = static_cast<TermId>(1'000 + v * 4 + j);
+      store.add_object(v, id++, {filler});
+      store.add_object(v, id++, {filler});
+    }
+  }
+  store.add_object(kHolder, id++, {kNiche});
+  store.finalize();
+  return store;
+}
+
+AdaptiveParams tight_budget() {
+  AdaptiveParams p;
+  p.synopsis.term_budget = 4;
+  return p;
+}
+
+struct AdaptiveFixture : ::testing::Test {
+  AdaptiveFixture() : graph(ring_graph(16)), store(build_store(16)) {}
+
+  SearchOutcome run(const SearchEngine& engine, NodeId source,
+                    std::vector<TermId> terms, std::uint32_t ttl) {
+    util::Rng rng(42);
+    EngineContext ctx;
+    ctx.rng = &rng;
+    Query q;
+    q.source = source;
+    q.terms = terms;
+    q.ttl = ttl;
+    return engine.search(q, ctx);
+  }
+
+  Graph graph;
+  PeerStore store;
+};
+
+TEST_F(AdaptiveFixture, ColdStartFindsFrequentContent) {
+  AdaptiveOverlayNetwork net(graph, store, tight_budget());
+  const auto engine = make_adaptive_engine(net);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->name(), "adaptive");
+  EXPECT_FALSE(engine->can_locate());
+
+  // A filler term IS advertised cold, so the query routes guided.
+  const auto out = run(*engine, 2, {static_cast<TermId>(1'000 + 3 * 4)}, 3);
+  EXPECT_TRUE(out.success);
+  const auto* extras = extras_as<AdaptiveExtras>(out);
+  ASSERT_NE(extras, nullptr);
+  EXPECT_GT(extras->guided_forwards, 0u);
+  ASSERT_TRUE(out.timing.has_value());
+  EXPECT_TRUE(out.timing->has_first_hit());
+}
+
+TEST_F(AdaptiveFixture, RegistryFactoryColdStartsAndRejectsEmptyWorld) {
+  EngineWorld world;
+  EXPECT_EQ(make_engine("adaptive", world), nullptr);
+  world.graph = &graph;
+  EXPECT_EQ(make_engine("adaptive", world), nullptr);  // store missing
+  world.store = &store;
+  world.adaptive_params = tight_budget();
+  const auto engine = make_engine("adaptive", world);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->name(), "adaptive");
+
+  // A pre-warmed network is borrowed instead of cold-started.
+  AdaptiveOverlayNetwork warmed(graph, store, tight_budget());
+  world.adaptive = &warmed;
+  const auto borrowed = make_engine("adaptive", world);
+  ASSERT_NE(borrowed, nullptr);
+  const auto out = run(*borrowed, 2, {static_cast<TermId>(1'000 + 3 * 4)}, 3);
+  EXPECT_TRUE(out.success);
+}
+
+TEST_F(AdaptiveFixture, ObserveAndRefreshPromotesNewlyHotTerm) {
+  AdaptiveOverlayNetwork net(graph, store, tight_budget());
+  const std::vector<TermId> niche{kNiche};
+  EXPECT_FALSE(net.may_route(kHolder, niche));  // cold: below budget cut
+  const std::uint64_t initial_readv = net.readvertisements();
+  EXPECT_EQ(initial_readv, 16u);  // one initial advertisement per peer
+
+  for (int i = 0; i < 200; ++i) net.observe_query(niche);
+  const std::size_t changed = net.refresh_synopses();
+  EXPECT_EQ(changed, 1u);  // only the holder's top-4 actually changed
+  EXPECT_TRUE(net.may_route(kHolder, niche));
+  EXPECT_EQ(net.readvertisements(), initial_readv + 1);
+  EXPECT_GT(net.advertisement_bytes(), 0u);
+
+  // A stable tracker causes no further churn.
+  EXPECT_EQ(net.refresh_synopses(), 0u);
+}
+
+TEST_F(AdaptiveFixture, AdaptationTurnsLastHopBlindPickIntoGuidedForward) {
+  AdaptiveOverlayNetwork net(graph, store, tight_budget());
+  const auto engine = make_adaptive_engine(net);
+
+  // ttl=1 from a ring neighbor of the holder: cold, no synopsis matches
+  // the niche term, so the only forward is a blind fallback pick.
+  const auto cold = run(*engine, kHolder - 1, {kNiche}, 1);
+  const auto* cold_extras = extras_as<AdaptiveExtras>(cold);
+  ASSERT_NE(cold_extras, nullptr);
+  EXPECT_EQ(cold_extras->guided_forwards, 0u);
+
+  for (int i = 0; i < 200; ++i) net.observe_query(std::vector<TermId>{kNiche});
+  ASSERT_EQ(net.refresh_synopses(), 1u);
+
+  // Adapted, the holder's synopsis matches: the forward is guided and the
+  // search succeeds regardless of the rng draw.
+  const auto warm = run(*engine, kHolder - 1, {kNiche}, 1);
+  EXPECT_TRUE(warm.success);
+  const auto* warm_extras = extras_as<AdaptiveExtras>(warm);
+  ASSERT_NE(warm_extras, nullptr);
+  EXPECT_GT(warm_extras->guided_forwards, 0u);
+  EXPECT_GT(warm_extras->synopsis_filtered, 0u);  // the other neighbor
+}
+
+TEST_F(AdaptiveFixture, ForwardsMaskKeepsLeavesFromRelaying) {
+  // Mark everything but the source a leaf: the flood cannot spread past
+  // hop 1, so a distant holder is unreachable at any ttl.
+  std::vector<bool> forwards(16, false);
+  forwards[0] = true;
+  AdaptiveOverlayNetwork net(graph, store, tight_budget(), &forwards);
+  const auto engine = make_adaptive_engine(net);
+  const auto out = run(*engine, 0, {kNiche}, 8);
+  EXPECT_FALSE(out.success);
+  EXPECT_LE(out.peers_probed, 3u);  // source + its ring neighbors at most
+}
+
+}  // namespace
+}  // namespace qcp2p::sim

@@ -108,9 +108,9 @@ std::vector<TermId> query_for(std::size_t t) {
 }
 
 TEST(EngineRegistry, NamesOrderAndLookup) {
-  const std::string_view expected[] = {"flood",    "random-walk", "gia",
-                                       "hybrid",   "dht-only",    "qrp",
-                                       "flood-des", "dht-des"};
+  const std::string_view expected[] = {"flood",     "random-walk", "gia",
+                                       "hybrid",    "dht-only",    "qrp",
+                                       "flood-des", "dht-des",     "adaptive"};
   ASSERT_EQ(engine_registry().size(), std::size(expected));
   for (std::size_t i = 0; i < std::size(expected); ++i) {
     EXPECT_EQ(engine_registry()[i].name, expected[i]);

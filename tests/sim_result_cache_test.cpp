@@ -113,5 +113,52 @@ TEST_F(CacheFixture, HeadRepeatsAmortizeTailDoesNot) {
   EXPECT_LT(head_msgs * 5, tail_msgs);
 }
 
+TEST_F(CacheFixture, PermutedAndDuplicatedQueriesShareOneEntry) {
+  ResultCacheParams params;
+  params.flood_ttl = 20;
+  PeerStore two(30);
+  two.add_object(15, 900, {5, 7});
+  two.finalize();
+  CachingSearchNetwork net(graph, two, params);
+
+  const auto first = net.search(0, std::vector<TermId>{5, 7});
+  EXPECT_TRUE(first.success());
+  EXPECT_FALSE(first.cache_hit);
+
+  // {7,5} and {5,5,7} are the same conjunctive query as {5,7}: both must
+  // hit the entry the first search populated instead of re-flooding.
+  const auto swapped = net.search(0, std::vector<TermId>{7, 5});
+  EXPECT_TRUE(swapped.cache_hit);
+  EXPECT_EQ(swapped.messages, 0u);
+  EXPECT_EQ(swapped.results, first.results);
+
+  const auto duplicated = net.search(0, std::vector<TermId>{5, 5, 7});
+  EXPECT_TRUE(duplicated.cache_hit);
+  EXPECT_EQ(duplicated.messages, 0u);
+  EXPECT_EQ(duplicated.results, first.results);
+
+  EXPECT_NEAR(net.hit_rate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(CacheFixture, ReinsertRefreshesLruPosition) {
+  ResultCacheParams params;
+  params.capacity = 2;
+  CachingSearchNetwork net(graph, store, params);
+  net.prime(0, std::vector<TermId>{101}, {1});
+  net.prime(0, std::vector<TermId>{102}, {2});
+  // Re-pushing 101 must refresh both its recency and its payload...
+  net.prime(0, std::vector<TermId>{101}, {111});
+  // ...so a third entry evicts 102 (now the least recently touched).
+  net.prime(0, std::vector<TermId>{103}, {3});
+  EXPECT_EQ(net.cached_entries(0), 2u);
+
+  const auto kept = net.search(0, std::vector<TermId>{101});
+  EXPECT_TRUE(kept.cache_hit);
+  EXPECT_EQ(kept.results, (std::vector<std::uint64_t>{111}));
+
+  const auto evicted = net.search(0, std::vector<TermId>{102});
+  EXPECT_FALSE(evicted.cache_hit);
+}
+
 }  // namespace
 }  // namespace qcp2p::sim
