@@ -27,6 +27,8 @@
 #include "src/overlay/churn.hpp"
 #include "src/overlay/topology.hpp"
 #include "src/sim/engine_registry.hpp"
+#include "src/sim/fault.hpp"
+#include "src/sim/fault_decorator.hpp"
 #include "src/sim/trial_runner.hpp"
 #include "src/trace/content_model.hpp"
 #include "src/trace/gnutella.hpp"
@@ -37,6 +39,28 @@
 
 namespace qcp2p::bench {
 
+/// Strictly parsed double flag: the whole value must parse and land in
+/// [lo, hi] — exit 2 otherwise. Cli::get_double tolerates trailing
+/// garbage and NaN ("0.5x", "nan"), which a fault fraction must not:
+/// a silently-misread loss rate still "works" but measures the wrong
+/// experiment.
+inline double checked_double_flag(const util::Cli& cli,
+                                  const std::string& name, double def,
+                                  double lo, double hi) {
+  if (!cli.has(name)) return def;
+  const std::string raw = cli.get(name, "");
+  double value = def;
+  const char* const end = raw.data() + raw.size();
+  const auto [parse_end, ec] = std::from_chars(raw.data(), end, value);
+  if (ec != std::errc{} || parse_end != end || std::isnan(value) ||
+      value < lo || value > hi) {
+    std::cerr << "--" << name << " must be a number in [" << lo << ", " << hi
+              << "], got '" << raw << "'\n";
+    std::exit(2);
+  }
+  return value;
+}
+
 struct BenchEnv {
   double scale = 0.125;
   std::uint64_t seed = 42;
@@ -46,6 +70,9 @@ struct BenchEnv {
   /// Registered engine name selecting a single engine in the sweep
   /// benches; empty = each bench's default set.
   std::string engine;
+  /// Named failure scenario (sim::kScenarioRegistry) the bench should run
+  /// under; empty = fault-free (an inert plan, bit-for-bit transparent).
+  std::string scenario;
 
   static BenchEnv from_cli(const util::Cli& cli, double default_scale = 0.125) {
     BenchEnv env;
@@ -77,6 +104,18 @@ struct BenchEnv {
                 << "' (registered: " << sim::engine_names() << ")\n";
       std::exit(2);
     }
+    env.scenario = cli.get("scenario", "");
+    if (!env.scenario.empty() &&
+        sim::find_scenario(env.scenario) == nullptr) {
+      std::cerr << "unknown --scenario '" << env.scenario
+                << "' (registered: " << sim::scenario_names() << ")\n";
+      std::exit(2);
+    }
+    // Fault-shape flags shared by the robustness benches: reject garbage
+    // up front, under the same exit-2 contract as --threads/--engine.
+    checked_double_flag(cli, "loss", 0.0, 0.0, 1.0);
+    checked_double_flag(cli, "offline-fraction", 0.0, 0.0, 1.0);
+    checked_double_flag(cli, "jitter", 0.0, 0.0, 1e6);
     return env;
   }
 
@@ -261,6 +300,48 @@ inline std::vector<NamedEngine> make_sweep_engines(
     std::exit(2);
   }
   return engines;
+}
+
+// ---------------------------------------------------------------------------
+// --scenario plumbing: any bench can run its engine sweep under a named
+// failure scenario by compiling the plan once and decorating its sweep.
+
+/// Compiles the env's --scenario against `graph`. The empty selection
+/// yields the null plan — decorating with it is bit-for-bit transparent,
+/// so benches may apply the result unconditionally.
+inline sim::FaultPlan scenario_plan(const BenchEnv& env,
+                                    const overlay::Graph& graph) {
+  if (env.scenario.empty()) return {};
+  const sim::Scenario* scenario = sim::find_scenario(env.scenario);
+  return sim::FaultPlan::from_scenario(scenario->spec, graph,
+                                       seed_stream(env.seed, 0x5CE9A));
+}
+
+/// An engine sweep decorated under one fault plan + recovery policy.
+/// Owns the plan, the policy, and the inner engines; `engines` holds the
+/// decorated drop-in replacements in the original order. Heap-allocated
+/// by make_faulted_sweep so the decorators' plan/policy references stay
+/// valid (moving the struct would relocate them).
+struct FaultedSweep {
+  sim::FaultPlan plan;
+  sim::RecoveryPolicy policy;
+  std::vector<NamedEngine> inner;
+  std::vector<NamedEngine> engines;
+};
+
+inline std::unique_ptr<FaultedSweep> make_faulted_sweep(
+    std::vector<NamedEngine> inner, sim::FaultPlan plan,
+    const sim::RecoveryPolicy& policy) {
+  auto sweep = std::make_unique<FaultedSweep>();
+  sweep->plan = std::move(plan);
+  sweep->policy = policy;
+  sweep->inner = std::move(inner);
+  for (NamedEngine& ne : sweep->inner) {
+    sweep->engines.push_back(
+        {ne.name, std::make_unique<sim::FaultInjectedEngine>(
+                      *ne.engine, sweep->plan, sweep->policy)});
+  }
+  return sweep;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,267 @@
+// Chaos harness: every named failure scenario (sim::kScenarioRegistry —
+// bursty loss, flash partitions, straggler tails, mass churn, and their
+// composition) x engine x recovery policy, reported SLO-style: success
+// rate, graceful-degradation split (gave up early vs nothing was
+// reachable), p50/p99 time-to-completion, message cost, and simulated
+// recovery waiting.
+//
+// The comparison that matters: the fixed PR-2 policy (timeout 400ms,
+// retry x2, exponential backoff) vs the adaptive one (latency-quantile
+// timeouts, hedged re-issue gated on fault suspicion, per-neighbor
+// circuit breaker). The closing verdict table marks the scenarios where
+// adaptive recovery beats fixed on success rate or p99 latency at
+// comparable (<= 1.5x) message cost.
+//
+// --scenario=<name> restricts the sweep to one scenario,
+// --engine=<name> to one registered engine.
+#include "bench/bench_common.hpp"
+
+#include "src/util/stats.hpp"
+
+using namespace qcp2p;
+using overlay::NodeId;
+
+namespace {
+
+/// Query source for a trial: a peer online under the static snapshot
+/// (dead users don't search), drawn from the trial's own stream.
+NodeId draw_source(std::size_t nodes, const sim::FaultPlan& plan,
+                   util::Rng& rng) {
+  for (int tries = 0; tries < 1000; ++tries) {
+    const auto src = static_cast<NodeId>(rng.bounded(nodes));
+    if (plan.online(src)) return src;
+  }
+  return 0;
+}
+
+/// Ground truth for the degradation split: every peer holding a
+/// conjunctive match for each workload query. Measurement-only — it
+/// rides along as Query::audit_holders and never influences the search.
+std::vector<std::vector<NodeId>> audit_holders_for(
+    const sim::PeerStore& store,
+    const std::vector<std::vector<sim::TermId>>& queries) {
+  std::vector<std::vector<NodeId>> holders(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (NodeId v = 0; v < store.num_peers(); ++v) {
+      if (!store.may_match(v, queries[q])) continue;
+      if (!store.match(v, queries[q]).empty()) holders[q].push_back(v);
+    }
+  }
+  return holders;
+}
+
+/// One (scenario, policy, engine) cell plus the per-trial side channels
+/// the integer-sum TrialAggregate cannot carry.
+struct Cell {
+  sim::TrialAggregate agg;
+  std::vector<double> clocks;  // per-trial completion time, seconds
+  double wait_ms_sum = 0.0;
+  std::uint64_t nothing_reachable = 0;
+};
+
+/// Per-policy pool across engines, for the scenario-level verdict.
+/// p99 is averaged per engine, not pooled: the engines' clocks live on
+/// very different scales (a serial walk's tail is tens of seconds, a
+/// DHT lookup's a few), and a pooled quantile would only ever see the
+/// slowest engine.
+struct PolicyPool {
+  std::uint64_t trials = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t messages = 0;
+  std::vector<double> engine_p99s;
+
+  void add(const Cell& cell) {
+    trials += cell.agg.trials;
+    successes += cell.agg.successes;
+    messages += cell.agg.messages;
+    engine_p99s.push_back(util::quantile(cell.clocks, 0.99));
+  }
+  [[nodiscard]] double mean_p99() const {
+    double sum = 0.0;
+    for (double p : engine_p99s) sum += p;
+    return engine_p99s.empty() ? 0.0
+                               : sum / static_cast<double>(engine_p99s.size());
+  }
+  [[nodiscard]] double success_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+  [[nodiscard]] double mean_messages() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(messages) /
+                             static_cast<double>(trials);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 0.02);
+  const auto nodes = cli.get_uint("nodes", 1'200);
+  const auto num_queries = cli.get_uint("queries", 250);
+  const auto ttl = static_cast<std::uint32_t>(cli.get_uint("ttl", 3));
+  bench::print_header(
+      "exp_chaos", env,
+      "structured failure scenarios x engine x recovery policy; adaptive "
+      "recovery (quantile timeouts + hedging + breaker) vs the fixed "
+      "timeout/retry/backoff policy");
+
+  const bench::SearchWorld world =
+      bench::build_search_world(env, nodes, num_queries);
+  const std::vector<std::vector<NodeId>> holders =
+      audit_holders_for(world.store, world.queries);
+
+  sim::EngineWorld ew = world.engine_world();
+  ew.timing.seed = bench::seed_stream(env.seed, 11);  // 20-200ms links
+  ew.hybrid = sim::HybridParams{ttl, 20};
+  ew.walk.walkers = 16;
+  ew.walk.max_steps = 64;
+
+  std::vector<bench::NamedEngine> engines;
+  if (!env.engine.empty()) {
+    engines = bench::make_sweep_engines(env, ew);
+  } else {
+    for (const std::string_view name :
+         {"flood", "random-walk", "hybrid", "dht-only"}) {
+      auto engine = sim::make_engine(name, ew);
+      if (engine != nullptr) {
+        engines.push_back({sim::find_engine(name)->name, std::move(engine)});
+      }
+    }
+  }
+  std::cout << "# network: " << nodes << " nodes, "
+            << world.store.total_objects() << " objects, "
+            << world.queries.size() << " queries\n";
+
+  sim::RecoveryPolicy fixed;  // the PR-2 policy: fixed timeout + retry x2
+  fixed.max_retries = 2;
+  sim::RecoveryPolicy adaptive = fixed;  // same retry budget, adaptive on top
+  adaptive.adaptive_timeout = true;
+  // One hedge: converts recoverable failures without doubling the tail
+  // of trials that exhaust every attempt anyway.
+  adaptive.max_hedges = 1;
+  // Trip only persistently failing neighbors: bursty edges recover, and
+  // a low threshold writes them off while they are still useful.
+  adaptive.breaker_failures = 6;
+  const struct {
+    const char* name;
+    const sim::RecoveryPolicy* policy;
+  } policies[] = {{"fixed", &fixed}, {"adaptive", &adaptive}};
+
+  const sim::TrialRunner runner({env.threads, env.seed + 23});
+  const std::size_t trials = world.queries.size();
+
+  util::Table t({"scenario", "engine", "policy", "success", "gave-up",
+                 "no-reach", "p50 s", "p99 s", "msgs/q", "wait ms/q",
+                 "retries/q", "hedges/q"});
+
+  struct Verdict {
+    std::string_view scenario;
+    PolicyPool fixed_pool, adaptive_pool;
+  };
+  std::vector<Verdict> verdicts;
+
+  std::uint64_t scenario_index = 0;
+  for (const sim::Scenario& scenario : sim::scenario_registry()) {
+    ++scenario_index;
+    if (!env.scenario.empty() && env.scenario != scenario.name) continue;
+    const sim::FaultPlan plan = sim::FaultPlan::from_scenario(
+        scenario.spec, world.graph,
+        bench::seed_stream(env.seed, 0xC4A05 + scenario_index));
+    Verdict verdict{scenario.name, {}, {}};
+
+    for (const auto& pol : policies) {
+      for (const bench::NamedEngine& ne : engines) {
+        const sim::FaultInjectedEngine faulty =
+            sim::with_faults(*ne.engine, plan, *pol.policy);
+        Cell cell;
+        cell.clocks.assign(trials, 0.0);
+        std::vector<double> waits(trials, 0.0);
+        std::vector<std::uint8_t> unreachable(trials, 0);
+        cell.agg = runner.run(
+            trials, [] { return sim::EngineContext{}; },
+            [&](std::size_t q, util::Rng& trng, sim::EngineContext& ctx) {
+              ctx.rng = &trng;
+              sim::Query query;
+              query.source = draw_source(nodes, plan, trng);
+              query.terms = world.queries[q];
+              query.audit_holders = holders[q];
+              query.ttl = ttl;
+              query.trial = q;
+              const sim::SearchOutcome r = faulty.search(query, ctx);
+              cell.clocks[q] = r.timing.has_value() ? r.timing->clock_s : 0.0;
+              waits[q] = r.fault.recovery_wait_ms;
+              sim::TrialOutcome out;
+              out.success = r.success;
+              out.messages = r.messages;
+              out.peers_probed = r.peers_probed;
+              out.extra[0] = r.fault.dropped;
+              out.extra[1] = r.fault.retries;
+              out.extra[2] = r.fault.hedges;
+              if (r.degradation.has_value()) {
+                out.extra[3] =
+                    r.degradation->gave_up_early(r.success) ? 1 : 0;
+                unreachable[q] = r.degradation->nothing_reachable() ? 1 : 0;
+              }
+              return out;
+            });
+        for (double w : waits) cell.wait_ms_sum += w;
+        for (std::uint8_t u : unreachable) cell.nothing_reachable += u;
+        (pol.policy == &fixed ? verdict.fixed_pool : verdict.adaptive_pool)
+            .add(cell);
+
+        const double denom = static_cast<double>(cell.agg.trials);
+        t.add_row();
+        t.cell(std::string(scenario.name))
+            .cell(std::string(ne.name))
+            .cell(pol.name)
+            .percent(cell.agg.success_rate(), 1)
+            .percent(cell.agg.mean_extra(3), 1)
+            .percent(static_cast<double>(cell.nothing_reachable) / denom, 1)
+            .cell(util::quantile(cell.clocks, 0.50), 3)
+            .cell(util::quantile(cell.clocks, 0.99), 3)
+            .cell(cell.agg.mean_messages(), 1)
+            .cell(cell.wait_ms_sum / denom, 0)
+            .cell(cell.agg.mean_extra(1), 2)
+            .cell(cell.agg.mean_extra(2), 2);
+      }
+    }
+    verdicts.push_back(std::move(verdict));
+  }
+  bench::emit(t, env,
+              "Chaos sweep — scenario x engine x recovery policy (SLO view)");
+
+  // Scenario-level verdict, pooled across engines: adaptive "wins" when
+  // it improves success or p99 completion time without spending more
+  // than 1.5x the fixed policy's messages.
+  util::Table v({"scenario", "success fixed", "success adaptive", "p99 fixed",
+                 "p99 adaptive", "msg ratio", "adaptive wins?"});
+  std::size_t wins = 0;
+  for (const Verdict& verdict : verdicts) {
+    const double sf = verdict.fixed_pool.success_rate();
+    const double sa = verdict.adaptive_pool.success_rate();
+    const double pf = verdict.fixed_pool.mean_p99();
+    const double pa = verdict.adaptive_pool.mean_p99();
+    const double mf = verdict.fixed_pool.mean_messages();
+    const double ma = verdict.adaptive_pool.mean_messages();
+    const double ratio = mf > 0.0 ? ma / mf : 1.0;
+    const bool comparable_cost = ratio <= 1.5;
+    const bool win =
+        comparable_cost && (sa > sf + 0.005 || pa < pf * 0.95);
+    wins += win;
+    v.add_row();
+    v.cell(std::string(verdict.scenario))
+        .percent(sf, 1)
+        .percent(sa, 1)
+        .cell(pf, 3)
+        .cell(pa, 3)
+        .cell(ratio, 2)
+        .cell(win ? "yes" : "no");
+  }
+  bench::emit(v, env, "Adaptive vs fixed recovery — scenario verdicts");
+  std::cout << "# adaptive recovery wins " << wins << "/" << verdicts.size()
+            << " scenarios (win = better success or p99 at <= 1.5x messages)\n";
+  return 0;
+}

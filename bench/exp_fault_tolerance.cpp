@@ -43,7 +43,8 @@ int main(int argc, char** argv) {
   const auto nodes = cli.get_uint("nodes", 2'000);
   const auto num_queries = cli.get_uint("queries", 250);
   const auto flood_ttl = static_cast<std::uint32_t>(cli.get_uint("ttl", 3));
-  const double jitter_ms = cli.get_double("jitter", 0.0);
+  const double jitter_ms = bench::checked_double_flag(cli, "jitter", 0.0,
+                                                      0.0, 1e6);
   bench::print_header(
       "exp_fault_tolerance", env,
       "degradation of flood/walk/Gia/hybrid/DHT under message loss x churn "

@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   const auto nodes = cli.get_uint("nodes", 2'000);
   const auto num_queries = cli.get_uint("queries", 400);
   const auto flood_ttl = static_cast<std::uint32_t>(cli.get_uint("ttl", 3));
-  const double offline_fraction = cli.get_double("offline-fraction", 0.0);
+  const double offline_fraction =
+      bench::checked_double_flag(cli, "offline-fraction", 0.0, 0.0, 1.0);
   bench::print_header(
       "exp_hybrid_vs_dht", env,
       "Sec V/VII: hybrid flood-then-DHT pays for failed floods; DHT-only "

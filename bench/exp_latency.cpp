@@ -69,11 +69,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --scenario=<name> reruns the whole comparison under a named failure
+  // scenario (retry-2 recovery); without it the decoration is skipped.
+  std::unique_ptr<bench::FaultedSweep> faulted;
+  if (!env.scenario.empty()) {
+    sim::RecoveryPolicy policy;
+    policy.max_retries = 2;
+    faulted = bench::make_faulted_sweep(
+        std::move(engines), bench::scenario_plan(env, world.graph), policy);
+  }
+  const std::vector<bench::NamedEngine>& sweep =
+      faulted != nullptr ? faulted->engines : engines;
+
   const sim::TrialRunner runner({env.threads, env.seed});
   util::Table t({"engine", "TTL", "success", "first hit (mean s)",
                  "sim clock (mean s)", "events/query", "msgs/query"});
   for (const std::uint32_t ttl : {2u, 3u, 4u}) {
-    for (const bench::NamedEngine& ne : engines) {
+    for (const bench::NamedEngine& ne : sweep) {
       const sim::TrialAggregate agg = bench::run_engine_sweep(
           runner, num_queries, *ne.engine,
           [&](std::size_t trial, util::Rng& trng) {
@@ -81,6 +93,7 @@ int main(int argc, char** argv) {
             q.source = static_cast<sim::NodeId>(trng.bounded(nodes));
             q.terms = world.queries[trial % world.queries.size()];
             q.ttl = ttl;
+            q.trial = trial;
             return q;
           },
           &map_timed);

@@ -45,14 +45,22 @@ void GnutellaNetwork::rewind() {
 
 void GnutellaNetwork::deliver(NodeId from, NodeId to,
                               const Descriptor& descriptor) {
+  // Circuit breaker: the sender stops forwarding to a neighbor the
+  // session has seen fail repeatedly — no send, no message charged.
+  if (faults_ != nullptr && faults_->tripped(to)) return;
   ++messages_;  // the bits left the sender, delivered or not
   double latency = timing_.link_latency(from, to);
   if (faults_ != nullptr) {
-    const std::uint64_t i = faults_->sent();
-    if (!faults_->deliver()) return;  // lost in flight
-    latency += faults_->plan().jitter_ms(faults_->trial(), i) / 1000.0;
+    double extra_ms = 0.0;
+    if (!faults_->deliver_wire(from, to, extra_ms)) return;  // lost in flight
+    // Straggler receivers slow the whole incoming wire, jitter included
+    // (deliver_wire already scaled the jitter component).
+    latency = latency * faults_->straggler_scale(to) + extra_ms / 1000.0;
+    faults_->observe_latency(latency * 1000.0);
+    if (!faults_->online(to)) return;  // dead (or crashed mid-query) peer
+  } else if (online_ != nullptr && !(*online_)[to]) {
+    return;  // dead peer
   }
-  if (online_ != nullptr && !(*online_)[to]) return;  // dead peer
   touch(to);
   sim_.schedule(latency, [this, from, to, descriptor] {
     const Servent::SendFn send = [this, to](NodeId next,

@@ -123,17 +123,22 @@ class AdaptiveSearchEngine final : public SearchEngine {
           }
         }
         auto forward = [&](NodeId v, bool guided) {
+          // Circuit breaker: skip known-unresponsive neighbors entirely.
+          if (faults != nullptr && faults->tripped(v)) return;
           ++out.messages;
           if (guided) {
             ++extras->guided_forwards;
           } else {
             ++extras->fallback_forwards;
           }
-          if (faults != nullptr && !faults->deliver()) {
+          if (faults != nullptr && !faults->deliver(u, v)) {
             ++out.fault.dropped;  // lost in flight: never arrives
             return;
           }
-          if (online != nullptr && !(*online)[v]) return;
+          const bool alive = faults != nullptr
+                                 ? faults->online(v)
+                                 : (online == nullptr || (*online)[v]);
+          if (!alive) return;
           if (mark[v] == epoch) return;  // duplicate delivery
           mark[v] = epoch;
           const std::size_t had_hits = out.hits.size();

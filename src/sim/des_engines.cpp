@@ -192,9 +192,12 @@ class DhtDesEngine final : public SearchEngine {
         routed = true;
       }
       // Replay the charged transmissions as events on this term's chain.
+      // Straggler receivers slow their incoming wire, exactly as in the
+      // descriptor-level network.
       double at = 0.0;
       for (const auto& [u, v] : sends) {
-        at += timing.link_latency(u, v);
+        at += timing.link_latency(
+            u, v, faults != nullptr ? faults->straggler_scale(v) : 1.0);
         sim.schedule(at, [] {});
       }
       if (!routed) continue;
@@ -205,14 +208,19 @@ class DhtDesEngine final : public SearchEngine {
       bool delivered = true;
       if (faults != nullptr) {
         const double lat_before = faults->latency_ms();
-        if (!faults->deliver_timed()) {
+        if (!faults->deliver_timed(index_node, query.source)) {
           ++out.fault.dropped;
           delivered = false;
         }
         extra_s += (faults->latency_ms() - lat_before) / 1000.0;
       }
       if (!delivered) continue;
-      sim.schedule(at + timing.link_latency(index_node, query.source), [] {});
+      sim.schedule(
+          at + timing.link_latency(
+                   index_node, query.source,
+                   faults != nullptr ? faults->straggler_scale(query.source)
+                                     : 1.0),
+          [] {});
 
       // Postings from the term's index, mirroring search_term: a dead
       // plain-path index node withholds everything; offline holders'
@@ -223,7 +231,7 @@ class DhtDesEngine final : public SearchEngine {
       }
       std::vector<std::uint64_t> ids;
       for (const ChordDht::Posting& p : dht_->term_postings(t)) {
-        if (faults != nullptr ? !faults->online(p.holder)
+        if (faults != nullptr ? !faults->online_peek(p.holder)
                               : (query.online != nullptr &&
                                  !(*query.online)[p.holder])) {
           continue;

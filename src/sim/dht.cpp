@@ -159,10 +159,13 @@ bool ChordDht::route_once(std::uint64_t key, NodeId from, FaultSession& faults,
 
     bool advanced = false;
     for (std::size_t i = 0; i < ncand; ++i) {
+      // Circuit breaker: a candidate the session has seen fail
+      // repeatedly is detoured around without charging a send.
+      if (faults.tripped(cands[i])) continue;
       ++out.hops;
       if (sends != nullptr) sends->emplace_back(cur, cands[i]);
       if (i > 0) ++out.fault.route_around_hops;
-      if (!faults.deliver_timed()) {
+      if (!faults.deliver_timed(cur, cands[i])) {
         ++out.fault.dropped;  // forward lost in flight
         continue;
       }
@@ -186,14 +189,23 @@ ChordDht::FaultyLookup ChordDht::lookup(std::uint64_t key, NodeId from,
                                         SendLog* sends) const {
   if (from >= node_ids_.size()) throw std::out_of_range("ChordDht::lookup");
   FaultyLookup out;
-  if (!faults.online(from)) return out;  // a crashed node issues nothing
+  if (!faults.online_peek(from)) return out;  // a crashed node issues nothing
   for (std::uint32_t attempt = 0;; ++attempt) {
     if (route_once(key, from, faults, policy, out, sends)) {
       out.success = true;
       return out;
     }
     if (attempt >= policy.max_retries) return out;
-    const double wait = policy.timeout_ms + policy.backoff_after(attempt);
+    // Same adaptive-or-fixed timeout as the drive() loop: Chord's
+    // recovery lives inside the attempt, so it prices waits itself.
+    double timeout = policy.timeout_ms;
+    if (policy.adaptive_timeout && faults.has_latency_samples()) {
+      timeout = std::clamp(
+          faults.latency_quantile(policy.timeout_quantile, policy.timeout_ms) *
+              policy.timeout_multiplier,
+          policy.timeout_floor_ms, policy.timeout_ceil_ms);
+    }
+    const double wait = timeout + policy.backoff_after(attempt);
     faults.charge_wait(wait);
     out.fault.recovery_wait_ms += wait;
     ++out.fault.retries;
@@ -271,7 +283,7 @@ ChordDht::FaultyTermSearch ChordDht::search_term(
   const auto it = term_index_.find(term);
   if (it == term_index_.end()) return out;
   for (const Posting& p : it->second) {
-    if (faults.online(p.holder)) out.postings.push_back(p);
+    if (faults.online_peek(p.holder)) out.postings.push_back(p);
   }
   return out;
 }

@@ -38,6 +38,26 @@ void SearchEngine::finish(const Query&, SearchOutcome& out) const {
   if (!out.hits.empty()) out.success = true;
 }
 
+namespace {
+
+/// The wait before declaring an attempt dead: the fixed timeout, or —
+/// under an adaptive policy with latency observations — the session's
+/// online quantile estimate scaled and clamped. No observations (inert
+/// plans never produce any) falls back to the fixed timeout, which
+/// keeps adaptive policies bit-for-bit transparent on inert plans.
+double attempt_timeout_ms(const RecoveryPolicy& policy,
+                          const FaultSession& faults, double quantile) {
+  if (!policy.adaptive_timeout || !faults.has_latency_samples()) {
+    return policy.timeout_ms;
+  }
+  const double est =
+      faults.latency_quantile(quantile, policy.timeout_ms) *
+      policy.timeout_multiplier;
+  return std::clamp(est, policy.timeout_floor_ms, policy.timeout_ceil_ms);
+}
+
+}  // namespace
+
 SearchOutcome SearchEngine::drive(const SearchEngine& engine, Query query,
                                   EngineContext& ctx, FaultSession* faults,
                                   const RecoveryPolicy* policy) {
@@ -47,16 +67,36 @@ SearchOutcome SearchEngine::drive(const SearchEngine& engine, Query query,
   SearchOutcome out;
   if (!engine.preflight(query, faults)) return out;
   engine.begin(query, ctx, out);
-  for (std::uint32_t attempt = 0;; ++attempt) {
+  std::uint32_t retries_used = 0;
+  std::uint32_t hedges_used = 0;
+  for (;;) {
     engine.attempt(query, ctx, faults, policy, out);
-    const bool can_retry = faults != nullptr && policy != nullptr &&
-                           engine.retryable() && attempt < policy->max_retries;
-    if (engine.satisfied(out) || !can_retry) break;
+    if (engine.satisfied(out)) break;
+    const bool recoverable =
+        faults != nullptr && policy != nullptr && engine.retryable();
+    if (!recoverable) break;
+    // Hedged re-issue fires first: when the session has EVIDENCE of
+    // faults (drops or dead peers — without evidence a failed attempt is
+    // a true negative), re-issue a backup after only the estimated
+    // quantile deadline, with no backoff and no escalation.
+    if (hedges_used < policy->max_hedges && faults->suspects_faults()) {
+      const double wait =
+          attempt_timeout_ms(*policy, *faults, policy->hedge_quantile);
+      faults->charge_wait(wait);
+      out.fault.recovery_wait_ms += wait;
+      ++out.fault.hedges;
+      ++hedges_used;
+      continue;
+    }
+    if (retries_used >= policy->max_retries) break;
     // Nothing came back: wait out the timeout, back off, widen the query.
-    const double wait = policy->timeout_ms + policy->backoff_after(attempt);
+    const double wait =
+        attempt_timeout_ms(*policy, *faults, policy->timeout_quantile) +
+        policy->backoff_after(retries_used);
     faults->charge_wait(wait);
     out.fault.recovery_wait_ms += wait;
     ++out.fault.retries;
+    ++retries_used;
     engine.escalate(query, *policy);
   }
   engine.finish(query, out);

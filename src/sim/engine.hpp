@@ -57,6 +57,11 @@ struct Query {
   /// Sorted holder node ids (Fig 8 placement workloads). Non-empty
   /// switches the engine into locate mode: success = any holder found.
   std::span<const NodeId> holders{};
+  /// Measurement-only (content mode): the peers known to hold matching
+  /// content, so the fault decorator can fill SearchOutcome::degradation
+  /// ("failed because nothing was reachable" vs "gave up early").
+  /// Engines never read this; empty skips the audit.
+  std::span<const NodeId> audit_holders{};
   /// Hop budget for the flood-family engines (flood, hybrid, QRP).
   std::uint32_t ttl = 3;
   /// Step budget for the walk-family engines (per walker for
@@ -118,6 +123,10 @@ struct SearchOutcome {
   /// price hops through a TimingModel, empty for engines with no time
   /// model. See timing.hpp.
   std::optional<TimingRecord> timing;
+  /// Graceful-degradation audit, filled by the fault decorator when the
+  /// plan is active and the query carries holder knowledge (locate
+  /// holders or Query::audit_holders). Empty otherwise.
+  std::optional<DegradationRecord> degradation;
 };
 
 /// Typed access to the engine-specific payload; nullptr when the

@@ -1,18 +1,253 @@
 #include "src/sim/fault.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
 #include "src/overlay/churn.hpp"
 
 namespace qcp2p::sim {
 
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("sim::fault: ") + what);
+}
+
+bool is_unit(double x) noexcept {
+  return std::isfinite(x) && x >= 0.0 && x <= 1.0;
+}
+
+bool is_nonneg(double x) noexcept { return std::isfinite(x) && x >= 0.0; }
+
+/// Hash of (seed, salt, trial, edge, step) mapped to [0, 1): the burst
+/// channel's draw stream. Chained mixes so no operand pair aliases.
+double edge_hash_unit(std::uint64_t seed, std::uint64_t salt,
+                      std::uint64_t trial, std::uint64_t edge,
+                      std::uint64_t step) noexcept {
+  const std::uint64_t h = util::mix64(
+      util::mix64(util::mix64(util::mix64(seed ^ salt) ^ trial) ^ edge) ^
+      step);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kBurstInitSalt = 0x6E057ULL;
+constexpr std::uint64_t kBurstDropSalt = 0x6E05DULL;
+constexpr std::uint64_t kBurstFlipSalt = 0x6E05FULL;
+
+}  // namespace
+
+void FaultParams::validate() const {
+  check(is_unit(loss_rate), "loss_rate must be finite and in [0, 1]");
+  check(is_nonneg(jitter_max_ms), "jitter_max_ms must be finite and >= 0");
+}
+
+void BurstLossParams::validate() const {
+  check(is_unit(loss_good), "burst loss_good must be in [0, 1]");
+  check(is_unit(loss_bad), "burst loss_bad must be in [0, 1]");
+  check(is_unit(p_good_to_bad), "burst p_good_to_bad must be in [0, 1]");
+  check(is_unit(p_bad_to_good), "burst p_bad_to_good must be in [0, 1]");
+}
+
+void PartitionParams::validate() const {
+  check(std::isfinite(minority_fraction) && minority_fraction >= 0.0 &&
+            minority_fraction <= 0.5,
+        "partition minority_fraction must be in [0, 0.5]");
+}
+
+void StragglerParams::validate() const {
+  check(is_unit(fraction), "straggler fraction must be in [0, 1]");
+  check(std::isfinite(tail_alpha) && tail_alpha > 0.0,
+        "straggler tail_alpha must be > 0");
+  check(std::isfinite(max_multiplier) && max_multiplier >= 1.0,
+        "straggler max_multiplier must be >= 1");
+}
+
+void MidQueryChurnParams::validate() const {
+  check(is_unit(crash_fraction), "mid-churn crash_fraction must be in [0, 1]");
+}
+
+void ScenarioSpec::validate() const {
+  base.validate();
+  burst.validate();
+  partition.validate();
+  straggler.validate();
+  mid_churn.validate();
+  check(is_unit(offline_fraction), "offline_fraction must be in [0, 1]");
+}
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const Scenario& s : kScenarioRegistry) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string scenario_names() {
+  std::string out;
+  for (const Scenario& s : kScenarioRegistry) {
+    if (!out.empty()) out += ", ";
+    out += s.name;
+  }
+  return out;
+}
+
 double RecoveryPolicy::backoff_after(std::uint32_t retry) const noexcept {
+  // Cap the exponent and the wait itself: backoff_factor^retry shoots
+  // past any meaningful simulated wait (and eventually to inf) for large
+  // retry counts.
+  constexpr std::uint32_t kMaxExponent = 48;
+  constexpr double kMaxWaitMs = 3.6e6;  // one simulated hour
   double wait = backoff_ms;
-  for (std::uint32_t i = 0; i < retry; ++i) wait *= backoff_factor;
-  return wait;
+  const std::uint32_t steps = std::min(retry, kMaxExponent);
+  for (std::uint32_t i = 0; i < steps && wait < kMaxWaitMs; ++i) {
+    wait *= backoff_factor;
+  }
+  return std::min(wait, kMaxWaitMs);
+}
+
+void RecoveryPolicy::validate() const {
+  check(is_nonneg(timeout_ms), "timeout_ms must be finite and >= 0");
+  check(is_nonneg(backoff_ms), "backoff_ms must be finite and >= 0");
+  check(std::isfinite(backoff_factor) && backoff_factor >= 1.0,
+        "backoff_factor must be >= 1");
+  check(std::isfinite(budget_escalation) && budget_escalation >= 1.0,
+        "budget_escalation must be >= 1");
+  check(route_around_width > 0, "route_around_width must be > 0");
+  check(std::isfinite(timeout_quantile) && timeout_quantile > 0.0 &&
+            timeout_quantile <= 1.0,
+        "timeout_quantile must be in (0, 1]");
+  check(std::isfinite(hedge_quantile) && hedge_quantile > 0.0 &&
+            hedge_quantile <= 1.0,
+        "hedge_quantile must be in (0, 1]");
+  check(std::isfinite(timeout_multiplier) && timeout_multiplier >= 1.0,
+        "timeout_multiplier must be >= 1");
+  check(is_nonneg(timeout_floor_ms) && is_nonneg(timeout_ceil_ms) &&
+            timeout_floor_ms <= timeout_ceil_ms,
+        "timeout floor/ceil must be finite, >= 0, floor <= ceil");
 }
 
 FaultPlan FaultPlan::from_churn(const FaultParams& params,
                                 const overlay::ChurnProcess& churn) {
   return FaultPlan(params, churn.online());
+}
+
+FaultPlan FaultPlan::from_scenario(const ScenarioSpec& spec,
+                                   const overlay::Graph& graph,
+                                   std::uint64_t seed) {
+  spec.validate();
+  FaultPlan plan;
+  plan.params_ = spec.base;
+  // Re-key with the run seed so different seeds draw independent fault
+  // patterns from the same scenario (mixed, so seed 0 still perturbs).
+  plan.params_.seed = util::mix64(spec.base.seed ^ util::mix64(seed));
+  plan.burst_ = spec.burst;
+  plan.straggler_ = spec.straggler;
+  plan.mid_churn_ = spec.mid_churn;
+
+  const std::size_t n = graph.num_nodes();
+  if (spec.offline_fraction > 0.0 && n > 0) {
+    util::Rng mask_rng(util::mix64(plan.params_.seed ^ 0x0FF11ULL));
+    plan.online_ =
+        overlay::sample_online(n, 1.0 - spec.offline_fraction, mask_rng);
+    plan.has_mask_ = true;
+  }
+  if (spec.partition.active() && n > 1) {
+    plan.partition_ = spec.partition;
+    plan.side_.assign(n, 0);
+    // Grow the minority side by BFS from a hashed start node: a
+    // connected region splits off, exactly the graph-cut shape a
+    // regional outage produces. (On a disconnected graph the side may
+    // stop short of the target; the cut is still well defined.)
+    const auto target = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               spec.partition.minority_fraction * static_cast<double>(n) +
+               0.5));
+    std::vector<NodeId> frontier;
+    frontier.reserve(target);
+    const auto start =
+        static_cast<NodeId>(util::mix64(plan.params_.seed ^ 0x9A27ULL) % n);
+    frontier.push_back(start);
+    plan.side_[start] = 1;
+    std::size_t taken = 1;
+    for (std::size_t head = 0; head < frontier.size() && taken < target;
+         ++head) {
+      for (const NodeId w : graph.neighbors(frontier[head])) {
+        if (plan.side_[w] != 0) continue;
+        plan.side_[w] = 1;
+        frontier.push_back(w);
+        if (++taken >= target) break;
+      }
+    }
+  }
+  return plan;
+}
+
+bool FaultSession::deliver_edge(NodeId u, NodeId v,
+                                double* jitter_out) noexcept {
+  const std::uint64_t i = index_++;
+  if (plan_->cut(u, v, i)) {
+    ++dropped_;
+    record_failure(v);
+    return false;
+  }
+  if (plan_->drops(trial_, i)) {
+    ++dropped_;
+    record_failure(v);
+    return false;
+  }
+  if (plan_->burst_active() && burst_drops(u, v)) {
+    ++dropped_;
+    record_failure(v);
+    return false;
+  }
+  if (jitter_out != nullptr) {
+    *jitter_out =
+        plan_->jitter_ms(trial_, i) * plan_->straggler_scale(trial_, v);
+  }
+  return true;
+}
+
+bool FaultSession::burst_drops(NodeId u, NodeId v) {
+  const BurstLossParams& b = plan_->burst_;
+  const std::uint64_t lo = std::min(u, v);
+  const std::uint64_t hi = std::max(u, v);
+  const std::uint64_t edge = (lo << 32) | hi;
+  const std::uint64_t seed = plan_->params_.seed;
+  EdgeChannel& ch = channels_[edge];
+  if (!ch.initialized) {
+    ch.initialized = true;
+    // Initial state from the chain's stationary distribution, so the
+    // first transmission on an edge already sees the long-run mix.
+    ch.bad = edge_hash_unit(seed, kBurstInitSalt, trial_, edge, 0) <
+             b.stationary_bad();
+  }
+  const double drop_p = ch.bad ? b.loss_bad : b.loss_good;
+  bool dropped = false;
+  if (drop_p > 0.0) {
+    dropped = edge_hash_unit(seed, kBurstDropSalt, trial_, edge, ch.step) <
+              drop_p;
+  }
+  const double flip_p = ch.bad ? b.p_bad_to_good : b.p_good_to_bad;
+  if (flip_p > 0.0 &&
+      edge_hash_unit(seed, kBurstFlipSalt, trial_, edge, ch.step) < flip_p) {
+    ch.bad = !ch.bad;
+  }
+  ++ch.step;
+  return dropped;
+}
+
+double FaultSession::latency_quantile(double q, double fallback) const {
+  if (observed_ == 0) return fallback;
+  const auto n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(observed_, samples_.size()));
+  std::array<float, 128> tmp;
+  std::copy_n(samples_.begin(), n, tmp.begin());
+  const std::size_t k =
+      std::min(n - 1, static_cast<std::size_t>(q * static_cast<double>(n)));
+  std::nth_element(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(k),
+                   tmp.begin() + static_cast<std::ptrdiff_t>(n));
+  return static_cast<double>(tmp[k]);
 }
 
 }  // namespace qcp2p::sim

@@ -1,20 +1,34 @@
 // Deterministic fault injection for the search engines (flood, random
-// walk, Gia, hybrid, Chord): per-message loss, per-peer crash/offline
-// masks, and optional link-latency jitter, plus the recovery policy
-// (timeouts, bounded retries, exponential escalation/backoff) the
-// engines use to route around those faults.
+// walk, Gia, hybrid, Chord, DES): structured failure scenarios — i.i.d.
+// per-message loss, correlated/bursty loss (a two-state Gilbert–Elliott
+// channel per edge), network partitions with a heal schedule, heavy-
+// tailed per-peer stragglers, static crash snapshots AND mid-query
+// crashes — plus the recovery policy (fixed or adaptive timeouts,
+// bounded retries, hedged re-issue, exponential escalation/backoff, a
+// per-neighbor circuit breaker) the engines use to route around them.
 //
-// Determinism contract: every per-message decision (drop, jitter) is a
-// stateless hash of (plan seed, trial index, message index) — never of
-// wall clock, thread id, or shared state — so a fault-injected run under
-// sim::TrialRunner is byte-identical for any --threads value. With
-// loss_rate 0, no jitter, and no offline mask, a FaultSession is inert:
-// engines take exactly the code path (and draw exactly the rng stream)
-// they take without fault injection, reproducing fault-free results
-// bit-for-bit.
+// Determinism contract: every per-message decision (drop, jitter, burst
+// transition, crash time, straggler draw) is a stateless hash of
+// (plan seed, trial index, message/edge index) — never of wall clock,
+// thread id, or shared mutable state — so a fault-injected run under
+// sim::TrialRunner is byte-identical for any --threads value. The only
+// stateful piece, the per-edge Gilbert–Elliott chain, lives in the
+// per-trial FaultSession and advances in the trial's deterministic send
+// order, so it preserves the same guarantee. With every scenario
+// parameter null a FaultSession is inert: engines take exactly the code
+// path (and draw exactly the rng stream) they take without fault
+// injection, reproducing fault-free results bit-for-bit.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/overlay/graph.hpp"
@@ -36,12 +50,162 @@ struct FaultParams {
   double jitter_max_ms = 0.0;
   /// Keys the per-message drop/jitter hashes (independent of trial rng).
   std::uint64_t seed = 0xFA017ULL;
+
+  /// Throws std::invalid_argument on NaN or out-of-range values
+  /// (loss_rate outside [0, 1], negative jitter).
+  void validate() const;
 };
+
+/// Correlated loss: a deterministic two-state Gilbert–Elliott channel
+/// per (trial, undirected edge). Each transmission is dropped with the
+/// current state's loss probability, then the chain transitions. Inert
+/// when p_good_to_bad or loss_bad is 0.
+struct BurstLossParams {
+  /// Drop probability while the edge is in the Good state.
+  double loss_good = 0.0;
+  /// Drop probability while the edge is in the Bad (burst) state.
+  double loss_bad = 0.0;
+  /// Per-transmission transition probabilities.
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 0.25;
+
+  [[nodiscard]] bool active() const noexcept {
+    return p_good_to_bad > 0.0 && loss_bad > 0.0;
+  }
+  /// Stationary probability of the Bad state (initial state draw).
+  [[nodiscard]] double stationary_bad() const noexcept {
+    const double denom = p_good_to_bad + p_bad_to_good;
+    return denom > 0.0 ? p_good_to_bad / denom : 0.0;
+  }
+  void validate() const;
+};
+
+/// Sentinel: the partition never heals.
+inline constexpr std::uint64_t kNeverHeals =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Network partition: a BFS-grown minority component is cut off from
+/// the rest of the graph. Messages crossing the cut are lost while the
+/// session's message index is below heal_after_index (kNeverHeals = a
+/// permanent split). Inert when minority_fraction is 0.
+struct PartitionParams {
+  /// Fraction of nodes on the minority side of the cut.
+  double minority_fraction = 0.0;
+  /// Message index (per session) at which the cut heals.
+  std::uint64_t heal_after_index = kNeverHeals;
+
+  [[nodiscard]] bool active() const noexcept {
+    return minority_fraction > 0.0;
+  }
+  void validate() const;
+};
+
+/// Heavy-tailed per-peer responsiveness: a `fraction` of peers are
+/// stragglers whose incoming-link latency (jitter and, in the DES
+/// engines, the wire itself) is scaled by a Pareto(tail_alpha) draw
+/// capped at max_multiplier. Inert when fraction is 0.
+struct StragglerParams {
+  double fraction = 0.0;
+  /// Pareto shape: smaller = heavier tail (1.1 is very heavy).
+  double tail_alpha = 1.5;
+  /// Cap on the latency multiplier (keeps waits finite).
+  double max_multiplier = 50.0;
+
+  [[nodiscard]] bool active() const noexcept {
+    return fraction > 0.0 && max_multiplier > 1.0;
+  }
+  void validate() const;
+};
+
+/// Mid-query churn: a `crash_fraction` of peers crash DURING the query,
+/// at a hashed message index in [1, horizon_index]. Replaces the static
+/// snapshot's "dead before the query starts" with "dies between
+/// sweeps": a peer can relay the first attempt and be gone for the
+/// retry. Inert when crash_fraction or horizon_index is 0.
+struct MidQueryChurnParams {
+  double crash_fraction = 0.0;
+  /// Crash times are uniform over (0, horizon_index]; sessions past the
+  /// horizon see every victim down.
+  std::uint64_t horizon_index = 0;
+
+  [[nodiscard]] bool active() const noexcept {
+    return crash_fraction > 0.0 && horizon_index > 0;
+  }
+  void validate() const;
+};
+
+/// A named failure scenario: base i.i.d. knobs plus the structured
+/// failure shapes. FaultPlan::from_scenario() compiles one against a
+/// concrete graph.
+struct ScenarioSpec {
+  FaultParams base{};
+  BurstLossParams burst{};
+  PartitionParams partition{};
+  StragglerParams straggler{};
+  MidQueryChurnParams mid_churn{};
+  /// Fraction of peers crashed before the query starts (static mask,
+  /// sampled per plan).
+  double offline_fraction = 0.0;
+
+  void validate() const;
+};
+
+struct Scenario {
+  std::string_view name;
+  std::string_view summary;
+  ScenarioSpec spec;
+};
+
+/// Named-scenario registry: `--scenario=<name>` in bench_common resolves
+/// here, exp_chaos sweeps every row, and the conformance suite asserts
+/// each entry with nulled parameters is bit-for-bit transparent.
+inline constexpr Scenario kScenarioRegistry[] = {
+    {"bursty-loss",
+     "correlated link loss: Gilbert-Elliott bursts on every edge",
+     {.base = {.loss_rate = 0.02, .jitter_max_ms = 30.0},
+      .burst = {.loss_bad = 0.90, .p_good_to_bad = 0.08, .p_bad_to_good = 0.30}}},
+    {"flash-partition",
+     "a quarter of the overlay splits off, heals mid-query",
+     {.base = {.jitter_max_ms = 30.0},
+      .partition = {.minority_fraction = 0.25, .heal_after_index = 500}}},
+    {"straggler-tail",
+     "heavy-tailed peer responsiveness: Pareto latency multipliers",
+     {.base = {.loss_rate = 0.05, .jitter_max_ms = 30.0},
+      .straggler = {.fraction = 0.20, .tail_alpha = 1.1,
+                    .max_multiplier = 40.0}}},
+    {"mass-churn",
+     "10% down at launch, another 25% crash mid-query",
+     {.base = {.loss_rate = 0.02, .jitter_max_ms = 30.0},
+      .mid_churn = {.crash_fraction = 0.25, .horizon_index = 300},
+      .offline_fraction = 0.10}},
+    {"perfect-storm",
+     "bursts + a healing partition + stragglers + mid-query crashes",
+     {.base = {.loss_rate = 0.02, .jitter_max_ms = 30.0},
+      .burst = {.loss_bad = 0.85, .p_good_to_bad = 0.05, .p_bad_to_good = 0.30},
+      .partition = {.minority_fraction = 0.15, .heal_after_index = 700},
+      .straggler = {.fraction = 0.10, .tail_alpha = 1.3,
+                    .max_multiplier = 25.0},
+      .mid_churn = {.crash_fraction = 0.15, .horizon_index = 400},
+      .offline_fraction = 0.05}},
+};
+
+[[nodiscard]] constexpr std::span<const Scenario> scenario_registry() {
+  return kScenarioRegistry;
+}
+
+/// nullptr when no scenario is registered under `name`.
+[[nodiscard]] const Scenario* find_scenario(std::string_view name);
+
+/// "bursty-loss, flash-partition, ..." — for --scenario errors and docs.
+[[nodiscard]] std::string scenario_names();
 
 /// How an engine recovers from faults. Attempt-level fields (max_retries,
 /// timeout_ms, backoff) apply to every engine; ttl_escalation is used by
 /// the flood-based engines, budget_escalation by the walk-based ones, and
-/// route_around_width by Chord's per-step dead-finger detours.
+/// route_around_width by Chord's per-step dead-finger detours. The
+/// adaptive block (adaptive_timeout, hedging, breaker) turns on the
+/// drive() loop's online recovery — all three are inert at their
+/// defaults and provably no-ops under an inert plan.
 struct RecoveryPolicy {
   /// Re-issues allowed after a failed attempt (0 = single shot).
   std::uint32_t max_retries = 0;
@@ -59,15 +223,46 @@ struct RecoveryPolicy {
   /// entries) tried per routing step before the attempt is declared dead.
   std::uint32_t route_around_width = 4;
 
+  // --- Adaptive recovery (PR 7) ---
+  /// Replace the fixed timeout_ms with an online estimate: the session's
+  /// observed per-hop latency quantile x timeout_multiplier, clamped to
+  /// [timeout_floor_ms, timeout_ceil_ms]. Falls back to timeout_ms until
+  /// the session has latency observations (so it is inert-transparent).
+  bool adaptive_timeout = false;
+  double timeout_quantile = 0.9;
+  double timeout_multiplier = 8.0;
+  double timeout_floor_ms = 25.0;
+  double timeout_ceil_ms = 2000.0;
+  /// Hedged re-issue: when an attempt fails AND the session has seen
+  /// faults (drops or dead peers — a failed attempt with neither is a
+  /// true negative), re-issue up to max_hedges backups after only the
+  /// estimated hedge_quantile latency deadline — no backoff, no
+  /// escalation. Hedges spend before the retry schedule starts.
+  std::uint32_t max_hedges = 0;
+  double hedge_quantile = 0.95;
+  /// Per-neighbor circuit breaker: after this many observed failures
+  /// (drops on the edge to it, or finding it dead) a peer is skipped by
+  /// the engines for the rest of the session. 0 = disabled.
+  std::uint32_t breaker_failures = 0;
+
   [[nodiscard]] double backoff_after(std::uint32_t retry) const noexcept;
+
+  /// Throws std::invalid_argument on non-finite or out-of-range fields
+  /// (backoff_factor < 1, route_around_width == 0, negative times,
+  /// quantiles outside (0, 1], timeout_multiplier < 1, floor > ceil).
+  void validate() const;
 };
 
 /// Per-query fault accounting, embedded in every engine's result struct.
 struct FaultStats {
-  /// Attempts beyond the first.
+  /// Attempts beyond the first (timed retries; hedges counted apart).
   std::uint32_t retries = 0;
-  /// Messages lost to the loss process (dead-peer sends are charged as
-  /// ordinary messages but are not "dropped": the bits left the sender).
+  /// Hedged re-issues (backup attempts fired at the estimated quantile
+  /// deadline instead of the full timeout).
+  std::uint32_t hedges = 0;
+  /// Messages lost to the loss process — i.i.d. drops, burst drops, and
+  /// partition-cut crossings (dead-peer sends are charged as ordinary
+  /// messages but are not "dropped": the bits left the sender).
   std::uint64_t dropped = 0;
   /// Chord: extra sends spent detouring around dead/lossy next hops.
   std::uint64_t route_around_hops = 0;
@@ -76,41 +271,106 @@ struct FaultStats {
 
   void merge(const FaultStats& other) noexcept {
     retries += other.retries;
+    hedges += other.hedges;
     dropped += other.dropped;
     route_around_hops += other.route_around_hops;
     recovery_wait_ms += other.recovery_wait_ms;
   }
 };
 
+/// Graceful-degradation record: what a failed (or partial) search COULD
+/// have found, estimated from the plan's liveness at launch. Splits
+/// "failed" into "nothing was reachable" vs "gave up early".
+struct DegradationRecord {
+  /// Holders of the sought content known to the measurement harness
+  /// (locate: the query's holder set; content: Query::audit_holders).
+  std::uint64_t holders_known = 0;
+  /// Holders estimated reachable at launch: online under the static
+  /// mask and not on the far side of a permanent partition.
+  std::uint64_t holders_reachable = 0;
+  /// Hits the search actually returned.
+  std::uint64_t results_found = 0;
+
+  /// A failure with nothing reachable is graceful degradation, not an
+  /// engine shortfall.
+  [[nodiscard]] bool nothing_reachable() const noexcept {
+    return holders_reachable == 0;
+  }
+  /// True when the search failed even though holders were reachable.
+  [[nodiscard]] bool gave_up_early(bool success) const noexcept {
+    return !success && holders_reachable > 0;
+  }
+};
+
 /// Immutable description of the faults a whole experiment runs under:
-/// loss/jitter parameters plus an optional liveness snapshot. Shared
-/// read-only across worker threads.
+/// loss/jitter parameters, structured scenario shapes, plus an optional
+/// liveness snapshot. Shared read-only across worker threads.
 class FaultPlan {
  public:
   /// The null plan: no loss, no jitter, everyone online.
   FaultPlan() = default;
 
-  explicit FaultPlan(const FaultParams& params) : params_(params) {}
+  /// Validates params (throws std::invalid_argument on bad values).
+  explicit FaultPlan(const FaultParams& params) : params_(params) {
+    params_.validate();
+  }
 
   /// Plan with a crash/offline snapshot: offline peers neither receive
   /// nor relay for the duration of the plan.
   FaultPlan(const FaultParams& params, std::vector<bool> online)
-      : params_(params), online_(std::move(online)), has_mask_(true) {}
+      : params_(params), online_(std::move(online)), has_mask_(true) {
+    params_.validate();
+  }
 
   /// Snapshot the current liveness of a session-churn process (advance
   /// the process between plans to model an evolving crash schedule).
   [[nodiscard]] static FaultPlan from_churn(const FaultParams& params,
                                             const overlay::ChurnProcess& churn);
 
+  /// Compiles a named scenario against a concrete graph: samples the
+  /// static offline mask, grows the partition's minority side by BFS,
+  /// and re-keys the hash streams with `seed` so different runs of the
+  /// same scenario draw independent fault patterns. Validates the spec.
+  [[nodiscard]] static FaultPlan from_scenario(const ScenarioSpec& spec,
+                                               const overlay::Graph& graph,
+                                               std::uint64_t seed);
+
   [[nodiscard]] double loss_rate() const noexcept { return params_.loss_rate; }
 
   /// True when the plan can actually perturb a run.
   [[nodiscard]] bool active() const noexcept {
-    return params_.loss_rate > 0.0 || params_.jitter_max_ms > 0.0 || has_mask_;
+    return params_.loss_rate > 0.0 || params_.jitter_max_ms > 0.0 ||
+           has_mask_ || burst_.active() || partition_active() ||
+           straggler_.active() || mid_churn_.active();
   }
 
+  /// Static liveness snapshot (the hop-0 truth engines index before any
+  /// message flows). Mid-query crashes are on top of this — see the
+  /// time-indexed overload.
   [[nodiscard]] bool online(NodeId v) const noexcept {
     return !has_mask_ || online_[v];
+  }
+
+  /// Time-indexed liveness: the static snapshot AND mid-query crashes
+  /// that have already happened by message `index` of `trial`.
+  [[nodiscard]] bool online(NodeId v, std::uint64_t trial,
+                            std::uint64_t index) const noexcept {
+    if (has_mask_ && !online_[v]) return false;
+    if (!mid_churn_.active() || index == 0) return true;
+    return index < crash_index(trial, v);
+  }
+
+  /// Message index at which `v` crashes in `trial` (kNeverHeals when it
+  /// survives the whole horizon). Stateless hash of (seed, trial, v).
+  [[nodiscard]] std::uint64_t crash_index(std::uint64_t trial,
+                                          NodeId v) const noexcept {
+    if (!mid_churn_.active()) return kNeverHeals;
+    if (hash_unit(trial, v, 0xC4A54ULL) >= mid_churn_.crash_fraction) {
+      return kNeverHeals;
+    }
+    const double u = hash_unit(trial, v, 0xC4A55ULL);
+    return 1 + static_cast<std::uint64_t>(
+                   u * static_cast<double>(mid_churn_.horizon_index - 1) + 0.5);
   }
 
   /// nullptr when the plan has no crash schedule (everyone online).
@@ -118,7 +378,9 @@ class FaultPlan {
     return has_mask_ ? &online_ : nullptr;
   }
 
-  /// Stateless: is message `index` of trial `trial` lost?
+  /// Stateless: is message `index` of trial `trial` lost? (i.i.d. loss
+  /// only — the burst channel and partition cut live in FaultSession's
+  /// edge-aware delivery.)
   [[nodiscard]] bool drops(std::uint64_t trial,
                            std::uint64_t index) const noexcept {
     if (params_.loss_rate <= 0.0) return false;
@@ -133,31 +395,109 @@ class FaultPlan {
     return hash_unit(trial, index, 0x717E4ULL) * params_.jitter_max_ms;
   }
 
+  // --- Structured scenario shapes ---
+
+  [[nodiscard]] const BurstLossParams& burst() const noexcept {
+    return burst_;
+  }
+  [[nodiscard]] bool burst_active() const noexcept { return burst_.active(); }
+
+  [[nodiscard]] bool partition_active() const noexcept {
+    return partition_.active() && !side_.empty();
+  }
+  /// True when the (u, v) link crosses a still-unhealed partition cut at
+  /// message `index`.
+  [[nodiscard]] bool cut(NodeId u, NodeId v,
+                         std::uint64_t index) const noexcept {
+    if (!partition_active()) return false;
+    if (index >= partition_.heal_after_index) return false;
+    return side_[u] != side_[v];
+  }
+  /// True when u and v can NEVER exchange messages under this plan
+  /// (opposite sides of a permanent cut) — the degradation estimate.
+  [[nodiscard]] bool severed(NodeId u, NodeId v) const noexcept {
+    return partition_active() &&
+           partition_.heal_after_index == kNeverHeals && side_[u] != side_[v];
+  }
+  /// 1 for minority-side nodes, 0 otherwise (empty when no partition).
+  [[nodiscard]] const std::vector<std::uint8_t>& partition_side()
+      const noexcept {
+    return side_;
+  }
+
+  [[nodiscard]] bool straggler_active() const noexcept {
+    return straggler_.active();
+  }
+  /// Per-peer latency multiplier (>= 1): Pareto(tail_alpha) capped at
+  /// max_multiplier for stragglers, 1.0 for everyone else. Stateless
+  /// hash of (seed, trial, v) — receiver-keyed, so every link INTO a
+  /// straggler is slow.
+  [[nodiscard]] double straggler_scale(std::uint64_t trial,
+                                       NodeId v) const noexcept {
+    if (!straggler_.active()) return 1.0;
+    if (hash_unit(trial, v, 0x57A66ULL) >= straggler_.fraction) return 1.0;
+    const double u = hash_unit(trial, v, 0x57A67ULL);
+    const double scale = std::pow(1.0 - u, -1.0 / straggler_.tail_alpha);
+    return std::min(scale, straggler_.max_multiplier);
+  }
+
+  [[nodiscard]] bool mid_churn_active() const noexcept {
+    return mid_churn_.active();
+  }
+  /// True when the plan produces nonzero per-message latency — gates the
+  /// session's latency observations (and thus adaptive timeouts).
+  [[nodiscard]] bool has_latency_signal() const noexcept {
+    return params_.jitter_max_ms > 0.0;
+  }
+
+  /// Degradation estimate: could `holder` answer a query from `source`
+  /// at launch? Online under the static snapshot and not permanently
+  /// severed from the source. (Mid-query crashes are deliberately NOT
+  /// counted: the holder was reachable when the query launched.)
+  [[nodiscard]] bool reachable_at_launch(NodeId source,
+                                         NodeId holder) const noexcept {
+    return online(holder) && !severed(source, holder);
+  }
+
  private:
-  /// Hash of (seed, trial, index, salt) mapped to [0, 1). Chained mixes
-  /// (not xors of mixes) so (trial, index) never aliases (index, trial).
-  [[nodiscard]] double hash_unit(std::uint64_t trial, std::uint64_t index,
+  /// Hash of (seed, a, b, salt) mapped to [0, 1). Chained mixes
+  /// (not xors of mixes) so (a, b) never aliases (b, a).
+  [[nodiscard]] double hash_unit(std::uint64_t a, std::uint64_t b,
                                  std::uint64_t salt) const noexcept {
-    const std::uint64_t h = util::mix64(
-        util::mix64(util::mix64(params_.seed ^ salt) ^ trial) ^ index);
+    const std::uint64_t h =
+        util::mix64(util::mix64(util::mix64(params_.seed ^ salt) ^ a) ^ b);
     return static_cast<double>(h >> 11) * 0x1.0p-53;
   }
+
+  friend class FaultSession;
 
   FaultParams params_{};
   std::vector<bool> online_;
   bool has_mask_ = false;
+  BurstLossParams burst_{};
+  PartitionParams partition_{};
+  StragglerParams straggler_{};
+  MidQueryChurnParams mid_churn_{};
+  /// Partition side per node (1 = minority). Empty = no partition.
+  std::vector<std::uint8_t> side_;
 };
 
 /// Per-trial cursor over the plan's message-indexed fault stream. One
 /// session per (trial, query); engines charge one index per message they
 /// send, so a trial's fault pattern depends only on (plan, trial index)
 /// and the deterministic order of sends within the trial.
+///
+/// The edge-aware deliver(u, v) overloads add the structured shapes
+/// (burst channel, partition cut, straggler-scaled jitter); they consume
+/// exactly the same hash stream as the legacy edgeless overloads when
+/// those shapes are inactive, so i.i.d. plans are bit-for-bit unchanged.
 class FaultSession {
  public:
   FaultSession(const FaultPlan& plan, std::uint64_t trial) noexcept
       : plan_(&plan), trial_(trial) {}
 
   /// Charges one message index; false when this transmission is lost.
+  /// Legacy edgeless form: i.i.d. loss only (no burst/cut/straggler).
   bool deliver() noexcept {
     const std::uint64_t i = index_++;
     if (plan_->drops(trial_, i)) {
@@ -173,15 +513,63 @@ class FaultSession {
   bool deliver_timed() noexcept {
     const std::uint64_t i = index_;
     if (!deliver()) return false;
-    latency_ms_ += plan_->jitter_ms(trial_, i);
+    const double jit = plan_->jitter_ms(trial_, i);
+    latency_ms_ += jit;
+    observe_latency(jit);
     return true;
   }
 
-  [[nodiscard]] bool online(NodeId v) const noexcept {
-    return plan_->online(v);
+  /// Edge-aware delivery on link u -> v: i.i.d. loss, the edge's burst
+  /// channel, and the partition cut. No latency accounting (flood-style
+  /// concurrent fan-out).
+  bool deliver(NodeId u, NodeId v) noexcept {
+    return deliver_edge(u, v, nullptr);
   }
+
+  /// Edge-aware deliver() plus straggler-scaled jitter accounting (the
+  /// serial engines).
+  bool deliver_timed(NodeId u, NodeId v) noexcept {
+    double jit = 0.0;
+    if (!deliver_edge(u, v, &jit)) return false;
+    latency_ms_ += jit;
+    observe_latency(jit);
+    return true;
+  }
+
+  /// Edge-aware delivery for the DES engines: drop decision plus the
+  /// extra per-message delay (jitter x straggler scale, ms) written to
+  /// `extra_ms` — the caller owns the clock, so nothing is accumulated
+  /// here. The caller should observe_latency() the full wire time.
+  bool deliver_wire(NodeId u, NodeId v, double& extra_ms) noexcept {
+    extra_ms = 0.0;
+    return deliver_edge(u, v, &extra_ms);
+  }
+
+  /// Time-indexed liveness at the session's current message index:
+  /// static snapshot plus mid-query crashes that already happened. Also
+  /// feeds the circuit breaker (finding a peer dead is a failure).
+  [[nodiscard]] bool online(NodeId v) noexcept {
+    const bool up = plan_->online(v, trial_, index_);
+    if (!up) {
+      offline_seen_ = true;
+      record_failure(v);
+    }
+    return up;
+  }
+
+  /// Liveness without breaker/suspicion side effects (preflight checks,
+  /// result accounting).
+  [[nodiscard]] bool online_peek(NodeId v) const noexcept {
+    return plan_->online(v, trial_, index_);
+  }
+
   [[nodiscard]] const FaultPlan& plan() const noexcept { return *plan_; }
   [[nodiscard]] std::uint64_t trial() const noexcept { return trial_; }
+
+  /// This trial's straggler multiplier for links INTO v (>= 1).
+  [[nodiscard]] double straggler_scale(NodeId v) const noexcept {
+    return plan_->straggler_scale(trial_, v);
+  }
 
   /// Adds recovery waiting (timeouts, backoff) to the trial's latency.
   void charge_wait(double ms) noexcept { latency_ms_ += ms; }
@@ -191,12 +579,81 @@ class FaultSession {
   /// Accumulated simulated waiting: jitter plus recovery waits.
   [[nodiscard]] double latency_ms() const noexcept { return latency_ms_; }
 
+  // --- Adaptive recovery state ---
+
+  /// Arms the per-neighbor circuit breaker: after `failures_to_trip`
+  /// observed failures (dropped sends to it, or finding it dead) a peer
+  /// is reported tripped(). 0 disarms.
+  void arm_breaker(std::uint32_t failures_to_trip) noexcept {
+    breaker_limit_ = failures_to_trip;
+  }
+
+  /// True when the breaker is open for v: engines skip the send (and do
+  /// not charge a message) — the neighbor is persistently unresponsive.
+  [[nodiscard]] bool tripped(NodeId v) const noexcept {
+    if (breaker_limit_ == 0 || failures_.empty()) return false;
+    const auto it = failures_.find(v);
+    return it != failures_.end() && it->second >= breaker_limit_;
+  }
+
+  /// True when this session has evidence of faults (drops or dead
+  /// peers): gates hedged re-issue — a failed attempt with no evidence
+  /// is a true negative, and re-issuing it is pointless.
+  [[nodiscard]] bool suspects_faults() const noexcept {
+    return dropped_ > 0 || offline_seen_;
+  }
+
+  /// Records one observed per-message latency (ms) into the estimator.
+  /// Zero-latency plans contribute nothing, so the adaptive timeout
+  /// falls back to the fixed one under inert plans.
+  void observe_latency(double ms) noexcept {
+    if (!plan_->has_latency_signal() && !plan_->straggler_active()) return;
+    samples_[observed_ % samples_.size()] = static_cast<float>(ms);
+    ++observed_;
+  }
+
+  [[nodiscard]] bool has_latency_samples() const noexcept {
+    return observed_ > 0;
+  }
+
+  /// Online latency-quantile estimate over the observation window;
+  /// `fallback` when the session has no observations yet.
+  [[nodiscard]] double latency_quantile(double q, double fallback) const;
+
  private:
+  bool deliver_edge(NodeId u, NodeId v, double* jitter_out) noexcept;
+  /// Advances the (trial, edge) Gilbert–Elliott chain one transmission;
+  /// true when this transmission is lost to a burst.
+  bool burst_drops(NodeId u, NodeId v);
+  void record_failure(NodeId v) {
+    if (breaker_limit_ == 0) return;
+    ++failures_[v];
+  }
+
   const FaultPlan* plan_;
   std::uint64_t trial_;
   std::uint64_t index_ = 0;
   std::uint64_t dropped_ = 0;
   double latency_ms_ = 0.0;
+  bool offline_seen_ = false;
+
+  /// Gilbert–Elliott chain per undirected edge (bad-state flag + step
+  /// count). Only touched when the plan's burst channel is active; keys
+  /// are looked up, never iterated, so determinism is preserved.
+  struct EdgeChannel {
+    bool initialized = false;
+    bool bad = false;
+    std::uint64_t step = 0;
+  };
+  std::unordered_map<std::uint64_t, EdgeChannel> channels_;
+
+  /// Circuit-breaker failure counts per destination (armed only).
+  std::uint32_t breaker_limit_ = 0;
+  std::unordered_map<NodeId, std::uint32_t> failures_;
+
+  /// Ring buffer of observed per-message latencies (ms).
+  std::array<float, 128> samples_{};
+  std::uint64_t observed_ = 0;
 };
 
 }  // namespace qcp2p::sim

@@ -20,11 +20,14 @@ namespace qcp2p::sim {
 /// inner engine and plan by reference: both must outlive the decorator.
 /// Stateless per query (a fresh FaultSession is keyed off query.trial),
 /// so one decorator is shared read-only across TrialRunner workers.
+/// Validates the policy at construction (throws std::invalid_argument).
 class FaultInjectedEngine final : public SearchEngine {
  public:
   FaultInjectedEngine(const SearchEngine& inner, const FaultPlan& plan,
-                      RecoveryPolicy policy) noexcept
-      : inner_(&inner), plan_(&plan), policy_(policy) {}
+                      RecoveryPolicy policy)
+      : inner_(&inner), plan_(&plan), policy_(policy) {
+    policy_.validate();
+  }
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return inner_->name();
@@ -36,7 +39,21 @@ class FaultInjectedEngine final : public SearchEngine {
   [[nodiscard]] SearchOutcome search(const Query& query,
                                      EngineContext& ctx) const override {
     FaultSession faults(*plan_, query.trial);
-    return drive(*inner_, query, ctx, &faults, &policy_);
+    faults.arm_breaker(policy_.breaker_failures);
+    SearchOutcome out = drive(*inner_, query, ctx, &faults, &policy_);
+    if (plan_->active()) {
+      fill_degradation(query, out);
+      // Engines without a time model still have a fault-layer time
+      // axis: accumulated jitter plus recovery waits. Estimated, and
+      // only under an active plan, so inert runs stay bit-identical.
+      if (!out.timing.has_value()) {
+        TimingRecord t;
+        t.clock_s = faults.latency_ms() / 1000.0;
+        t.exact = false;
+        out.timing = t;
+      }
+    }
+    return out;
   }
 
  protected:
@@ -45,6 +62,23 @@ class FaultInjectedEngine final : public SearchEngine {
                const RecoveryPolicy*, SearchOutcome&) const override {}
 
  private:
+  /// Splits "failed" into "nothing was reachable" vs "gave up early":
+  /// counts the holders the plan says could have answered at launch.
+  /// Needs holder knowledge — locate queries carry it; content queries
+  /// opt in through Query::audit_holders.
+  void fill_degradation(const Query& query, SearchOutcome& out) const {
+    const std::span<const NodeId> holders =
+        query.is_locate() ? query.holders : query.audit_holders;
+    if (holders.empty()) return;
+    DegradationRecord d;
+    d.holders_known = holders.size();
+    for (const NodeId h : holders) {
+      if (plan_->reachable_at_launch(query.source, h)) ++d.holders_reachable;
+    }
+    d.results_found = out.hits.size();
+    out.degradation = d;
+  }
+
   const SearchEngine* inner_;
   const FaultPlan* plan_;
   RecoveryPolicy policy_;

@@ -50,12 +50,20 @@ void flood_into(const Graph& graph, NodeId source, std::uint32_t ttl,
         continue;
       }
       for (NodeId v : nbrs) {
+        // Circuit breaker: a persistently unresponsive neighbor is
+        // skipped entirely — no send, no message charged.
+        if (faults != nullptr && faults->tripped(v)) continue;
         ++messages;  // duplicates and dead peers still cost a send
-        if (faults != nullptr && !faults->deliver()) {
+        if (faults != nullptr && !faults->deliver(u, v)) {
           ++dropped;  // lost in flight: never arrives anywhere
           continue;
         }
-        if (online != nullptr && !(*online)[v]) continue;
+        // Under faults liveness is time-indexed (mid-query crashes);
+        // the plain masked path keeps the static snapshot.
+        const bool alive = faults != nullptr
+                               ? faults->online(v)
+                               : (online == nullptr || (*online)[v]);
+        if (!alive) continue;
         if (mark[v] != epoch) {
           mark[v] = epoch;
           scratch.reached.push_back(v);

@@ -62,21 +62,27 @@ GiaSearchResult GiaNetwork::search_once(NodeId source,
   GiaSearchResult out;
   const std::vector<bool>* online =
       faults != nullptr ? faults->plan().online_mask() : nullptr;
-  if (faults != nullptr && !faults->online(source)) return out;
+  if (faults != nullptr && !faults->online_peek(source)) return out;
   auto probe = [&](NodeId at) {
     ++out.peers_probed;
     match_with_one_hop(at, query, online, scratch, out.results);
   };
   probe(source);
   NodeId at = source;
-  while (out.messages < params.max_steps &&
+  // The walk budget counts steps, not sends: a breaker skip burns a step
+  // without charging a message, so a walker boxed in by tripped
+  // neighbors runs out of budget instead of spinning forever.
+  std::uint32_t steps = 0;
+  while (steps < params.max_steps &&
          (params.stop_after_results == 0 ||
           out.results.size() < params.stop_after_results)) {
     if (topology_.graph.degree(at) == 0) break;
+    ++steps;
     const NodeId nxt = biased_step(at, params.capacity_bias, rng);
+    if (faults != nullptr && faults->tripped(nxt)) continue;
     ++out.messages;
     if (faults != nullptr) {
-      if (!faults->deliver_timed()) {
+      if (!faults->deliver_timed(at, nxt)) {
         ++out.fault.dropped;  // lost step: budget spent, walker stays
         continue;
       }
@@ -115,9 +121,9 @@ GiaSearchResult GiaNetwork::locate_once(NodeId source,
                                         util::Rng& rng,
                                         FaultSession* faults) const {
   GiaSearchResult out;
-  if (faults != nullptr && !faults->online(source)) return out;
+  if (faults != nullptr && !faults->online_peek(source)) return out;
   auto holder_alive = [&](NodeId v) {
-    return faults == nullptr || faults->online(v);
+    return faults == nullptr || faults->online_peek(v);
   };
   auto covered = [&](NodeId at) {
     // One-hop replication: a node also indexes its neighbors' content
@@ -140,12 +146,15 @@ GiaSearchResult GiaNetwork::locate_once(NodeId source,
     return out;
   }
   NodeId at = source;
-  while (out.messages < params.max_steps) {
+  std::uint32_t steps = 0;  // breaker skips burn budget; see search_once
+  while (steps < params.max_steps) {
     if (topology_.graph.degree(at) == 0) break;
+    ++steps;
     const NodeId nxt = biased_step(at, params.capacity_bias, rng);
+    if (faults != nullptr && faults->tripped(nxt)) continue;
     ++out.messages;
     if (faults != nullptr) {
-      if (!faults->deliver_timed()) {
+      if (!faults->deliver_timed(at, nxt)) {
         ++out.fault.dropped;
         continue;
       }

@@ -118,12 +118,18 @@ QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
       }
       marks[leaf] = mark;
       if (tables_[leaf].may_match(query)) {
+        // Circuit breaker: a persistently unresponsive leaf is skipped
+        // without charging a delivery.
+        if (faults != nullptr && faults->tripped(leaf)) continue;
         ++out.leaf_messages;  // charged even if lost or the leaf is dead
-        if (faults != nullptr && !faults->deliver()) {
+        if (faults != nullptr && !faults->deliver(up, leaf)) {
           ++out.fault.dropped;
           continue;
         }
-        if (online != nullptr && !(*online)[leaf]) continue;
+        const bool alive = faults != nullptr
+                               ? faults->online(leaf)
+                               : (online == nullptr || (*online)[leaf]);
+        if (!alive) continue;
         probe(leaf);
       } else {
         ++out.leaf_suppressed;

@@ -39,9 +39,12 @@ RandomWalkResult walk(const Graph& graph, NodeId source,
     for (std::uint32_t step = 0; step < params.max_steps; ++step) {
       if (graph.degree(at) == 0) break;
       const NodeId nxt = next_hop(graph, at, params.degree_biased, rng);
+      // Circuit breaker: don't send to a neighbor the session has seen
+      // fail repeatedly — the step is burned but no message is charged.
+      if (faults != nullptr && faults->tripped(nxt)) continue;
       ++out.messages;
       if (faults != nullptr) {
-        if (!faults->deliver_timed()) {
+        if (!faults->deliver_timed(at, nxt)) {
           ++out.fault.dropped;  // lost step: budget spent, walker stays
           continue;
         }
@@ -67,7 +70,7 @@ struct LocateProbe {
   void operator()(NodeId at, RandomWalkResult& out) const {
     ++out.peers_probed;
     if (std::binary_search(holders.begin(), holders.end(), at) &&
-        (faults == nullptr || faults->online(at))) {
+        (faults == nullptr || faults->online_peek(at))) {
       out.results.push_back(at);
     }
   }

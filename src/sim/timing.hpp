@@ -55,6 +55,14 @@ class TimingModel {
            frac * (params_.max_link_latency_s - params_.min_link_latency_s);
   }
 
+  /// link_latency() scaled by a receiver-side multiplier — the fault
+  /// layer's straggler composition (see FaultPlan::straggler_scale):
+  /// every link INTO a straggling peer is slow.
+  [[nodiscard]] double link_latency(overlay::NodeId u, overlay::NodeId v,
+                                    double receiver_scale) const noexcept {
+    return link_latency(u, v) * receiver_scale;
+  }
+
   /// Expected latency of one link — the per-hop price the round-based
   /// engines use for estimated timing.
   [[nodiscard]] double mean_link_s() const noexcept {

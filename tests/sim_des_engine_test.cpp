@@ -102,7 +102,9 @@ TEST(DesEngines, FloodDesReachIsBoundedByTheRoundFloodBall) {
     EXPECT_TRUE(std::includes(round.hits.begin(), round.hits.end(),
                               des.hits.begin(), des.hits.end()))
         << "trial " << t;
-    if (des.success) EXPECT_TRUE(round.success) << "trial " << t;
+    if (des.success) {
+      EXPECT_TRUE(round.success) << "trial " << t;
+    }
   }
 }
 

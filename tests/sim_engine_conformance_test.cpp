@@ -6,7 +6,9 @@
 // here with no test edits.
 //
 // Also covers the bench CLI contract: BenchEnv::from_cli must reject a
-// malformed --threads and an unknown --engine with exit code 2.
+// malformed --threads, an unknown --engine/--scenario, and garbage
+// fault-shape flags (--loss/--jitter/--offline-fraction) with exit
+// code 2.
 #include "src/sim/engine_registry.hpp"
 
 #include <gtest/gtest.h>
@@ -294,6 +296,123 @@ TEST_P(EngineConformance, InertDecoratorIsBitForBitInvisible) {
   }
 }
 
+/// A scenario spec with every failure shape nulled out: the compile path
+/// and the decorator machinery run, but nothing may perturb the engine.
+ScenarioSpec nulled(const ScenarioSpec& spec) {
+  ScenarioSpec out = spec;
+  out.base.loss_rate = 0.0;
+  out.base.jitter_max_ms = 0.0;
+  out.burst = BurstLossParams{};
+  out.partition = PartitionParams{};
+  out.straggler = StragglerParams{};
+  out.mid_churn = MidQueryChurnParams{};
+  out.offline_fraction = 0.0;
+  return out;
+}
+
+/// The adaptive recovery stack, armed: hedging, breaker, adaptive
+/// timeouts. All three must be provably inert under an inert plan.
+/// Retries stay at 0 — a retry on a failed query is legitimate policy
+/// behavior (it re-runs the engine and advances the rng) even with no
+/// faults, so it cannot be part of a bit-for-bit transparency check.
+RecoveryPolicy adaptive_policy(std::uint32_t retries) {
+  RecoveryPolicy policy;
+  policy.max_retries = retries;
+  policy.adaptive_timeout = true;
+  policy.max_hedges = 2;
+  policy.breaker_failures = 2;
+  return policy;
+}
+
+TEST_P(EngineConformance, InertScenarioIsBitForBitInvisible) {
+  // Every registry scenario with nulled parameters, decorated with the
+  // ARMED adaptive policy, must reproduce the undecorated engine exactly:
+  // hedging is gated on fault evidence, the breaker on failures, and the
+  // adaptive timeout on latency samples — an inert plan produces none.
+  const auto engine = make();
+  for (const Scenario& scenario : scenario_registry()) {
+    const FaultPlan plan = FaultPlan::from_scenario(nulled(scenario.spec),
+                                                    world_->graph, 77);
+    ASSERT_FALSE(plan.active()) << scenario.name;
+    const FaultInjectedEngine faulty =
+        with_faults(*engine, plan, adaptive_policy(0));
+    for (std::size_t t = 0; t < 12; ++t) {
+      const auto terms = query_for(t);
+      Query q;
+      q.source = static_cast<NodeId>(t * 11 % kNodes);
+      q.terms = terms;
+      q.ttl = 2;
+      q.trial = t;
+      EngineContext plain_ctx, faulty_ctx;
+      util::Rng plain_rng(500 + t), faulty_rng(500 + t);
+      plain_ctx.rng = &plain_rng;
+      faulty_ctx.rng = &faulty_rng;
+      const SearchOutcome plain = engine->search(q, plain_ctx);
+      const SearchOutcome decorated = faulty.search(q, faulty_ctx);
+      EXPECT_EQ(plain.hits, decorated.hits)
+          << scenario.name << " trial " << t;
+      EXPECT_EQ(plain.messages, decorated.messages)
+          << scenario.name << " trial " << t;
+      EXPECT_EQ(plain.peers_probed, decorated.peers_probed)
+          << scenario.name << " trial " << t;
+      EXPECT_EQ(plain.success, decorated.success)
+          << scenario.name << " trial " << t;
+      EXPECT_EQ(decorated.fault.dropped, 0u) << scenario.name;
+      EXPECT_EQ(decorated.fault.retries, 0u) << scenario.name;
+      EXPECT_EQ(decorated.fault.hedges, 0u) << scenario.name;
+      EXPECT_FALSE(decorated.degradation.has_value()) << scenario.name;
+      EXPECT_EQ(plain_rng(), faulty_rng())
+          << scenario.name << " trial " << t;
+    }
+  }
+}
+
+TEST_P(EngineConformance, ScenariosAreDeterministicAcrossThreadCounts) {
+  // Every named scenario (all shapes live: bursts, cuts, stragglers,
+  // mid-query crashes) under the armed adaptive policy must aggregate
+  // byte-identically for any worker count.
+  const auto engine = make();
+  for (const Scenario& scenario : scenario_registry()) {
+    const FaultPlan plan =
+        FaultPlan::from_scenario(scenario.spec, world_->graph, 1234);
+    const FaultInjectedEngine faulty =
+        with_faults(*engine, plan, adaptive_policy(2));
+    const auto run_with = [&](std::size_t threads) {
+      const TrialRunner runner({threads, 777});
+      return runner.run(
+          36, [] { return EngineContext{}; },
+          [&](std::size_t t, util::Rng& rng, EngineContext& ctx) {
+            ctx.rng = &rng;
+            const auto terms = query_for(t);
+            Query q;
+            q.source = static_cast<NodeId>(rng.bounded(kNodes));
+            q.terms = terms;
+            q.ttl = 2;
+            q.trial = t;
+            const SearchOutcome r = faulty.search(q, ctx);
+            TrialOutcome out;
+            out.success = r.success;
+            out.messages = r.messages;
+            out.extra[0] = r.fault.dropped;
+            out.extra[1] = r.fault.retries;
+            out.extra[2] = r.fault.hedges;
+            out.extra[3] = r.peers_probed;
+            return out;
+          });
+    };
+    const TrialAggregate one = run_with(1);
+    for (const std::size_t threads : {2ULL, 8ULL}) {
+      const TrialAggregate many = run_with(threads);
+      EXPECT_EQ(one.successes, many.successes)
+          << scenario.name << " @ " << threads << " threads";
+      EXPECT_EQ(one.messages, many.messages)
+          << scenario.name << " @ " << threads << " threads";
+      EXPECT_EQ(one.extra, many.extra)
+          << scenario.name << " @ " << threads << " threads";
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllEngines, EngineConformance,
     ::testing::ValuesIn([] {
@@ -342,6 +461,37 @@ TEST(BenchEnvDeathTest, AcceptsValidThreadsAndEngines) {
     EXPECT_EQ(env_from({"--engine", std::string(entry.name).c_str()}).engine,
               entry.name);
   }
+}
+
+TEST(BenchEnvDeathTest, RejectsUnknownScenario) {
+  EXPECT_EXIT(env_from({"--scenario", "warp-storm"}),
+              ::testing::ExitedWithCode(2), "unknown --scenario");
+  EXPECT_EXIT(env_from({"--scenario", "BURSTY-LOSS"}),
+              ::testing::ExitedWithCode(2), "unknown --scenario");
+}
+
+TEST(BenchEnvDeathTest, AcceptsEveryRegisteredScenario) {
+  EXPECT_EQ(env_from({}).scenario, "");
+  for (const Scenario& scenario : scenario_registry()) {
+    EXPECT_EQ(
+        env_from({"--scenario", std::string(scenario.name).c_str()}).scenario,
+        scenario.name);
+  }
+}
+
+TEST(BenchEnvDeathTest, RejectsMalformedFaultFlags) {
+  EXPECT_EXIT(env_from({"--loss", "1.5"}), ::testing::ExitedWithCode(2),
+              "--loss");
+  EXPECT_EXIT(env_from({"--loss", "0.5x"}), ::testing::ExitedWithCode(2),
+              "--loss");
+  EXPECT_EXIT(env_from({"--loss", "nan"}), ::testing::ExitedWithCode(2),
+              "--loss");
+  EXPECT_EXIT(env_from({"--jitter", "-1"}), ::testing::ExitedWithCode(2),
+              "--jitter");
+  EXPECT_EXIT(env_from({"--offline-fraction", "2"}),
+              ::testing::ExitedWithCode(2), "--offline-fraction");
+  // Well-formed shapes pass straight through.
+  EXPECT_EQ(env_from({"--loss", "0.25", "--jitter", "30"}).scenario, "");
 }
 
 }  // namespace

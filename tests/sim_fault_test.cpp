@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "src/overlay/churn.hpp"
 #include "src/overlay/topology.hpp"
 #include "src/sim/dht.hpp"
 #include "src/sim/engine_registry.hpp"
@@ -236,6 +240,121 @@ TEST(RecoveryPolicy, BackoffIsExponential) {
   EXPECT_DOUBLE_EQ(p.backoff_after(0), 100.0);
   EXPECT_DOUBLE_EQ(p.backoff_after(1), 200.0);
   EXPECT_DOUBLE_EQ(p.backoff_after(3), 800.0);
+}
+
+// Regression: backoff_ms * factor^retry overflows double for large retry
+// counts; the wait must stay finite and capped, never inf/NaN.
+TEST(RecoveryPolicy, BackoffOverflowIsCapped) {
+  RecoveryPolicy p;
+  p.backoff_ms = 100.0;
+  p.backoff_factor = 10.0;
+  const double huge = p.backoff_after(5000);
+  EXPECT_TRUE(std::isfinite(huge));
+  EXPECT_LE(huge, 3.6e6);  // one simulated hour
+  EXPECT_DOUBLE_EQ(p.backoff_after(5000),
+                   p.backoff_after(std::numeric_limits<std::uint32_t>::max()));
+  // The cap is monotone: no retry waits longer than a later one.
+  EXPECT_LE(p.backoff_after(10), p.backoff_after(11));
+}
+
+TEST(FaultParams, ValidationRejectsGarbage) {
+  FaultParams nan_loss;
+  nan_loss.loss_rate = std::nan("");
+  EXPECT_THROW(FaultPlan{nan_loss}, std::invalid_argument);
+  FaultParams negative_loss;
+  negative_loss.loss_rate = -0.1;
+  EXPECT_THROW(FaultPlan{negative_loss}, std::invalid_argument);
+  FaultParams over_one;
+  over_one.loss_rate = 1.5;
+  EXPECT_THROW(FaultPlan{over_one}, std::invalid_argument);
+  FaultParams negative_jitter;
+  negative_jitter.jitter_max_ms = -1.0;
+  EXPECT_THROW(FaultPlan{negative_jitter}, std::invalid_argument);
+  FaultParams ok;
+  ok.loss_rate = 1.0;
+  ok.jitter_max_ms = 0.0;
+  EXPECT_NO_THROW(FaultPlan{ok});
+}
+
+TEST(RecoveryPolicy, ValidationRejectsGarbage) {
+  const auto invalid = [](auto mutate) {
+    RecoveryPolicy p;
+    mutate(p);
+    return p;
+  };
+  EXPECT_THROW(
+      invalid([](RecoveryPolicy& p) { p.backoff_factor = 0.5; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      invalid([](RecoveryPolicy& p) { p.route_around_width = 0; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      invalid([](RecoveryPolicy& p) { p.timeout_ms = std::nan(""); })
+          .validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      invalid([](RecoveryPolicy& p) { p.timeout_quantile = 0.0; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      invalid([](RecoveryPolicy& p) { p.hedge_quantile = 1.5; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(invalid([](RecoveryPolicy& p) {
+                 p.timeout_floor_ms = 100.0;
+                 p.timeout_ceil_ms = 50.0;
+               }).validate(),
+               std::invalid_argument);
+  EXPECT_NO_THROW(RecoveryPolicy{}.validate());
+}
+
+/// Minimal engine: enough of the SearchEngine contract to construct a
+/// decorator around.
+class NullEngine final : public SearchEngine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "null";
+  }
+
+ protected:
+  void attempt(const Query&, EngineContext&, FaultSession*,
+               const RecoveryPolicy*, SearchOutcome&) const override {}
+};
+
+// The decorator validates at construction: a bad policy cannot be
+// installed at all.
+TEST(RecoveryPolicy, DecoratorRejectsInvalidPolicyAtConstruction) {
+  const FaultPlan plan;
+  const NullEngine dummy;
+  RecoveryPolicy bad;
+  bad.backoff_factor = 0.0;
+  EXPECT_THROW(FaultInjectedEngine(dummy, plan, bad), std::invalid_argument);
+}
+
+TEST(FaultPlanFromChurn, EmptyNetworkAndAllOfflineMask) {
+  overlay::ChurnParams cp;
+  cp.mean_online_s = 10.0;
+  cp.mean_offline_s = 1e9;  // essentially everyone offline at steady state
+  cp.seed = 5;
+
+  // Empty network: a plan over zero nodes is valid and inert-ish — no
+  // mask entries, nothing to deliver to.
+  const overlay::ChurnProcess empty(0, cp);
+  const FaultPlan empty_plan = FaultPlan::from_churn(FaultParams{}, empty);
+  EXPECT_EQ(empty_plan.online_mask()->size(), 0u);
+
+  // All-offline mask: every node reads offline, sessions suspect faults
+  // after observing it, and reachable_at_launch reports degradation.
+  overlay::ChurnProcess churn(32, cp);
+  churn.advance(1e6);
+  FaultPlan plan = FaultPlan::from_churn(FaultParams{}, churn);
+  bool anyone_online = false;
+  for (NodeId v = 0; v < 32; ++v) anyone_online |= plan.online(v);
+  if (!anyone_online) {
+    FaultSession session(plan, 0);
+    EXPECT_FALSE(session.online(7));
+    EXPECT_TRUE(session.suspects_faults());
+    EXPECT_FALSE(plan.reachable_at_launch(0, 7));
+  }
+  EXPECT_TRUE(plan.active());
 }
 
 }  // namespace

@@ -1,0 +1,385 @@
+// Structured failure scenarios: the Gilbert–Elliott burst channel,
+// partition cuts with heal schedules, heavy-tailed stragglers, mid-query
+// churn, the named-scenario registry, and the adaptive recovery pieces
+// (latency estimator, hedging, circuit breaker) they drive.
+// (Inert-scenario bit-identity and thread-count invariance live in
+// sim_engine_conformance_test.)
+#include "src/sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/overlay/topology.hpp"
+#include "src/sim/engine_registry.hpp"
+#include "src/sim/fault_decorator.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+Graph ring_graph(std::size_t n) {
+  util::Rng rng(3);
+  return overlay::random_regular(n, 6, rng);
+}
+
+TEST(ScenarioRegistry, EveryEntryIsNamedValidAndFindable) {
+  ASSERT_FALSE(scenario_registry().empty());
+  for (const Scenario& s : scenario_registry()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.summary.empty());
+    EXPECT_NO_THROW(s.spec.validate());
+    const Scenario* found = find_scenario(s.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &s);
+    EXPECT_NE(scenario_names().find(s.name), std::string::npos);
+  }
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+}
+
+TEST(BurstLoss, StationaryBadAndActivation) {
+  BurstLossParams p;
+  EXPECT_FALSE(p.active());
+  p.loss_bad = 0.9;
+  p.p_good_to_bad = 0.1;
+  p.p_bad_to_good = 0.3;
+  EXPECT_TRUE(p.active());
+  EXPECT_NEAR(p.stationary_bad(), 0.1 / 0.4, 1e-12);
+}
+
+TEST(BurstLoss, AlwaysBadChannelDropsEverything) {
+  ScenarioSpec spec;
+  spec.burst.loss_good = 0.0;
+  spec.burst.loss_bad = 1.0;
+  spec.burst.p_good_to_bad = 1.0;
+  spec.burst.p_bad_to_good = 0.0;  // stationary: always Bad
+  const Graph g = ring_graph(50);
+  const FaultPlan plan = FaultPlan::from_scenario(spec, g, 9);
+  FaultSession s(plan, 0);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(s.deliver(1, 2));
+  EXPECT_EQ(s.dropped(), 50u);
+}
+
+TEST(BurstLoss, DropsAreDeterministicPerTrialAndCorrelated) {
+  ScenarioSpec spec;
+  spec.burst.loss_good = 0.0;
+  spec.burst.loss_bad = 0.95;
+  spec.burst.p_good_to_bad = 0.05;
+  spec.burst.p_bad_to_good = 0.2;
+  const Graph g = ring_graph(50);
+  const FaultPlan plan = FaultPlan::from_scenario(spec, g, 17);
+
+  // Same trial -> identical drop sequence (the chain is replayable).
+  std::vector<bool> first, second;
+  {
+    FaultSession a(plan, 4);
+    for (int i = 0; i < 400; ++i) first.push_back(a.deliver(1, 2));
+  }
+  {
+    FaultSession b(plan, 4);
+    for (int i = 0; i < 400; ++i) second.push_back(b.deliver(1, 2));
+  }
+  EXPECT_EQ(first, second);
+
+  // Correlation: a drop is far more likely right after a drop than the
+  // marginal rate (that is what "bursty" means). Pool many trials.
+  std::size_t drops = 0, pairs_after_drop = 0, drops_after_drop = 0, total = 0;
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    FaultSession s(plan, trial);
+    bool prev_dropped = false;
+    for (int i = 0; i < 300; ++i) {
+      const bool ok = s.deliver(1, 2);
+      ++total;
+      drops += !ok;
+      if (prev_dropped) {
+        ++pairs_after_drop;
+        drops_after_drop += !ok;
+      }
+      prev_dropped = !ok;
+    }
+  }
+  const double marginal = static_cast<double>(drops) / static_cast<double>(total);
+  const double conditional = static_cast<double>(drops_after_drop) /
+                             static_cast<double>(pairs_after_drop);
+  EXPECT_GT(marginal, 0.05);
+  EXPECT_LT(marginal, 0.5);
+  EXPECT_GT(conditional, marginal * 1.5);
+}
+
+TEST(Partition, CutsCrossEdgesUntilHealed) {
+  ScenarioSpec spec;
+  spec.partition.minority_fraction = 0.3;
+  spec.partition.heal_after_index = 10;
+  const Graph g = ring_graph(100);
+  const FaultPlan plan = FaultPlan::from_scenario(spec, g, 21);
+  ASSERT_TRUE(plan.partition_active());
+
+  const auto& side = plan.partition_side();
+  const auto minority = static_cast<std::size_t>(
+      std::count(side.begin(), side.end(), std::uint8_t{1}));
+  EXPECT_GE(minority, 15u);
+  EXPECT_LE(minority, 45u);
+
+  NodeId inside = 0, outside = 0;
+  for (NodeId v = 0; v < 100; ++v) (side[v] ? inside : outside) = v;
+  EXPECT_TRUE(plan.cut(inside, outside, 0));
+  EXPECT_TRUE(plan.cut(outside, inside, 9));
+  EXPECT_FALSE(plan.cut(inside, outside, 10));  // healed
+  EXPECT_FALSE(plan.cut(inside, inside, 0));    // same side
+  // A healing partition never severs permanently; degradation counts
+  // these holders as reachable.
+  EXPECT_FALSE(plan.severed(inside, outside));
+  EXPECT_TRUE(plan.reachable_at_launch(outside, inside));
+
+  // Session-level: messages across the cut are dropped while the
+  // session's message index is below the heal point, delivered after.
+  FaultSession s(plan, 0);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(s.deliver(inside, outside));
+  EXPECT_TRUE(s.deliver(inside, outside));
+  EXPECT_EQ(s.dropped(), 10u);
+}
+
+TEST(Partition, PermanentSplitSeversReachability) {
+  ScenarioSpec spec;
+  spec.partition.minority_fraction = 0.25;  // heal_after_index = kNeverHeals
+  const Graph g = ring_graph(80);
+  const FaultPlan plan = FaultPlan::from_scenario(spec, g, 8);
+  const auto& side = plan.partition_side();
+  NodeId inside = 0, outside = 0;
+  for (NodeId v = 0; v < 80; ++v) (side[v] ? inside : outside) = v;
+  EXPECT_TRUE(plan.severed(inside, outside));
+  EXPECT_FALSE(plan.reachable_at_launch(outside, inside));
+  EXPECT_TRUE(plan.reachable_at_launch(outside, outside));
+}
+
+TEST(Straggler, ScalesAreCappedDeterministicAndHitTheFraction) {
+  ScenarioSpec spec;
+  spec.straggler.fraction = 0.5;
+  spec.straggler.tail_alpha = 1.2;
+  spec.straggler.max_multiplier = 10.0;
+  const Graph g = ring_graph(200);
+  const FaultPlan plan = FaultPlan::from_scenario(spec, g, 33);
+  std::size_t stragglers = 0;
+  for (NodeId v = 0; v < 200; ++v) {
+    const double scale = plan.straggler_scale(7, v);
+    EXPECT_GE(scale, 1.0);
+    EXPECT_LE(scale, 10.0);
+    EXPECT_DOUBLE_EQ(scale, plan.straggler_scale(7, v));  // deterministic
+    stragglers += scale > 1.0;
+  }
+  EXPECT_GE(stragglers, 60u);
+  EXPECT_LE(stragglers, 140u);
+  // Inactive shape: everyone is a non-straggler.
+  EXPECT_DOUBLE_EQ(FaultPlan{}.straggler_scale(7, 3), 1.0);
+}
+
+TEST(MidQueryChurn, VictimsCrashWithinTheHorizonAndStayDown) {
+  ScenarioSpec spec;
+  spec.mid_churn.crash_fraction = 1.0;  // everyone is a victim
+  spec.mid_churn.horizon_index = 10;
+  const Graph g = ring_graph(40);
+  const FaultPlan plan = FaultPlan::from_scenario(spec, g, 2);
+
+  for (NodeId v = 0; v < 40; ++v) {
+    const std::uint64_t crash = plan.crash_index(0, v);
+    EXPECT_GE(crash, 1u);
+    EXPECT_LE(crash, 10u);
+    // Liveness is monotone: once down, down for good.
+    bool was_down = false;
+    for (std::uint64_t i = 0; i <= 12; ++i) {
+      const bool up = plan.online(v, 0, i);
+      if (was_down) {
+        EXPECT_FALSE(up);
+      }
+      was_down = !up;
+    }
+    EXPECT_TRUE(plan.online(v, 0, 0));  // nobody is dead at launch
+  }
+
+  // Session view: after the horizon's worth of messages, every victim is
+  // down — and observing that flips the session's fault suspicion.
+  FaultSession s(plan, 0);
+  EXPECT_FALSE(s.suspects_faults());
+  for (int i = 0; i < 10; ++i) s.deliver();
+  for (NodeId v = 0; v < 40; ++v) EXPECT_FALSE(s.online(v));
+  EXPECT_TRUE(s.suspects_faults());
+}
+
+TEST(MidQueryChurn, CrashFractionSelectsRoughlyThatManyVictims) {
+  ScenarioSpec spec;
+  spec.mid_churn.crash_fraction = 0.25;
+  spec.mid_churn.horizon_index = 100;
+  const Graph g = ring_graph(400);
+  const FaultPlan plan = FaultPlan::from_scenario(spec, g, 12);
+  std::size_t victims = 0;
+  for (NodeId v = 0; v < 400; ++v) {
+    victims += plan.crash_index(1, v) != kNeverHeals;
+  }
+  EXPECT_GE(victims, 60u);
+  EXPECT_LE(victims, 140u);
+}
+
+TEST(FaultSessionAdaptive, BreakerTripsAfterRepeatedFailures) {
+  FaultParams params;
+  const FaultPlan plan(params, std::vector<bool>(20, false));  // all dead
+  FaultSession s(plan, 0);
+  s.arm_breaker(2);
+  EXPECT_FALSE(s.tripped(5));
+  EXPECT_FALSE(s.online(5));
+  EXPECT_FALSE(s.tripped(5));  // one failure: still closed
+  EXPECT_FALSE(s.online(5));
+  EXPECT_TRUE(s.tripped(5));  // two failures: open
+  EXPECT_FALSE(s.tripped(6));  // per-neighbor, not global
+
+  // Peeking is side-effect free: it never trips the breaker.
+  FaultSession peeker(plan, 0);
+  peeker.arm_breaker(1);
+  EXPECT_FALSE(peeker.online_peek(5));
+  EXPECT_FALSE(peeker.online_peek(5));
+  EXPECT_FALSE(peeker.tripped(5));
+
+  // Disarmed (the default): failures never trip anything.
+  FaultSession unarmed(plan, 0);
+  EXPECT_FALSE(unarmed.online(5));
+  EXPECT_FALSE(unarmed.online(5));
+  EXPECT_FALSE(unarmed.tripped(5));
+}
+
+TEST(FaultSessionAdaptive, LatencyEstimatorTracksJitterQuantiles) {
+  FaultParams params;
+  params.jitter_max_ms = 50.0;
+  const FaultPlan plan(params);
+  FaultSession s(plan, 3);
+  EXPECT_FALSE(s.has_latency_samples());
+  EXPECT_DOUBLE_EQ(s.latency_quantile(0.9, 999.0), 999.0);  // fallback
+  for (int i = 0; i < 300; ++i) s.deliver_timed();
+  ASSERT_TRUE(s.has_latency_samples());
+  const double q50 = s.latency_quantile(0.5, 999.0);
+  const double q95 = s.latency_quantile(0.95, 999.0);
+  EXPECT_GT(q50, 0.0);
+  EXPECT_LE(q95, 50.0);
+  EXPECT_LE(q50, q95);
+
+  // Zero-signal plans never observe: the estimator stays on fallback, so
+  // adaptive timeouts degrade to the fixed ones (inert transparency).
+  const FaultPlan inert_plan;
+  FaultSession inert(inert_plan, 3);
+  inert.observe_latency(123.0);
+  EXPECT_FALSE(inert.has_latency_samples());
+}
+
+TEST(DegradationRecord, SplitsFailureModes) {
+  DegradationRecord nothing{5, 0, 0};
+  EXPECT_TRUE(nothing.nothing_reachable());
+  EXPECT_FALSE(nothing.gave_up_early(false));  // graceful: nothing to find
+
+  DegradationRecord gave_up{5, 3, 0};
+  EXPECT_FALSE(gave_up.nothing_reachable());
+  EXPECT_TRUE(gave_up.gave_up_early(false));
+  EXPECT_FALSE(gave_up.gave_up_early(true));  // success is never giving up
+}
+
+TEST(ScenarioCompile, SeedsDrawIndependentFaultPatterns) {
+  const Scenario* scenario = find_scenario("straggler-tail");
+  ASSERT_NE(scenario, nullptr);
+  const Graph g = ring_graph(150);
+  const FaultPlan a = FaultPlan::from_scenario(scenario->spec, g, 1);
+  const FaultPlan b = FaultPlan::from_scenario(scenario->spec, g, 2);
+  bool any_difference = false;
+  for (NodeId v = 0; v < 150 && !any_difference; ++v) {
+    any_difference = a.straggler_scale(0, v) != b.straggler_scale(0, v);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ScenarioCompile, OfflineFractionSamplesAStaticMask) {
+  ScenarioSpec spec;
+  spec.offline_fraction = 0.2;
+  const Graph g = ring_graph(300);
+  const FaultPlan plan = FaultPlan::from_scenario(spec, g, 5);
+  ASSERT_NE(plan.online_mask(), nullptr);
+  std::size_t offline = 0;
+  for (NodeId v = 0; v < 300; ++v) offline += !plan.online(v);
+  EXPECT_GE(offline, 30u);
+  EXPECT_LE(offline, 90u);
+}
+
+TEST(ScenarioCompile, InvalidSpecsThrow) {
+  const Graph g = ring_graph(20);
+  ScenarioSpec bad_burst;
+  bad_burst.burst.loss_bad = 1.5;
+  EXPECT_THROW(FaultPlan::from_scenario(bad_burst, g, 1),
+               std::invalid_argument);
+  ScenarioSpec bad_partition;
+  bad_partition.partition.minority_fraction = 0.9;  // majority "minority"
+  EXPECT_THROW(FaultPlan::from_scenario(bad_partition, g, 1),
+               std::invalid_argument);
+  ScenarioSpec bad_straggler;
+  bad_straggler.straggler.fraction = 0.1;
+  bad_straggler.straggler.max_multiplier = 0.5;
+  EXPECT_THROW(FaultPlan::from_scenario(bad_straggler, g, 1),
+               std::invalid_argument);
+  ScenarioSpec bad_churn;
+  bad_churn.mid_churn.crash_fraction = std::nan("");
+  EXPECT_THROW(FaultPlan::from_scenario(bad_churn, g, 1),
+               std::invalid_argument);
+  ScenarioSpec bad_offline;
+  bad_offline.offline_fraction = -0.1;
+  EXPECT_THROW(FaultPlan::from_scenario(bad_offline, g, 1),
+               std::invalid_argument);
+}
+
+// Hedging fires only under suspicion: an engine that fails with zero
+// fault evidence gets no hedges (re-asking an identical question is
+// pointless), while a lossy plan does hedge.
+TEST(HedgedRecovery, HedgesRequireFaultSuspicion) {
+  constexpr std::size_t kNodes = 120;
+  util::Rng rng(6);
+  const Graph graph = overlay::random_regular(kNodes, 6, rng);
+  PeerStore store(kNodes);
+  store.add_object(3, 1, {7, 8});  // a single rare object
+  store.finalize();
+  EngineWorld world;
+  world.graph = &graph;
+  world.store = &store;
+  const auto flood = make_engine("flood", world);
+  ASSERT_NE(flood, nullptr);
+
+  RecoveryPolicy policy;
+  policy.max_retries = 0;
+  policy.max_hedges = 3;
+
+  Query query;
+  const std::vector<TermId> terms{9};  // matches nothing anywhere
+  query.terms = terms;
+  query.source = 0;
+  query.ttl = 2;
+
+  // Inert plan: the query fails with no fault evidence -> zero hedges.
+  const FaultPlan inert;
+  EngineContext ctx;
+  util::Rng qrng(1);
+  ctx.rng = &qrng;
+  const auto clean = with_faults(*flood, inert, policy).search(query, ctx);
+  EXPECT_FALSE(clean.success);
+  EXPECT_EQ(clean.fault.hedges, 0u);
+  EXPECT_EQ(clean.fault.retries, 0u);
+
+  // Heavy loss: drops are observed, hedges fire (and are capped).
+  FaultParams lossy;
+  lossy.loss_rate = 0.6;
+  lossy.seed = 99;
+  const FaultPlan plan(lossy);
+  std::uint64_t total_hedges = 0;
+  for (std::uint64_t trial = 0; trial < 30; ++trial) {
+    util::Rng trng(trial);
+    ctx.rng = &trng;
+    query.trial = trial;
+    const auto out = with_faults(*flood, plan, policy).search(query, ctx);
+    EXPECT_LE(out.fault.hedges, 3u);
+    total_hedges += out.fault.hedges;
+  }
+  EXPECT_GT(total_hedges, 0u);
+}
+
+}  // namespace
+}  // namespace qcp2p::sim
