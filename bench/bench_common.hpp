@@ -195,15 +195,15 @@ inline std::vector<std::vector<sim::TermId>> make_object_queries(
   std::size_t guard = 0;
   while (queries.size() < count && guard++ < 50 * count) {
     const auto peer = static_cast<overlay::NodeId>(rng.bounded(store.num_peers()));
-    if (store.objects(peer).empty()) continue;
-    const auto& obj =
-        store.objects(peer)[rng.bounded(store.objects(peer).size())];
-    if (obj.terms.empty()) continue;
+    const std::size_t library = store.object_count(peer);
+    if (library == 0) continue;
+    const auto terms = store.object_terms(peer, rng.bounded(library));
+    if (terms.empty()) continue;
     std::vector<sim::TermId> q;
     const std::size_t n =
-        1 + rng.bounded(std::min<std::size_t>(3, obj.terms.size()));
+        1 + rng.bounded(std::min<std::size_t>(3, terms.size()));
     for (std::size_t i = 0; i < n; ++i) {
-      q.push_back(obj.terms[rng.bounded(obj.terms.size())]);
+      q.push_back(terms[rng.bounded(terms.size())]);
     }
     std::sort(q.begin(), q.end());
     q.erase(std::unique(q.begin(), q.end()), q.end());

@@ -1,0 +1,246 @@
+// Million-node scale sweep: how far does the query-centric argument
+// carry when the world stops fitting in a laptop's cache? Builds an
+// n-node world through the streaming CSR path (overlay::CsrGraphBuilder
+// + parallel PeerStore::finalize), optionally round-trips it through a
+// mmap-able WorldSnapshot, and runs a success-vs-TTL sweep for the
+// flood / dht-only / hybrid / adaptive engines on top of it.
+//
+// Paper context: Sec V/VII argue flooding cannot find rarely-replicated
+// content; at 10^6 nodes a TTL-5 flood covers ~2% of the network, so
+// the success gap against the structured index is the whole story.
+//
+// Flags beyond the BenchEnv set (--seed/--threads/--engine/--csv):
+//   --nodes N        world size (default 100000; the headline run is 1000000)
+//   --trials T       Monte-Carlo queries per engine x TTL cell (default 16)
+//   --snapshot PATH  save the built world to PATH, mmap-load it back, and
+//                    run the sweep over the mapped views (default: in-memory)
+//   --json PATH      write build/sweep metrics through bench_json.hpp:
+//                    peak RSS, nodes built per second per core, phase
+//                    timings, and the per-engine success/message matrix
+#include "bench/bench_common.hpp"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "bench/bench_json.hpp"
+#include "src/sim/adaptive.hpp"
+#include "src/sim/world_snapshot.hpp"
+#include "src/util/rng.hpp"
+
+using namespace qcp2p;
+using overlay::NodeId;
+
+namespace {
+
+/// Seconds elapsed since `start` (monotonic).
+double since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Peak resident set of this process in MiB (ru_maxrss is KiB on Linux).
+double peak_rss_mib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// Synthetic Zipf content placement that scales to 10^6 peers (the
+/// crawl synthesizer is faithful but too heavy at this size): each peer
+/// holds a few catalog objects sampled by popularity rank, and an
+/// object's terms are a pure function of its id, so replicas of the
+/// same object match the same conjunctive queries on every holder.
+sim::PeerStore build_scale_store(std::size_t nodes, std::uint64_t seed,
+                                 std::size_t finalize_threads) {
+  const std::uint64_t catalog =
+      std::max<std::uint64_t>(1'000, nodes / 5);
+  const std::uint32_t vocab =
+      static_cast<std::uint32_t>(std::max<std::size_t>(500, nodes / 50));
+  const util::ZipfSampler zipf(catalog, 1.0);
+  util::Rng rng(seed);
+  sim::PeerStore store(nodes);
+  for (NodeId v = 0; v < nodes; ++v) {
+    const std::size_t library = 1 + rng.bounded(2);  // 1-2 objects
+    for (std::size_t i = 0; i < library; ++i) {
+      const std::uint64_t id = zipf(rng);
+      std::vector<sim::TermId> terms;
+      const std::size_t nterms = 1 + (util::mix64(id ^ 0x9E37) % 3);
+      for (std::size_t k = 0; k < nterms; ++k) {
+        terms.push_back(
+            static_cast<sim::TermId>(util::mix64(id * 7 + k) % vocab));
+      }
+      std::sort(terms.begin(), terms.end());
+      terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+      store.add_object(v, id, std::move(terms));
+    }
+  }
+  store.finalize(finalize_threads);
+  return store;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli);
+  const std::size_t nodes = cli.get_uint("nodes", 100'000);
+  const std::size_t trials = cli.get_uint("trials", 16);
+  const std::string snapshot_path = cli.get("snapshot", "");
+  const std::string json_path = cli.get("json", "");
+  if (nodes == 0 || trials == 0) {
+    std::cerr << "--nodes and --trials must be positive\n";
+    return 2;
+  }
+  const std::size_t cores =
+      env.threads != 0
+          ? env.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  bench::print_header(
+      "exp_scale", env,
+      "Sec V/VII at 10^6 nodes: a TTL-bounded flood covers a vanishing "
+      "fraction of the network, so rare content needs the structured tier");
+
+  bench::JsonReport report;
+  report.set("scale", "nodes", static_cast<double>(nodes));
+
+  // --- World build (streaming CSR + parallel finalize), all timed. ---
+  const auto t_graph = std::chrono::steady_clock::now();
+  util::Rng grng(env.seed);
+  const overlay::Graph graph =
+      overlay::random_regular(nodes, 8, grng, {.threads = env.threads});
+  const double graph_s = since(t_graph);
+
+  const auto t_store = std::chrono::steady_clock::now();
+  const sim::PeerStore store =
+      build_scale_store(nodes, env.seed + 1, env.threads);
+  const double store_s = since(t_store);
+
+  const auto t_dht = std::chrono::steady_clock::now();
+  sim::ChordDht dht(nodes, env.seed + 4);
+  const std::uint64_t publish_messages = dht.publish_store(store);
+  const double dht_s = since(t_dht);
+
+  const double build_s = graph_s + store_s;
+  report.set("scale", "build_graph_s", graph_s);
+  report.set("scale", "build_store_s", store_s);
+  report.set("scale", "build_dht_s", dht_s);
+  report.set("scale", "nodes_built_per_s_per_core",
+             static_cast<double>(nodes) / build_s /
+                 static_cast<double>(cores));
+  report.set("scale", "edges", static_cast<double>(graph.num_edges()));
+  report.set("scale", "objects",
+             static_cast<double>(store.total_objects()));
+  std::cout << "# world: " << nodes << " nodes, " << graph.num_edges()
+            << " edges, " << store.total_objects() << " objects\n"
+            << "# build: graph " << graph_s << " s, store " << store_s
+            << " s ("
+            << static_cast<double>(nodes) / build_s /
+                   static_cast<double>(cores)
+            << " nodes/s/core on " << cores << " core(s)); DHT publish "
+            << publish_messages << " msgs in " << dht_s << " s\n";
+
+  // --- Optional snapshot round trip: the sweep below then reads the
+  // world through the memory-mapped views, exactly as a second bench
+  // process sharing the blob would. ---
+  std::optional<sim::WorldSnapshot> snapshot;
+  overlay::Graph mapped_graph(0);
+  sim::PeerStore mapped_store(0);
+  const overlay::Graph* sweep_graph = &graph;
+  const sim::PeerStore* sweep_store = &store;
+  if (!snapshot_path.empty()) {
+    const auto t_save = std::chrono::steady_clock::now();
+    sim::save_world_snapshot(snapshot_path, graph, store, env.seed);
+    const double save_s = since(t_save);
+    const auto t_load = std::chrono::steady_clock::now();
+    snapshot = sim::WorldSnapshot::load(snapshot_path);
+    mapped_graph = snapshot->graph_view();
+    mapped_store = snapshot->store_view();
+    const double load_s = since(t_load);
+    sweep_graph = &mapped_graph;
+    sweep_store = &mapped_store;
+    report.set("scale", "snapshot_save_s", save_s);
+    report.set("scale", "snapshot_load_s", load_s);
+    report.set("scale", "snapshot_bytes",
+               static_cast<double>(snapshot->file_size()));
+    std::cout << "# snapshot: " << snapshot->file_size() << " bytes, save "
+              << save_s << " s, mmap load " << load_s
+              << " s; sweep runs on the mapped views\n";
+  }
+
+  // --- Engine wiring. The adaptive network is built once (cold start)
+  // and shared across every TTL row instead of once per make_engine. ---
+  const auto t_adaptive = std::chrono::steady_clock::now();
+  const sim::AdaptiveOverlayNetwork adaptive_net(*sweep_graph, *sweep_store);
+  const double adaptive_s = since(t_adaptive);
+  report.set("scale", "build_adaptive_s", adaptive_s);
+
+  sim::EngineWorld ew;
+  ew.graph = sweep_graph;
+  ew.store = sweep_store;
+  ew.dht = &dht;
+  ew.adaptive = &adaptive_net;
+
+  util::Rng qrng(env.seed + 7);
+  const auto queries = bench::make_object_queries(*sweep_store, trials, qrng);
+  if (queries.empty()) {
+    std::cerr << "no queries could be derived from the store\n";
+    return 1;
+  }
+  const sim::TrialRunner runner({env.threads, env.seed + 11});
+  const auto make_query = [&](std::uint32_t ttl) {
+    return [&, ttl](std::size_t q, util::Rng& trng) {
+      sim::Query query;
+      query.source = static_cast<NodeId>(trng.bounded(nodes));
+      query.terms = queries[q % queries.size()];
+      query.ttl = ttl;
+      query.trial = q;
+      return query;
+    };
+  };
+
+  util::Table t({"engine", "ttl", "success", "msgs/query"});
+  const auto sweep_row = [&](std::string_view name,
+                             const sim::SearchEngine& engine,
+                             std::uint32_t ttl, const std::string& ttl_label) {
+    const sim::TrialAggregate agg =
+        bench::run_engine_sweep(runner, trials, engine, make_query(ttl));
+    t.add_row();
+    t.cell(std::string(name))
+        .cell(ttl_label)
+        .percent(agg.success_rate(), 1)
+        .cell(agg.mean_messages(), 1);
+    const std::string key = std::string(name) + "/ttl" + ttl_label;
+    report.set("sweep", key + "/success", agg.success_rate());
+    report.set("sweep", key + "/messages", agg.mean_messages());
+  };
+
+  constexpr std::uint32_t kTtls[] = {2, 3, 4, 5};
+  const bool want = env.engine.empty();
+  // dht-only routes by key, not TTL: one row.
+  if (want || env.engine == "dht-only") {
+    const auto engine = sim::make_engine("dht-only", ew);
+    sweep_row("dht-only", *engine, kTtls[0], "-");
+  }
+  for (const char* name : {"flood", "hybrid", "adaptive"}) {
+    if (!want && env.engine != name) continue;
+    for (const std::uint32_t ttl : kTtls) {
+      ew.hybrid.flood_ttl = ttl;
+      const auto engine = sim::make_engine(name, ew);
+      sweep_row(name, *engine, ttl, std::to_string(ttl));
+    }
+  }
+
+  report.set("scale", "peak_rss_mib", peak_rss_mib());
+  std::cout << "# peak RSS: " << peak_rss_mib() << " MiB\n";
+  bench::emit(t, env,
+              "Success vs TTL at scale (flood fades, the index holds)");
+  if (!json_path.empty() && !report.write_file(json_path)) {
+    std::cerr << "exp_scale: cannot write " << json_path << "\n";
+    return 1;
+  }
+  return 0;
+}

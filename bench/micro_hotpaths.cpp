@@ -8,7 +8,12 @@
 // bench/bench_json.hpp; bench/run_hotpaths.sh merges in exp_* wall times.
 #include <benchmark/benchmark.h>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <iostream>
 #include <map>
@@ -21,6 +26,7 @@
 #include "src/sim/dht.hpp"
 #include "src/sim/flood.hpp"
 #include "src/sim/network.hpp"
+#include "src/sim/world_snapshot.hpp"
 #include "src/text/tokenizer.hpp"
 #include "src/trace/content_model.hpp"
 #include "src/trace/gnutella.hpp"
@@ -213,6 +219,115 @@ BENCHMARK(BM_TwoTierBuild)
     ->Arg(40'000)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Million-node world construction + snapshot hot paths. BM_WorldBuild is
+// the streaming CSR path (CsrGraphBuilder two-pass build, the default);
+// BM_WorldBuildLegacy forces the vector<vector> adjacency + freeze()
+// path it replaced — the pair is the build-speedup regression guard.
+// ---------------------------------------------------------------------------
+
+void BM_WorldBuild(benchmark::State& state) {
+  overlay::TwoTierParams params;
+  params.num_nodes = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    const overlay::TwoTierTopology topo =
+        overlay::gnutella_two_tier(params, rng, {.threads = 1});
+    benchmark::DoNotOptimize(topo.graph.num_edges());
+  }
+}
+// One build per repetition so the recorded min-of-reps (the harness's
+// de-noising statistic) is a true minimum over single builds rather
+// than a minimum over per-repetition means — at ~10^2 ms a mean folds
+// shared-runner interference spikes back into the number. Both sides
+// of the pair use the same shape so the recorded ratio is symmetric.
+BENCHMARK(BM_WorldBuild)
+    ->Arg(1'000'000)
+    ->Iterations(1)
+    ->Repetitions(5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WorldBuildLegacy(benchmark::State& state) {
+  overlay::TwoTierParams params;
+  params.num_nodes = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    const overlay::TwoTierTopology topo = overlay::gnutella_two_tier(
+        params, rng, {.threads = 1, .legacy_adjacency = true});
+    benchmark::DoNotOptimize(topo.graph.num_edges());
+  }
+}
+BENCHMARK(BM_WorldBuildLegacy)
+    ->Arg(1'000'000)
+    ->Iterations(1)
+    ->Repetitions(5)
+    ->Unit(benchmark::kMillisecond);
+
+/// One built world shared by the snapshot benchmarks: saved to disk
+/// once, then mmap-loaded per iteration.
+struct SnapshotFixture {
+  std::string path;
+  std::size_t nodes = 0;
+
+  SnapshotFixture() {
+    nodes = 200'000;
+    util::Rng rng(7);
+    const overlay::Graph graph = overlay::random_regular(nodes, 8, rng);
+    sim::PeerStore store(nodes);
+    util::Rng srng(8);
+    for (overlay::NodeId v = 0; v < nodes; ++v) {
+      store.add_object(v, srng.bounded(nodes / 4),
+                       {static_cast<text::TermId>(srng.bounded(5'000)),
+                        static_cast<text::TermId>(srng.bounded(5'000))});
+    }
+    store.finalize();
+    path = (std::filesystem::temp_directory_path() /
+            "hotpaths_world.wsnap")
+               .string();
+    sim::save_world_snapshot(path, graph, store);
+  }
+};
+
+const SnapshotFixture& snapshot_fixture() {
+  static const SnapshotFixture fixture;
+  return fixture;
+}
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const SnapshotFixture& fx = snapshot_fixture();
+  for (auto _ : state) {
+    const sim::WorldSnapshot snap = sim::WorldSnapshot::load(fx.path);
+    const overlay::Graph g = snap.graph_view();
+    const sim::PeerStore s = snap.store_view();
+    benchmark::DoNotOptimize(g.num_edges());
+    benchmark::DoNotOptimize(s.total_objects());
+  }
+}
+BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMicrosecond);
+
+void BM_GraphFreezeThaw(benchmark::State& state) {
+  // thaw() must size each adjacency list from the CSR offsets up front;
+  // this round trip regresses badly if it falls back to push_back
+  // growth (the pre-reserve behavior). remove_edge on a frozen graph is
+  // the thaw trigger; re-adding the edge and refreezing restores the
+  // exact starting state for the next iteration.
+  util::Rng rng(7);
+  overlay::Graph graph =
+      overlay::random_regular(static_cast<std::size_t>(state.range(0)), 8,
+                              rng);
+  const overlay::NodeId u = 0;
+  const overlay::NodeId v = graph.neighbors(0)[0];
+  for (auto _ : state) {
+    graph.remove_edge(u, v);  // thaws (per-node reserve from CSR offsets)
+    graph.add_edge(u, v);
+    graph.freeze();
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+}
+BENCHMARK(BM_GraphFreezeThaw)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
 void BM_FloodSearch(benchmark::State& state) {
   const ContentFixture& fx = content_fixture();
   const auto ttl = static_cast<std::uint32_t>(state.range(0));
@@ -298,6 +413,18 @@ class HotpathsReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+#if defined(__GLIBC__)
+  // Keep freed arena pages resident across iterations. The world-build
+  // benchmarks allocate and free tens of MB per iteration; with default
+  // trim/mmap policy glibc returns those pages to the kernel on every
+  // free, so each iteration re-pays page faults and kernel zeroing for
+  // memory the previous iteration just touched. That overhead measures
+  // allocator trim policy, not the algorithm under test, and it skews
+  // fast benchmarks proportionally more than slow ones. Applies to the
+  // whole process, i.e. to every benchmark equally.
+  mallopt(M_TRIM_THRESHOLD, -1);
+  mallopt(M_MMAP_MAX, 0);
+#endif
   // Extract --hotpaths-json=PATH before google-benchmark sees (and
   // rejects) the unknown flag.
   std::string json_path;

@@ -15,7 +15,7 @@ BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_hotpaths.json}
 MODE=${3:-full}
 
-FILTER='BM_FloodTtl|BM_PeerStoreMatch|BM_PeerStoreMayMatch|BM_TwoTierBuild|BM_FloodSearch|BM_DesEventLoop'
+FILTER='BM_FloodTtl|BM_PeerStoreMatch|BM_PeerStoreMayMatch|BM_TwoTierBuild|BM_FloodSearch|BM_DesEventLoop|BM_WorldBuild|BM_SnapshotLoad|BM_GraphFreezeThaw'
 MICRO_ARGS=("--benchmark_filter=${FILTER}")
 if [[ "${MODE}" == "smoke" ]]; then
   MICRO_ARGS+=("--benchmark_min_time=0.05")

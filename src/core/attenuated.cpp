@@ -25,8 +25,9 @@ AttenuatedOverlay::AttenuatedOverlay(const Graph& graph,
   for (NodeId v = 0; v < n; ++v) {
     const std::span<const TermId> terms = store.peer_terms(v);
     std::unordered_map<TermId, std::uint32_t> freq;
-    for (const PeerStore::Object& o : store.objects(v)) {
-      for (TermId t : o.terms) ++freq[t];
+    const std::size_t count = store.object_count(v);
+    for (std::size_t i = 0; i < count; ++i) {
+      for (TermId t : store.object_terms(v, i)) ++freq[t];
     }
     std::vector<std::uint32_t> frequency(terms.size());
     for (std::size_t i = 0; i < terms.size(); ++i) frequency[i] = freq[terms[i]];

@@ -71,8 +71,9 @@ ContentSynopsis build_synopsis(const sim::PeerStore& store, sim::NodeId peer,
   const std::span<const TermId> terms = store.peer_terms(peer);
   // Local frequency: number of the peer's objects containing each term.
   std::unordered_map<TermId, std::uint32_t> freq;
-  for (const sim::PeerStore::Object& o : store.objects(peer)) {
-    for (TermId t : o.terms) ++freq[t];
+  const std::size_t count = store.object_count(peer);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (TermId t : store.object_terms(peer, i)) ++freq[t];
   }
   std::vector<std::uint32_t> frequency(terms.size());
   for (std::size_t i = 0; i < terms.size(); ++i) frequency[i] = freq[terms[i]];

@@ -1,0 +1,306 @@
+#include "src/overlay/csr_builder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace qcp2p::overlay {
+
+namespace {
+
+constexpr std::size_t kMinSlots = 64;
+
+[[nodiscard]] std::size_t slot_capacity_for(std::size_t entries) {
+  // Keep load factor under ~0.7 so linear probes stay short.
+  const std::size_t want = entries + entries / 2 + kMinSlots;
+  return std::bit_ceil(want);
+}
+
+/// Zeroed slot allocation. Large tables are mapped anonymously and
+/// advised into transparent hugepages: the probe sequence is
+/// uniform-random over tens of MB, so 4 KB pages thrash the TLB and
+/// make every probe a page walk — with hugepages the whole table needs
+/// a few dozen TLB entries. The mapping is also lazily zeroed by the
+/// kernel, so construction does not pay an explicit 64 MB memset.
+/// Small tables fall back to calloc.
+constexpr std::size_t kMmapThreshold = std::size_t{4} << 20;
+
+struct RawSlots {
+  std::uint64_t* ptr = nullptr;
+  std::size_t mapped_bytes = 0;  ///< 0 when calloc'd.
+};
+
+[[nodiscard]] RawSlots alloc_slots(std::size_t count) {
+  const std::size_t bytes = count * sizeof(std::uint64_t);
+#if defined(__linux__)
+  if (bytes >= kMmapThreshold) {
+    void* mem = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem != MAP_FAILED) {
+      (void)madvise(mem, bytes, MADV_HUGEPAGE);
+      return {static_cast<std::uint64_t*>(mem), bytes};
+    }
+  }
+#endif
+  auto* p = static_cast<std::uint64_t*>(
+      std::calloc(count, sizeof(std::uint64_t)));
+  if (p == nullptr) throw std::bad_alloc();
+  return {p, 0};
+}
+
+inline void prefetch_rw(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 1, 1);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
+
+void CsrGraphBuilder::SlotDeleter::operator()(
+    std::uint64_t* p) const noexcept {
+  if (p == nullptr) return;
+#if defined(__linux__)
+  if (mapped_bytes != 0) {
+    (void)munmap(p, mapped_bytes);
+    return;
+  }
+#endif
+  std::free(p);
+}
+
+CsrGraphBuilder::CsrGraphBuilder(std::size_t num_nodes,
+                                 std::size_t expected_edges,
+                                 std::size_t expected_checked_edges)
+    : num_nodes_(num_nodes), degree_(num_nodes, 0) {
+  if (num_nodes > std::numeric_limits<NodeId>::max()) {
+    throw std::length_error("CsrGraphBuilder: node count overflows NodeId");
+  }
+  if (expected_checked_edges == SIZE_MAX) {
+    expected_checked_edges = expected_edges;
+  }
+  edges_.reserve(expected_edges);
+  slot_count_ = slot_capacity_for(expected_checked_edges);
+  const RawSlots raw = alloc_slots(slot_count_);
+  slots_ = decltype(slots_)(raw.ptr, SlotDeleter{raw.mapped_bytes});
+  slot_mask_ = slot_count_ - 1;
+}
+
+bool CsrGraphBuilder::set_contains(std::uint64_t key) const noexcept {
+  std::size_t i = util::mix64(key) & slot_mask_;
+  while (true) {
+    const std::uint64_t s = slots_[i];
+    if (s == key) return true;
+    if (s == kEmptySlot) return false;
+    i = (i + 1) & slot_mask_;
+  }
+}
+
+bool CsrGraphBuilder::set_try_insert(std::uint64_t key) {
+  std::size_t i = util::mix64(key) & slot_mask_;
+  while (true) {
+    const std::uint64_t s = slots_[i];
+    if (s == key) return false;
+    if (s == kEmptySlot) break;
+    i = (i + 1) & slot_mask_;
+  }
+  slots_[i] = key;
+  ++used_;
+  return true;
+}
+
+void CsrGraphBuilder::reserve_slots(std::size_t entries) {
+  if (entries * 10 <= slot_count_ * 7) return;
+  std::size_t new_count = slot_count_;
+  while (entries * 10 > new_count * 7) new_count *= 2;
+  const auto old = std::move(slots_);
+  const std::size_t old_count = slot_count_;
+  const RawSlots raw = alloc_slots(new_count);
+  slots_ = decltype(slots_)(raw.ptr, SlotDeleter{raw.mapped_bytes});
+  slot_count_ = new_count;
+  slot_mask_ = new_count - 1;
+  for (std::size_t k = 0; k < old_count; ++k) {
+    const std::uint64_t key = old[k];
+    if (key == kEmptySlot) continue;
+    std::size_t i = util::mix64(key) & slot_mask_;
+    while (slots_[i] != kEmptySlot) i = (i + 1) & slot_mask_;
+    slots_[i] = key;
+  }
+}
+
+bool CsrGraphBuilder::add_edge(NodeId u, NodeId v) {
+  if (u == v || u >= num_nodes_ || v >= num_nodes_) return false;
+  reserve_slots(used_ + 1);
+  const std::uint64_t key = edge_key(u, v);
+  if (!set_try_insert(key)) return false;
+  edges_.emplace_back(u, v);
+  ++degree_[u];
+  ++degree_[v];
+  return true;
+}
+
+void CsrGraphBuilder::add_edges(
+    std::span<const std::pair<NodeId, NodeId>> batch) {
+  // Rolling prefetch: warm the probe slot and both degree counters a
+  // fixed distance ahead while inserting in order. The distance paces
+  // one batch of prefetches per processed edge, which keeps the miss
+  // queue full without overflowing the core's fill buffers (a bursty
+  // prefetch-the-whole-chunk pattern drops most of its prefetches).
+  // Growth is hoisted: reserving for the accept-everything upper bound
+  // keeps slot addresses stable across the whole walk.
+  reserve_slots(used_ + batch.size());
+  constexpr std::size_t kAhead = 16;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i + kAhead < batch.size()) {
+      const auto& [pu, pv] = batch[i + kAhead];
+      if (pu != pv && pu < num_nodes_ && pv < num_nodes_) {
+        prefetch_rw(&slots_[util::mix64(edge_key(pu, pv)) & slot_mask_]);
+        prefetch_rw(&degree_[pu]);
+        prefetch_rw(&degree_[pv]);
+      }
+    }
+    const auto& [u, v] = batch[i];
+    if (u == v || u >= num_nodes_ || v >= num_nodes_) continue;
+    if (!set_try_insert(edge_key(u, v))) continue;
+    edges_.emplace_back(u, v);
+    ++degree_[u];
+    ++degree_[v];
+  }
+}
+
+void CsrGraphBuilder::add_edges_unique(
+    std::span<const std::pair<NodeId, NodeId>> batch) {
+  // Caller-guaranteed-fresh edges: no duplicate-set probe, so the only
+  // random accesses left are the two degree counters (prefetched a
+  // fixed distance ahead); the stream append is sequential. Invalid
+  // pairs are still skipped defensively, matching add_edge's filter.
+  edges_.reserve(edges_.size() + batch.size());
+  constexpr std::size_t kAhead = 16;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i + kAhead < batch.size()) {
+      const auto& [pu, pv] = batch[i + kAhead];
+      if (pu < num_nodes_ && pv < num_nodes_) {
+        prefetch_rw(&degree_[pu]);
+        prefetch_rw(&degree_[pv]);
+      }
+    }
+    const auto& [u, v] = batch[i];
+    if (u == v || u >= num_nodes_ || v >= num_nodes_) continue;
+    edges_.emplace_back(u, v);
+    ++degree_[u];
+    ++degree_[v];
+  }
+}
+
+bool CsrGraphBuilder::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u == v || u >= num_nodes_ || v >= num_nodes_) return false;
+  return set_contains(edge_key(u, v));
+}
+
+Graph CsrGraphBuilder::build(std::size_t threads) {
+  const std::size_t entries = 2 * edges_.size();
+  if (entries > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("CsrGraphBuilder: edge count overflows CSR");
+  }
+
+  // Uninitialized output buffers: the scatter writes every slot exactly
+  // once (the offsets are exact degree prefix sums), so value-init
+  // would be a wasted full write pass over the largest array.
+  auto offsets =
+      std::make_unique_for_overwrite<std::uint32_t[]>(num_nodes_ + 1);
+  std::uint32_t cursor = 0;
+  for (std::size_t u = 0; u < num_nodes_; ++u) {
+    offsets[u] = cursor;
+    cursor += degree_[u];
+  }
+  offsets[num_nodes_] = cursor;
+
+  auto neighbors = std::make_unique_for_overwrite<NodeId[]>(entries);
+
+  // Scatter pass. Legacy Graph::add_edge(u, v) appends v to u's list and
+  // u to v's list, so a node's CSR row is its incident edges in stream
+  // order. Each shard owns a contiguous node range (split by degree
+  // mass, not node count — two-tier graphs concentrate edges on a few
+  // ultrapeers) and replays the whole stream writing only rows it owns;
+  // no shard writes another's bytes, so the output is independent of
+  // `threads` and matches the sequential order exactly.
+  //
+  // Two-stage rolling prefetch: the scatter has a dependent miss chain
+  // (read cursors[u], then write neighbors[cursors[u]]), so a single
+  // prefetch distance can only hide one level. At 2*kAhead the cursor
+  // line is requested; at kAhead the (by then cached) cursor value is
+  // read to request the neighbor-row line. The cursor may advance a few
+  // slots before the real write, but a row's writes land consecutively,
+  // so the prefetched line is almost always the one touched.
+  const auto fill_range = [&](NodeId lo, NodeId hi) {
+    if (lo >= hi) return;
+    std::vector<std::uint32_t> cursors(offsets.get() + lo,
+                                       offsets.get() + hi);
+    constexpr std::size_t kAhead = 16;
+    const std::size_t n_edges = edges_.size();
+    for (std::size_t i = 0; i < n_edges; ++i) {
+      if (i + 2 * kAhead < n_edges) {
+        const auto& [pu, pv] = edges_[i + 2 * kAhead];
+        if (pu >= lo && pu < hi) prefetch_rw(&cursors[pu - lo]);
+        if (pv >= lo && pv < hi) prefetch_rw(&cursors[pv - lo]);
+      }
+      if (i + kAhead < n_edges) {
+        const auto& [pu, pv] = edges_[i + kAhead];
+        if (pu >= lo && pu < hi) prefetch_rw(&neighbors[cursors[pu - lo]]);
+        if (pv >= lo && pv < hi) prefetch_rw(&neighbors[cursors[pv - lo]]);
+      }
+      const auto& [u, v] = edges_[i];
+      if (u >= lo && u < hi) neighbors[cursors[u - lo]++] = v;
+      if (v >= lo && v < hi) neighbors[cursors[v - lo]++] = u;
+    }
+  };
+
+  std::size_t n_threads =
+      threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                   : threads;
+  if (n_threads <= 1 || num_nodes_ < 2 || entries < (std::size_t{1} << 16)) {
+    fill_range(0, static_cast<NodeId>(num_nodes_));
+  } else {
+    if (n_threads > num_nodes_) n_threads = num_nodes_;
+    // Split nodes so each shard carries ~equal degree mass.
+    std::vector<NodeId> bounds(n_threads + 1, 0);
+    bounds[n_threads] = static_cast<NodeId>(num_nodes_);
+    NodeId u = 0;
+    for (std::size_t t = 1; t < n_threads; ++t) {
+      const std::uint32_t target =
+          static_cast<std::uint32_t>((entries * t) / n_threads);
+      while (u < num_nodes_ && offsets[u] < target) ++u;
+      bounds[t] = u;
+    }
+    util::parallel_for_blocks(
+        n_threads, n_threads, [&](std::size_t t_begin, std::size_t t_end) {
+          for (std::size_t t = t_begin; t < t_end; ++t) {
+            fill_range(bounds[t], bounds[t + 1]);
+          }
+        });
+  }
+
+  degree_.assign(num_nodes_, 0);
+  edges_.clear();
+  slot_count_ = slot_capacity_for(0);
+  const RawSlots raw = alloc_slots(slot_count_);
+  slots_ = decltype(slots_)(raw.ptr, SlotDeleter{raw.mapped_bytes});
+  slot_mask_ = slot_count_ - 1;
+  used_ = 0;
+  return Graph::from_csr_buffers(std::move(offsets), std::move(neighbors),
+                                 num_nodes_);
+}
+
+}  // namespace qcp2p::overlay

@@ -1,0 +1,134 @@
+// Streaming CSR graph construction: the topology generators' fast path.
+//
+// The legacy build phase (Graph::add_edge into per-node vectors, then
+// freeze()) allocates one heap block per node and pays a linear
+// has_edge() scan per insert; at 10^6 nodes the allocator and the
+// rehash/realloc churn dominate build time. CsrGraphBuilder replaces
+// that phase with three flat arrays — an emission-ordered edge stream,
+// a per-node degree counter, and one open-addressing set of packed
+// (min, max) edge keys for O(1) duplicate rejection — then packs the
+// stream straight into frozen CSR form with a two-pass
+// count/prefix-sum/scatter build, skipping the intermediate
+// vector<vector> adjacency entirely.
+//
+// Determinism contract: build(threads) shards the scatter by node
+// ranges (balanced by degree mass); every node's neighbor row is written
+// by exactly one shard scanning the edge stream in emission order, so
+// the output is byte-identical for any `threads` value AND identical to
+// the legacy adjacency+freeze path fed the same add_edge calls
+// (tests/overlay_stream_build_test pins both properties).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/overlay/graph.hpp"
+
+namespace qcp2p::overlay {
+
+class CsrGraphBuilder {
+ public:
+  /// @param expected_edges sizing hint: reserves the edge stream and the
+  /// duplicate set up front so steady-state emission never rehashes.
+  /// @param expected_checked_edges separate hint for the duplicate set
+  /// when the emitter routes most edges through add_edges_unique (e.g.
+  /// two-tier only dedups its ultrapeer mesh): the set table is faulted
+  /// and zeroed by the kernel page by page, so sizing it to the checked
+  /// subset instead of the full edge count avoids touching tens of MB
+  /// that would stay empty. SIZE_MAX (default) means "same as
+  /// expected_edges"; an undershoot only costs a rehash, never
+  /// correctness.
+  explicit CsrGraphBuilder(
+      std::size_t num_nodes, std::size_t expected_edges = 0,
+      std::size_t expected_checked_edges = SIZE_MAX);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] std::size_t degree(NodeId u) const { return degree_[u]; }
+
+  /// Appends the undirected edge {u, v} to the stream. Self-loops,
+  /// duplicates, and out-of-range endpoints are rejected (returns
+  /// false), matching Graph::add_edge exactly.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Equivalent to calling add_edge on every pair in order (same
+  /// accept/reject semantics, results discarded), but processed in a
+  /// software-prefetched pipeline: the duplicate-set probe and the
+  /// degree-counter touches are random accesses into tables far larger
+  /// than cache, and batching turns a chain of dependent misses into
+  /// overlapped ones. Emitters whose accept decisions do not feed back
+  /// into the pick sequence (configuration-model pairing, pre-deduped
+  /// attach lists) should prefer this entry point.
+  void add_edges(std::span<const std::pair<NodeId, NodeId>> batch);
+
+  /// Appends edges the CALLER guarantees are valid (in range, no
+  /// self-loops) and globally fresh (not equal to any edge previously
+  /// added or added later through any entry point). Skips the duplicate
+  /// set entirely — the probe into the tens-of-MB key table is the one
+  /// unavoidable DRAM miss of checked insertion, and emitters that
+  /// dedup locally (two-tier leaf attachment: a leaf's only edges are
+  /// made in its own attach round) don't need it. Consequence: edges
+  /// added here are invisible to has_edge() and to add_edge()'s
+  /// duplicate rejection, so the guarantee must cover every later call.
+  /// Graph::add_edges_unique keeps full checking, so the equivalence
+  /// tests catch any caller that violates the contract.
+  void add_edges_unique(std::span<const std::pair<NodeId, NodeId>> batch);
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// The accepted edges in emission order (connectivity patching reads
+  /// this instead of adjacency lists).
+  [[nodiscard]] std::span<const std::pair<NodeId, NodeId>> edges()
+      const noexcept {
+    return edges_;
+  }
+
+  /// Packs the stream into a frozen Graph and leaves the builder empty.
+  /// `threads` only shards the scatter; the result is byte-identical
+  /// for any value (0 = hardware concurrency).
+  [[nodiscard]] Graph build(std::size_t threads = 1);
+
+ private:
+  [[nodiscard]] static std::uint64_t edge_key(NodeId u, NodeId v) noexcept {
+    const NodeId lo = u < v ? u : v;
+    const NodeId hi = u < v ? v : u;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+  [[nodiscard]] bool set_contains(std::uint64_t key) const noexcept;
+  /// Single probe walk: inserts `key` unless present. Returns true when
+  /// the key was newly inserted. Caller must have reserved headroom
+  /// (reserve_slots) so the walk terminates under the load cap.
+  bool set_try_insert(std::uint64_t key);
+  /// Grows the slot table until `entries` keys fit under the load cap.
+  void reserve_slots(std::size_t entries);
+
+  std::size_t num_nodes_ = 0;
+  std::vector<std::uint32_t> degree_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  /// Open-addressing (linear probe) set of edge keys. Large tables are
+  /// anonymous hugepage-advised mappings (lazily zeroed, TLB-friendly
+  /// for the random probe stream); small ones calloc. kEmptySlot is 0 —
+  /// never a valid key, because lo < hi forces hi >= 1 in every
+  /// accepted edge key.
+  struct SlotDeleter {
+    constexpr SlotDeleter() noexcept = default;
+    constexpr explicit SlotDeleter(std::size_t bytes) noexcept
+        : mapped_bytes(bytes) {}
+    void operator()(std::uint64_t* p) const noexcept;
+    std::size_t mapped_bytes = 0;  ///< 0: calloc'd (free); else munmap.
+  };
+  std::unique_ptr<std::uint64_t[], SlotDeleter> slots_;
+  std::size_t slot_count_ = 0;
+  std::size_t slot_mask_ = 0;
+  std::size_t used_ = 0;
+
+  static constexpr std::uint64_t kEmptySlot = 0;
+};
+
+}  // namespace qcp2p::overlay

@@ -6,6 +6,84 @@
 
 namespace qcp2p::overlay {
 
+Graph::Graph(const Graph& other)
+    : num_nodes_(other.num_nodes_),
+      num_edges_(other.num_edges_),
+      adjacency_(other.adjacency_),
+      frozen_(other.frozen_) {
+  if (frozen_) {
+    csr_offsets_.assign(other.offsets_ptr_,
+                        other.offsets_ptr_ + num_nodes_ + 1);
+    csr_neighbors_.assign(other.neighbors_ptr_,
+                          other.neighbors_ptr_ + 2 * num_edges_);
+    offsets_ptr_ = csr_offsets_.data();
+    neighbors_ptr_ = csr_neighbors_.data();
+  }
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) {
+    Graph copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+Graph Graph::from_csr(std::vector<std::uint32_t> offsets,
+                      std::vector<NodeId> neighbors) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != neighbors.size() || neighbors.size() % 2 != 0) {
+    throw std::invalid_argument("Graph::from_csr: malformed CSR arrays");
+  }
+  Graph g(offsets.size() - 1);
+  g.adjacency_.clear();
+  g.adjacency_.shrink_to_fit();
+  g.num_edges_ = neighbors.size() / 2;
+  g.csr_offsets_ = std::move(offsets);
+  g.csr_neighbors_ = std::move(neighbors);
+  g.offsets_ptr_ = g.csr_offsets_.data();
+  g.neighbors_ptr_ = g.csr_neighbors_.data();
+  g.frozen_ = true;
+  return g;
+}
+
+Graph Graph::from_csr_buffers(std::unique_ptr<std::uint32_t[]> offsets,
+                              std::unique_ptr<NodeId[]> neighbors,
+                              std::size_t num_nodes) {
+  const std::size_t entries = offsets[num_nodes];
+  if (offsets[0] != 0 || entries % 2 != 0) {
+    throw std::invalid_argument(
+        "Graph::from_csr_buffers: malformed CSR arrays");
+  }
+  Graph g(num_nodes);
+  g.adjacency_.clear();
+  g.adjacency_.shrink_to_fit();
+  g.num_edges_ = entries / 2;
+  g.owned_offsets_ = std::move(offsets);
+  g.owned_neighbors_ = std::move(neighbors);
+  g.offsets_ptr_ = g.owned_offsets_.get();
+  g.neighbors_ptr_ = g.owned_neighbors_.get();
+  g.frozen_ = true;
+  return g;
+}
+
+Graph Graph::csr_view(std::span<const std::uint32_t> offsets,
+                      std::span<const NodeId> neighbors) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != neighbors.size() || neighbors.size() % 2 != 0) {
+    throw std::invalid_argument("Graph::csr_view: malformed CSR arrays");
+  }
+  Graph g(offsets.size() - 1);
+  g.adjacency_.clear();
+  g.adjacency_.shrink_to_fit();
+  g.num_edges_ = neighbors.size() / 2;
+  g.offsets_ptr_ = offsets.data();
+  g.neighbors_ptr_ = neighbors.data();
+  g.frozen_ = true;
+  g.borrowed_ = true;
+  return g;
+}
+
 void Graph::freeze() {
   if (frozen_) return;
   const std::size_t entries = 2 * num_edges_;
@@ -22,6 +100,8 @@ void Graph::freeze() {
     cursor += static_cast<std::uint32_t>(nbrs.size());
   }
   csr_offsets_[num_nodes_] = cursor;
+  offsets_ptr_ = csr_offsets_.data();
+  neighbors_ptr_ = csr_neighbors_.data();
   adjacency_.clear();
   adjacency_.shrink_to_fit();
   frozen_ = true;
@@ -32,15 +112,23 @@ void Graph::thaw() {
   adjacency_.resize(num_nodes_);
   for (NodeId u = 0; u < num_nodes_; ++u) {
     const auto nbrs = std::span<const NodeId>(
-        csr_neighbors_.data() + csr_offsets_[u],
-        csr_offsets_[u + 1] - csr_offsets_[u]);
+        neighbors_ptr_ + offsets_ptr_[u], offsets_ptr_[u + 1] - offsets_ptr_[u]);
+    // Reserve the exact CSR degree so each per-node buffer is allocated
+    // once at exactly the right size, whatever growth policy assign()
+    // uses (BM_GraphFreezeThaw guards the cost of this loop).
+    adjacency_[u].reserve(nbrs.size());
     adjacency_[u].assign(nbrs.begin(), nbrs.end());
   }
   csr_offsets_.clear();
   csr_offsets_.shrink_to_fit();
   csr_neighbors_.clear();
   csr_neighbors_.shrink_to_fit();
+  owned_offsets_.reset();
+  owned_neighbors_.reset();
+  offsets_ptr_ = nullptr;
+  neighbors_ptr_ = nullptr;
   frozen_ = false;
+  borrowed_ = false;
 }
 
 bool Graph::add_edge(NodeId u, NodeId v) {
@@ -51,6 +139,15 @@ bool Graph::add_edge(NodeId u, NodeId v) {
   adjacency_[v].push_back(u);
   ++num_edges_;
   return true;
+}
+
+void Graph::add_edges(std::span<const std::pair<NodeId, NodeId>> batch) {
+  for (const auto& [u, v] : batch) add_edge(u, v);
+}
+
+void Graph::add_edges_unique(
+    std::span<const std::pair<NodeId, NodeId>> batch) {
+  add_edges(batch);
 }
 
 bool Graph::remove_edge(NodeId u, NodeId v) {

@@ -11,10 +11,20 @@
 // freeze()/thaw(), so RNG-driven walks draw identical neighbors in
 // either phase. Mutating a frozen graph transparently thaws it back to
 // adjacency lists; re-freeze after the mutation batch.
+//
+// The frozen read path is offset-based behind (pointer, size) pairs, so
+// the CSR arrays can live either in the graph's own vectors (freeze(),
+// from_csr()) or in external read-only memory such as a memory-mapped
+// WorldSnapshot (csr_view()). A view graph reads with zero copies;
+// mutating it thaws by copying the mapped arrays into owned adjacency
+// lists, and copying it materializes owned CSR storage — a Graph copy
+// never aliases the source's backing memory lifetime.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace qcp2p::overlay {
@@ -26,6 +36,36 @@ class Graph {
   explicit Graph(std::size_t num_nodes)
       : num_nodes_(num_nodes), adjacency_(num_nodes) {}
 
+  /// Deep copy: a copy owns its storage even when the source is a
+  /// csr_view() over mapped memory.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+
+  /// Adopts already-packed CSR arrays as a frozen graph (the streaming
+  /// builder's exit). offsets must be [0 ..] monotone with
+  /// offsets.size() == num_nodes + 1 and offsets.back() ==
+  /// neighbors.size(); every neighbor entry contributes half an edge.
+  [[nodiscard]] static Graph from_csr(std::vector<std::uint32_t> offsets,
+                                      std::vector<NodeId> neighbors);
+
+  /// Adopts heap arrays as a frozen graph, same contract as from_csr
+  /// with offsets holding num_nodes + 1 entries and neighbors holding
+  /// offsets[num_nodes] entries. Exists so the streaming builder can
+  /// scatter into make_unique_for_overwrite buffers — a
+  /// vector-of-26MB's value-initialization is a full extra write pass
+  /// over memory whose every byte the scatter overwrites anyway.
+  [[nodiscard]] static Graph from_csr_buffers(
+      std::unique_ptr<std::uint32_t[]> offsets,
+      std::unique_ptr<NodeId[]> neighbors, std::size_t num_nodes);
+
+  /// Borrowing frozen view over external CSR arrays (e.g. a mapped
+  /// WorldSnapshot section). The memory must outlive the view and every
+  /// graph moved from it; copying materializes an owned graph.
+  [[nodiscard]] static Graph csr_view(std::span<const std::uint32_t> offsets,
+                                      std::span<const NodeId> neighbors);
+
   [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
   [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
 
@@ -34,6 +74,18 @@ class Graph {
   /// Thaws a frozen graph.
   bool add_edge(NodeId u, NodeId v);
 
+  /// Calls add_edge on every pair in order, discarding the results.
+  /// Mirrors CsrGraphBuilder::add_edges so topology emitters can batch
+  /// through either sink with identical accept/reject semantics.
+  void add_edges(std::span<const std::pair<NodeId, NodeId>> batch);
+
+  /// Same call shape as CsrGraphBuilder::add_edges_unique, but keeps
+  /// full duplicate checking: the adjacency path is the semantic oracle,
+  /// so an emitter that wrongly claims uniqueness diverges from the
+  /// streaming build and fails the equivalence tests instead of
+  /// silently corrupting both.
+  void add_edges_unique(std::span<const std::pair<NodeId, NodeId>> batch);
+
   /// Removes the undirected edge {u, v} if present. Thaws a frozen graph.
   bool remove_edge(NodeId u, NodeId v);
 
@@ -41,13 +93,13 @@ class Graph {
 
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
     if (frozen_) {
-      return {csr_neighbors_.data() + csr_offsets_[u],
-              csr_offsets_[u + 1] - csr_offsets_[u]};
+      return {neighbors_ptr_ + offsets_ptr_[u],
+              offsets_ptr_[u + 1] - offsets_ptr_[u]};
     }
     return adjacency_[u];
   }
   [[nodiscard]] std::size_t degree(NodeId u) const noexcept {
-    return frozen_ ? csr_offsets_[u + 1] - csr_offsets_[u]
+    return frozen_ ? offsets_ptr_[u + 1] - offsets_ptr_[u]
                    : adjacency_[u].size();
   }
 
@@ -56,6 +108,17 @@ class Graph {
   /// frozen graph; topology generators freeze before returning.
   void freeze();
   [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+  /// True when the CSR arrays live in external memory (csr_view()).
+  [[nodiscard]] bool borrowed() const noexcept { return borrowed_; }
+
+  /// The frozen CSR arrays (snapshot serialization). Valid only while
+  /// frozen; views return the mapped memory without copying.
+  [[nodiscard]] std::span<const std::uint32_t> csr_offsets() const noexcept {
+    return {offsets_ptr_, frozen_ ? num_nodes_ + 1 : 0};
+  }
+  [[nodiscard]] std::span<const NodeId> csr_neighbors() const noexcept {
+    return {neighbors_ptr_, frozen_ ? 2 * num_edges_ : 0};
+  }
 
   [[nodiscard]] double mean_degree() const noexcept {
     return num_nodes() == 0 ? 0.0
@@ -72,18 +135,30 @@ class Graph {
 
  private:
   /// Restores the adjacency-list phase from the CSR arrays (exact
-  /// neighbor order), enabling mutation.
+  /// neighbor order), enabling mutation. Views copy out of the mapped
+  /// memory and drop the borrow.
   void thaw();
 
   std::size_t num_nodes_ = 0;
   std::size_t num_edges_ = 0;
   /// Build phase; cleared while frozen.
   std::vector<std::vector<NodeId>> adjacency_;
-  /// Frozen phase: neighbors of u are csr_neighbors_[csr_offsets_[u] ..
-  /// csr_offsets_[u+1]). Empty while thawed.
+  /// Frozen phase, owned storage: neighbors of u are
+  /// csr_neighbors_[csr_offsets_[u] .. csr_offsets_[u+1]). Empty while
+  /// thawed or borrowing.
   std::vector<std::uint32_t> csr_offsets_;
   std::vector<NodeId> csr_neighbors_;
+  /// Frozen phase, array-backed ownership (from_csr_buffers); null
+  /// otherwise. A frozen graph is backed by exactly one of the owned
+  /// vectors, these arrays, or a borrow.
+  std::unique_ptr<std::uint32_t[]> owned_offsets_;
+  std::unique_ptr<NodeId[]> owned_neighbors_;
+  /// Frozen read path: into the owned vectors, or external mapped
+  /// memory when borrowed_. Null while thawed.
+  const std::uint32_t* offsets_ptr_ = nullptr;
+  const NodeId* neighbors_ptr_ = nullptr;
   bool frozen_ = false;
+  bool borrowed_ = false;
 };
 
 }  // namespace qcp2p::overlay

@@ -1,9 +1,12 @@
 #include "src/overlay/topology.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
+#include "src/overlay/csr_builder.hpp"
 #include "src/util/zipf.hpp"
 
 namespace qcp2p::overlay {
@@ -22,23 +25,109 @@ class UnionFind {
     }
     return x;
   }
-  void unite(NodeId a, NodeId b) { parent_[find(a)] = find(b); }
+  /// Returns true when the union actually merged two components.
+  bool unite(NodeId a, NodeId b) {
+    const NodeId ra = find(a);
+    const NodeId rb = find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+  /// Warms the first parent line for an upcoming find (the parent array
+  /// is n*4 bytes — far beyond cache at 10^6 nodes).
+  void prefetch(NodeId x) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&parent_[x], 1, 1);
+#else
+    (void)x;
+#endif
+  }
 
  private:
   std::vector<NodeId> parent_;
 };
 
-}  // namespace
-
-void patch_connectivity(Graph& graph, util::Rng& rng) {
-  const std::size_t n = graph.num_nodes();
-  if (n <= 1) return;
-  UnionFind uf(n);
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v : graph.neighbors(u)) {
-      if (u < v) uf.unite(u, v);
+/// Fisher-Yates shuffle producing exactly the permutation of the naive
+/// `for (i = v.size(); i > 1; --i) swap(v[i-1], v[rng.bounded(i)])`
+/// loop: the draws are buffered a few iterations ahead IN ORDER (never
+/// reordered), which lets the swap targets — uniform-random positions in
+/// an array far beyond cache at 10^6 entries — be prefetched before the
+/// dependent swaps read them. Prefetching only warms lines; values are
+/// read at swap time, so earlier in-block swaps are observed exactly as
+/// in the naive loop.
+inline void shuffle_prefetched(std::vector<NodeId>& v, util::Rng& rng) {
+  constexpr std::size_t kBlock = 16;
+  std::array<std::size_t, kBlock> draw;
+  std::size_t i = v.size();
+  while (i > 1) {
+    const std::size_t m = std::min(kBlock, i - 1);
+    for (std::size_t k = 0; k < m; ++k) {
+      draw[k] = rng.bounded(i - k);
+#if defined(__GNUC__) || defined(__clang__)
+      __builtin_prefetch(&v[draw[k]], 1, 1);
+#endif
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      std::swap(v[i - 1], v[draw[k]]);
+      --i;
     }
   }
+}
+
+// The generator bodies below are templated over a Sink — either Graph
+// (legacy adjacency build) or CsrGraphBuilder (streaming build). Both
+// expose add_edge/has_edge/degree/num_edges with identical accept/reject
+// semantics, and the bodies draw from the Rng in sink-independent order,
+// so the two paths emit the exact same edge sequence. Keep any
+// sink-dependent branching out of RNG-consuming code.
+
+template <typename Fn>
+void for_each_edge(const Graph& g, Fn&& fn) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) fn(u, v);
+    }
+  }
+}
+
+template <typename Fn>
+void for_each_edge(const CsrGraphBuilder& b, Fn&& fn) {
+  for (const auto& [u, v] : b.edges()) fn(u, v);
+}
+
+/// Sink-generic connectivity patch. The union order differs between the
+/// two sinks (adjacency scan vs emission stream) but the resulting
+/// partition is identical, and every RNG decision below tests only
+/// component membership — so both paths draw identically.
+template <typename Sink>
+void patch_connectivity_impl(Sink& sink, util::Rng& rng) {
+  const std::size_t n = sink.num_nodes();
+  if (n <= 1) return;
+  UnionFind uf(n);
+  std::size_t components = n;
+  if constexpr (requires { sink.edges(); }) {
+    // The emission stream is a flat array, so the union pass can warm
+    // the parent lines a few edges ahead of the dependent find chains.
+    const auto es = sink.edges();
+    constexpr std::size_t kAhead = 16;
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      if (i + kAhead < es.size()) {
+        uf.prefetch(es[i + kAhead].first);
+        uf.prefetch(es[i + kAhead].second);
+      }
+      if (uf.unite(es[i].first, es[i].second)) --components;
+    }
+  } else {
+    for_each_edge(sink, [&](NodeId u, NodeId v) {
+      if (uf.unite(u, v)) --components;
+    });
+  }
+  // One component left means the stray scan below is a provable no-op
+  // (every find returns root, no RNG draw, no edge added), and at
+  // generator scales the graph is almost always already connected —
+  // skip the n dependent finds. Both sinks take the same branch: the
+  // union order differs but the component count does not.
+  if (components == 1) return;
   // Attach every non-root component representative to a random node of
   // the component containing node 0.
   const NodeId root = uf.find(0);
@@ -48,32 +137,52 @@ void patch_connectivity(Graph& graph, util::Rng& rng) {
       do {
         anchor = static_cast<NodeId>(rng.bounded(n));
       } while (uf.find(anchor) != root || anchor == u);
-      if (graph.add_edge(u, anchor)) uf.unite(u, root);
+      if (sink.add_edge(u, anchor)) uf.unite(u, root);
     }
   }
 }
 
-Graph random_graph(std::size_t n, double mean_degree, util::Rng& rng) {
-  Graph g(n);
-  if (n < 2) return g;
-  const auto target_edges = static_cast<std::size_t>(
-      static_cast<double>(n) * mean_degree / 2.0);
+template <typename Sink>
+void emit_random_graph(Sink& sink, std::size_t n, double mean_degree,
+                       util::Rng& rng) {
+  const auto target_edges =
+      static_cast<std::size_t>(static_cast<double>(n) * mean_degree / 2.0);
   std::size_t attempts = 0;
   const std::size_t max_attempts = target_edges * 20 + 100;
-  while (g.num_edges() < target_edges && attempts++ < max_attempts) {
+  while (sink.num_edges() < target_edges && attempts++ < max_attempts) {
     const auto u = static_cast<NodeId>(rng.bounded(n));
     const auto v = static_cast<NodeId>(rng.bounded(n));
-    g.add_edge(u, v);
+    sink.add_edge(u, v);
   }
-  patch_connectivity(g, rng);
-  g.freeze();
-  return g;
+  patch_connectivity_impl(sink, rng);
 }
 
-Graph random_regular(std::size_t n, std::size_t degree, util::Rng& rng) {
-  Graph g(n);
-  if (n < 2 || degree == 0) return g;
-  if (degree >= n) throw std::invalid_argument("random_regular: degree >= n");
+/// Pairs consecutive shuffled stubs and feeds them to the sink through
+/// the batched entry point. The accept decisions of configuration-model
+/// pairing never feed back into the pick sequence (duplicates and
+/// self-loops are silently dropped), so batching is observationally
+/// identical to the old pair-at-a-time add_edge loop on either sink.
+/// Batched-emission flush threshold: big enough to amortize the call,
+/// small enough that the staging vector stays cache-resident.
+constexpr std::size_t kEmitChunk = std::size_t{1} << 16;
+
+template <typename Sink>
+void add_stub_pairs(Sink& sink, const std::vector<NodeId>& stubs) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(std::min(stubs.size() / 2, kEmitChunk));
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    pairs.emplace_back(stubs[i], stubs[i + 1]);
+    if (pairs.size() == kEmitChunk) {
+      sink.add_edges(pairs);
+      pairs.clear();
+    }
+  }
+  sink.add_edges(pairs);
+}
+
+template <typename Sink>
+void emit_random_regular(Sink& sink, std::size_t n, std::size_t degree,
+                         util::Rng& rng) {
   // Configuration model: n*degree stubs, shuffled, paired. Self-loops and
   // duplicate edges are simply dropped, leaving a near-regular graph.
   std::vector<NodeId> stubs;
@@ -81,59 +190,46 @@ Graph random_regular(std::size_t n, std::size_t degree, util::Rng& rng) {
   for (NodeId u = 0; u < n; ++u) {
     for (std::size_t k = 0; k < degree; ++k) stubs.push_back(u);
   }
-  for (std::size_t i = stubs.size(); i > 1; --i) {
-    std::swap(stubs[i - 1], stubs[rng.bounded(i)]);
-  }
-  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
-    g.add_edge(stubs[i], stubs[i + 1]);
-  }
-  patch_connectivity(g, rng);
-  g.freeze();
-  return g;
+  shuffle_prefetched(stubs, rng);
+  add_stub_pairs(sink, stubs);
+  patch_connectivity_impl(sink, rng);
 }
 
-Graph barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng) {
-  if (m == 0) throw std::invalid_argument("barabasi_albert: m must be >= 1");
-  Graph g(n);
-  if (n < 2) return g;
+template <typename Sink>
+void emit_barabasi_albert(Sink& sink, std::size_t n, std::size_t m,
+                          util::Rng& rng) {
   const std::size_t seed_nodes = std::min(n, m + 1);
   // Seed clique over the first m+1 nodes.
   for (NodeId u = 0; u < seed_nodes; ++u) {
-    for (NodeId v = u + 1; v < seed_nodes; ++v) g.add_edge(u, v);
+    for (NodeId v = u + 1; v < seed_nodes; ++v) sink.add_edge(u, v);
   }
   // Endpoint list: each edge contributes both endpoints, so sampling a
-  // uniform element is degree-proportional sampling.
+  // uniform element is degree-proportional sampling. Seeded with each
+  // clique node repeated degree-many times (the order the adjacency scan
+  // used to produce).
   std::vector<NodeId> endpoints;
   endpoints.reserve(2 * n * m);
   for (NodeId u = 0; u < seed_nodes; ++u) {
-    for (NodeId v : g.neighbors(u)) {
-      (void)v;
-      endpoints.push_back(u);
-    }
+    for (std::size_t k = 0; k < sink.degree(u); ++k) endpoints.push_back(u);
   }
   for (NodeId u = static_cast<NodeId>(seed_nodes); u < n; ++u) {
     std::size_t added = 0;
     std::size_t guard = 0;
     while (added < m && guard++ < 50 * m) {
       const NodeId target = endpoints[rng.bounded(endpoints.size())];
-      if (g.add_edge(u, target)) {
+      if (sink.add_edge(u, target)) {
         endpoints.push_back(u);
         endpoints.push_back(target);
         ++added;
       }
     }
   }
-  patch_connectivity(g, rng);
-  g.freeze();
-  return g;
+  patch_connectivity_impl(sink, rng);
 }
 
-Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
-                     util::Rng& rng) {
-  if (k % 2 != 0) throw std::invalid_argument("watts_strogatz: k must be even");
-  if (k >= n && n > 1) throw std::invalid_argument("watts_strogatz: k >= n");
-  Graph g(n);
-  if (n < 2 || k == 0) return g;
+template <typename Sink>
+void emit_watts_strogatz(Sink& sink, std::size_t n, std::size_t k, double beta,
+                         util::Rng& rng) {
   // Ring lattice: node v links to v+1 .. v+k/2 (mod n).
   for (NodeId v = 0; v < n; ++v) {
     for (std::size_t j = 1; j <= k / 2; ++j) {
@@ -144,35 +240,30 @@ Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
         std::size_t guard = 0;
         do {
           w = static_cast<NodeId>(rng.bounded(n));
-        } while ((w == v || g.has_edge(v, w)) && guard++ < 32);
-        if (w != v && g.add_edge(v, w)) continue;
+        } while ((w == v || sink.has_edge(v, w)) && guard++ < 32);
+        if (w != v && sink.add_edge(v, w)) continue;
       }
-      g.add_edge(v, u);
+      sink.add_edge(v, u);
     }
   }
-  patch_connectivity(g, rng);
-  g.freeze();
-  return g;
+  patch_connectivity_impl(sink, rng);
 }
 
-TwoTierTopology gnutella_two_tier(const TwoTierParams& params, util::Rng& rng) {
+template <typename Sink>
+void emit_two_tier(Sink& sink, const TwoTierParams& params, util::Rng& rng,
+                   std::vector<bool>& is_ultrapeer) {
   const std::size_t n = params.num_nodes;
-  TwoTierTopology topo{Graph(n), std::vector<bool>(n, false)};
-  if (n < 2) return topo;
-
-  auto num_ups = static_cast<std::size_t>(
-      static_cast<double>(n) * params.ultrapeer_fraction);
+  auto num_ups = static_cast<std::size_t>(static_cast<double>(n) *
+                                          params.ultrapeer_fraction);
   num_ups = std::clamp<std::size_t>(num_ups, 1, n);
 
   // Promote a random subset to ultrapeers.
   std::vector<NodeId> ids(n);
   std::iota(ids.begin(), ids.end(), NodeId{0});
-  for (std::size_t i = n; i > 1; --i) {
-    std::swap(ids[i - 1], ids[rng.bounded(i)]);
-  }
+  shuffle_prefetched(ids, rng);
   std::vector<NodeId> ups(ids.begin(),
                           ids.begin() + static_cast<std::ptrdiff_t>(num_ups));
-  for (NodeId u : ups) topo.is_ultrapeer[u] = true;
+  for (NodeId u : ups) is_ultrapeer[u] = true;
 
   // Ultrapeer mesh: near-regular random graph among ultrapeers.
   if (ups.size() >= 2) {
@@ -183,45 +274,64 @@ TwoTierTopology gnutella_two_tier(const TwoTierParams& params, util::Rng& rng) {
     for (NodeId u : ups) {
       for (std::size_t k = 0; k < mesh_degree; ++k) stubs.push_back(u);
     }
-    for (std::size_t i = stubs.size(); i > 1; --i) {
-      std::swap(stubs[i - 1], stubs[rng.bounded(i)]);
-    }
-    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
-      topo.graph.add_edge(stubs[i], stubs[i + 1]);
-    }
+    shuffle_prefetched(stubs, rng);
+    add_stub_pairs(sink, stubs);
   }
 
-  // Each leaf attaches to leaf_up_count distinct ultrapeers.
+  // Each leaf attaches to leaf_up_count distinct ultrapeers. A leaf has
+  // no edges outside its own attach round (it is not in the mesh, and
+  // earlier leaves only linked to ultrapeers), so "add_edge would
+  // reject" reduces to "this ultrapeer was already picked for this
+  // leaf" — a check against the few prior picks that frees the whole
+  // phase to go through the batched sink path. The RNG draw sequence
+  // and the emitted edge order are exactly the old attach loop's.
+  //
+  // Stronger still, these batches satisfy add_edges_unique's contract:
+  // (valid) v != up since up is an ultrapeer and v is not, and both are
+  // < n; (fresh) within a batch the in-leaf pick filter bars repeats,
+  // no earlier phase touched v, and the only later edge source is
+  // patch_connectivity — which joins DISTINCT components, and both
+  // endpoints of any existing edge sit in one component, so a patch
+  // edge can never equal an existing one nor need the duplicate set to
+  // know about leaf edges to reject correctly. The legacy sink checks
+  // anyway, so the stream==legacy equivalence tests would catch any
+  // violation of this argument.
+  const std::size_t want = std::min(params.leaf_up_count, ups.size());
+  std::vector<std::pair<NodeId, NodeId>> leaf_edges;
+  leaf_edges.reserve(std::min((n - ups.size()) * want, kEmitChunk + want));
+  std::vector<NodeId> picks;
   for (NodeId v = 0; v < n; ++v) {
-    if (topo.is_ultrapeer[v]) continue;
-    std::size_t attached = 0;
+    if (is_ultrapeer[v]) continue;
+    picks.clear();
     std::size_t guard = 0;
-    const std::size_t want = std::min(params.leaf_up_count, ups.size());
-    while (attached < want && guard++ < 50 * want) {
+    while (picks.size() < want && guard++ < 50 * want) {
       const NodeId up = ups[rng.bounded(ups.size())];
-      if (topo.graph.add_edge(v, up)) ++attached;
+      if (std::find(picks.begin(), picks.end(), up) == picks.end()) {
+        picks.push_back(up);
+        leaf_edges.emplace_back(v, up);
+      }
+    }
+    if (leaf_edges.size() >= kEmitChunk) {
+      sink.add_edges_unique(leaf_edges);
+      leaf_edges.clear();
     }
   }
+  sink.add_edges_unique(leaf_edges);
 
-  patch_connectivity(topo.graph, rng);
-  topo.graph.freeze();
-  return topo;
+  patch_connectivity_impl(sink, rng);
 }
 
-GiaTopology gia_topology(const GiaParams& params, util::Rng& rng) {
-  if (params.capacity_levels.empty() ||
-      params.capacity_levels.size() != params.capacity_weights.size()) {
-    throw std::invalid_argument("gia_topology: bad capacity spec");
-  }
+template <typename Sink>
+void emit_gia(Sink& sink, const GiaParams& params, util::Rng& rng,
+              std::vector<double>& capacity) {
   const std::size_t n = params.num_nodes;
-  GiaTopology topo{Graph(n), std::vector<double>(n, 1.0)};
   const util::DiscreteSampler level_sampler(params.capacity_weights);
 
   std::vector<std::size_t> target_degree(n);
   for (NodeId u = 0; u < n; ++u) {
-    topo.capacity[u] = params.capacity_levels[level_sampler(rng)];
+    capacity[u] = params.capacity_levels[level_sampler(rng)];
     const double d =
-        params.base_degree * std::pow(topo.capacity[u], params.degree_alpha);
+        params.base_degree * std::pow(capacity[u], params.degree_alpha);
     target_degree[u] = std::min<std::size_t>(
         params.max_degree,
         std::max<std::size_t>(1, static_cast<std::size_t>(d)));
@@ -232,14 +342,110 @@ GiaTopology gia_topology(const GiaParams& params, util::Rng& rng) {
   for (NodeId u = 0; u < n; ++u) {
     for (std::size_t k = 0; k < target_degree[u]; ++k) stubs.push_back(u);
   }
-  for (std::size_t i = stubs.size(); i > 1; --i) {
-    std::swap(stubs[i - 1], stubs[rng.bounded(i)]);
+  shuffle_prefetched(stubs, rng);
+  add_stub_pairs(sink, stubs);
+  patch_connectivity_impl(sink, rng);
+}
+
+/// Dispatches one emission body to the selected construction path.
+/// `expected_edges` (and the optional duplicate-set subset hint) are
+/// only reservation hints for the streaming builder.
+template <typename Emit>
+Graph build_with(std::size_t n, const BuildOptions& opts,
+                 std::size_t expected_edges, Emit&& emit,
+                 std::size_t expected_checked_edges = SIZE_MAX) {
+  if (opts.legacy_adjacency) {
+    Graph g(n);
+    emit(g);
+    g.freeze();
+    return g;
   }
-  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
-    topo.graph.add_edge(stubs[i], stubs[i + 1]);
+  CsrGraphBuilder b(n, expected_edges, expected_checked_edges);
+  emit(b);
+  return b.build(opts.threads);
+}
+
+}  // namespace
+
+void patch_connectivity(Graph& graph, util::Rng& rng) {
+  patch_connectivity_impl(graph, rng);
+}
+
+Graph random_graph(std::size_t n, double mean_degree, util::Rng& rng,
+                   const BuildOptions& opts) {
+  if (n < 2) return build_with(n, opts, 0, [](auto&) {});
+  const auto hint =
+      static_cast<std::size_t>(static_cast<double>(n) * mean_degree / 2.0);
+  return build_with(n, opts, hint + n / 8, [&](auto& sink) {
+    emit_random_graph(sink, n, mean_degree, rng);
+  });
+}
+
+Graph random_regular(std::size_t n, std::size_t degree, util::Rng& rng,
+                     const BuildOptions& opts) {
+  if (n >= 2 && degree >= n) {
+    throw std::invalid_argument("random_regular: degree >= n");
   }
-  patch_connectivity(topo.graph, rng);
-  topo.graph.freeze();
+  if (n < 2 || degree == 0) return build_with(n, opts, 0, [](auto&) {});
+  return build_with(n, opts, n * degree / 2 + n / 8, [&](auto& sink) {
+    emit_random_regular(sink, n, degree, rng);
+  });
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng,
+                      const BuildOptions& opts) {
+  if (m == 0) throw std::invalid_argument("barabasi_albert: m must be >= 1");
+  if (n < 2) return build_with(n, opts, 0, [](auto&) {});
+  return build_with(n, opts, n * m + n / 8, [&](auto& sink) {
+    emit_barabasi_albert(sink, n, m, rng);
+  });
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, util::Rng& rng,
+                     const BuildOptions& opts) {
+  if (k % 2 != 0) throw std::invalid_argument("watts_strogatz: k must be even");
+  if (k >= n && n > 1) throw std::invalid_argument("watts_strogatz: k >= n");
+  if (n < 2 || k == 0) return build_with(n, opts, 0, [](auto&) {});
+  return build_with(n, opts, n * (k / 2) + n / 8, [&](auto& sink) {
+    emit_watts_strogatz(sink, n, k, beta, rng);
+  });
+}
+
+TwoTierTopology gnutella_two_tier(const TwoTierParams& params, util::Rng& rng,
+                                  const BuildOptions& opts) {
+  const std::size_t n = params.num_nodes;
+  TwoTierTopology topo{Graph(n), std::vector<bool>(n, false)};
+  if (n < 2) {
+    topo.graph = build_with(n, opts, 0, [](auto&) {});
+    return topo;
+  }
+  // Only the ultrapeer mesh goes through the duplicate set; leaf
+  // attachments use add_edges_unique, so the set is sized to the mesh.
+  const std::size_t mesh_hint =
+      static_cast<std::size_t>(static_cast<double>(n) *
+                               params.ultrapeer_fraction) *
+      params.up_up_degree / 2;
+  const std::size_t hint = mesh_hint + n * params.leaf_up_count;
+  topo.graph = build_with(
+      n, opts, hint,
+      [&](auto& sink) { emit_two_tier(sink, params, rng, topo.is_ultrapeer); },
+      mesh_hint);
+  return topo;
+}
+
+GiaTopology gia_topology(const GiaParams& params, util::Rng& rng,
+                         const BuildOptions& opts) {
+  if (params.capacity_levels.empty() ||
+      params.capacity_levels.size() != params.capacity_weights.size()) {
+    throw std::invalid_argument("gia_topology: bad capacity spec");
+  }
+  const std::size_t n = params.num_nodes;
+  GiaTopology topo{Graph(n), std::vector<double>(n, 1.0)};
+  const std::size_t hint = static_cast<std::size_t>(
+      static_cast<double>(n) * params.base_degree * 2.0);
+  topo.graph = build_with(n, opts, hint, [&](auto& sink) {
+    emit_gia(sink, params, rng, topo.capacity);
+  });
   return topo;
 }
 

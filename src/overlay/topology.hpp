@@ -7,6 +7,16 @@
 // topology for that bench. Flat random and preferential-attachment
 // topologies are provided for the ablation in DESIGN.md section 5, and a
 // Gia-style capacity-driven topology backs the Gia baseline.
+//
+// Construction paths: by default generators stream edges into a
+// CsrGraphBuilder and return an already-frozen graph without ever
+// materializing per-node adjacency vectors (the million-node path);
+// BuildOptions::legacy_adjacency selects the original Graph::add_edge +
+// freeze() pipeline. Both paths run the same emission code over the same
+// Rng draws, so they produce edge-for-edge identical graphs
+// (tests/overlay_stream_build_test), and BuildOptions::threads only
+// parallelizes the final CSR scatter — output is byte-identical at any
+// thread count.
 #pragma once
 
 #include <cstdint>
@@ -17,19 +27,31 @@
 
 namespace qcp2p::overlay {
 
+struct BuildOptions {
+  /// Shards the CSR scatter of the streaming builder (0 = hardware
+  /// concurrency). Never changes the output.
+  std::size_t threads = 1;
+  /// Use the original adjacency-list build + freeze() instead of the
+  /// streaming CSR builder (kept for equivalence tests and benches).
+  bool legacy_adjacency = false;
+};
+
 /// Erdos-Renyi G(n, M) with M = n * mean_degree / 2; connectivity patched.
 [[nodiscard]] Graph random_graph(std::size_t n, double mean_degree,
-                                 util::Rng& rng);
+                                 util::Rng& rng,
+                                 const BuildOptions& opts = {});
 
 /// Near-d-regular random graph via the configuration model (bad stubs
 /// dropped, connectivity patched).
 [[nodiscard]] Graph random_regular(std::size_t n, std::size_t degree,
-                                   util::Rng& rng);
+                                   util::Rng& rng,
+                                   const BuildOptions& opts = {});
 
 /// Barabasi-Albert preferential attachment: each new node links to m
 /// existing nodes chosen proportionally to degree.
 [[nodiscard]] Graph barabasi_albert(std::size_t n, std::size_t m,
-                                    util::Rng& rng);
+                                    util::Rng& rng,
+                                    const BuildOptions& opts = {});
 
 /// Watts-Strogatz small world: a ring lattice where every node links to
 /// its k nearest neighbors (k even), each edge rewired with probability
@@ -37,7 +59,8 @@ namespace qcp2p::overlay {
 /// clustering with short paths — the classic small-world regime some
 /// unstructured overlays approximate.
 [[nodiscard]] Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
-                                   util::Rng& rng);
+                                   util::Rng& rng,
+                                   const BuildOptions& opts = {});
 
 struct TwoTierParams {
   std::size_t num_nodes = 40'000;
@@ -56,7 +79,8 @@ struct TwoTierTopology {
 };
 
 [[nodiscard]] TwoTierTopology gnutella_two_tier(const TwoTierParams& params,
-                                                util::Rng& rng);
+                                                util::Rng& rng,
+                                                const BuildOptions& opts = {});
 
 struct GiaParams {
   std::size_t num_nodes = 10'000;
@@ -77,7 +101,8 @@ struct GiaTopology {
 
 /// Capacity-driven topology: high-capacity nodes get proportionally more
 /// neighbors (Gia's "topology adaptation" steady state).
-[[nodiscard]] GiaTopology gia_topology(const GiaParams& params, util::Rng& rng);
+[[nodiscard]] GiaTopology gia_topology(const GiaParams& params, util::Rng& rng,
+                                       const BuildOptions& opts = {});
 
 /// Links all connected components to the largest one with random edges.
 void patch_connectivity(Graph& graph, util::Rng& rng);

@@ -20,8 +20,9 @@ AdaptiveOverlayNetwork::AdaptiveOverlayNetwork(
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     synopses_.emplace_back(params_.synopsis,
                            core::SynopsisPolicy::kQueryCentric);
-    for (const PeerStore::Object& obj : store.objects(v)) {
-      synopses_.back().add_object(obj.terms);
+    const std::size_t count = store.object_count(v);
+    for (std::size_t i = 0; i < count; ++i) {
+      synopses_.back().add_object(store.object_terms(v, i));
     }
   }
   refresh_synopses();  // initial (cold) advertisement

@@ -241,10 +241,12 @@ std::uint64_t ChordDht::publish_store(const PeerStore& store) {
   std::uint64_t messages = 0;
   const std::size_t n = std::min(store.num_peers(), num_nodes());
   for (NodeId peer = 0; peer < n; ++peer) {
-    for (const PeerStore::Object& o : store.objects(peer)) {
-      messages += publish_object(o.id, peer, peer);
-      for (TermId t : o.terms) {
-        messages += publish_term(t, o.id, peer, peer);
+    const std::size_t count = store.object_count(peer);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t id = store.object_id(peer, i);
+      messages += publish_object(id, peer, peer);
+      for (TermId t : store.object_terms(peer, i)) {
+        messages += publish_term(t, id, peer, peer);
       }
     }
   }

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "src/util/thread_pool.hpp"
 
 namespace qcp2p::sim {
 
@@ -59,8 +63,98 @@ std::vector<std::uint64_t> sample_replica_counts(
   return counts;
 }
 
+PeerStore::PeerStore(const PeerStore& other)
+    : num_peers_(other.num_peers_),
+      peers_(other.peers_),
+      total_(other.total_),
+      finalized_(other.finalized_),
+      has_build_data_(other.has_build_data_) {
+  if (finalized_) {
+    // Copy through the spans so owned stores and mapped views copy the
+    // same way; the copy always owns its arrays.
+    const FlatLayout& f = other.flat_;
+    peer_term_offsets_.assign(f.peer_term_offsets.begin(),
+                              f.peer_term_offsets.end());
+    peer_terms_flat_.assign(f.peer_terms_flat.begin(), f.peer_terms_flat.end());
+    obj_offsets_.assign(f.obj_offsets.begin(), f.obj_offsets.end());
+    obj_ids_.assign(f.obj_ids.begin(), f.obj_ids.end());
+    obj_term_offsets_.assign(f.obj_term_offsets.begin(),
+                             f.obj_term_offsets.end());
+    obj_terms_flat_.assign(f.obj_terms_flat.begin(), f.obj_terms_flat.end());
+    index_terms_.assign(f.index_terms.begin(), f.index_terms.end());
+    index_offsets_.assign(f.index_offsets.begin(), f.index_offsets.end());
+    postings_.assign(f.postings.begin(), f.postings.end());
+    repoint_flat();
+  }
+}
+
+PeerStore& PeerStore::operator=(const PeerStore& other) {
+  if (this != &other) {
+    PeerStore copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+PeerStore PeerStore::flat_view(const FlatLayout& layout) {
+  const std::size_t n = layout.num_peers;
+  const auto bad = [](const char* what) {
+    throw std::invalid_argument(std::string("PeerStore::flat_view: ") + what);
+  };
+  if (layout.peer_term_offsets.size() != n + 1 ||
+      layout.obj_offsets.size() != n + 1) {
+    bad("peer offsets size mismatch");
+  }
+  if (layout.obj_term_offsets.size() != layout.obj_ids.size() + 1 ||
+      layout.index_offsets.size() != layout.index_terms.size() + 1) {
+    bad("object/index offsets size mismatch");
+  }
+  if (layout.peer_term_offsets.front() != 0 ||
+      layout.peer_term_offsets.back() != layout.peer_terms_flat.size() ||
+      layout.obj_offsets.front() != 0 ||
+      layout.obj_offsets.back() != layout.obj_ids.size() ||
+      layout.obj_term_offsets.front() != 0 ||
+      layout.obj_term_offsets.back() != layout.obj_terms_flat.size() ||
+      layout.index_offsets.front() != 0 ||
+      layout.index_offsets.back() != layout.postings.size()) {
+    bad("offset bounds mismatch");
+  }
+  PeerStore store(0);
+  store.num_peers_ = n;
+  store.peers_.clear();
+  store.total_ = layout.obj_ids.size();
+  store.finalized_ = true;
+  store.borrowed_ = true;
+  store.has_build_data_ = false;
+  store.flat_ = layout;
+  return store;
+}
+
+PeerStore::FlatLayout PeerStore::flat_layout() const {
+  if (!finalized_) {
+    throw std::logic_error("PeerStore::flat_layout: store not finalized");
+  }
+  return flat_;
+}
+
+void PeerStore::repoint_flat() {
+  flat_.num_peers = num_peers_;
+  flat_.peer_term_offsets = peer_term_offsets_;
+  flat_.peer_terms_flat = peer_terms_flat_;
+  flat_.obj_offsets = obj_offsets_;
+  flat_.obj_ids = obj_ids_;
+  flat_.obj_term_offsets = obj_term_offsets_;
+  flat_.obj_terms_flat = obj_terms_flat_;
+  flat_.index_terms = index_terms_;
+  flat_.index_offsets = index_offsets_;
+  flat_.postings = postings_;
+}
+
 void PeerStore::add_object(NodeId peer, std::uint64_t id,
                            std::vector<TermId> terms) {
+  if (!has_build_data_) {
+    throw std::logic_error("PeerStore::add_object: store has no build data");
+  }
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
   peers_.at(peer).objects.push_back(Object{id, std::move(terms)});
@@ -68,11 +162,80 @@ void PeerStore::add_object(NodeId peer, std::uint64_t id,
   finalized_ = false;
 }
 
-void PeerStore::finalize() {
+const std::vector<PeerStore::Object>& PeerStore::objects(NodeId peer) const {
+  if (!has_build_data_) {
+    throw std::logic_error("PeerStore::objects: store has no build data");
+  }
+  return peers_.at(peer).objects;
+}
+
+void PeerStore::release_build_data() {
+  if (!finalized_) {
+    throw std::logic_error(
+        "PeerStore::release_build_data: finalize() the store first");
+  }
+  peers_.clear();
+  peers_.shrink_to_fit();
+  has_build_data_ = false;
+}
+
+std::size_t PeerStore::object_count(NodeId peer) const {
+  if (finalized_) {
+    if (peer >= num_peers_) {
+      throw std::out_of_range("PeerStore::object_count: bad peer");
+    }
+    return flat_.obj_offsets[peer + 1] - flat_.obj_offsets[peer];
+  }
+  return peers_.at(peer).objects.size();
+}
+
+std::uint64_t PeerStore::object_id(NodeId peer, std::size_t i) const {
+  if (finalized_) {
+    if (i >= object_count(peer)) {
+      throw std::out_of_range("PeerStore::object_id: bad index");
+    }
+    return flat_.obj_ids[flat_.obj_offsets[peer] + i];
+  }
+  return peers_.at(peer).objects.at(i).id;
+}
+
+std::span<const TermId> PeerStore::object_terms(NodeId peer,
+                                                std::size_t i) const {
+  if (finalized_) {
+    if (i >= object_count(peer)) {
+      throw std::out_of_range("PeerStore::object_terms: bad index");
+    }
+    const std::uint32_t ord =
+        flat_.obj_offsets[peer] + static_cast<std::uint32_t>(i);
+    return flat_.obj_terms_flat.subspan(
+        flat_.obj_term_offsets[ord],
+        flat_.obj_term_offsets[ord + 1] - flat_.obj_term_offsets[ord]);
+  }
+  return peers_.at(peer).objects.at(i).terms;
+}
+
+void PeerStore::finalize(std::size_t threads) {
+  if (!has_build_data_) {
+    if (finalized_) return;  // views arrive finalized; nothing to rebuild
+    throw std::logic_error("PeerStore::finalize: store has no build data");
+  }
   if (total_ > std::numeric_limits<std::uint32_t>::max()) {
     throw std::length_error("PeerStore::finalize: too many objects for CSR");
   }
-  const std::size_t n = peers_.size();
+  const std::size_t n_threads =
+      threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                   : threads;
+  if (n_threads <= 1 || num_peers_ < 2) {
+    finalize_sequential();
+  } else {
+    finalize_parallel(n_threads);
+  }
+  repoint_flat();
+  finalized_ = true;
+}
+
+void PeerStore::finalize_sequential() {
+  const std::size_t n = num_peers_;
 
   // Object ordinal space + CSR-packed per-object term lists.
   obj_offsets_.assign(n + 1, 0);
@@ -135,17 +298,169 @@ void PeerStore::finalize() {
     postings_.push_back(ord);
     index_offsets_.back() = static_cast<std::uint32_t>(postings_.size());
   }
+}
 
-  finalized_ = true;
+void PeerStore::finalize_parallel(std::size_t threads) {
+  // Byte-identical to finalize_sequential() at any shard count
+  // (tests/sim_world_snapshot_test pins finalize(1) == finalize(8)):
+  // every array is produced by count -> prefix-sum -> scatter passes
+  // whose shards write disjoint ranges with thread-independent values.
+  const std::size_t n = num_peers_;
+  const std::size_t n_blocks = std::min(threads, n);
+  std::vector<std::size_t> peer_bounds(n_blocks + 1);
+  for (std::size_t b = 0; b <= n_blocks; ++b) {
+    peer_bounds[b] = n * b / n_blocks;
+  }
+  const auto for_blocks = [&](auto&& fn) {
+    util::parallel_for_blocks(n_blocks, n_blocks,
+                              [&](std::size_t b_begin, std::size_t b_end) {
+                                for (std::size_t b = b_begin; b < b_end; ++b) {
+                                  fn(b, peer_bounds[b], peer_bounds[b + 1]);
+                                }
+                              });
+  };
+
+  // Pass 1 (parallel): per-peer object/term counts + sorted-unique term
+  // rows (kept so the scatter pass does not sort twice).
+  std::vector<std::uint32_t> obj_count(n), term_count(n);
+  std::vector<std::vector<TermId>> rows(n);
+  for_blocks([&](std::size_t, std::size_t lo, std::size_t hi) {
+    std::vector<TermId> row;
+    for (std::size_t p = lo; p < hi; ++p) {
+      std::uint32_t terms = 0;
+      row.clear();
+      for (const Object& o : peers_[p].objects) {
+        terms += static_cast<std::uint32_t>(o.terms.size());
+        row.insert(row.end(), o.terms.begin(), o.terms.end());
+      }
+      obj_count[p] = static_cast<std::uint32_t>(peers_[p].objects.size());
+      term_count[p] = terms;
+      std::sort(row.begin(), row.end());
+      row.erase(std::unique(row.begin(), row.end()), row.end());
+      rows[p] = row;
+    }
+  });
+
+  // Prefix sums (sequential, O(n)).
+  obj_offsets_.assign(n + 1, 0);
+  peer_term_offsets_.assign(n + 1, 0);
+  std::vector<std::uint32_t> term_base(n + 1, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    obj_offsets_[p + 1] = obj_offsets_[p] + obj_count[p];
+    term_base[p + 1] = term_base[p] + term_count[p];
+    peer_term_offsets_[p + 1] =
+        peer_term_offsets_[p] + static_cast<std::uint32_t>(rows[p].size());
+  }
+
+  // Pass 2 (parallel): scatter each peer's slice of every flat array.
+  obj_ids_.resize(obj_offsets_[n]);
+  obj_term_offsets_.resize(static_cast<std::size_t>(obj_offsets_[n]) + 1);
+  obj_term_offsets_[0] = 0;
+  obj_terms_flat_.resize(term_base[n]);
+  peer_terms_flat_.resize(peer_term_offsets_[n]);
+  for_blocks([&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      std::uint32_t ord = obj_offsets_[p];
+      std::uint32_t term_cursor = term_base[p];
+      for (const Object& o : peers_[p].objects) {
+        obj_ids_[ord] = o.id;
+        std::copy(o.terms.begin(), o.terms.end(),
+                  obj_terms_flat_.begin() + term_cursor);
+        term_cursor += static_cast<std::uint32_t>(o.terms.size());
+        obj_term_offsets_[ord + 1] = term_cursor;
+        ++ord;
+      }
+      std::copy(rows[p].begin(), rows[p].end(),
+                peer_terms_flat_.begin() + peer_term_offsets_[p]);
+    }
+  });
+  rows.clear();
+  rows.shrink_to_fit();
+
+  // Inverted index. Distinct terms are the sorted-unique union of the
+  // peer term rows (identical to the term set the sequential sort
+  // produces).
+  index_terms_.assign(peer_terms_flat_.begin(), peer_terms_flat_.end());
+  std::sort(index_terms_.begin(), index_terms_.end());
+  index_terms_.erase(std::unique(index_terms_.begin(), index_terms_.end()),
+                     index_terms_.end());
+  const std::size_t k = index_terms_.size();
+
+  // Counting-sort parallelization over ordinal blocks: per-block term
+  // counts, then per-(block, term) start cursors so block b's postings
+  // for a term land exactly after block b-1's. Ordinals ascend within
+  // and across blocks, so every posting row comes out ascending — the
+  // order the sequential (term, ordinal) sort produces.
+  const std::size_t total_ords = obj_ids_.size();
+  const std::size_t ord_blocks = std::min(threads, std::max<std::size_t>(
+                                                       1, total_ords));
+  std::vector<std::size_t> ord_bounds(ord_blocks + 1);
+  for (std::size_t b = 0; b <= ord_blocks; ++b) {
+    ord_bounds[b] = total_ords * b / ord_blocks;
+  }
+  std::vector<std::vector<std::uint32_t>> block_counts(
+      ord_blocks, std::vector<std::uint32_t>(k, 0));
+  util::parallel_for_blocks(
+      ord_blocks, ord_blocks, [&](std::size_t b_begin, std::size_t b_end) {
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+          auto& counts = block_counts[b];
+          for (std::size_t ord = ord_bounds[b]; ord < ord_bounds[b + 1];
+               ++ord) {
+            for (std::uint32_t t = obj_term_offsets_[ord];
+                 t < obj_term_offsets_[ord + 1]; ++t) {
+              const auto it =
+                  std::lower_bound(index_terms_.begin(), index_terms_.end(),
+                                   obj_terms_flat_[t]);
+              ++counts[static_cast<std::size_t>(it - index_terms_.begin())];
+            }
+          }
+        }
+      });
+
+  index_offsets_.assign(k + 1, 0);
+  for (std::size_t t = 0; t < k; ++t) {
+    std::uint32_t sum = 0;
+    for (std::size_t b = 0; b < ord_blocks; ++b) sum += block_counts[b][t];
+    index_offsets_[t + 1] = index_offsets_[t] + sum;
+  }
+  // block_counts[b][t] becomes block b's write cursor for term t.
+  for (std::size_t t = 0; t < k; ++t) {
+    std::uint32_t cursor = index_offsets_[t];
+    for (std::size_t b = 0; b < ord_blocks; ++b) {
+      const std::uint32_t c = block_counts[b][t];
+      block_counts[b][t] = cursor;
+      cursor += c;
+    }
+  }
+  postings_.resize(index_offsets_[k]);
+  util::parallel_for_blocks(
+      ord_blocks, ord_blocks, [&](std::size_t b_begin, std::size_t b_end) {
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+          auto& cursors = block_counts[b];
+          for (std::size_t ord = ord_bounds[b]; ord < ord_bounds[b + 1];
+               ++ord) {
+            for (std::uint32_t t = obj_term_offsets_[ord];
+                 t < obj_term_offsets_[ord + 1]; ++t) {
+              const auto it =
+                  std::lower_bound(index_terms_.begin(), index_terms_.end(),
+                                   obj_terms_flat_[t]);
+              postings_[cursors[static_cast<std::size_t>(
+                  it - index_terms_.begin())]++] =
+                  static_cast<std::uint32_t>(ord);
+            }
+          }
+        }
+      });
 }
 
 std::span<const TermId> PeerStore::peer_terms(NodeId peer) const {
-  if (peer >= peers_.size()) {
+  if (peer >= num_peers_) {
     throw std::out_of_range("PeerStore::peer_terms: bad peer");
   }
   if (!finalized_) return {};
-  return {peer_terms_flat_.data() + peer_term_offsets_[peer],
-          peer_term_offsets_[peer + 1] - peer_term_offsets_[peer]};
+  return flat_.peer_terms_flat.subspan(
+      flat_.peer_term_offsets[peer],
+      flat_.peer_term_offsets[peer + 1] - flat_.peer_term_offsets[peer]);
 }
 
 bool PeerStore::may_match(NodeId peer, std::span<const TermId> query) const {
@@ -160,6 +475,25 @@ std::vector<std::uint64_t> PeerStore::match_reference(
     NodeId peer, std::span<const TermId> query) const {
   std::vector<std::uint64_t> hits;
   if (query.empty()) return hits;
+  if (!has_build_data_) {
+    // Views: the same linear scan over the flat per-object term rows.
+    if (peer >= num_peers_) {
+      throw std::out_of_range("PeerStore::match_reference: bad peer");
+    }
+    const std::size_t count = object_count(peer);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto terms = object_terms(peer, i);
+      bool all = true;
+      for (TermId t : query) {
+        if (!std::binary_search(terms.begin(), terms.end(), t)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) hits.push_back(object_id(peer, i));
+    }
+    return hits;
+  }
   for (const Object& o : peers_.at(peer).objects) {
     bool all = true;
     for (TermId t : query) {
@@ -190,22 +524,22 @@ std::span<const std::uint64_t> PeerStore::match(NodeId peer,
   // Every query term is somewhere in the peer's library. Intersect the
   // rarest term's posting subrange for this peer against the other
   // terms' CSR-packed object term lists.
-  const std::uint32_t lo = obj_offsets_[peer];
-  const std::uint32_t hi = obj_offsets_[peer + 1];
+  const std::uint32_t lo = flat_.obj_offsets[peer];
+  const std::uint32_t hi = flat_.obj_offsets[peer + 1];
   const std::uint32_t* seed_begin = nullptr;
   const std::uint32_t* seed_end = nullptr;
   for (TermId t : query) {
-    const auto it =
-        std::lower_bound(index_terms_.begin(), index_terms_.end(), t);
-    if (it == index_terms_.end() || *it != t) return {};  // unreachable after
-                                                          // may_match, kept
-                                                          // for safety
-    const auto ti = static_cast<std::size_t>(it - index_terms_.begin());
-    const std::uint32_t* row = postings_.data();
+    const auto it = std::lower_bound(flat_.index_terms.begin(),
+                                     flat_.index_terms.end(), t);
+    if (it == flat_.index_terms.end() || *it != t) {
+      return {};  // unreachable after may_match, kept for safety
+    }
+    const auto ti = static_cast<std::size_t>(it - flat_.index_terms.begin());
+    const std::uint32_t* row = flat_.postings.data();
     const std::uint32_t* begin = std::lower_bound(
-        row + index_offsets_[ti], row + index_offsets_[ti + 1], lo);
-    const std::uint32_t* end = std::lower_bound(
-        begin, row + index_offsets_[ti + 1], hi);
+        row + flat_.index_offsets[ti], row + flat_.index_offsets[ti + 1], lo);
+    const std::uint32_t* end =
+        std::lower_bound(begin, row + flat_.index_offsets[ti + 1], hi);
     if (begin == end) return {};
     if (seed_begin == nullptr || end - begin < seed_end - seed_begin) {
       seed_begin = begin;
@@ -214,9 +548,9 @@ std::span<const std::uint64_t> PeerStore::match(NodeId peer,
   }
   for (const std::uint32_t* it = seed_begin; it != seed_end; ++it) {
     const std::uint32_t ord = *it;
-    const TermId* terms = obj_terms_flat_.data();
-    const TermId* tb = terms + obj_term_offsets_[ord];
-    const TermId* te = terms + obj_term_offsets_[ord + 1];
+    const TermId* terms = flat_.obj_terms_flat.data();
+    const TermId* tb = terms + flat_.obj_term_offsets[ord];
+    const TermId* te = terms + flat_.obj_term_offsets[ord + 1];
     bool all = true;
     for (TermId t : query) {
       if (!std::binary_search(tb, te, t)) {
@@ -224,7 +558,7 @@ std::span<const std::uint64_t> PeerStore::match(NodeId peer,
         break;
       }
     }
-    if (all) scratch.hits.push_back(obj_ids_[ord]);
+    if (all) scratch.hits.push_back(flat_.obj_ids[ord]);
   }
   return scratch.hits;
 }

@@ -74,6 +74,15 @@ struct Placement {
 /// may_match() binary-searches the flat per-peer term row. The store is
 /// frozen after finalize(); adding another object drops back to the
 /// build phase until the next finalize().
+///
+/// The finalized read path runs entirely over (pointer, size) spans, so
+/// the nine flat arrays can live in the store's own vectors (finalize())
+/// or in external read-only memory such as a memory-mapped WorldSnapshot
+/// (flat_view()). Views carry no per-peer build data: add_object() and
+/// objects() throw; use the flat accessors object_count()/object_id()/
+/// object_terms(), which work in every phase. finalize(threads) may
+/// shard its count/prefix-sum/scatter passes; the resulting arrays are
+/// byte-identical at any thread count.
 class PeerStore {
  public:
   struct Object {
@@ -87,19 +96,72 @@ class PeerStore {
     std::vector<std::uint64_t> hits;
   };
 
-  explicit PeerStore(std::size_t num_peers) : peers_(num_peers) {}
+  /// The finalized layout as spans — the serialization contract between
+  /// PeerStore, WorldSnapshot, and flat_view(). All offsets arrays carry
+  /// a leading 0 and a trailing total, so sizes are self-describing.
+  struct FlatLayout {
+    std::size_t num_peers = 0;
+    std::span<const std::uint32_t> peer_term_offsets;  // num_peers + 1
+    std::span<const TermId> peer_terms_flat;
+    std::span<const std::uint32_t> obj_offsets;        // num_peers + 1
+    std::span<const std::uint64_t> obj_ids;
+    std::span<const std::uint32_t> obj_term_offsets;   // obj_ids.size() + 1
+    std::span<const TermId> obj_terms_flat;
+    std::span<const TermId> index_terms;
+    std::span<const std::uint32_t> index_offsets;      // index_terms.size() + 1
+    std::span<const std::uint32_t> postings;
+  };
+
+  explicit PeerStore(std::size_t num_peers)
+      : num_peers_(num_peers), peers_(num_peers) {}
+
+  /// Deep copy: a copy owns its storage even when the source is a
+  /// flat_view() over mapped memory.
+  PeerStore(const PeerStore& other);
+  PeerStore& operator=(const PeerStore& other);
+  PeerStore(PeerStore&&) noexcept = default;
+  PeerStore& operator=(PeerStore&&) noexcept = default;
+
+  /// Borrowing finalized view over an external flat layout (e.g. a
+  /// mapped WorldSnapshot). The memory must outlive the view and every
+  /// store moved from it; copying materializes an owned store.
+  [[nodiscard]] static PeerStore flat_view(const FlatLayout& layout);
+
+  /// The finalized arrays (snapshot serialization). Throws unless
+  /// finalized; views return the mapped memory without copying.
+  [[nodiscard]] FlatLayout flat_layout() const;
 
   /// Adds an object to a peer; terms are sorted/deduplicated internally.
+  /// Throws std::logic_error on a view (no build data to append to).
   void add_object(NodeId peer, std::uint64_t id, std::vector<TermId> terms);
 
   /// Builds the flat read-path layout; call once after all adds.
-  void finalize();
+  /// `threads` shards the count/prefix-sum/scatter passes (0 = hardware
+  /// concurrency) and never changes the output.
+  void finalize(std::size_t threads = 1);
   [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  /// True when the flat arrays live in external memory (flat_view()).
+  [[nodiscard]] bool borrowed() const noexcept { return borrowed_; }
 
-  [[nodiscard]] std::size_t num_peers() const noexcept { return peers_.size(); }
-  [[nodiscard]] const std::vector<Object>& objects(NodeId peer) const {
-    return peers_.at(peer).objects;
-  }
+  /// Drops the per-peer build vectors of a finalized store, keeping only
+  /// the flat read path (million-node worlds: the build data is the
+  /// dominant heap cost). add_object()/objects() throw afterwards.
+  void release_build_data();
+
+  [[nodiscard]] std::size_t num_peers() const noexcept { return num_peers_; }
+
+  /// Build-phase object list. Prefer the flat accessors below, which
+  /// also work on finalized stores and views; this throws
+  /// std::logic_error once the build data is gone.
+  [[nodiscard]] const std::vector<Object>& objects(NodeId peer) const;
+
+  /// Flat accessors, valid in every phase (build data before finalize,
+  /// flat arrays after — including views).
+  [[nodiscard]] std::size_t object_count(NodeId peer) const;
+  [[nodiscard]] std::uint64_t object_id(NodeId peer, std::size_t i) const;
+  [[nodiscard]] std::span<const TermId> object_terms(NodeId peer,
+                                                     std::size_t i) const;
+
   /// Sorted unique terms appearing anywhere in the peer's library
   /// (empty before finalize()).
   [[nodiscard]] std::span<const TermId> peer_terms(NodeId peer) const;
@@ -130,11 +192,22 @@ class PeerStore {
   struct PeerData {
     std::vector<Object> objects;
   };
+
+  void finalize_sequential();
+  void finalize_parallel(std::size_t threads);
+  /// Points flat_ at the owned vectors (after finalize or deep copy).
+  void repoint_flat();
+
+  std::size_t num_peers_ = 0;
+  /// Build phase; empty for views and after release_build_data().
   std::vector<PeerData> peers_;
   std::uint64_t total_ = 0;
   bool finalized_ = false;
+  bool borrowed_ = false;
+  bool has_build_data_ = true;
 
-  // --- finalized flat layout (all empty until finalize()) ---
+  // --- finalized flat layout (owned storage; empty until finalize(),
+  // and empty while borrowing) ---
   /// Per-peer sorted unique terms: row p is peer_terms_flat_
   /// [peer_term_offsets_[p], peer_term_offsets_[p+1]).
   std::vector<std::uint32_t> peer_term_offsets_;
@@ -153,6 +226,9 @@ class PeerStore {
   std::vector<TermId> index_terms_;
   std::vector<std::uint32_t> index_offsets_;
   std::vector<std::uint32_t> postings_;
+  /// Read path: spans into the owned vectors, or into external mapped
+  /// memory when borrowed_. Default-empty until finalized.
+  FlatLayout flat_;
 };
 
 /// Loads a crawl snapshot into a PeerStore over `num_nodes` simulated

@@ -1,0 +1,190 @@
+#include "src/sim/world_snapshot.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+
+namespace qcp2p::sim {
+namespace {
+
+// "QCPWSNAP" little-endian.
+constexpr std::uint64_t kMagic = 0x50414E5357504351ULL;
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kSectionAlign = 64;
+
+/// Section kinds, in the order they are written. The loader requires
+/// exactly this set, so kind doubles as the table index.
+enum SectionKind : std::uint32_t {
+  kGraphOffsets = 0,    // uint32, num_nodes + 1
+  kGraphNeighbors = 1,  // uint32 NodeId, 2 * num_edges
+  kPeerTermOffsets = 2, // uint32, num_peers + 1
+  kPeerTermsFlat = 3,   // uint32 TermId
+  kObjOffsets = 4,      // uint32, num_peers + 1
+  kObjIds = 5,          // uint64, total_objects
+  kObjTermOffsets = 6,  // uint32, total_objects + 1
+  kObjTermsFlat = 7,    // uint32 TermId
+  kIndexTerms = 8,      // uint32 TermId
+  kIndexOffsets = 9,    // uint32, index_terms + 1
+  kPostings = 10,       // uint32 ordinals
+  kSectionCount = 11,
+};
+
+struct Header {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t section_count = kSectionCount;
+  std::uint64_t file_size = 0;  // patched after layout; truncation check
+  WorldSnapshotMeta meta;
+};
+
+struct SectionEntry {
+  std::uint32_t kind = 0;
+  std::uint32_t element_size = 0;
+  std::uint64_t offset = 0;  // bytes from file start
+  std::uint64_t count = 0;   // elements
+};
+
+static_assert(std::is_trivially_copyable_v<Header>);
+static_assert(std::is_trivially_copyable_v<SectionEntry>);
+static_assert(std::is_trivially_copyable_v<WorldSnapshotMeta>);
+
+template <typename T>
+std::span<const T> section_span(const util::MappedFile& file,
+                                const SectionEntry& entry) {
+  return {reinterpret_cast<const T*>(file.data() + entry.offset),
+          static_cast<std::size_t>(entry.count)};
+}
+
+}  // namespace
+
+void save_world_snapshot(const std::string& path, const Graph& graph,
+                         const PeerStore& store, std::uint64_t seed) {
+  if (!graph.frozen()) {
+    throw std::invalid_argument("save_world_snapshot: graph must be frozen");
+  }
+  if (!store.finalized()) {
+    throw std::invalid_argument(
+        "save_world_snapshot: store must be finalized");
+  }
+  const PeerStore::FlatLayout flat = store.flat_layout();
+
+  Header header;
+  header.meta.num_nodes = graph.num_nodes();
+  header.meta.num_edges = graph.num_edges();
+  header.meta.num_peers = flat.num_peers;
+  header.meta.total_objects = store.total_objects();
+  header.meta.seed = seed;
+
+  util::Arena arena;
+  const std::size_t header_off = arena.append(&header, sizeof(header), 8);
+  SectionEntry table[kSectionCount] = {};
+  const std::size_t table_off = arena.append(table, sizeof(table), 8);
+
+  const auto put = [&arena, &table](SectionKind kind, const auto& span) {
+    using T = typename std::remove_cvref_t<decltype(span)>::value_type;
+    table[kind] = SectionEntry{
+        kind, sizeof(T),
+        static_cast<std::uint64_t>(arena.append_array(span, kSectionAlign)),
+        span.size()};
+  };
+  put(kGraphOffsets, graph.csr_offsets());
+  put(kGraphNeighbors, graph.csr_neighbors());
+  put(kPeerTermOffsets, flat.peer_term_offsets);
+  put(kPeerTermsFlat, flat.peer_terms_flat);
+  put(kObjOffsets, flat.obj_offsets);
+  put(kObjIds, flat.obj_ids);
+  put(kObjTermOffsets, flat.obj_term_offsets);
+  put(kObjTermsFlat, flat.obj_terms_flat);
+  put(kIndexTerms, flat.index_terms);
+  put(kIndexOffsets, flat.index_offsets);
+  put(kPostings, flat.postings);
+
+  header.file_size = arena.size();
+  arena.patch(header_off, &header, sizeof(header));
+  arena.patch(table_off, table, sizeof(table));
+  util::write_file(path, arena.bytes());
+}
+
+WorldSnapshot WorldSnapshot::load(const std::string& path) {
+  WorldSnapshot snap;
+  snap.file_ = util::MappedFile::open(path);
+  const util::MappedFile& file = snap.file_;
+  const auto fail = [&path](const char* what) {
+    throw std::runtime_error("WorldSnapshot::load: " + path + ": " + what);
+  };
+
+  if (file.size() < sizeof(Header) + sizeof(SectionEntry) * kSectionCount) {
+    fail("file smaller than header");
+  }
+  Header header;
+  std::memcpy(&header, file.data(), sizeof(header));
+  if (header.magic != kMagic) fail("bad magic");
+  if (header.version != kVersion) fail("unsupported version");
+  if (header.section_count != kSectionCount) fail("bad section count");
+  if (header.file_size != file.size()) fail("size mismatch (truncated?)");
+
+  SectionEntry table[kSectionCount];
+  std::memcpy(table, file.data() + sizeof(Header), sizeof(table));
+  for (std::uint32_t k = 0; k < kSectionCount; ++k) {
+    const SectionEntry& e = table[k];
+    if (e.kind != k) fail("section table out of order");
+    if (e.element_size == 0) fail("zero element size");
+    if (e.offset % kSectionAlign != 0) fail("misaligned section");
+    const std::uint64_t bytes = e.count * e.element_size;
+    if (e.offset > file.size() || bytes > file.size() - e.offset) {
+      fail("section outside file");
+    }
+  }
+  const auto expect_count = [&fail](const SectionEntry& e,
+                                    std::uint64_t count) {
+    if (e.count != count) fail("section count mismatch");
+  };
+  const WorldSnapshotMeta& m = header.meta;
+  expect_count(table[kGraphOffsets], m.num_nodes + 1);
+  expect_count(table[kGraphNeighbors], 2 * m.num_edges);
+  expect_count(table[kPeerTermOffsets], m.num_peers + 1);
+  expect_count(table[kObjOffsets], m.num_peers + 1);
+  expect_count(table[kObjIds], m.total_objects);
+  expect_count(table[kObjTermOffsets], m.total_objects + 1);
+  expect_count(table[kIndexOffsets], table[kIndexTerms].count + 1);
+
+  snap.meta_ = m;
+  snap.graph_offsets_ =
+      section_span<std::uint32_t>(file, table[kGraphOffsets]);
+  snap.graph_neighbors_ =
+      section_span<overlay::NodeId>(file, table[kGraphNeighbors]);
+  PeerStore::FlatLayout& layout = snap.store_layout_;
+  layout.num_peers = static_cast<std::size_t>(m.num_peers);
+  layout.peer_term_offsets =
+      section_span<std::uint32_t>(file, table[kPeerTermOffsets]);
+  layout.peer_terms_flat = section_span<TermId>(file, table[kPeerTermsFlat]);
+  layout.obj_offsets = section_span<std::uint32_t>(file, table[kObjOffsets]);
+  layout.obj_ids = section_span<std::uint64_t>(file, table[kObjIds]);
+  layout.obj_term_offsets =
+      section_span<std::uint32_t>(file, table[kObjTermOffsets]);
+  layout.obj_terms_flat = section_span<TermId>(file, table[kObjTermsFlat]);
+  layout.index_terms = section_span<TermId>(file, table[kIndexTerms]);
+  layout.index_offsets =
+      section_span<std::uint32_t>(file, table[kIndexOffsets]);
+  layout.postings = section_span<std::uint32_t>(file, table[kPostings]);
+
+  // Exercise the deeper shape validation (offset front/back invariants)
+  // once at load so later view construction cannot throw.
+  try {
+    (void)Graph::csr_view(snap.graph_offsets_, snap.graph_neighbors_);
+    (void)PeerStore::flat_view(layout);
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+  return snap;
+}
+
+Graph WorldSnapshot::graph_view() const {
+  return Graph::csr_view(graph_offsets_, graph_neighbors_);
+}
+
+PeerStore WorldSnapshot::store_view() const {
+  return PeerStore::flat_view(store_layout_);
+}
+
+}  // namespace qcp2p::sim

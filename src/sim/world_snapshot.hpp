@@ -1,0 +1,77 @@
+// Relocatable on-disk world snapshots.
+//
+// A "world" — the frozen overlay Graph plus the finalized PeerStore —
+// is exactly eleven flat arrays once built. save_world_snapshot() lays
+// them out in one arena blob (fixed header, section table, 64-byte
+// aligned payloads, no pointers) and writes it to disk; WorldSnapshot::
+// load() memory-maps the file read-only, validates the header and every
+// section bound, and hands out zero-copy Graph::csr_view / PeerStore::
+// flat_view objects over the mapped pages. Loading costs page-cache
+// faults instead of a rebuild, and concurrent bench processes mapping
+// the same file share one physical copy of the world.
+//
+// The format is native-endian and versioned; a magic/version/size
+// mismatch or any out-of-bounds section throws std::runtime_error
+// (tests cover truncated and bit-flipped headers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/overlay/graph.hpp"
+#include "src/sim/network.hpp"
+#include "src/util/arena.hpp"
+
+namespace qcp2p::sim {
+
+/// World identity carried inside the blob so a loaded snapshot can be
+/// checked against the parameters a bench meant to run with.
+struct WorldSnapshotMeta {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_peers = 0;
+  std::uint64_t total_objects = 0;
+  /// Free-form builder tag (e.g. the world seed); not interpreted.
+  std::uint64_t seed = 0;
+};
+
+/// Serializes a frozen graph + finalized store to `path`. Throws
+/// std::invalid_argument unless graph.frozen() and store.finalized(),
+/// std::runtime_error on I/O failure.
+void save_world_snapshot(const std::string& path, const Graph& graph,
+                         const PeerStore& store, std::uint64_t seed = 0);
+
+class WorldSnapshot {
+ public:
+  /// Maps and validates `path`. Throws std::runtime_error on a missing,
+  /// truncated, or corrupt file.
+  [[nodiscard]] static WorldSnapshot load(const std::string& path);
+
+  WorldSnapshot(WorldSnapshot&&) noexcept = default;
+  WorldSnapshot& operator=(WorldSnapshot&&) noexcept = default;
+  WorldSnapshot(const WorldSnapshot&) = delete;
+  WorldSnapshot& operator=(const WorldSnapshot&) = delete;
+
+  [[nodiscard]] const WorldSnapshotMeta& meta() const noexcept {
+    return meta_;
+  }
+  [[nodiscard]] std::size_t file_size() const noexcept {
+    return file_.size();
+  }
+
+  /// Zero-copy borrowing views over the mapped arrays. Valid only while
+  /// this WorldSnapshot (and anything moved from it) is alive.
+  [[nodiscard]] Graph graph_view() const;
+  [[nodiscard]] PeerStore store_view() const;
+
+ private:
+  WorldSnapshot() = default;
+
+  util::MappedFile file_;
+  WorldSnapshotMeta meta_;
+  std::span<const std::uint32_t> graph_offsets_;
+  std::span<const overlay::NodeId> graph_neighbors_;
+  PeerStore::FlatLayout store_layout_;
+};
+
+}  // namespace qcp2p::sim

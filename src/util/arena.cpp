@@ -1,0 +1,109 @@
+#include "src/util/arena.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace qcp2p::util {
+
+void Arena::align_to(std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("Arena: alignment must be a power of two");
+  }
+  const std::size_t rem = buf_.size() & (align - 1);
+  if (rem != 0) buf_.resize(buf_.size() + (align - rem), std::byte{0});
+}
+
+std::size_t Arena::append(const void* data, std::size_t bytes,
+                          std::size_t align) {
+  align_to(align);
+  const std::size_t offset = buf_.size();
+  if (bytes != 0) {
+    buf_.resize(offset + bytes);
+    std::memcpy(buf_.data() + offset, data, bytes);
+  }
+  return offset;
+}
+
+void Arena::patch(std::size_t offset, const void* data, std::size_t bytes) {
+  if (offset + bytes > buf_.size()) {
+    throw std::out_of_range("Arena::patch: range outside buffer");
+  }
+  std::memcpy(buf_.data() + offset, data, bytes);
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) {
+    throw std::runtime_error("MappedFile: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw std::runtime_error("MappedFile: cannot stat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    throw std::runtime_error("MappedFile: empty file " + path);
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) {
+    throw std::runtime_error("MappedFile: mmap failed for " + path + ": " +
+                             std::strerror(errno));
+  }
+  MappedFile f;
+  f.addr_ = addr;
+  f.size_ = size;
+  return f;
+}
+
+void write_file(const std::string& path, std::span<const std::byte> bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) {
+    throw std::runtime_error("write_file: cannot create " + path + ": " +
+                             std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw std::runtime_error("write_file: write failed for " + path + ": " +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0) {
+    throw std::runtime_error("write_file: close failed for " + path);
+  }
+}
+
+}  // namespace qcp2p::util

@@ -1,0 +1,82 @@
+// Flat-blob building blocks for relocatable world snapshots.
+//
+// Arena is a bump allocator over one contiguous byte buffer: callers
+// append aligned typed arrays and get back byte offsets instead of
+// pointers, so the finished buffer contains no addresses and can be
+// written to disk and memory-mapped anywhere (the offset-based layout
+// contract WorldSnapshot relies on). MappedFile is the read side: an
+// RAII read-only mmap of such a file, shareable page-cache-backed
+// memory across bench processes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qcp2p::util {
+
+class Arena {
+ public:
+  /// Pads the buffer with zero bytes until `align` (a power of two).
+  void align_to(std::size_t align);
+
+  /// Appends `bytes` raw bytes at `align`; returns the byte offset the
+  /// data starts at.
+  std::size_t append(const void* data, std::size_t bytes, std::size_t align);
+
+  /// Appends a typed array at max(alignof(T), align); returns its byte
+  /// offset.
+  template <typename T>
+  std::size_t append_array(std::span<const T> values,
+                           std::size_t align = alignof(T)) {
+    return append(values.data(), values.size() * sizeof(T),
+                  align < alignof(T) ? alignof(T) : align);
+  }
+
+  /// Overwrites `bytes` previously appended bytes at `offset` (header
+  /// patch-up after the payload sizes are known).
+  void patch(std::size_t offset, const void* data, std::size_t bytes);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return buf_;
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Read-only memory map of a whole file. Move-only; unmaps on
+/// destruction. The mapping is MAP_SHARED page-cache memory, so many
+/// processes loading the same snapshot share one physical copy.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// Maps `path` read-only; throws std::runtime_error on any failure
+  /// (missing file, empty file, mmap error).
+  [[nodiscard]] static MappedFile open(const std::string& path);
+
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return static_cast<const std::byte*>(addr_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool mapped() const noexcept { return addr_ != nullptr; }
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Writes `bytes` to `path` atomically enough for bench use (truncate +
+/// single write); throws std::runtime_error on failure.
+void write_file(const std::string& path, std::span<const std::byte> bytes);
+
+}  // namespace qcp2p::util

@@ -1,0 +1,211 @@
+// Streaming CSR construction equivalence: for every topology kind, the
+// CsrGraphBuilder fast path must produce edge-for-edge (and therefore
+// byte-for-byte CSR) identical graphs to the legacy adjacency+freeze
+// path from identically seeded Rngs — including identical RNG
+// consumption — and the parallel scatter must be invariant to the
+// thread count (1/2/8). Runs under TSan/ASan (ctest -L tsan/asan) to
+// vouch for the sharded fill.
+#include "src/overlay/csr_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/overlay/topology.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::overlay {
+namespace {
+
+void expect_identical(const Graph& a, const Graph& b, const char* what) {
+  ASSERT_TRUE(a.frozen()) << what;
+  ASSERT_TRUE(b.frozen()) << what;
+  ASSERT_EQ(a.num_nodes(), b.num_nodes()) << what;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << what;
+  const auto ao = a.csr_offsets();
+  const auto bo = b.csr_offsets();
+  ASSERT_TRUE(std::equal(ao.begin(), ao.end(), bo.begin(), bo.end()))
+      << what << ": offsets differ";
+  const auto an = a.csr_neighbors();
+  const auto bn = b.csr_neighbors();
+  ASSERT_TRUE(std::equal(an.begin(), an.end(), bn.begin(), bn.end()))
+      << what << ": neighbors differ";
+}
+
+/// Runs one generator closure under both construction paths with
+/// identically seeded Rngs and asserts CSR identity plus identical RNG
+/// consumption (the next draw after building must agree).
+template <typename Gen>
+void check_paths(std::uint64_t seed, const char* what, Gen&& gen) {
+  util::Rng legacy_rng(seed);
+  util::Rng stream_rng(seed);
+  const Graph legacy =
+      gen(legacy_rng, BuildOptions{.threads = 1, .legacy_adjacency = true});
+  const Graph stream =
+      gen(stream_rng, BuildOptions{.threads = 1, .legacy_adjacency = false});
+  expect_identical(legacy, stream, what);
+  EXPECT_EQ(legacy_rng(), stream_rng())
+      << what << ": RNG consumption diverged";
+  for (const std::size_t threads : {2u, 8u}) {
+    util::Rng rng(seed);
+    const Graph parallel =
+        gen(rng, BuildOptions{.threads = threads, .legacy_adjacency = false});
+    expect_identical(legacy, parallel, what);
+  }
+}
+
+TEST(StreamBuild, RandomGraphMatchesLegacy) {
+  util::Rng meta(101);
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n = 50 + meta.bounded(400);
+    const double mean_degree = 2.0 + 6.0 * meta.uniform();
+    check_paths(meta(), "random_graph", [&](util::Rng& rng,
+                                                 const BuildOptions& opts) {
+      return random_graph(n, mean_degree, rng, opts);
+    });
+  }
+}
+
+TEST(StreamBuild, RandomRegularMatchesLegacy) {
+  util::Rng meta(102);
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n = 50 + meta.bounded(400);
+    const std::size_t degree = 2 + meta.bounded(8);
+    check_paths(meta(), "random_regular", [&](util::Rng& rng,
+                                                   const BuildOptions& opts) {
+      return random_regular(n, degree, rng, opts);
+    });
+  }
+}
+
+TEST(StreamBuild, BarabasiAlbertMatchesLegacy) {
+  util::Rng meta(103);
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n = 50 + meta.bounded(400);
+    const std::size_t m = 1 + meta.bounded(5);
+    check_paths(meta(), "barabasi_albert", [&](util::Rng& rng,
+                                                    const BuildOptions& opts) {
+      return barabasi_albert(n, m, rng, opts);
+    });
+  }
+}
+
+TEST(StreamBuild, WattsStrogatzMatchesLegacy) {
+  util::Rng meta(104);
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n = 50 + meta.bounded(400);
+    const std::size_t k = 2 * (1 + meta.bounded(4));
+    const double beta = meta.uniform();
+    check_paths(meta(), "watts_strogatz", [&](util::Rng& rng,
+                                                   const BuildOptions& opts) {
+      return watts_strogatz(n, k, beta, rng, opts);
+    });
+  }
+}
+
+TEST(StreamBuild, TwoTierMatchesLegacy) {
+  util::Rng meta(105);
+  for (int round = 0; round < 3; ++round) {
+    TwoTierParams params;
+    params.num_nodes = 200 + meta.bounded(2000);
+    params.ultrapeer_fraction = 0.05 + 0.2 * meta.uniform();
+    params.up_up_degree = 4 + meta.bounded(10);
+    params.leaf_up_count = 1 + meta.bounded(4);
+    const std::uint64_t seed = meta();
+    util::Rng legacy_rng(seed);
+    util::Rng stream_rng(seed);
+    const TwoTierTopology legacy = gnutella_two_tier(
+        params, legacy_rng, {.threads = 1, .legacy_adjacency = true});
+    const TwoTierTopology stream = gnutella_two_tier(
+        params, stream_rng, {.threads = 1, .legacy_adjacency = false});
+    expect_identical(legacy.graph, stream.graph, "two_tier");
+    EXPECT_EQ(legacy.is_ultrapeer, stream.is_ultrapeer);
+    EXPECT_EQ(legacy_rng(), stream_rng());
+    util::Rng par_rng(seed);
+    const TwoTierTopology parallel = gnutella_two_tier(
+        params, par_rng, {.threads = 8, .legacy_adjacency = false});
+    expect_identical(legacy.graph, parallel.graph, "two_tier threads=8");
+  }
+}
+
+TEST(StreamBuild, GiaMatchesLegacy) {
+  util::Rng meta(106);
+  for (int round = 0; round < 3; ++round) {
+    GiaParams params;
+    params.num_nodes = 200 + meta.bounded(2000);
+    params.base_degree = 2.0 + 3.0 * meta.uniform();
+    const std::uint64_t seed = meta();
+    util::Rng legacy_rng(seed);
+    util::Rng stream_rng(seed);
+    const GiaTopology legacy = gia_topology(
+        params, legacy_rng, {.threads = 1, .legacy_adjacency = true});
+    const GiaTopology stream = gia_topology(
+        params, stream_rng, {.threads = 1, .legacy_adjacency = false});
+    expect_identical(legacy.graph, stream.graph, "gia");
+    EXPECT_EQ(legacy.capacity, stream.capacity);
+    EXPECT_EQ(legacy_rng(), stream_rng());
+    util::Rng par_rng(seed);
+    const GiaTopology parallel = gia_topology(
+        params, par_rng, {.threads = 8, .legacy_adjacency = false});
+    expect_identical(legacy.graph, parallel.graph, "gia threads=8");
+  }
+}
+
+TEST(StreamBuild, DegenerateSizesAreFrozenAndEmpty) {
+  util::Rng rng(1);
+  for (const bool legacy : {false, true}) {
+    const BuildOptions opts{.threads = 1, .legacy_adjacency = legacy};
+    const Graph empty = random_regular(0, 4, rng, opts);
+    EXPECT_TRUE(empty.frozen());
+    EXPECT_EQ(empty.num_edges(), 0u);
+    const Graph one = random_graph(1, 4.0, rng, opts);
+    EXPECT_TRUE(one.frozen());
+    EXPECT_EQ(one.num_edges(), 0u);
+  }
+}
+
+TEST(CsrGraphBuilder, MatchesGraphAddEdgeSemantics) {
+  CsrGraphBuilder b(10);
+  Graph g(10);
+  EXPECT_EQ(b.add_edge(1, 2), g.add_edge(1, 2));   // true
+  EXPECT_EQ(b.add_edge(2, 1), g.add_edge(2, 1));   // duplicate, reversed
+  EXPECT_EQ(b.add_edge(3, 3), g.add_edge(3, 3));   // self-loop
+  EXPECT_EQ(b.add_edge(4, 10), g.add_edge(4, 10)); // out of range
+  EXPECT_EQ(b.add_edge(0, 9), g.add_edge(0, 9));   // true
+  EXPECT_TRUE(b.has_edge(2, 1));
+  EXPECT_FALSE(b.has_edge(1, 3));
+  EXPECT_EQ(b.num_edges(), g.num_edges());
+  EXPECT_EQ(b.degree(1), g.degree(1));
+  EXPECT_EQ(b.degree(2), g.degree(2));
+  g.freeze();
+  const Graph built = b.build(1);
+  expect_identical(g, built, "builder semantics");
+}
+
+TEST(CsrGraphBuilder, SurvivesRehashGrowth) {
+  // Zero reservation forces the duplicate set through its growth path.
+  const std::size_t n = 500;
+  CsrGraphBuilder b(n, 0);
+  Graph g(n);
+  util::Rng rng(77);
+  for (int i = 0; i < 4000; ++i) {
+    const auto u = static_cast<NodeId>(rng.bounded(n));
+    const auto v = static_cast<NodeId>(rng.bounded(n));
+    EXPECT_EQ(b.add_edge(u, v), g.add_edge(u, v));
+  }
+  g.freeze();
+  expect_identical(g, b.build(4), "rehash growth");
+}
+
+TEST(CsrGraphBuilder, BuildResetsTheBuilder) {
+  CsrGraphBuilder b(4);
+  ASSERT_TRUE(b.add_edge(0, 1));
+  (void)b.build(1);
+  EXPECT_EQ(b.num_edges(), 0u);
+  EXPECT_FALSE(b.has_edge(0, 1));
+  EXPECT_TRUE(b.add_edge(0, 1));  // reusable after build
+}
+
+}  // namespace
+}  // namespace qcp2p::overlay

@@ -1,0 +1,370 @@
+// WorldSnapshot round-trip coverage: a built world saved to disk,
+// memory-mapped back, and wired into every registered engine must be
+// observationally identical to the in-memory world it came from —
+// bit-identical SearchOutcomes per engine, and bit-identical TrialRunner
+// aggregates at threads 1/2/8 over the mapped views. Also pins the
+// parallel PeerStore::finalize() (finalize(1) == finalize(2) ==
+// finalize(8), byte for byte), view-store semantics (no build data, deep
+// copy materializes), and load-time rejection of truncated or corrupt
+// snapshots. Runs under TSan/ASan (ctest -L tsan/asan) for the sharded
+// finalize passes.
+#include "src/sim/world_snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/overlay/topology.hpp"
+#include "src/sim/engine_registry.hpp"
+#include "src/sim/trial_runner.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+namespace {
+
+constexpr std::size_t kNodes = 200;
+
+/// Popular object 1 {1,2} on every 7th peer, one singleton, random
+/// filler — the conformance-store shape.
+void fill_store(PeerStore& store, std::size_t nodes) {
+  util::Rng rng(12);
+  for (NodeId v = 0; v < nodes; v += 7) store.add_object(v, 1, {1, 2});
+  store.add_object(static_cast<NodeId>(123 % nodes), 2, {40, 41});
+  for (std::uint64_t i = 0; i < 3 * nodes; ++i) {
+    const auto peer = static_cast<NodeId>(rng.bounded(nodes));
+    std::vector<TermId> terms;
+    const std::size_t n = 1 + rng.bounded(3);
+    for (std::size_t k = 0; k < n; ++k) {
+      terms.push_back(static_cast<TermId>(rng.bounded(50)));
+    }
+    store.add_object(peer, 1000 + i, std::move(terms));
+  }
+}
+
+PeerStore build_store(std::size_t nodes, std::size_t finalize_threads = 1) {
+  PeerStore store(nodes);
+  fill_store(store, nodes);
+  store.finalize(finalize_threads);
+  return store;
+}
+
+Graph build_graph(std::size_t nodes) {
+  util::Rng rng(11);
+  return overlay::random_regular(nodes, 6, rng);
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Engines wired to one (graph, store) pair — built identically for the
+/// owned world and the mapped-view world so only the storage backing
+/// differs.
+struct EngineHarness {
+  EngineHarness(const Graph& graph_in, const PeerStore& store_in)
+      : graph(&graph_in), store(&store_in), dht(graph_in.num_nodes(), 7) {
+    dht.publish_store(store_in);
+    overlay::TwoTierParams tp;
+    tp.num_nodes = graph_in.num_nodes();
+    util::Rng topo_rng(13);
+    topo = overlay::gnutella_two_tier(tp, topo_rng);
+    overlay::GiaParams gp;
+    gp.num_nodes = graph_in.num_nodes();
+    util::Rng gia_rng(17);
+    gia = std::make_unique<GiaNetwork>(overlay::gia_topology(gp, gia_rng),
+                                       store_in);
+    qrp = std::make_unique<QrpNetwork>(topo, store_in);
+  }
+
+  [[nodiscard]] EngineWorld world() const {
+    EngineWorld w;
+    w.graph = graph;
+    w.store = store;
+    w.dht = &dht;
+    w.gia = gia.get();
+    w.qrp = qrp.get();
+    w.walk.walkers = 4;
+    w.walk.max_steps = 32;
+    w.gia_search.max_steps = 128;
+    return w;
+  }
+
+  const Graph* graph;
+  const PeerStore* store;
+  ChordDht dht;
+  overlay::TwoTierTopology topo{Graph(0), {}};
+  std::unique_ptr<GiaNetwork> gia;
+  std::unique_ptr<QrpNetwork> qrp;
+};
+
+std::vector<TermId> query_for(std::size_t t) {
+  switch (t % 3) {
+    case 0: return {1, 2};
+    case 1: return {40, 41};
+    default: return {static_cast<TermId>(t % 50)};
+  }
+}
+
+void expect_same_outcome(const SearchOutcome& a, const SearchOutcome& b,
+                         const char* engine, std::size_t trial) {
+  EXPECT_EQ(a.hits, b.hits) << engine << " trial " << trial;
+  EXPECT_EQ(a.messages, b.messages) << engine << " trial " << trial;
+  EXPECT_EQ(a.per_hop, b.per_hop) << engine << " trial " << trial;
+  EXPECT_EQ(a.peers_probed, b.peers_probed) << engine << " trial " << trial;
+  EXPECT_EQ(a.success, b.success) << engine << " trial " << trial;
+}
+
+TEST(WorldSnapshot, RoundTripPreservesEveryArray) {
+  const Graph graph = build_graph(kNodes);
+  const PeerStore store = build_store(kNodes);
+  const std::string path = temp_path("roundtrip.wsnap");
+  save_world_snapshot(path, graph, store, /*seed=*/1234);
+
+  const WorldSnapshot snap = WorldSnapshot::load(path);
+  EXPECT_EQ(snap.meta().num_nodes, graph.num_nodes());
+  EXPECT_EQ(snap.meta().num_edges, graph.num_edges());
+  EXPECT_EQ(snap.meta().num_peers, store.num_peers());
+  EXPECT_EQ(snap.meta().total_objects, store.total_objects());
+  EXPECT_EQ(snap.meta().seed, 1234u);
+
+  const Graph view = snap.graph_view();
+  EXPECT_TRUE(view.frozen());
+  EXPECT_TRUE(view.borrowed());
+  const auto go = graph.csr_offsets();
+  const auto vo = view.csr_offsets();
+  ASSERT_TRUE(std::equal(go.begin(), go.end(), vo.begin(), vo.end()));
+  const auto gn = graph.csr_neighbors();
+  const auto vn = view.csr_neighbors();
+  ASSERT_TRUE(std::equal(gn.begin(), gn.end(), vn.begin(), vn.end()));
+
+  const PeerStore sview = snap.store_view();
+  EXPECT_TRUE(sview.finalized());
+  EXPECT_TRUE(sview.borrowed());
+  const PeerStore::FlatLayout a = store.flat_layout();
+  const PeerStore::FlatLayout b = sview.flat_layout();
+  const auto eq = [](const auto& x, const auto& y) {
+    return std::equal(x.begin(), x.end(), y.begin(), y.end());
+  };
+  EXPECT_EQ(a.num_peers, b.num_peers);
+  EXPECT_TRUE(eq(a.peer_term_offsets, b.peer_term_offsets));
+  EXPECT_TRUE(eq(a.peer_terms_flat, b.peer_terms_flat));
+  EXPECT_TRUE(eq(a.obj_offsets, b.obj_offsets));
+  EXPECT_TRUE(eq(a.obj_ids, b.obj_ids));
+  EXPECT_TRUE(eq(a.obj_term_offsets, b.obj_term_offsets));
+  EXPECT_TRUE(eq(a.obj_terms_flat, b.obj_terms_flat));
+  EXPECT_TRUE(eq(a.index_terms, b.index_terms));
+  EXPECT_TRUE(eq(a.index_offsets, b.index_offsets));
+  EXPECT_TRUE(eq(a.postings, b.postings));
+}
+
+TEST(WorldSnapshot, EveryEngineIsBitIdenticalOnTheMappedWorld) {
+  const Graph graph = build_graph(kNodes);
+  const PeerStore store = build_store(kNodes);
+  const std::string path = temp_path("engines.wsnap");
+  save_world_snapshot(path, graph, store);
+  const WorldSnapshot snap = WorldSnapshot::load(path);
+  const Graph view_graph = snap.graph_view();
+  const PeerStore view_store = snap.store_view();
+
+  const EngineHarness mem(graph, store);
+  const EngineHarness mapped(view_graph, view_store);
+
+  for (const EngineEntry& entry : engine_registry()) {
+    const auto mem_engine = entry.make(mem.world());
+    const auto map_engine = entry.make(mapped.world());
+    ASSERT_NE(mem_engine, nullptr) << entry.name;
+    ASSERT_NE(map_engine, nullptr) << entry.name;
+    for (std::size_t t = 0; t < 24; ++t) {
+      // Keep the term vector alive: Query::terms is a span over it.
+      const std::vector<TermId> terms = query_for(t);
+      Query q;
+      q.source = static_cast<NodeId>((t * 13) % kNodes);
+      q.terms = terms;
+      q.ttl = 4;
+      q.trial = t;
+      util::Rng rng_a(900 + t);
+      util::Rng rng_b(900 + t);
+      EngineContext ctx_a;
+      ctx_a.rng = &rng_a;
+      EngineContext ctx_b;
+      ctx_b.rng = &rng_b;
+      expect_same_outcome(mem_engine->search(q, ctx_a),
+                          map_engine->search(q, ctx_b),
+                          std::string(entry.name).c_str(), t);
+    }
+  }
+}
+
+TEST(WorldSnapshot, TrialRunnerAggregatesMatchAcrossThreadCounts) {
+  const Graph graph = build_graph(kNodes);
+  const PeerStore store = build_store(kNodes);
+  const std::string path = temp_path("trials.wsnap");
+  save_world_snapshot(path, graph, store);
+  const WorldSnapshot snap = WorldSnapshot::load(path);
+  const Graph view_graph = snap.graph_view();
+  const PeerStore view_store = snap.store_view();
+  const EngineHarness mem(graph, store);
+  const EngineHarness mapped(view_graph, view_store);
+
+  const auto sweep = [](const EngineHarness& h, std::size_t threads) {
+    TrialRunner runner({threads, /*seed=*/77});
+    return runner.run(
+        96,
+        [&h] { return make_engine("flood", h.world()); },
+        [](std::size_t t, util::Rng& rng, auto& engine) {
+          // Keep the term vector alive: Query::terms is a span over it.
+          const std::vector<TermId> terms = query_for(t);
+          Query q;
+          q.source = static_cast<NodeId>(rng.bounded(kNodes));
+          q.terms = terms;
+          q.ttl = 4;
+          q.trial = t;
+          EngineContext ctx;
+          ctx.rng = &rng;
+          const SearchOutcome out = engine->search(q, ctx);
+          TrialOutcome res;
+          res.success = out.success;
+          res.messages = out.messages;
+          res.peers_probed = out.peers_probed;
+          return res;
+        });
+  };
+
+  const TrialAggregate base = sweep(mem, 1);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const TrialAggregate agg = sweep(mapped, threads);
+    EXPECT_EQ(agg.successes, base.successes) << threads;
+    EXPECT_EQ(agg.messages, base.messages) << threads;
+    EXPECT_EQ(agg.peers_probed, base.peers_probed) << threads;
+    EXPECT_EQ(agg.trials, base.trials) << threads;
+  }
+}
+
+TEST(ParallelFinalize, ByteIdenticalAcrossThreadCounts) {
+  const PeerStore base = build_store(kNodes, 1);
+  const PeerStore::FlatLayout a = base.flat_layout();
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    const PeerStore other = build_store(kNodes, threads);
+    const PeerStore::FlatLayout b = other.flat_layout();
+    const auto eq = [](const auto& x, const auto& y) {
+      return std::equal(x.begin(), x.end(), y.begin(), y.end());
+    };
+    EXPECT_TRUE(eq(a.peer_term_offsets, b.peer_term_offsets)) << threads;
+    EXPECT_TRUE(eq(a.peer_terms_flat, b.peer_terms_flat)) << threads;
+    EXPECT_TRUE(eq(a.obj_offsets, b.obj_offsets)) << threads;
+    EXPECT_TRUE(eq(a.obj_ids, b.obj_ids)) << threads;
+    EXPECT_TRUE(eq(a.obj_term_offsets, b.obj_term_offsets)) << threads;
+    EXPECT_TRUE(eq(a.obj_terms_flat, b.obj_terms_flat)) << threads;
+    EXPECT_TRUE(eq(a.index_terms, b.index_terms)) << threads;
+    EXPECT_TRUE(eq(a.index_offsets, b.index_offsets)) << threads;
+    EXPECT_TRUE(eq(a.postings, b.postings)) << threads;
+  }
+}
+
+TEST(ViewStore, MatchesOwnedStoreAndRefusesMutation) {
+  const Graph graph = build_graph(kNodes);
+  const PeerStore store = build_store(kNodes);
+  const std::string path = temp_path("viewstore.wsnap");
+  save_world_snapshot(path, graph, store);
+  const WorldSnapshot snap = WorldSnapshot::load(path);
+  PeerStore view = snap.store_view();
+
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto peer = static_cast<NodeId>(rng.bounded(kNodes));
+    const std::vector<TermId> q{static_cast<TermId>(rng.bounded(50)),
+                                static_cast<TermId>(rng.bounded(50))};
+    EXPECT_EQ(view.match(peer, q), store.match(peer, q));
+    EXPECT_EQ(view.match_reference(peer, q), store.match_reference(peer, q));
+    EXPECT_EQ(view.may_match(peer, q), store.may_match(peer, q));
+    const auto vt = view.peer_terms(peer);
+    const auto st = store.peer_terms(peer);
+    EXPECT_TRUE(std::equal(vt.begin(), vt.end(), st.begin(), st.end()));
+    EXPECT_EQ(view.object_count(peer), store.object_count(peer));
+  }
+  EXPECT_THROW(view.add_object(0, 99, {1}), std::logic_error);
+  EXPECT_THROW((void)view.objects(0), std::logic_error);
+
+  // Deep copy materializes owned storage with identical behavior.
+  const PeerStore copy(view);
+  EXPECT_FALSE(copy.borrowed());
+  EXPECT_EQ(copy.match(3, std::vector<TermId>{1, 2}),
+            store.match(3, std::vector<TermId>{1, 2}));
+}
+
+TEST(ViewStore, ReleaseBuildDataKeepsTheFlatReadPath) {
+  PeerStore store = build_store(kNodes);
+  const std::vector<TermId> q{1, 2};
+  const auto before = store.match(0, q);
+  store.release_build_data();
+  EXPECT_EQ(store.match(0, q), before);
+  EXPECT_EQ(store.match_reference(0, q), before);
+  EXPECT_GT(store.object_count(0), 0u);
+  EXPECT_THROW((void)store.objects(0), std::logic_error);
+  EXPECT_THROW(store.add_object(0, 99, {1}), std::logic_error);
+}
+
+TEST(WorldSnapshot, RejectsTruncatedAndCorruptFiles) {
+  const Graph graph = build_graph(64);
+  const PeerStore store = build_store(64);
+  const std::string path = temp_path("valid.wsnap");
+  save_world_snapshot(path, graph, store);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+
+  const auto write_bytes = [](const std::string& p,
+                              const std::vector<char>& data) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  };
+
+  // Truncated to half: size mismatch.
+  const std::string trunc = temp_path("trunc.wsnap");
+  write_bytes(trunc,
+              {bytes.begin(),
+               bytes.begin() + static_cast<std::ptrdiff_t>(bytes.size() / 2)});
+  EXPECT_THROW(WorldSnapshot::load(trunc), std::runtime_error);
+
+  // Truncated below the header.
+  const std::string tiny = temp_path("tiny.wsnap");
+  write_bytes(tiny, {bytes.begin(), bytes.begin() + 16});
+  EXPECT_THROW(WorldSnapshot::load(tiny), std::runtime_error);
+
+  // Flipped magic.
+  std::vector<char> bad_magic = bytes;
+  bad_magic[0] ^= 0x5A;
+  const std::string magic = temp_path("magic.wsnap");
+  write_bytes(magic, bad_magic);
+  EXPECT_THROW(WorldSnapshot::load(magic), std::runtime_error);
+
+  // Corrupt section offset (first table entry, offset field).
+  std::vector<char> bad_section = bytes;
+  // Header is 8 + 4 + 4 + 8 + 5*8 bytes; entry = {u32 kind, u32
+  // element_size, u64 offset, u64 count}; poke the offset.
+  const std::size_t entry_off = 64 + 8;
+  bad_section[entry_off] ^= 0x7F;
+  const std::string corrupt = temp_path("corrupt.wsnap");
+  write_bytes(corrupt, bad_section);
+  EXPECT_THROW(WorldSnapshot::load(corrupt), std::runtime_error);
+
+  // Missing file.
+  EXPECT_THROW(WorldSnapshot::load(temp_path("nope.wsnap")),
+               std::runtime_error);
+
+  std::remove(trunc.c_str());
+  std::remove(tiny.c_str());
+  std::remove(magic.c_str());
+  std::remove(corrupt.c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qcp2p::sim
