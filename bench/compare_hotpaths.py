@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Hot-path perf-regression gate.
+
+Compares two BENCH_hotpaths.json snapshots (run_hotpaths.sh output:
+{"benchmarks": {name: ns/op}, "experiments_wall_s": {...}}) and exits
+nonzero when any BM_* entry regresses by more than the threshold
+(default 15%). Experiment wall times are reported but never gate: they
+measure whole pipelines on shared runners and are too noisy to fail on.
+
+Usage: compare_hotpaths.py baseline.json new.json [--threshold 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        report = json.load(f)
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        raise SystemExit(f"{path}: no 'benchmarks' object")
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="max tolerated fractional slowdown per BM_* entry (default 0.15)",
+    )
+    args = parser.parse_args()
+    if not 0.0 < args.threshold < 10.0:
+        raise SystemExit(f"--threshold out of range: {args.threshold}")
+
+    base_report = load_benchmarks(args.baseline)
+    new_report = load_benchmarks(args.new)
+    base = base_report["benchmarks"]
+    new = new_report["benchmarks"]
+
+    regressions = []
+    shared = sorted(n for n in set(base) & set(new) if n.startswith("BM_"))
+    if not shared:
+        raise SystemExit("no shared BM_* entries between the two snapshots")
+    width = max(len(n) for n in shared)
+    for name in shared:
+        if base[name] <= 0:
+            print(f"{name:<{width}}  skipped (non-positive baseline)")
+            continue
+        ratio = new[name] / base[name]
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, ratio))
+        print(
+            f"{name:<{width}}  {base[name]:>12.0f} -> {new[name]:>12.0f} ns/op"
+            f"  ({ratio:5.2f}x){flag}"
+        )
+    for name in sorted(set(base) ^ set(new)):
+        side = "baseline" if name in base else "new"
+        print(f"{name:<{width}}  only in {side} (not gated)")
+
+    base_wall = base_report.get("experiments_wall_s", {})
+    new_wall = new_report.get("experiments_wall_s", {})
+    for name in sorted(set(base_wall) & set(new_wall)):
+        if base_wall[name] > 0:
+            print(
+                f"{name:<{width}}  {base_wall[name]:>11.3f} -> "
+                f"{new_wall[name]:>12.3f} s "
+                f"  ({new_wall[name] / base_wall[name]:5.2f}x, informational)"
+            )
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} hot path(s) regressed beyond "
+            f"{args.threshold:.0%}:"
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nOK: no BM_* entry regressed beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+// Serving-mode sweep: ONE live world per cell absorbing a continuous
+// timestamped query stream under steady churn, instead of the
+// rewind-per-trial harness the figure benches use (DESIGN.md section 10).
+//
+// Each (engine x qps x churn) cell copies the crawl-derived base world
+// into a sim::ServingWorld and replays the same QueryTrace against it.
+// The world is maintained incrementally the whole run: membership flips
+// are tombstones + a liveness mask, topology repair is a batched
+// Graph::apply_delta CSR merge, and content churn lands in the PeerStore
+// delta layer until compact() folds it in — finalize() never runs again
+// after construction.
+//
+// stdout carries only simulated, deterministic metrics (success rate,
+// cache hit rate, messages/query, windowed p50/p99/p999 first-hit
+// latency, maintenance counters): byte-identical for any --threads
+// value. Wall-clock throughput — the saturation QPS the serving loop
+// sustains on this machine — is inherently nondeterministic and goes to
+// stderr.
+#include "bench/bench_common.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/overlay/topology.hpp"
+#include "src/sim/serving.hpp"
+
+using namespace qcp2p;
+
+namespace {
+
+/// Comma-separated list of doubles ("0,0.3" / "50,200"); exits 2 on
+/// garbage, an empty element, or a value outside [lo, hi].
+std::vector<double> double_list_flag(const util::Cli& cli,
+                                     const std::string& name,
+                                     const std::string& def, double lo,
+                                     double hi) {
+  const std::string raw = cli.get(name, def);
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= raw.size()) {
+    const std::size_t comma = std::min(raw.find(',', pos), raw.size());
+    const std::string item = raw.substr(pos, comma - pos);
+    double value = 0.0;
+    const char* const end = item.data() + item.size();
+    const auto [parse_end, ec] = std::from_chars(item.data(), end, value);
+    if (item.empty() || ec != std::errc{} || parse_end != end ||
+        std::isnan(value) || value < lo || value > hi) {
+      std::cerr << "--" << name << " must be a comma list of numbers in ["
+                << lo << ", " << hi << "], got '" << raw << "'\n";
+      std::exit(2);
+    }
+    out.push_back(value);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> engine_list_flag(const util::Cli& cli,
+                                          const bench::BenchEnv& env) {
+  // --engine (validated by BenchEnv) wins; otherwise --engines is a
+  // comma list of registry names.
+  if (!env.engine.empty()) return {env.engine};
+  const std::string raw = cli.get("engines", "flood,hybrid,adaptive");
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= raw.size()) {
+    const std::size_t comma = std::min(raw.find(',', pos), raw.size());
+    std::string name = raw.substr(pos, comma - pos);
+    if (sim::find_engine(name) == nullptr) {
+      std::cerr << "unknown engine '" << name
+                << "' in --engines (registered: " << sim::engine_names()
+                << ")\n";
+      std::exit(2);
+    }
+    out.push_back(std::move(name));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string ms(double seconds) { return util::Table::format(seconds * 1e3, 3); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 0.125);
+  const auto nodes = cli.get_uint("nodes", 20'000);
+  // 0 = ten queries per node (so `--nodes 100000` streams 1M queries).
+  auto num_queries = cli.get_uint("queries", 0);
+  if (num_queries == 0) num_queries = 10 * nodes;
+  const auto window_s =
+      bench::checked_double_flag(cli, "window", 60.0, 1e-3, 1e6);
+  const auto ttl = static_cast<std::uint32_t>(cli.get_uint("ttl", 3));
+  const auto refreeze_batch = cli.get_uint("refreeze-batch", 512);
+  const auto compact_delta = cli.get_uint("compact-delta", 20'000);
+  const bool no_cache = cli.get_bool("no-cache");
+  const bool per_window = cli.get_bool("windows");
+  const std::vector<double> qps_levels =
+      double_list_flag(cli, "qps", "100", 0.1, 1e9);
+  const std::vector<double> churn_levels =
+      double_list_flag(cli, "churn", "0.3", 0.0, 0.95);
+  const std::vector<std::string> engines = engine_list_flag(cli, env);
+
+  bench::print_header(
+      "exp_serving", env,
+      "overlay-as-a-service: one live world, timestamped query stream, "
+      "incremental maintenance, windowed p50/p99 SLOs");
+
+  // Base world, built once and copied into every cell so each engine
+  // serves the identical initial overlay/content.
+  const trace::ContentModel model(env.model_params());
+  const trace::CrawlSnapshot crawl =
+      generate_gnutella_crawl(model, env.crawl_params());
+  const sim::PeerStore base_store = sim::peer_store_from_crawl(crawl, nodes);
+  util::Rng topo_rng(env.seed);
+  const overlay::Graph base_graph = overlay::random_regular(nodes, 8, topo_rng);
+
+  trace::QueryTraceParams qp = env.query_params();
+  qp.num_queries = num_queries;
+  const trace::QueryTrace trace = generate_query_trace(model, qp);
+  std::cout << "# stream: " << trace.queries().size()
+            << " timestamped queries, " << trace.events().size()
+            << " flash-crowd events, window " << window_s << " s\n";
+
+  util::Table summary({"engine", "qps", "offline", "queries", "success",
+                       "cache hit", "msgs/q", "p50 ms", "p99 ms", "p999 ms",
+                       "refreezes", "compactions", "online @end"});
+
+  for (const std::string& engine : engines) {
+    for (const double qps : qps_levels) {
+      for (std::size_t ci = 0; ci < churn_levels.size(); ++ci) {
+        const double offline = churn_levels[ci];
+        sim::ServingConfig cfg;
+        cfg.engine = engine;
+        cfg.threads = env.threads;
+        cfg.window_s = window_s;
+        cfg.flood_ttl = ttl;
+        cfg.qps = qps;
+        cfg.churn_enabled = offline > 0.0;
+        cfg.churn.mean_online_s = (1.0 - offline) * 3600.0;
+        cfg.churn.mean_offline_s = offline * 3600.0;
+        // Keyed by churn LEVEL only: every engine/qps cell at the same
+        // offline fraction sees the identical membership stream.
+        cfg.churn.seed = bench::seed_stream(env.seed, 0x11CULL + ci);
+        cfg.refreeze_batch = refreeze_batch;
+        cfg.compact_max_delta = compact_delta;
+        cfg.cache_enabled = !no_cache;
+        cfg.seed = env.seed;
+
+        sim::ServingWorld world(base_graph, base_store, trace.queries(),
+                                trace.duration_s(), cfg);
+        const auto wall0 = std::chrono::steady_clock::now();
+        const sim::ServingReport report = world.run();
+        const double wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wall0)
+                .count();
+
+        const sim::WindowStats& total = report.stats.total();
+        summary.add_row();
+        summary.cell(engine);
+        summary.cell(qps, 0);
+        summary.percent(offline, 0);
+        summary.cell(total.queries);
+        summary.percent(total.success_rate(), 2);
+        summary.percent(total.hit_rate(), 2);
+        summary.cell(total.queries == 0
+                         ? 0.0
+                         : static_cast<double>(total.messages) /
+                               static_cast<double>(total.queries),
+                     1);
+        summary.cell(ms(total.latency.quantile(0.50)));
+        summary.cell(ms(total.latency.quantile(0.99)));
+        summary.cell(ms(total.latency.quantile(0.999)));
+        summary.cell(report.refreezes);
+        summary.cell(report.compactions);
+        summary.percent(report.final_online_fraction, 1);
+
+        // Wall-clock throughput: how many simulated queries the serving
+        // loop retires per wall second — the saturation QPS of this
+        // engine on this machine. Nondeterministic, so stderr only.
+        std::fprintf(stderr,
+                     "# engine=%s qps=%g offline=%.0f%%: wall %.2f s, "
+                     "saturation %.0f queries/s (wall-clock)\n",
+                     engine.c_str(), qps, offline * 100.0,
+                     wall_s, wall_s > 0.0
+                                 ? static_cast<double>(total.queries) / wall_s
+                                 : 0.0);
+
+        if (per_window) {
+          util::Table wt({"t0 s", "t1 s", "queries", "success", "cache hit",
+                          "joins", "leaves", "p50 ms", "p99 ms"});
+          for (const sim::WindowStats& w : report.stats.windows()) {
+            wt.add_row();
+            wt.cell(w.start_s, 0);
+            wt.cell(w.end_s, 0);
+            wt.cell(w.queries);
+            wt.percent(w.success_rate(), 1);
+            wt.percent(w.hit_rate(), 1);
+            wt.cell(w.joins);
+            wt.cell(w.leaves);
+            wt.cell(ms(w.latency.quantile(0.50)));
+            wt.cell(ms(w.latency.quantile(0.99)));
+          }
+          bench::emit(wt, env,
+                      "windows: " + engine + " @ " +
+                          util::Table::format(qps, 0) + " qps, " +
+                          util::Table::format(offline * 100.0, 0) +
+                          "% offline");
+        }
+      }
+    }
+  }
+
+  bench::emit(summary, env,
+              "serving SLOs (" + std::to_string(nodes) + " nodes, " +
+                  std::to_string(num_queries) + " queries/cell)");
+  return 0;
+}

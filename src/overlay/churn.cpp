@@ -1,5 +1,6 @@
 #include "src/overlay/churn.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -41,6 +42,32 @@ void ChurnProcess::advance(double dt) {
       next_toggle_[v] += draw_session(online_[v], rngs_[v]);
     }
   }
+}
+
+std::vector<MembershipEvent> ChurnProcess::drain_events(double t_end) {
+  const double dt = t_end - now_;
+  assert(dt >= 0.0 && "ChurnProcess::drain_events: time cannot run backward");
+  if (!(dt >= 0.0)) {
+    throw std::invalid_argument("ChurnProcess::drain_events: t_end < now()");
+  }
+  std::vector<MembershipEvent> events;
+  now_ = t_end;
+  for (std::size_t v = 0; v < online_.size(); ++v) {
+    while (next_toggle_[v] <= now_) {
+      online_[v] = !online_[v];
+      events.push_back(MembershipEvent{next_toggle_[v],
+                                       static_cast<NodeId>(v), online_[v]});
+      next_toggle_[v] += draw_session(online_[v], rngs_[v]);
+    }
+  }
+  // Per-node schedules are independent streams; a global timeline needs
+  // one deterministic order. Ties (identical timestamps) break by node.
+  std::sort(events.begin(), events.end(),
+            [](const MembershipEvent& a, const MembershipEvent& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              return a.node < b.node;
+            });
+  return events;
 }
 
 double ChurnProcess::online_fraction() const noexcept {

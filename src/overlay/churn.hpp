@@ -18,6 +18,14 @@ struct ChurnParams {
   std::uint64_t seed = 99;
 };
 
+/// One membership transition on the serving timeline: `node` came online
+/// (join) or went offline (leave) at `time_s`.
+struct MembershipEvent {
+  double time_s = 0.0;
+  NodeId node = 0;
+  bool join = false;
+};
+
 class ChurnProcess {
  public:
   ChurnProcess(std::size_t num_nodes, const ChurnParams& params);
@@ -26,6 +34,13 @@ class ChurnProcess {
   /// dt must be non-negative (asserted, and rejected with
   /// std::invalid_argument in release builds): time cannot run backward.
   void advance(double dt);
+
+  /// Advances to absolute time `t_end` (>= now(), same guard as
+  /// advance()) and returns every toggle in (now(), t_end] as a
+  /// timestamped event stream, sorted by (time, node). End state is
+  /// identical to advance(t_end - now()); the events are what a serving
+  /// world interleaves with its query stream.
+  [[nodiscard]] std::vector<MembershipEvent> drain_events(double t_end);
 
   [[nodiscard]] bool is_online(NodeId node) const noexcept {
     return online_[node];

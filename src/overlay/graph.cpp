@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace qcp2p::overlay {
 
@@ -160,6 +161,86 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
   av.erase(std::find(av.begin(), av.end(), u));
   --num_edges_;
   return true;
+}
+
+std::pair<std::size_t, std::size_t> Graph::apply_delta(
+    std::span<const std::pair<NodeId, NodeId>> removes,
+    std::span<const std::pair<NodeId, NodeId>> adds) {
+  if (!frozen_) {
+    std::size_t removed = 0, added = 0;
+    for (const auto& [u, v] : removes) removed += remove_edge(u, v);
+    for (const auto& [u, v] : adds) added += add_edge(u, v);
+    return {removed, added};
+  }
+  // Validate the batch against the frozen base first, building per-node
+  // delta rows. Sequential semantics: every remove happens before any
+  // add, so an edge may be removed and re-added in one batch.
+  std::unordered_map<NodeId, std::vector<NodeId>> removed_of, added_of;
+  const auto contains = [](const std::unordered_map<NodeId,
+                                                    std::vector<NodeId>>& of,
+                           NodeId u, NodeId v) {
+    const auto it = of.find(u);
+    return it != of.end() && std::find(it->second.begin(), it->second.end(),
+                                       v) != it->second.end();
+  };
+  std::size_t removed = 0;
+  for (const auto& [u, v] : removes) {
+    if (u == v || u >= num_nodes_ || v >= num_nodes_) continue;
+    if (!has_edge(u, v) || contains(removed_of, u, v)) continue;
+    removed_of[u].push_back(v);
+    removed_of[v].push_back(u);
+    ++removed;
+  }
+  std::size_t added = 0;
+  for (const auto& [u, v] : adds) {
+    if (u == v || u >= num_nodes_ || v >= num_nodes_) continue;
+    const bool base_present = has_edge(u, v) && !contains(removed_of, u, v);
+    if (base_present || contains(added_of, u, v)) continue;
+    added_of[u].push_back(v);
+    added_of[v].push_back(u);
+    ++added;
+  }
+  if (removed == 0 && added == 0) return {0, 0};
+
+  // One count / prefix-sum / scatter pass from the old CSR to the new:
+  // base neighbors stream through in order minus the removed ones, added
+  // neighbors append at each row's tail.
+  std::vector<std::uint32_t> new_offsets(num_nodes_ + 1, 0);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    std::size_t d = degree(u);
+    if (const auto it = removed_of.find(u); it != removed_of.end()) {
+      d -= it->second.size();
+    }
+    if (const auto it = added_of.find(u); it != added_of.end()) {
+      d += it->second.size();
+    }
+    new_offsets[u + 1] = new_offsets[u] + static_cast<std::uint32_t>(d);
+  }
+  std::vector<NodeId> new_neighbors(new_offsets[num_nodes_]);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    std::uint32_t cursor = new_offsets[u];
+    const auto rem = removed_of.find(u);
+    for (NodeId v : neighbors(u)) {
+      if (rem != removed_of.end() &&
+          std::find(rem->second.begin(), rem->second.end(), v) !=
+              rem->second.end()) {
+        continue;
+      }
+      new_neighbors[cursor++] = v;
+    }
+    if (const auto it = added_of.find(u); it != added_of.end()) {
+      for (NodeId v : it->second) new_neighbors[cursor++] = v;
+    }
+  }
+  csr_offsets_ = std::move(new_offsets);
+  csr_neighbors_ = std::move(new_neighbors);
+  owned_offsets_.reset();
+  owned_neighbors_.reset();
+  offsets_ptr_ = csr_offsets_.data();
+  neighbors_ptr_ = csr_neighbors_.data();
+  borrowed_ = false;
+  num_edges_ = num_edges_ - removed + added;
+  return {removed, added};
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const noexcept {

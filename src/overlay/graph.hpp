@@ -89,6 +89,20 @@ class Graph {
   /// Removes the undirected edge {u, v} if present. Thaws a frozen graph.
   bool remove_edge(NodeId u, NodeId v);
 
+  /// Batched incremental maintenance of a FROZEN graph: applies all
+  /// `removes` then all `adds` in one CSR -> CSR merge pass (count /
+  /// prefix-sum / scatter), never materializing per-node adjacency
+  /// lists. Result is identical — including neighbor order — to calling
+  /// remove_edge for every remove, add_edge for every add, then
+  /// freeze(): removed neighbors are erased in place, added neighbors
+  /// append at the tail of each endpoint's row in batch order. Invalid
+  /// entries follow the single-edge semantics (self-loops, duplicates,
+  /// and absent removals are skipped). On a thawed graph it degrades to
+  /// the per-edge loop. Returns {edges removed, edges added}.
+  std::pair<std::size_t, std::size_t> apply_delta(
+      std::span<const std::pair<NodeId, NodeId>> removes,
+      std::span<const std::pair<NodeId, NodeId>> adds);
+
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
 
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {

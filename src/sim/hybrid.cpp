@@ -129,12 +129,14 @@ namespace {
 class HybridEngine final : public SearchEngine {
  public:
   HybridEngine(const Graph& graph, const PeerStore& store, const ChordDht& dht,
-               const HybridParams& params, const std::vector<bool>* forwards)
-      : graph_(&graph), dht_(&dht), params_(params) {
+               const HybridParams& params, const std::vector<bool>* forwards,
+               const TimingParams& timing)
+      : graph_(&graph), dht_(&dht), params_(params), timing_(timing) {
     EngineWorld flood_world;
     flood_world.graph = &graph;
     flood_world.store = &store;
     flood_world.forwards = forwards;
+    flood_world.timing = timing;
     flood_ = detail::make_flood_engine(flood_world);
   }
 
@@ -166,6 +168,7 @@ class HybridEngine final : public SearchEngine {
     out.per_hop = std::move(fr.per_hop);
     out.peers_probed += fr.peers_probed;
     out.fault.merge(fr.fault);
+    out.timing = fr.timing;  // flood phase's estimated clock/first-hit
     HybridExtras extras{fr.messages, 0, false};
 
     if (out.hits.size() < params_.rare_cutoff) {
@@ -184,6 +187,16 @@ class HybridEngine final : public SearchEngine {
       sort_unique_hits(out.hits);
       extras.dht_messages = dht_out.dht_messages;
       extras.used_dht = true;
+      // Serial structured phase, priced like dht-only's estimate; the
+      // flood phase's clock is the base. A query the flood already
+      // answered keeps its flood first-hit.
+      if (!out.timing.has_value()) out.timing.emplace();
+      out.timing->clock_s +=
+          static_cast<double>(dht_out.dht_messages + query.terms.size()) *
+          TimingModel(timing_).mean_link_s();
+      if (!out.timing->has_first_hit() && !out.hits.empty()) {
+        out.timing->first_hit_s = out.timing->clock_s;
+      }
     }
     out.extras = extras;
   }
@@ -192,6 +205,7 @@ class HybridEngine final : public SearchEngine {
   const Graph* graph_;
   const ChordDht* dht_;
   HybridParams params_;
+  TimingParams timing_;
   std::unique_ptr<SearchEngine> flood_;
 };
 
@@ -258,7 +272,8 @@ std::unique_ptr<SearchEngine> make_hybrid_engine(const EngineWorld& world) {
     return nullptr;
   }
   return std::make_unique<HybridEngine>(*world.graph, *world.store, *world.dht,
-                                        world.hybrid, world.forwards);
+                                        world.hybrid, world.forwards,
+                                        world.timing);
 }
 
 std::unique_ptr<SearchEngine> make_dht_only_engine(const EngineWorld& world) {

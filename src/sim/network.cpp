@@ -1,6 +1,7 @@
 #include "src/sim/network.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -68,7 +69,13 @@ PeerStore::PeerStore(const PeerStore& other)
       peers_(other.peers_),
       total_(other.total_),
       finalized_(other.finalized_),
-      has_build_data_(other.has_build_data_) {
+      has_build_data_(other.has_build_data_),
+      definalize_policy_(other.definalize_policy_),
+      dead_(other.dead_),
+      dead_postings_(other.dead_postings_),
+      delta_(other.delta_),
+      delta_objects_(other.delta_objects_),
+      delta_postings_(other.delta_postings_) {
   if (finalized_) {
     // Copy through the spans so owned stores and mapped views copy the
     // same way; the copy always owns its arrays.
@@ -134,6 +141,11 @@ PeerStore::FlatLayout PeerStore::flat_layout() const {
   if (!finalized_) {
     throw std::logic_error("PeerStore::flat_layout: store not finalized");
   }
+  if (!delta_.empty()) {
+    // A snapshot taken now would silently drop the delta objects.
+    throw std::logic_error(
+        "PeerStore::flat_layout: delta layer pending; compact() first");
+  }
   return flat_;
 }
 
@@ -154,6 +166,11 @@ void PeerStore::add_object(NodeId peer, std::uint64_t id,
                            std::vector<TermId> terms) {
   if (!has_build_data_) {
     throw std::logic_error("PeerStore::add_object: store has no build data");
+  }
+  if (finalized_ && definalize_policy_ == DefinalizePolicy::kForbid) {
+    throw std::logic_error(
+        "PeerStore::add_object: store is finalized and the de-finalize "
+        "policy forbids dropping the flat layout; use add_object_delta()");
   }
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
@@ -377,9 +394,14 @@ void PeerStore::finalize_parallel(std::size_t threads) {
   rows.clear();
   rows.shrink_to_fit();
 
+  rebuild_index(threads);
+}
+
+void PeerStore::rebuild_index(std::size_t threads) {
   // Inverted index. Distinct terms are the sorted-unique union of the
   // peer term rows (identical to the term set the sequential sort
-  // produces).
+  // produces). Reads only the flat object/term arrays, so compact()
+  // reuses it after folding the delta layer in.
   index_terms_.assign(peer_terms_flat_.begin(), peer_terms_flat_.end());
   std::sort(index_terms_.begin(), index_terms_.end());
   index_terms_.erase(std::unique(index_terms_.begin(), index_terms_.end()),
@@ -465,8 +487,25 @@ std::span<const TermId> PeerStore::peer_terms(NodeId peer) const {
 
 bool PeerStore::may_match(NodeId peer, std::span<const TermId> query) const {
   const std::span<const TermId> terms = peer_terms(peer);
+  if (!live_unchecked(peer)) return false;
+  if (delta_.empty()) {
+    for (TermId t : query) {
+      if (!std::binary_search(terms.begin(), terms.end(), t)) return false;
+    }
+    return true;
+  }
+  // Serving: the library is the union of the base row and the peer's
+  // delta term row.
+  const auto it = delta_.find(peer);
+  const std::vector<TermId>* extra = it != delta_.end() ? &it->second.terms
+                                                        : nullptr;
   for (TermId t : query) {
-    if (!std::binary_search(terms.begin(), terms.end(), t)) return false;
+    if (std::binary_search(terms.begin(), terms.end(), t)) continue;
+    if (extra != nullptr &&
+        std::binary_search(extra->begin(), extra->end(), t)) {
+      continue;
+    }
+    return false;
   }
   return true;
 }
@@ -475,54 +514,52 @@ std::vector<std::uint64_t> PeerStore::match_reference(
     NodeId peer, std::span<const TermId> query) const {
   std::vector<std::uint64_t> hits;
   if (query.empty()) return hits;
+  const auto matches = [&](std::span<const TermId> terms) {
+    for (TermId t : query) {
+      if (!std::binary_search(terms.begin(), terms.end(), t)) return false;
+    }
+    return true;
+  };
   if (!has_build_data_) {
     // Views: the same linear scan over the flat per-object term rows.
     if (peer >= num_peers_) {
       throw std::out_of_range("PeerStore::match_reference: bad peer");
     }
+    if (!live_unchecked(peer)) return hits;
     const std::size_t count = object_count(peer);
     for (std::size_t i = 0; i < count; ++i) {
-      const auto terms = object_terms(peer, i);
-      bool all = true;
-      for (TermId t : query) {
-        if (!std::binary_search(terms.begin(), terms.end(), t)) {
-          all = false;
-          break;
-        }
-      }
-      if (all) hits.push_back(object_id(peer, i));
+      if (matches(object_terms(peer, i))) hits.push_back(object_id(peer, i));
     }
-    return hits;
+  } else {
+    const auto& objects = peers_.at(peer).objects;
+    if (!live_unchecked(peer)) return hits;
+    for (const Object& o : objects) {
+      if (matches(o.terms)) hits.push_back(o.id);
+    }
   }
-  for (const Object& o : peers_.at(peer).objects) {
-    bool all = true;
-    for (TermId t : query) {
-      if (!std::binary_search(o.terms.begin(), o.terms.end(), t)) {
-        all = false;
-        break;
+  // Delta tail (finalized serving stores only; the build-phase store
+  // never carries a delta layer).
+  if (!delta_.empty()) {
+    if (const auto it = delta_.find(peer); it != delta_.end()) {
+      for (const Object& o : it->second.objects) {
+        if (matches(o.terms)) hits.push_back(o.id);
       }
     }
-    if (all) hits.push_back(o.id);
   }
   return hits;
 }
 
-std::span<const std::uint64_t> PeerStore::match(NodeId peer,
-                                                std::span<const TermId> query,
-                                                MatchScratch& scratch) const {
-  scratch.hits.clear();
-  if (query.empty()) return {};
-  if (!finalized_) {
-    // Build phase: fall back to the reference scan (tests and ad-hoc
-    // stores); identical result set, no flat layout required.
-    scratch.hits = match_reference(peer, query);
-    return scratch.hits;
+void PeerStore::match_base(NodeId peer, std::span<const TermId> query,
+                           std::vector<std::uint64_t>& hits) const {
+  // Flat prefilter over the BASE term row first: most flood probes miss
+  // at least one term. (Delta-only terms are the delta tail's business.)
+  const std::span<const TermId> row_terms = peer_terms(peer);
+  for (TermId t : query) {
+    if (!std::binary_search(row_terms.begin(), row_terms.end(), t)) return;
   }
-  // Flat prefilter first: most flood probes miss at least one term.
-  if (!may_match(peer, query)) return {};
 
-  // Every query term is somewhere in the peer's library. Intersect the
-  // rarest term's posting subrange for this peer against the other
+  // Every query term is somewhere in the peer's base library. Intersect
+  // the rarest term's posting subrange for this peer against the other
   // terms' CSR-packed object term lists.
   const std::uint32_t lo = flat_.obj_offsets[peer];
   const std::uint32_t hi = flat_.obj_offsets[peer + 1];
@@ -532,7 +569,7 @@ std::span<const std::uint64_t> PeerStore::match(NodeId peer,
     const auto it = std::lower_bound(flat_.index_terms.begin(),
                                      flat_.index_terms.end(), t);
     if (it == flat_.index_terms.end() || *it != t) {
-      return {};  // unreachable after may_match, kept for safety
+      return;  // unreachable after the prefilter, kept for safety
     }
     const auto ti = static_cast<std::size_t>(it - flat_.index_terms.begin());
     const std::uint32_t* row = flat_.postings.data();
@@ -540,7 +577,7 @@ std::span<const std::uint64_t> PeerStore::match(NodeId peer,
         row + flat_.index_offsets[ti], row + flat_.index_offsets[ti + 1], lo);
     const std::uint32_t* end =
         std::lower_bound(begin, row + flat_.index_offsets[ti + 1], hi);
-    if (begin == end) return {};
+    if (begin == end) return;
     if (seed_begin == nullptr || end - begin < seed_end - seed_begin) {
       seed_begin = begin;
       seed_end = end;
@@ -558,7 +595,41 @@ std::span<const std::uint64_t> PeerStore::match(NodeId peer,
         break;
       }
     }
-    if (all) scratch.hits.push_back(flat_.obj_ids[ord]);
+    if (all) hits.push_back(flat_.obj_ids[ord]);
+  }
+}
+
+std::span<const std::uint64_t> PeerStore::match(NodeId peer,
+                                                std::span<const TermId> query,
+                                                MatchScratch& scratch) const {
+  scratch.hits.clear();
+  if (query.empty()) return {};
+  if (!finalized_) {
+    // Build phase: fall back to the reference scan (tests and ad-hoc
+    // stores); identical result set, no flat layout required.
+    scratch.hits = match_reference(peer, query);
+    return scratch.hits;
+  }
+  if (peer >= num_peers_) {
+    throw std::out_of_range("PeerStore::match: bad peer");
+  }
+  if (!live_unchecked(peer)) return {};
+  match_base(peer, query, scratch.hits);
+  // Delta tail: post-finalize objects, in insertion order after the
+  // base hits — the order compact()-then-match would produce.
+  if (!delta_.empty()) {
+    if (const auto it = delta_.find(peer); it != delta_.end()) {
+      for (const Object& o : it->second.objects) {
+        bool all = true;
+        for (TermId t : query) {
+          if (!std::binary_search(o.terms.begin(), o.terms.end(), t)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) scratch.hits.push_back(o.id);
+      }
+    }
   }
   return scratch.hits;
 }
@@ -568,6 +639,245 @@ std::vector<std::uint64_t> PeerStore::match(
   MatchScratch scratch;
   const auto hits = match(peer, query, scratch);
   return {hits.begin(), hits.end()};
+}
+
+std::uint64_t PeerStore::base_postings(NodeId peer) const noexcept {
+  const std::uint32_t lo = flat_.obj_offsets[peer];
+  const std::uint32_t hi = flat_.obj_offsets[peer + 1];
+  return flat_.obj_term_offsets[hi] - flat_.obj_term_offsets[lo];
+}
+
+bool PeerStore::peer_live(NodeId peer) const {
+  if (peer >= num_peers_) {
+    throw std::out_of_range("PeerStore::peer_live: bad peer");
+  }
+  return live_unchecked(peer);
+}
+
+void PeerStore::apply_membership(std::span<const NodeId> joins,
+                                 std::span<const NodeId> leaves) {
+  if (!finalized_) {
+    throw std::logic_error("PeerStore::apply_membership: finalize() first");
+  }
+  const auto check = [this](NodeId p) {
+    if (p >= num_peers_) {
+      throw std::out_of_range("PeerStore::apply_membership: bad peer");
+    }
+  };
+  for (NodeId p : joins) {
+    check(p);
+    if (!dead_.empty() && dead_[p]) {
+      dead_[p] = 0;
+      dead_postings_ -= base_postings(p);
+    }
+  }
+  for (NodeId p : leaves) {
+    check(p);
+    if (dead_.empty()) dead_.assign(num_peers_, 0);
+    if (!dead_[p]) {
+      dead_[p] = 1;
+      dead_postings_ += base_postings(p);
+    }
+  }
+}
+
+void PeerStore::add_object_delta(NodeId peer, std::uint64_t id,
+                                 std::vector<TermId> terms) {
+  if (!finalized_) {
+    throw std::logic_error("PeerStore::add_object_delta: finalize() first");
+  }
+  if (peer >= num_peers_) {
+    throw std::out_of_range("PeerStore::add_object_delta: bad peer");
+  }
+  if (total_ >= std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error(
+        "PeerStore::add_object_delta: object ordinal space exhausted");
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  DeltaPeer& d = delta_[peer];
+  if (!terms.empty()) {
+    std::vector<TermId> merged;
+    merged.reserve(d.terms.size() + terms.size());
+    std::set_union(d.terms.begin(), d.terms.end(), terms.begin(), terms.end(),
+                   std::back_inserter(merged));
+    d.terms = std::move(merged);
+  }
+  delta_postings_ += terms.size();
+  ++delta_objects_;
+  ++total_;
+  d.objects.push_back(Object{id, std::move(terms)});
+}
+
+void PeerStore::compact(std::size_t threads) {
+  if (!finalized_) {
+    throw std::logic_error("PeerStore::compact: finalize() first");
+  }
+  if (delta_.empty()) return;
+  const std::size_t n_threads =
+      threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                   : threads;
+  const std::size_t n = num_peers_;
+  // Spans into the CURRENT storage (owned vectors or mapped memory); the
+  // fold reads through them and only replaces the members at the end, so
+  // nothing aliases mid-copy.
+  const FlatLayout old = flat_;
+  const std::uint64_t new_terms_total =
+      static_cast<std::uint64_t>(old.obj_terms_flat.size()) + delta_postings_;
+  if (total_ > std::numeric_limits<std::uint32_t>::max() ||
+      new_terms_total > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("PeerStore::compact: too many objects for CSR");
+  }
+
+  // Per-peer delta lookup without map probes in the hot loops.
+  std::vector<const DeltaPeer*> dp(n, nullptr);
+  std::vector<std::uint32_t> add_objs(n, 0), add_terms(n, 0);
+  for (const auto& [p, d] : delta_) {
+    dp[p] = &d;
+    add_objs[p] = static_cast<std::uint32_t>(d.objects.size());
+    std::uint32_t t = 0;
+    for (const Object& o : d.objects) {
+      t += static_cast<std::uint32_t>(o.terms.size());
+    }
+    add_terms[p] = t;
+  }
+
+  const std::size_t n_blocks = std::max<std::size_t>(
+      1, std::min(n_threads, n));
+  std::vector<std::size_t> peer_bounds(n_blocks + 1);
+  for (std::size_t b = 0; b <= n_blocks; ++b) {
+    peer_bounds[b] = n * b / n_blocks;
+  }
+  const auto for_blocks = [&](auto&& fn) {
+    util::parallel_for_blocks(n_blocks, n_blocks,
+                              [&](std::size_t b_begin, std::size_t b_end) {
+                                for (std::size_t b = b_begin; b < b_end; ++b) {
+                                  fn(peer_bounds[b], peer_bounds[b + 1]);
+                                }
+                              });
+  };
+  const auto old_row = [&](std::size_t p) {
+    return old.peer_terms_flat.subspan(
+        old.peer_term_offsets[p],
+        old.peer_term_offsets[p + 1] - old.peer_term_offsets[p]);
+  };
+
+  // Pass 1 (parallel): merged peer-term row sizes (sorted-unique union
+  // of the base row and the delta row).
+  std::vector<std::uint32_t> row_size(n);
+  for_blocks([&](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      const auto base = old_row(p);
+      if (dp[p] == nullptr) {
+        row_size[p] = static_cast<std::uint32_t>(base.size());
+        continue;
+      }
+      const auto& extra = dp[p]->terms;
+      std::size_t i = 0, j = 0, count = 0;
+      while (i < base.size() && j < extra.size()) {
+        if (base[i] < extra[j]) {
+          ++i;
+        } else if (extra[j] < base[i]) {
+          ++j;
+        } else {
+          ++i;
+          ++j;
+        }
+        ++count;
+      }
+      row_size[p] = static_cast<std::uint32_t>(count + (base.size() - i) +
+                                               (extra.size() - j));
+    }
+  });
+
+  // Prefix sums (sequential, O(n)).
+  std::vector<std::uint32_t> obj_offsets(n + 1, 0);
+  std::vector<std::uint32_t> term_base(n + 1, 0);
+  std::vector<std::uint32_t> peer_term_offsets(n + 1, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::uint32_t old_objs = old.obj_offsets[p + 1] - old.obj_offsets[p];
+    const std::uint32_t old_terms =
+        old.obj_term_offsets[old.obj_offsets[p + 1]] -
+        old.obj_term_offsets[old.obj_offsets[p]];
+    obj_offsets[p + 1] = obj_offsets[p] + old_objs + add_objs[p];
+    term_base[p + 1] = term_base[p] + old_terms + add_terms[p];
+    peer_term_offsets[p + 1] = peer_term_offsets[p] + row_size[p];
+  }
+
+  // Pass 2 (parallel): scatter each peer's slice — base objects in
+  // ordinal order, then delta objects in insertion order (exactly the
+  // add_object() order finalize()-from-scratch would see).
+  std::vector<std::uint64_t> obj_ids(obj_offsets[n]);
+  std::vector<std::uint32_t> obj_term_offsets(
+      static_cast<std::size_t>(obj_offsets[n]) + 1);
+  obj_term_offsets[0] = 0;
+  std::vector<TermId> obj_terms_flat(term_base[n]);
+  std::vector<TermId> peer_terms_flat(peer_term_offsets[n]);
+  for_blocks([&](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      std::uint32_t ord = obj_offsets[p];
+      std::uint32_t cursor = term_base[p];
+      for (std::uint32_t o = old.obj_offsets[p]; o < old.obj_offsets[p + 1];
+           ++o) {
+        obj_ids[ord] = old.obj_ids[o];
+        const auto terms = old.obj_terms_flat.subspan(
+            old.obj_term_offsets[o],
+            old.obj_term_offsets[o + 1] - old.obj_term_offsets[o]);
+        std::copy(terms.begin(), terms.end(),
+                  obj_terms_flat.begin() + cursor);
+        cursor += static_cast<std::uint32_t>(terms.size());
+        obj_term_offsets[ord + 1] = cursor;
+        ++ord;
+      }
+      if (dp[p] != nullptr) {
+        for (const Object& o : dp[p]->objects) {
+          obj_ids[ord] = o.id;
+          std::copy(o.terms.begin(), o.terms.end(),
+                    obj_terms_flat.begin() + cursor);
+          cursor += static_cast<std::uint32_t>(o.terms.size());
+          obj_term_offsets[ord + 1] = cursor;
+          ++ord;
+        }
+      }
+      const auto base = old_row(p);
+      if (dp[p] == nullptr) {
+        std::copy(base.begin(), base.end(),
+                  peer_terms_flat.begin() + peer_term_offsets[p]);
+      } else {
+        const auto& extra = dp[p]->terms;
+        std::set_union(base.begin(), base.end(), extra.begin(), extra.end(),
+                       peer_terms_flat.begin() + peer_term_offsets[p]);
+      }
+    }
+  });
+
+  obj_offsets_ = std::move(obj_offsets);
+  obj_ids_ = std::move(obj_ids);
+  obj_term_offsets_ = std::move(obj_term_offsets);
+  obj_terms_flat_ = std::move(obj_terms_flat);
+  peer_term_offsets_ = std::move(peer_term_offsets);
+  peer_terms_flat_ = std::move(peer_terms_flat);
+  rebuild_index(n_threads);
+
+  delta_.clear();
+  delta_objects_ = 0;
+  delta_postings_ = 0;
+  // Any retained build vectors describe only the base layer now; drop
+  // them rather than let a later finalize() silently lose the folded
+  // objects. Views become owned stores.
+  peers_.clear();
+  peers_.shrink_to_fit();
+  has_build_data_ = false;
+  borrowed_ = false;
+  repoint_flat();
+  // Tombstoned peers may have gained postings in the fold; recount the
+  // staleness debt against the new base layer.
+  if (!dead_.empty()) {
+    dead_postings_ = 0;
+    for (NodeId p = 0; p < n; ++p) {
+      if (dead_[p]) dead_postings_ += base_postings(p);
+    }
+  }
 }
 
 PeerStore peer_store_from_crawl(const trace::CrawlSnapshot& snapshot,

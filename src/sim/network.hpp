@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -188,6 +189,78 @@ class PeerStore {
 
   [[nodiscard]] std::uint64_t total_objects() const noexcept { return total_; }
 
+  // --- serving-mode incremental maintenance --------------------------------
+  //
+  // A serving world keeps ONE finalized store live under churn instead of
+  // rebuilding per trial. Three mechanisms keep finalize() off the steady
+  // path: membership flips are O(1) tombstones (apply_membership), new
+  // content lands in a bounded per-peer delta side-layer consulted by the
+  // match path (add_object_delta), and compact() folds the delta into
+  // fresh flat arrays at epoch boundaries — byte-identical to a
+  // finalize()-from-scratch over the same content.
+
+  /// What add_object() does to a finalized store.
+  enum class DefinalizePolicy : std::uint8_t {
+    /// Legacy: silently drop the flat layout back to the build phase
+    /// (next finalize() is a full O(world) rebuild).
+    kRebuild,
+    /// Serving: throw std::logic_error — mutation of a live store must go
+    /// through add_object_delta()/compact(), never a hidden rebuild.
+    kForbid,
+  };
+  void set_definalize_policy(DefinalizePolicy policy) noexcept {
+    definalize_policy_ = policy;
+  }
+  [[nodiscard]] DefinalizePolicy definalize_policy() const noexcept {
+    return definalize_policy_;
+  }
+  /// Explicit finalized-state accessor (alias of finalized(); the
+  /// serving path asserts on it before every incremental operation).
+  [[nodiscard]] bool is_finalized() const noexcept { return finalized_; }
+
+  /// O(1)-per-peer membership maintenance on a finalized store: peers in
+  /// `leaves` are tombstoned (match()/may_match()/match_reference()
+  /// treat them as empty; their postings stay in the index as dead
+  /// entries), peers in `joins` come back with their library intact
+  /// (session churn: content returns on rejoin). Joins apply before
+  /// leaves; both are idempotent. Throws std::logic_error unless
+  /// finalized, std::out_of_range on an unknown peer.
+  void apply_membership(std::span<const NodeId> joins,
+                        std::span<const NodeId> leaves);
+  /// False only while `peer` is tombstoned. Throws on an unknown peer.
+  [[nodiscard]] bool peer_live(NodeId peer) const;
+  /// Base-layer postings currently owned by tombstoned peers — the
+  /// inverted index's staleness debt. (Delta-layer postings of dead
+  /// peers are not counted; the serving world's compaction trigger
+  /// watches delta_postings() for that side.)
+  [[nodiscard]] std::uint64_t dead_postings() const noexcept {
+    return dead_postings_;
+  }
+
+  /// Appends an object to a FINALIZED store without touching the flat
+  /// arrays: the object lands in a per-peer delta side-layer that the
+  /// match path consults after the base intersection. The flat accessors
+  /// (object_count()/object_id()/object_terms()/peer_terms()) and
+  /// flat_layout() cover only the base layer until compact() folds the
+  /// delta in. Works on views too (the delta is private side state; the
+  /// mapped memory is never written). Throws unless finalized.
+  void add_object_delta(NodeId peer, std::uint64_t id,
+                        std::vector<TermId> terms);
+  [[nodiscard]] std::uint64_t delta_objects() const noexcept {
+    return delta_objects_;
+  }
+  [[nodiscard]] std::uint64_t delta_postings() const noexcept {
+    return delta_postings_;
+  }
+
+  /// Epoch compaction: folds the delta layer into fresh flat arrays —
+  /// byte-identical to finalize(threads)-from-scratch over the same
+  /// content (per peer: base objects in ordinal order, then delta
+  /// objects in insertion order). Tombstones survive; a borrowed view
+  /// becomes an owned store; any retained build data is dropped (it no
+  /// longer describes the full content). No-op when the delta is empty.
+  void compact(std::size_t threads = 1);
+
  private:
   struct PeerData {
     std::vector<Object> objects;
@@ -195,8 +268,22 @@ class PeerStore {
 
   void finalize_sequential();
   void finalize_parallel(std::size_t threads);
+  /// Rebuilds the inverted index (index_terms_/index_offsets_/postings_)
+  /// from the flat object/term arrays; shared by finalize_parallel() and
+  /// compact(). Output is byte-identical at any thread count.
+  void rebuild_index(std::size_t threads);
   /// Points flat_ at the owned vectors (after finalize or deep copy).
   void repoint_flat();
+  /// Tombstone check without the range guard (hot path).
+  [[nodiscard]] bool live_unchecked(NodeId peer) const noexcept {
+    return dead_.empty() || !dead_[peer];
+  }
+  /// Finalized base-layer intersection, appending to `hits`; match()
+  /// handles liveness and the delta tail.
+  void match_base(NodeId peer, std::span<const TermId> query,
+                  std::vector<std::uint64_t>& hits) const;
+  /// Base-layer postings owned by `peer` (== its obj_terms_flat span).
+  [[nodiscard]] std::uint64_t base_postings(NodeId peer) const noexcept;
 
   std::size_t num_peers_ = 0;
   /// Build phase; empty for views and after release_build_data().
@@ -205,6 +292,21 @@ class PeerStore {
   bool finalized_ = false;
   bool borrowed_ = false;
   bool has_build_data_ = true;
+  DefinalizePolicy definalize_policy_ = DefinalizePolicy::kRebuild;
+
+  // --- serving-mode side state (never part of the flat layout) ---
+  /// Tombstones; empty means "all live" (the common non-serving case).
+  std::vector<std::uint8_t> dead_;
+  std::uint64_t dead_postings_ = 0;
+  /// Post-finalize objects, folded in by compact(). std::map so every
+  /// pass over the delta runs in peer order (determinism).
+  struct DeltaPeer {
+    std::vector<Object> objects;      // insertion order
+    std::vector<TermId> terms;        // sorted unique union
+  };
+  std::map<NodeId, DeltaPeer> delta_;
+  std::uint64_t delta_objects_ = 0;
+  std::uint64_t delta_postings_ = 0;
 
   // --- finalized flat layout (owned storage; empty until finalize(),
   // and empty while borrowing) ---

@@ -15,19 +15,30 @@ CachingSearchNetwork::CachingSearchNetwork(const Graph& graph,
       caches_(graph.num_nodes()),
       engine_(graph) {}
 
-CachingSearchNetwork::QueryKey CachingSearchNetwork::key_of(
-    std::span<const TermId> query) {
+CachingSearchNetwork::QueryKey CachingSearchNetwork::key_from(
+    std::span<const TermId> query, std::vector<TermId>& scratch) {
   // Order-independent hash over the (sorted, deduplicated) term set:
   // {a,b}, {b,a}, and {a,a,b} are the same conjunctive query and must
   // share one cache entry. Sort + unique into reusable scratch, then
   // chain-mix the canonical sequence.
-  key_scratch_.assign(query.begin(), query.end());
-  std::sort(key_scratch_.begin(), key_scratch_.end());
-  key_scratch_.erase(std::unique(key_scratch_.begin(), key_scratch_.end()),
-                     key_scratch_.end());
+  scratch.assign(query.begin(), query.end());
+  std::sort(scratch.begin(), scratch.end());
+  scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
   std::uint64_t h = 0x9E3779B97F4A7C15ULL;
-  for (TermId t : key_scratch_) h = util::mix64(h ^ (t + 0x1234ULL));
+  for (TermId t : scratch) h = util::mix64(h ^ (t + 0x1234ULL));
   return QueryKey{h};
+}
+
+CachingSearchNetwork::QueryKey CachingSearchNetwork::key_of(
+    std::span<const TermId> query) {
+  return key_from(query, key_scratch_);
+}
+
+void CachingSearchNetwork::erase_entry(
+    PeerCache& cache,
+    std::unordered_map<QueryKey, Entry, KeyHash>::iterator it) {
+  cache.order.erase(it->second.pos);
+  cache.entries.erase(it);
 }
 
 const std::vector<std::uint64_t>* CachingSearchNetwork::lookup(
@@ -35,11 +46,17 @@ const std::vector<std::uint64_t>* CachingSearchNetwork::lookup(
   PeerCache& cache = caches_[peer];
   const auto it = cache.entries.find(key);
   if (it == cache.entries.end()) return nullptr;
+  if (expired(it->second)) {
+    // Lazy age eviction: the entry has outlived max_age_s of DES time
+    // and may name objects whose every holder is gone.
+    erase_entry(cache, it);
+    return nullptr;
+  }
   // Refresh LRU position.
-  cache.order.erase(it->second.first);
+  cache.order.erase(it->second.pos);
   cache.order.push_front(key);
-  it->second.first = cache.order.begin();
-  return &it->second.second;
+  it->second.pos = cache.order.begin();
+  return &it->second.results;
 }
 
 void CachingSearchNetwork::insert(NodeId peer, const QueryKey& key,
@@ -49,14 +66,15 @@ void CachingSearchNetwork::insert(NodeId peer, const QueryKey& key,
   if (it != cache.entries.end()) {
     // Re-inserted hot entry: refresh its LRU position (a stale recency
     // slot would get it evicted as if cold) and keep the fresher results.
-    cache.order.splice(cache.order.begin(), cache.order, it->second.first);
-    it->second.first = cache.order.begin();
-    it->second.second = std::move(results);
+    cache.order.splice(cache.order.begin(), cache.order, it->second.pos);
+    it->second.pos = cache.order.begin();
+    it->second.results = std::move(results);
+    it->second.inserted_at = now_s_;
     return;
   }
   cache.order.push_front(key);
-  cache.entries.emplace(key,
-                        std::make_pair(cache.order.begin(), std::move(results)));
+  cache.entries.emplace(
+      key, Entry{cache.order.begin(), std::move(results), now_s_});
   if (cache.entries.size() > params_.capacity) {
     cache.entries.erase(cache.order.back());
     cache.order.pop_back();
@@ -67,6 +85,82 @@ void CachingSearchNetwork::prime(NodeId peer, std::span<const TermId> query,
                                  std::vector<std::uint64_t> results) {
   if (query.empty() || results.empty()) return;
   insert(peer, key_of(query), std::move(results));
+}
+
+void CachingSearchNetwork::prime(NodeId peer, std::span<const TermId> query,
+                                 std::vector<std::uint64_t> results,
+                                 std::span<const NodeId> holders) {
+  if (query.empty() || results.empty()) return;
+  const QueryKey key = key_of(query);
+  insert(peer, key, std::move(results));
+  for (NodeId h : holders) holder_index_[h].emplace_back(peer, key);
+}
+
+void CachingSearchNetwork::advance_clock(double now_s) noexcept {
+  if (now_s > now_s_) now_s_ = now_s;
+}
+
+const std::vector<std::uint64_t>* CachingSearchNetwork::peek(
+    NodeId peer, std::span<const TermId> query) const {
+  if (query.empty()) return nullptr;
+  // Local scratch: peek runs concurrently from query shards, so it must
+  // not share key_scratch_.
+  std::vector<TermId> scratch;
+  const QueryKey key = key_from(query, scratch);
+  const PeerCache& cache = caches_[peer];
+  const auto it = cache.entries.find(key);
+  if (it == cache.entries.end() || expired(it->second)) return nullptr;
+  return &it->second.results;
+}
+
+const std::vector<std::uint64_t>* CachingSearchNetwork::peek_routed(
+    NodeId peer, std::span<const TermId> query, std::uint64_t& probe_messages,
+    NodeId& hit_peer) const {
+  probe_messages = 0;
+  hit_peer = peer;
+  if (query.empty()) return nullptr;
+  std::vector<TermId> scratch;
+  const QueryKey key = key_from(query, scratch);
+  auto find_in = [&](NodeId p) -> const std::vector<std::uint64_t>* {
+    const PeerCache& cache = caches_[p];
+    const auto it = cache.entries.find(key);
+    if (it == cache.entries.end() || expired(it->second)) return nullptr;
+    return &it->second.results;
+  };
+  if (const auto* cached = find_in(peer)) return cached;
+  for (NodeId nbr : graph_->neighbors(peer)) {
+    ++probe_messages;
+    if (const auto* cached = find_in(nbr)) {
+      hit_peer = nbr;
+      return cached;
+    }
+  }
+  return nullptr;
+}
+
+void CachingSearchNetwork::touch(NodeId peer, std::span<const TermId> query) {
+  if (query.empty()) return;
+  const QueryKey key = key_of(query);
+  PeerCache& cache = caches_[peer];
+  const auto it = cache.entries.find(key);
+  if (it == cache.entries.end()) return;
+  if (expired(it->second)) {
+    erase_entry(cache, it);
+    return;
+  }
+  cache.order.splice(cache.order.begin(), cache.order, it->second.pos);
+  it->second.pos = cache.order.begin();
+}
+
+void CachingSearchNetwork::on_peer_leave(NodeId peer) {
+  const auto hit = holder_index_.find(peer);
+  if (hit == holder_index_.end()) return;
+  for (const auto& [cache_peer, key] : hit->second) {
+    PeerCache& cache = caches_[cache_peer];
+    const auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) erase_entry(cache, it);
+  }
+  holder_index_.erase(hit);
 }
 
 CachedSearchResult CachingSearchNetwork::search(NodeId source,

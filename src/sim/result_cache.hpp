@@ -25,6 +25,10 @@ struct ResultCacheParams {
   std::size_t capacity = 64;
   /// Flood TTL used on a cache miss.
   std::uint32_t flood_ttl = 3;
+  /// DES-time TTL for cache entries; 0 disables age eviction. Without
+  /// it a cached result can outlive every holder of the objects it
+  /// names and keep serving phantom hits forever under churn.
+  double max_age_s = 0.0;
 };
 
 struct CachedSearchResult {
@@ -53,6 +57,43 @@ class CachingSearchNetwork {
   void prime(NodeId peer, std::span<const TermId> query,
              std::vector<std::uint64_t> results);
 
+  /// prime() plus holder registration: when any of `holders` later
+  /// leaves (on_peer_leave), this entry is invalidated.
+  void prime(NodeId peer, std::span<const TermId> query,
+             std::vector<std::uint64_t> results,
+             std::span<const NodeId> holders);
+
+  // --- serving-path API ----------------------------------------------------
+  // The serving world splits the cache interaction in two so query
+  // shards can run in parallel: peek() is const (safe for concurrent
+  // readers between mutations), and the LRU refresh / insert side
+  // effects replay sequentially in global query order afterwards.
+
+  /// Advances the cache's DES clock (monotone; smaller values ignored).
+  /// Age eviction is lazy: expired entries die on their next touch.
+  void advance_clock(double now_s) noexcept;
+  /// Const lookup: the cached results, or nullptr on miss/expired entry.
+  /// No LRU refresh, no eviction — safe to call concurrently as long as
+  /// no mutating member runs in parallel.
+  [[nodiscard]] const std::vector<std::uint64_t>* peek(
+      NodeId peer, std::span<const TermId> query) const;
+  /// peek() with the neighbor probes search() performs: checks `peer`'s
+  /// own cache, then each neighbor's (one message per probe, counted in
+  /// `probe_messages`). On a hit `hit_peer` names whose cache answered
+  /// (== peer for a free local hit). Const like peek(): no LRU refresh,
+  /// no eviction, safe for concurrent readers between mutations.
+  [[nodiscard]] const std::vector<std::uint64_t>* peek_routed(
+      NodeId peer, std::span<const TermId> query,
+      std::uint64_t& probe_messages, NodeId& hit_peer) const;
+  /// Sequential-replay half of peek(): refreshes the entry's LRU
+  /// position, or erases it if it expired since insertion.
+  void touch(NodeId peer, std::span<const TermId> query);
+  /// Churn invalidation: drops every cache entry registered (via the
+  /// holder-aware prime()) against `peer`. Conservative — an entry with
+  /// several holders dies when the FIRST one leaves; the cost is a
+  /// re-flood, never a phantom hit.
+  void on_peer_leave(NodeId peer);
+
   [[nodiscard]] double hit_rate() const noexcept {
     return searches_ == 0 ? 0.0
                           : static_cast<double>(hits_) /
@@ -72,20 +113,28 @@ class CachingSearchNetwork {
       return static_cast<std::size_t>(k.hash);
     }
   };
+  struct Entry {
+    std::list<QueryKey>::iterator pos;
+    std::vector<std::uint64_t> results;
+    double inserted_at = 0.0;
+  };
   struct PeerCache {
     std::list<QueryKey> order;  // front = most recent
-    std::unordered_map<QueryKey,
-                       std::pair<std::list<QueryKey>::iterator,
-                                 std::vector<std::uint64_t>>,
-                       KeyHash>
-        entries;
+    std::unordered_map<QueryKey, Entry, KeyHash> entries;
   };
 
+  [[nodiscard]] static QueryKey key_from(std::span<const TermId> query,
+                                         std::vector<TermId>& scratch);
   [[nodiscard]] QueryKey key_of(std::span<const TermId> query);
+  [[nodiscard]] bool expired(const Entry& e) const noexcept {
+    return params_.max_age_s > 0.0 && now_s_ - e.inserted_at > params_.max_age_s;
+  }
   [[nodiscard]] const std::vector<std::uint64_t>* lookup(NodeId peer,
                                                          const QueryKey& key);
   void insert(NodeId peer, const QueryKey& key,
               std::vector<std::uint64_t> results);
+  void erase_entry(PeerCache& cache,
+                   std::unordered_map<QueryKey, Entry, KeyHash>::iterator it);
 
   const Graph* graph_;
   const PeerStore* store_;
@@ -96,6 +145,14 @@ class CachingSearchNetwork {
   std::vector<TermId> key_scratch_;
   std::uint64_t searches_ = 0;
   std::uint64_t hits_ = 0;
+  /// DES clock for age eviction (advance_clock()).
+  double now_s_ = 0.0;
+  /// holder peer -> entries registered by the holder-aware prime().
+  /// Hints, not invariants: entries may already be gone (LRU/age
+  /// eviction) or replaced by a newer same-key entry; on_peer_leave()
+  /// erasing the newer one is just a conservative miss.
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, QueryKey>>>
+      holder_index_;
 };
 
 }  // namespace qcp2p::sim

@@ -1,0 +1,386 @@
+#include "src/sim/serving.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "src/sim/timing.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace qcp2p::sim {
+
+namespace {
+/// Serving-world object ids for content churn live far above any crawl
+/// id so delta objects never collide with base content.
+constexpr std::uint64_t kServingIdBase = 1ULL << 62;
+}  // namespace
+
+ServingWorld::ServingWorld(overlay::Graph graph, PeerStore store,
+                           std::vector<trace::Query> queries,
+                           double duration_s, ServingConfig config)
+    : config_(std::move(config)),
+      graph_(std::move(graph)),
+      store_(std::move(store)),
+      queries_(std::move(queries)),
+      duration_s_(duration_s),
+      maintenance_rng_(util::mix64(config_.seed ^ 0x5EF1ULL)),
+      next_object_id_(kServingIdBase) {
+  if (!graph_.frozen()) graph_.freeze();
+  if (!store_.is_finalized()) {
+    throw std::invalid_argument("ServingWorld: store must be finalized");
+  }
+  if (graph_.num_nodes() != store_.num_peers()) {
+    throw std::invalid_argument("ServingWorld: graph/store size mismatch");
+  }
+  if (find_engine(config_.engine) == nullptr) {
+    throw std::invalid_argument("ServingWorld: unknown engine '" +
+                                config_.engine + "'");
+  }
+  if (!(config_.window_s > 0.0)) {
+    throw std::invalid_argument("ServingWorld: window_s must be positive");
+  }
+  n_threads_ =
+      config_.threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : config_.threads;
+
+  // One live world: any code path that would silently drop the flat
+  // layout (and force a full finalize()) must throw instead.
+  store_.set_definalize_policy(PeerStore::DefinalizePolicy::kForbid);
+
+  // Rescale the trace timeline to the requested sustained rate,
+  // preserving its shape (diurnal cycle, flash-crowd bursts).
+  if (config_.qps > 0.0 && !queries_.empty() && duration_s_ > 0.0) {
+    const double target_duration =
+        static_cast<double>(queries_.size()) / config_.qps;
+    const double f = target_duration / duration_s_;
+    for (trace::Query& q : queries_) q.time_s *= f;
+    duration_s_ = target_duration;
+  }
+
+  const std::size_t n = graph_.num_nodes();
+  if (config_.churn_enabled) {
+    churn_ = std::make_unique<overlay::ChurnProcess>(n, config_.churn);
+    online_ = churn_->online();
+    // The steady-state offline set starts tombstoned too, so the store,
+    // the mask, and the churn process agree from t = 0.
+    std::vector<NodeId> initial_leaves;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!online_[v]) initial_leaves.push_back(v);
+    }
+    store_.apply_membership({}, initial_leaves);
+  } else {
+    online_.assign(n, true);
+  }
+  mask_at_refreeze_ = online_;
+
+  dht_ = std::make_unique<ChordDht>(n, util::mix64(config_.seed ^ 0xD47ULL));
+  if (config_.engine == "adaptive") {
+    adaptive_ = std::make_unique<AdaptiveOverlayNetwork>(graph_, store_,
+                                                         config_.adaptive);
+  }
+  if (config_.cache_enabled) {
+    ResultCacheParams cp = config_.cache;
+    cp.flood_ttl = config_.flood_ttl;
+    cache_ = std::make_unique<CachingSearchNetwork>(graph_, store_, cp);
+  }
+  rebuild_holder_index();
+  rebuild_engine();
+}
+
+void ServingWorld::rebuild_engine() {
+  EngineWorld world;
+  world.graph = &graph_;
+  world.store = &store_;
+  world.dht = dht_.get();
+  world.adaptive = adaptive_.get();
+  world.adaptive_params = config_.adaptive;
+  world.timing = config_.timing;
+  engine_ = make_engine(config_.engine, world);
+  if (engine_ == nullptr) {
+    throw std::invalid_argument(
+        "ServingWorld: engine '" + config_.engine +
+        "' is not constructible from the serving world");
+  }
+  // Worker states may cache world-derived structures (DES servent
+  // networks); a rebuilt engine invalidates them.
+  for (EngineContext& ctx : contexts_) {
+    ctx.state.reset();
+    ctx.state_owner = nullptr;
+  }
+}
+
+void ServingWorld::rebuild_holder_index() {
+  holder_index_.clear();
+  const std::size_t n = store_.num_peers();
+  holder_index_.reserve(static_cast<std::size_t>(store_.total_objects()));
+  for (NodeId p = 0; p < n; ++p) {
+    const std::size_t count = store_.object_count(p);
+    for (std::size_t i = 0; i < count; ++i) {
+      holder_index_.emplace_back(store_.object_id(p, i), p);
+    }
+  }
+  std::sort(holder_index_.begin(), holder_index_.end());
+  delta_holders_.clear();
+}
+
+std::vector<NodeId> ServingWorld::holders_of(
+    std::span<const std::uint64_t> hits, std::size_t cap) const {
+  std::vector<NodeId> holders;
+  for (std::uint64_t id : hits) {
+    if (holders.size() >= cap) break;
+    const auto [lo, hi] = std::equal_range(
+        holder_index_.begin(), holder_index_.end(),
+        std::make_pair(id, NodeId{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto it = lo; it != hi && holders.size() < cap; ++it) {
+      holders.push_back(it->second);
+    }
+    if (const auto dit = delta_holders_.find(id);
+        dit != delta_holders_.end() && holders.size() < cap) {
+      holders.push_back(dit->second);
+    }
+  }
+  return holders;
+}
+
+void ServingWorld::apply_event(const overlay::MembershipEvent& event,
+                               WindowStats& window, ServingReport& report) {
+  const NodeId v = event.node;
+  const NodeId one[1] = {v};
+  if (event.join) {
+    ++window.joins;
+    online_[v] = true;
+    store_.apply_membership(one, {});
+    // Content churn: a rejoining peer may bring one new object, cloned
+    // from a random base object's term list (keeps the term popularity
+    // profile realistic) and landed in the delta layer — never through a
+    // de-finalizing add_object().
+    if (config_.content_add_prob > 0.0 &&
+        maintenance_rng_.chance(config_.content_add_prob)) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto p = static_cast<NodeId>(
+            maintenance_rng_.bounded(store_.num_peers()));
+        const std::size_t count = store_.object_count(p);
+        if (count == 0) continue;
+        const auto terms = store_.object_terms(
+            p, maintenance_rng_.bounded(count));
+        const std::uint64_t id = next_object_id_++;
+        store_.add_object_delta(v, id, {terms.begin(), terms.end()});
+        delta_holders_.emplace(id, v);
+        ++report.content_adds;
+        break;
+      }
+    }
+  } else {
+    ++window.leaves;
+    online_[v] = false;
+    store_.apply_membership({}, one);
+    if (cache_ != nullptr) {
+      cache_->on_peer_leave(v);
+      ++report.cache_invalidations;
+    }
+  }
+  ++flips_since_refreeze_;
+}
+
+void ServingWorld::maybe_refreeze(ServingReport& report) {
+  if (flips_since_refreeze_ < config_.refreeze_batch) return;
+  const std::size_t n = graph_.num_nodes();
+  std::vector<std::pair<NodeId, NodeId>> removes;
+  std::vector<std::pair<NodeId, NodeId>> adds;
+  for (NodeId v = 0; v < n; ++v) {
+    if (mask_at_refreeze_[v] == online_[v]) continue;
+    if (!online_[v]) {
+      // Departed since the last re-freeze: detach its edges.
+      for (NodeId nbr : graph_.neighbors(v)) removes.emplace_back(v, nbr);
+    } else {
+      // Returned: re-attach to attach_degree random live peers.
+      for (std::size_t k = 0; k < config_.attach_degree; ++k) {
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          const auto u =
+              static_cast<NodeId>(maintenance_rng_.bounded(n));
+          if (u == v || !online_[u] || graph_.has_edge(v, u)) continue;
+          adds.emplace_back(v, u);
+          break;
+        }
+      }
+    }
+  }
+  const auto [removed, added] = graph_.apply_delta(removes, adds);
+  report.edges_removed += removed;
+  report.edges_added += added;
+  mask_at_refreeze_ = online_;
+  flips_since_refreeze_ = 0;
+  ++report.refreezes;
+  rebuild_engine();
+}
+
+void ServingWorld::maybe_compact(ServingReport& report) {
+  if (store_.delta_postings() < config_.compact_max_delta) return;
+  store_.compact(n_threads_);
+  // Compacted content changes the keyword->peer mapping: republish.
+  dht_ = std::make_unique<ChordDht>(store_.num_peers(),
+                                    util::mix64(config_.seed ^ 0xD47ULL));
+  report.dht_publish_messages += dht_->publish_store(store_);
+  rebuild_holder_index();
+  ++report.compactions;
+  rebuild_engine();
+}
+
+ServingReport ServingWorld::run() {
+  if (ran_) {
+    throw std::logic_error("ServingWorld::run: stream already consumed");
+  }
+  ran_ = true;
+
+  ServingReport report;
+  report.dht_publish_messages += dht_->publish_store(store_);
+
+  contexts_.resize(n_threads_);
+  const std::size_t nq = queries_.size();
+  std::size_t qi = 0;
+  double t0 = 0.0;
+  while (t0 < duration_s_ || qi < nq) {
+    const double t1 = std::min(duration_s_, t0 + config_.window_s);
+    const bool last_window = t1 >= duration_s_;
+    WindowStats window;
+    window.start_s = t0;
+    window.end_s = t1;
+
+    // --- sequential maintenance at the window boundary ---
+    if (churn_ != nullptr) {
+      for (const overlay::MembershipEvent& ev : churn_->drain_events(t0)) {
+        apply_event(ev, window, report);
+      }
+    }
+    maybe_refreeze(report);
+    maybe_compact(report);
+    if (cache_ != nullptr) cache_->advance_clock(t0);
+
+    // --- this window's query slice ---
+    std::size_t qj = qi;
+    while (qj < nq && (last_window || queries_[qj].time_s < t1)) ++qj;
+
+    std::vector<QueryRecord> records(qj - qi);
+    const std::size_t n_shards =
+        std::max<std::size_t>(1, std::min(n_threads_, records.size()));
+    std::vector<std::size_t> bounds(n_shards + 1);
+    for (std::size_t b = 0; b <= n_shards; ++b) {
+      bounds[b] = records.size() * b / n_shards;
+    }
+    const std::size_t n_nodes = graph_.num_nodes();
+    // Parallel read-only phase: the world is immutable until the next
+    // boundary; each record slot is written by exactly one shard, each
+    // query draws from its own rng stream keyed by global index.
+    util::parallel_for_blocks(
+        n_shards, n_shards, [&](std::size_t b_begin, std::size_t b_end) {
+          for (std::size_t b = b_begin; b < b_end; ++b) {
+            EngineContext& ctx = contexts_[b];
+            for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+              const std::size_t global = qi + i;
+              const trace::Query& tq = queries_[global];
+              QueryRecord& rec = records[i];
+              if (tq.terms.empty()) continue;
+              util::Rng rng(util::mix64(config_.seed ^
+                                        (0x9E1ULL + global)));
+              ctx.rng = &rng;
+              NodeId source = 0;
+              for (int attempt = 0; attempt < 16; ++attempt) {
+                source = static_cast<NodeId>(rng.bounded(n_nodes));
+                if (online_[source]) break;
+              }
+              rec.source = source;
+              if (cache_ != nullptr) {
+                std::uint64_t probes = 0;
+                NodeId hit_peer = source;
+                const auto* hit =
+                    cache_->peek_routed(source, tq.terms, probes, hit_peer);
+                rec.messages += probes;
+                if (hit != nullptr) {
+                  rec.kind = QueryRecord::Kind::kCacheHit;
+                  rec.cache_peer = hit_peer;
+                  rec.hits = *hit;
+                  rec.timed = true;
+                  // A local hit is free; a neighbor probe hit costs one
+                  // round trip on the timing model's mean link.
+                  rec.first_hit_s =
+                      hit_peer == source
+                          ? 0.0
+                          : 2.0 * TimingModel(config_.timing).mean_link_s();
+                  continue;
+                }
+              }
+              Query query;
+              query.source = source;
+              query.terms = tq.terms;
+              query.ttl = config_.flood_ttl;
+              query.budget = config_.walk_budget;
+              query.online = &online_;
+              query.trial = global;
+              SearchOutcome out = engine_->search(query, ctx);
+              rec.messages = out.messages;
+              if (out.success) {
+                rec.kind = QueryRecord::Kind::kSuccess;
+                rec.hits = std::move(out.hits);
+                if (out.timing.has_value() && out.timing->has_first_hit()) {
+                  rec.timed = true;
+                  rec.first_hit_s = out.timing->first_hit_s;
+                }
+              }
+            }
+          }
+        });
+
+    // --- sequential replay in global query order ---
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      QueryRecord& rec = records[i];
+      const trace::Query& tq = queries_[qi + i];
+      ++window.queries;
+      window.messages += rec.messages;
+      switch (rec.kind) {
+        case QueryRecord::Kind::kCacheHit:
+          ++window.successes;
+          ++window.cache_hits;
+          ++window.timed;
+          window.latency.record(rec.first_hit_s);
+          cache_->touch(rec.cache_peer, tq.terms);
+          if (rec.cache_peer != rec.source) {
+            // search() semantics: a routed hit replicates the entry to
+            // the requester (same holder registration as a fresh prime).
+            std::vector<NodeId> holders = holders_of(rec.hits, 8);
+            cache_->prime(rec.source, tq.terms, std::move(rec.hits), holders);
+          }
+          break;
+        case QueryRecord::Kind::kSuccess:
+          ++window.successes;
+          if (rec.timed) {
+            ++window.timed;
+            window.latency.record(rec.first_hit_s);
+          }
+          if (cache_ != nullptr) {
+            std::vector<NodeId> holders = holders_of(rec.hits, 8);
+            cache_->prime(rec.source, tq.terms, std::move(rec.hits), holders);
+          }
+          break;
+        case QueryRecord::Kind::kFail:
+          break;
+      }
+      if (adaptive_ != nullptr) adaptive_->observe_query(tq.terms);
+    }
+    if (adaptive_ != nullptr) {
+      report.adaptive_readvertisements += adaptive_->refresh_synopses();
+    }
+
+    report.stats.push(std::move(window));
+    qi = qj;
+    t0 = t1;
+    if (last_window) break;
+  }
+
+  report.final_online_fraction =
+      churn_ != nullptr ? churn_->online_fraction() : 1.0;
+  return report;
+}
+
+}  // namespace qcp2p::sim

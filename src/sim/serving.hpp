@@ -1,0 +1,188 @@
+// Overlay-as-a-service: ONE live world absorbing a continuous
+// timestamped event stream instead of the rewind-per-trial harness the
+// figure benches use.
+//
+// A ServingWorld owns a frozen overlay::Graph, a finalized PeerStore
+// (de-finalize policy kForbid: the flat layout is never silently
+// dropped), a ChordDht, an optional result cache, and one registry
+// engine. It consumes two merged timestamped streams on the DES clock —
+// trace::QueryTrace queries (flash crowds included) and
+// overlay::ChurnProcess membership events — and maintains the world
+// incrementally:
+//   * membership flips are O(1) PeerStore tombstones plus a liveness
+//     mask the engines already honor (Query::online) — the "edge-delta
+//     overlay" covering the gap until the next re-freeze;
+//   * after refreeze_batch flips, the topology is repaired in ONE
+//     Graph::apply_delta CSR merge (departed nodes detached, returned
+//     nodes re-attached to random live peers) — never a full thaw;
+//   * rejoining peers may bring new content through add_object_delta;
+//     once the delta debt passes compact_max_delta the store folds it in
+//     with compact() — byte-identical to finalize()-from-scratch — and
+//     the DHT republishes. finalize() itself never runs again.
+//
+// Determinism contract (same as TrialRunner): the serving timeline is a
+// sequence of maintenance windows. All mutation — membership, graph
+// repair, compaction, cache insert/LRU, adaptive observe/refresh — runs
+// sequentially at window boundaries in global event order; the window's
+// queries execute in parallel shards against the then-immutable world,
+// each with its own rng stream keyed by global query index. Every
+// aggregate is an integer (or a merge of integer histograms), so the
+// report is byte-identical for any `threads` value.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/overlay/churn.hpp"
+#include "src/overlay/graph.hpp"
+#include "src/sim/adaptive.hpp"
+#include "src/sim/dht.hpp"
+#include "src/sim/engine_registry.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/result_cache.hpp"
+#include "src/sim/serving_stats.hpp"
+#include "src/trace/query_trace.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcp2p::sim {
+
+struct ServingConfig {
+  /// Registry engine name. Engines whose world pieces the serving
+  /// harness builds (graph, store, DHT, adaptive network) all work:
+  /// flood, random-walk, hybrid, dht-only, flood-des, dht-des, adaptive.
+  std::string engine = "flood";
+  /// Query shards per window (0 = hardware concurrency). Never changes
+  /// the report.
+  std::size_t threads = 1;
+  /// Maintenance-window length (DES seconds): membership/graph/cache
+  /// mutation granularity, and the stats-window width.
+  double window_s = 60.0;
+  std::uint32_t flood_ttl = 3;
+  /// Walk-family step budget (0 = engine default).
+  std::uint32_t walk_budget = 0;
+  /// Rescales the trace's arrival timeline to a sustained query rate
+  /// (queries/s), preserving its shape (diurnal cycle, flash crowds).
+  /// 0 keeps the trace's own timestamps.
+  double qps = 0.0;
+
+  bool churn_enabled = true;
+  overlay::ChurnParams churn{};
+  /// Membership flips accumulated before the topology is repaired with
+  /// one Graph::apply_delta batch.
+  std::size_t refreeze_batch = 512;
+  /// Re-attachment degree for peers that rejoined since the last
+  /// re-freeze.
+  std::size_t attach_degree = 4;
+  /// Probability a rejoining peer brings one new object (content churn
+  /// through the PeerStore delta layer).
+  double content_add_prob = 0.25;
+  /// Delta postings tolerated before compact() folds the layer in and
+  /// the DHT republishes.
+  std::uint64_t compact_max_delta = 20'000;
+
+  bool cache_enabled = true;
+  ResultCacheParams cache = [] {
+    ResultCacheParams p;
+    p.max_age_s = 300.0;  // serving default: entries expire on DES time
+    return p;
+  }();
+
+  AdaptiveParams adaptive{};
+  TimingParams timing{};
+  std::uint64_t seed = 42;
+};
+
+struct ServingReport {
+  ServingStats stats;
+  std::uint64_t refreezes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t edges_removed = 0;
+  std::uint64_t edges_added = 0;
+  std::uint64_t content_adds = 0;
+  /// Leave events that triggered cache holder invalidation.
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t adaptive_readvertisements = 0;
+  std::uint64_t dht_publish_messages = 0;
+  double final_online_fraction = 1.0;
+};
+
+/// One live world serving a timestamped query stream under churn. The
+/// graph/store are taken by value (the serving world owns and mutates
+/// them); `queries` must be sorted by time_s (QueryTrace order).
+class ServingWorld {
+ public:
+  ServingWorld(overlay::Graph graph, PeerStore store,
+               std::vector<trace::Query> queries, double duration_s,
+               ServingConfig config);
+
+  /// Consumes the whole stream; callable once.
+  [[nodiscard]] ServingReport run();
+
+  [[nodiscard]] const overlay::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const PeerStore& store() const noexcept { return store_; }
+  [[nodiscard]] const ServingConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// Per-query measurement produced in the parallel phase, folded into
+  /// window stats (and replayed into the cache/adaptive state) in global
+  /// query order afterwards.
+  struct QueryRecord {
+    enum class Kind : std::uint8_t { kFail, kSuccess, kCacheHit };
+    Kind kind = Kind::kFail;
+    bool timed = false;
+    double first_hit_s = 0.0;
+    std::uint64_t messages = 0;
+    NodeId source = 0;
+    /// Whose cache answered a kCacheHit (== source for a local hit;
+    /// a neighbor for a routed probe hit).
+    NodeId cache_peer = 0;
+    std::vector<std::uint64_t> hits;
+  };
+
+  void apply_event(const overlay::MembershipEvent& event, WindowStats& window,
+                   ServingReport& report);
+  void maybe_refreeze(ServingReport& report);
+  void maybe_compact(ServingReport& report);
+  void rebuild_engine();
+  void rebuild_holder_index();
+  /// Up to `cap` distinct peers holding the leading hit objects.
+  [[nodiscard]] std::vector<NodeId> holders_of(
+      std::span<const std::uint64_t> hits, std::size_t cap) const;
+
+  ServingConfig config_;
+  std::size_t n_threads_ = 1;
+  overlay::Graph graph_;
+  PeerStore store_;
+  std::vector<trace::Query> queries_;
+  double duration_s_ = 0.0;
+
+  std::unique_ptr<ChordDht> dht_;
+  std::unique_ptr<AdaptiveOverlayNetwork> adaptive_;
+  std::unique_ptr<SearchEngine> engine_;
+  std::unique_ptr<CachingSearchNetwork> cache_;
+  std::unique_ptr<overlay::ChurnProcess> churn_;
+
+  std::vector<bool> online_;
+  std::vector<bool> mask_at_refreeze_;
+  std::size_t flips_since_refreeze_ = 0;
+  /// Sequential maintenance stream (graph repair targets, content
+  /// churn); never touched by the parallel query phase.
+  util::Rng maintenance_rng_;
+  std::uint64_t next_object_id_ = 0;
+
+  /// (object id, holder) over the compacted base layer, sorted by id;
+  /// delta objects live in delta_holders_ until the next compaction.
+  std::vector<std::pair<std::uint64_t, NodeId>> holder_index_;
+  std::unordered_map<std::uint64_t, NodeId> delta_holders_;
+
+  std::vector<EngineContext> contexts_;
+  bool ran_ = false;
+};
+
+}  // namespace qcp2p::sim

@@ -1,0 +1,99 @@
+#include "src/sim/serving_stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace qcp2p::sim {
+
+namespace {
+// Linear region: one bucket per microsecond below 2^kLinearBits.
+constexpr std::size_t kLinearBits = 6;   // 64 us
+constexpr std::size_t kSubBits = 5;      // 32 sub-buckets per octave
+constexpr std::size_t kLinearBuckets = std::size_t{1} << kLinearBits;
+constexpr std::size_t kOctaves = 64 - kLinearBits;  // up to 2^63 us
+constexpr std::size_t kBuckets =
+    kLinearBuckets + kOctaves * (std::size_t{1} << kSubBits);
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : counts_(kBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t us) noexcept {
+  if (us < kLinearBuckets) return static_cast<std::size_t>(us);
+  const auto msb = static_cast<std::size_t>(std::bit_width(us) - 1);
+  const std::size_t sub =
+      static_cast<std::size_t>(us >> (msb - kSubBits)) & ((1u << kSubBits) - 1);
+  return kLinearBuckets + (msb - kLinearBits) * (std::size_t{1} << kSubBits) +
+         sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_floor_us(std::size_t b) noexcept {
+  if (b < kLinearBuckets) return b;
+  const std::size_t rel = b - kLinearBuckets;
+  const std::size_t octave = kLinearBits + rel / (std::size_t{1} << kSubBits);
+  const std::uint64_t sub = rel & ((1u << kSubBits) - 1);
+  return (std::uint64_t{1} << octave) | (sub << (octave - kSubBits));
+}
+
+void LatencyHistogram::record(double seconds) noexcept {
+  const double clamped = seconds > 0.0 ? seconds : 0.0;
+  const auto us = static_cast<std::uint64_t>(std::llround(clamped * 1e6));
+  ++counts_[bucket_of(us)];
+  ++total_;
+  sum_us_ += us;
+  max_us_ = std::max(max_us_, us);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_us_ += other.sum_us_;
+  max_us_ = std::max(max_us_, other.max_us_);
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  const double clamped = std::min(1.0, std::max(q, 0.0));
+  // Rank of the target sample, 1-based; ceil so q = 1 hits the last one.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= rank) return static_cast<double>(bucket_floor_us(b)) * 1e-6;
+  }
+  return static_cast<double>(max_us_) * 1e-6;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return total_ == 0
+             ? 0.0
+             : static_cast<double>(sum_us_) * 1e-6 / static_cast<double>(total_);
+}
+
+double LatencyHistogram::max() const noexcept {
+  return static_cast<double>(max_us_) * 1e-6;
+}
+
+void WindowStats::merge(const WindowStats& other) noexcept {
+  if (queries == 0 && joins == 0 && leaves == 0) {
+    start_s = other.start_s;
+  }
+  end_s = std::max(end_s, other.end_s);
+  queries += other.queries;
+  successes += other.successes;
+  cache_hits += other.cache_hits;
+  timed += other.timed;
+  messages += other.messages;
+  joins += other.joins;
+  leaves += other.leaves;
+  latency.merge(other.latency);
+}
+
+void ServingStats::push(WindowStats window) {
+  total_.merge(window);
+  windows_.push_back(std::move(window));
+}
+
+}  // namespace qcp2p::sim

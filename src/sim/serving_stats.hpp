@@ -1,0 +1,97 @@
+// Windowed SLO accounting for the serving path: deterministic latency
+// quantiles (p50/p99/p999) over the DES clock.
+//
+// Latencies are bucketed HDR-style — a linear region below 64 us, then
+// 32 linear sub-buckets per power-of-two octave — so every percentile is
+// a pure function of integer bucket counts: merging shards, merging
+// windows, and re-running at a different --threads value all produce
+// byte-identical quantiles (no floating-point accumulation order
+// anywhere). Relative quantile error is bounded by the sub-bucket width,
+// ~3%.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qcp2p::sim {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one latency sample (seconds; negatives clamp to 0). Values
+  /// are quantized to whole microseconds.
+  void record(double seconds) noexcept;
+  /// Integer bucket-count merge; associative and commutative, so any
+  /// shard/window merge order yields the same histogram.
+  void merge(const LatencyHistogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  /// The q-quantile in seconds (bucket lower bound — deterministic).
+  /// q outside (0, 1] clamps; an empty histogram reports 0.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  /// Mean in seconds (integer microsecond sum / count).
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+ private:
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t us) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_floor_us(std::size_t b) noexcept;
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_us_ = 0;
+  std::uint64_t max_us_ = 0;
+};
+
+/// One maintenance window of the serving timeline: query outcomes,
+/// membership traffic, and the latency histogram of the queries that
+/// carried a time axis. All fields are integers or DES-clock doubles, so
+/// a window is byte-identical for any worker count.
+struct WindowStats {
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  std::uint64_t queries = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t cache_hits = 0;
+  /// Successful queries whose engine produced a TimingRecord with a
+  /// first hit (these populate `latency`; cache hits count as 0 s).
+  std::uint64_t timed = 0;
+  std::uint64_t messages = 0;
+
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+
+  LatencyHistogram latency;
+
+  void merge(const WindowStats& other) noexcept;
+  [[nodiscard]] double success_rate() const noexcept {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(successes) /
+                              static_cast<double>(queries);
+  }
+  [[nodiscard]] double hit_rate() const noexcept {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(queries);
+  }
+};
+
+/// The serving run's stats stream: per-window rows plus the cumulative
+/// merge the SLO summary reports.
+class ServingStats {
+ public:
+  void push(WindowStats window);
+
+  [[nodiscard]] const std::vector<WindowStats>& windows() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] const WindowStats& total() const noexcept { return total_; }
+
+ private:
+  std::vector<WindowStats> windows_;
+  WindowStats total_;
+};
+
+}  // namespace qcp2p::sim

@@ -75,6 +75,48 @@ TEST(ChurnProcess, EmptyNetworkFractionIsExactSteadyState) {
   EXPECT_DOUBLE_EQ(ChurnProcess(0, degenerate).online_fraction(), 0.0);
 }
 
+TEST(ChurnProcess, DrainEventsMatchesAdvanceEndState) {
+  ChurnParams params;
+  params.mean_online_s = 200.0;
+  params.mean_offline_s = 100.0;
+  ChurnProcess drained(400, params);
+  ChurnProcess advanced(400, params);
+
+  std::vector<MembershipEvent> events;
+  for (double t = 250.0; t <= 2000.0; t += 250.0) {
+    const auto batch = drained.drain_events(t);
+    events.insert(events.end(), batch.begin(), batch.end());
+  }
+  advanced.advance(2000.0);
+  EXPECT_EQ(drained.online(), advanced.online());
+  EXPECT_DOUBLE_EQ(drained.now(), advanced.now());
+
+  // Events are sorted by (time, node), each in its drain window, and
+  // replaying them over the initial state reproduces the final mask.
+  ChurnProcess initial(400, params);
+  std::vector<bool> replay = initial.online();
+  double prev = 0.0;
+  for (const MembershipEvent& ev : events) {
+    EXPECT_GE(ev.time_s, prev);
+    prev = ev.time_s;
+    EXPECT_NE(replay[ev.node], ev.join);  // every event is a real toggle
+    replay[ev.node] = ev.join;
+  }
+  EXPECT_EQ(replay, drained.online());
+}
+
+TEST(ChurnProcess, DrainEventsRejectsTimeTravel) {
+  ChurnParams params;
+  ChurnProcess churn(10, params);
+  (void)churn.drain_events(100.0);
+#ifdef NDEBUG
+  EXPECT_THROW((void)churn.drain_events(50.0), std::invalid_argument);
+#else
+  EXPECT_DEATH((void)churn.drain_events(50.0), "non-negative");
+#endif
+  EXPECT_TRUE(churn.drain_events(100.0).empty());  // same-time no-op
+}
+
 TEST(SampleOnline, MatchesProbability) {
   util::Rng rng(1);
   const auto online = sample_online(50'000, 0.7, rng);

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
 namespace qcp2p::overlay {
 namespace {
 
@@ -70,6 +76,100 @@ TEST(Graph, ComponentOf) {
 TEST(Graph, EmptyAndSingletonAreConnected) {
   EXPECT_TRUE(Graph(0).is_connected());
   EXPECT_TRUE(Graph(1).is_connected());
+}
+
+// ---------------------------------------------------------------------------
+// apply_delta: batched frozen-CSR maintenance for the serving path.
+
+Graph random_graph(std::size_t n, std::size_t edges, std::uint64_t seed) {
+  Graph g(n);
+  util::Rng rng(seed);
+  while (g.num_edges() < edges) {
+    g.add_edge(static_cast<NodeId>(rng.bounded(n)),
+               static_cast<NodeId>(rng.bounded(n)));
+  }
+  return g;
+}
+
+TEST(GraphApplyDelta, MatchesPerEdgeOpsPlusFreeze) {
+  constexpr std::size_t kN = 120;
+  Graph frozen = random_graph(kN, 400, 3);
+  Graph reference = frozen;  // same adjacency; stays thawed
+  frozen.freeze();
+
+  util::Rng rng(9);
+  std::vector<std::pair<NodeId, NodeId>> removes, adds;
+  for (int i = 0; i < 60; ++i) {
+    const auto u = static_cast<NodeId>(rng.bounded(kN));
+    if (frozen.degree(u) > 0) {
+      removes.emplace_back(u, frozen.neighbors(u)[rng.bounded(
+                                  frozen.degree(u))]);
+    }
+    adds.emplace_back(static_cast<NodeId>(rng.bounded(kN)),
+                      static_cast<NodeId>(rng.bounded(kN)));
+  }
+  // Stress the dedup/validation paths: duplicates (both directions), a
+  // self-loop, an out-of-range endpoint, a remove of a missing edge, and
+  // a remove-then-readd of the same edge in one batch.
+  if (!removes.empty()) {
+    removes.push_back({removes[0].second, removes[0].first});
+    adds.push_back(removes[0]);  // re-add an edge removed in this batch
+  }
+  removes.push_back({5, 5});
+  removes.push_back({0, static_cast<NodeId>(kN + 7)});
+  adds.push_back({7, 7});
+  adds.push_back({static_cast<NodeId>(kN + 1), 0});
+  if (!adds.empty()) adds.push_back({adds[0].second, adds[0].first});
+
+  const auto [removed, added] = frozen.apply_delta(removes, adds);
+  std::size_t ref_removed = 0, ref_added = 0;
+  for (const auto& [u, v] : removes) ref_removed += reference.remove_edge(u, v);
+  for (const auto& [u, v] : adds) ref_added += reference.add_edge(u, v);
+  reference.freeze();
+
+  EXPECT_EQ(removed, ref_removed);
+  EXPECT_EQ(added, ref_added);
+  EXPECT_TRUE(frozen.frozen());
+  EXPECT_EQ(frozen.num_edges(), reference.num_edges());
+  // Identical CSR, including within-row neighbor order.
+  const auto fo = frozen.csr_offsets();
+  const auto ro = reference.csr_offsets();
+  ASSERT_TRUE(std::equal(fo.begin(), fo.end(), ro.begin(), ro.end()));
+  const auto fn = frozen.csr_neighbors();
+  const auto rn = reference.csr_neighbors();
+  EXPECT_TRUE(std::equal(fn.begin(), fn.end(), rn.begin(), rn.end()));
+}
+
+TEST(GraphApplyDelta, ThawedGraphFallsBackToPerEdgeOps) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const std::vector<std::pair<NodeId, NodeId>> removes{{0, 1}, {4, 4}};
+  const std::vector<std::pair<NodeId, NodeId>> adds{{2, 3}, {2, 3}, {1, 2}};
+  const auto [removed, added] = g.apply_delta(removes, adds);
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(added, 1u);
+  EXPECT_FALSE(g.frozen());
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphApplyDelta, EmptyAndNoopBatches) {
+  Graph g = random_graph(20, 30, 4);
+  g.freeze();
+  const std::uint64_t edges = g.num_edges();
+  EXPECT_EQ(g.apply_delta({}, {}), (std::pair<std::size_t, std::size_t>{0, 0}));
+  // Removing absent edges / adding present edges is a no-op batch.
+  const std::vector<std::pair<NodeId, NodeId>> removes{{0, 0}};
+  const std::vector<std::pair<NodeId, NodeId>> adds{
+      {g.neighbors(0).empty() ? NodeId{1} : NodeId{0},
+       g.neighbors(0).empty() ? NodeId{1} : g.neighbors(0)[0]}};
+  const auto [removed, added] = g.apply_delta(removes, adds);
+  EXPECT_EQ(removed, 0u);
+  EXPECT_EQ(added, 0u);
+  EXPECT_EQ(g.num_edges(), edges);
+  EXPECT_TRUE(g.frozen());
 }
 
 }  // namespace

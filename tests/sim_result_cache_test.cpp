@@ -160,5 +160,109 @@ TEST_F(CacheFixture, ReinsertRefreshesLruPosition) {
   EXPECT_FALSE(evicted.cache_hit);
 }
 
+TEST_F(CacheFixture, MaxAgeEvictsOnDesTime) {
+  ResultCacheParams params;
+  params.flood_ttl = 20;
+  params.max_age_s = 100.0;
+  CachingSearchNetwork net(graph, store, params);
+
+  const auto first = net.search(0, std::vector<TermId>{5});
+  ASSERT_TRUE(first.success());
+
+  net.advance_clock(50.0);  // still fresh
+  EXPECT_TRUE(net.search(0, std::vector<TermId>{5}).cache_hit);
+  EXPECT_NE(net.peek(0, std::vector<TermId>{5}), nullptr);
+
+  net.advance_clock(200.0);  // past max_age_s since insertion
+  EXPECT_EQ(net.peek(0, std::vector<TermId>{5}), nullptr);
+  const auto stale = net.search(0, std::vector<TermId>{5});
+  EXPECT_FALSE(stale.cache_hit);   // lazily evicted, re-flooded
+  EXPECT_GT(stale.messages, 10u);
+  // The re-flood re-primed the entry at t = 200: fresh again.
+  EXPECT_TRUE(net.search(0, std::vector<TermId>{5}).cache_hit);
+}
+
+TEST_F(CacheFixture, ZeroMaxAgeNeverExpires) {
+  ResultCacheParams params;
+  params.flood_ttl = 20;  // max_age_s stays 0 = disabled
+  CachingSearchNetwork net(graph, store, params);
+  (void)net.search(0, std::vector<TermId>{5});
+  net.advance_clock(1e12);
+  EXPECT_TRUE(net.search(0, std::vector<TermId>{5}).cache_hit);
+}
+
+// Regression: under churn a cached result can outlive the ONLY peer
+// holding the objects it names, serving phantom hits forever. The
+// holder-aware prime() + on_peer_leave() invalidation closes that hole.
+TEST_F(CacheFixture, CachedResultDoesNotOutliveItsOnlyHolder) {
+  ResultCacheParams params;
+  params.flood_ttl = 20;
+  CachingSearchNetwork net(graph, store, params);
+
+  // Object 900 lives ONLY on peer 15; cache its result at peer 0.
+  const NodeId holders[1] = {15};
+  net.prime(0, std::vector<TermId>{5}, {900}, holders);
+  ASSERT_NE(net.peek(0, std::vector<TermId>{5}), nullptr);
+
+  net.on_peer_leave(15);  // the only holder departs
+  EXPECT_EQ(net.peek(0, std::vector<TermId>{5}), nullptr);
+  EXPECT_FALSE(net.search(0, std::vector<TermId>{5}).cache_hit);
+
+  // Unrelated leaves must not disturb other entries.
+  net.prime(0, std::vector<TermId>{5}, {900}, holders);
+  net.on_peer_leave(7);
+  EXPECT_NE(net.peek(0, std::vector<TermId>{5}), nullptr);
+}
+
+TEST_F(CacheFixture, PeekIsConstAndTouchReplaysLru) {
+  ResultCacheParams params;
+  params.capacity = 2;
+  CachingSearchNetwork net(graph, store, params);
+  net.prime(0, std::vector<TermId>{101}, {1});
+  net.prime(0, std::vector<TermId>{102}, {2});
+
+  // peek() must not refresh recency: after peeking 101, inserting a
+  // third entry still evicts 101 (the least recently *mutated*).
+  ASSERT_NE(net.peek(0, std::vector<TermId>{101}), nullptr);
+  net.prime(0, std::vector<TermId>{103}, {3});
+  EXPECT_EQ(net.peek(0, std::vector<TermId>{101}), nullptr);
+
+  // touch() is the replayed half: it does refresh recency.
+  net.prime(0, std::vector<TermId>{101}, {1});  // evicts 102
+  net.touch(0, std::vector<TermId>{102});       // no-op on a miss
+  net.touch(0, std::vector<TermId>{103});
+  net.prime(0, std::vector<TermId>{104}, {4});  // evicts 101, not 103
+  EXPECT_NE(net.peek(0, std::vector<TermId>{103}), nullptr);
+  EXPECT_EQ(net.peek(0, std::vector<TermId>{101}), nullptr);
+}
+
+TEST_F(CacheFixture, PeekRoutedProbesNeighbors) {
+  ResultCacheParams params;
+  params.flood_ttl = 20;
+  CachingSearchNetwork net(graph, store, params);
+  net.prime(1, std::vector<TermId>{5}, {900});  // neighbor of 0 on the ring
+
+  std::uint64_t probes = 0;
+  NodeId hit_peer = 99;
+  const auto* hit =
+      net.peek_routed(0, std::vector<TermId>{5}, probes, hit_peer);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit_peer, 1u);
+  EXPECT_GE(probes, 1u);
+  EXPECT_EQ(*hit, (std::vector<std::uint64_t>{900}));
+
+  // Local entries win without probing.
+  net.prime(0, std::vector<TermId>{5}, {900});
+  hit = net.peek_routed(0, std::vector<TermId>{5}, probes, hit_peer);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit_peer, 0u);
+  EXPECT_EQ(probes, 0u);
+
+  // Full miss: every neighbor probed, nothing found.
+  hit = net.peek_routed(4, std::vector<TermId>{77}, probes, hit_peer);
+  EXPECT_EQ(hit, nullptr);
+  EXPECT_EQ(probes, 2u);  // ring degree
+}
+
 }  // namespace
 }  // namespace qcp2p::sim
