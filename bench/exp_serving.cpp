@@ -96,6 +96,15 @@ int main(int argc, char** argv) {
   const auto compact_delta = cli.get_uint("compact-delta", 20'000);
   const bool no_cache = cli.get_bool("no-cache");
   const bool per_window = cli.get_bool("windows");
+  // Ranked serving: every query asks its engine for top-k scored
+  // results and the cache stores rankings (DESIGN.md section 11).
+  const auto top_k = static_cast<std::uint32_t>(cli.get_uint("top-k", 0));
+  const auto min_score = static_cast<float>(
+      bench::checked_double_flag(cli, "min-score", 0.0, 0.0, 1e9));
+  // Browse sessions: users repeating the same ranked query seconds
+  // apart — the repetition score-aware caching amortizes.
+  const auto browse =
+      bench::checked_double_flag(cli, "browse", 0.0, 0.0, 1.0);
   const std::vector<double> qps_levels =
       double_list_flag(cli, "qps", "100", 0.1, 1e9);
   const std::vector<double> churn_levels =
@@ -118,10 +127,15 @@ int main(int argc, char** argv) {
 
   trace::QueryTraceParams qp = env.query_params();
   qp.num_queries = num_queries;
+  qp.browse_session_prob = browse;
   const trace::QueryTrace trace = generate_query_trace(model, qp);
   std::cout << "# stream: " << trace.queries().size()
             << " timestamped queries, " << trace.events().size()
             << " flash-crowd events, window " << window_s << " s\n";
+  if (top_k != 0) {
+    std::cout << "# ranked serving: top-k " << top_k << ", min-score "
+              << min_score << ", browse-session prob " << browse << "\n";
+  }
 
   util::Table summary({"engine", "qps", "offline", "queries", "success",
                        "cache hit", "msgs/q", "p50 ms", "p99 ms", "p999 ms",
@@ -146,6 +160,8 @@ int main(int argc, char** argv) {
         cfg.refreeze_batch = refreeze_batch;
         cfg.compact_max_delta = compact_delta;
         cfg.cache_enabled = !no_cache;
+        cfg.top_k = top_k;
+        cfg.min_score = min_score;
         cfg.seed = env.seed;
 
         sim::ServingWorld world(base_graph, base_store, trace.queries(),

@@ -1,0 +1,261 @@
+// Ranked search sweep: budget-bounded top-k vs the exhaustive oracle
+// (DESIGN.md section 11).
+//
+// For each (placement x engine x k) cell the harness replays the same
+// object-derived conjunctive queries twice:
+//   * oracle: an exhaustive set-mode flood (k = 0) at the SAME ttl,
+//     scored post-hoc with the store's static scores — the best top-k
+//     any engine could have returned under this liveness;
+//   * ranked: the engine with Query::k set, whose k-th-best-stability
+//     early termination stops paying for rounds that no longer improve
+//     the top-k (smaller k => earlier stop => fewer messages).
+// The comparison isolates the ranked contract's message savings (same
+// reach, same content, same queries) and prices them in recall@k.
+//
+// Placements: the crawl-derived Zipf replica distribution vs the same
+// objects re-placed on a fixed number of uniform-random peers — the
+// paper's recurring uniform-evaluation-regime contrast. Early
+// termination feeds on replica skew (popular objects saturate the
+// frontier early), so the Zipf column is where the savings live.
+//
+// All aggregates are integer sums (sim::TrialRunner), so stdout is
+// byte-identical for any --threads value.
+#include "bench/bench_common.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/sim/trial_runner.hpp"
+
+using namespace qcp2p;
+
+namespace {
+
+/// The same objects as `zipf`, each re-placed on exactly `copies`
+/// uniform-random peers (the related-work evaluation regime).
+sim::PeerStore uniform_replacement(const sim::PeerStore& zipf,
+                                   std::size_t nodes, std::size_t copies,
+                                   std::uint64_t seed) {
+  sim::PeerStore store(nodes);
+  util::Rng rng(util::mix64(seed ^ 0x0B1ECE5ULL));
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<overlay::NodeId> holders;
+  for (overlay::NodeId p = 0; p < zipf.num_peers(); ++p) {
+    const std::size_t count = zipf.object_count(p);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t id = zipf.object_id(p, i);
+      if (!seen.insert(id).second) continue;
+      const auto terms = zipf.object_terms(p, i);
+      holders.clear();
+      while (holders.size() < std::min(copies, nodes)) {
+        const auto v = static_cast<overlay::NodeId>(rng.bounded(nodes));
+        if (std::find(holders.begin(), holders.end(), v) == holders.end()) {
+          holders.push_back(v);
+        }
+      }
+      for (overlay::NodeId v : holders) {
+        store.add_object(v, id, {terms.begin(), terms.end()});
+      }
+    }
+  }
+  store.finalize();
+  return store;
+}
+
+/// id -> static score, from any holder (scores are a property of the
+/// object — term rarity x replica count — not of the replica).
+std::unordered_map<std::uint64_t, float> score_map(
+    const sim::PeerStore& store) {
+  std::unordered_map<std::uint64_t, float> scores;
+  for (overlay::NodeId p = 0; p < store.num_peers(); ++p) {
+    const std::size_t count = store.object_count(p);
+    for (std::size_t i = 0; i < count; ++i) {
+      scores.try_emplace(store.object_id(p, i), store.object_score(p, i));
+    }
+  }
+  return scores;
+}
+
+/// Exhaustive set-mode answer for one query: the ideal ranking prefix
+/// (rank order, up to max_k ids) and the messages the full flood paid.
+struct Oracle {
+  std::vector<std::uint64_t> ranked_ids;
+  std::uint64_t messages = 0;
+  std::size_t full_size = 0;
+};
+
+std::vector<Oracle> build_oracles(
+    const sim::SearchEngine& flood, const sim::TrialRunner& runner,
+    const std::vector<std::vector<sim::TermId>>& queries,
+    const std::unordered_map<std::uint64_t, float>& scores, std::size_t nodes,
+    std::uint32_t ttl, std::uint32_t max_k) {
+  std::vector<Oracle> oracles(queries.size());
+  sim::EngineContext ctx;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    // Same rng stream as ranked trial q, so the FIRST draw — the query
+    // source — is identical and the message comparison is paired.
+    util::Rng rng = runner.trial_rng(q);
+    ctx.rng = &rng;
+    sim::Query query;
+    query.source = static_cast<overlay::NodeId>(rng.bounded(nodes));
+    query.terms = queries[q];
+    query.ttl = ttl;
+    query.trial = q;
+    const sim::SearchOutcome out = flood.search(query, ctx);
+    Oracle& o = oracles[q];
+    o.messages = out.messages;
+    o.full_size = out.hits.size();
+    std::vector<sim::ScoredMatch> ranked;
+    ranked.reserve(out.hits.size());
+    for (std::uint64_t id : out.hits) {
+      const auto it = scores.find(id);
+      ranked.push_back({id, it != scores.end() ? it->second : 0.0f});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const sim::ScoredMatch& a, const sim::ScoredMatch& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.object < b.object;
+              });
+    if (ranked.size() > max_k) ranked.resize(max_k);
+    for (const sim::ScoredMatch& m : ranked) o.ranked_ids.push_back(m.object);
+  }
+  return oracles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::BenchEnv env = bench::BenchEnv::from_cli(cli, 0.05);
+  const auto nodes = cli.get_uint("nodes", 2'000);
+  const auto num_queries = cli.get_uint("queries", 300);
+  // Saturating by default: at degree 8 the frontier covers 2k nodes in
+  // 5 hops, so oracle and ranked runs share full reach and the message
+  // gap is the early-termination savings alone.
+  const auto ttl = static_cast<std::uint32_t>(cli.get_uint("ttl", 5));
+  const auto copies = cli.get_uint("copies", 4);
+  const std::string k_raw = cli.get("k", "1,10");
+  std::vector<std::uint32_t> k_levels;
+  {
+    std::size_t pos = 0;
+    while (pos <= k_raw.size()) {
+      const std::size_t comma = std::min(k_raw.find(',', pos), k_raw.size());
+      const std::string item = k_raw.substr(pos, comma - pos);
+      std::uint32_t value = 0;
+      const char* const end = item.data() + item.size();
+      const auto [parse_end, ec] = std::from_chars(item.data(), end, value);
+      if (item.empty() || ec != std::errc{} || parse_end != end ||
+          value == 0) {
+        std::cerr << "--k must be a comma list of positive integers, got '"
+                  << k_raw << "'\n";
+        return 2;
+      }
+      k_levels.push_back(value);
+      pos = comma + 1;
+    }
+  }
+  const std::uint32_t max_k =
+      *std::max_element(k_levels.begin(), k_levels.end());
+
+  bench::print_header(
+      "exp_topk", env,
+      "budget-bounded ranked search: messages saved vs recall@k against "
+      "the exhaustive scored flood oracle");
+
+  bench::SearchWorld zipf = bench::build_search_world(env, nodes, num_queries);
+
+  // The uniform world reuses the Zipf world's graph and objects; only
+  // the placement (and therefore the scores' replica term) changes.
+  bench::SearchWorld uniform{
+      uniform_replacement(zipf.store, nodes, copies, env.seed),
+      zipf.graph, nullptr, 0, nullptr, zipf.queries};
+  uniform.dht = std::make_unique<sim::ChordDht>(nodes, env.seed + 4);
+  uniform.publish_messages = uniform.dht->publish_store(uniform.store);
+
+  util::Table table({"placement", "engine", "k", "success", "msgs/q",
+                     "oracle msgs/q", "msg saved", "recall@k"});
+
+  struct Cell {
+    const char* placement;
+    bench::SearchWorld* world;
+  };
+  for (const Cell cell : {Cell{"zipf", &zipf}, Cell{"uniform", &uniform}}) {
+    const sim::EngineWorld ew = cell.world->engine_world();
+    const auto scores = score_map(cell.world->store);
+    const auto oracle_flood = sim::make_engine("flood", ew);
+    const sim::TrialRunner runner({env.threads, env.seed});
+    const std::vector<Oracle> oracles =
+        build_oracles(*oracle_flood, runner, cell.world->queries, scores,
+                      nodes, ttl, max_k);
+    std::uint64_t oracle_messages = 0;
+    for (const Oracle& o : oracles) oracle_messages += o.messages;
+    const double oracle_per_q =
+        oracles.empty() ? 0.0
+                        : static_cast<double>(oracle_messages) /
+                              static_cast<double>(oracles.size());
+
+    const std::vector<bench::NamedEngine> engines =
+        bench::make_sweep_engines(env, ew);
+    for (const bench::NamedEngine& ne : engines) {
+      for (const std::uint32_t k : k_levels) {
+        const sim::TrialAggregate agg = runner.run(
+            cell.world->queries.size(),
+            [] { return sim::EngineContext{}; },
+            [&, k](std::size_t t, util::Rng& trng, sim::EngineContext& ctx) {
+              ctx.rng = &trng;
+              sim::Query query;
+              query.source =
+                  static_cast<overlay::NodeId>(trng.bounded(nodes));
+              query.terms = cell.world->queries[t];
+              query.ttl = ttl;
+              query.k = k;
+              query.trial = t;
+              const sim::SearchOutcome r = ne.engine->search(query, ctx);
+              sim::TrialOutcome out;
+              out.success = r.success;
+              out.messages = r.messages;
+              const Oracle& o = oracles[t];
+              std::vector<std::uint64_t> want(
+                  o.ranked_ids.begin(),
+                  o.ranked_ids.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          std::min<std::size_t>(k, o.ranked_ids.size())));
+              std::sort(want.begin(), want.end());
+              std::size_t overlap = 0;
+              for (const sim::ScoredMatch& m : r.top_k) {
+                if (std::binary_search(want.begin(), want.end(), m.object)) {
+                  ++overlap;
+                }
+              }
+              out.extra[0] = overlap;
+              out.extra[1] = std::min<std::size_t>(k, o.full_size);
+              return out;
+            });
+        table.add_row();
+        table.cell(cell.placement);
+        table.cell(std::string(ne.name));
+        table.cell(static_cast<std::uint64_t>(k));
+        table.percent(agg.success_rate(), 1);
+        table.cell(agg.mean_messages(), 1);
+        table.cell(oracle_per_q, 1);
+        table.percent(oracle_messages == 0
+                          ? 0.0
+                          : 1.0 - static_cast<double>(agg.messages) /
+                                      static_cast<double>(oracle_messages),
+                      1);
+        table.percent(agg.extra[1] == 0
+                          ? 0.0
+                          : static_cast<double>(agg.extra[0]) /
+                                static_cast<double>(agg.extra[1]),
+                      2);
+      }
+    }
+  }
+
+  bench::emit(table,
+              env,
+              "top-k vs exhaustive oracle (" + std::to_string(nodes) +
+                  " nodes, " + std::to_string(num_queries) +
+                  " queries, ttl " + std::to_string(ttl) + ")");
+  return 0;
+}

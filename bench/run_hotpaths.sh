@@ -36,10 +36,12 @@ if [[ "${MODE}" == "smoke" ]]; then
   FIG8_ARGS=(--nodes 4000 --trials 100 --crawl-scale 0.02 --threads 1)
   HYBRID_ARGS=(--scale 0.02 --nodes 1000 --queries 100 --threads 1)
   FAULT_ARGS=(--scale 0.02 --nodes 1000 --queries 60 --threads 1)
+  TOPK_ARGS=(--scale 0.01 --nodes 500 --queries 60 --k 10 --threads 1)
 else
   FIG8_ARGS=(--nodes 10000 --trials 400 --crawl-scale 0.02 --threads 1)
   HYBRID_ARGS=(--scale 0.02 --threads 1)
   FAULT_ARGS=(--scale 0.02 --threads 1)
+  TOPK_ARGS=(--scale 0.02 --nodes 2000 --queries 300 --k 10 --threads 1)
 fi
 
 WALL_ROWS=""
@@ -56,6 +58,7 @@ time_exp() {
 time_exp fig8_flood_success "${FIG8_ARGS[@]}"
 time_exp exp_hybrid_vs_dht "${HYBRID_ARGS[@]}"
 time_exp exp_fault_tolerance "${FAULT_ARGS[@]}"
+time_exp exp_topk "${TOPK_ARGS[@]}"
 
 WALL_ROWS="${WALL_ROWS}" TMP_JSON="${TMP_JSON}" OUT="${OUT}" python3 - <<'EOF'
 import json, os

@@ -76,6 +76,13 @@ class AdaptiveSearchEngine final : public SearchEngine {
     out.timing.emplace();  // estimated (rounds x mean link latency)
     out.extras = AdaptiveExtras{};
     const NodeId self[1] = {query.source};
+    if (query.ranked()) {
+      if (probe_peers_ranked(net_->store(), query.terms, self, query.min_score,
+                             ctx.scratch, out.top_k, out.peers_probed) != 0) {
+        out.timing->first_hit_s = 0.0;
+      }
+      return;
+    }
     probe_peers(net_->store(), query.terms, self, ctx.scratch, out.hits,
                 out.peers_probed);
     if (!out.hits.empty()) out.timing->first_hit_s = 0.0;
@@ -100,12 +107,17 @@ class AdaptiveSearchEngine final : public SearchEngine {
     const double base =
         out.timing->clock_s + out.fault.recovery_wait_ms / 1000.0;
     const double mean = TimingModel(timing_).mean_link_s();
+    const bool ranked = query.ranked();
     std::uint32_t rounds = 0;
     std::vector<NodeId> matching;
+    std::uint32_t stall = 0;  // ranked: rounds without a top-k improvement
+    TopKTracker tracker(query.k);
+    if (ranked) tracker.note_from(out.top_k, 0);  // begin() + retries
 
     for (std::uint32_t hop = 1; hop <= query.ttl && !scratch.frontier.empty();
          ++hop) {
       rounds = hop;
+      const std::size_t round_before = out.top_k.size();
       scratch.next.clear();
       for (NodeId u : scratch.frontier) {
         // The source always transmits; relays only if allowed to forward
@@ -142,11 +154,20 @@ class AdaptiveSearchEngine final : public SearchEngine {
           if (!alive) return;
           if (mark[v] == epoch) return;  // duplicate delivery
           mark[v] = epoch;
-          const std::size_t had_hits = out.hits.size();
           const NodeId peer[1] = {v};
-          probe_peers(net_->store(), query.terms, peer, scratch, out.hits,
-                      out.peers_probed);
-          if (out.hits.size() > had_hits && !out.timing->has_first_hit()) {
+          bool hit_here = false;
+          if (ranked) {
+            const std::size_t fresh = probe_peers_ranked(
+                net_->store(), query.terms, peer, query.min_score, scratch,
+                out.top_k, out.peers_probed);
+            hit_here = fresh != 0;
+          } else {
+            const std::size_t had_hits = out.hits.size();
+            probe_peers(net_->store(), query.terms, peer, scratch, out.hits,
+                        out.peers_probed);
+            hit_here = out.hits.size() > had_hits;
+          }
+          if (hit_here && !out.timing->has_first_hit()) {
             out.timing->first_hit_s =
                 base + 2.0 * static_cast<double>(hop) * mean;
           }
@@ -168,6 +189,14 @@ class AdaptiveSearchEngine final : public SearchEngine {
         }
       }
       scratch.frontier.swap(scratch.next);
+      // Ranked early termination (DESIGN.md §11): kRankedStallRounds
+      // consecutive rounds that admitted nothing into the current top-k
+      // (TopKTracker stability) end the expansion once at least one
+      // result is held.
+      if (ranked) {
+        stall = tracker.note_from(out.top_k, round_before) ? 0 : stall + 1;
+        if (stall >= kRankedStallRounds && !out.top_k.empty()) break;
+      }
     }
     out.timing->clock_s += 2.0 * static_cast<double>(rounds) * mean;
   }

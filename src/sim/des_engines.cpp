@@ -67,6 +67,13 @@ class FloodDesEngine final : public SearchEngine {
     // Real servents check local content before flooding; that probe is
     // fault-free and attempt-independent.
     const NodeId self[1] = {query.source};
+    if (query.ranked()) {
+      if (probe_peers_ranked(*store_, query.terms, self, query.min_score,
+                             ctx.scratch, out.top_k, out.peers_probed) != 0) {
+        out.timing->first_hit_s = 0.0;
+      }
+      return;
+    }
     probe_peers(*store_, query.terms, self, ctx.scratch, out.hits,
                 out.peers_probed);
     if (!out.hits.empty()) out.timing->first_hit_s = 0.0;
@@ -104,6 +111,15 @@ class FloodDesEngine final : public SearchEngine {
     }
     if (query.is_locate()) {
       if (!qo.hits.empty()) out.success = true;
+    } else if (query.ranked()) {
+      // Each QUERY_HIT names its responder, which holds the objects it
+      // reports — exactly what object_score_at needs to price them.
+      for (const auto& hit : qo.hits) {
+        for (std::uint64_t id : hit.object_ids) {
+          admit_ranked({id, store_->object_score_at(hit.responder, id)},
+                       query.min_score, ctx.scratch, out.top_k);
+        }
+      }
     } else {
       for (const auto& hit : qo.hits) {
         out.hits.insert(out.hits.end(), hit.object_ids.begin(),
@@ -139,8 +155,11 @@ class FloodDesEngine final : public SearchEngine {
 /// accrue serially to the querier's clock.
 class DhtDesEngine final : public SearchEngine {
  public:
-  DhtDesEngine(const ChordDht& dht, const TimingParams& timing) noexcept
-      : dht_(&dht), timing_(timing) {}
+  /// `store` is optional and only read in ranked mode (scores by
+  /// holder); bare DHT worlds pass nullptr and rank at score 0.
+  DhtDesEngine(const ChordDht& dht, const PeerStore* store,
+               const TimingParams& timing) noexcept
+      : dht_(&dht), store_(store), timing_(timing) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "dht-des";
@@ -169,6 +188,9 @@ class DhtDesEngine final : public SearchEngine {
 
     double extra_s = 0.0;  // serial jitter + in-lookup recovery waits
     std::unordered_map<std::uint64_t, std::size_t> object_term_hits;
+    // Ranked mode: one live holder per object (smallest for
+    // determinism) so the conjunctive results can be scored below.
+    std::unordered_map<std::uint64_t, NodeId> holder_of;
     ChordDht::SendLog sends;
     for (TermId t : query.terms) {
       sends.clear();
@@ -237,18 +259,33 @@ class DhtDesEngine final : public SearchEngine {
           continue;
         }
         ids.push_back(p.object_id);
+        if (query.ranked()) {
+          const auto [it, inserted] =
+              holder_of.try_emplace(p.object_id, p.holder);
+          if (!inserted && p.holder < it->second) it->second = p.holder;
+        }
       }
       std::sort(ids.begin(), ids.end());
       ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
       for (std::uint64_t id : ids) ++object_term_hits[id];
     }
     for (const auto& [id, hits] : object_term_hits) {
-      if (hits == query.terms.size()) out.hits.push_back(id);
+      if (hits != query.terms.size()) continue;
+      if (query.ranked()) {
+        const auto it = holder_of.find(id);
+        const float score = (store_ != nullptr && it != holder_of.end())
+                                ? store_->object_score_at(it->second, id)
+                                : 0.0f;
+        admit_ranked({id, score}, query.min_score, ctx.scratch, out.top_k);
+      } else {
+        out.hits.push_back(id);
+      }
     }
     sim.run();
     out.timing->events += sim.executed();
     out.timing->clock_s += sim.now() + extra_s;
-    if (!out.hits.empty() && !out.timing->has_first_hit()) {
+    if ((!out.hits.empty() || !out.top_k.empty()) &&
+        !out.timing->has_first_hit()) {
       out.timing->first_hit_s = out.timing->clock_s;
     }
     out.extras = HybridExtras{0, out.messages, true};
@@ -256,6 +293,7 @@ class DhtDesEngine final : public SearchEngine {
 
  private:
   const ChordDht* dht_;
+  const PeerStore* store_;
   TimingParams timing_;
 };
 
@@ -271,7 +309,8 @@ std::unique_ptr<SearchEngine> make_flood_des_engine(const EngineWorld& world) {
 
 std::unique_ptr<SearchEngine> make_dht_des_engine(const EngineWorld& world) {
   if (world.dht == nullptr) return nullptr;
-  return std::make_unique<DhtDesEngine>(*world.dht, world.timing);
+  return std::make_unique<DhtDesEngine>(*world.dht, world.store,
+                                        world.timing);
 }
 
 }  // namespace detail

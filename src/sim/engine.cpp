@@ -19,6 +19,71 @@ void probe_peers(const PeerStore& store, std::span<const TermId> terms,
   }
 }
 
+std::size_t admit_ranked(const ScoredMatch& m, float min_score,
+                         SearchScratch& scratch,
+                         std::vector<ScoredMatch>& ranked) {
+  if (m.score < min_score) return 0;
+  auto& seen = scratch.topk_seen;
+  const auto it = std::lower_bound(seen.begin(), seen.end(), m.object);
+  if (it != seen.end() && *it == m.object) {
+    // Replica: keeps the accumulator small but contributes no new
+    // object, so it never resets the early-termination dry counter.
+    return 0;
+  }
+  seen.insert(it, m.object);
+  ranked.push_back(m);
+  return 1;
+}
+
+std::size_t probe_peers_ranked(const PeerStore& store,
+                               std::span<const TermId> terms,
+                               std::span<const NodeId> peers, float min_score,
+                               SearchScratch& scratch,
+                               std::vector<ScoredMatch>& ranked,
+                               std::size_t& peers_probed) {
+  std::size_t fresh = 0;
+  for (NodeId v : peers) {
+    ++peers_probed;
+    const auto matched = store.match_scored(v, terms, scratch.match);
+    for (const ScoredMatch& m : matched) {
+      fresh += admit_ranked(m, min_score, scratch, ranked);
+    }
+  }
+  return fresh;
+}
+
+void finish_ranked(const Query& query, SearchOutcome& out) {
+  auto& ranked = out.top_k;
+  // Dedup by object id keeping the max score. Scores are static per
+  // object in the base store, but delta objects may carry approximate
+  // scores — max is the deterministic merge either way.
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ScoredMatch& a, const ScoredMatch& b) {
+              if (a.object != b.object) return a.object < b.object;
+              return a.score > b.score;
+            });
+  ranked.erase(std::unique(ranked.begin(), ranked.end(),
+                           [](const ScoredMatch& a, const ScoredMatch& b) {
+                             return a.object == b.object;
+                           }),
+               ranked.end());
+  std::erase_if(ranked,
+                [&](const ScoredMatch& m) { return m.score < query.min_score; });
+  // Canonical order: best score first, ascending id on ties (ties are
+  // common — equal term sets with equal replication score identically).
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ScoredMatch& a, const ScoredMatch& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.object < b.object;
+            });
+  if (ranked.size() > query.k) ranked.resize(query.k);
+  out.hits.clear();
+  out.hits.reserve(ranked.size());
+  for (const ScoredMatch& m : ranked) out.hits.push_back(m.object);
+  std::sort(out.hits.begin(), out.hits.end());
+  if (!out.hits.empty()) out.success = true;
+}
+
 bool SearchEngine::preflight(const Query&, const FaultSession*) const {
   return true;
 }
@@ -26,14 +91,18 @@ bool SearchEngine::preflight(const Query&, const FaultSession*) const {
 void SearchEngine::begin(const Query&, EngineContext&, SearchOutcome&) const {}
 
 bool SearchEngine::satisfied(const SearchOutcome& out) const {
-  return out.success || !out.hits.empty();
+  return out.success || !out.hits.empty() || !out.top_k.empty();
 }
 
 void SearchEngine::escalate(Query& query, const RecoveryPolicy& policy) const {
   query.ttl += policy.ttl_escalation;
 }
 
-void SearchEngine::finish(const Query&, SearchOutcome& out) const {
+void SearchEngine::finish(const Query& query, SearchOutcome& out) const {
+  if (query.ranked()) {
+    finish_ranked(query, out);
+    return;
+  }
   sort_unique_hits(out.hits);
   if (!out.hits.empty()) out.success = true;
 }
@@ -66,6 +135,10 @@ SearchOutcome SearchEngine::drive(const SearchEngine& engine, Query query,
   if (faults != nullptr) query.online = faults->plan().online_mask();
   SearchOutcome out;
   if (!engine.preflight(query, faults)) return out;
+  // Ranked collector state is per-query: the dedup set must start empty
+  // so admission (and the dry-round termination signal) sees only this
+  // query's objects.
+  if (query.ranked()) ctx.scratch.topk_seen.clear();
   engine.begin(query, ctx, out);
   std::uint32_t retries_used = 0;
   std::uint32_t hedges_used = 0;

@@ -30,7 +30,9 @@
 //     SearchOutcome.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -72,8 +74,19 @@ struct Query {
   const std::vector<bool>* online = nullptr;
   /// Trial index: keys the fault plan's per-message hash stream.
   std::uint64_t trial = 0;
+  /// Ranked mode (content search): ask for the k best-scored matches.
+  /// 0 keeps the legacy set semantics bit-for-bit — no scoring, no
+  /// early termination, SearchOutcome::top_k stays empty.
+  std::uint32_t k = 0;
+  /// Ranked-mode admission threshold: matches scoring below it are
+  /// neither collected nor counted toward k. Ignored when k == 0.
+  float min_score = 0.0f;
 
   [[nodiscard]] bool is_locate() const noexcept { return !holders.empty(); }
+  /// True when the query asks for a ranked top-k answer.
+  [[nodiscard]] bool ranked() const noexcept {
+    return k != 0 && holders.empty();
+  }
 };
 
 /// Counters only the flood+DHT family produces.
@@ -118,6 +131,13 @@ struct SearchOutcome {
   bool success = false;
   FaultStats fault;
   EngineExtras extras;
+  /// Ranked view (Query::k > 0 only): during the attempt loop a raw
+  /// scored-match accumulator; after finish() the canonical ranking —
+  /// deduplicated, sorted by descending score (ascending id on ties),
+  /// thresholded at Query::min_score, truncated to k. `hits` then
+  /// mirrors its object ids in ascending order so every set-semantics
+  /// consumer keeps working. Always empty when k == 0.
+  std::vector<ScoredMatch> top_k;
   /// Time axis (first-hit latency, simulated clock, DES events). Exact
   /// for the DES-backed engines, estimated for the round-based ones that
   /// price hops through a TimingModel, empty for engines with no time
@@ -176,6 +196,94 @@ void sort_unique_hits(std::vector<std::uint64_t>& hits);
 void probe_peers(const PeerStore& store, std::span<const TermId> terms,
                  std::span<const NodeId> peers, SearchScratch& scratch,
                  std::vector<std::uint64_t>& hits, std::size_t& peers_probed);
+
+/// Ranked twin of probe_peers(): scored matches at or above `min_score`
+/// are appended to `ranked`, and the return value is how many of them
+/// were NEW distinct objects (tracked in scratch.topk_seen across the
+/// whole query). Admissions only ever APPEND to `ranked`, so the suffix
+/// past the pre-call size is exactly what this probe contributed — the
+/// early-termination rule feeds that suffix to a TopKTracker.
+std::size_t probe_peers_ranked(const PeerStore& store,
+                               std::span<const TermId> terms,
+                               std::span<const NodeId> peers, float min_score,
+                               SearchScratch& scratch,
+                               std::vector<ScoredMatch>& ranked,
+                               std::size_t& peers_probed);
+
+/// Ranked early termination (DESIGN.md §11): an expansion stops once the
+/// k-th best score is STABLE — no probe admitted anything into the
+/// current top-k for a full observation window. TopKTracker below is the
+/// stability metric; these windows set the granularity per engine
+/// family. Walk family (random-walk, gia): consecutive probes without a
+/// top-k improvement that end the walk once at least one admitted
+/// result is held.
+inline constexpr std::uint32_t kRankedStallProbes = 8;
+
+/// Frontier family (flood, adaptive): consecutive frontier rounds
+/// without a top-k improvement that end the expansion once at least one
+/// admitted result is held. One round proved too eager — a rare
+/// top-scored object often arrives one quiet round later — so the
+/// window is two; recall@10 vs the exhaustive oracle (bench/exp_topk) is
+/// the tuning evidence.
+inline constexpr std::uint32_t kRankedStallRounds = 2;
+
+/// Running "k-th best admitted score" tracker behind the stability rule:
+/// a size-<=k min-heap of the best scores seen so far. note() returns
+/// true iff the score entered the top-k — any admission improves it
+/// while fewer than k candidates are held, so the rule degenerates to
+/// plain dryness until k candidates exist. Because the stop consults the
+/// requested k, a smaller k terminates no later than a larger one (an
+/// entry into the top-1 is also an entry into the top-10, so the larger
+/// k's stall window resets at least as often).
+class TopKTracker {
+ public:
+  explicit TopKTracker(std::uint32_t k) : k_(k) {}
+
+  bool note(float score) {
+    if (k_ == 0) return false;
+    if (heap_.size() < k_) {
+      heap_.push_back(score);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      return true;
+    }
+    if (score <= heap_.front()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.back() = score;
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    return true;
+  }
+
+  /// Notes every entry of `ranked` from index `from` (the admissions one
+  /// probe or round appended); true iff any improved the top-k. Retry
+  /// attempts seed a fresh tracker with note_from(out.top_k, 0) so prior
+  /// attempts' candidates count toward stability.
+  bool note_from(const std::vector<ScoredMatch>& ranked, std::size_t from) {
+    bool improved = false;
+    for (std::size_t i = from; i < ranked.size(); ++i) {
+      improved |= note(ranked[i].score);
+    }
+    return improved;
+  }
+
+ private:
+  std::uint32_t k_;
+  std::vector<float> heap_;
+};
+
+/// Scored admission for a single match: appends to `ranked` iff the
+/// score clears `min_score`, returns 1 when the object is new (see
+/// probe_peers_ranked).
+std::size_t admit_ranked(const ScoredMatch& m, float min_score,
+                         SearchScratch& scratch,
+                         std::vector<ScoredMatch>& ranked);
+
+/// Shared ranked result tail: canonicalizes a raw scored accumulator —
+/// dedup by object id (max score wins), sort by descending score with
+/// ascending id tie-break, drop entries below min_score, truncate to k —
+/// and mirrors the surviving ids into `hits` (ascending). Engines call
+/// this from finish() when query.ranked(); the base finish() does so
+/// automatically.
+void finish_ranked(const Query& query, SearchOutcome& out);
 
 /// A search strategy. Instances are immutable after construction and
 /// shared read-only across workers; all per-query state lives in the

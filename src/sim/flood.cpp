@@ -7,73 +7,102 @@
 
 namespace qcp2p::sim {
 
+namespace {
+
+/// One BFS relay round — the body of flood_into's hop loop: expands the
+/// current frontier into `next`, stamping newly reached nodes into
+/// scratch.reached, then swaps the frontiers. Returns how many nodes
+/// were first reached this hop. Factored out so the ranked flood path,
+/// which decides AFTER every hop whether to keep expanding, charges
+/// exactly the messages of the hops it actually ran.
+std::uint64_t flood_hop(const Graph& graph, NodeId source,
+                        const std::vector<bool>* forwards,
+                        const std::vector<bool>* online, FaultSession* faults,
+                        SearchScratch& scratch, std::uint8_t epoch,
+                        std::uint64_t& messages, std::uint64_t& dropped) {
+  scratch.next.clear();
+  std::uint64_t newly = 0;
+  std::uint8_t* const mark = scratch.visit_mark.data();
+  const bool plain = faults == nullptr && online == nullptr;
+  for (NodeId u : scratch.frontier) {
+    // The source always transmits; relays only if allowed to forward.
+    if (u != source && forwards != nullptr && !(*forwards)[u]) continue;
+    const auto nbrs = graph.neighbors(u);
+    if (plain) {
+      // Fast path (no loss, no liveness mask): every send is charged
+      // and delivered, so the per-edge work is just the visit check.
+      // Nodes that cannot forward are filtered out of `next` at
+      // discovery time, so later frontiers hold only relays.
+      messages += nbrs.size();
+      for (NodeId v : nbrs) {
+        if (mark[v] != epoch) {
+          mark[v] = epoch;
+          scratch.reached.push_back(v);
+          ++newly;
+          if (forwards == nullptr || (*forwards)[v]) {
+            scratch.next.push_back(v);
+          }
+        }
+      }
+      continue;
+    }
+    for (NodeId v : nbrs) {
+      // Circuit breaker: a persistently unresponsive neighbor is
+      // skipped entirely — no send, no message charged.
+      if (faults != nullptr && faults->tripped(v)) continue;
+      ++messages;  // duplicates and dead peers still cost a send
+      if (faults != nullptr && !faults->deliver(u, v)) {
+        ++dropped;  // lost in flight: never arrives anywhere
+        continue;
+      }
+      // Under faults liveness is time-indexed (mid-query crashes);
+      // the plain masked path keeps the static snapshot.
+      const bool alive = faults != nullptr
+                             ? faults->online(v)
+                             : (online == nullptr || (*online)[v]);
+      if (!alive) continue;
+      if (mark[v] != epoch) {
+        mark[v] = epoch;
+        scratch.reached.push_back(v);
+        scratch.next.push_back(v);
+        ++newly;
+      }
+    }
+  }
+  scratch.frontier.swap(scratch.next);
+  return newly;
+}
+
+/// Seeds the BFS state for a flood from `source`. Returns false when the
+/// flood is empty by definition (TTL 0, empty graph, offline source).
+bool flood_begin(const Graph& graph, NodeId source, std::uint32_t ttl,
+                 const std::vector<bool>* online, SearchScratch& scratch,
+                 std::uint8_t& epoch) {
+  scratch.reached.clear();
+  if (ttl == 0 || graph.num_nodes() == 0) return false;
+  if (online != nullptr && !(*online)[source]) return false;
+  scratch.bind(graph.num_nodes());
+  epoch = scratch.begin_epoch();
+  scratch.visit_mark[source] = epoch;
+  scratch.frontier.clear();
+  scratch.frontier.push_back(source);
+  return true;
+}
+
+}  // namespace
+
 void flood_into(const Graph& graph, NodeId source, std::uint32_t ttl,
                 const std::vector<bool>* forwards,
                 const std::vector<bool>* online, FaultSession* faults,
                 SearchScratch& scratch, std::uint64_t& messages,
                 std::uint64_t& dropped, std::vector<std::uint64_t>* per_hop) {
-  scratch.reached.clear();
-  if (ttl == 0 || graph.num_nodes() == 0) return;
-  if (online != nullptr && !(*online)[source]) return;
-
-  scratch.bind(graph.num_nodes());
-  const std::uint8_t epoch = scratch.begin_epoch();
-  scratch.visit_mark[source] = epoch;
-  scratch.frontier.clear();
-  scratch.frontier.push_back(source);
-
-  std::uint8_t* const mark = scratch.visit_mark.data();
-  const bool plain = faults == nullptr && online == nullptr;
+  std::uint8_t epoch = 0;
+  if (!flood_begin(graph, source, ttl, online, scratch, epoch)) return;
   for (std::uint32_t hop = 1; hop <= ttl && !scratch.frontier.empty(); ++hop) {
-    scratch.next.clear();
-    std::uint64_t newly = 0;
-    for (NodeId u : scratch.frontier) {
-      // The source always transmits; relays only if allowed to forward.
-      if (u != source && forwards != nullptr && !(*forwards)[u]) continue;
-      const auto nbrs = graph.neighbors(u);
-      if (plain) {
-        // Fast path (no loss, no liveness mask): every send is charged
-        // and delivered, so the per-edge work is just the visit check.
-        // Nodes that cannot forward are filtered out of `next` at
-        // discovery time, so later frontiers hold only relays.
-        messages += nbrs.size();
-        for (NodeId v : nbrs) {
-          if (mark[v] != epoch) {
-            mark[v] = epoch;
-            scratch.reached.push_back(v);
-            ++newly;
-            if (forwards == nullptr || (*forwards)[v]) {
-              scratch.next.push_back(v);
-            }
-          }
-        }
-        continue;
-      }
-      for (NodeId v : nbrs) {
-        // Circuit breaker: a persistently unresponsive neighbor is
-        // skipped entirely — no send, no message charged.
-        if (faults != nullptr && faults->tripped(v)) continue;
-        ++messages;  // duplicates and dead peers still cost a send
-        if (faults != nullptr && !faults->deliver(u, v)) {
-          ++dropped;  // lost in flight: never arrives anywhere
-          continue;
-        }
-        // Under faults liveness is time-indexed (mid-query crashes);
-        // the plain masked path keeps the static snapshot.
-        const bool alive = faults != nullptr
-                               ? faults->online(v)
-                               : (online == nullptr || (*online)[v]);
-        if (!alive) continue;
-        if (mark[v] != epoch) {
-          mark[v] = epoch;
-          scratch.reached.push_back(v);
-          scratch.next.push_back(v);
-          ++newly;
-        }
-      }
-    }
+    const std::uint64_t newly = flood_hop(graph, source, forwards, online,
+                                          faults, scratch, epoch, messages,
+                                          dropped);
     if (per_hop != nullptr) per_hop->push_back(newly);
-    scratch.frontier.swap(scratch.next);
   }
 }
 
@@ -199,6 +228,13 @@ class FloodSearchEngine final : public SearchEngine {
     }
     out.timing.emplace();  // estimated; locate mode has no per-hop data
     const NodeId self[1] = {query.source};
+    if (query.ranked()) {
+      if (probe_peers_ranked(*store_, query.terms, self, query.min_score,
+                             ctx.scratch, out.top_k, out.peers_probed) != 0) {
+        out.timing->first_hit_s = 0.0;
+      }
+      return;
+    }
     probe_peers(*store_, query.terms, self, ctx.scratch, out.hits,
                 out.peers_probed);
     if (!out.hits.empty()) out.timing->first_hit_s = 0.0;
@@ -207,6 +243,10 @@ class FloodSearchEngine final : public SearchEngine {
   void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
                const RecoveryPolicy*, SearchOutcome& out) const override {
     if (out.success) return;  // locate satisfied by the source's own copy
+    if (query.ranked()) {
+      attempt_ranked(query, ctx, faults, out);
+      return;
+    }
     const std::size_t hop_base = out.per_hop.size();
     flood_into(*graph_, query.source, query.ttl, forwards_, query.online,
                faults, ctx.scratch, out.messages, out.fault.dropped,
@@ -252,6 +292,70 @@ class FloodSearchEngine final : public SearchEngine {
   }
 
  private:
+  /// Ranked content flood: the BFS is stepped one hop at a time and each
+  /// hop's newly reached peers are probed scored before the next round
+  /// launches. Two stops (DESIGN.md §11):
+  ///   * coverage — every live peer has been probed, so later rounds can
+  ///     only re-traverse edges; stopping is free of recall cost;
+  ///   * stability — kRankedStallRounds consecutive rounds admitted
+  ///     nothing into the current top-k (TopKTracker) while at least one
+  ///     result is in hand. Until k candidates exist any admission
+  ///     counts as an improvement, so under-filled queries only stop on
+  ///     fully dry rounds.
+  /// The stability stop consults k, so a smaller k stops no later than a
+  /// larger one (the cost/recall trade the exp_topk sweep measures);
+  /// zero-result queries run the full TTL unless coverage completes.
+  /// Messages are charged per hop actually run.
+  void attempt_ranked(const Query& query, EngineContext& ctx,
+                      FaultSession* faults, SearchOutcome& out) const {
+    SearchScratch& s = ctx.scratch;
+    std::uint8_t epoch = 0;
+    if (!flood_begin(*graph_, query.source, query.ttl, query.online, s,
+                     epoch)) {
+      return;
+    }
+    const std::size_t live =
+        query.online == nullptr
+            ? graph_->num_nodes()
+            : static_cast<std::size_t>(std::count(
+                  query.online->begin(), query.online->end(), true));
+    const double base =
+        out.timing->clock_s + out.fault.recovery_wait_ms / 1000.0;
+    const double mean = TimingModel(timing_).mean_link_s();
+    std::size_t offset = 0;  // start of this hop's segment in s.reached
+    std::uint32_t hops_run = 0;
+    std::uint32_t stall = 0;
+    TopKTracker tracker(query.k);
+    tracker.note_from(out.top_k, 0);  // begin()'s local probe + retries
+    for (std::uint32_t hop = 1; hop <= query.ttl && !s.frontier.empty();
+         ++hop) {
+      const std::uint64_t newly =
+          flood_hop(*graph_, query.source, forwards_, query.online, faults, s,
+                    epoch, out.messages, out.fault.dropped);
+      out.per_hop.push_back(newly);
+      ++hops_run;
+      const std::size_t before = out.top_k.size();
+      const std::size_t fresh = probe_peers_ranked(
+          *store_, query.terms,
+          std::span<const NodeId>(s.reached)
+              .subspan(offset, static_cast<std::size_t>(newly)),
+          query.min_score, s, out.top_k, out.peers_probed);
+      offset += static_cast<std::size_t>(newly);
+      if (fresh != 0 && !out.timing->has_first_hit()) {
+        out.timing->first_hit_s =
+            base + 2.0 * static_cast<double>(hop) * mean;
+      }
+      // Coverage stop: reached plus the source is every live peer.
+      // (Under faults live is the static mask's count, which the
+      // time-indexed liveness can only shrink — the check simply never
+      // fires then, which is the conservative direction.)
+      if (s.reached.size() + 1 >= live) break;
+      stall = tracker.note_from(out.top_k, before) ? 0 : stall + 1;
+      if (stall >= kRankedStallRounds && !out.top_k.empty()) break;
+    }
+    out.timing->clock_s += 2.0 * static_cast<double>(hops_run) * mean;
+  }
+
   const Graph* graph_;
   const PeerStore* store_;
   const std::vector<bool>* forwards_;

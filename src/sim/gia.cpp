@@ -99,6 +99,62 @@ GiaSearchResult GiaNetwork::search_once(NodeId source,
   return out;
 }
 
+GiaSearchResult GiaNetwork::search_ranked_once(
+    NodeId source, std::span<const TermId> query, std::uint32_t k,
+    float min_score, const GiaSearchParams& params, util::Rng& rng,
+    FaultSession* faults, SearchScratch& scratch,
+    std::vector<ScoredMatch>& ranked) const {
+  GiaSearchResult out;
+  const std::vector<bool>* online =
+      faults != nullptr ? faults->plan().online_mask() : nullptr;
+  if (faults != nullptr && !faults->online_peek(source)) return out;
+  std::uint32_t stall = 0;
+  TopKTracker tracker(k);
+  tracker.note_from(ranked, 0);  // prior attempts' candidates
+  auto probe = [&](NodeId at) {
+    ++out.peers_probed;
+    const std::size_t before = ranked.size();
+    {
+      const auto own = store_.match_scored(at, query, scratch.match);
+      for (const ScoredMatch& m : own) {
+        admit_ranked(m, min_score, scratch, ranked);
+      }
+    }
+    for (NodeId nbr : topology_.graph.neighbors(at)) {
+      if (online != nullptr && !(*online)[nbr]) continue;
+      const auto more = store_.match_scored(nbr, query, scratch.match);
+      for (const ScoredMatch& m : more) {
+        admit_ranked(m, min_score, scratch, ranked);
+      }
+    }
+    // Stability (DESIGN.md §11): probes that admit nothing into the
+    // current top-k extend the stall window; improvements reset it.
+    stall = tracker.note_from(ranked, before) ? 0 : stall + 1;
+  };
+  probe(source);
+  NodeId at = source;
+  std::uint32_t steps = 0;  // breaker skips burn budget; see search_once
+  while (steps < params.max_steps &&
+         !(stall >= kRankedStallProbes && !ranked.empty())) {
+    if (topology_.graph.degree(at) == 0) break;
+    ++steps;
+    const NodeId nxt = biased_step(at, params.capacity_bias, rng);
+    if (faults != nullptr && faults->tripped(nxt)) continue;
+    ++out.messages;
+    if (faults != nullptr) {
+      if (!faults->deliver_timed(at, nxt)) {
+        ++out.fault.dropped;  // lost step: budget spent, walker stays
+        continue;
+      }
+      if (!faults->online(nxt)) continue;  // dead peer never answers
+    }
+    at = nxt;
+    probe(at);
+  }
+  out.success = !ranked.empty();
+  return out;
+}
+
 GiaSearchResult GiaNetwork::search(NodeId source,
                                    std::span<const TermId> query,
                                    const GiaSearchParams& params,
@@ -202,6 +258,16 @@ class GiaEngine final : public SearchEngine {
                const RecoveryPolicy*, SearchOutcome& out) const override {
     GiaSearchParams p = params_;
     if (query.budget != 0) p.max_steps = query.budget;
+    if (query.ranked()) {
+      const GiaSearchResult r = net_->search_ranked_once(
+          query.source, query.terms, query.k, query.min_score, p, *ctx.rng,
+          faults, ctx.scratch, out.top_k);
+      out.messages += r.messages;
+      out.peers_probed += r.peers_probed;
+      out.fault.dropped += r.fault.dropped;
+      out.success = out.success || r.success;
+      return;
+    }
     const GiaSearchResult r =
         query.is_locate()
             ? net_->locate_once(query.source, query.holders, p, *ctx.rng,
@@ -227,7 +293,11 @@ class GiaEngine final : public SearchEngine {
         static_cast<std::uint32_t>(std::min(scaled, double{1u << 20}));
   }
 
-  void finish(const Query&, SearchOutcome& out) const override {
+  void finish(const Query& query, SearchOutcome& out) const override {
+    if (query.ranked()) {
+      finish_ranked(query, out);
+      return;
+    }
     sort_unique_hits(out.hits);  // success stays as the attempts left it
   }
 

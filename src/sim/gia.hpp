@@ -97,6 +97,20 @@ class GiaNetwork {
                                             util::Rng& rng,
                                             FaultSession* faults,
                                             SearchScratch& scratch) const;
+
+  /// Ranked single-attempt walk (Query::k > 0): scored one-hop probes
+  /// feed the shared admission collector (scratch.topk_seen dedup,
+  /// `min_score` threshold) and the walk ends early after
+  /// kRankedStallProbes consecutive probes that admit nothing into the
+  /// current top-k (TopKTracker stability, DESIGN.md §11) once at least
+  /// one admitted result is held. Scored matches accumulate into
+  /// `ranked`; GiaSearchResult::results stays empty and success means
+  /// "anything admitted".
+  [[nodiscard]] GiaSearchResult search_ranked_once(
+      NodeId source, std::span<const TermId> query, std::uint32_t k,
+      float min_score, const GiaSearchParams& params, util::Rng& rng,
+      FaultSession* faults, SearchScratch& scratch,
+      std::vector<ScoredMatch>& ranked) const;
   [[nodiscard]] GiaSearchResult locate_once(NodeId source,
                                             std::span<const NodeId> holders,
                                             const GiaSearchParams& params,

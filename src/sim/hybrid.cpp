@@ -9,11 +9,24 @@
 namespace qcp2p::sim {
 namespace {
 
+/// Optional ranked-mode side channel of dht_phase: one live holder per
+/// result object id (the smallest seen, for determinism), so the engine
+/// can resolve the object's static score through
+/// PeerStore::object_score_at — the DHT returns ids, not ordinals.
+using HolderOf = std::unordered_map<std::uint64_t, NodeId>;
+
+void record_holder(HolderOf* holder_of, const ChordDht::Posting& p) {
+  if (holder_of == nullptr) return;
+  const auto [it, inserted] = holder_of->try_emplace(p.object_id, p.holder);
+  if (!inserted && p.holder < it->second) it->second = p.holder;
+}
+
 /// Looks up every query term in the DHT and intersects postings by
 /// object id; hops of all lookups are charged as messages.
 void dht_phase(const ChordDht& dht, NodeId source,
                std::span<const TermId> query, HybridResult& out,
-               const std::vector<bool>* online) {
+               const std::vector<bool>* online,
+               HolderOf* holder_of = nullptr) {
   out.used_dht = true;
   std::unordered_map<std::uint64_t, std::size_t> object_term_hits;
   for (TermId t : query) {
@@ -23,7 +36,10 @@ void dht_phase(const ChordDht& dht, NodeId source,
     // replicated on several holders appears once per holder).
     std::vector<std::uint64_t> ids;
     ids.reserve(ts.postings.size());
-    for (const ChordDht::Posting& p : ts.postings) ids.push_back(p.object_id);
+    for (const ChordDht::Posting& p : ts.postings) {
+      ids.push_back(p.object_id);
+      record_holder(holder_of, p);
+    }
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     for (std::uint64_t id : ids) ++object_term_hits[id];
@@ -39,7 +55,8 @@ void dht_phase(const ChordDht& dht, NodeId source,
 /// every successor-list replica) is unreachable contributes nothing.
 void dht_phase(const ChordDht& dht, NodeId source,
                std::span<const TermId> query, HybridResult& out,
-               FaultSession& faults, const RecoveryPolicy& policy) {
+               FaultSession& faults, const RecoveryPolicy& policy,
+               HolderOf* holder_of = nullptr) {
   out.used_dht = true;
   std::unordered_map<std::uint64_t, std::size_t> object_term_hits;
   for (TermId t : query) {
@@ -49,7 +66,10 @@ void dht_phase(const ChordDht& dht, NodeId source,
     out.fault.merge(ts.fault);
     std::vector<std::uint64_t> ids;
     ids.reserve(ts.postings.size());
-    for (const ChordDht::Posting& p : ts.postings) ids.push_back(p.object_id);
+    for (const ChordDht::Posting& p : ts.postings) {
+      ids.push_back(p.object_id);
+      record_holder(holder_of, p);
+    }
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     for (std::uint64_t id : ids) ++object_term_hits[id];
@@ -58,6 +78,22 @@ void dht_phase(const ChordDht& dht, NodeId source,
     if (hits == query.size()) out.results.push_back(id);
   }
   std::sort(out.results.begin(), out.results.end());
+}
+
+/// Ranked-mode scoring of a DHT result list: each conjunctive result is
+/// priced at its holder's stored score and fed through the shared
+/// admission collector. Without a store (bare dht-only worlds) every
+/// score is 0 and the ranking degrades to ascending object id.
+void admit_dht_ranked(const PeerStore* store, const HybridResult& dht_out,
+                      const HolderOf& holder_of, float min_score,
+                      SearchScratch& scratch, std::vector<ScoredMatch>& ranked) {
+  for (std::uint64_t id : dht_out.results) {
+    const auto it = holder_of.find(id);
+    const float score = (store != nullptr && it != holder_of.end())
+                            ? store->object_score_at(it->second, id)
+                            : 0.0f;
+    admit_ranked({id, score}, min_score, scratch, ranked);
+  }
 }
 
 void merge_flood_then_dht(HybridResult& out) {
@@ -131,7 +167,8 @@ class HybridEngine final : public SearchEngine {
   HybridEngine(const Graph& graph, const PeerStore& store, const ChordDht& dht,
                const HybridParams& params, const std::vector<bool>* forwards,
                const TimingParams& timing)
-      : graph_(&graph), dht_(&dht), params_(params), timing_(timing) {
+      : graph_(&graph), store_(&store), dht_(&dht), params_(params),
+        timing_(timing) {
     EngineWorld flood_world;
     flood_world.graph = &graph;
     flood_world.store = &store;
@@ -164,6 +201,7 @@ class HybridEngine final : public SearchEngine {
     SearchOutcome fr = drive(*flood_, query, ctx, faults,
                              policy != nullptr ? &flood_policy : nullptr);
     out.hits = std::move(fr.hits);
+    out.top_k = std::move(fr.top_k);
     out.messages += fr.messages;
     out.per_hop = std::move(fr.per_hop);
     out.peers_probed += fr.peers_probed;
@@ -171,20 +209,37 @@ class HybridEngine final : public SearchEngine {
     out.timing = fr.timing;  // flood phase's estimated clock/first-hit
     HybridExtras extras{fr.messages, 0, false};
 
-    if (out.hits.size() < params_.rare_cutoff) {
+    // Rare-query detector. In ranked mode the flood sub-drive truncated
+    // its answer to k, so "how many distinct objects did the flood see"
+    // lives in the admission collector, not the hit list. (Dropping the
+    // truncated tail is safe: an object below the flood's k-th rank
+    // cannot enter the final top-k of the flood/DHT union either.)
+    const std::size_t flood_found =
+        query.ranked() ? ctx.scratch.topk_seen.size() : out.hits.size();
+    if (flood_found < params_.rare_cutoff) {
       // Rare query: re-issue through the structured index (keep any
       // flood results; the DHT adds the rest).
       HybridResult dht_out;
+      HolderOf holder_of;
+      HolderOf* holders = query.ranked() ? &holder_of : nullptr;
       if (faults != nullptr && policy != nullptr) {
-        dht_phase(*dht_, query.source, query.terms, dht_out, *faults, *policy);
+        dht_phase(*dht_, query.source, query.terms, dht_out, *faults, *policy,
+                  holders);
       } else {
-        dht_phase(*dht_, query.source, query.terms, dht_out, query.online);
+        dht_phase(*dht_, query.source, query.terms, dht_out, query.online,
+                  holders);
       }
       out.messages += dht_out.dht_messages;
       out.fault.merge(dht_out.fault);
-      out.hits.insert(out.hits.end(), dht_out.results.begin(),
-                      dht_out.results.end());
-      sort_unique_hits(out.hits);
+      if (query.ranked()) {
+        // finish_ranked rebuilds `hits` from the merged ranking.
+        admit_dht_ranked(store_, dht_out, holder_of, query.min_score,
+                         ctx.scratch, out.top_k);
+      } else {
+        out.hits.insert(out.hits.end(), dht_out.results.begin(),
+                        dht_out.results.end());
+        sort_unique_hits(out.hits);
+      }
       extras.dht_messages = dht_out.dht_messages;
       extras.used_dht = true;
       // Serial structured phase, priced like dht-only's estimate; the
@@ -194,7 +249,8 @@ class HybridEngine final : public SearchEngine {
       out.timing->clock_s +=
           static_cast<double>(dht_out.dht_messages + query.terms.size()) *
           TimingModel(timing_).mean_link_s();
-      if (!out.timing->has_first_hit() && !out.hits.empty()) {
+      if (!out.timing->has_first_hit() &&
+          (!out.hits.empty() || !out.top_k.empty())) {
         out.timing->first_hit_s = out.timing->clock_s;
       }
     }
@@ -203,6 +259,7 @@ class HybridEngine final : public SearchEngine {
 
  private:
   const Graph* graph_;
+  const PeerStore* store_;
   const ChordDht* dht_;
   HybridParams params_;
   TimingParams timing_;
@@ -219,8 +276,11 @@ class HybridEngine final : public SearchEngine {
 /// result exists only once all terms resolve, so first-hit = clock.
 class DhtOnlyEngine final : public SearchEngine {
  public:
-  DhtOnlyEngine(const ChordDht& dht, const TimingParams& timing) noexcept
-      : dht_(&dht), timing_(timing) {}
+  /// `store` is optional and only read in ranked mode (scores by
+  /// holder); bare DHT worlds pass nullptr and rank at score 0.
+  DhtOnlyEngine(const ChordDht& dht, const PeerStore* store,
+                const TimingParams& timing) noexcept
+      : dht_(&dht), store_(store), timing_(timing) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "dht-only";
@@ -234,18 +294,27 @@ class DhtOnlyEngine final : public SearchEngine {
 
   bool retryable() const noexcept override { return false; }
 
-  void attempt(const Query& query, EngineContext&, FaultSession* faults,
+  void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
                const RecoveryPolicy* policy, SearchOutcome& out) const override {
     HybridResult dht_out;
+    HolderOf holder_of;
+    HolderOf* holders = query.ranked() ? &holder_of : nullptr;
     if (faults != nullptr && policy != nullptr) {
-      dht_phase(*dht_, query.source, query.terms, dht_out, *faults, *policy);
+      dht_phase(*dht_, query.source, query.terms, dht_out, *faults, *policy,
+                holders);
     } else {
-      dht_phase(*dht_, query.source, query.terms, dht_out, query.online);
+      dht_phase(*dht_, query.source, query.terms, dht_out, query.online,
+                holders);
     }
     out.messages += dht_out.dht_messages;
     out.fault.merge(dht_out.fault);
-    out.hits.insert(out.hits.end(), dht_out.results.begin(),
-                    dht_out.results.end());
+    if (query.ranked()) {
+      admit_dht_ranked(store_, dht_out, holder_of, query.min_score,
+                       ctx.scratch, out.top_k);
+    } else {
+      out.hits.insert(out.hits.end(), dht_out.results.begin(),
+                      dht_out.results.end());
+    }
     out.extras = HybridExtras{0, dht_out.dht_messages, true};
 
     out.timing.emplace();  // estimated (exact twin: the dht-des engine)
@@ -254,11 +323,14 @@ class DhtOnlyEngine final : public SearchEngine {
         static_cast<double>(dht_out.dht_messages + query.terms.size()) *
             mean +
         out.fault.recovery_wait_ms / 1000.0;
-    if (!out.hits.empty()) out.timing->first_hit_s = out.timing->clock_s;
+    if (!out.hits.empty() || !out.top_k.empty()) {
+      out.timing->first_hit_s = out.timing->clock_s;
+    }
   }
 
  private:
   const ChordDht* dht_;
+  const PeerStore* store_;
   TimingParams timing_;
 };
 
@@ -278,7 +350,8 @@ std::unique_ptr<SearchEngine> make_hybrid_engine(const EngineWorld& world) {
 
 std::unique_ptr<SearchEngine> make_dht_only_engine(const EngineWorld& world) {
   if (world.dht == nullptr) return nullptr;
-  return std::make_unique<DhtOnlyEngine>(*world.dht, world.timing);
+  return std::make_unique<DhtOnlyEngine>(*world.dht, world.store,
+                                         world.timing);
 }
 
 }  // namespace detail

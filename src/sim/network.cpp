@@ -1,11 +1,13 @@
 #include "src/sim/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
 #include <limits>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "src/util/thread_pool.hpp"
 
@@ -91,6 +93,7 @@ PeerStore::PeerStore(const PeerStore& other)
     index_terms_.assign(f.index_terms.begin(), f.index_terms.end());
     index_offsets_.assign(f.index_offsets.begin(), f.index_offsets.end());
     postings_.assign(f.postings.begin(), f.postings.end());
+    obj_scores_.assign(f.obj_scores.begin(), f.obj_scores.end());
     repoint_flat();
   }
 }
@@ -115,6 +118,9 @@ PeerStore PeerStore::flat_view(const FlatLayout& layout) {
   if (layout.obj_term_offsets.size() != layout.obj_ids.size() + 1 ||
       layout.index_offsets.size() != layout.index_terms.size() + 1) {
     bad("object/index offsets size mismatch");
+  }
+  if (layout.obj_scores.size() != layout.obj_ids.size()) {
+    bad("obj_scores size mismatch");
   }
   if (layout.peer_term_offsets.front() != 0 ||
       layout.peer_term_offsets.back() != layout.peer_terms_flat.size() ||
@@ -160,6 +166,7 @@ void PeerStore::repoint_flat() {
   flat_.index_terms = index_terms_;
   flat_.index_offsets = index_offsets_;
   flat_.postings = postings_;
+  flat_.obj_scores = obj_scores_;
 }
 
 void PeerStore::add_object(NodeId peer, std::uint64_t id,
@@ -247,8 +254,55 @@ void PeerStore::finalize(std::size_t threads) {
   } else {
     finalize_parallel(n_threads);
   }
+  compute_scores(n_threads);
   repoint_flat();
   finalized_ = true;
+}
+
+void PeerStore::compute_scores(std::size_t threads) {
+  // score(ord) = (sum of idf over the object's terms) / replica(obj id),
+  // idf(t) = log2(1 + N / df(t)) with N the total object count and df(t)
+  // the term's posting-row length. Rare terms dominate; heavily
+  // replicated objects are demoted — the query-centric ranking signal
+  // (a rare match is worth walking for, a popular one is everywhere).
+  const std::size_t total = obj_ids_.size();
+  obj_scores_.assign(total, 0.0f);
+  if (total == 0) return;
+  // Replica counts: commutative tally, so the map's iteration order
+  // never matters and the pass can stay a simple sequential O(N) loop.
+  std::unordered_map<std::uint64_t, std::uint32_t> replicas;
+  replicas.reserve(total);
+  for (const std::uint64_t id : obj_ids_) ++replicas[id];
+  const double n_objects = static_cast<double>(total);
+  const std::size_t blocks =
+      std::max<std::size_t>(1, std::min(threads, total));
+  std::vector<std::size_t> bounds(blocks + 1);
+  for (std::size_t b = 0; b <= blocks; ++b) bounds[b] = total * b / blocks;
+  // Each ordinal's score depends only on read-shared arrays and its own
+  // term list, summed in term order: shards write disjoint ranges with
+  // thread-independent values, so the array is byte-identical at any
+  // thread count.
+  util::parallel_for_blocks(
+      blocks, blocks, [&](std::size_t b_begin, std::size_t b_end) {
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+          for (std::size_t ord = bounds[b]; ord < bounds[b + 1]; ++ord) {
+            double sum = 0.0;
+            for (std::uint32_t k = obj_term_offsets_[ord];
+                 k < obj_term_offsets_[ord + 1]; ++k) {
+              const TermId t = obj_terms_flat_[k];
+              const auto it = std::lower_bound(index_terms_.begin(),
+                                               index_terms_.end(), t);
+              const auto ti =
+                  static_cast<std::size_t>(it - index_terms_.begin());
+              const double df = static_cast<double>(index_offsets_[ti + 1] -
+                                                    index_offsets_[ti]);
+              sum += std::log2(1.0 + n_objects / df);
+            }
+            obj_scores_[ord] = static_cast<float>(
+                sum / static_cast<double>(replicas.find(obj_ids_[ord])->second));
+          }
+        }
+      });
 }
 
 void PeerStore::finalize_sequential() {
@@ -550,7 +604,8 @@ std::vector<std::uint64_t> PeerStore::match_reference(
 }
 
 void PeerStore::match_base(NodeId peer, std::span<const TermId> query,
-                           std::vector<std::uint64_t>& hits) const {
+                           std::vector<std::uint64_t>& hits,
+                           std::vector<ScoredMatch>* scored) const {
   // Flat prefilter over the BASE term row first: most flood probes miss
   // at least one term. (Delta-only terms are the delta tail's business.)
   const std::span<const TermId> row_terms = peer_terms(peer);
@@ -595,8 +650,78 @@ void PeerStore::match_base(NodeId peer, std::span<const TermId> query,
         break;
       }
     }
-    if (all) hits.push_back(flat_.obj_ids[ord]);
+    if (all) {
+      hits.push_back(flat_.obj_ids[ord]);
+      if (scored != nullptr) {
+        scored->push_back({flat_.obj_ids[ord], flat_.obj_scores[ord]});
+      }
+    }
   }
+}
+
+std::span<const ScoredMatch> PeerStore::match_scored(
+    NodeId peer, std::span<const TermId> query, MatchScratch& scratch) const {
+  scratch.hits.clear();
+  scratch.scored.clear();
+  if (query.empty()) return {};
+  if (!finalized_) {
+    // Build phase: no flat arrays, so no score statistics either — the
+    // reference scan reports every match at score 0.
+    for (const std::uint64_t id : match_reference(peer, query)) {
+      scratch.scored.push_back({id, 0.0f});
+    }
+    return scratch.scored;
+  }
+  if (peer >= num_peers_) {
+    throw std::out_of_range("PeerStore::match_scored: bad peer");
+  }
+  if (!live_unchecked(peer)) return {};
+  match_base(peer, query, scratch.hits, &scratch.scored);
+  if (!delta_.empty()) {
+    if (const auto it = delta_.find(peer); it != delta_.end()) {
+      const DeltaPeer& d = it->second;
+      for (std::size_t i = 0; i < d.objects.size(); ++i) {
+        const Object& o = d.objects[i];
+        bool all = true;
+        for (TermId t : query) {
+          if (!std::binary_search(o.terms.begin(), o.terms.end(), t)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) scratch.scored.push_back({o.id, d.scores[i]});
+      }
+    }
+  }
+  return scratch.scored;
+}
+
+float PeerStore::object_score(NodeId peer, std::size_t i) const {
+  if (!finalized_) return 0.0f;
+  if (i >= object_count(peer)) {
+    throw std::out_of_range("PeerStore::object_score: bad index");
+  }
+  return flat_.obj_scores[flat_.obj_offsets[peer] + i];
+}
+
+float PeerStore::object_score_at(NodeId peer, std::uint64_t id) const {
+  if (!finalized_) return 0.0f;
+  if (peer >= num_peers_) {
+    throw std::out_of_range("PeerStore::object_score_at: bad peer");
+  }
+  for (std::uint32_t ord = flat_.obj_offsets[peer];
+       ord < flat_.obj_offsets[peer + 1]; ++ord) {
+    if (flat_.obj_ids[ord] == id) return flat_.obj_scores[ord];
+  }
+  if (!delta_.empty()) {
+    if (const auto it = delta_.find(peer); it != delta_.end()) {
+      const DeltaPeer& d = it->second;
+      for (std::size_t i = 0; i < d.objects.size(); ++i) {
+        if (d.objects[i].id == id) return d.scores[i];
+      }
+    }
+  }
+  return 0.0f;
 }
 
 std::span<const std::uint64_t> PeerStore::match(NodeId peer,
@@ -706,6 +831,24 @@ void PeerStore::add_object_delta(NodeId peer, std::uint64_t id,
   delta_postings_ += terms.size();
   ++delta_objects_;
   ++total_;
+  // Approximate score from BASE-layer statistics (exact recomputation
+  // happens at compact()): base idf per term, unseen terms treated as
+  // df = 1 (maximally rare), replica count 1 (delta ids are fresh).
+  // Reads through the flat_ spans so mapped views price deltas too.
+  const double n_objects = static_cast<double>(flat_.obj_ids.size());
+  double sum = 0.0;
+  for (const TermId t : terms) {
+    const auto it = std::lower_bound(flat_.index_terms.begin(),
+                                     flat_.index_terms.end(), t);
+    double df = 1.0;
+    if (it != flat_.index_terms.end() && *it == t) {
+      const auto ti = static_cast<std::size_t>(it - flat_.index_terms.begin());
+      df = static_cast<double>(flat_.index_offsets[ti + 1] -
+                               flat_.index_offsets[ti]);
+    }
+    sum += std::log2(1.0 + std::max(1.0, n_objects) / df);
+  }
+  d.scores.push_back(static_cast<float>(sum));
   d.objects.push_back(Object{id, std::move(terms)});
 }
 
@@ -858,6 +1001,7 @@ void PeerStore::compact(std::size_t threads) {
   peer_term_offsets_ = std::move(peer_term_offsets);
   peer_terms_flat_ = std::move(peer_terms_flat);
   rebuild_index(n_threads);
+  compute_scores(n_threads);
 
   delta_.clear();
   delta_objects_ = 0;

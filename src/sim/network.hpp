@@ -26,6 +26,16 @@ using overlay::Graph;
 using overlay::NodeId;
 using text::TermId;
 
+/// One ranked result: an object id plus its static relevance score
+/// (term rarity x inverse replica count, computed at finalize()/
+/// compact() time — see PeerStore and DESIGN.md §11).
+struct ScoredMatch {
+  std::uint64_t object = 0;
+  float score = 0.0f;
+
+  friend bool operator==(const ScoredMatch&, const ScoredMatch&) = default;
+};
+
 // ---------------------------------------------------------------------------
 // Object-replica placement (Fig 8)
 // ---------------------------------------------------------------------------
@@ -77,7 +87,7 @@ struct Placement {
 /// build phase until the next finalize().
 ///
 /// The finalized read path runs entirely over (pointer, size) spans, so
-/// the nine flat arrays can live in the store's own vectors (finalize())
+/// the ten flat arrays can live in the store's own vectors (finalize())
 /// or in external read-only memory such as a memory-mapped WorldSnapshot
 /// (flat_view()). Views carry no per-peer build data: add_object() and
 /// objects() throw; use the flat accessors object_count()/object_id()/
@@ -95,6 +105,8 @@ class PeerStore {
   /// avoids a heap allocation per probed peer in the Monte-Carlo loops.
   struct MatchScratch {
     std::vector<std::uint64_t> hits;
+    /// Scored-probe buffer (match_scored()); unused by plain match().
+    std::vector<ScoredMatch> scored;
   };
 
   /// The finalized layout as spans — the serialization contract between
@@ -111,6 +123,7 @@ class PeerStore {
     std::span<const TermId> index_terms;
     std::span<const std::uint32_t> index_offsets;      // index_terms.size() + 1
     std::span<const std::uint32_t> postings;
+    std::span<const float> obj_scores;                 // obj_ids.size()
   };
 
   explicit PeerStore(std::size_t num_peers)
@@ -177,6 +190,25 @@ class PeerStore {
   /// scratch.hits, valid until the next call with the same scratch.
   [[nodiscard]] std::span<const std::uint64_t> match(
       NodeId peer, std::span<const TermId> query, MatchScratch& scratch) const;
+
+  /// Scored twin of the zero-allocation match(): fills (and returns a
+  /// view of) scratch.scored with the same object ids in the same order,
+  /// each carrying its static relevance score. Scores exist only on a
+  /// finalized store; the build-phase fallback reports every match at
+  /// score 0. Delta-layer objects carry the approximate score assigned
+  /// at add_object_delta() time until compact() recomputes exactly.
+  [[nodiscard]] std::span<const ScoredMatch> match_scored(
+      NodeId peer, std::span<const TermId> query, MatchScratch& scratch) const;
+
+  /// Static score of base-layer object ordinal `i` of `peer` (the flat
+  /// accessor twin of object_id()); 0 before finalize().
+  [[nodiscard]] float object_score(NodeId peer, std::size_t i) const;
+
+  /// Score of object `id` if `peer` holds it (base or delta layer),
+  /// else 0. Linear over the peer's library — for resolving scores of
+  /// id-only result lists (DHT postings, DES query hits), not for probe
+  /// hot paths.
+  [[nodiscard]] float object_score_at(NodeId peer, std::uint64_t id) const;
 
   /// Reference implementation (linear scan over the peer's objects);
   /// the un-finalized fallback, and the oracle for property tests.
@@ -272,6 +304,11 @@ class PeerStore {
   /// from the flat object/term arrays; shared by finalize_parallel() and
   /// compact(). Output is byte-identical at any thread count.
   void rebuild_index(std::size_t threads);
+  /// Fills obj_scores_ from the freshly built flat arrays: score(ord) =
+  /// sum of idf over the object's terms, divided by the object id's
+  /// replica count. Runs after the inverted index exists (finalize and
+  /// compact paths); deterministic, byte-identical at any thread count.
+  void compute_scores(std::size_t threads);
   /// Points flat_ at the owned vectors (after finalize or deep copy).
   void repoint_flat();
   /// Tombstone check without the range guard (hot path).
@@ -279,9 +316,12 @@ class PeerStore {
     return dead_.empty() || !dead_[peer];
   }
   /// Finalized base-layer intersection, appending to `hits`; match()
-  /// handles liveness and the delta tail.
+  /// handles liveness and the delta tail. A non-null `scored` receives
+  /// one ScoredMatch per appended hit (the scored-probe path; the plain
+  /// path passes nullptr and never touches it).
   void match_base(NodeId peer, std::span<const TermId> query,
-                  std::vector<std::uint64_t>& hits) const;
+                  std::vector<std::uint64_t>& hits,
+                  std::vector<ScoredMatch>* scored = nullptr) const;
   /// Base-layer postings owned by `peer` (== its obj_terms_flat span).
   [[nodiscard]] std::uint64_t base_postings(NodeId peer) const noexcept;
 
@@ -303,6 +343,9 @@ class PeerStore {
   struct DeltaPeer {
     std::vector<Object> objects;      // insertion order
     std::vector<TermId> terms;        // sorted unique union
+    /// Approximate score per delta object (base-layer idf at add time,
+    /// replica count 1 — delta ids are fresh); compact() recomputes.
+    std::vector<float> scores;        // parallel to objects
   };
   std::map<NodeId, DeltaPeer> delta_;
   std::uint64_t delta_objects_ = 0;
@@ -328,6 +371,8 @@ class PeerStore {
   std::vector<TermId> index_terms_;
   std::vector<std::uint32_t> index_offsets_;
   std::vector<std::uint32_t> postings_;
+  /// Static relevance score per object ordinal (see compute_scores()).
+  std::vector<float> obj_scores_;
   /// Read path: spans into the owned vectors, or into external mapped
   /// memory when borrowed_. Default-empty until finalized.
   FlatLayout flat_;

@@ -54,11 +54,10 @@ QrpNetwork::QrpNetwork(const overlay::TwoTierTopology& topology,
   }
 }
 
-QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
-                                            std::span<const TermId> query,
-                                            std::uint32_t ttl,
-                                            SearchScratch& scratch,
-                                            FaultSession* faults) const {
+QrpNetwork::SearchResult QrpNetwork::search(
+    NodeId source, std::span<const TermId> query, std::uint32_t ttl,
+    SearchScratch& scratch, FaultSession* faults, float min_score,
+    std::vector<ScoredMatch>* ranked) const {
   SearchResult out;
   if (query.empty()) return out;
   const std::vector<bool>* online =
@@ -67,6 +66,13 @@ QrpNetwork::SearchResult QrpNetwork::search(NodeId source,
 
   auto probe = [&](NodeId peer) {
     ++out.peers_probed;
+    if (ranked != nullptr) {
+      const auto scored = store_->match_scored(peer, query, scratch.match);
+      for (const ScoredMatch& m : scored) {
+        admit_ranked(m, min_score, scratch, *ranked);
+      }
+      return;
+    }
     const auto hits = store_->match(peer, query, scratch.match);
     out.results.insert(out.results.end(), hits.begin(), hits.end());
   };
@@ -188,8 +194,9 @@ class QrpEngine final : public SearchEngine {
 
   void attempt(const Query& query, EngineContext& ctx, FaultSession* faults,
                const RecoveryPolicy*, SearchOutcome& out) const override {
-    const QrpNetwork::SearchResult r =
-        net_->search(query.source, query.terms, query.ttl, ctx.scratch, faults);
+    const QrpNetwork::SearchResult r = net_->search(
+        query.source, query.terms, query.ttl, ctx.scratch, faults,
+        query.min_score, query.ranked() ? &out.top_k : nullptr);
     out.messages += r.total_messages();
     out.peers_probed += r.peers_probed;
     out.fault.dropped += r.fault.dropped;

@@ -75,10 +75,19 @@ class QrpNetwork {
   /// UP-tier relays and leaf deliveries may be dropped in flight and
   /// the plan's offline peers neither relay nor answer; an offline
   /// source issues nothing.
+  ///
+  /// Ranked mode (Query::k > 0 at the engine layer): pass `ranked` and
+  /// every probe feeds scored matches through the shared admission
+  /// collector (scratch.topk_seen dedup, `min_score` threshold) instead
+  /// of filling SearchResult::results. QRP's traffic is unchanged —
+  /// screening already bounds it, so there is no early termination.
   [[nodiscard]] SearchResult search(NodeId source,
                                     std::span<const TermId> query,
                                     std::uint32_t ttl, SearchScratch& scratch,
-                                    FaultSession* faults = nullptr) const;
+                                    FaultSession* faults = nullptr,
+                                    float min_score = 0.0f,
+                                    std::vector<ScoredMatch>* ranked =
+                                        nullptr) const;
 
   /// Convenience overload with a local scratch.
   [[nodiscard]] SearchResult search(NodeId source,

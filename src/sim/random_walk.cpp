@@ -21,16 +21,23 @@ namespace {
   return graph.degree(b) > graph.degree(a) ? b : a;
 }
 
-template <typename Probe>
+/// Default stop rule: end the walk at the first N collected results.
+struct StopAfterResults {
+  std::uint32_t stop_after = 0;
+  bool operator()(const RandomWalkResult& out) const {
+    return stop_after != 0 && out.results.size() >= stop_after;
+  }
+};
+
+template <typename Probe, typename Stop>
 RandomWalkResult walk(const Graph& graph, NodeId source,
                       const RandomWalkParams& params, util::Rng& rng,
-                      FaultSession* faults, Probe probe) {
+                      FaultSession* faults, Probe probe, Stop stop) {
   RandomWalkResult out;
   if (graph.num_nodes() == 0) return out;
   if (faults != nullptr && !faults->online(source)) return out;
   probe(source, out);
-  if (params.stop_after_results != 0 &&
-      out.results.size() >= params.stop_after_results) {
+  if (stop(out)) {
     out.success = true;
     return out;
   }
@@ -52,8 +59,7 @@ RandomWalkResult walk(const Graph& graph, NodeId source,
       }
       at = nxt;
       probe(at, out);
-      if (params.stop_after_results != 0 &&
-          out.results.size() >= params.stop_after_results) {
+      if (stop(out)) {
         out.success = true;
         return out;
       }
@@ -61,6 +67,14 @@ RandomWalkResult walk(const Graph& graph, NodeId source,
   }
   out.success = !out.results.empty();
   return out;
+}
+
+template <typename Probe>
+RandomWalkResult walk(const Graph& graph, NodeId source,
+                      const RandomWalkParams& params, util::Rng& rng,
+                      FaultSession* faults, Probe probe) {
+  return walk(graph, source, params, rng, faults, probe,
+              StopAfterResults{params.stop_after_results});
 }
 
 struct LocateProbe {
@@ -85,6 +99,32 @@ struct SearchProbe {
     ++out.peers_probed;
     const auto hits = store->match(at, query, *match);
     out.results.insert(out.results.end(), hits.begin(), hits.end());
+  }
+};
+
+/// Scored probe for ranked queries: admits matches through the shared
+/// collector (dedup in scratch.topk_seen) and tracks the consecutive-dry
+/// counter the stop rule reads. Results accumulate into `ranked`, not
+/// RandomWalkResult::results.
+struct RankedProbe {
+  const PeerStore* store;
+  std::span<const TermId> terms;
+  float min_score;
+  SearchScratch* scratch;
+  std::vector<ScoredMatch>* ranked;
+  TopKTracker* tracker;
+  std::uint32_t* stall;
+
+  void operator()(NodeId at, RandomWalkResult& out) const {
+    ++out.peers_probed;
+    const auto matched = store->match_scored(at, terms, scratch->match);
+    const std::size_t before = ranked->size();
+    for (const ScoredMatch& m : matched) {
+      admit_ranked(m, min_score, *scratch, *ranked);
+    }
+    // Stability (DESIGN.md §11): a probe that admits nothing into the
+    // current top-k extends the stall window; an improvement resets it.
+    *stall = tracker->note_from(*ranked, before) ? 0 : *stall + 1;
   }
 };
 
@@ -152,6 +192,22 @@ class RandomWalkEngine final : public SearchEngine {
                const RecoveryPolicy*, SearchOutcome& out) const override {
     RandomWalkParams p = params_;
     if (query.budget != 0) p.max_steps = query.budget;
+    if (query.ranked()) {
+      std::uint32_t stall = 0;
+      TopKTracker tracker(query.k);
+      tracker.note_from(out.top_k, 0);  // prior attempts' candidates
+      const RandomWalkResult r =
+          walk(*graph_, query.source, p, *ctx.rng, faults,
+               RankedProbe{store_, query.terms, query.min_score, &ctx.scratch,
+                           &out.top_k, &tracker, &stall},
+               [&stall, &out](const RandomWalkResult&) {
+                 return stall >= kRankedStallProbes && !out.top_k.empty();
+               });
+      out.messages += r.messages;
+      out.peers_probed += r.peers_probed;
+      out.fault.dropped += r.fault.dropped;
+      return;
+    }
     const RandomWalkResult r =
         query.is_locate()
             ? walk(*graph_, query.source, p, *ctx.rng, faults,
@@ -173,6 +229,10 @@ class RandomWalkEngine final : public SearchEngine {
   }
 
   void finish(const Query& query, SearchOutcome& out) const override {
+    if (query.ranked()) {
+      finish_ranked(query, out);
+      return;
+    }
     // Locate hits stay in visit order; only content hits deduplicate.
     if (!query.is_locate()) sort_unique_hits(out.hits);
     out.success = !out.hits.empty();

@@ -46,6 +46,9 @@ const std::vector<std::uint64_t>* CachingSearchNetwork::lookup(
   PeerCache& cache = caches_[peer];
   const auto it = cache.entries.find(key);
   if (it == cache.entries.end()) return nullptr;
+  // A ranked entry cannot serve a set lookup: its payload is truncated
+  // to k, not the full result set.
+  if (it->second.k != 0) return nullptr;
   if (expired(it->second)) {
     // Lazy age eviction: the entry has outlived max_age_s of DES time
     // and may name objects whose every holder is gone.
@@ -66,15 +69,46 @@ void CachingSearchNetwork::insert(NodeId peer, const QueryKey& key,
   if (it != cache.entries.end()) {
     // Re-inserted hot entry: refresh its LRU position (a stale recency
     // slot would get it evicted as if cold) and keep the fresher results.
+    // A replaced ranked entry becomes a set entry.
     cache.order.splice(cache.order.begin(), cache.order, it->second.pos);
     it->second.pos = cache.order.begin();
     it->second.results = std::move(results);
     it->second.inserted_at = now_s_;
+    it->second.ranked.clear();
+    it->second.k = 0;
+    it->second.min_score = 0.0f;
     return;
   }
   cache.order.push_front(key);
   cache.entries.emplace(
       key, Entry{cache.order.begin(), std::move(results), now_s_});
+  if (cache.entries.size() > params_.capacity) {
+    cache.entries.erase(cache.order.back());
+    cache.order.pop_back();
+  }
+}
+
+void CachingSearchNetwork::insert_ranked(NodeId peer, const QueryKey& key,
+                                         std::vector<ScoredMatch> ranked,
+                                         std::uint32_t k, float min_score) {
+  PeerCache& cache = caches_[peer];
+  const auto it = cache.entries.find(key);
+  if (it != cache.entries.end()) {
+    cache.order.splice(cache.order.begin(), cache.order, it->second.pos);
+    it->second.pos = cache.order.begin();
+    it->second.results.clear();
+    it->second.ranked = std::move(ranked);
+    it->second.k = k;
+    it->second.min_score = min_score;
+    it->second.inserted_at = now_s_;
+    return;
+  }
+  cache.order.push_front(key);
+  Entry entry{cache.order.begin(), {}, now_s_};
+  entry.ranked = std::move(ranked);
+  entry.k = k;
+  entry.min_score = min_score;
+  cache.entries.emplace(key, std::move(entry));
   if (cache.entries.size() > params_.capacity) {
     cache.entries.erase(cache.order.back());
     cache.order.pop_back();
@@ -96,6 +130,17 @@ void CachingSearchNetwork::prime(NodeId peer, std::span<const TermId> query,
   for (NodeId h : holders) holder_index_[h].emplace_back(peer, key);
 }
 
+void CachingSearchNetwork::prime_ranked(NodeId peer,
+                                        std::span<const TermId> query,
+                                        std::vector<ScoredMatch> ranked,
+                                        std::uint32_t k, float min_score,
+                                        std::span<const NodeId> holders) {
+  if (query.empty() || ranked.empty() || k == 0) return;
+  const QueryKey key = key_of(query);
+  insert_ranked(peer, key, std::move(ranked), k, min_score);
+  for (NodeId h : holders) holder_index_[h].emplace_back(peer, key);
+}
+
 void CachingSearchNetwork::advance_clock(double now_s) noexcept {
   if (now_s > now_s_) now_s_ = now_s;
 }
@@ -109,7 +154,10 @@ const std::vector<std::uint64_t>* CachingSearchNetwork::peek(
   const QueryKey key = key_from(query, scratch);
   const PeerCache& cache = caches_[peer];
   const auto it = cache.entries.find(key);
-  if (it == cache.entries.end() || expired(it->second)) return nullptr;
+  if (it == cache.entries.end() || it->second.k != 0 ||
+      expired(it->second)) {
+    return nullptr;
+  }
   return &it->second.results;
 }
 
@@ -124,8 +172,54 @@ const std::vector<std::uint64_t>* CachingSearchNetwork::peek_routed(
   auto find_in = [&](NodeId p) -> const std::vector<std::uint64_t>* {
     const PeerCache& cache = caches_[p];
     const auto it = cache.entries.find(key);
-    if (it == cache.entries.end() || expired(it->second)) return nullptr;
+    if (it == cache.entries.end() || it->second.k != 0 ||
+        expired(it->second)) {
+      return nullptr;
+    }
     return &it->second.results;
+  };
+  if (const auto* cached = find_in(peer)) return cached;
+  for (NodeId nbr : graph_->neighbors(peer)) {
+    ++probe_messages;
+    if (const auto* cached = find_in(nbr)) {
+      hit_peer = nbr;
+      return cached;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<ScoredMatch>* CachingSearchNetwork::peek_ranked(
+    NodeId peer, std::span<const TermId> query, std::uint32_t k,
+    float min_score) const {
+  if (query.empty() || k == 0) return nullptr;
+  std::vector<TermId> scratch;
+  const QueryKey key = key_from(query, scratch);
+  const PeerCache& cache = caches_[peer];
+  const auto it = cache.entries.find(key);
+  if (it == cache.entries.end() || expired(it->second)) return nullptr;
+  const Entry& e = it->second;
+  // Compatibility: the cached ranking must be at least as wide (k) and
+  // at least as permissive (min_score) as the request.
+  if (e.k == 0 || e.k < k || e.min_score > min_score) return nullptr;
+  return &e.ranked;
+}
+
+const std::vector<ScoredMatch>* CachingSearchNetwork::peek_routed_ranked(
+    NodeId peer, std::span<const TermId> query, std::uint32_t k,
+    float min_score, std::uint64_t& probe_messages, NodeId& hit_peer) const {
+  probe_messages = 0;
+  hit_peer = peer;
+  if (query.empty() || k == 0) return nullptr;
+  std::vector<TermId> scratch;
+  const QueryKey key = key_from(query, scratch);
+  auto find_in = [&](NodeId p) -> const std::vector<ScoredMatch>* {
+    const PeerCache& cache = caches_[p];
+    const auto it = cache.entries.find(key);
+    if (it == cache.entries.end() || expired(it->second)) return nullptr;
+    const Entry& e = it->second;
+    if (e.k == 0 || e.k < k || e.min_score > min_score) return nullptr;
+    return &e.ranked;
   };
   if (const auto* cached = find_in(peer)) return cached;
   for (NodeId nbr : graph_->neighbors(peer)) {

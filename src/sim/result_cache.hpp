@@ -63,6 +63,18 @@ class CachingSearchNetwork {
              std::vector<std::uint64_t> results,
              std::span<const NodeId> holders);
 
+  /// Ranked twin of the holder-aware prime(): caches a CANONICAL
+  /// ranking (finish_ranked order — descending score, ascending id on
+  /// ties) under the query key together with the (k, min_score)
+  /// admission bounds it was computed with. Ranked and set entries
+  /// share the key space — priming either kind replaces the other.
+  /// Invalidation is whole-entry: when a registered holder leaves, the
+  /// ranking dies (truncating it could silently promote the wrong
+  /// object into the k-th slot).
+  void prime_ranked(NodeId peer, std::span<const TermId> query,
+                    std::vector<ScoredMatch> ranked, std::uint32_t k,
+                    float min_score, std::span<const NodeId> holders);
+
   // --- serving-path API ----------------------------------------------------
   // The serving world splits the cache interaction in two so query
   // shards can run in parallel: peek() is const (safe for concurrent
@@ -85,6 +97,19 @@ class CachingSearchNetwork {
   [[nodiscard]] const std::vector<std::uint64_t>* peek_routed(
       NodeId peer, std::span<const TermId> query,
       std::uint64_t& probe_messages, NodeId& hit_peer) const;
+  /// Const ranked lookup: the cached ranking iff the entry can serve the
+  /// request — entry.k >= k and entry.min_score <= min_score (a wider
+  /// ranking contains every answer a tighter request needs). The caller
+  /// re-applies its own min_score and truncates to its k. Set entries
+  /// (k == 0) and ranked entries never cross-serve.
+  [[nodiscard]] const std::vector<ScoredMatch>* peek_ranked(
+      NodeId peer, std::span<const TermId> query, std::uint32_t k,
+      float min_score) const;
+  /// peek_ranked() with peek_routed()'s neighbor probes and the same
+  /// concurrency contract.
+  [[nodiscard]] const std::vector<ScoredMatch>* peek_routed_ranked(
+      NodeId peer, std::span<const TermId> query, std::uint32_t k,
+      float min_score, std::uint64_t& probe_messages, NodeId& hit_peer) const;
   /// Sequential-replay half of peek(): refreshes the entry's LRU
   /// position, or erases it if it expired since insertion.
   void touch(NodeId peer, std::span<const TermId> query);
@@ -117,6 +142,12 @@ class CachingSearchNetwork {
     std::list<QueryKey>::iterator pos;
     std::vector<std::uint64_t> results;
     double inserted_at = 0.0;
+    /// Ranked payload (k != 0): canonical ranking + the admission
+    /// bounds it was computed with. `results` stays empty for ranked
+    /// entries; set lookups skip them and vice versa.
+    std::vector<ScoredMatch> ranked;
+    std::uint32_t k = 0;
+    float min_score = 0.0f;
   };
   struct PeerCache {
     std::list<QueryKey> order;  // front = most recent
@@ -133,6 +164,9 @@ class CachingSearchNetwork {
                                                          const QueryKey& key);
   void insert(NodeId peer, const QueryKey& key,
               std::vector<std::uint64_t> results);
+  void insert_ranked(NodeId peer, const QueryKey& key,
+                     std::vector<ScoredMatch> ranked, std::uint32_t k,
+                     float min_score);
   void erase_entry(PeerCache& cache,
                    std::unordered_map<QueryKey, Entry, KeyHash>::iterator it);
 

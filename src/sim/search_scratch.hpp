@@ -36,6 +36,10 @@ struct SearchScratch {
   PeerStore::MatchScratch match;
   /// Gia one-hop accumulation buffer (per-probe sort/dedup workspace).
   std::vector<std::uint64_t> hop_hits;
+  /// Ranked-mode collector: sorted-unique object ids admitted so far in
+  /// the current query (drive() clears it per ranked query); the "did
+  /// this round discover anything new" signal behind early termination.
+  std::vector<std::uint64_t> topk_seen;
 
   /// Grows visit_mark to cover `num_nodes`. Never shrinks; stale marks
   /// from other graphs are defused by the epoch stamp.

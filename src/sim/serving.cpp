@@ -291,16 +291,49 @@ ServingReport ServingWorld::run() {
                 if (online_[source]) break;
               }
               rec.source = source;
+              const bool ranked_mode = config_.top_k != 0;
               if (cache_ != nullptr) {
                 std::uint64_t probes = 0;
                 NodeId hit_peer = source;
-                const auto* hit =
-                    cache_->peek_routed(source, tq.terms, probes, hit_peer);
-                rec.messages += probes;
-                if (hit != nullptr) {
+                bool served = false;
+                if (ranked_mode) {
+                  const auto* hit = cache_->peek_routed_ranked(
+                      source, tq.terms, config_.top_k, config_.min_score,
+                      probes, hit_peer);
+                  rec.messages += probes;
+                  if (hit != nullptr) {
+                    // The entry may be wider (larger k) or more
+                    // permissive (lower floor) than this request:
+                    // re-apply the bounds. Canonical order is
+                    // descending score, so the floor cuts a suffix.
+                    for (const ScoredMatch& m : *hit) {
+                      if (m.score < config_.min_score) break;
+                      rec.ranked.push_back(m);
+                      if (rec.ranked.size() == config_.top_k) break;
+                    }
+                    if (!rec.ranked.empty()) {
+                      rec.hits.reserve(rec.ranked.size());
+                      for (const ScoredMatch& m : rec.ranked) {
+                        rec.hits.push_back(m.object);
+                      }
+                      std::sort(rec.hits.begin(), rec.hits.end());
+                      served = true;
+                    }
+                    // else: every cached result fell below this
+                    // request's floor — treat as a miss.
+                  }
+                } else {
+                  const auto* hit =
+                      cache_->peek_routed(source, tq.terms, probes, hit_peer);
+                  rec.messages += probes;
+                  if (hit != nullptr) {
+                    rec.hits = *hit;
+                    served = true;
+                  }
+                }
+                if (served) {
                   rec.kind = QueryRecord::Kind::kCacheHit;
                   rec.cache_peer = hit_peer;
-                  rec.hits = *hit;
                   rec.timed = true;
                   // A local hit is free; a neighbor probe hit costs one
                   // round trip on the timing model's mean link.
@@ -316,6 +349,8 @@ ServingReport ServingWorld::run() {
               query.terms = tq.terms;
               query.ttl = config_.flood_ttl;
               query.budget = config_.walk_budget;
+              query.k = config_.top_k;
+              query.min_score = config_.min_score;
               query.online = &online_;
               query.trial = global;
               SearchOutcome out = engine_->search(query, ctx);
@@ -323,6 +358,7 @@ ServingReport ServingWorld::run() {
               if (out.success) {
                 rec.kind = QueryRecord::Kind::kSuccess;
                 rec.hits = std::move(out.hits);
+                rec.ranked = std::move(out.top_k);
                 if (out.timing.has_value() && out.timing->has_first_hit()) {
                   rec.timed = true;
                   rec.first_hit_s = out.timing->first_hit_s;
@@ -349,7 +385,14 @@ ServingReport ServingWorld::run() {
             // search() semantics: a routed hit replicates the entry to
             // the requester (same holder registration as a fresh prime).
             std::vector<NodeId> holders = holders_of(rec.hits, 8);
-            cache_->prime(rec.source, tq.terms, std::move(rec.hits), holders);
+            if (config_.top_k != 0) {
+              cache_->prime_ranked(rec.source, tq.terms,
+                                   std::move(rec.ranked), config_.top_k,
+                                   config_.min_score, holders);
+            } else {
+              cache_->prime(rec.source, tq.terms, std::move(rec.hits),
+                            holders);
+            }
           }
           break;
         case QueryRecord::Kind::kSuccess:
@@ -360,7 +403,14 @@ ServingReport ServingWorld::run() {
           }
           if (cache_ != nullptr) {
             std::vector<NodeId> holders = holders_of(rec.hits, 8);
-            cache_->prime(rec.source, tq.terms, std::move(rec.hits), holders);
+            if (config_.top_k != 0) {
+              cache_->prime_ranked(rec.source, tq.terms,
+                                   std::move(rec.ranked), config_.top_k,
+                                   config_.min_score, holders);
+            } else {
+              cache_->prime(rec.source, tq.terms, std::move(rec.hits),
+                            holders);
+            }
           }
           break;
         case QueryRecord::Kind::kFail:

@@ -64,6 +64,12 @@ struct ServingConfig {
   std::uint32_t flood_ttl = 3;
   /// Walk-family step budget (0 = engine default).
   std::uint32_t walk_budget = 0;
+  /// Ranked serving: 0 keeps exact set semantics; k > 0 asks every
+  /// engine query for its top-k scored results (DESIGN.md §11) and
+  /// switches the cache to ranked entries.
+  std::uint32_t top_k = 0;
+  /// Score floor for ranked serving (ignored when top_k == 0).
+  float min_score = 0.0f;
   /// Rescales the trace's arrival timeline to a sustained query rate
   /// (queries/s), preserving its shape (diurnal cycle, flash crowds).
   /// 0 keeps the trace's own timestamps.
@@ -143,6 +149,10 @@ class ServingWorld {
     /// a neighbor for a routed probe hit).
     NodeId cache_peer = 0;
     std::vector<std::uint64_t> hits;
+    /// Ranked payload (top_k != 0): canonical finish_ranked order.
+    /// `hits` mirrors its ids ascending so holder lookup and cache
+    /// invalidation reuse the set-mode machinery unchanged.
+    std::vector<ScoredMatch> ranked;
   };
 
   void apply_event(const overlay::MembershipEvent& event, WindowStats& window,

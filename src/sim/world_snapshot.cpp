@@ -9,7 +9,11 @@ namespace {
 
 // "QCPWSNAP" little-endian.
 constexpr std::uint64_t kMagic = 0x50414E5357504351ULL;
-constexpr std::uint32_t kVersion = 1;
+/// v2 added the kObjScores section (per-ordinal static relevance
+/// scores). v1 blobs predate scoring and are rejected with a rebuild
+/// hint — recomputing scores would need the full index statistics pass
+/// on every load, defeating the zero-copy mapping contract.
+constexpr std::uint32_t kVersion = 2;
 constexpr std::size_t kSectionAlign = 64;
 
 /// Section kinds, in the order they are written. The loader requires
@@ -26,7 +30,8 @@ enum SectionKind : std::uint32_t {
   kIndexTerms = 8,      // uint32 TermId
   kIndexOffsets = 9,    // uint32, index_terms + 1
   kPostings = 10,       // uint32 ordinals
-  kSectionCount = 11,
+  kObjScores = 11,      // float, total_objects (v2+)
+  kSectionCount = 12,
 };
 
 struct Header {
@@ -98,6 +103,7 @@ void save_world_snapshot(const std::string& path, const Graph& graph,
   put(kIndexTerms, flat.index_terms);
   put(kIndexOffsets, flat.index_offsets);
   put(kPostings, flat.postings);
+  put(kObjScores, flat.obj_scores);
 
   header.file_size = arena.size();
   arena.patch(header_off, &header, sizeof(header));
@@ -119,6 +125,11 @@ WorldSnapshot WorldSnapshot::load(const std::string& path) {
   Header header;
   std::memcpy(&header, file.data(), sizeof(header));
   if (header.magic != kMagic) fail("bad magic");
+  if (header.version == 1) {
+    fail(
+        "version 1 snapshot predates object scores; rebuild the snapshot "
+        "with this binary (need version 2)");
+  }
   if (header.version != kVersion) fail("unsupported version");
   if (header.section_count != kSectionCount) fail("bad section count");
   if (header.file_size != file.size()) fail("size mismatch (truncated?)");
@@ -147,6 +158,7 @@ WorldSnapshot WorldSnapshot::load(const std::string& path) {
   expect_count(table[kObjIds], m.total_objects);
   expect_count(table[kObjTermOffsets], m.total_objects + 1);
   expect_count(table[kIndexOffsets], table[kIndexTerms].count + 1);
+  expect_count(table[kObjScores], m.total_objects);
 
   snap.meta_ = m;
   snap.graph_offsets_ =
@@ -167,6 +179,7 @@ WorldSnapshot WorldSnapshot::load(const std::string& path) {
   layout.index_offsets =
       section_span<std::uint32_t>(file, table[kIndexOffsets]);
   layout.postings = section_span<std::uint32_t>(file, table[kPostings]);
+  layout.obj_scores = section_span<float>(file, table[kObjScores]);
 
   // Exercise the deeper shape validation (offset front/back invariants)
   // once at load so later view construction cannot throw.

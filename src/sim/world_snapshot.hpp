@@ -1,7 +1,7 @@
 // Relocatable on-disk world snapshots.
 //
 // A "world" — the frozen overlay Graph plus the finalized PeerStore —
-// is exactly eleven flat arrays once built. save_world_snapshot() lays
+// is exactly twelve flat arrays once built. save_world_snapshot() lays
 // them out in one arena blob (fixed header, section table, 64-byte
 // aligned payloads, no pointers) and writes it to disk; WorldSnapshot::
 // load() memory-maps the file read-only, validates the header and every

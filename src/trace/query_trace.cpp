@@ -118,7 +118,9 @@ QueryTrace generate_query_trace(const ContentModel& model,
   std::size_t next_event = 0;       // first event with end_s > now
   std::vector<std::size_t> active;  // indices of active events
 
-  for (std::uint64_t q = 0; q < params.num_queries; ++q) {
+  // Browse-session follow-ups count against num_queries, so the trace
+  // size (and any qps rescaling built on it) is mode-independent.
+  while (queries.size() < params.num_queries) {
     // Thinning: draw candidate times until one passes the diurnal filter.
     double t;
     do {
@@ -152,7 +154,26 @@ QueryTrace generate_query_trace(const ContentModel& model,
     std::sort(query.terms.begin(), query.terms.end());
     query.terms.erase(std::unique(query.terms.begin(), query.terms.end()),
                       query.terms.end());
-    queries.push_back(std::move(query));
+    queries.push_back(query);
+
+    // Short-circuit keeps prob == 0 traces draw-for-draw identical.
+    if (params.browse_session_prob > 0.0 &&
+        rng.chance(params.browse_session_prob)) {
+      const std::size_t len =
+          1 + rng.bounded(std::max<std::uint64_t>(
+                  1, 2ULL * params.browse_session_length));
+      double ts = t;
+      for (std::size_t s = 0;
+           s < len && queries.size() < params.num_queries; ++s) {
+        // Repeats land seconds-to-half-a-minute apart: inside any
+        // sane cache max_age_s, far below the maintenance window.
+        ts += 2.0 + 28.0 * rng.uniform();
+        if (ts >= duration_s) break;
+        Query follow = query;
+        follow.time_s = ts;
+        queries.push_back(std::move(follow));
+      }
+    }
   }
 
   std::sort(queries.begin(), queries.end(),

@@ -74,6 +74,16 @@ struct QueryTraceParams {
   /// Diurnal modulation amplitude of the arrival rate (0 = flat).
   double diurnal_amplitude = 0.45;
 
+  // Browse sessions: with this probability a query spawns a short
+  // session repeating the SAME term set seconds apart — a user paging
+  // through ranked results. This is the repetition that score-aware
+  // result caching amortizes (exp_serving --browse). 0 disables the
+  // feature AND its rng draws, so pre-existing traces are
+  // byte-identical.
+  double browse_session_prob = 0.0;
+  /// Mean repeats per session (drawn uniform in 1..2*mean).
+  std::uint32_t browse_session_length = 6;
+
   std::uint64_t seed = 7;
 
   [[nodiscard]] QueryTraceParams scaled(double f) const;

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -293,6 +294,143 @@ TEST_P(EngineConformance, InertDecoratorIsBitForBitInvisible) {
     EXPECT_EQ(decorated.fault.retries, 0u);
     // The inert decorator must not have perturbed the rng stream.
     EXPECT_EQ(plain_rng(), faulty_rng()) << "trial " << t;
+  }
+}
+
+// --- ranked contract (DESIGN.md section 11) -------------------------------
+
+TEST_P(EngineConformance, RankedOutcomeIsCanonicalAndMirroredIntoHits) {
+  const auto engine = make();
+  for (std::size_t t = 0; t < 30; ++t) {
+    const auto terms = query_for(t);
+    Query q;
+    q.source = static_cast<NodeId>(t * 7 % kNodes);
+    q.terms = terms;
+    q.ttl = 2;
+    q.k = 10;
+    q.trial = t;
+    EngineContext ctx;
+    util::Rng rng(4100 + t);
+    ctx.rng = &rng;
+    const SearchOutcome out = engine->search(q, ctx);
+    EXPECT_LE(out.top_k.size(), 10u) << "trial " << t;
+    EXPECT_EQ(out.success, !out.top_k.empty()) << "trial " << t;
+    // Canonical order: descending score, ascending id on ties; no
+    // duplicate objects.
+    for (std::size_t i = 0; i + 1 < out.top_k.size(); ++i) {
+      const ScoredMatch& a = out.top_k[i];
+      const ScoredMatch& b = out.top_k[i + 1];
+      EXPECT_TRUE(a.score > b.score ||
+                  (a.score == b.score && a.object < b.object))
+          << "trial " << t << " rank " << i;
+    }
+    // hits mirrors the ranked ids, ascending — set-shaped consumers
+    // (caches, holder lookup) keep working unchanged.
+    std::vector<std::uint64_t> ids;
+    for (const ScoredMatch& m : out.top_k) ids.push_back(m.object);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(out.hits, ids) << "trial " << t;
+  }
+}
+
+TEST_P(EngineConformance, RankedLargerKIsMonotone) {
+  // The k-th-best-stability stop consults k, so k = 1 may terminate
+  // earlier than k = 10 — but its PRIMARY expansion never runs longer:
+  // an entry into the top-1 is also an entry into the top-10, so the
+  // larger k's stall window resets at least as often (DESIGN.md §11).
+  // Asserted here is what every engine shares: a larger k holds at
+  // least as many results, and success does not depend on k (the stall
+  // stop only ever fires with a result in hand, so an empty outcome
+  // means the full budget ran — identically for every k). Messages are
+  // NOT monotone in k for every engine: hybrid's rare-query detector
+  // can see the k = 1 flood's smaller candidate set and fire its DHT
+  // fallback, costing more than the k = 10 run.
+  const auto engine = make();
+  for (std::size_t t = 0; t < 30; ++t) {
+    const auto terms = query_for(t);
+    const auto run_k = [&](std::uint32_t k) {
+      Query q;
+      q.source = static_cast<NodeId>(t * 11 % kNodes);
+      q.terms = terms;
+      q.ttl = 2;
+      q.k = k;
+      q.trial = t;
+      EngineContext ctx;
+      util::Rng rng(6200 + t);
+      ctx.rng = &rng;
+      return engine->search(q, ctx);
+    };
+    const SearchOutcome ten = run_k(10);
+    const SearchOutcome one = run_k(1);
+    ASSERT_LE(one.top_k.size(), 1u) << "trial " << t;
+    EXPECT_EQ(one.top_k.empty(), ten.top_k.empty()) << "trial " << t;
+    EXPECT_GE(ten.top_k.size(), one.top_k.size()) << "trial " << t;
+  }
+}
+
+TEST_P(EngineConformance, KZeroKeepsExactSetSemantics) {
+  // k = 0 is the pre-ranked contract: no ranked payload, and the hit
+  // set is untouched by the ranked machinery (same as a search that
+  // never heard of scores).
+  const auto engine = make();
+  for (std::size_t t = 0; t < 30; ++t) {
+    const auto terms = query_for(t);
+    Query q;
+    q.source = static_cast<NodeId>(t * 13 % kNodes);
+    q.terms = terms;
+    q.ttl = 2;
+    q.trial = t;
+    EngineContext ctx;
+    util::Rng rng(7300 + t);
+    ctx.rng = &rng;
+    const SearchOutcome out = engine->search(q, ctx);
+    EXPECT_TRUE(out.top_k.empty()) << "trial " << t;
+    EXPECT_TRUE(std::is_sorted(out.hits.begin(), out.hits.end()))
+        << "trial " << t;
+  }
+}
+
+TEST_P(EngineConformance, RankedDeterministicAcrossThreadCounts) {
+  // Byte-identical rankings at any worker count: the digest encodes
+  // object ids, score bits, AND rank positions, so a reordered or
+  // rescored result changes the aggregate.
+  const auto engine = make();
+  const auto run_with = [&](std::size_t threads) {
+    const TrialRunner runner({threads, 5151});
+    return runner.run(
+        120, [] { return EngineContext{}; },
+        [&](std::size_t t, util::Rng& rng, EngineContext& ctx) {
+          ctx.rng = &rng;
+          const auto terms = query_for(t);
+          Query q;
+          q.source = static_cast<NodeId>(rng.bounded(kNodes));
+          q.terms = terms;
+          q.ttl = 2;
+          q.k = 10;
+          q.trial = t;
+          const SearchOutcome r = engine->search(q, ctx);
+          TrialOutcome out;
+          out.success = r.success;
+          out.messages = r.messages;
+          out.extra[0] = r.top_k.size();
+          std::uint64_t digest = 0;
+          for (std::size_t i = 0; i < r.top_k.size(); ++i) {
+            std::uint32_t bits = 0;
+            std::memcpy(&bits, &r.top_k[i].score, sizeof(bits));
+            digest += util::mix64(r.top_k[i].object ^
+                                  (static_cast<std::uint64_t>(bits) << 32) ^
+                                  (i + 1));
+          }
+          out.extra[1] = digest;
+          return out;
+        });
+  };
+  const TrialAggregate one = run_with(1);
+  for (const std::size_t threads : {2ULL, 8ULL}) {
+    const TrialAggregate many = run_with(threads);
+    EXPECT_EQ(one.successes, many.successes) << threads << " threads";
+    EXPECT_EQ(one.messages, many.messages) << threads << " threads";
+    EXPECT_EQ(one.extra, many.extra) << threads << " threads";
   }
 }
 

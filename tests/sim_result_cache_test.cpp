@@ -264,5 +264,68 @@ TEST_F(CacheFixture, PeekRoutedProbesNeighbors) {
   EXPECT_EQ(probes, 2u);  // ring degree
 }
 
+// --- ranked entries (DESIGN.md section 11) --------------------------------
+
+TEST_F(CacheFixture, RankedEntryServesSmallerKAndTighterThreshold) {
+  CachingSearchNetwork net(graph, store);
+  const NodeId holders[] = {15};
+  // A k=10 ranking in canonical order (descending score).
+  net.prime_ranked(0, std::vector<TermId>{5},
+                   {{900, 3.0f}, {901, 2.0f}, {902, 1.0f}},
+                   /*k=*/10, /*min_score=*/0.0f, holders);
+
+  // Any k' <= k with min_score' >= min_score is servable; the caller
+  // truncates/refilters, so the cache hands back the full ranking.
+  const auto* hit = net.peek_ranked(0, std::vector<TermId>{5}, /*k=*/3,
+                                    /*min_score=*/0.5f);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 3u);
+  EXPECT_EQ(hit->front().object, 900u);
+
+  // A WIDER request than the entry was computed with cannot be served:
+  // the entry may be missing results the wider bounds would admit.
+  EXPECT_EQ(net.peek_ranked(0, std::vector<TermId>{5}, /*k=*/11,
+                            /*min_score=*/0.0f),
+            nullptr);
+  EXPECT_EQ(net.peek_ranked(0, std::vector<TermId>{5}, /*k=*/3,
+                            /*min_score=*/-1.0f),
+            nullptr);
+
+  // Set lookups never see ranked entries and vice versa.
+  EXPECT_EQ(net.peek(0, std::vector<TermId>{5}), nullptr);
+}
+
+TEST_F(CacheFixture, HolderLeaveInvalidatesWholeRankedEntry) {
+  CachingSearchNetwork net(graph, store);
+  const NodeId holders[] = {15, 16};
+  net.prime_ranked(0, std::vector<TermId>{5},
+                   {{900, 3.0f}, {901, 2.0f}},
+                   /*k=*/10, /*min_score=*/0.0f, holders);
+  ASSERT_NE(net.peek_ranked(0, std::vector<TermId>{5}, 2, 0.0f), nullptr);
+
+  // One holder leaving kills the ENTIRE ranking — truncating it to the
+  // surviving holders' objects could silently promote the wrong object
+  // into the k-th slot.
+  net.on_peer_leave(16);
+  EXPECT_EQ(net.peek_ranked(0, std::vector<TermId>{5}, 2, 0.0f), nullptr);
+  EXPECT_EQ(net.cached_entries(0), 0u);
+}
+
+TEST_F(CacheFixture, RankedAndSetPrimesReplaceEachOther) {
+  CachingSearchNetwork net(graph, store);
+  net.prime(0, std::vector<TermId>{5}, {900});
+  const NodeId holders[] = {15};
+  net.prime_ranked(0, std::vector<TermId>{5}, {{900, 3.0f}}, 10, 0.0f,
+                   holders);
+  EXPECT_EQ(net.peek(0, std::vector<TermId>{5}), nullptr);
+  ASSERT_NE(net.peek_ranked(0, std::vector<TermId>{5}, 1, 0.0f), nullptr);
+  EXPECT_EQ(net.cached_entries(0), 1u);  // same key, one entry
+
+  net.prime(0, std::vector<TermId>{5}, {900});
+  EXPECT_EQ(net.peek_ranked(0, std::vector<TermId>{5}, 1, 0.0f), nullptr);
+  ASSERT_NE(net.peek(0, std::vector<TermId>{5}), nullptr);
+  EXPECT_EQ(net.cached_entries(0), 1u);
+}
+
 }  // namespace
 }  // namespace qcp2p::sim

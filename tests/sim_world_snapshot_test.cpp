@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -159,6 +160,7 @@ TEST(WorldSnapshot, RoundTripPreservesEveryArray) {
   EXPECT_TRUE(eq(a.index_terms, b.index_terms));
   EXPECT_TRUE(eq(a.index_offsets, b.index_offsets));
   EXPECT_TRUE(eq(a.postings, b.postings));
+  EXPECT_TRUE(eq(a.obj_scores, b.obj_scores));
 }
 
 TEST(WorldSnapshot, EveryEngineIsBitIdenticalOnTheMappedWorld) {
@@ -262,6 +264,7 @@ TEST(ParallelFinalize, ByteIdenticalAcrossThreadCounts) {
     EXPECT_TRUE(eq(a.index_terms, b.index_terms)) << threads;
     EXPECT_TRUE(eq(a.index_offsets, b.index_offsets)) << threads;
     EXPECT_TRUE(eq(a.postings, b.postings)) << threads;
+    EXPECT_TRUE(eq(a.obj_scores, b.obj_scores)) << threads;
   }
 }
 
@@ -363,6 +366,43 @@ TEST(WorldSnapshot, RejectsTruncatedAndCorruptFiles) {
   std::remove(tiny.c_str());
   std::remove(magic.c_str());
   std::remove(corrupt.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(WorldSnapshot, OldVersionIsRejectedWithRebuildHint) {
+  // A version-1 snapshot has no kObjScores section; loading it would
+  // yield a store whose every score is garbage. The loader must refuse
+  // with a message that tells the operator exactly what to do.
+  const Graph graph = build_graph(64);
+  const PeerStore store = build_store(64);
+  const std::string path = temp_path("v1.wsnap");
+  save_world_snapshot(path, graph, store);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  // Header: 8-byte magic, then the u32 version.
+  const std::uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 8, &v1, sizeof(v1));
+  const std::string old = temp_path("old.wsnap");
+  {
+    std::ofstream out(old, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  try {
+    (void)WorldSnapshot::load(old);
+    FAIL() << "version 1 snapshot must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("version 1 snapshot predates object "
+                                   "scores"),
+        std::string::npos)
+        << e.what();
+  }
+  std::remove(old.c_str());
   std::remove(path.c_str());
 }
 
